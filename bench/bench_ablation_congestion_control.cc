@@ -1,0 +1,103 @@
+// §6 limitations probe: how the signature behaves when the measured flow
+// runs CUBIC or a BBR-like latency-based controller instead of Reno, and
+// across access buffers of roughly 1–5x BDP. The paper predicts the
+// technique keeps working for loss-based senders as long as the flow
+// induces measurable buffering, and may be confounded by BBR, which
+// deliberately avoids filling the buffer.
+#include "bench_common.h"
+#include "core/classifier.h"
+#include "testbed/experiment.h"
+
+using namespace ccsig;
+
+namespace {
+
+struct Row {
+  double mean_nd = 0;
+  double mean_cov = 0;
+  int classified_self = 0;
+  int usable = 0;
+  int runs = 0;
+};
+
+Row run_batch(const CongestionClassifier& clf, const std::string& cc,
+              double buffer_ms, testbed::Scenario scenario, int reps,
+              std::uint64_t seed_base) {
+  Row row;
+  for (int rep = 0; rep < reps; ++rep) {
+    testbed::TestbedConfig cfg;
+    cfg.congestion_control = cc;
+    cfg.access_buffer_ms = buffer_ms;
+    cfg.scenario = scenario;
+    cfg.test_duration = sim::from_seconds(5);
+    cfg.warmup = sim::from_seconds(2.5);
+    cfg.seed = seed_base + static_cast<std::uint64_t>(rep);
+    const testbed::TestResult r = run_testbed_experiment(cfg);
+    ++row.runs;
+    if (!r.features) continue;
+    ++row.usable;
+    row.mean_nd += r.features->norm_diff;
+    row.mean_cov += r.features->cov;
+    row.classified_self +=
+        clf.classify(*r.features).verdict == Verdict::kSelfInducedCongestion
+            ? 1
+            : 0;
+  }
+  if (row.usable > 0) {
+    row.mean_nd /= row.usable;
+    row.mean_cov /= row.usable;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const int reps = opt.full ? 20 : (opt.reps > 0 ? opt.reps : 5);
+  bench::print_header(
+      "Ablation — sender congestion control and buffer depth",
+      "§6: loss-based variants keep the signature; BBR confounds it");
+
+  const auto samples = bench::standard_sweep(opt);
+  CongestionClassifier clf;
+  clf.train(testbed::make_dataset(samples, 0.8));
+
+  // 20 Mbps x 20 ms base RTT -> BDP = 50 KB ~ 20 ms of buffering; buffers
+  // from 20 ms (1x BDP) to 100 ms (5x BDP), the paper's tested band.
+  std::printf("\nself-induced scenario (access 20 Mbps, 20 ms RTT)\n");
+  std::printf("%-8s %-10s %10s %10s %12s %8s\n", "cc", "buffer",
+              "norm_diff", "cov", "%self-class", "usable");
+  std::uint64_t seed = 40'000;
+  for (const std::string cc : {"reno", "cubic", "bbr"}) {
+    for (double buffer_ms : {20.0, 60.0, 100.0}) {
+      const Row row = run_batch(clf, cc, buffer_ms,
+                                testbed::Scenario::kSelfInduced, reps,
+                                seed += 1000);
+      std::printf("%-8s %-10.0f %10.3f %10.3f %11.0f%% %5d/%d\n", cc.c_str(),
+                  buffer_ms, row.mean_nd, row.mean_cov,
+                  row.usable ? 100.0 * row.classified_self / row.usable : 0.0,
+                  row.usable, row.runs);
+    }
+  }
+
+  std::printf("\nexternal scenario (interconnect congested)\n");
+  std::printf("%-8s %-10s %10s %10s %12s %8s\n", "cc", "buffer",
+              "norm_diff", "cov", "%ext-class", "usable");
+  for (const std::string cc : {"reno", "cubic", "bbr"}) {
+    const Row row = run_batch(clf, cc, 100.0, testbed::Scenario::kExternal,
+                              reps, seed += 1000);
+    std::printf("%-8s %-10.0f %10.3f %10.3f %11.0f%% %5d/%d\n", cc.c_str(),
+                100.0, row.mean_nd, row.mean_cov,
+                row.usable
+                    ? 100.0 * (row.usable - row.classified_self) / row.usable
+                    : 0.0,
+                row.usable, row.runs);
+  }
+
+  std::printf(
+      "\npaper: Reno/CUBIC keep high NormDiff/CoV when self-inducing "
+      "(buffer >= 1x BDP); a latency-based sender (BBR) holds queueing "
+      "down, shrinking the self signature — the §6 caveat.\n");
+  return 0;
+}

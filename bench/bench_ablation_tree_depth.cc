@@ -1,0 +1,74 @@
+// §3.2 ablation: tree depth. The paper evaluated depths 3–5 and found all
+// accurate, settling on 4. We sweep 1–8 with 5-fold cross-validation, plus
+// a random-forest reference, to show the problem saturates at tiny depth.
+#include "bench_common.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+#include "ml/split.h"
+
+using namespace ccsig;
+
+namespace {
+
+double cv_accuracy(const ml::Dataset& data, int depth, int k = 5) {
+  sim::Rng rng(31);
+  const auto folds = ml::stratified_folds(data, k, rng);
+  double correct = 0, total = 0;
+  for (int f = 0; f < k; ++f) {
+    std::vector<std::size_t> train_idx;
+    for (int g = 0; g < k; ++g) {
+      if (g == f) continue;
+      train_idx.insert(train_idx.end(),
+                       folds[static_cast<std::size_t>(g)].begin(),
+                       folds[static_cast<std::size_t>(g)].end());
+    }
+    const ml::Dataset train = data.subset(train_idx);
+    const ml::Dataset test =
+        data.subset(folds[static_cast<std::size_t>(f)]);
+    ml::DecisionTree tree(ml::DecisionTree::Params{.max_depth = depth});
+    tree.fit(train);
+    const auto pred = tree.predict_all(test);
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      correct += pred[i] == test.label(i) ? 1 : 0;
+      total += 1;
+    }
+  }
+  return total > 0 ? correct / total : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  bench::print_header("Ablation — decision-tree depth",
+                      "§3.2: depths 3-5 all accurate; the paper uses 4");
+
+  const auto samples = bench::standard_sweep(opt);
+  const ml::Dataset data = testbed::make_dataset(samples, 0.8);
+  const auto counts = data.class_counts();
+  std::printf("dataset: %zu samples (ext=%zu self=%zu)\n\n", data.size(),
+              counts.size() > 0 ? counts[0] : 0,
+              counts.size() > 1 ? counts[1] : 0);
+
+  std::printf("%-8s %16s\n", "depth", "5-fold accuracy");
+  for (int depth = 1; depth <= 8; ++depth) {
+    std::printf("%-8d %15.1f%%\n", depth, 100.0 * cv_accuracy(data, depth));
+  }
+
+  // Random-forest reference: on a 2-feature problem a heavier model should
+  // buy essentially nothing — which is itself the paper's point that the
+  // simple tree suffices.
+  sim::Rng rng(77);
+  const auto [train, test] = ml::stratified_split(data, 0.3, rng);
+  ml::RandomForest forest(
+      ml::RandomForest::Params{.n_trees = 25,
+                               .tree = {.max_depth = 6}},
+      5);
+  forest.fit(train);
+  const ml::ConfusionMatrix cm(test.labels(), forest.predict_all(test));
+  std::printf("\nrandom forest (25 trees, depth 6): %.1f%% holdout accuracy\n",
+              100.0 * cm.accuracy());
+  std::printf("paper: depth 3-5 equivalent -> depth is not a sensitive "
+              "hyperparameter.\n");
+  return 0;
+}

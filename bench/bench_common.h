@@ -1,0 +1,126 @@
+// Shared infrastructure for the figure/table reproduction benches:
+// command-line options, cached datasets, table printing.
+//
+// Every bench accepts:
+//   --reps N        repetitions per configuration (default: bench-specific)
+//   --full          paper-scale settings (50 reps, 10 s tests)
+//   --cache DIR     cache directory for sweep/campaign CSVs
+//   --fresh         ignore caches and regenerate
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "mlab/dispute2014.h"
+#include "mlab/tslp2017.h"
+#include "testbed/sweep.h"
+
+namespace ccsig::bench {
+
+struct Options {
+  int reps = 0;  // 0 = bench default
+  bool full = false;
+  bool fresh = false;
+  std::string cache_dir = "bench_cache";
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      opt.full = true;
+    } else if (std::strcmp(argv[i], "--fresh") == 0) {
+      opt.fresh = true;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      opt.reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      opt.cache_dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--reps N] [--full] [--fresh] [--cache DIR]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  std::filesystem::create_directories(opt.cache_dir);
+  return opt;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("=====================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("=====================================================\n");
+}
+
+/// Progress ticker on stderr (stdout stays clean for the table).
+inline std::function<void(std::size_t, std::size_t)> progress_ticker(
+    const char* label) {
+  return [label](std::size_t done, std::size_t total) {
+    if (done % 25 == 0 || done == total) {
+      std::fprintf(stderr, "[%s] %zu/%zu\n", label, done, total);
+    }
+  };
+}
+
+/// The standard controlled-experiment sweep, shared by several benches.
+inline std::vector<testbed::SweepSample> standard_sweep(const Options& opt) {
+  testbed::SweepOptions sweep;
+  sweep.scale = 1.0;
+  sweep.reps = opt.full ? 50 : (opt.reps > 0 ? opt.reps : 3);
+  sweep.test_duration = sim::from_seconds(opt.full ? 10.0 : 5.0);
+  sweep.warmup = sim::from_seconds(2.5);
+  sweep.progress = progress_ticker("testbed-sweep");
+  const std::string cache =
+      opt.cache_dir + "/testbed_sweep_r" + std::to_string(sweep.reps) + ".csv";
+  if (opt.fresh) std::filesystem::remove(cache);
+  return testbed::load_or_run_sweep(cache, sweep);
+}
+
+/// The Dispute2014 campaign, shared by the figure 5/7/8/9 benches.
+inline std::vector<mlab::NdtObservation> standard_dispute2014(
+    const Options& opt) {
+  mlab::Dispute2014Options campaign;
+  campaign.tests_per_cell = opt.full ? 3 : (opt.reps > 0 ? opt.reps : 1);
+  campaign.ndt_duration = sim::from_seconds(opt.full ? 10.0 : 6.0);
+  if (!opt.full) {
+    // Even-hour sampling halves the campaign while keeping the diurnal
+    // shape and the paper's peak (16-23h) / off-peak (1-8h) windows.
+    campaign.hours = {0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22};
+  }
+  campaign.progress = progress_ticker("dispute2014");
+  const std::string cache = opt.cache_dir + "/dispute2014_t" +
+                            std::to_string(campaign.tests_per_cell) +
+                            (opt.full ? "_full" : "") + ".csv";
+  if (opt.fresh) std::filesystem::remove(cache);
+  return mlab::load_or_generate_dispute2014(cache, campaign);
+}
+
+/// The TSLP2017 campaign (figure 6 and the §5.4 accuracy table).
+inline std::vector<mlab::TslpObservation> standard_tslp2017(
+    const Options& opt) {
+  mlab::Tslp2017Options campaign;
+  campaign.days = opt.full ? 10 : (opt.reps > 0 ? opt.reps : 6);
+  campaign.ndt_duration = sim::from_seconds(opt.full ? 10.0 : 6.0);
+  campaign.episode_probability = 0.4;  // enough labeled externals at 6 days
+  campaign.progress = progress_ticker("tslp2017");
+  const std::string cache = opt.cache_dir + "/tslp2017_d" +
+                            std::to_string(campaign.days) + ".csv";
+  if (opt.fresh) std::filesystem::remove(cache);
+  return mlab::load_or_generate_tslp2017(cache, campaign);
+}
+
+/// Trains the paper's depth-4 tree from sweep samples at a threshold.
+inline ml::DecisionTree train_tree(
+    const std::vector<testbed::SweepSample>& samples, double threshold,
+    int depth = 4) {
+  ml::DecisionTree tree(ml::DecisionTree::Params{.max_depth = depth});
+  tree.fit(testbed::make_dataset(samples, threshold));
+  return tree;
+}
+
+}  // namespace ccsig::bench

@@ -1,0 +1,43 @@
+// Figure 3: classifier precision and recall vs the congestion-labeling
+// threshold, for both classes, on the full controlled-experiment sweep.
+#include "bench_common.h"
+#include "ml/metrics.h"
+#include "ml/split.h"
+
+using namespace ccsig;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  bench::print_header(
+      "Figure 3 — model precision/recall vs congestion threshold",
+      "Fig. 3a/3b: testbed sweep, depth-4 tree, 70/30 split");
+
+  const auto samples = bench::standard_sweep(opt);
+  std::printf("sweep samples with features: %zu\n\n", samples.size());
+
+  std::printf("%-10s %7s %7s %7s | %7s %7s %7s %7s\n", "threshold",
+              "n", "n_ext", "n_self", "P_ext", "R_ext", "P_self", "R_self");
+  for (double threshold = 0.1; threshold <= 0.951; threshold += 0.05) {
+    const ml::Dataset data = testbed::make_dataset(samples, threshold);
+    const auto counts = data.class_counts();
+    const std::size_t n_ext = counts.size() > 0 ? counts[0] : 0;
+    const std::size_t n_self = counts.size() > 1 ? counts[1] : 0;
+    if (n_ext < 5 || n_self < 5) {
+      std::printf("%-10.2f %7zu %7zu %7zu | (too few samples in a class)\n",
+                  threshold, data.size(), n_ext, n_self);
+      continue;
+    }
+    sim::Rng rng(1234);
+    const auto [train, test] = ml::stratified_split(data, 0.3, rng);
+    ml::DecisionTree tree(ml::DecisionTree::Params{.max_depth = 4});
+    tree.fit(train);
+    const ml::ConfusionMatrix cm(test.labels(), tree.predict_all(test));
+    std::printf("%-10.2f %7zu %7zu %7zu | %7.3f %7.3f %7.3f %7.3f\n",
+                threshold, data.size(), n_ext, n_self, cm.precision(0),
+                cm.recall(0), cm.precision(1), cm.recall(1));
+  }
+  std::printf(
+      "\npaper: precision/recall consistently high for thresholds in "
+      "[0.6, 0.9] (\"up to 90%%\"), degrading at the extremes.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 4: raw NormDiff vs CoV for the controlled experiments, by class —
+// the two clusters the decision tree separates.
+#include "bench_common.h"
+
+using namespace ccsig;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  bench::print_header("Figure 4 — NormDiff vs CoV scatter (testbed runs)",
+                      "Fig. 4: both metrics are needed to separate classes");
+
+  const auto samples = bench::standard_sweep(opt);
+
+  std::printf("%-10s %-10s %s\n", "norm_diff", "cov", "scenario");
+  for (const auto& s : samples) {
+    std::printf("%-10.4f %-10.4f %s\n", s.norm_diff, s.cov,
+                s.scenario == 1 ? "self" : "external");
+  }
+
+  // Per-class centroids summarize the separation.
+  double nd[2] = {0, 0}, cov[2] = {0, 0};
+  std::size_t n[2] = {0, 0};
+  for (const auto& s : samples) {
+    nd[s.scenario] += s.norm_diff;
+    cov[s.scenario] += s.cov;
+    ++n[s.scenario];
+  }
+  std::printf("\ncentroids:\n");
+  for (int c : {1, 0}) {
+    if (n[c] == 0) continue;
+    std::printf("  %-8s norm_diff=%.3f cov=%.3f (n=%zu)\n",
+                c == 1 ? "self" : "external", nd[c] / static_cast<double>(n[c]),
+                cov[c] / static_cast<double>(n[c]), n[c]);
+  }
+  std::printf(
+      "\npaper: classes separate along both axes but overlap on each alone "
+      "— hence the two-feature tree.\n");
+  return 0;
+}

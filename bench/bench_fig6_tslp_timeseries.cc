@@ -1,0 +1,57 @@
+// Figure 6: the TSLP2017 targeted experiment time series — far-router TSLP
+// latency spikes (a) coincide with NDT throughput drops (b).
+#include <cmath>
+
+#include "bench_common.h"
+
+using namespace ccsig;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  bench::print_header(
+      "Figure 6 — TSLP latency vs NDT throughput time series",
+      "Fig. 6a/6b: Comcast client to TATA-hosted M-Lab server");
+
+  const auto obs = bench::standard_tslp2017(opt);
+  std::printf("slots: %zu\n\n", obs.size());
+
+  std::printf("%-4s %-6s %-7s %12s %12s %12s %9s\n", "day", "hour", "min",
+              "near_rtt_ms", "far_rtt_ms", "ndt_mbps", "episode");
+  for (const auto& o : obs) {
+    std::printf("%-4d %-6d %-7d %12.1f %12.1f %12.2f %9s\n", o.day, o.hour,
+                o.minute, o.near_rtt_ms, o.far_rtt_ms, o.throughput_mbps,
+                o.truth_external ? "yes" : "");
+  }
+
+  // The paper's headline: a strong negative correlation between far-side
+  // TSLP latency and NDT throughput; flat near-side latency.
+  double mean_far = 0, mean_tput = 0, mean_near = 0;
+  for (const auto& o : obs) {
+    mean_far += o.far_rtt_ms;
+    mean_tput += o.throughput_mbps;
+    mean_near += o.near_rtt_ms;
+  }
+  const double n = static_cast<double>(obs.size());
+  mean_far /= n;
+  mean_tput /= n;
+  mean_near /= n;
+  double cov_ft = 0, var_f = 0, var_t = 0, var_n = 0;
+  for (const auto& o : obs) {
+    cov_ft += (o.far_rtt_ms - mean_far) * (o.throughput_mbps - mean_tput);
+    var_f += (o.far_rtt_ms - mean_far) * (o.far_rtt_ms - mean_far);
+    var_t += (o.throughput_mbps - mean_tput) *
+             (o.throughput_mbps - mean_tput);
+    var_n += (o.near_rtt_ms - mean_near) * (o.near_rtt_ms - mean_near);
+  }
+  const double corr =
+      var_f > 0 && var_t > 0 ? cov_ft / std::sqrt(var_f * var_t) : 0.0;
+  std::printf("\ncorrelation(far TSLP latency, NDT throughput) = %.3f "
+              "(paper: strong negative)\n",
+              corr);
+  std::printf("near-side RTT stddev = %.2f ms (paper: flat)\n",
+              std::sqrt(var_n / n));
+  std::printf("baseline far RTT = ~%.1f ms; congested episodes rise by the "
+              "~15 ms interconnect buffer (paper: 18 -> 30+ ms)\n",
+              mean_near);
+  return 0;
+}

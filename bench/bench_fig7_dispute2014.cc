@@ -1,0 +1,79 @@
+// Figure 7: fraction of Dispute2014 flows classified as self-induced, per
+// (transit site × access ISP × timeframe), with testbed-trained models at
+// labeling thresholds 0.7 / 0.8 / 0.9.
+//
+// Expectation (paper): Jan-Feb fractions are much lower than Mar-Apr for
+// the affected combinations (Comcast/TimeWarner/Verizon through Cogent);
+// similar for Cox and for everyone through Level3.
+#include "bench_common.h"
+#include "ml/decision_tree.h"
+
+using namespace ccsig;
+
+namespace {
+
+struct Cell {
+  int self = 0;
+  int total = 0;
+  double fraction() const {
+    return total ? static_cast<double>(self) / total : 0.0;
+  }
+};
+
+/// Timeframe encoding: 0 = Jan-Feb peak, 1 = Mar-Apr off-peak (the paper's
+/// labeled windows).
+int timeframe_of(const mlab::NdtObservation& o) {
+  const bool jan_feb = o.month == 1 || o.month == 2;
+  if (jan_feb && mlab::is_peak_hour(o.hour)) return 0;
+  if (!jan_feb && mlab::is_offpeak_hour(o.hour)) return 1;
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  bench::print_header(
+      "Figure 7 — % classified self-induced, Dispute2014",
+      "Fig. 7a-c: per transit site / ISP / timeframe, thresholds 0.7-0.9");
+
+  const auto sweep = bench::standard_sweep(opt);
+  const auto obs = bench::standard_dispute2014(opt);
+
+  const std::vector<std::pair<std::string, std::string>> sites = {
+      {"Cogent", "LAX"}, {"Cogent", "LGA"}, {"Level3", "ATL"}};
+  const std::vector<std::string> isps = {"Comcast", "TimeWarner", "Verizon",
+                                         "Cox"};
+
+  for (double threshold : {0.7, 0.8, 0.9}) {
+    const ml::DecisionTree tree = bench::train_tree(sweep, threshold);
+    std::printf("\n--- labeling threshold %.1f ---\n", threshold);
+    std::printf("%-22s %-12s %16s %16s\n", "transit(site)", "isp",
+                "Jan-Feb peak", "Mar-Apr offpeak");
+    for (const auto& [transit, site] : sites) {
+      for (const auto& isp : isps) {
+        Cell cells[2];
+        for (const auto& o : obs) {
+          if (o.transit != transit || o.site != site || o.isp != isp) continue;
+          if (!o.has_features || !o.passes_filters) continue;
+          const int tf = timeframe_of(o);
+          if (tf < 0) continue;
+          const double row[] = {o.norm_diff, o.cov};
+          const int pred = tree.predict(row);
+          ++cells[tf].total;
+          cells[tf].self += pred == 1 ? 1 : 0;
+        }
+        std::printf("%-22s %-12s %11.0f%% (%2d) %11.0f%% (%2d)\n",
+                    (transit + " (" + site + ")").c_str(), isp.c_str(),
+                    100.0 * cells[0].fraction(), cells[0].total,
+                    100.0 * cells[1].fraction(), cells[1].total);
+      }
+    }
+  }
+  std::printf(
+      "\npaper: affected combos (Cogent x non-Cox) show a large Jan-Feb vs "
+      "Mar-Apr gap (e.g. 40%% -> 75%%); Cox and Level3 combos show little "
+      "change. Higher thresholds lower all self fractions without changing "
+      "the trend.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 8: median throughput of flows classified self-induced vs external,
+// per ISP and timeframe — similar during a sustained interconnect event
+// (every flow crosses the congested port), clearly separated otherwise.
+#include <algorithm>
+
+#include "bench_common.h"
+
+using namespace ccsig;
+
+namespace {
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  bench::print_header(
+      "Figure 8 — median throughput of classified flows",
+      "Fig. 8a/8b: self vs external, Jan-Feb vs Mar-Apr, Cogent vs Level3");
+
+  const auto sweep = bench::standard_sweep(opt);
+  const ml::DecisionTree tree = bench::train_tree(sweep, 0.8);
+  const auto obs = bench::standard_dispute2014(opt);
+
+  for (const std::string transit : {"Cogent", "Level3"}) {
+    std::printf("\n(%s sites)\n", transit.c_str());
+    std::printf("%-12s %14s %14s %14s %14s\n", "ISP", "JanFeb self",
+                "JanFeb ext", "MarApr self", "MarApr ext");
+    for (const std::string isp :
+         {"Comcast", "TimeWarner", "Verizon", "Cox"}) {
+      std::vector<double> tput[2][2];  // [timeframe][class]
+      for (const auto& o : obs) {
+        if (o.transit != transit || o.isp != isp) continue;
+        if (!o.has_features || !o.passes_filters) continue;
+        const bool jan_feb = o.month == 1 || o.month == 2;
+        const int tf = jan_feb ? 0 : 1;
+        // Figure 8 compares flows inside the labeled windows.
+        if (jan_feb && !mlab::is_peak_hour(o.hour)) continue;
+        if (!jan_feb && !mlab::is_offpeak_hour(o.hour)) continue;
+        const double row[] = {o.norm_diff, o.cov};
+        tput[tf][tree.predict(row)].push_back(o.throughput_mbps);
+      }
+      std::printf("%-12s %11.1f M  %11.1f M  %11.1f M  %11.1f M\n",
+                  isp.c_str(), median(tput[0][1]), median(tput[0][0]),
+                  median(tput[1][1]), median(tput[1][0]));
+    }
+  }
+  std::printf(
+      "\npaper: during the Jan-Feb Cogent event the two classes' medians "
+      "are close (everyone crosses the congested port); in Mar-Apr — and on "
+      "Level3 or Cox throughout — self-classified flows are clearly "
+      "faster.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 9 (§5.3): rebuild the classifier from the Dispute2014 data itself —
+// 20% of the coarsely-labeled samples, *excluding* the (site, ISP) under
+// test — and verify the classification trend matches the testbed-trained
+// model, showing the technique is not an artifact of testbed training data.
+#include "bench_common.h"
+#include "ml/decision_tree.h"
+#include "ml/split.h"
+
+using namespace ccsig;
+
+namespace {
+
+int timeframe_of(const mlab::NdtObservation& o) {
+  const bool jan_feb = o.month == 1 || o.month == 2;
+  if (jan_feb && mlab::is_peak_hour(o.hour)) return 0;
+  if (!jan_feb && mlab::is_offpeak_hour(o.hour)) return 1;
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  bench::print_header(
+      "Figure 9 — model trained on Dispute2014 itself (leave-combo-out)",
+      "Fig. 9 / §5.3: 20% stratified sample, excluding the tested combo");
+
+  const auto obs = bench::standard_dispute2014(opt);
+
+  const std::vector<std::pair<std::string, std::string>> sites = {
+      {"Cogent", "LAX"}, {"Cogent", "LGA"}, {"Level3", "ATL"}};
+  const std::vector<std::string> isps = {"Comcast", "TimeWarner", "Verizon",
+                                         "Cox"};
+
+  std::printf("%-22s %-12s %16s %16s\n", "transit(site)", "isp",
+              "Jan-Feb peak", "Mar-Apr offpeak");
+  for (const auto& [transit, site] : sites) {
+    for (const auto& isp : isps) {
+      // Training pool: coarsely-labeled observations from all OTHER combos.
+      ml::Dataset pool({"norm_diff", "cov"});
+      for (const auto& o : obs) {
+        if (o.transit == transit && o.site == site && o.isp == isp) continue;
+        if (!o.has_features || !o.passes_filters) continue;
+        const auto label = mlab::dispute_coarse_label(o);
+        if (!label) continue;
+        pool.add({o.norm_diff, o.cov}, *label);
+      }
+      const auto counts = pool.class_counts();
+      if (counts.size() < 2 || counts[0] < 5 || counts[1] < 5) {
+        std::printf("%-22s %-12s (insufficient labeled data)\n",
+                    (transit + " (" + site + ")").c_str(), isp.c_str());
+        continue;
+      }
+      sim::Rng rng(42);
+      const auto [sample, rest] = ml::stratified_sample(pool, 0.2, rng);
+      ml::DecisionTree tree(ml::DecisionTree::Params{.max_depth = 4});
+      tree.fit(sample);
+
+      int self_count[2] = {0, 0};
+      int total[2] = {0, 0};
+      for (const auto& o : obs) {
+        if (o.transit != transit || o.site != site || o.isp != isp) continue;
+        if (!o.has_features || !o.passes_filters) continue;
+        const int tf = timeframe_of(o);
+        if (tf < 0) continue;
+        const double row[] = {o.norm_diff, o.cov};
+        ++total[tf];
+        self_count[tf] += tree.predict(row) == 1 ? 1 : 0;
+      }
+      auto pct = [](int a, int b) { return b ? 100.0 * a / b : 0.0; };
+      std::printf("%-22s %-12s %11.0f%% (%2d) %11.0f%% (%2d)\n",
+                  (transit + " (" + site + ")").c_str(), isp.c_str(),
+                  pct(self_count[0], total[0]), total[0],
+                  pct(self_count[1], total[1]), total[1]);
+    }
+  }
+  std::printf(
+      "\npaper: the M-Lab-trained model reproduces the figure-7 trend "
+      "(slightly more conservative about self), showing the classifier is "
+      "robust to its training corpus.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Micro-benchmarks of the library's hot paths (google-benchmark): event
+// queue, shaped link, TCP transfer, RTT extraction, feature computation,
+// classifier inference, pcap codec.
+#include <benchmark/benchmark.h>
+
+#include "analysis/flow_trace.h"
+#include "analysis/rtt_estimator.h"
+#include "core/classifier.h"
+#include "features/extractor.h"
+#include "pcap/headers.h"
+#include "sim/network.h"
+#include "tcp/tcp_sink.h"
+#include "tcp/tcp_source.h"
+
+namespace {
+
+using namespace ccsig;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.schedule((i * 7919) % n, [] {});
+    }
+    while (!q.empty()) q.pop()();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(100000);
+
+void BM_LinkShaping(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Link::Config cfg;
+    cfg.rate_bps = 1e9;
+    cfg.buffer_bytes = 1 << 22;
+    sim::Link link(sim, cfg, sim::Rng(1));
+    int delivered = 0;
+    link.set_receiver([&](const sim::Packet&) { ++delivered; });
+    sim::Packet p;
+    p.payload_bytes = 1448;
+    for (int i = 0; i < 1000; ++i) link.send(p);
+    sim.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LinkShaping);
+
+void BM_TcpBulkTransfer(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Network net(1);
+    sim::Node* server = net.add_node("s");
+    sim::Node* client = net.add_node("c");
+    sim::Link::Config link;
+    link.rate_bps = 100e6;
+    link.prop_delay = 5 * sim::kMillisecond;
+    link.buffer_bytes = sim::buffer_bytes_for(100e6, 50);
+    net.connect(server, client, link);
+    sim::FlowKey key{server->address(), client->address(), 1, 2};
+    tcp::TcpSink::Config sk;
+    sk.data_key = key;
+    tcp::TcpSink sink(net.sim(), client, sk);
+    tcp::TcpSource::Config sc;
+    sc.key = key;
+    sc.bytes_to_send = 10'000'000;
+    tcp::TcpSource source(net.sim(), server, sc);
+    source.start();
+    net.sim().run_until(sim::from_seconds(30));
+    benchmark::DoNotOptimize(sink.bytes_received());
+  }
+  state.SetBytesProcessed(state.iterations() * 10'000'000);
+}
+BENCHMARK(BM_TcpBulkTransfer);
+
+analysis::FlowTrace synthetic_flow(int n) {
+  analysis::FlowTrace flow;
+  flow.data_key = sim::FlowKey{1, 2, 10, 20};
+  for (int i = 0; i < n; ++i) {
+    analysis::TraceRecord d;
+    d.time = i * 100 * sim::kMicrosecond;
+    d.key = flow.data_key;
+    d.seq = 1 + 1448ull * static_cast<unsigned>(i);
+    d.payload_bytes = 1448;
+    flow.data.push_back(d);
+    analysis::TraceRecord a;
+    a.time = d.time + 20 * sim::kMillisecond;
+    a.key = flow.data_key.reversed();
+    a.ack = d.seq + 1448;
+    a.flags.ack = true;
+    flow.acks.push_back(a);
+  }
+  return flow;
+}
+
+void BM_RttExtraction(benchmark::State& state) {
+  const auto flow = synthetic_flow(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto samples = analysis::extract_rtt_samples(flow);
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RttExtraction)->Arg(100)->Arg(10000);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const auto flow = synthetic_flow(2000);
+  for (auto _ : state) {
+    auto f = features::extract_features(flow);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_ClassifierInference(benchmark::State& state) {
+  const auto clf = CongestionClassifier::pretrained();
+  double nd = 0.1;
+  for (auto _ : state) {
+    nd = nd > 0.9 ? 0.1 : nd + 0.01;
+    auto c = clf.classify(nd, nd / 2);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ClassifierInference);
+
+void BM_PcapEncodeDecode(benchmark::State& state) {
+  sim::Packet p;
+  p.key = sim::FlowKey{1, 2, 10, 20};
+  p.seq = 123456;
+  p.ack = 654321;
+  p.payload_bytes = 1448;
+  p.flags.ack = true;
+  for (auto _ : state) {
+    const auto frame = pcap::encode_frame(p);
+    auto decoded = pcap::decode_frame(frame);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_PcapEncodeDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

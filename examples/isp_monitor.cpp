@@ -1,0 +1,65 @@
+// Interconnect monitoring: a miniature Dispute2014-style campaign.
+//
+// An operator (or regulator) runs periodic NDT-style tests from user
+// vantage points through a transit interconnect across a day, classifies
+// each flow, and watches the self-induced fraction collapse during the
+// evening peak when the interconnect is congested — the signal the paper
+// used to detect the 2014 Cogent dispute without any topology knowledge.
+//
+// Build & run:  cmake --build build && ./build/examples/isp_monitor
+#include <cstdio>
+
+#include "core/ccsig.h"
+#include "mlab/dispute2014.h"
+#include "mlab/path.h"
+
+int main() {
+  using namespace ccsig;
+
+  FlowAnalyzer analyzer;  // pretrained classifier
+  sim::Rng rng(2024);
+
+  std::printf("hour-by-hour interconnect health (disputed transit port)\n");
+  std::printf("%-5s %-7s %10s %12s %14s %s\n", "hour", "load", "tests",
+              "mean Mbps", "%self-induced", "assessment");
+
+  for (int hour = 0; hour < 24; hour += 2) {
+    // Demand follows the diurnal curve; the dispute pushes evening peaks
+    // past capacity.
+    const double load = 1.35 * mlab::diurnal_curve(hour);
+    const int tests = 3;
+    int self_count = 0, classified = 0;
+    double tput_sum = 0;
+
+    for (int t = 0; t < tests; ++t) {
+      mlab::PathConfig pc;
+      pc.plan_mbps = 25;
+      pc.background_load = load;
+      pc.seed = rng.next_u64();
+      mlab::PathSim path(pc);
+      path.warmup(sim::from_seconds(2));
+      const mlab::NdtResult ndt = path.run_ndt(sim::from_seconds(8));
+      tput_sum += ndt.throughput_bps / 1e6;
+      if (!ndt.features) continue;
+      ++classified;
+      if (analyzer.classifier().classify(*ndt.features).verdict ==
+          Verdict::kSelfInducedCongestion) {
+        ++self_count;
+      }
+    }
+    const double self_pct =
+        classified ? 100.0 * self_count / classified : 0.0;
+    const char* verdict = classified == 0 ? "(no usable flows)"
+                          : self_pct >= 50.0
+                              ? "healthy: users limited by their plans"
+                              : "ALERT: external congestion dominates";
+    std::printf("%-5d %-7.2f %10d %12.1f %13.0f%% %s\n", hour, load, tests,
+                tput_sum / tests, self_pct, verdict);
+  }
+
+  std::printf(
+      "\nThe evening collapse of the self-induced fraction — with no "
+      "knowledge of user plans or topology — is the paper's dispute "
+      "detector.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: classify what limited a TCP flow, in ~30 lines.
+//
+// We simulate a bulk download that saturates an idle 20 Mbps access link
+// (the classic "you got what you pay for" case), capture it at the server
+// like tcpdump would, and ask the bundled pretrained classifier what kind
+// of congestion the flow experienced.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "analysis/trace_recorder.h"
+#include "core/ccsig.h"
+#include "sim/network.h"
+#include "tcp/tcp_sink.h"
+#include "tcp/tcp_source.h"
+
+int main() {
+  using namespace ccsig;
+
+  // A two-node network: server ----(20 Mbps, 20 ms, 100 ms buffer)---- client.
+  sim::Network net(/*seed=*/1);
+  sim::Node* server = net.add_node("server");
+  sim::Node* client = net.add_node("client");
+  sim::Link::Config link;
+  link.rate_bps = 20e6;
+  link.prop_delay = sim::from_millis(20);
+  link.buffer_bytes = sim::buffer_bytes_for(20e6, /*buffer_ms=*/100);
+  net.connect(server, client, link);
+
+  // tcpdump at the server.
+  analysis::TraceRecorder capture;
+  server->add_tap(&capture);
+
+  // A 10 MB download.
+  const sim::FlowKey key{server->address(), client->address(), 5001, 5002};
+  tcp::TcpSink::Config sink_cfg;
+  sink_cfg.data_key = key;
+  tcp::TcpSink sink(net.sim(), client, sink_cfg);
+  tcp::TcpSource::Config source_cfg;
+  source_cfg.key = key;
+  source_cfg.bytes_to_send = 10'000'000;
+  tcp::TcpSource source(net.sim(), server, source_cfg);
+  source.start();
+  net.sim().run_until(sim::from_seconds(30));
+
+  // Diagnose: was the flow limited by congestion it caused itself (its own
+  // bottleneck link), or by a link that was already congested?
+  FlowAnalyzer analyzer;  // uses the bundled pretrained model
+  for (const FlowReport& report : analyzer.analyze(capture.trace())) {
+    std::printf("%s\n", FlowAnalyzer::render(report).c_str());
+    if (report.classification &&
+        report.classification->verdict == Verdict::kSelfInducedCongestion) {
+      std::printf("-> the flow filled an otherwise idle bottleneck: "
+                  "upgrading the plan would help.\n");
+    } else if (report.classification) {
+      std::printf("-> the path was already congested: the user's plan is "
+                  "not the limit.\n");
+    }
+  }
+  return 0;
+}

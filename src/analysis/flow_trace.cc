@@ -1,0 +1,97 @@
+#include "analysis/flow_trace.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ccsig::analysis {
+
+std::uint64_t FlowTrace::acked_bytes() const {
+  std::uint64_t max_ack = 0;
+  for (const auto& r : acks) max_ack = std::max(max_ack, r.ack);
+  // Wire sequence 0 is the SYN; payload starts at 1.
+  return max_ack > 1 ? max_ack - 1 : 0;
+}
+
+sim::Time FlowTrace::start_time() const {
+  sim::Time t = INT64_MAX;
+  if (!data.empty()) t = std::min(t, data.front().time);
+  if (!acks.empty()) t = std::min(t, acks.front().time);
+  return t == INT64_MAX ? 0 : t;
+}
+
+sim::Time FlowTrace::end_time() const {
+  sim::Time t = 0;
+  if (!data.empty()) t = std::max(t, data.back().time);
+  if (!acks.empty()) t = std::max(t, acks.back().time);
+  return t;
+}
+
+std::vector<FlowTrace> split_flows(const Trace& trace) {
+  struct Halves {
+    std::vector<TraceRecord> forward;   // canonical-key direction
+    std::vector<TraceRecord> backward;
+    std::uint64_t fwd_payload = 0;
+    std::uint64_t bwd_payload = 0;
+    sim::FlowKey canonical;
+  };
+  // Canonicalize both directions of a connection to one map slot.
+  auto canonical_of = [](const sim::FlowKey& k) {
+    const sim::FlowKey rev = k.reversed();
+    const bool keep = (k.src_addr != rev.src_addr)
+                          ? k.src_addr < rev.src_addr
+                          : k.src_port <= rev.src_port;
+    return keep ? k : rev;
+  };
+
+  std::unordered_map<sim::FlowKey, Halves, sim::FlowKeyHash> flows;
+  for (const auto& r : trace) {
+    const sim::FlowKey canon = canonical_of(r.key);
+    Halves& h = flows[canon];
+    h.canonical = canon;
+    if (r.key == canon) {
+      h.forward.push_back(r);
+      h.fwd_payload += r.payload_bytes;
+    } else {
+      h.backward.push_back(r);
+      h.bwd_payload += r.payload_bytes;
+    }
+  }
+
+  std::vector<FlowTrace> out;
+  out.reserve(flows.size());
+  for (auto& [key, h] : flows) {
+    if (h.fwd_payload == 0 && h.bwd_payload == 0) continue;
+    FlowTrace ft;
+    if (h.fwd_payload >= h.bwd_payload) {
+      ft.data_key = h.canonical;
+      ft.data = std::move(h.forward);
+      ft.acks = std::move(h.backward);
+    } else {
+      ft.data_key = h.canonical.reversed();
+      ft.data = std::move(h.backward);
+      ft.acks = std::move(h.forward);
+    }
+    out.push_back(std::move(ft));
+  }
+  // Deterministic order: by first activity.
+  std::sort(out.begin(), out.end(), [](const FlowTrace& a, const FlowTrace& b) {
+    return a.start_time() < b.start_time();
+  });
+  return out;
+}
+
+FlowTrace extract_flow(const Trace& trace, const sim::FlowKey& data_key) {
+  FlowTrace ft;
+  ft.data_key = data_key;
+  const sim::FlowKey rev = data_key.reversed();
+  for (const auto& r : trace) {
+    if (r.key == data_key) {
+      ft.data.push_back(r);
+    } else if (r.key == rev) {
+      ft.acks.push_back(r);
+    }
+  }
+  return ft;
+}
+
+}  // namespace ccsig::analysis

@@ -1,0 +1,40 @@
+// Per-connection view of a capture: splits a mixed trace into flows and,
+// within each flow, into the data direction (server → client) and the ACK
+// direction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/trace_record.h"
+#include "sim/packet.h"
+
+namespace ccsig::analysis {
+
+/// One TCP connection as seen at the capture point. `data_key` is the
+/// direction that carried payload (for a download: server → client).
+struct FlowTrace {
+  sim::FlowKey data_key;
+  std::vector<TraceRecord> data;  // payload-bearing + SYN/FIN from server
+  std::vector<TraceRecord> acks;  // packets in the reverse direction
+
+  /// Total unique payload bytes acknowledged (highest ACK − 1 for our ISN
+  /// convention), i.e. goodput numerator.
+  std::uint64_t acked_bytes() const;
+
+  /// Time of the first and last record across both directions.
+  sim::Time start_time() const;
+  sim::Time end_time() const;
+  sim::Duration duration() const { return end_time() - start_time(); }
+};
+
+/// Groups a raw trace into connections. A connection's canonical (data)
+/// direction is chosen as the side that sent more payload bytes. Flows with
+/// no payload at all are dropped.
+std::vector<FlowTrace> split_flows(const Trace& trace);
+
+/// Extracts a single flow matching `data_key` (exact direction match);
+/// returns an empty FlowTrace if absent.
+FlowTrace extract_flow(const Trace& trace, const sim::FlowKey& data_key);
+
+}  // namespace ccsig::analysis

@@ -1,0 +1,86 @@
+#include "analysis/from_pcap.h"
+
+#include <unordered_map>
+
+#include "pcap/headers.h"
+
+namespace ccsig::analysis {
+namespace {
+
+/// Extends wrapped 32-bit wire values into a monotonically consistent 64-bit
+/// space. Tracks the current epoch per direction; a backward jump of more
+/// than half the sequence space is a wrap.
+class SeqUnwrapper {
+ public:
+  std::uint64_t unwrap(std::uint32_t v32) {
+    const std::uint64_t candidate = epoch_ + v32;
+    if (!have_last_) {
+      have_last_ = true;
+      last_ = candidate;
+      return candidate;
+    }
+    std::uint64_t best = candidate;
+    // Consider the neighbouring epochs and pick the value closest to the
+    // last one seen (handles both wraps and in-window retransmissions).
+    if (candidate + (1ull << 32) >= last_ &&
+        diff(candidate + (1ull << 32)) < diff(best)) {
+      best = candidate + (1ull << 32);
+    }
+    if (candidate >= (1ull << 32) && diff(candidate - (1ull << 32)) < diff(best)) {
+      best = candidate - (1ull << 32);
+    }
+    if (best > last_ && best - last_ < (1ull << 31)) last_ = best;
+    epoch_ = best & ~0xFFFFFFFFull;
+    return best;
+  }
+
+ private:
+  std::uint64_t diff(std::uint64_t v) const {
+    return v > last_ ? v - last_ : last_ - v;
+  }
+  std::uint64_t epoch_ = 0;
+  std::uint64_t last_ = 0;
+  bool have_last_ = false;
+};
+
+sim::Address from_ipv4(std::uint32_t ip) { return ip & 0x00FFFFFFu; }
+
+}  // namespace
+
+Trace trace_from_records(const std::vector<pcap::PcapRecord>& records) {
+  Trace out;
+  out.reserve(records.size());
+  struct DirState {
+    SeqUnwrapper seq;
+    SeqUnwrapper ack;
+  };
+  std::unordered_map<sim::FlowKey, DirState, sim::FlowKeyHash> dirs;
+
+  for (const auto& rec : records) {
+    auto decoded = pcap::decode_frame(rec.data);
+    if (!decoded) continue;
+    TraceRecord r;
+    r.time = rec.timestamp;
+    r.key.src_addr = from_ipv4(decoded->src_ip);
+    r.key.dst_addr = from_ipv4(decoded->dst_ip);
+    r.key.src_port = decoded->src_port;
+    r.key.dst_port = decoded->dst_port;
+    DirState& st = dirs[r.key];
+    r.seq = st.seq.unwrap(decoded->seq32);
+    r.ack = decoded->ack ? st.ack.unwrap(decoded->ack32) : 0;
+    r.payload_bytes = decoded->payload_bytes;
+    r.window = static_cast<std::uint32_t>(decoded->window) << 8;  // wscale 8
+    r.flags.syn = decoded->syn;
+    r.flags.ack = decoded->ack;
+    r.flags.fin = decoded->fin;
+    r.flags.rst = decoded->rst;
+    out.push_back(r);
+  }
+  return out;
+}
+
+Trace trace_from_pcap(const std::string& path) {
+  return trace_from_records(pcap::read_all(path));
+}
+
+}  // namespace ccsig::analysis

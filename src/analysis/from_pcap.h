@@ -1,0 +1,20 @@
+// Bridges pcap files into the analysis representation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/trace_record.h"
+#include "pcap/pcap_file.h"
+
+namespace ccsig::analysis {
+
+/// Decodes captured frames into TraceRecords, unwrapping 32-bit wire
+/// sequence/ack numbers into 64-bit stream offsets (per flow direction).
+/// Non-TCP/IPv4 records are skipped.
+Trace trace_from_records(const std::vector<pcap::PcapRecord>& records);
+
+/// Convenience: read + decode a pcap file.
+Trace trace_from_pcap(const std::string& path);
+
+}  // namespace ccsig::analysis

@@ -1,0 +1,69 @@
+#include "analysis/rtt_estimator.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace ccsig::analysis {
+namespace {
+
+struct Outstanding {
+  sim::Time sent_at;
+  bool tainted;  // retransmitted range: excluded per Karn's rule
+};
+
+}  // namespace
+
+std::vector<RttSample> extract_rtt_samples(const FlowTrace& flow,
+                                           sim::Time cutoff) {
+  // Merge the two directions into one time-ordered walk. Both vectors are
+  // individually time-sorted (capture order).
+  std::vector<RttSample> samples;
+  std::map<std::uint64_t, Outstanding> pending;  // seq_end -> info
+  std::uint64_t highest_sent = 0;  // highest seq_end ever transmitted
+
+  std::size_t di = 0, ai = 0;
+  while (di < flow.data.size() || ai < flow.acks.size()) {
+    const bool take_data =
+        ai >= flow.acks.size() ||
+        (di < flow.data.size() && flow.data[di].time <= flow.acks[ai].time);
+    if (take_data) {
+      const TraceRecord& d = flow.data[di++];
+      if (d.payload_bytes == 0) continue;  // SYN / pure control
+      const std::uint64_t seq_end = d.seq + d.payload_bytes;
+      const bool is_retx = seq_end <= highest_sent;
+      auto [it, inserted] = pending.emplace(
+          seq_end, Outstanding{d.time, is_retx});
+      if (!inserted) {
+        // Same range sent again: taint and refresh timestamp.
+        it->second.tainted = true;
+        it->second.sent_at = d.time;
+      } else if (is_retx) {
+        it->second.tainted = true;
+      }
+      highest_sent = std::max(highest_sent, seq_end);
+      continue;
+    }
+    const TraceRecord& a = flow.acks[ai++];
+    if (!a.flags.ack || a.flags.syn) continue;
+    if (a.time > cutoff) break;
+    // Find the newest covered segment; prefer the exact boundary match the
+    // ACK names, falling back to the highest boundary below it (delayed or
+    // cumulative ACKs).
+    auto it = pending.upper_bound(a.ack);
+    if (it == pending.begin()) continue;  // duplicate ACK, nothing covered
+    --it;
+    if (!it->second.tainted) {
+      samples.push_back(RttSample{a.time, a.time - it->second.sent_at, it->first});
+    }
+    // Everything at or below the ACK is now accounted for.
+    pending.erase(pending.begin(), std::next(it));
+  }
+  return samples;
+}
+
+std::vector<RttSample> extract_rtt_samples(const FlowTrace& flow) {
+  return extract_rtt_samples(flow, std::numeric_limits<sim::Time>::max());
+}
+
+}  // namespace ccsig::analysis

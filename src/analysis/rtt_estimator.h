@@ -1,0 +1,30 @@
+// Per-packet RTT extraction from a server-side capture.
+//
+// An RTT sample pairs a downstream data segment with the ACK that covers it
+// (paper §3.2). Retransmitted sequence ranges never produce samples (Karn's
+// rule), matching what tshark-style trace analysis yields.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/flow_trace.h"
+#include "sim/time.h"
+
+namespace ccsig::analysis {
+
+struct RttSample {
+  sim::Time at = 0;        // when the ACK arrived at the server
+  sim::Duration rtt = 0;
+  std::uint64_t acked_seq = 0;  // stream offset the sample belongs to
+};
+
+/// Extracts all RTT samples of a flow, in time order.
+std::vector<RttSample> extract_rtt_samples(const FlowTrace& flow);
+
+/// Extracts samples whose ACK arrived at or before `cutoff` — used to keep
+/// only the slow-start portion.
+std::vector<RttSample> extract_rtt_samples(const FlowTrace& flow,
+                                           sim::Time cutoff);
+
+}  // namespace ccsig::analysis

@@ -1,0 +1,72 @@
+#include "analysis/slow_start.h"
+
+#include <algorithm>
+
+namespace ccsig::analysis {
+
+SlowStartInfo detect_slow_start(const FlowTrace& flow) {
+  SlowStartInfo info;
+  std::uint64_t highest_sent = 0;
+  sim::Time retx_at = -1;
+  for (const auto& d : flow.data) {
+    if (d.payload_bytes == 0) continue;
+    const std::uint64_t seq_end = d.seq + d.payload_bytes;
+    if (seq_end <= highest_sent) {
+      retx_at = d.time;
+      break;
+    }
+    highest_sent = seq_end;
+  }
+  if (retx_at >= 0) {
+    info.end_time = retx_at;
+    info.ended_by_retransmission = true;
+  } else {
+    info.end_time = flow.end_time();
+    info.ended_by_retransmission = false;
+  }
+  std::uint64_t max_ack = 0;
+  for (const auto& a : flow.acks) {
+    if (a.time > info.end_time) break;
+    max_ack = std::max(max_ack, a.ack);
+  }
+  info.acked_bytes = max_ack > 1 ? max_ack - 1 : 0;
+  return info;
+}
+
+std::optional<double> slow_start_throughput_bps(const FlowTrace& flow,
+                                                const SlowStartInfo& ss) {
+  const sim::Time start = flow.start_time();
+  if (ss.end_time <= start || ss.acked_bytes == 0) return std::nullopt;
+  // Delivery rate over the SECOND HALF of the slow-start window. The whole-
+  // window mean is dragged far below link rate by the exponential ramp; by
+  // the later rounds a flow that saturates its bottleneck delivers at
+  // exactly the bottleneck rate, which is what capacity-threshold labeling
+  // needs to compare against.
+  const sim::Time mid = start + (ss.end_time - start) / 2;
+  std::uint64_t ack_mid = 0;
+  std::uint64_t ack_end = 0;
+  sim::Time last_advance = mid;
+  for (const auto& a : flow.acks) {
+    if (a.time > ss.end_time) break;
+    if (a.ack > ack_end) {
+      ack_end = a.ack;
+      if (a.time > mid) last_advance = a.time;
+    }
+    if (a.time <= mid) ack_mid = std::max(ack_mid, a.ack);
+  }
+  // The window ends at the *last cumulative-ACK advance*: after the packet
+  // loss that terminates slow start, ACKs stall for a round trip until the
+  // retransmission; counting that stall would deflate the rate.
+  if (ack_end <= ack_mid || last_advance <= mid) return 0.0;
+  return static_cast<double>(ack_end - ack_mid) * 8.0 /
+         sim::to_seconds(last_advance - mid);
+}
+
+std::optional<double> flow_throughput_bps(const FlowTrace& flow) {
+  const sim::Duration dur = flow.duration();
+  const std::uint64_t bytes = flow.acked_bytes();
+  if (dur <= 0 || bytes == 0) return std::nullopt;
+  return static_cast<double>(bytes) * 8.0 / sim::to_seconds(dur);
+}
+
+}  // namespace ccsig::analysis

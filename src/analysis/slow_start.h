@@ -1,0 +1,38 @@
+// Slow-start boundary detection from the server-side trace.
+//
+// The paper defines the slow-start period as everything up to the first
+// retransmission or fast retransmission (§2.3). From a capture, both appear
+// as a data segment whose sequence range was already transmitted.
+#pragma once
+
+#include <optional>
+
+#include "analysis/flow_trace.h"
+#include "sim/time.h"
+
+namespace ccsig::analysis {
+
+struct SlowStartInfo {
+  /// Time of the first retransmitted data segment; the slow-start RTT
+  /// window is [flow start, end_time).
+  sim::Time end_time = 0;
+  /// True when a retransmission was found; false means the flow never
+  /// retransmitted and `end_time` is the end of the trace.
+  bool ended_by_retransmission = false;
+  /// Unique payload bytes cumulatively ACKed by `end_time` — the basis of
+  /// the slow-start throughput used for labeling.
+  std::uint64_t acked_bytes = 0;
+};
+
+/// Locates the end of the first slow-start period.
+SlowStartInfo detect_slow_start(const FlowTrace& flow);
+
+/// Mean downstream throughput (bits/s) achieved during slow start, measured
+/// from cumulative ACK progress. Returns nullopt when the window is empty.
+std::optional<double> slow_start_throughput_bps(const FlowTrace& flow,
+                                                const SlowStartInfo& ss);
+
+/// Whole-flow mean throughput in bits/s (acked bytes over duration).
+std::optional<double> flow_throughput_bps(const FlowTrace& flow);
+
+}  // namespace ccsig::analysis

@@ -1,0 +1,57 @@
+#include "analysis/throughput.h"
+
+#include <algorithm>
+
+namespace ccsig::analysis {
+
+std::vector<ThroughputPoint> throughput_series(const FlowTrace& flow,
+                                               sim::Duration window) {
+  std::vector<ThroughputPoint> out;
+  if (window <= 0 || flow.acks.empty()) return out;
+  const sim::Time start = flow.start_time();
+  const sim::Time end = flow.end_time();
+  const auto n_windows =
+      static_cast<std::size_t>((end - start) / window + 1);
+  out.resize(n_windows);
+  for (std::size_t i = 0; i < n_windows; ++i) {
+    out[i].window_start = start + static_cast<sim::Duration>(i) * window;
+  }
+  // Walk ACKs once, attributing progress to the window it lands in.
+  std::uint64_t max_ack = 0;
+  for (const auto& a : flow.acks) {
+    if (a.ack <= max_ack) continue;
+    const std::uint64_t progress = a.ack - std::max<std::uint64_t>(max_ack, 1);
+    max_ack = a.ack;
+    const auto idx = static_cast<std::size_t>((a.time - start) / window);
+    if (idx < out.size()) {
+      out[idx].bps += static_cast<double>(progress) * 8.0;
+    }
+  }
+  const double window_s = sim::to_seconds(window);
+  for (auto& p : out) p.bps /= window_s;
+  return out;
+}
+
+double peak_windowed_throughput_bps(const FlowTrace& flow,
+                                    sim::Duration window) {
+  double peak = 0;
+  for (const auto& p : throughput_series(flow, window)) {
+    peak = std::max(peak, p.bps);
+  }
+  return peak;
+}
+
+double throughput_between_bps(const FlowTrace& flow, sim::Time from,
+                              sim::Time to) {
+  if (to <= from) return 0.0;
+  std::uint64_t ack_from = 0, ack_to = 0;
+  for (const auto& a : flow.acks) {
+    if (a.time <= from) ack_from = std::max(ack_from, a.ack);
+    if (a.time <= to) ack_to = std::max(ack_to, a.ack);
+  }
+  if (ack_to <= ack_from) return 0.0;
+  return static_cast<double>(ack_to - ack_from) * 8.0 /
+         sim::to_seconds(to - from);
+}
+
+}  // namespace ccsig::analysis

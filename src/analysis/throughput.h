@@ -1,0 +1,31 @@
+// Windowed throughput series from a flow trace — the view NDT/Web100
+// reports in 5 ms intervals, and what Figure 6-style time series plot.
+#pragma once
+
+#include <vector>
+
+#include "analysis/flow_trace.h"
+#include "sim/time.h"
+
+namespace ccsig::analysis {
+
+struct ThroughputPoint {
+  sim::Time window_start = 0;
+  double bps = 0;  // delivery rate (ACK progress) in that window
+};
+
+/// Cumulative-ACK progress bucketed into fixed windows across the flow's
+/// lifetime. Windows with no ACK progress report 0.
+std::vector<ThroughputPoint> throughput_series(const FlowTrace& flow,
+                                               sim::Duration window);
+
+/// Peak windowed delivery rate — a robust "what could the path carry"
+/// measure for short flows.
+double peak_windowed_throughput_bps(const FlowTrace& flow,
+                                    sim::Duration window);
+
+/// Delivery rate between two absolute times (ACK progress over the span).
+double throughput_between_bps(const FlowTrace& flow, sim::Time from,
+                              sim::Time to);
+
+}  // namespace ccsig::analysis

@@ -1,0 +1,25 @@
+// The normalized packet-observation record all analysis code consumes,
+// whether it came from a live simulator tap or from a pcap file.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/packet.h"
+#include "sim/time.h"
+
+namespace ccsig::analysis {
+
+struct TraceRecord {
+  sim::Time time = 0;
+  sim::FlowKey key;
+  std::uint64_t seq = 0;   // 64-bit stream offset (unwrapped)
+  std::uint64_t ack = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t window = 0;
+  sim::TcpFlags flags;
+};
+
+using Trace = std::vector<TraceRecord>;
+
+}  // namespace ccsig::analysis

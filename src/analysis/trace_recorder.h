@@ -1,0 +1,31 @@
+// In-memory tcpdump: a TraceSink that appends to a Trace.
+#pragma once
+
+#include "analysis/trace_record.h"
+#include "sim/trace.h"
+
+namespace ccsig::analysis {
+
+class TraceRecorder : public sim::TraceSink {
+ public:
+  void on_packet(sim::Time t, const sim::Packet& p) override {
+    TraceRecord r;
+    r.time = t;
+    r.key = p.key;
+    r.seq = p.seq;
+    r.ack = p.ack;
+    r.payload_bytes = p.payload_bytes;
+    r.window = p.window;
+    r.flags = p.flags;
+    trace_.push_back(r);
+  }
+
+  const Trace& trace() const { return trace_; }
+  Trace take() { return std::move(trace_); }
+  void clear() { trace_.clear(); }
+
+ private:
+  Trace trace_;
+};
+
+}  // namespace ccsig::analysis

@@ -1,0 +1,59 @@
+#include "core/analyzer.h"
+
+#include <sstream>
+
+#include "analysis/from_pcap.h"
+#include "analysis/slow_start.h"
+
+namespace ccsig {
+
+FlowReport FlowAnalyzer::analyze_flow(const analysis::FlowTrace& flow,
+                                      const features::ExtractOptions& opt) const {
+  FlowReport report;
+  report.data_key = flow.data_key;
+  report.duration = flow.duration();
+  report.data_packets = flow.data.size();
+  report.throughput_bps = analysis::flow_throughput_bps(flow).value_or(0.0);
+  report.features = features::extract_features(flow, opt);
+  if (report.features) {
+    report.classification = classifier_.classify(*report.features);
+    if (report.classification->verdict == Verdict::kSelfInducedCongestion) {
+      report.estimated_capacity_bps =
+          report.features->slow_start_throughput_bps;
+    }
+  }
+  return report;
+}
+
+std::vector<FlowReport> FlowAnalyzer::analyze(
+    const analysis::Trace& trace, const features::ExtractOptions& opt) const {
+  std::vector<FlowReport> reports;
+  for (const analysis::FlowTrace& flow : analysis::split_flows(trace)) {
+    reports.push_back(analyze_flow(flow, opt));
+  }
+  return reports;
+}
+
+std::vector<FlowReport> FlowAnalyzer::analyze_pcap(
+    const std::string& path, const features::ExtractOptions& opt) const {
+  return analyze(analysis::trace_from_pcap(path), opt);
+}
+
+std::string FlowAnalyzer::render(const FlowReport& r) {
+  std::ostringstream os;
+  os.precision(3);
+  os << r.data_key.src_addr << ":" << r.data_key.src_port << " -> "
+     << r.data_key.dst_addr << ":" << r.data_key.dst_port << "  "
+     << r.throughput_bps / 1e6 << " Mbps over "
+     << sim::to_seconds(r.duration) << " s";
+  if (r.classification) {
+    os << "  => " << to_string(r.classification->verdict) << " (confidence "
+       << r.classification->confidence << ", norm_diff "
+       << r.features->norm_diff << ", cov " << r.features->cov << ")";
+  } else {
+    os << "  => unclassifiable (insufficient slow-start RTT samples)";
+  }
+  return os.str();
+}
+
+}  // namespace ccsig

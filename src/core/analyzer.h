@@ -1,0 +1,59 @@
+// End-to-end flow diagnosis: capture (live trace or pcap file) -> per-flow
+// features -> congestion verdict.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/flow_trace.h"
+#include "analysis/trace_record.h"
+#include "core/classifier.h"
+#include "features/extractor.h"
+
+namespace ccsig {
+
+/// Everything the analyzer can say about one TCP flow in a capture.
+struct FlowReport {
+  sim::FlowKey data_key;  // the payload-carrying direction
+  std::optional<features::FlowFeatures> features;
+  std::optional<Classification> classification;  // set when features valid
+  double throughput_bps = 0;
+  sim::Duration duration = 0;
+  std::size_t data_packets = 0;
+  /// For flows classified self-induced, the late-slow-start delivery rate
+  /// is a bottleneck-capacity estimate (paper §2.3: slow-start throughput
+  /// "is indicative of the capacity of the bottleneck link during a
+  /// self-induced congestion event"). 0 otherwise.
+  double estimated_capacity_bps = 0;
+};
+
+class FlowAnalyzer {
+ public:
+  /// Uses the bundled pretrained model.
+  FlowAnalyzer() : classifier_(CongestionClassifier::pretrained()) {}
+  explicit FlowAnalyzer(CongestionClassifier classifier)
+      : classifier_(std::move(classifier)) {}
+
+  /// Analyzes every flow in a mixed trace.
+  std::vector<FlowReport> analyze(const analysis::Trace& trace,
+                                  const features::ExtractOptions& opt = {}) const;
+
+  /// Analyzes a single known flow.
+  FlowReport analyze_flow(const analysis::FlowTrace& flow,
+                          const features::ExtractOptions& opt = {}) const;
+
+  /// Reads a tcpdump-format capture and analyzes it.
+  std::vector<FlowReport> analyze_pcap(const std::string& path,
+                                       const features::ExtractOptions& opt = {}) const;
+
+  const CongestionClassifier& classifier() const { return classifier_; }
+
+  /// One-line human-readable rendering of a report.
+  static std::string render(const FlowReport& report);
+
+ private:
+  CongestionClassifier classifier_;
+};
+
+}  // namespace ccsig

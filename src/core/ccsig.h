@@ -1,0 +1,31 @@
+// Umbrella header for the ccsig library.
+//
+// ccsig reproduces "TCP Congestion Signatures" (Sundaresan, Dhamdhere,
+// Allman, claffy — IMC 2017): given a server-side view of a TCP flow, decide
+// whether its throughput was limited by congestion it induced itself (an
+// otherwise-idle bottleneck such as the user's access link) or by a link
+// that was congested before the flow started (such as a disputed
+// interconnect).
+//
+// Typical use:
+//
+//   #include "core/ccsig.h"
+//
+//   ccsig::FlowAnalyzer analyzer;                       // pretrained model
+//   for (const auto& report : analyzer.analyze_pcap("capture.pcap")) {
+//     std::cout << ccsig::FlowAnalyzer::render(report) << "\n";
+//   }
+//
+// Retraining on your own labeled data:
+//
+//   ccsig::ml::Dataset data({"norm_diff", "cov"});
+//   data.add({0.82, 0.45}, 1);  // self-induced
+//   data.add({0.21, 0.06}, 0);  // external
+//   ccsig::CongestionClassifier clf;
+//   clf.train(data);
+//   clf.save("my_model.tree");
+#pragma once
+
+#include "core/analyzer.h"       // IWYU pragma: export
+#include "core/classifier.h"     // IWYU pragma: export
+#include "features/extractor.h"  // IWYU pragma: export

@@ -1,0 +1,66 @@
+// The library's headline API: classify what kind of congestion a TCP flow
+// experienced, from its slow-start RTT signature (the paper's contribution).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "features/extractor.h"
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+
+namespace ccsig {
+
+/// What limited the flow.
+enum class Verdict {
+  kExternalCongestion = 0,  // the path was already congested (e.g. a
+                            // disputed interconnect): not the user's plan
+  kSelfInducedCongestion = 1,  // the flow filled an otherwise idle
+                               // bottleneck (e.g. the last-mile link)
+};
+
+const char* to_string(Verdict v);
+
+struct Classification {
+  Verdict verdict = Verdict::kSelfInducedCongestion;
+  /// Leaf purity of the decision path — a rough confidence in [0.5, 1].
+  double confidence = 0;
+};
+
+/// Depth-4 CART decision tree over (NormDiff, CoV), as in the paper (§3.2).
+class CongestionClassifier {
+ public:
+  /// An untrained classifier; call train() or use pretrained()/load().
+  CongestionClassifier() = default;
+
+  /// The model shipped with the library, trained on the full controlled-
+  /// testbed sweep at congestion threshold 0.8.
+  static CongestionClassifier pretrained();
+
+  /// Trains on a dataset whose rows are (norm_diff, cov) and whose labels
+  /// use the CongestionClass encoding (0 external, 1 self).
+  void train(const ml::Dataset& data, int max_depth = 4);
+
+  bool trained() const { return tree_.trained(); }
+
+  Classification classify(double norm_diff, double cov) const;
+  Classification classify(const features::FlowFeatures& f) const {
+    return classify(f.norm_diff, f.cov);
+  }
+
+  /// Text round trip (same format as ml::DecisionTree).
+  std::string serialize() const { return tree_.to_text(); }
+  static CongestionClassifier deserialize(const std::string& text);
+  void save(const std::string& path) const;
+  static CongestionClassifier load(const std::string& path);
+
+  /// Human-readable if/else rendering of the tree.
+  std::string describe() const;
+
+  const ml::DecisionTree& tree() const { return tree_; }
+
+ private:
+  ml::DecisionTree tree_;
+};
+
+}  // namespace ccsig

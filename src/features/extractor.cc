@@ -1,0 +1,44 @@
+#include "features/extractor.h"
+
+#include <vector>
+
+namespace ccsig::features {
+
+std::optional<FlowFeatures> extract_features(const analysis::FlowTrace& flow,
+                                             const ExtractOptions& opt) {
+  if (flow.data.empty() || flow.acks.empty()) return std::nullopt;
+
+  const analysis::SlowStartInfo ss = analysis::detect_slow_start(flow);
+  if (opt.require_retransmission && !ss.ended_by_retransmission) {
+    return std::nullopt;
+  }
+
+  const auto samples = analysis::extract_rtt_samples(flow, ss.end_time);
+  if (samples.size() < opt.min_rtt_samples) return std::nullopt;
+
+  std::vector<double> rtts_ms;
+  rtts_ms.reserve(samples.size());
+  for (const auto& s : samples) rtts_ms.push_back(sim::to_millis(s.rtt));
+
+  const auto nd = norm_diff(rtts_ms);
+  const auto cv = coefficient_of_variation(rtts_ms);
+  if (!nd || !cv) return std::nullopt;
+
+  FlowFeatures f;
+  f.norm_diff = *nd;
+  f.cov = *cv;
+  f.rtt_slope = normalized_rtt_slope(rtts_ms).value_or(0.0);
+  f.rtt_iqr = normalized_iqr(rtts_ms).value_or(0.0);
+  f.rtt_samples = rtts_ms.size();
+  const Summary s = summarize(rtts_ms);
+  f.min_rtt_ms = s.min;
+  f.max_rtt_ms = s.max;
+  f.slow_start_throughput_bps =
+      analysis::slow_start_throughput_bps(flow, ss).value_or(0.0);
+  f.flow_throughput_bps = analysis::flow_throughput_bps(flow).value_or(0.0);
+  f.slow_start_ended_by_retransmission = ss.ended_by_retransmission;
+  f.flow_duration = flow.duration();
+  return f;
+}
+
+}  // namespace ccsig::features

@@ -1,0 +1,49 @@
+// Flow trace → congestion-signature feature vector.
+#pragma once
+
+#include <optional>
+
+#include "analysis/flow_trace.h"
+#include "analysis/rtt_estimator.h"
+#include "analysis/slow_start.h"
+#include "features/metrics.h"
+
+namespace ccsig::features {
+
+/// Minimum slow-start RTT samples required for statistical validity
+/// (paper §3.2 discards flows with fewer than 10).
+inline constexpr std::size_t kMinRttSamples = 10;
+
+/// The classifier's inputs, plus context useful for labeling and reporting.
+struct FlowFeatures {
+  double norm_diff = 0;   // (max-min)/max RTT during slow start
+  double cov = 0;         // stddev/mean RTT during slow start
+  // Extended features (not used by the paper's classifier; for ablations).
+  double rtt_slope = 0;
+  double rtt_iqr = 0;
+  // Context.
+  std::size_t rtt_samples = 0;
+  double min_rtt_ms = 0;
+  double max_rtt_ms = 0;
+  double slow_start_throughput_bps = 0;
+  double flow_throughput_bps = 0;
+  bool slow_start_ended_by_retransmission = false;
+  sim::Duration flow_duration = 0;
+};
+
+struct ExtractOptions {
+  std::size_t min_rtt_samples = kMinRttSamples;
+  /// Require the slow-start boundary to be an actual retransmission. The
+  /// paper's definition implies it; flows that never retransmit never
+  /// experienced (either kind of) congestion. Off by default because the
+  /// M-Lab filters already handle it via Web100 state.
+  bool require_retransmission = false;
+};
+
+/// Extracts the paper's features from a flow, or nullopt when the flow
+/// fails the validity filters (too few slow-start RTT samples, no data,
+/// optionally no retransmission).
+std::optional<FlowFeatures> extract_features(const analysis::FlowTrace& flow,
+                                             const ExtractOptions& opt = {});
+
+}  // namespace ccsig::features

@@ -1,0 +1,81 @@
+#include "features/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccsig::features {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0;
+  for (double v : values) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return s;
+}
+
+std::optional<double> norm_diff(std::span<const double> rtts) {
+  if (rtts.empty()) return std::nullopt;
+  const Summary s = summarize(rtts);
+  if (s.max <= 0) return std::nullopt;
+  return (s.max - s.min) / s.max;
+}
+
+std::optional<double> coefficient_of_variation(std::span<const double> rtts) {
+  if (rtts.empty()) return std::nullopt;
+  const Summary s = summarize(rtts);
+  if (s.mean <= 0) return std::nullopt;
+  return s.stddev / s.mean;
+}
+
+std::optional<double> normalized_rtt_slope(std::span<const double> rtts) {
+  const std::size_t n = rtts.size();
+  if (n < 2) return std::nullopt;
+  const Summary s = summarize(rtts);
+  if (s.mean <= 0) return std::nullopt;
+  // OLS slope of rtt against index.
+  const double x_mean = static_cast<double>(n - 1) / 2.0;
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = static_cast<double>(i) - x_mean;
+    num += dx * (rtts[i] - s.mean);
+    den += dx * dx;
+  }
+  if (den == 0) return std::nullopt;
+  return (num / den) * static_cast<double>(n) / s.mean;
+}
+
+std::optional<double> normalized_iqr(std::span<const double> rtts) {
+  if (rtts.size() < 4) return std::nullopt;
+  std::vector<double> sorted(rtts.begin(), rtts.end());
+  std::sort(sorted.begin(), sorted.end());
+  auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size()) return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+  };
+  const double median = quantile(0.5);
+  if (median <= 0) return std::nullopt;
+  return (quantile(0.75) - quantile(0.25)) / median;
+}
+
+std::vector<double> to_millis(std::span<const sim::Duration> rtts) {
+  std::vector<double> out;
+  out.reserve(rtts.size());
+  for (sim::Duration d : rtts) out.push_back(sim::to_millis(d));
+  return out;
+}
+
+}  // namespace ccsig::features

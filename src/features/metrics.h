@@ -1,0 +1,47 @@
+// The paper's two congestion-signature metrics, plus descriptive statistics
+// used by extended/ablation features.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ccsig::features {
+
+/// Descriptive statistics of a sample set.
+struct Summary {
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;  // population standard deviation
+  std::size_t count = 0;
+};
+
+Summary summarize(std::span<const double> values);
+
+/// NormDiff (paper §2.3): (max − min) / max of slow-start RTT samples.
+/// Measures the share of the peak RTT contributed by the flow's own
+/// buffer-filling. Returns nullopt for empty input or max == 0.
+std::optional<double> norm_diff(std::span<const double> rtts);
+
+/// CoV (paper §2.3): stddev / mean of slow-start RTT samples. Measures RTT
+/// variability independent of the baseline. Returns nullopt for empty input
+/// or mean == 0.
+std::optional<double> coefficient_of_variation(std::span<const double> rtts);
+
+/// Ordinary-least-squares slope of RTT (ms) against sample index,
+/// normalized by the mean RTT — an extended feature for ablations
+/// (paper §2.3 mentions tracking RTT growth as an alternative).
+std::optional<double> normalized_rtt_slope(std::span<const double> rtts);
+
+/// Interquartile range normalized by the median — robust spread measure
+/// (extended feature).
+std::optional<double> normalized_iqr(std::span<const double> rtts);
+
+/// Converts RTT samples in simulator time to milliseconds.
+std::vector<double> to_millis(std::span<const sim::Duration> rtts);
+
+}  // namespace ccsig::features

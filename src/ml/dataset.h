@@ -1,0 +1,78 @@
+// Tabular labeled dataset for the classifiers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ccsig::ml {
+
+/// Row-major feature matrix with integer class labels.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> feature_names)
+      : feature_names_(std::move(feature_names)) {}
+
+  void add(std::vector<double> row, int label) {
+    if (!feature_names_.empty() && row.size() != feature_names_.size()) {
+      throw std::invalid_argument("row width does not match feature names");
+    }
+    if (!rows_.empty() && row.size() != rows_.front().size()) {
+      throw std::invalid_argument("inconsistent row width");
+    }
+    rows_.push_back(std::move(row));
+    labels_.push_back(label);
+  }
+
+  std::size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  std::size_t num_features() const {
+    return rows_.empty() ? feature_names_.size() : rows_.front().size();
+  }
+
+  const std::vector<double>& row(std::size_t i) const { return rows_.at(i); }
+  int label(std::size_t i) const { return labels_.at(i); }
+  const std::vector<std::vector<double>>& rows() const { return rows_; }
+  const std::vector<int>& labels() const { return labels_; }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+  /// Number of distinct classes (max label + 1).
+  int num_classes() const {
+    int m = 0;
+    for (int l : labels_) m = l >= m ? l + 1 : m;
+    return m;
+  }
+
+  /// Subset by row indices.
+  Dataset subset(std::span<const std::size_t> indices) const {
+    Dataset out(feature_names_);
+    for (std::size_t i : indices) out.add(rows_.at(i), labels_.at(i));
+    return out;
+  }
+
+  /// Appends all rows of `other` (feature names must be compatible).
+  void append(const Dataset& other) {
+    for (std::size_t i = 0; i < other.size(); ++i) {
+      add(other.row(i), other.label(i));
+    }
+  }
+
+  /// Per-class row counts.
+  std::vector<std::size_t> class_counts() const {
+    std::vector<std::size_t> counts(static_cast<std::size_t>(num_classes()), 0);
+    for (int l : labels_) ++counts[static_cast<std::size_t>(l)];
+    return counts;
+  }
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> labels_;
+};
+
+}  // namespace ccsig::ml

@@ -1,0 +1,251 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace ccsig::ml {
+namespace {
+
+double gini(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  for (std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    g -= p * p;
+  }
+  return g;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("cannot fit on empty dataset");
+  nodes_.clear();
+  n_classes_ = data.num_classes();
+  std::vector<std::size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  build(data, indices, 0);
+}
+
+int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& indices,
+                        int depth) {
+  // Class distribution at this node.
+  std::vector<std::size_t> counts(static_cast<std::size_t>(n_classes_), 0);
+  for (std::size_t i : indices) ++counts[static_cast<std::size_t>(data.label(i))];
+  const std::size_t total = indices.size();
+  const double node_gini = gini(counts, total);
+
+  Node node;
+  node.probs.resize(counts.size());
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    node.probs[c] = static_cast<double>(counts[c]) / static_cast<double>(total);
+  }
+  node.klass = static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+
+  const int my_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+
+  const bool pure = node_gini == 0.0;
+  if (pure || depth >= params_.max_depth ||
+      total < params_.min_samples_split) {
+    return my_index;
+  }
+
+  // Exhaustive best-split search: for each feature, sort the node's rows by
+  // that feature and scan boundaries between distinct values.
+  const std::size_t n_features = data.num_features();
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_impurity = node_gini;
+
+  std::vector<std::size_t> order(indices);
+  for (std::size_t f = 0; f < n_features; ++f) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return data.row(a)[f] < data.row(b)[f];
+    });
+    std::vector<std::size_t> left_counts(counts.size(), 0);
+    std::vector<std::size_t> right_counts = counts;
+    for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+      const int label = data.label(order[k]);
+      ++left_counts[static_cast<std::size_t>(label)];
+      --right_counts[static_cast<std::size_t>(label)];
+      const double v = data.row(order[k])[f];
+      const double v_next = data.row(order[k + 1])[f];
+      if (v == v_next) continue;  // not a boundary
+      const std::size_t n_left = k + 1;
+      const std::size_t n_right = total - n_left;
+      if (n_left < params_.min_samples_leaf ||
+          n_right < params_.min_samples_leaf) {
+        continue;
+      }
+      const double weighted =
+          (static_cast<double>(n_left) * gini(left_counts, n_left) +
+           static_cast<double>(n_right) * gini(right_counts, n_right)) /
+          static_cast<double>(total);
+      if (weighted + 1e-12 < best_impurity) {
+        best_impurity = weighted;
+        best_feature = static_cast<int>(f);
+        best_threshold = (v + v_next) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature < 0 ||
+      node_gini - best_impurity < params_.min_impurity_decrease) {
+    return my_index;  // no useful split
+  }
+
+  std::vector<std::size_t> left, right;
+  left.reserve(total);
+  right.reserve(total);
+  for (std::size_t i : indices) {
+    (data.row(i)[static_cast<std::size_t>(best_feature)] <= best_threshold
+         ? left
+         : right)
+        .push_back(i);
+  }
+  // Free the parent's index list before recursing.
+  indices.clear();
+  indices.shrink_to_fit();
+
+  const int left_child = build(data, left, depth + 1);
+  const int right_child = build(data, right, depth + 1);
+  nodes_[static_cast<std::size_t>(my_index)].leaf = false;
+  nodes_[static_cast<std::size_t>(my_index)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(my_index)].threshold = best_threshold;
+  nodes_[static_cast<std::size_t>(my_index)].left = left_child;
+  nodes_[static_cast<std::size_t>(my_index)].right = right_child;
+  return my_index;
+}
+
+const DecisionTree::Node& DecisionTree::walk(std::span<const double> row) const {
+  if (nodes_.empty()) throw std::logic_error("tree is not trained");
+  int at = 0;
+  while (!nodes_[static_cast<std::size_t>(at)].leaf) {
+    const Node& n = nodes_[static_cast<std::size_t>(at)];
+    at = row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                 : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(at)];
+}
+
+int DecisionTree::predict(std::span<const double> row) const {
+  return walk(row).klass;
+}
+
+std::vector<double> DecisionTree::predict_proba(
+    std::span<const double> row) const {
+  return walk(row).probs;
+}
+
+std::vector<int> DecisionTree::predict_all(const Dataset& data) const {
+  std::vector<int> out;
+  out.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.push_back(predict(data.row(i)));
+  }
+  return out;
+}
+
+int DecisionTree::depth_of(int node) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.leaf) return 0;
+  return 1 + std::max(depth_of(n.left), depth_of(n.right));
+}
+
+int DecisionTree::depth() const { return nodes_.empty() ? 0 : depth_of(0); }
+
+std::size_t DecisionTree::leaf_count() const {
+  std::size_t c = 0;
+  for (const Node& n : nodes_) c += n.leaf ? 1 : 0;
+  return c;
+}
+
+std::string DecisionTree::to_text() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "ccsig-dtree v1\n";
+  os << "classes " << n_classes_ << "\n";
+  os << "max_depth " << params_.max_depth << "\n";
+  os << "nodes " << nodes_.size() << "\n";
+  for (const Node& n : nodes_) {
+    if (n.leaf) {
+      os << "leaf " << n.klass;
+    } else {
+      os << "split " << n.feature << " " << n.threshold << " " << n.left << " "
+         << n.right << " " << n.klass;
+    }
+    for (double p : n.probs) os << " " << p;
+    os << "\n";
+  }
+  return os.str();
+}
+
+DecisionTree DecisionTree::from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "ccsig-dtree v1") {
+    throw std::invalid_argument("bad decision-tree header");
+  }
+  DecisionTree tree;
+  std::string word;
+  std::size_t n_nodes = 0;
+  is >> word >> tree.n_classes_;
+  if (word != "classes") throw std::invalid_argument("expected 'classes'");
+  is >> word >> tree.params_.max_depth;
+  if (word != "max_depth") throw std::invalid_argument("expected 'max_depth'");
+  is >> word >> n_nodes;
+  if (word != "nodes") throw std::invalid_argument("expected 'nodes'");
+  tree.nodes_.reserve(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    Node n;
+    is >> word;
+    if (word == "leaf") {
+      n.leaf = true;
+      is >> n.klass;
+    } else if (word == "split") {
+      n.leaf = false;
+      is >> n.feature >> n.threshold >> n.left >> n.right >> n.klass;
+    } else {
+      throw std::invalid_argument("bad node tag: " + word);
+    }
+    n.probs.resize(static_cast<std::size_t>(tree.n_classes_));
+    for (double& p : n.probs) is >> p;
+    if (!is) throw std::invalid_argument("truncated decision-tree text");
+    tree.nodes_.push_back(std::move(n));
+  }
+  return tree;
+}
+
+void DecisionTree::describe_node(std::ostream& os, int node, int indent,
+                                 const std::vector<std::string>& names) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  if (n.leaf) {
+    os << pad << "-> class " << n.klass << "\n";
+    return;
+  }
+  const std::string fname =
+      static_cast<std::size_t>(n.feature) < names.size()
+          ? names[static_cast<std::size_t>(n.feature)]
+          : "f" + std::to_string(n.feature);
+  os << pad << "if " << fname << " <= " << n.threshold << ":\n";
+  describe_node(os, n.left, indent + 1, names);
+  os << pad << "else:\n";
+  describe_node(os, n.right, indent + 1, names);
+}
+
+std::string DecisionTree::describe(
+    const std::vector<std::string>& feature_names) const {
+  std::ostringstream os;
+  os.precision(4);
+  if (nodes_.empty()) return "(untrained)\n";
+  describe_node(os, 0, 0, feature_names);
+  return os.str();
+}
+
+}  // namespace ccsig::ml

@@ -1,0 +1,74 @@
+// CART decision tree (Gini impurity), the classifier the paper builds with
+// sklearn's DecisionTreeClassifier. Supports text serialization so a
+// trained model can ship with the library and survive round trips.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace ccsig::ml {
+
+class DecisionTree {
+ public:
+  struct Params {
+    int max_depth = 4;              // the paper settles on depth 4 (§3.2)
+    std::size_t min_samples_split = 2;
+    std::size_t min_samples_leaf = 1;
+    double min_impurity_decrease = 0.0;
+  };
+
+  DecisionTree() = default;
+  explicit DecisionTree(Params params) : params_(params) {}
+
+  /// Fits the tree; replaces any previous model. Throws on empty data.
+  void fit(const Dataset& data);
+
+  /// Predicted class for a feature row.
+  int predict(std::span<const double> row) const;
+
+  /// Class-probability estimate (leaf class frequencies).
+  std::vector<double> predict_proba(std::span<const double> row) const;
+
+  std::vector<int> predict_all(const Dataset& data) const;
+
+  bool trained() const { return !nodes_.empty(); }
+  int depth() const;
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t leaf_count() const;
+  const Params& params() const { return params_; }
+
+  /// Human-readable serialization; `from_text` parses it back.
+  std::string to_text() const;
+  static DecisionTree from_text(const std::string& text);
+
+  /// Indented if/else rendering for docs and debugging.
+  std::string describe(const std::vector<std::string>& feature_names = {}) const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;   // branch when value <= threshold
+    int right = -1;  // branch when value > threshold
+    int klass = 0;   // majority class (leaves)
+    std::vector<double> probs;  // class frequencies at this node
+  };
+
+  int build(const Dataset& data, std::vector<std::size_t>& indices, int depth);
+  const Node& walk(std::span<const double> row) const;
+  void describe_node(std::ostream& os, int node, int indent,
+                     const std::vector<std::string>& names) const;
+  int depth_of(int node) const;
+
+  Params params_;
+  std::vector<Node> nodes_;
+  int n_classes_ = 0;
+};
+
+}  // namespace ccsig::ml

@@ -1,0 +1,87 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ccsig::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::span<const int> y_true,
+                                 std::span<const int> y_pred) {
+  if (y_true.size() != y_pred.size()) {
+    throw std::invalid_argument("y_true / y_pred size mismatch");
+  }
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    n_classes_ = std::max({n_classes_, y_true[i] + 1, y_pred[i] + 1});
+  }
+  cells_.assign(static_cast<std::size_t>(n_classes_) *
+                    static_cast<std::size_t>(n_classes_),
+                0);
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] < 0 || y_pred[i] < 0) {
+      throw std::invalid_argument("labels must be non-negative");
+    }
+    ++cells_[static_cast<std::size_t>(y_true[i]) *
+                 static_cast<std::size_t>(n_classes_) +
+             static_cast<std::size_t>(y_pred[i])];
+  }
+  total_ = y_true.size();
+}
+
+std::size_t ConfusionMatrix::at(int actual, int predicted) const {
+  if (actual < 0 || actual >= n_classes_ || predicted < 0 ||
+      predicted >= n_classes_) {
+    throw std::out_of_range("confusion matrix index");
+  }
+  return cells_[static_cast<std::size_t>(actual) *
+                    static_cast<std::size_t>(n_classes_) +
+                static_cast<std::size_t>(predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (int c = 0; c < n_classes_; ++c) correct += at(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(int klass) const {
+  std::size_t predicted = 0;
+  for (int a = 0; a < n_classes_; ++a) predicted += at(a, klass);
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(at(klass, klass)) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(int klass) const {
+  std::size_t actual = 0;
+  for (int p = 0; p < n_classes_; ++p) actual += at(klass, p);
+  if (actual == 0) return 0.0;
+  return static_cast<double>(at(klass, klass)) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(int klass) const {
+  const double p = precision(klass);
+  const double r = recall(klass);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+std::string ConfusionMatrix::to_string(
+    const std::vector<std::string>& class_names) const {
+  std::ostringstream os;
+  auto name = [&](int c) {
+    return static_cast<std::size_t>(c) < class_names.size()
+               ? class_names[static_cast<std::size_t>(c)]
+               : "class" + std::to_string(c);
+  };
+  os << "actual \\ predicted\n";
+  for (int a = 0; a < n_classes_; ++a) {
+    os << name(a) << ":";
+    for (int p = 0; p < n_classes_; ++p) os << " " << at(a, p);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ccsig::ml

@@ -1,0 +1,35 @@
+// Classifier evaluation: confusion matrix, precision/recall/F1, accuracy.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ccsig::ml {
+
+/// Square confusion matrix; cell (actual, predicted).
+class ConfusionMatrix {
+ public:
+  ConfusionMatrix(std::span<const int> y_true, std::span<const int> y_pred);
+
+  std::size_t at(int actual, int predicted) const;
+  int num_classes() const { return n_classes_; }
+  std::size_t total() const { return total_; }
+
+  double accuracy() const;
+  /// Of everything predicted as `klass`, the fraction that really is.
+  double precision(int klass) const;
+  /// Of everything truly `klass`, the fraction predicted as such.
+  double recall(int klass) const;
+  double f1(int klass) const;
+
+  std::string to_string(const std::vector<std::string>& class_names = {}) const;
+
+ private:
+  int n_classes_ = 0;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> cells_;  // row-major (actual * n + predicted)
+};
+
+}  // namespace ccsig::ml

@@ -1,0 +1,44 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+
+namespace ccsig::ml {
+
+void RandomForest::fit(const Dataset& data) {
+  trees_.clear();
+  n_classes_ = data.num_classes();
+  const std::size_t n = data.size();
+  const std::size_t per_tree = static_cast<std::size_t>(
+      params_.bootstrap_fraction * static_cast<double>(n));
+  for (int t = 0; t < params_.n_trees; ++t) {
+    std::vector<std::size_t> sample;
+    sample.reserve(per_tree);
+    for (std::size_t i = 0; i < per_tree; ++i) {
+      sample.push_back(static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
+    }
+    DecisionTree tree(params_.tree);
+    tree.fit(data.subset(sample));
+    trees_.push_back(std::move(tree));
+  }
+}
+
+int RandomForest::predict(std::span<const double> row) const {
+  std::vector<int> votes(static_cast<std::size_t>(n_classes_), 0);
+  for (const auto& tree : trees_) {
+    ++votes[static_cast<std::size_t>(tree.predict(row))];
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
+}
+
+std::vector<int> RandomForest::predict_all(const Dataset& data) const {
+  std::vector<int> out;
+  out.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.push_back(predict(data.row(i)));
+  }
+  return out;
+}
+
+}  // namespace ccsig::ml

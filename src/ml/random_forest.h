@@ -1,0 +1,43 @@
+// Bagged random forest — an extension beyond the paper's single tree, used
+// by the ablation benches to check whether a heavier model buys anything on
+// a two-feature problem (it shouldn't, which is itself a result).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "sim/random.h"
+
+namespace ccsig::ml {
+
+class RandomForest {
+ public:
+  struct Params {
+    int n_trees = 25;
+    DecisionTree::Params tree;
+    double bootstrap_fraction = 1.0;  // sample size per tree (with replacement)
+  };
+
+  explicit RandomForest(Params params, std::uint64_t seed)
+      : params_(params), rng_(seed) {}
+
+  void fit(const Dataset& data);
+
+  /// Majority vote across trees.
+  int predict(std::span<const double> row) const;
+  std::vector<int> predict_all(const Dataset& data) const;
+
+  bool trained() const { return !trees_.empty(); }
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  Params params_;
+  sim::Rng rng_;
+  std::vector<DecisionTree> trees_;
+  int n_classes_ = 0;
+};
+
+}  // namespace ccsig::ml

@@ -1,0 +1,63 @@
+#include "ml/split.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ccsig::ml {
+namespace {
+
+/// Row indices per class, each list shuffled.
+std::vector<std::vector<std::size_t>> shuffled_by_class(const Dataset& data,
+                                                        sim::Rng& rng) {
+  std::vector<std::vector<std::size_t>> by_class(
+      static_cast<std::size_t>(data.num_classes()));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    by_class[static_cast<std::size_t>(data.label(i))].push_back(i);
+  }
+  for (auto& v : by_class) {
+    std::shuffle(v.begin(), v.end(), rng.engine());
+  }
+  return by_class;
+}
+
+}  // namespace
+
+std::pair<Dataset, Dataset> stratified_split(const Dataset& data,
+                                             double test_fraction,
+                                             sim::Rng& rng) {
+  auto [test, train] = stratified_sample(data, test_fraction, rng);
+  return {std::move(train), std::move(test)};
+}
+
+std::pair<Dataset, Dataset> stratified_sample(const Dataset& data,
+                                              double fraction, sim::Rng& rng) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("fraction must be within [0, 1]");
+  }
+  std::vector<std::size_t> picked, rest;
+  for (auto& cls : shuffled_by_class(data, rng)) {
+    const std::size_t n_pick = static_cast<std::size_t>(
+        fraction * static_cast<double>(cls.size()) + 0.5);
+    for (std::size_t j = 0; j < cls.size(); ++j) {
+      (j < n_pick ? picked : rest).push_back(cls[j]);
+    }
+  }
+  std::sort(picked.begin(), picked.end());
+  std::sort(rest.begin(), rest.end());
+  return {data.subset(picked), data.subset(rest)};
+}
+
+std::vector<std::vector<std::size_t>> stratified_folds(const Dataset& data,
+                                                       int k, sim::Rng& rng) {
+  if (k < 2) throw std::invalid_argument("k must be >= 2");
+  std::vector<std::vector<std::size_t>> folds(static_cast<std::size_t>(k));
+  for (auto& cls : shuffled_by_class(data, rng)) {
+    for (std::size_t j = 0; j < cls.size(); ++j) {
+      folds[j % static_cast<std::size_t>(k)].push_back(cls[j]);
+    }
+  }
+  for (auto& f : folds) std::sort(f.begin(), f.end());
+  return folds;
+}
+
+}  // namespace ccsig::ml

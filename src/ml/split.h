@@ -1,0 +1,29 @@
+// Train/test splitting and k-fold cross-validation.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "sim/random.h"
+
+namespace ccsig::ml {
+
+/// Stratified train/test split: each class contributes `test_fraction` of
+/// its rows to the test set. Deterministic given the rng.
+std::pair<Dataset, Dataset> stratified_split(const Dataset& data,
+                                             double test_fraction,
+                                             sim::Rng& rng);
+
+/// Stratified sample of `fraction` of each class (the paper rebuilds its
+/// model from 20% of Dispute2014, §5.3). Returns (sample, remainder).
+std::pair<Dataset, Dataset> stratified_sample(const Dataset& data,
+                                              double fraction, sim::Rng& rng);
+
+/// k-fold index partition (shuffled, stratified). Each element is the set
+/// of row indices belonging to that fold.
+std::vector<std::vector<std::size_t>> stratified_folds(const Dataset& data,
+                                                       int k, sim::Rng& rng);
+
+}  // namespace ccsig::ml

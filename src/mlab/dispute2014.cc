@@ -1,0 +1,193 @@
+#include "mlab/dispute2014.h"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/random.h"
+
+namespace ccsig::mlab {
+
+std::vector<TransitSite> dispute_sites() {
+  return {
+      {"Cogent", "LAX", true},
+      {"Cogent", "LGA", true},
+      {"Level3", "ATL", false},
+  };
+}
+
+std::vector<AccessIsp> dispute_isps() {
+  // Era-appropriate residential plan mixes (2014).
+  return {
+      {"Comcast", false, {10, 25, 50}, {0.25, 0.50, 0.25}},
+      {"TimeWarner", false, {10, 15, 30}, {0.30, 0.45, 0.25}},
+      {"Verizon", false, {15, 25, 50}, {0.25, 0.45, 0.30}},
+      {"Cox", true, {10, 25, 50}, {0.25, 0.50, 0.25}},
+  };
+}
+
+double diurnal_curve(int hour) {
+  // Single evening peak at ~20:30 local, trough overnight — the canonical
+  // residential traffic shape (and what Figure 5 exhibits).
+  const double h = static_cast<double>(hour);
+  const double d1 = h - 20.5;
+  const double d2 = h + 24.0 - 20.5;  // wraparound for the small hours
+  const double g = std::exp(-d1 * d1 / (2 * 4.5 * 4.5)) +
+                   std::exp(-d2 * d2 / (2 * 4.5 * 4.5));
+  return 0.3 + 0.7 * std::min(1.0, g);
+}
+
+bool dispute_active(const TransitSite& site, const AccessIsp& isp, int month) {
+  return site.disputed && !isp.direct_peering && (month == 1 || month == 2);
+}
+
+std::vector<NdtObservation> generate_dispute2014(
+    const Dispute2014Options& opt) {
+  const auto sites = dispute_sites();
+  const auto isps = dispute_isps();
+  sim::Rng rng(opt.seed);
+
+  const std::size_t total = sites.size() * isps.size() * opt.months.size() *
+                            opt.hours.size() *
+                            static_cast<std::size_t>(opt.tests_per_cell);
+  std::size_t done = 0;
+  std::vector<NdtObservation> out;
+  out.reserve(total);
+
+  for (const TransitSite& site : sites) {
+    for (const AccessIsp& isp : isps) {
+      for (int month : opt.months) {
+        const double intensity = dispute_active(site, isp, month)
+                                     ? opt.dispute_intensity
+                                     : opt.normal_intensity;
+        for (int hour : opt.hours) {
+          for (int t = 0; t < opt.tests_per_cell; ++t) {
+            const double load = intensity * diurnal_curve(hour);
+
+            PathConfig pc;
+            pc.plan_mbps =
+                isp.plan_mbps[rng.weighted_index(isp.plan_weights)];
+            pc.access_buffer_ms = rng.uniform(30.0, 120.0);
+            pc.access_latency_ms = rng.uniform(6.0, 18.0);
+            pc.access_loss = rng.uniform(0.0, 0.0003);
+            pc.interconnect_mbps = opt.interconnect_mbps;
+            pc.interconnect_buffer_ms = opt.interconnect_buffer_ms;
+            pc.background_load = load;
+            pc.seed = rng.next_u64();
+
+            PathSim path(pc);
+            path.warmup(opt.warmup);
+            const NdtResult ndt = path.run_ndt(opt.ndt_duration);
+
+            NdtObservation obs;
+            obs.transit = site.transit;
+            obs.site = site.site;
+            obs.isp = isp.name;
+            obs.month = month;
+            obs.hour = hour;
+            obs.plan_mbps = pc.plan_mbps;
+            obs.throughput_mbps = ndt.throughput_bps / 1e6;
+            obs.passes_filters = ndt.passes_mlab_filters;
+            obs.truth_external = load > 1.0;
+            if (ndt.features) {
+              obs.has_features = true;
+              obs.norm_diff = ndt.features->norm_diff;
+              obs.cov = ndt.features->cov;
+              obs.ss_tput_mbps =
+                  ndt.features->slow_start_throughput_bps / 1e6;
+            }
+            out.push_back(obs);
+            ++done;
+            if (opt.progress) opt.progress(done, total);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<int> dispute_coarse_label(const NdtObservation& obs) {
+  const bool jan_feb = obs.month == 1 || obs.month == 2;
+  const bool mar_apr = obs.month == 3 || obs.month == 4;
+  const bool affected_combo = obs.transit == "Cogent" && obs.isp != "Cox";
+  if (jan_feb && is_peak_hour(obs.hour) && affected_combo) {
+    return 0;  // external
+  }
+  if (mar_apr && is_offpeak_hour(obs.hour)) {
+    return 1;  // self-induced
+  }
+  return std::nullopt;
+}
+
+namespace {
+constexpr char kHeader[] =
+    "transit,site,isp,month,hour,plan_mbps,throughput_mbps,ss_tput_mbps,"
+    "norm_diff,cov,has_features,passes_filters,truth_external";
+}  // namespace
+
+void save_observations_csv(const std::string& path,
+                           const std::vector<NdtObservation>& obs) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write campaign csv: " + path);
+  out.precision(17);
+  out << kHeader << "\n";
+  for (const auto& o : obs) {
+    out << o.transit << ',' << o.site << ',' << o.isp << ',' << o.month << ','
+        << o.hour << ',' << o.plan_mbps << ',' << o.throughput_mbps << ','
+        << o.ss_tput_mbps << ',' << o.norm_diff << ',' << o.cov << ','
+        << (o.has_features ? 1 : 0) << ',' << (o.passes_filters ? 1 : 0)
+        << ',' << (o.truth_external ? 1 : 0) << "\n";
+  }
+}
+
+std::vector<NdtObservation> load_observations_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read campaign csv: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw std::runtime_error("unrecognized campaign csv header in " + path);
+  }
+  std::vector<NdtObservation> out;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    NdtObservation o;
+    std::string field;
+    auto next = [&]() -> std::string {
+      if (!std::getline(row, field, ',')) {
+        throw std::runtime_error("malformed campaign csv row: " + line);
+      }
+      return field;
+    };
+    o.transit = next();
+    o.site = next();
+    o.isp = next();
+    o.month = std::stoi(next());
+    o.hour = std::stoi(next());
+    o.plan_mbps = std::stod(next());
+    o.throughput_mbps = std::stod(next());
+    o.ss_tput_mbps = std::stod(next());
+    o.norm_diff = std::stod(next());
+    o.cov = std::stod(next());
+    o.has_features = next() == "1";
+    o.passes_filters = next() == "1";
+    o.truth_external = next() == "1";
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+std::vector<NdtObservation> load_or_generate_dispute2014(
+    const std::string& cache_path, const Dispute2014Options& opt) {
+  if (std::filesystem::exists(cache_path)) {
+    return load_observations_csv(cache_path);
+  }
+  auto obs = generate_dispute2014(opt);
+  save_observations_csv(cache_path, obs);
+  return obs;
+}
+
+}  // namespace ccsig::mlab

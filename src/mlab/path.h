@@ -1,0 +1,163 @@
+// The measurement path an NDT test traverses:
+//
+//   server ── transit_router ══ interconnect ══ isp_router ── access ── client
+//   bg_server ─┘ (background demand)              └── bg_sink
+//
+// Background demand is a set of rate-limited TCP streams (video-like CBR
+// over TCP) whose aggregate demand is `background_load × interconnect
+// capacity`; when the load exceeds 1.0 the interconnect congests and holds
+// a standing queue — the "external congestion" regime. The test flow's
+// access link bottleneck models the user's service plan.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "features/extractor.h"
+#include "mlab/tslp.h"
+#include "sim/echo.h"
+#include "sim/network.h"
+#include "tcp/tcp_sink.h"
+#include "tcp/tcp_source.h"
+
+namespace ccsig::mlab {
+
+/// Segment-fetch (video-player-like) source: every `period` it hands the
+/// transport one chunk of rate×period bytes, fetched as fast as TCP allows,
+/// then idles — unless the previous chunk is still in backlog (a stalled
+/// player skips). The on-off pattern gives background traffic realistic
+/// burstiness: a congested queue fluctuates instead of pinning at 100%.
+class ChunkedStream {
+ public:
+  ChunkedStream(sim::Simulator& sim, tcp::TcpSource* source,
+                double nominal_bps, sim::Duration period, sim::Rng rng);
+
+  std::uint64_t chunks_released() const { return chunks_; }
+  std::uint64_t chunks_skipped() const { return skipped_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  tcp::TcpSource* source_;
+  std::uint64_t chunk_bytes_;
+  sim::Duration period_;
+  sim::Rng rng_;
+  std::uint64_t chunks_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+/// ABR-style controller for one background stream: periodically compares
+/// achieved goodput against the current quality tier's rate, downshifting
+/// under sustained shortfall and upshifting back toward nominal.
+class AdaptiveStream {
+ public:
+  AdaptiveStream(sim::Simulator& sim, tcp::TcpSource* source,
+                 double nominal_bps, double floor_fraction, sim::Rng rng);
+
+  double current_rate_bps() const { return current_bps_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  tcp::TcpSource* source_;
+  double nominal_bps_;
+  double floor_bps_;
+  double current_bps_;
+  std::uint64_t last_acked_ = 0;
+  sim::Time last_tick_ = 0;
+  sim::Rng rng_;
+};
+
+struct PathConfig {
+  // Access side (the user's service plan and home link).
+  double plan_mbps = 25.0;
+  double access_buffer_ms = 50.0;
+  double access_latency_ms = 8.0;  // one-way; contributes 2x to base RTT
+  double access_loss = 0.0;
+
+  // Interconnect between the access ISP and the transit/content network.
+  // (A scaled-down stand-in for a multi-10G transit port; see DESIGN.md.)
+  double interconnect_mbps = 300.0;
+  double interconnect_buffer_ms = 25.0;
+
+  // Background (everyone else sharing the interconnect).
+  double background_load = 0.5;        // aggregate nominal demand / capacity
+  double background_stream_mbps = 4.0; // per-stream nominal rate
+  std::string background_cc = "cubic";
+  /// How the background sources release data:
+  ///   kMixed — default: a smooth CBR base (`cbr_fraction` of the load)
+  ///            plus a chunked segment-fetch layer for the rest. The CBR
+  ///            base gives persistent congestion its stable floor; the
+  ///            chunked layer adds the on-off burstiness real aggregates
+  ///            have, so a pinned queue still breathes.
+  ///   kChunked — segment fetches only,
+  ///   kCbr — smooth constant-rate release only,
+  ///   kAdaptive — CBR with ABR-style rate adaptation.
+  enum class BackgroundMode { kMixed, kChunked, kCbr, kAdaptive };
+  BackgroundMode background_mode = BackgroundMode::kMixed;
+  double cbr_fraction = 0.75;  // kMixed: share of load carried by CBR
+  sim::Duration chunk_period = sim::from_seconds(2.0);
+  /// Chunk fetch speed as a multiple of the nominal stream rate — the
+  /// stream's own bottleneck elsewhere in the network (its subscriber's
+  /// access link). Sets the stream's duty cycle to ~1/multiple.
+  double chunk_fetch_multiple = 3.0;
+  double adaptive_floor_fraction = 0.3;  // lowest quality tier (kAdaptive)
+
+  std::uint64_t seed = 1;
+};
+
+/// Web100-style NDT record with the paper's M-Lab pre-processing filters.
+struct NdtResult {
+  std::optional<features::FlowFeatures> features;
+  double throughput_bps = 0;  // NDT-reported mean downstream throughput
+  double congestion_limited_fraction = 0;
+  sim::Duration duration = 0;
+  /// Paper §4.1 filters: ran ≥ 90% of nominal duration and spent ≥ 90% of
+  /// it congestion-limited.
+  bool passes_mlab_filters = false;
+};
+
+/// One live instance of the path with its background load running.
+class PathSim {
+ public:
+  explicit PathSim(const PathConfig& cfg);
+  PathSim(const PathSim&) = delete;
+  PathSim& operator=(const PathSim&) = delete;
+
+  /// Runs the background alone for `d` so queues reach steady state.
+  void warmup(sim::Duration d);
+
+  /// Runs one NDT measurement of `duration` starting now.
+  NdtResult run_ndt(sim::Duration duration);
+
+  /// TSLP probes from the client: near = ISP-side router (never crosses
+  /// the interconnect), far = transit-side router (reply transits the
+  /// congested direction). Returns the RTT, or -1 when lost.
+  sim::Duration probe_far();
+  sim::Duration probe_near();
+
+  sim::Network& network() { return *net_; }
+  sim::Link* interconnect_down() const { return interconnect_down_; }
+  const PathConfig& config() const { return cfg_; }
+
+ private:
+  PathConfig cfg_;
+  std::unique_ptr<sim::Network> net_;
+  sim::Node* client_ = nullptr;
+  sim::Node* server_ = nullptr;
+  sim::Link* interconnect_down_ = nullptr;
+  std::vector<std::unique_ptr<sim::EchoResponder>> echoes_;
+  std::vector<std::unique_ptr<tcp::TcpSource>> bg_sources_;
+  std::vector<std::unique_ptr<tcp::TcpSink>> bg_sinks_;
+  std::vector<std::unique_ptr<AdaptiveStream>> bg_adapters_;
+  std::vector<std::unique_ptr<ChunkedStream>> bg_chunkers_;
+  std::unique_ptr<TslpProber> far_prober_;
+  std::unique_ptr<TslpProber> near_prober_;
+  sim::Port next_port_ = 20000;
+};
+
+}  // namespace ccsig::mlab

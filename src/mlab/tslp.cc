@@ -1,0 +1,53 @@
+#include "mlab/tslp.h"
+
+#include "sim/echo.h"
+
+namespace ccsig::mlab {
+
+TslpProber::TslpProber(sim::Simulator& sim, sim::Node* vantage,
+                       sim::Node* target, sim::Port local_port)
+    : sim_(sim), vantage_(vantage), target_(target), local_port_(local_port) {
+  vantage_->register_endpoint(local_port_,
+                              [this](const sim::Packet& p) { on_reply(p); });
+}
+
+TslpProber::~TslpProber() { vantage_->unregister_endpoint(local_port_); }
+
+void TslpProber::probe() {
+  const std::uint64_t index = samples_.size();
+  samples_.push_back(ProbeSample{sim_.now(), -1});
+
+  sim::Packet p;
+  p.key.src_addr = vantage_->address();
+  p.key.dst_addr = target_->address();
+  p.key.src_port = local_port_;
+  p.key.dst_port = sim::kEchoPort;
+  p.payload_bytes = 64;  // ICMP-echo-sized probe
+  p.seq = index;         // round-trip correlation id
+  vantage_->send(p);
+}
+
+void TslpProber::on_reply(const sim::Packet& p) {
+  const std::uint64_t index = p.seq;
+  if (index >= samples_.size()) return;
+  ProbeSample& s = samples_[index];
+  if (s.rtt >= 0) return;  // duplicate
+  s.rtt = sim_.now() - s.sent_at;
+}
+
+void TslpProber::schedule(sim::Time start, sim::Time end,
+                          sim::Duration interval) {
+  for (sim::Time t = start; t <= end; t += interval) {
+    sim_.schedule_at(t, [this] { probe(); });
+  }
+}
+
+sim::Duration TslpProber::min_rtt() const {
+  sim::Duration best = -1;
+  for (const auto& s : samples_) {
+    if (s.rtt >= 0 && (best < 0 || s.rtt < best)) best = s.rtt;
+  }
+  return best;
+}
+
+}  // namespace ccsig::mlab

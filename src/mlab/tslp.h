@@ -1,0 +1,56 @@
+// Time-Series Latency Probing (Luckie et al., IMC 2014), as used by the
+// paper (§4.2) to find congested interdomain links: probe the near and far
+// routers of an interdomain link from a vantage point inside the access
+// network; an elevated far-side RTT with a flat near-side RTT indicates
+// queueing on the interdomain link.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/node.h"
+#include "sim/packet.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace ccsig::mlab {
+
+struct ProbeSample {
+  sim::Time sent_at = 0;
+  sim::Duration rtt = -1;  // -1: lost / unanswered
+};
+
+/// Sends echo probes from `vantage` to a target node's echo port and
+/// records RTTs. One Prober per target (near router, far router).
+class TslpProber {
+ public:
+  TslpProber(sim::Simulator& sim, sim::Node* vantage, sim::Node* target,
+             sim::Port local_port);
+  ~TslpProber();
+  TslpProber(const TslpProber&) = delete;
+  TslpProber& operator=(const TslpProber&) = delete;
+
+  /// Sends one probe now; the result lands in samples() when the reply
+  /// arrives (or stays at rtt = -1 if it never does).
+  void probe();
+
+  /// Schedules probes every `interval` from `start` until `end`.
+  void schedule(sim::Time start, sim::Time end, sim::Duration interval);
+
+  const std::vector<ProbeSample>& samples() const { return samples_; }
+
+  /// Minimum observed RTT (the baseline latency); -1 if no replies.
+  sim::Duration min_rtt() const;
+
+ private:
+  void on_reply(const sim::Packet& p);
+
+  sim::Simulator& sim_;
+  sim::Node* vantage_;
+  sim::Node* target_;
+  sim::Port local_port_;
+  std::vector<ProbeSample> samples_;
+};
+
+}  // namespace ccsig::mlab

@@ -1,0 +1,162 @@
+#include "mlab/tslp2017.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "mlab/dispute2014.h"  // diurnal_curve
+#include "sim/random.h"
+
+namespace ccsig::mlab {
+namespace {
+
+bool is_tslp_peak(int hour) { return hour >= 16 && hour <= 23; }
+
+}  // namespace
+
+std::vector<TslpObservation> generate_tslp2017(const Tslp2017Options& opt) {
+  sim::Rng rng(opt.seed);
+  std::vector<TslpObservation> out;
+
+  // Pre-draw the congestion episodes: each evening hour block 19–23 is
+  // congested with the configured probability.
+  std::vector<std::vector<bool>> congested(
+      static_cast<std::size_t>(opt.days), std::vector<bool>(24, false));
+  for (int d = 0; d < opt.days; ++d) {
+    for (int h = 19; h <= 23; ++h) {
+      congested[static_cast<std::size_t>(d)][static_cast<std::size_t>(h)] =
+          rng.chance(opt.episode_probability);
+    }
+  }
+
+  // Count slots for progress reporting.
+  std::size_t total = 0;
+  for (int h = 0; h < 24; ++h) total += is_tslp_peak(h) ? 4u : 1u;
+  total *= static_cast<std::size_t>(opt.days);
+  std::size_t done = 0;
+
+  for (int day = 0; day < opt.days; ++day) {
+    for (int hour = 0; hour < 24; ++hour) {
+      const int slots = is_tslp_peak(hour) ? 4 : 1;  // 15 min vs hourly
+      for (int s = 0; s < slots; ++s) {
+        const bool episode =
+            congested[static_cast<std::size_t>(day)]
+                     [static_cast<std::size_t>(hour)];
+        const double load = episode ? opt.congested_load
+                                    : opt.normal_peak_load *
+                                          diurnal_curve(hour);
+
+        PathConfig pc;
+        pc.plan_mbps = opt.plan_mbps;
+        pc.access_buffer_ms = opt.access_buffer_ms;
+        pc.access_latency_ms = opt.base_one_way_ms;
+        pc.interconnect_mbps = opt.interconnect_mbps;
+        pc.interconnect_buffer_ms = opt.interconnect_buffer_ms;
+        pc.background_load = load;
+        pc.seed = rng.next_u64();
+
+        PathSim path(pc);
+        path.warmup(opt.warmup);
+
+        TslpObservation obs;
+        obs.day = day;
+        obs.hour = hour;
+        obs.minute = s * 15;
+        obs.truth_external = load > 1.0;
+        obs.near_rtt_ms = sim::to_millis(path.probe_near());
+        obs.far_rtt_ms = sim::to_millis(path.probe_far());
+
+        const NdtResult ndt = path.run_ndt(opt.ndt_duration);
+        obs.ndt_ran = true;
+        obs.throughput_mbps = ndt.throughput_bps / 1e6;
+        if (ndt.features) {
+          obs.has_features = true;
+          obs.norm_diff = ndt.features->norm_diff;
+          obs.cov = ndt.features->cov;
+          obs.min_flow_rtt_ms = ndt.features->min_rtt_ms;
+        }
+        out.push_back(obs);
+        ++done;
+        if (opt.progress) opt.progress(done, total);
+      }
+    }
+  }
+  return out;
+}
+
+int tslp_label(const TslpObservation& obs) {
+  if (!obs.ndt_ran || !obs.has_features) return -1;
+  if (obs.throughput_mbps < 15.0 && obs.min_flow_rtt_ms > 30.0) return 0;
+  if (obs.throughput_mbps > 20.0 && obs.min_flow_rtt_ms < 20.0) return 1;
+  return -1;
+}
+
+namespace {
+constexpr char kHeader[] =
+    "day,hour,minute,far_rtt_ms,near_rtt_ms,ndt_ran,throughput_mbps,"
+    "min_flow_rtt_ms,norm_diff,cov,has_features,truth_external";
+}  // namespace
+
+void save_tslp_csv(const std::string& path,
+                   const std::vector<TslpObservation>& obs) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write tslp csv: " + path);
+  out.precision(17);
+  out << kHeader << "\n";
+  for (const auto& o : obs) {
+    out << o.day << ',' << o.hour << ',' << o.minute << ',' << o.far_rtt_ms
+        << ',' << o.near_rtt_ms << ',' << (o.ndt_ran ? 1 : 0) << ','
+        << o.throughput_mbps << ',' << o.min_flow_rtt_ms << ',' << o.norm_diff
+        << ',' << o.cov << ',' << (o.has_features ? 1 : 0) << ','
+        << (o.truth_external ? 1 : 0) << "\n";
+  }
+}
+
+std::vector<TslpObservation> load_tslp_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read tslp csv: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw std::runtime_error("unrecognized tslp csv header in " + path);
+  }
+  std::vector<TslpObservation> out;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    TslpObservation o;
+    std::string field;
+    auto next = [&]() -> std::string {
+      if (!std::getline(row, field, ',')) {
+        throw std::runtime_error("malformed tslp csv row: " + line);
+      }
+      return field;
+    };
+    o.day = std::stoi(next());
+    o.hour = std::stoi(next());
+    o.minute = std::stoi(next());
+    o.far_rtt_ms = std::stod(next());
+    o.near_rtt_ms = std::stod(next());
+    o.ndt_ran = next() == "1";
+    o.throughput_mbps = std::stod(next());
+    o.min_flow_rtt_ms = std::stod(next());
+    o.norm_diff = std::stod(next());
+    o.cov = std::stod(next());
+    o.has_features = next() == "1";
+    o.truth_external = next() == "1";
+    out.push_back(o);
+  }
+  return out;
+}
+
+std::vector<TslpObservation> load_or_generate_tslp2017(
+    const std::string& cache_path, const Tslp2017Options& opt) {
+  if (std::filesystem::exists(cache_path)) {
+    return load_tslp_csv(cache_path);
+  }
+  auto obs = generate_tslp2017(opt);
+  save_tslp_csv(cache_path, obs);
+  return obs;
+}
+
+}  // namespace ccsig::mlab

@@ -1,0 +1,35 @@
+// tcpdump-at-the-server: a TraceSink that serializes simulator packets into
+// real pcap files.
+#pragma once
+
+#include <string>
+
+#include "pcap/headers.h"
+#include "pcap/pcap_file.h"
+#include "sim/trace.h"
+
+namespace ccsig::pcap {
+
+/// Attach to a Node (via Node::add_tap) to capture every packet it sends or
+/// receives into a pcap file, headers-only (snaplen 54) like a typical
+/// server-side TCP capture.
+class PcapCaptureTap : public sim::TraceSink {
+ public:
+  explicit PcapCaptureTap(const std::string& path)
+      : writer_(path, kFrameHeaderBytes) {}
+
+  void on_packet(sim::Time t, const sim::Packet& p) override {
+    const auto frame = encode_frame(p);
+    const std::uint32_t orig_len = static_cast<std::uint32_t>(
+        kFrameHeaderBytes + p.payload_bytes);
+    writer_.write(t, frame, orig_len);
+  }
+
+  void flush() { writer_.flush(); }
+  std::uint64_t packets_captured() const { return writer_.records_written(); }
+
+ private:
+  PcapWriter writer_;
+};
+
+}  // namespace ccsig::pcap

@@ -1,0 +1,128 @@
+#include "pcap/headers.h"
+
+#include <cstring>
+
+namespace ccsig::pcap {
+namespace {
+
+void put16(std::uint8_t* at, std::uint16_t v) {
+  at[0] = static_cast<std::uint8_t>(v >> 8);
+  at[1] = static_cast<std::uint8_t>(v & 0xFF);
+}
+
+void put32(std::uint8_t* at, std::uint32_t v) {
+  at[0] = static_cast<std::uint8_t>(v >> 24);
+  at[1] = static_cast<std::uint8_t>(v >> 16);
+  at[2] = static_cast<std::uint8_t>(v >> 8);
+  at[3] = static_cast<std::uint8_t>(v & 0xFF);
+}
+
+std::uint16_t get16(const std::uint8_t* at) {
+  return static_cast<std::uint16_t>((at[0] << 8) | at[1]);
+}
+
+std::uint32_t get32(const std::uint8_t* at) {
+  return (std::uint32_t(at[0]) << 24) | (std::uint32_t(at[1]) << 16) |
+         (std::uint32_t(at[2]) << 8) | std::uint32_t(at[3]);
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i] << 8);
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::array<std::uint8_t, kFrameHeaderBytes> encode_frame(const sim::Packet& p) {
+  std::array<std::uint8_t, kFrameHeaderBytes> f{};
+  std::uint8_t* eth = f.data();
+  std::uint8_t* ip = eth + kEthernetHeaderBytes;
+  std::uint8_t* tcp = ip + kIpv4HeaderBytes;
+
+  // Ethernet: synthetic locally-administered MACs derived from addresses.
+  eth[0] = 0x02;
+  put32(eth + 1, to_ipv4(p.key.dst_addr));
+  eth[5] = 0x01;
+  eth[6] = 0x02;
+  put32(eth + 7, to_ipv4(p.key.src_addr));
+  eth[11] = 0x01;
+  put16(eth + 12, 0x0800);  // IPv4 ethertype
+
+  // IPv4.
+  ip[0] = 0x45;  // version 4, IHL 5
+  ip[1] = 0;
+  const std::uint16_t total_len = static_cast<std::uint16_t>(
+      kIpv4HeaderBytes + kTcpHeaderBytes + p.payload_bytes);
+  put16(ip + 2, total_len);
+  put16(ip + 4, static_cast<std::uint16_t>(p.id & 0xFFFF));  // IP id
+  put16(ip + 6, 0x4000);  // DF
+  ip[8] = 64;             // TTL
+  ip[9] = 6;              // protocol TCP
+  put16(ip + 10, 0);      // checksum placeholder
+  put32(ip + 12, to_ipv4(p.key.src_addr));
+  put32(ip + 16, to_ipv4(p.key.dst_addr));
+  put16(ip + 10, internet_checksum({ip, kIpv4HeaderBytes}));
+
+  // TCP.
+  put16(tcp + 0, p.key.src_port);
+  put16(tcp + 2, p.key.dst_port);
+  put32(tcp + 4, static_cast<std::uint32_t>(p.seq));  // wraps, as on the wire
+  put32(tcp + 8, static_cast<std::uint32_t>(p.ack));
+  tcp[12] = 5 << 4;  // data offset: 5 words
+  std::uint8_t flags = 0;
+  if (p.flags.fin) flags |= 0x01;
+  if (p.flags.syn) flags |= 0x02;
+  if (p.flags.rst) flags |= 0x04;
+  if (p.flags.ack) flags |= 0x10;
+  tcp[13] = flags;
+  // Scale the true window into the 16-bit field (as if wscale 8 were
+  // negotiated); the reader re-expands symmetrically.
+  put16(tcp + 14, static_cast<std::uint16_t>(
+                      p.window > 0 ? std::min<std::uint32_t>(
+                                         p.window >> 8, 0xFFFF)
+                                   : 0));
+  put16(tcp + 16, 0);  // checksum: payload is synthetic; left zero
+  put16(tcp + 18, 0);  // urgent pointer
+  return f;
+}
+
+std::optional<DecodedFrame> decode_frame(std::span<const std::uint8_t> data) {
+  if (data.size() < kFrameHeaderBytes) return std::nullopt;
+  const std::uint8_t* eth = data.data();
+  if (get16(eth + 12) != 0x0800) return std::nullopt;  // not IPv4
+  const std::uint8_t* ip = eth + kEthernetHeaderBytes;
+  if ((ip[0] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0F) * 4;
+  if (ihl < kIpv4HeaderBytes || ip[9] != 6) return std::nullopt;
+  if (data.size() < kEthernetHeaderBytes + ihl + kTcpHeaderBytes) {
+    return std::nullopt;
+  }
+  const std::uint8_t* tcp = ip + ihl;
+  const std::size_t tcp_hdr = static_cast<std::size_t>(tcp[12] >> 4) * 4;
+
+  DecodedFrame d;
+  d.src_ip = get32(ip + 12);
+  d.dst_ip = get32(ip + 16);
+  d.src_port = get16(tcp + 0);
+  d.dst_port = get16(tcp + 2);
+  d.seq32 = get32(tcp + 4);
+  d.ack32 = get32(tcp + 8);
+  d.window = get16(tcp + 14);
+  d.fin = tcp[13] & 0x01;
+  d.syn = tcp[13] & 0x02;
+  d.rst = tcp[13] & 0x04;
+  d.ack = tcp[13] & 0x10;
+  const std::uint16_t total_len = get16(ip + 2);
+  const std::size_t hdrs = ihl + tcp_hdr;
+  d.payload_bytes =
+      total_len > hdrs ? static_cast<std::uint32_t>(total_len - hdrs) : 0;
+  return d;
+}
+
+}  // namespace ccsig::pcap

@@ -1,0 +1,58 @@
+// Ethernet II / IPv4 / TCP header encoding and decoding.
+//
+// The simulator does not materialize payload bytes, so captures are written
+// the way operators actually run tcpdump for TCP analysis: headers only
+// (snap length 54), with the true frame length recorded in the pcap record
+// header. Sequence/ack numbers wrap to 32 bits on the wire exactly as real
+// TCP does; the reader unwraps them back to 64-bit stream offsets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "sim/packet.h"
+
+namespace ccsig::pcap {
+
+inline constexpr std::size_t kEthernetHeaderBytes = 14;
+inline constexpr std::size_t kIpv4HeaderBytes = 20;
+inline constexpr std::size_t kTcpHeaderBytes = 20;
+inline constexpr std::size_t kFrameHeaderBytes =
+    kEthernetHeaderBytes + kIpv4HeaderBytes + kTcpHeaderBytes;
+
+/// Decoded view of one TCP/IPv4 frame's headers.
+struct DecodedFrame {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq32 = 0;
+  std::uint32_t ack32 = 0;
+  std::uint16_t window = 0;
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+  /// Payload length derived from the IP total-length field.
+  std::uint32_t payload_bytes = 0;
+};
+
+/// Maps a simulator address into the synthetic 10.0.0.0/8 capture subnet.
+constexpr std::uint32_t to_ipv4(sim::Address a) {
+  return (10u << 24) | (a & 0x00FFFFFFu);
+}
+
+/// Internet checksum (RFC 1071) over `data`.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Encodes the headers of `p` into a 54-byte frame. The IP total length
+/// field accounts for the (non-materialized, all-zero) payload.
+std::array<std::uint8_t, kFrameHeaderBytes> encode_frame(const sim::Packet& p);
+
+/// Decodes a frame's headers; returns nullopt if the buffer is too short,
+/// not IPv4, or not TCP.
+std::optional<DecodedFrame> decode_frame(std::span<const std::uint8_t> data);
+
+}  // namespace ccsig::pcap

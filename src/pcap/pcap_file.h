@@ -1,0 +1,69 @@
+// Classic libpcap file format (the format tcpdump writes by default).
+//
+// Little-endian, magic 0xa1b2c3d4, microsecond timestamps — readable by
+// tcpdump/tshark/wireshark. Only what the project needs: linktype EN10MB.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ccsig::pcap {
+
+inline constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;
+inline constexpr std::uint32_t kLinktypeEthernet = 1;
+
+/// One captured record: timestamp, the bytes actually stored (possibly
+/// truncated at the snap length), and the original frame length.
+struct PcapRecord {
+  sim::Time timestamp = 0;       // nanoseconds (µs precision on disk)
+  std::uint32_t orig_len = 0;    // length of the frame on the wire
+  std::vector<std::uint8_t> data;  // captured bytes (<= snaplen)
+};
+
+/// Streams records into a pcap file.
+class PcapWriter {
+ public:
+  /// Opens (truncates) `path`. Throws std::runtime_error on failure.
+  explicit PcapWriter(const std::string& path,
+                      std::uint32_t snaplen = 65535);
+
+  /// Writes one record; `data` is truncated to the snap length.
+  void write(sim::Time timestamp, std::span<const std::uint8_t> data,
+             std::uint32_t orig_len);
+
+  void flush() { out_.flush(); }
+  std::uint64_t records_written() const { return records_; }
+
+ private:
+  std::ofstream out_;
+  std::uint32_t snaplen_;
+  std::uint64_t records_ = 0;
+};
+
+/// Reads a whole pcap file. Throws std::runtime_error on malformed input.
+class PcapReader {
+ public:
+  explicit PcapReader(const std::string& path);
+
+  /// Next record, or nullopt at end of file.
+  std::optional<PcapRecord> next();
+
+  std::uint32_t snaplen() const { return snaplen_; }
+  std::uint32_t linktype() const { return linktype_; }
+
+ private:
+  std::ifstream in_;
+  std::uint32_t snaplen_ = 0;
+  std::uint32_t linktype_ = 0;
+};
+
+/// Convenience: reads every record.
+std::vector<PcapRecord> read_all(const std::string& path);
+
+}  // namespace ccsig::pcap

@@ -1,0 +1,31 @@
+// ICMP-echo-style responder: replies to any packet arriving at a node port
+// by swapping source and destination. Used by the TSLP latency prober.
+#pragma once
+
+#include "sim/node.h"
+#include "sim/packet.h"
+
+namespace ccsig::sim {
+
+inline constexpr Port kEchoPort = 7;
+
+/// Registers an echo service on `node` at `port`.
+class EchoResponder {
+ public:
+  explicit EchoResponder(Node* node, Port port = kEchoPort) : node_(node), port_(port) {
+    node_->register_endpoint(port, [node](const Packet& p) {
+      Packet reply = p;
+      reply.key = p.key.reversed();
+      node->send(reply);
+    });
+  }
+  ~EchoResponder() { node_->unregister_endpoint(port_); }
+  EchoResponder(const EchoResponder&) = delete;
+  EchoResponder& operator=(const EchoResponder&) = delete;
+
+ private:
+  Node* node_;
+  Port port_;
+};
+
+}  // namespace ccsig::sim

@@ -1,0 +1,61 @@
+// Binary-heap event queue with deterministic tie-breaking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ccsig::sim {
+
+/// Priority queue of timed callbacks. Events at equal times fire in the
+/// order they were scheduled (FIFO tie-break via a sequence number), which
+/// keeps runs reproducible.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to fire at absolute time `t`.
+  void schedule(Time t, Callback cb) {
+    heap_.push(Event{t, next_seq_++, std::move(cb)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  Time next_time() const { return heap_.top().time; }
+
+  /// Removes and returns the earliest pending event's callback.
+  /// Precondition: !empty().
+  Callback pop() {
+    // std::priority_queue::top() is const; the callback must be moved out,
+    // which is safe because the element is popped immediately after.
+    Callback cb = std::move(const_cast<Event&>(heap_.top()).callback);
+    heap_.pop();
+    return cb;
+  }
+
+  /// Total number of events ever scheduled (for micro-benchmarks/tests).
+  std::uint64_t scheduled_count() const { return next_seq_; }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ccsig::sim

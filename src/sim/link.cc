@@ -1,0 +1,102 @@
+#include "sim/link.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccsig::sim {
+
+std::size_t buffer_bytes_for(double rate_bps, double buffer_ms) {
+  return static_cast<std::size_t>(rate_bps / 8.0 * buffer_ms / 1000.0);
+}
+
+Link::Link(Simulator& sim, Config cfg, Rng rng)
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      rng_(rng),
+      queue_(cfg_.buffer_bytes),
+      tokens_bytes_(static_cast<double>(cfg_.burst_bytes)) {}
+
+void Link::send(Packet p) {
+  ++arrived_packets_;
+  if (cfg_.loss_rate > 0.0 && rng_.chance(cfg_.loss_rate)) {
+    ++random_losses_;
+    return;
+  }
+  if (!queue_.push(std::move(p))) return;  // drop-tail
+  pump();
+}
+
+void Link::refill_tokens(std::size_t cap_floor) {
+  // The bucket must be able to hold at least one head-of-line packet, or a
+  // burst size below the MTU would deadlock the link (tc tbf has the same
+  // burst >= MTU requirement; we are more forgiving).
+  const double cap =
+      static_cast<double>(std::max(cfg_.burst_bytes, cap_floor));
+  const Time now = sim_.now();
+  if (now > last_refill_) {
+    const double elapsed_s = to_seconds(now - last_refill_);
+    tokens_bytes_ =
+        std::min(cap, tokens_bytes_ + elapsed_s * cfg_.rate_bps / 8.0);
+    last_refill_ = now;
+  }
+}
+
+Duration Link::time_until_tokens(std::size_t bytes) const {
+  const double deficit = static_cast<double>(bytes) - tokens_bytes_;
+  if (deficit <= 0) return 0;
+  return static_cast<Duration>(
+      std::ceil(deficit * 8.0 / cfg_.rate_bps * static_cast<double>(kSecond)));
+}
+
+void Link::pump() {
+  if (pump_scheduled_) return;
+  while (!queue_.empty()) {
+    const std::size_t need = queue_.front().wire_bytes();
+    refill_tokens(need);
+    const Duration wait = time_until_tokens(need);
+    if (wait > 0) {
+      pump_scheduled_ = true;
+      sim_.schedule_in(wait, [this] {
+        pump_scheduled_ = false;
+        pump();
+      });
+      return;
+    }
+    tokens_bytes_ -= static_cast<double>(need);
+    deliver(queue_.pop());
+  }
+}
+
+void Link::deliver(Packet p) {
+  Duration delay = cfg_.prop_delay;
+  if (cfg_.jitter > 0) {
+    delay += static_cast<Duration>(rng_.uniform(
+        -static_cast<double>(cfg_.jitter), static_cast<double>(cfg_.jitter)));
+    if (delay < 0) delay = 0;
+  }
+  // FIFO: jitter never reorders packets within a link (matches a tbf+netem
+  // qdisc chain, which stays in-order).
+  Time due = sim_.now() + delay;
+  if (due < last_delivery_time_) due = last_delivery_time_;
+  last_delivery_time_ = due;
+
+  ++delivered_packets_;
+  delivered_bytes_ += p.wire_bytes();
+  sim_.schedule_at(due, [this, pkt = std::move(p)]() mutable {
+    if (receiver_) receiver_(pkt);
+  });
+}
+
+Duration Link::queueing_delay_estimate() const {
+  return static_cast<Duration>(static_cast<double>(queue_.occupancy_bytes()) *
+                               8.0 / cfg_.rate_bps *
+                               static_cast<double>(kSecond));
+}
+
+Link::Stats Link::stats() const {
+  return Stats{arrived_packets_,        delivered_packets_, delivered_bytes_,
+               random_losses_,          queue_.drops(),
+               queue_.max_occupancy_bytes()};
+}
+
+}  // namespace ccsig::sim

@@ -1,0 +1,84 @@
+// Unidirectional shaped link: token-bucket rate shaping (like `tc tbf`),
+// drop-tail buffer, propagation delay, jitter, and i.i.d. random loss
+// (like `tc netem`). A full-duplex physical link is two `Link`s.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/packet.h"
+#include "sim/queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace ccsig::sim {
+
+/// Converts a buffer depth expressed in milliseconds at a given rate into
+/// bytes, as the paper specifies buffer sizes ("a 100 ms buffer").
+std::size_t buffer_bytes_for(double rate_bps, double buffer_ms);
+
+class Link {
+ public:
+  struct Config {
+    std::string name = "link";
+    double rate_bps = 1e9;          // shaped rate
+    Duration prop_delay = 0;        // one-way propagation delay
+    Duration jitter = 0;            // +/- uniform jitter added to delay
+    double loss_rate = 0.0;         // i.i.d. drop probability on arrival
+    std::size_t buffer_bytes = 256 * 1024;  // drop-tail queue capacity
+    std::size_t burst_bytes = 5 * 1024;     // token-bucket burst (tc default)
+  };
+
+  struct Stats {
+    std::uint64_t arrived_packets = 0;
+    std::uint64_t delivered_packets = 0;
+    std::uint64_t delivered_bytes = 0;
+    std::uint64_t random_losses = 0;
+    std::uint64_t buffer_drops = 0;
+    std::size_t max_queue_bytes = 0;
+  };
+
+  Link(Simulator& sim, Config cfg, Rng rng);
+
+  /// Sets the downstream consumer (a Node's receive entry, or an endpoint).
+  void set_receiver(PacketHandler receiver) { receiver_ = std::move(receiver); }
+
+  /// Entry point: a packet arrives at the head of the link.
+  void send(Packet p);
+
+  /// Instantaneous queue occupancy in bytes (for tests/instrumentation).
+  std::size_t queue_bytes() const { return queue_.occupancy_bytes(); }
+
+  /// Expected queueing delay of a packet entering now, in nanoseconds.
+  Duration queueing_delay_estimate() const;
+
+  Stats stats() const;
+  const Config& config() const { return cfg_; }
+
+ private:
+  void pump();  // tries to transmit the head-of-line packet
+  // Accrues tokens up to max(burst, cap_floor); the floor guarantees the
+  // head-of-line packet can eventually depart.
+  void refill_tokens(std::size_t cap_floor);
+  Duration time_until_tokens(std::size_t bytes) const;
+  void deliver(Packet p);      // applies propagation delay + jitter, FIFO
+
+  Simulator& sim_;
+  Config cfg_;
+  Rng rng_;
+  DropTailQueue queue_;
+  PacketHandler receiver_;
+
+  double tokens_bytes_ = 0;    // current token-bucket fill
+  Time last_refill_ = 0;
+  bool pump_scheduled_ = false;
+  Time last_delivery_time_ = 0;  // enforces FIFO delivery despite jitter
+
+  std::uint64_t arrived_packets_ = 0;
+  std::uint64_t delivered_packets_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t random_losses_ = 0;
+};
+
+}  // namespace ccsig::sim

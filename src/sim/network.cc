@@ -1,0 +1,46 @@
+#include "sim/network.h"
+
+#include <stdexcept>
+
+namespace ccsig::sim {
+
+Node* Network::add_node(const std::string& name) {
+  auto node = std::make_unique<Node>(sim_, next_address_++, name);
+  Node* raw = node.get();
+  nodes_.push_back(std::move(node));
+  if (!by_name_.emplace(name, raw).second) {
+    throw std::invalid_argument("duplicate node name: " + name);
+  }
+  return raw;
+}
+
+Node* Network::node(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    throw std::out_of_range("no such node: " + name);
+  }
+  return it->second;
+}
+
+Network::Duplex Network::connect(Node* a, Node* b, Link::Config ab,
+                                 Link::Config ba) {
+  if (ab.name == "link") ab.name = a->name() + "->" + b->name();
+  if (ba.name == "link") ba.name = b->name() + "->" + a->name();
+  auto link_ab = std::make_unique<Link>(sim_, std::move(ab), rng_.fork());
+  auto link_ba = std::make_unique<Link>(sim_, std::move(ba), rng_.fork());
+  Link* raw_ab = link_ab.get();
+  Link* raw_ba = link_ba.get();
+  raw_ab->set_receiver([b](const Packet& p) { b->receive(p); });
+  raw_ba->set_receiver([a](const Packet& p) { a->receive(p); });
+  a->add_route(b->address(), raw_ab);
+  b->add_route(a->address(), raw_ba);
+  links_.push_back(std::move(link_ab));
+  links_.push_back(std::move(link_ba));
+  return Duplex{raw_ab, raw_ba};
+}
+
+Network::Duplex Network::connect(Node* a, Node* b, const Link::Config& both) {
+  return connect(a, b, both, both);
+}
+
+}  // namespace ccsig::sim

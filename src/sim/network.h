@@ -1,0 +1,63 @@
+// Convenience owner for a whole simulated network: the simulator, nodes,
+// and the links wiring them together.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/link.h"
+#include "sim/node.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace ccsig::sim {
+
+/// Builds and owns a topology. Nodes are created with sequential addresses
+/// starting at 1; links are full-duplex pairs of `Link`s wired into the
+/// peer node's receive path.
+class Network {
+ public:
+  explicit Network(std::uint64_t seed) : rng_(seed) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Simulator& sim() { return sim_; }
+  Rng& rng() { return rng_; }
+
+  /// Creates a node; the returned pointer is stable for the Network's life.
+  Node* add_node(const std::string& name);
+
+  Node* node(const std::string& name) const;
+
+  /// Connects `a` and `b` with a full-duplex link; `ab` shapes a→b traffic
+  /// and `ba` shapes b→a traffic. Also installs routes for each other's
+  /// address. Returns the two directed links.
+  struct Duplex {
+    Link* ab;
+    Link* ba;
+  };
+  Duplex connect(Node* a, Node* b, Link::Config ab, Link::Config ba);
+
+  /// Symmetric convenience overload.
+  Duplex connect(Node* a, Node* b, const Link::Config& both);
+
+  /// Installs a route on every node lacking one so that packets for `dst`
+  /// eventually arrive (simple static routing helper for linear topologies).
+  void add_route(Node* at, Node* dst, Link* out) {
+    at->add_route(dst->address(), out);
+  }
+
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+
+ private:
+  Simulator sim_;
+  Rng rng_;
+  Address next_address_ = 1;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::unordered_map<std::string, Node*> by_name_;
+};
+
+}  // namespace ccsig::sim

@@ -1,0 +1,81 @@
+// The packet model shared by the simulator, the TCP stack, and the capture
+// substrate. Payload bytes are counted, not materialized.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ccsig::sim {
+
+/// Host/router address. Each simulated host owns exactly one address.
+using Address = std::uint32_t;
+
+/// TCP-style port number.
+using Port = std::uint16_t;
+
+/// Connection 4-tuple. Identifies a unidirectional packet stream's owner
+/// connection; the reverse direction has src/dst swapped.
+struct FlowKey {
+  Address src_addr = 0;
+  Address dst_addr = 0;
+  Port src_port = 0;
+  Port dst_port = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+
+  /// The same connection seen from the other direction.
+  FlowKey reversed() const {
+    return FlowKey{dst_addr, src_addr, dst_port, src_port};
+  }
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const {
+    std::uint64_t a = (std::uint64_t(k.src_addr) << 32) | k.dst_addr;
+    std::uint64_t b = (std::uint64_t(k.src_port) << 16) | k.dst_port;
+    std::uint64_t h = a * 0x9E3779B97F4A7C15ULL ^ (b + 0x632BE59BD9B4E019ULL);
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h * 0xBF58476D1CE4E5B9ULL);
+  }
+};
+
+/// TCP header flags the simulation models.
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+
+  friend bool operator==(const TcpFlags&, const TcpFlags&) = default;
+};
+
+inline constexpr std::size_t kTcpIpHeaderBytes = 40;  // IPv4 (20) + TCP (20)
+
+/// A simulated TCP/IP packet. Sequence/ack numbers are absolute 64-bit byte
+/// offsets from the start of the stream; the pcap codec wraps them to 32 bits
+/// on the wire and the reader unwraps them again.
+struct Packet {
+  FlowKey key;
+  std::uint64_t seq = 0;          // first payload byte carried (or ISN for SYN)
+  std::uint64_t ack = 0;          // next byte expected from the peer
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t window = 0;       // advertised receive window (0 = unset)
+  /// SACK option blocks [start, end) in stream offsets; at most 3, newest
+  /// first (RFC 2018). Empty on data packets and plain cumulative ACKs.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sack_blocks;
+  TcpFlags flags;
+  Time sent_at = 0;               // stamped by the sending endpoint
+  std::uint64_t id = 0;           // unique per transmission (retx gets new id)
+
+  /// Bytes occupying link capacity and buffers (headers + payload).
+  std::size_t wire_bytes() const { return kTcpIpHeaderBytes + payload_bytes; }
+};
+
+/// Anything that can absorb a delivered packet.
+using PacketHandler = std::function<void(const Packet&)>;
+
+}  // namespace ccsig::sim

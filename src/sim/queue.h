@@ -1,0 +1,61 @@
+// Drop-tail FIFO byte queue used at the head of every shaped link.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/packet.h"
+
+namespace ccsig::sim {
+
+/// Byte-limited drop-tail queue. Capacity is expressed in bytes because the
+/// paper sizes buffers in milliseconds at the link rate and we convert.
+class DropTailQueue {
+ public:
+  explicit DropTailQueue(std::size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Attempts to enqueue. Returns false (and counts a drop) when the packet
+  /// does not fit.
+  bool push(Packet p) {
+    if (occupancy_bytes_ + p.wire_bytes() > capacity_bytes_) {
+      ++drops_;
+      dropped_bytes_ += p.wire_bytes();
+      return false;
+    }
+    occupancy_bytes_ += p.wire_bytes();
+    if (occupancy_bytes_ > max_occupancy_bytes_) {
+      max_occupancy_bytes_ = occupancy_bytes_;
+    }
+    items_.push_back(std::move(p));
+    return true;
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+  const Packet& front() const { return items_.front(); }
+
+  Packet pop() {
+    Packet p = std::move(items_.front());
+    items_.pop_front();
+    occupancy_bytes_ -= p.wire_bytes();
+    return p;
+  }
+
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+  std::size_t occupancy_bytes() const { return occupancy_bytes_; }
+  std::size_t max_occupancy_bytes() const { return max_occupancy_bytes_; }
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t dropped_bytes() const { return dropped_bytes_; }
+
+ private:
+  std::size_t capacity_bytes_;
+  std::size_t occupancy_bytes_ = 0;
+  std::size_t max_occupancy_bytes_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t dropped_bytes_ = 0;
+  std::deque<Packet> items_;
+};
+
+}  // namespace ccsig::sim

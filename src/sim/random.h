@@ -1,0 +1,78 @@
+// Deterministic random number generation for the simulator.
+//
+// Every stochastic component (link loss, jitter, traffic generators, dataset
+// campaigns) owns an `Rng` derived from a single campaign seed, so a seed
+// fully reproduces an experiment.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ccsig::sim {
+
+/// SplitMix64 — used to derive independent child seeds from a parent seed.
+/// (Reference: Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+/// Generators", OOPSLA 2014.)
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Seedable RNG with the distributions the simulator needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_state_(seed) {}
+
+  /// Derives an independent child generator; successive calls yield
+  /// different, deterministic children.
+  Rng fork() { return Rng(splitmix64(seed_state_)); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Normally distributed value.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Picks an index in [0, weights.size()) with probability proportional to
+  /// its weight.
+  std::size_t weighted_index(const std::vector<double>& weights) {
+    std::discrete_distribution<std::size_t> d(weights.begin(), weights.end());
+    return d(engine_);
+  }
+
+  /// Raw 64-bit draw (e.g. to seed a child component by value).
+  std::uint64_t next_u64() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_state_;
+};
+
+}  // namespace ccsig::sim

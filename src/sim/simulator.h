@@ -1,0 +1,58 @@
+// The discrete-event simulation driver.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace ccsig::sim {
+
+/// Owns the clock and the event queue. Components hold a `Simulator&` and
+/// schedule callbacks; `run_until()` drives them. Single-threaded by design.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  Time now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (clamped to now if in the past).
+  void schedule_at(Time t, EventQueue::Callback cb) {
+    queue_.schedule(t < now_ ? now_ : t, std::move(cb));
+  }
+
+  /// Schedules `cb` after a relative delay (negative delays fire "now").
+  void schedule_in(Duration d, EventQueue::Callback cb) {
+    schedule_at(now_ + (d < 0 ? 0 : d), std::move(cb));
+  }
+
+  /// Runs events until the queue is exhausted or the clock passes `deadline`.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(Time deadline) {
+    std::uint64_t executed = 0;
+    while (!queue_.empty() && queue_.next_time() <= deadline) {
+      now_ = queue_.next_time();
+      auto cb = queue_.pop();
+      cb();
+      ++executed;
+    }
+    if (now_ < deadline && queue_.empty()) now_ = deadline;
+    return executed;
+  }
+
+  /// Runs until no events remain.
+  std::uint64_t run() { return run_until(std::numeric_limits<Time>::max()); }
+
+  bool idle() const { return queue_.empty(); }
+  std::uint64_t events_executed_hint() const { return queue_.scheduled_count(); }
+
+ private:
+  Time now_ = 0;
+  EventQueue queue_;
+};
+
+}  // namespace ccsig::sim

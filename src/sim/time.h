@@ -1,0 +1,47 @@
+// Simulation time: signed 64-bit nanoseconds since simulation start.
+//
+// All simulator components exchange `Time` values; floating-point clocks are
+// never used, so event ordering is exact and runs are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace ccsig::sim {
+
+/// Nanoseconds since the start of the simulation.
+using Time = std::int64_t;
+
+/// A duration, same representation as `Time`.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+
+/// Converts a duration expressed in (possibly fractional) seconds.
+constexpr Duration from_seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+/// Converts a duration expressed in (possibly fractional) milliseconds.
+constexpr Duration from_millis(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Converts a duration expressed in (possibly fractional) microseconds.
+constexpr Duration from_micros(double us) {
+  return static_cast<Duration>(us * static_cast<double>(kMicrosecond));
+}
+
+/// Expresses `t` in fractional seconds (for reporting only).
+constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Expresses `t` in fractional milliseconds (for reporting only).
+constexpr double to_millis(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace ccsig::sim

@@ -1,0 +1,19 @@
+// Packet-observation hook: the simulator-side equivalent of tcpdump.
+#pragma once
+
+#include "sim/packet.h"
+#include "sim/time.h"
+
+namespace ccsig::sim {
+
+/// Receives every packet that crosses the interface it is attached to.
+/// Implementations: in-memory trace recorders, pcap file writers.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// `t` is the observation timestamp at the tap point.
+  virtual void on_packet(Time t, const Packet& p) = 0;
+};
+
+}  // namespace ccsig::sim

@@ -1,0 +1,133 @@
+#include "tcp/bbr_lite.h"
+
+#include <algorithm>
+
+namespace ccsig::tcp {
+namespace {
+constexpr double kProbeGains[BbrLiteCongestionControl::kGainCycleLen] = {
+    1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+constexpr sim::Duration kBwWindow = 10 * sim::kSecond;
+constexpr sim::Duration kMinRttWindow = 10 * sim::kSecond;
+}  // namespace
+
+BbrLiteCongestionControl::BbrLiteCongestionControl(std::uint32_t mss)
+    : mss_(mss) {}
+
+void BbrLiteCongestionControl::update_bandwidth(std::uint64_t acked_bytes,
+                                                sim::Duration rtt,
+                                                sim::Time now) {
+  if (rtt > 0 &&
+      (min_rtt_ == 0 || rtt < min_rtt_ ||
+       min_rtt_stamp_ + kMinRttWindow < now)) {
+    min_rtt_ = rtt;
+    min_rtt_stamp_ = now;
+  }
+
+  // Delivery-rate sampling: accumulate ACKed bytes over short measurement
+  // intervals (>= 2 ms) so a sample reflects the ACK-clock rate — i.e. the
+  // bottleneck bandwidth — rather than per-ACK burst artifacts.
+  if (accum_start_ < 0) {
+    accum_start_ = now;
+    accum_bytes_ = 0;
+  }
+  accum_bytes_ += acked_bytes;
+  const sim::Duration interval = now - accum_start_;
+  const sim::Duration min_interval =
+      std::max<sim::Duration>(2 * sim::kMillisecond,
+                              min_rtt_ > 0 ? min_rtt_ / 4 : 0);
+  if (interval < min_interval) return;
+  const double sample_bps =
+      static_cast<double>(accum_bytes_) * 8.0 / sim::to_seconds(interval);
+  accum_start_ = now;
+  accum_bytes_ = 0;
+
+  bw_samples_.emplace_back(now, sample_bps);
+  while (!bw_samples_.empty() && bw_samples_.front().first + kBwWindow < now) {
+    bw_samples_.pop_front();
+  }
+  max_bw_bps_ = 0;
+  for (const auto& [t, bw] : bw_samples_) max_bw_bps_ = std::max(max_bw_bps_, bw);
+}
+
+double BbrLiteCongestionControl::bdp_bytes() const {
+  if (max_bw_bps_ <= 0 || min_rtt_ <= 0) {
+    return static_cast<double>(mss_) * kInitialWindowSegments;
+  }
+  return max_bw_bps_ / 8.0 * sim::to_seconds(min_rtt_);
+}
+
+void BbrLiteCongestionControl::on_ack(std::uint64_t acked_bytes,
+                                      sim::Duration rtt, sim::Time now) {
+  update_bandwidth(acked_bytes, rtt, now);
+
+  switch (phase_) {
+    case Phase::kStartup: {
+      // Exit when bandwidth has stopped growing (<25% over three updates).
+      if (max_bw_bps_ > full_bw_bps_ * 1.25) {
+        full_bw_bps_ = max_bw_bps_;
+        full_bw_rounds_ = 0;
+      } else if (++full_bw_rounds_ >= 3) {
+        phase_ = Phase::kDrain;
+      }
+      break;
+    }
+    case Phase::kDrain: {
+      phase_ = Phase::kProbeBw;  // one ACK round of drain is enough here
+      cycle_stamp_ = now;
+      cycle_index_ = 0;
+      break;
+    }
+    case Phase::kProbeBw: {
+      if (min_rtt_ > 0 && now > cycle_stamp_ + min_rtt_) {
+        cycle_stamp_ = now;
+        cycle_index_ = (cycle_index_ + 1) % kGainCycleLen;
+      }
+      break;
+    }
+  }
+}
+
+void BbrLiteCongestionControl::on_loss(LossKind kind,
+                                       std::uint64_t /*flight_bytes*/,
+                                       sim::Time /*now*/) {
+  // BBR v1 mostly ignores isolated losses; an RTO resets the model.
+  if (kind == LossKind::kTimeout) {
+    max_bw_bps_ = 0;
+    full_bw_bps_ = 0;
+    full_bw_rounds_ = 0;
+    bw_samples_.clear();
+    accum_start_ = -1;
+    phase_ = Phase::kStartup;
+  }
+}
+
+void BbrLiteCongestionControl::on_recovery_exit(sim::Time /*now*/) {}
+
+std::uint64_t BbrLiteCongestionControl::cwnd_bytes() const {
+  const double gain = phase_ == Phase::kStartup ? kStartupGain : 2.0;
+  const double w = bdp_bytes() * gain;
+  return std::max<std::uint64_t>(static_cast<std::uint64_t>(w), 4ull * mss_);
+}
+
+double BbrLiteCongestionControl::pacing_rate_bps() const {
+  if (max_bw_bps_ <= 0) return 0.0;  // unpaced until the first estimate
+  double gain = 1.0;
+  switch (phase_) {
+    case Phase::kStartup:
+      gain = kStartupGain;
+      break;
+    case Phase::kDrain:
+      gain = kDrainGain;
+      break;
+    case Phase::kProbeBw:
+      gain = kProbeGains[cycle_index_];
+      break;
+  }
+  return max_bw_bps_ * gain;
+}
+
+std::unique_ptr<CongestionControl> make_bbr_lite(std::uint32_t mss) {
+  return std::make_unique<BbrLiteCongestionControl>(mss);
+}
+
+}  // namespace ccsig::tcp

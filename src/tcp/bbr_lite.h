@@ -1,0 +1,66 @@
+// A BBR-flavoured, rate-based congestion control.
+//
+// This is a deliberately simplified model of BBR v1 (Cardwell et al., 2017):
+// windowed max-bandwidth and min-RTT estimation, a startup phase with a
+// 2/ln(2) pacing gain until bandwidth stops growing, a drain phase, then
+// steady-state pacing at the estimated bottleneck bandwidth with periodic
+// gain cycling. It exists to exercise the paper's §6 limitation — latency-
+// based congestion control confounding the buffer-fill signature — not to be
+// a bit-exact BBR.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "tcp/congestion_control.h"
+
+namespace ccsig::tcp {
+
+class BbrLiteCongestionControl : public CongestionControl {
+ public:
+  explicit BbrLiteCongestionControl(std::uint32_t mss);
+
+  void on_ack(std::uint64_t acked_bytes, sim::Duration rtt,
+              sim::Time now) override;
+  void on_loss(LossKind kind, std::uint64_t flight_bytes,
+               sim::Time now) override;
+  void on_recovery_exit(sim::Time now) override;
+
+  std::uint64_t cwnd_bytes() const override;
+  std::uint64_t ssthresh_bytes() const override { return 0; }
+  bool in_slow_start() const override { return phase_ == Phase::kStartup; }
+  double pacing_rate_bps() const override;
+  std::string name() const override { return "bbr"; }
+
+  static constexpr int kGainCycleLen = 8;
+
+ private:
+  enum class Phase { kStartup, kDrain, kProbeBw };
+
+  void update_bandwidth(std::uint64_t acked_bytes, sim::Duration rtt,
+                        sim::Time now);
+  double bdp_bytes() const;
+
+  static constexpr double kStartupGain = 2.885;  // 2/ln(2)
+  static constexpr double kDrainGain = 0.348;    // 1/kStartupGain
+
+  std::uint32_t mss_;
+  Phase phase_ = Phase::kStartup;
+
+  double max_bw_bps_ = 0;          // windowed max delivery rate
+  sim::Duration min_rtt_ = 0;      // windowed min RTT
+  sim::Time min_rtt_stamp_ = 0;
+
+  double full_bw_bps_ = 0;         // plateau detection
+  int full_bw_rounds_ = 0;
+
+  sim::Time cycle_stamp_ = 0;
+  int cycle_index_ = 0;
+
+  std::deque<std::pair<sim::Time, double>> bw_samples_;
+  // Delivery-rate measurement interval accumulator.
+  sim::Time accum_start_ = -1;
+  std::uint64_t accum_bytes_ = 0;
+};
+
+}  // namespace ccsig::tcp

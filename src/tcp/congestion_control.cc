@@ -1,0 +1,14 @@
+#include "tcp/congestion_control.h"
+
+#include <stdexcept>
+
+namespace ccsig::tcp {
+
+CongestionControlFactory congestion_control_by_name(const std::string& name) {
+  if (name == "reno" || name == "newreno") return &make_reno;
+  if (name == "cubic") return &make_cubic;
+  if (name == "bbr" || name == "bbr_lite") return &make_bbr_lite;
+  throw std::invalid_argument("unknown congestion control: " + name);
+}
+
+}  // namespace ccsig::tcp

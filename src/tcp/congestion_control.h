@@ -1,0 +1,61 @@
+// Pluggable congestion-control interface.
+//
+// The sender owns the loss-recovery state machine (dupack counting, fast
+// recovery, RTO) and reports events here; implementations only decide how
+// the congestion window evolves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/time.h"
+#include "tcp/tcp_types.h"
+
+namespace ccsig::tcp {
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  /// A cumulative ACK advanced the window.
+  /// `acked_bytes` is the newly acknowledged byte count; `rtt` is the RTT
+  /// sample for this ACK (or -1 when none, e.g. for a retransmitted
+  /// segment under Karn's rule).
+  virtual void on_ack(std::uint64_t acked_bytes, sim::Duration rtt,
+                      sim::Time now) = 0;
+
+  /// A loss event was detected. `flight_bytes` is the amount outstanding.
+  virtual void on_loss(LossKind kind, std::uint64_t flight_bytes,
+                       sim::Time now) = 0;
+
+  /// Fast recovery finished (full ACK arrived).
+  virtual void on_recovery_exit(sim::Time now) = 0;
+
+  /// Current congestion window in bytes.
+  virtual std::uint64_t cwnd_bytes() const = 0;
+
+  /// Slow-start threshold in bytes (reported for Web100-style stats).
+  virtual std::uint64_t ssthresh_bytes() const = 0;
+
+  virtual bool in_slow_start() const = 0;
+
+  /// Pacing rate in bits/s, or 0 when the algorithm does not pace
+  /// (window-limited algorithms like Reno/CUBIC).
+  virtual double pacing_rate_bps() const { return 0.0; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Factory signature used by experiment configs.
+using CongestionControlFactory =
+    std::unique_ptr<CongestionControl> (*)(std::uint32_t mss);
+
+std::unique_ptr<CongestionControl> make_reno(std::uint32_t mss);
+std::unique_ptr<CongestionControl> make_cubic(std::uint32_t mss);
+std::unique_ptr<CongestionControl> make_bbr_lite(std::uint32_t mss);
+
+/// Resolves a factory by name ("reno", "cubic", "bbr"); throws on unknown.
+CongestionControlFactory congestion_control_by_name(const std::string& name);
+
+}  // namespace ccsig::tcp

@@ -1,0 +1,80 @@
+#include "tcp/cubic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccsig::tcp {
+
+CubicCongestionControl::CubicCongestionControl(std::uint32_t mss)
+    : mss_(mss),
+      cwnd_(static_cast<std::uint64_t>(mss) * kInitialWindowSegments) {}
+
+double CubicCongestionControl::cubic_window(double t_seconds) const {
+  const double dt = t_seconds - k_seconds_;
+  return kC * dt * dt * dt + w_max_segments_;
+}
+
+void CubicCongestionControl::on_ack(std::uint64_t acked_bytes,
+                                    sim::Duration rtt, sim::Time now) {
+  if (rtt > 0) {
+    const double r = sim::to_seconds(rtt);
+    est_rtt_s_ = est_rtt_s_ <= 0 ? r : 0.9 * est_rtt_s_ + 0.1 * r;
+  }
+  if (in_slow_start()) {
+    cwnd_ += std::min<std::uint64_t>(acked_bytes, mss_);
+    return;
+  }
+  if (epoch_start_ < 0) {
+    epoch_start_ = now;
+    const double w_seg = static_cast<double>(cwnd_) / mss_;
+    if (w_max_segments_ < w_seg) w_max_segments_ = w_seg;
+    k_seconds_ = std::cbrt((w_max_segments_ - w_seg) / kC);
+    tcp_friendly_segments_ = w_seg;
+  }
+  const double t = sim::to_seconds(now - epoch_start_);
+  // Target: where the cubic curve says the window should be one RTT from now.
+  const double target = cubic_window(t + est_rtt_s_);
+  const double w_seg = static_cast<double>(cwnd_) / mss_;
+
+  // TCP-friendly region (RFC 8312 §4.2): emulate Reno's AIMD average.
+  tcp_friendly_segments_ +=
+      3.0 * (1.0 - kBeta) / (1.0 + kBeta) *
+      (static_cast<double>(acked_bytes) / static_cast<double>(cwnd_));
+
+  double next = w_seg;
+  if (target > w_seg) {
+    next = w_seg + (target - w_seg) / w_seg;  // cubic increase per ACK batch
+  } else {
+    next = w_seg + 0.01 / w_seg;  // minimal growth in the plateau
+  }
+  next = std::max(next, tcp_friendly_segments_);
+  cwnd_ = static_cast<std::uint64_t>(next * mss_);
+}
+
+void CubicCongestionControl::on_loss(LossKind kind, std::uint64_t flight_bytes,
+                                     sim::Time /*now*/) {
+  const double w_seg = static_cast<double>(cwnd_) / mss_;
+  // Fast convergence (RFC 8312 §4.6).
+  w_max_segments_ =
+      w_seg < w_max_segments_ ? w_seg * (1.0 + kBeta) / 2.0 : w_seg;
+  epoch_start_ = -1;
+  const std::uint64_t floor = 2ull * mss_;
+  if (kind == LossKind::kTimeout) {
+    ssthresh_ = std::max(flight_bytes / 2, floor);
+    cwnd_ = mss_;
+  } else {
+    ssthresh_ =
+        std::max(static_cast<std::uint64_t>(w_seg * kBeta) * mss_, floor);
+    cwnd_ = ssthresh_;
+  }
+}
+
+void CubicCongestionControl::on_recovery_exit(sim::Time /*now*/) {
+  cwnd_ = ssthresh_;
+}
+
+std::unique_ptr<CongestionControl> make_cubic(std::uint32_t mss) {
+  return std::make_unique<CubicCongestionControl>(mss);
+}
+
+}  // namespace ccsig::tcp

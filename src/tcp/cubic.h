@@ -1,0 +1,43 @@
+// CUBIC congestion control (RFC 8312 semantics, simplified: no HyStart).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "tcp/congestion_control.h"
+
+namespace ccsig::tcp {
+
+class CubicCongestionControl : public CongestionControl {
+ public:
+  explicit CubicCongestionControl(std::uint32_t mss);
+
+  void on_ack(std::uint64_t acked_bytes, sim::Duration rtt,
+              sim::Time now) override;
+  void on_loss(LossKind kind, std::uint64_t flight_bytes,
+               sim::Time now) override;
+  void on_recovery_exit(sim::Time now) override;
+
+  std::uint64_t cwnd_bytes() const override { return cwnd_; }
+  std::uint64_t ssthresh_bytes() const override { return ssthresh_; }
+  bool in_slow_start() const override { return cwnd_ < ssthresh_; }
+  std::string name() const override { return "cubic"; }
+
+ private:
+  double cubic_window(double t_seconds) const;
+
+  static constexpr double kC = 0.4;     // RFC 8312 scaling constant
+  static constexpr double kBeta = 0.7;  // multiplicative decrease factor
+
+  std::uint32_t mss_;
+  std::uint64_t cwnd_;
+  std::uint64_t ssthresh_ = std::numeric_limits<std::uint64_t>::max();
+
+  double w_max_segments_ = 0;   // window before the last reduction
+  sim::Time epoch_start_ = -1;  // start of the current growth epoch
+  double k_seconds_ = 0;        // time to regain w_max
+  double est_rtt_s_ = 0.1;      // smoothed RTT for the TCP-friendly region
+  double tcp_friendly_segments_ = 0;
+};
+
+}  // namespace ccsig::tcp

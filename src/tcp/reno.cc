@@ -1,0 +1,48 @@
+#include "tcp/reno.h"
+
+#include <algorithm>
+
+namespace ccsig::tcp {
+
+RenoCongestionControl::RenoCongestionControl(std::uint32_t mss)
+    : mss_(mss),
+      cwnd_(static_cast<std::uint64_t>(mss) * kInitialWindowSegments) {}
+
+void RenoCongestionControl::on_ack(std::uint64_t acked_bytes,
+                                   sim::Duration /*rtt*/, sim::Time /*now*/) {
+  if (in_slow_start()) {
+    // Exponential growth: cwnd += min(acked, MSS) per ACK (RFC 5681 §3.1,
+    // with ABC limiting growth to one MSS per ACK).
+    cwnd_ += std::min<std::uint64_t>(acked_bytes, mss_);
+    return;
+  }
+  // Congestion avoidance: one MSS per cwnd of acknowledged data.
+  ca_acked_ += acked_bytes;
+  if (ca_acked_ >= cwnd_) {
+    ca_acked_ -= cwnd_;
+    cwnd_ += mss_;
+  }
+}
+
+void RenoCongestionControl::on_loss(LossKind kind, std::uint64_t flight_bytes,
+                                    sim::Time /*now*/) {
+  const std::uint64_t floor = 2ull * mss_;
+  ssthresh_ = std::max(flight_bytes / 2, floor);
+  if (kind == LossKind::kTimeout) {
+    cwnd_ = mss_;  // RFC 5681: collapse to loss window, re-enter slow start
+    ca_acked_ = 0;
+  } else {
+    cwnd_ = ssthresh_;  // halve; the sender adds dupack inflation on top
+  }
+}
+
+void RenoCongestionControl::on_recovery_exit(sim::Time /*now*/) {
+  cwnd_ = ssthresh_;
+  ca_acked_ = 0;
+}
+
+std::unique_ptr<CongestionControl> make_reno(std::uint32_t mss) {
+  return std::make_unique<RenoCongestionControl>(mss);
+}
+
+}  // namespace ccsig::tcp

@@ -1,0 +1,34 @@
+// TCP NewReno congestion window management (RFC 5681 / 6582 semantics).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "tcp/congestion_control.h"
+#include "tcp/tcp_types.h"
+
+namespace ccsig::tcp {
+
+class RenoCongestionControl : public CongestionControl {
+ public:
+  explicit RenoCongestionControl(std::uint32_t mss);
+
+  void on_ack(std::uint64_t acked_bytes, sim::Duration rtt,
+              sim::Time now) override;
+  void on_loss(LossKind kind, std::uint64_t flight_bytes,
+               sim::Time now) override;
+  void on_recovery_exit(sim::Time now) override;
+
+  std::uint64_t cwnd_bytes() const override { return cwnd_; }
+  std::uint64_t ssthresh_bytes() const override { return ssthresh_; }
+  bool in_slow_start() const override { return cwnd_ < ssthresh_; }
+  std::string name() const override { return "reno"; }
+
+ private:
+  std::uint32_t mss_;
+  std::uint64_t cwnd_;
+  std::uint64_t ssthresh_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t ca_acked_ = 0;  // byte accumulator for congestion avoidance
+};
+
+}  // namespace ccsig::tcp

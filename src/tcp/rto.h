@@ -1,0 +1,64 @@
+// RFC 6298 retransmission-timeout estimation.
+#pragma once
+
+#include "sim/time.h"
+
+namespace ccsig::tcp {
+
+/// Maintains SRTT/RTTVAR and derives the retransmission timeout, with
+/// exponential backoff on timer expiry (RFC 6298).
+class RtoEstimator {
+ public:
+  struct Config {
+    sim::Duration min_rto = 200 * sim::kMillisecond;  // Linux default floor
+    sim::Duration max_rto = 60 * sim::kSecond;
+    sim::Duration initial_rto = 1 * sim::kSecond;
+  };
+
+  RtoEstimator() : RtoEstimator(Config{}) {}
+  explicit RtoEstimator(Config cfg) : cfg_(cfg), rto_(cfg.initial_rto) {}
+
+  /// Feeds a new RTT measurement (from a non-retransmitted segment; the
+  /// caller enforces Karn's rule).
+  void on_measurement(sim::Duration rtt) {
+    if (rtt < 0) rtt = 0;
+    if (!have_sample_) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+      have_sample_ = true;
+    } else {
+      const sim::Duration err = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
+      rttvar_ = (3 * rttvar_ + err) / 4;  // beta = 1/4
+      srtt_ = (7 * srtt_ + rtt) / 8;      // alpha = 1/8
+    }
+    rto_ = clamp(srtt_ + 4 * rttvar_);
+    backoff_ = 1;
+  }
+
+  /// Doubles the timeout after a retransmission timer expiry. The max_rto
+  /// clamp bounds the effective value.
+  void on_timeout() {
+    if (backoff_ < 4096) backoff_ *= 2;
+  }
+
+  sim::Duration rto() const { return clamp(rto_ * backoff_); }
+  sim::Duration srtt() const { return srtt_; }
+  sim::Duration rttvar() const { return rttvar_; }
+  bool has_sample() const { return have_sample_; }
+
+ private:
+  sim::Duration clamp(sim::Duration d) const {
+    if (d < cfg_.min_rto) return cfg_.min_rto;
+    if (d > cfg_.max_rto) return cfg_.max_rto;
+    return d;
+  }
+
+  Config cfg_;
+  bool have_sample_ = false;
+  sim::Duration srtt_ = 0;
+  sim::Duration rttvar_ = 0;
+  sim::Duration rto_;
+  int backoff_ = 1;
+};
+
+}  // namespace ccsig::tcp

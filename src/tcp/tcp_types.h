@@ -1,0 +1,31 @@
+// Shared TCP constants and small value types.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace ccsig::tcp {
+
+/// Maximum segment size used throughout (Ethernet MTU 1500 − 40 bytes of
+/// IPv4+TCP headers − 12 bytes of timestamp options ≈ 1448, the value Linux
+/// typically negotiates and the paper's testbed would have used).
+inline constexpr std::uint32_t kDefaultMss = 1448;
+
+/// Initial congestion window in segments (RFC 6928).
+inline constexpr std::uint32_t kInitialWindowSegments = 10;
+
+/// Classes of loss event reported to congestion-control modules.
+enum class LossKind {
+  kFastRetransmit,  // triple duplicate ACK
+  kTimeout,         // retransmission timer expiry
+};
+
+/// What stopped the sender from transmitting more, Web100-style.
+enum class SendLimit {
+  kCongestion,  // cwnd (or recovery) limited
+  kReceiver,    // peer's advertised window limited
+  kApplication, // no data queued / pacing idle
+};
+
+}  // namespace ccsig::tcp

@@ -1,0 +1,69 @@
+// Experiment parameterization for the paper's controlled testbed (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace ccsig::testbed {
+
+/// Which congestion scenario the run emulates.
+enum class Scenario {
+  kSelfInduced,  // no TGcong: the test flow saturates the access link
+  kExternal,     // TGcong saturates the interconnect before the test starts
+};
+
+/// Ground-truth / assigned flow classes, used consistently everywhere.
+/// (External = 0, Self-induced = 1.)
+enum class CongestionClass : int {
+  kExternal = 0,
+  kSelfInduced = 1,
+};
+
+inline const char* to_string(CongestionClass c) {
+  return c == CongestionClass::kExternal ? "external" : "self";
+}
+
+/// Full description of one testbed throughput test (paper Figure 2).
+struct TestbedConfig {
+  /// Global capacity scale. 1.0 reproduces the paper's testbed rates;
+  /// smaller values shrink every link rate (buffers are specified in
+  /// milliseconds, so queueing *delays* — and therefore the RTT signatures —
+  /// are preserved). Cross-traffic object sizes scale along.
+  double scale = 1.0;
+
+  // AccessLink shaping (paper: tc tbf + netem on Router 2 -> Pi 1).
+  double access_rate_mbps = 20.0;    // 10 / 20 / 50
+  double access_latency_ms = 20.0;   // 20 / 40 (added one-way latency)
+  double access_jitter_ms = 2.0;
+  double access_loss = 0.0002;       // 0.02% / 0.05%
+  double access_buffer_ms = 100.0;   // 20 / 50 / 100
+
+  // InterConnectLink (Router 1 -> Router 2).
+  double interconnect_rate_mbps = 950.0;
+  double interconnect_buffer_ms = 50.0;
+
+  // Cross traffic.
+  Scenario scenario = Scenario::kSelfInduced;
+  int tgcong_flows = 100;        // concurrent bulk fetches when kExternal
+  std::string tgcong_cc = "reno";  // short-RTT flows: Reno regrows fastest
+  bool tgtrans_enabled = true;   // transient web-like cross traffic
+  int tgtrans_workers = 4;
+  int access_cross_flows = 0;    // §3.3: concurrent flows sharing AccessLink
+
+  // The netperf-style test flow.
+  sim::Duration warmup = sim::from_seconds(1.5);  // cross-traffic ramp time
+  sim::Duration test_duration = sim::from_seconds(10.0);
+  std::string congestion_control = "reno";
+  int receiver_segments_per_ack = 2;  // Linux delayed ACK
+
+  std::uint64_t seed = 1;
+
+  double access_rate_bps() const { return access_rate_mbps * 1e6 * scale; }
+  double interconnect_rate_bps() const {
+    return interconnect_rate_mbps * 1e6 * scale;
+  }
+};
+
+}  // namespace ccsig::testbed

@@ -1,0 +1,23 @@
+#include "testbed/labeler.h"
+
+namespace ccsig::testbed {
+
+std::optional<CongestionClass> label_test(const TestResult& result,
+                                          double threshold) {
+  if (!result.features) return std::nullopt;
+  const bool reached =
+      reached_capacity(result.features->slow_start_throughput_bps,
+                       result.access_capacity_bps, threshold);
+  if (reached) {
+    // Externally congested runs that still reached capacity are transient
+    // artifacts (§3.1); drop them rather than mislabel.
+    if (result.scenario == Scenario::kExternal) return std::nullopt;
+    return CongestionClass::kSelfInduced;
+  }
+  // Did not reach capacity: self-induced runs that fell short are also
+  // filtered; external-scenario runs are genuine external congestion.
+  if (result.scenario == Scenario::kSelfInduced) return std::nullopt;
+  return CongestionClass::kExternal;
+}
+
+}  // namespace ccsig::testbed

@@ -1,0 +1,27 @@
+// Congestion-threshold labeling of testbed runs (paper §3.1).
+//
+// A test whose slow-start throughput reaches `threshold × access capacity`
+// is labeled self-induced. Tests inconsistent with their scenario (an
+// external-scenario run that reached capacity anyway, or a self-scenario
+// run that failed to) are filtered out, exactly as the paper does.
+#pragma once
+
+#include <optional>
+
+#include "testbed/config.h"
+#include "testbed/experiment.h"
+
+namespace ccsig::testbed {
+
+/// True when the flow's slow-start throughput clears the threshold.
+inline bool reached_capacity(double slow_start_tput_bps, double capacity_bps,
+                             double threshold) {
+  return slow_start_tput_bps >= threshold * capacity_bps;
+}
+
+/// Labels one test; nullopt means "filtered" (invalid features or
+/// scenario-inconsistent outcome).
+std::optional<CongestionClass> label_test(const TestResult& result,
+                                          double threshold);
+
+}  // namespace ccsig::testbed

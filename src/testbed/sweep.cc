@@ -1,0 +1,166 @@
+#include "testbed/sweep.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/random.h"
+#include "testbed/experiment.h"
+#include "testbed/labeler.h"
+
+namespace ccsig::testbed {
+
+std::vector<SweepSample> run_sweep(const SweepOptions& opt) {
+  std::vector<SweepSample> samples;
+  sim::Rng seeder(opt.seed);
+
+  const std::size_t total = opt.access_rates_mbps.size() *
+                            opt.access_latencies_ms.size() *
+                            opt.access_losses.size() *
+                            opt.access_buffers_ms.size() * 2 *
+                            static_cast<std::size_t>(opt.reps);
+  std::size_t done = 0;
+
+  for (double rate : opt.access_rates_mbps) {
+    for (double latency : opt.access_latencies_ms) {
+      for (double loss : opt.access_losses) {
+        for (double buffer : opt.access_buffers_ms) {
+          for (Scenario scenario :
+               {Scenario::kSelfInduced, Scenario::kExternal}) {
+            for (int rep = 0; rep < opt.reps; ++rep) {
+              TestbedConfig cfg;
+              cfg.scale = opt.scale;
+              cfg.access_rate_mbps = rate;
+              cfg.access_latency_ms = latency;
+              cfg.access_loss = loss;
+              cfg.access_buffer_ms = buffer;
+              cfg.scenario = scenario;
+              cfg.tgcong_flows = opt.tgcong_flows;
+              cfg.test_duration = opt.test_duration;
+              cfg.warmup = opt.warmup;
+              cfg.congestion_control = opt.congestion_control;
+              cfg.seed = seeder.next_u64();
+
+              const TestResult r = run_testbed_experiment(cfg);
+              ++done;
+              if (opt.progress) opt.progress(done, total);
+              if (!r.features) continue;
+
+              SweepSample s;
+              s.norm_diff = r.features->norm_diff;
+              s.cov = r.features->cov;
+              s.rtt_slope = r.features->rtt_slope;
+              s.rtt_iqr = r.features->rtt_iqr;
+              s.slow_start_tput_bps = r.features->slow_start_throughput_bps;
+              s.flow_tput_bps = r.receiver_throughput_bps;
+              s.access_capacity_bps = r.access_capacity_bps;
+              s.scenario = static_cast<int>(
+                  scenario == Scenario::kExternal
+                      ? CongestionClass::kExternal
+                      : CongestionClass::kSelfInduced);
+              s.access_rate_mbps = rate;
+              s.access_latency_ms = latency;
+              s.access_loss = loss;
+              s.access_buffer_ms = buffer;
+              samples.push_back(s);
+            }
+          }
+        }
+      }
+    }
+  }
+  return samples;
+}
+
+int label_sample(const SweepSample& s, double threshold) {
+  const bool reached = reached_capacity(s.slow_start_tput_bps,
+                                        s.access_capacity_bps, threshold);
+  const bool external_run =
+      s.scenario == static_cast<int>(CongestionClass::kExternal);
+  if (reached) {
+    return external_run ? -1
+                        : static_cast<int>(CongestionClass::kSelfInduced);
+  }
+  return external_run ? static_cast<int>(CongestionClass::kExternal) : -1;
+}
+
+ml::Dataset make_dataset(const std::vector<SweepSample>& samples,
+                         double threshold, bool extended_features) {
+  std::vector<std::string> names = {"norm_diff", "cov"};
+  if (extended_features) {
+    names.push_back("rtt_slope");
+    names.push_back("rtt_iqr");
+  }
+  ml::Dataset data(names);
+  for (const SweepSample& s : samples) {
+    const int label = label_sample(s, threshold);
+    if (label < 0) continue;
+    std::vector<double> row = {s.norm_diff, s.cov};
+    if (extended_features) {
+      row.push_back(s.rtt_slope);
+      row.push_back(s.rtt_iqr);
+    }
+    data.add(std::move(row), label);
+  }
+  return data;
+}
+
+namespace {
+constexpr char kCsvHeader[] =
+    "norm_diff,cov,rtt_slope,rtt_iqr,slow_start_tput_bps,flow_tput_bps,"
+    "access_capacity_bps,scenario,access_rate_mbps,access_latency_ms,"
+    "access_loss,access_buffer_ms";
+}  // namespace
+
+void save_samples_csv(const std::string& path,
+                      const std::vector<SweepSample>& samples) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write sweep csv: " + path);
+  out.precision(17);
+  out << kCsvHeader << "\n";
+  for (const SweepSample& s : samples) {
+    out << s.norm_diff << ',' << s.cov << ',' << s.rtt_slope << ','
+        << s.rtt_iqr << ',' << s.slow_start_tput_bps << ',' << s.flow_tput_bps
+        << ',' << s.access_capacity_bps << ',' << s.scenario << ','
+        << s.access_rate_mbps << ',' << s.access_latency_ms << ','
+        << s.access_loss << ',' << s.access_buffer_ms << "\n";
+  }
+}
+
+std::vector<SweepSample> load_samples_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read sweep csv: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kCsvHeader) {
+    throw std::runtime_error("unrecognized sweep csv header in " + path);
+  }
+  std::vector<SweepSample> samples;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    SweepSample s;
+    char comma;
+    row >> s.norm_diff >> comma >> s.cov >> comma >> s.rtt_slope >> comma >>
+        s.rtt_iqr >> comma >> s.slow_start_tput_bps >> comma >>
+        s.flow_tput_bps >> comma >> s.access_capacity_bps >> comma >>
+        s.scenario >> comma >> s.access_rate_mbps >> comma >>
+        s.access_latency_ms >> comma >> s.access_loss >> comma >>
+        s.access_buffer_ms;
+    if (!row) throw std::runtime_error("malformed sweep csv row: " + line);
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+std::vector<SweepSample> load_or_run_sweep(const std::string& cache_path,
+                                           const SweepOptions& opt) {
+  if (std::filesystem::exists(cache_path)) {
+    return load_samples_csv(cache_path);
+  }
+  auto samples = run_sweep(opt);
+  save_samples_csv(cache_path, samples);
+  return samples;
+}
+
+}  // namespace ccsig::testbed

@@ -1,0 +1,132 @@
+#include "testbed/traffic.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ccsig::testbed {
+
+FetchLoop::FetchLoop(sim::Simulator& sim, PortAllocator& ports, Config cfg)
+    : sim_(sim), ports_(ports), cfg_(std::move(cfg)) {}
+
+void FetchLoop::start(sim::Time at) {
+  sim_.schedule_at(at, [this] { begin_fetch(); });
+}
+
+void FetchLoop::begin_fetch() {
+  const std::uint64_t size = std::max<std::uint64_t>(1, cfg_.size_sampler());
+
+  sim::FlowKey key;
+  key.src_addr = cfg_.server->address();
+  key.dst_addr = cfg_.client->address();
+  key.src_port = cfg_.server_port != 0 ? cfg_.server_port : ports_.next();
+  key.dst_port = ports_.next();
+
+  tcp::TcpSink::Config sink_cfg;
+  sink_cfg.data_key = key;
+  sink_cfg.segments_per_ack = cfg_.receiver_segments_per_ack;
+  sink_ = std::make_unique<tcp::TcpSink>(sim_, cfg_.client, sink_cfg);
+
+  tcp::TcpSource::Config src_cfg;
+  src_cfg.key = key;
+  src_cfg.bytes_to_send = size;
+  src_cfg.congestion_control = cfg_.congestion_control;
+  source_ = std::make_unique<tcp::TcpSource>(sim_, cfg_.server, src_cfg);
+  source_->set_on_complete([this, size] { finish_fetch(size); });
+  source_->start();
+}
+
+void FetchLoop::finish_fetch(std::uint64_t bytes) {
+  ++completed_;
+  bytes_ += bytes;
+  const double think_s =
+      cfg_.think_sampler ? std::max(0.0, cfg_.think_sampler()) : 0.0;
+  // Destruction and restart are deferred: finish_fetch() is invoked from
+  // inside the TcpSource's own ACK processing.
+  sim_.schedule_in(sim::from_seconds(think_s), [this] {
+    source_.reset();
+    sink_.reset();
+    begin_fetch();
+  });
+}
+
+namespace {
+
+/// Web-like object size sampler: sizes 10 KB … 100 MB with frequency
+/// inversely proportional to size (paper §3.1), scaled with link rates.
+std::function<std::uint64_t()> web_size_sampler(sim::Rng rng, double scale) {
+  const std::vector<std::uint64_t> sizes = {10ull << 10, 100ull << 10,
+                                            1ull << 20, 10ull << 20,
+                                            100ull << 20};
+  std::vector<double> weights;
+  weights.reserve(sizes.size());
+  for (std::uint64_t s : sizes) weights.push_back(1.0 / static_cast<double>(s));
+  return [rng, scale, sizes, weights]() mutable {
+    const std::size_t i = rng.weighted_index(weights);
+    const double scaled = static_cast<double>(sizes[i]) * scale;
+    return static_cast<std::uint64_t>(std::max(1024.0, scaled));
+  };
+}
+
+}  // namespace
+
+TgTrans::TgTrans(sim::Simulator& sim, PortAllocator& ports, sim::Rng rng,
+                 Config cfg) {
+  for (int w = 0; w < cfg.workers; ++w) {
+    sim::Rng pick_rng = rng.fork();
+    sim::Rng think_rng = rng.fork();
+    // Each worker alternates randomly among the servers; sampling the server
+    // happens at fetch time by round-robining a pre-shuffled choice.
+    sim::Node* server = cfg.servers[static_cast<std::size_t>(
+        pick_rng.uniform_int(0, static_cast<std::int64_t>(cfg.servers.size()) - 1))];
+    FetchLoop::Config lc;
+    lc.server = server;
+    lc.client = cfg.client;
+    lc.size_sampler = web_size_sampler(rng.fork(), cfg.scale);
+    const double mean_think = cfg.mean_think_s;
+    lc.think_sampler = [think_rng, mean_think]() mutable {
+      return think_rng.exponential(mean_think);
+    };
+    loops_.push_back(std::make_unique<FetchLoop>(sim, ports, std::move(lc)));
+  }
+}
+
+void TgTrans::start(sim::Time at) {
+  for (auto& l : loops_) l->start(at);
+}
+
+std::uint64_t TgTrans::fetches_completed() const {
+  std::uint64_t total = 0;
+  for (const auto& l : loops_) total += l->fetches_completed();
+  return total;
+}
+
+TgCong::TgCong(sim::Simulator& sim, PortAllocator& ports, sim::Rng rng,
+               Config cfg) {
+  const auto object = static_cast<std::uint64_t>(
+      std::max(1.0 * (1 << 20), static_cast<double>(cfg.object_bytes) * cfg.scale));
+  for (int f = 0; f < cfg.flows; ++f) {
+    FetchLoop::Config lc;
+    lc.server = cfg.server;
+    lc.client = cfg.client;
+    lc.size_sampler = [object] { return object; };
+    lc.think_sampler = nullptr;  // restart immediately (100 curl loops)
+    lc.congestion_control = cfg.congestion_control;
+    loops_.push_back(std::make_unique<FetchLoop>(sim, ports, std::move(lc)));
+    start_offsets_.push_back(static_cast<sim::Duration>(
+        rng.uniform(0.0, static_cast<double>(cfg.start_stagger))));
+  }
+}
+
+void TgCong::start(sim::Time at) {
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    loops_[i]->start(at + start_offsets_[i]);
+  }
+}
+
+std::uint64_t TgCong::bytes_fetched() const {
+  std::uint64_t total = 0;
+  for (const auto& l : loops_) total += l->bytes_fetched();
+  return total;
+}
+
+}  // namespace ccsig::testbed

@@ -1,0 +1,119 @@
+// Cross-traffic generators modeled on the paper's TGtrans and TGcong (§3.1).
+//
+// TGtrans: worker loops fetching web-like objects (10 KB – 100 MB, frequency
+// inversely proportional to size) from servers 20 ms and 60 ms away,
+// providing transient load on the interconnect.
+//
+// TGcong: N concurrent bulk fetches of a large object from a nearby server,
+// restarting immediately — saturates the interconnect when N is large.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/random.h"
+#include "tcp/tcp_sink.h"
+#include "tcp/tcp_source.h"
+
+namespace ccsig::testbed {
+
+/// Hands out unique client-side ports so concurrent fetches never collide.
+class PortAllocator {
+ public:
+  explicit PortAllocator(sim::Port first = 10000) : next_(first) {}
+  sim::Port next() { return next_++; }
+
+ private:
+  sim::Port next_;
+};
+
+/// One self-restarting fetch loop: open a connection from `server` to
+/// `client`, transfer `size_sampler()` bytes, idle for `think_sampler()`
+/// seconds, repeat. Connections are torn down between fetches.
+class FetchLoop {
+ public:
+  struct Config {
+    sim::Node* server = nullptr;     // data sender
+    sim::Node* client = nullptr;     // data receiver
+    sim::Port server_port = 0;
+    std::function<std::uint64_t()> size_sampler;
+    std::function<double()> think_sampler;  // seconds between fetches
+    std::string congestion_control = "reno";
+    int receiver_segments_per_ack = 2;
+  };
+
+  FetchLoop(sim::Simulator& sim, PortAllocator& ports, Config cfg);
+  ~FetchLoop() = default;
+  FetchLoop(const FetchLoop&) = delete;
+  FetchLoop& operator=(const FetchLoop&) = delete;
+
+  /// Schedules the first fetch at absolute time `at`.
+  void start(sim::Time at);
+
+  std::uint64_t fetches_completed() const { return completed_; }
+  std::uint64_t bytes_fetched() const { return bytes_; }
+
+ private:
+  void begin_fetch();
+  void finish_fetch(std::uint64_t bytes);
+
+  sim::Simulator& sim_;
+  PortAllocator& ports_;
+  Config cfg_;
+  std::unique_ptr<tcp::TcpSource> source_;
+  std::unique_ptr<tcp::TcpSink> sink_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// TGtrans: `workers` FetchLoops picking randomly among (server, RTT) pairs
+/// with web-like object sizes.
+class TgTrans {
+ public:
+  struct Config {
+    std::vector<sim::Node*> servers;  // e.g. {server2 (20ms), server3 (60ms)}
+    sim::Node* client = nullptr;      // Pi 2
+    int workers = 4;
+    double scale = 1.0;               // scales object sizes with link rates
+    double mean_think_s = 0.05;
+  };
+
+  TgTrans(sim::Simulator& sim, PortAllocator& ports, sim::Rng rng, Config cfg);
+  void start(sim::Time at);
+
+  std::uint64_t fetches_completed() const;
+
+ private:
+  std::vector<std::unique_ptr<FetchLoop>> loops_;
+};
+
+/// TGcong: `flows` concurrent bulk-fetch loops from a nearby server.
+class TgCong {
+ public:
+  struct Config {
+    sim::Node* server = nullptr;  // Server 4 (≈2 ms away)
+    sim::Node* client = nullptr;  // Router 2
+    int flows = 100;
+    std::uint64_t object_bytes = 100ull << 20;  // 100 MB at scale 1
+    double scale = 1.0;
+    /// Flow starts are staggered uniformly over this window so the loss
+    /// synchronization of a simultaneous mass start does not dominate.
+    sim::Duration start_stagger = sim::from_seconds(1.0);
+    std::string congestion_control = "cubic";  // Linux default of the era
+  };
+
+  TgCong(sim::Simulator& sim, PortAllocator& ports, sim::Rng rng, Config cfg);
+  void start(sim::Time at);
+
+  std::uint64_t bytes_fetched() const;
+
+ private:
+  std::vector<std::unique_ptr<FetchLoop>> loops_;
+  std::vector<sim::Duration> start_offsets_;
+};
+
+}  // namespace ccsig::testbed

@@ -1,0 +1,120 @@
+#include "analysis/flow_trace.h"
+
+#include <gtest/gtest.h>
+
+namespace ccsig::analysis {
+namespace {
+
+TraceRecord data_rec(sim::Time t, std::uint64_t seq, std::uint32_t len,
+                     sim::FlowKey key = {1, 2, 10, 20}) {
+  TraceRecord r;
+  r.time = t;
+  r.key = key;
+  r.seq = seq;
+  r.payload_bytes = len;
+  r.flags.ack = true;
+  return r;
+}
+
+TraceRecord ack_rec(sim::Time t, std::uint64_t ack,
+                    sim::FlowKey key = {2, 1, 20, 10}) {
+  TraceRecord r;
+  r.time = t;
+  r.key = key;
+  r.seq = 1;
+  r.ack = ack;
+  r.flags.ack = true;
+  return r;
+}
+
+TEST(SplitFlows, SeparatesDataAndAckDirections) {
+  Trace trace;
+  trace.push_back(data_rec(1, 1, 100));
+  trace.push_back(ack_rec(2, 101));
+  trace.push_back(data_rec(3, 101, 100));
+  const auto flows = split_flows(trace);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].data.size(), 2u);
+  EXPECT_EQ(flows[0].acks.size(), 1u);
+  EXPECT_EQ(flows[0].data_key.src_addr, 1u);  // payload direction
+  EXPECT_EQ(flows[0].data_key.dst_addr, 2u);
+}
+
+TEST(SplitFlows, PayloadDirectionWinsRegardlessOfAddressOrder) {
+  // Data flows from the *higher* address; the canonicalization must still
+  // pick the payload-carrying side as data_key.
+  Trace trace;
+  trace.push_back(data_rec(1, 1, 500, sim::FlowKey{9, 3, 80, 1000}));
+  trace.push_back(ack_rec(2, 501, sim::FlowKey{3, 9, 1000, 80}));
+  const auto flows = split_flows(trace);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].data_key.src_addr, 9u);
+}
+
+TEST(SplitFlows, MultipleConnectionsSplit) {
+  Trace trace;
+  trace.push_back(data_rec(1, 1, 100, sim::FlowKey{1, 2, 10, 20}));
+  trace.push_back(data_rec(2, 1, 100, sim::FlowKey{1, 2, 11, 21}));
+  trace.push_back(data_rec(3, 1, 100, sim::FlowKey{5, 6, 10, 20}));
+  const auto flows = split_flows(trace);
+  EXPECT_EQ(flows.size(), 3u);
+}
+
+TEST(SplitFlows, DropsPayloadlessConnections) {
+  Trace trace;
+  trace.push_back(ack_rec(1, 1));
+  EXPECT_TRUE(split_flows(trace).empty());
+}
+
+TEST(SplitFlows, OrderedByStartTime) {
+  Trace trace;
+  trace.push_back(data_rec(100, 1, 10, sim::FlowKey{1, 2, 10, 20}));
+  trace.push_back(data_rec(5, 1, 10, sim::FlowKey{3, 4, 10, 20}));
+  const auto flows = split_flows(trace);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].data_key.src_addr, 3u);
+  EXPECT_EQ(flows[1].data_key.src_addr, 1u);
+}
+
+TEST(FlowTrace, AckedBytesFromHighestAck) {
+  FlowTrace flow;
+  flow.acks.push_back(ack_rec(1, 101));
+  flow.acks.push_back(ack_rec(2, 501));
+  flow.acks.push_back(ack_rec(3, 301));  // stale duplicate
+  // Wire sequence 1 is the first payload byte, so acked payload = 500.
+  EXPECT_EQ(flow.acked_bytes(), 500u);
+}
+
+TEST(FlowTrace, AckedBytesZeroWhenNoAcks) {
+  FlowTrace flow;
+  EXPECT_EQ(flow.acked_bytes(), 0u);
+}
+
+TEST(FlowTrace, TimesSpanBothDirections) {
+  FlowTrace flow;
+  flow.data.push_back(data_rec(10, 1, 100));
+  flow.acks.push_back(ack_rec(25, 101));
+  EXPECT_EQ(flow.start_time(), 10);
+  EXPECT_EQ(flow.end_time(), 25);
+  EXPECT_EQ(flow.duration(), 15);
+}
+
+TEST(ExtractFlow, FiltersExactDirection) {
+  Trace trace;
+  trace.push_back(data_rec(1, 1, 100, sim::FlowKey{1, 2, 10, 20}));
+  trace.push_back(ack_rec(2, 101, sim::FlowKey{2, 1, 20, 10}));
+  trace.push_back(data_rec(3, 1, 100, sim::FlowKey{7, 8, 9, 9}));  // other
+  const FlowTrace flow = extract_flow(trace, sim::FlowKey{1, 2, 10, 20});
+  EXPECT_EQ(flow.data.size(), 1u);
+  EXPECT_EQ(flow.acks.size(), 1u);
+}
+
+TEST(ExtractFlow, EmptyWhenAbsent) {
+  Trace trace;
+  const FlowTrace flow = extract_flow(trace, sim::FlowKey{1, 2, 3, 4});
+  EXPECT_TRUE(flow.data.empty());
+  EXPECT_TRUE(flow.acks.empty());
+}
+
+}  // namespace
+}  // namespace ccsig::analysis

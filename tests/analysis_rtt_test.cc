@@ -1,0 +1,142 @@
+#include "analysis/rtt_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace ccsig::analysis {
+namespace {
+
+using sim::kMillisecond;
+
+FlowTrace make_flow() {
+  FlowTrace flow;
+  flow.data_key = sim::FlowKey{1, 2, 10, 20};
+  return flow;
+}
+
+void add_data(FlowTrace& flow, sim::Time t, std::uint64_t seq,
+              std::uint32_t len) {
+  TraceRecord r;
+  r.time = t;
+  r.key = flow.data_key;
+  r.seq = seq;
+  r.payload_bytes = len;
+  r.flags.ack = true;
+  flow.data.push_back(r);
+}
+
+void add_ack(FlowTrace& flow, sim::Time t, std::uint64_t ack) {
+  TraceRecord r;
+  r.time = t;
+  r.key = flow.data_key.reversed();
+  r.seq = 1;
+  r.ack = ack;
+  r.flags.ack = true;
+  flow.acks.push_back(r);
+}
+
+TEST(RttEstimator, ExactAckMatch) {
+  FlowTrace flow = make_flow();
+  add_data(flow, 0, 1, 100);
+  add_ack(flow, 20 * kMillisecond, 101);
+  const auto samples = extract_rtt_samples(flow);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].rtt, 20 * kMillisecond);
+  EXPECT_EQ(samples[0].at, 20 * kMillisecond);
+  EXPECT_EQ(samples[0].acked_seq, 101u);
+}
+
+TEST(RttEstimator, CumulativeAckSamplesNewestCoveredSegment) {
+  FlowTrace flow = make_flow();
+  add_data(flow, 0, 1, 100);
+  add_data(flow, 5 * kMillisecond, 101, 100);
+  add_ack(flow, 25 * kMillisecond, 201);  // covers both (delayed ACK)
+  const auto samples = extract_rtt_samples(flow);
+  ASSERT_EQ(samples.size(), 1u);
+  // Sample belongs to the second segment: 25 - 5 = 20 ms.
+  EXPECT_EQ(samples[0].rtt, 20 * kMillisecond);
+}
+
+TEST(RttEstimator, EachAckYieldsAtMostOneSample) {
+  FlowTrace flow = make_flow();
+  for (int i = 0; i < 4; ++i) {
+    add_data(flow, i * kMillisecond, 1 + 100ull * static_cast<unsigned>(i),
+             100);
+  }
+  add_ack(flow, 30 * kMillisecond, 201);
+  add_ack(flow, 32 * kMillisecond, 401);
+  const auto samples = extract_rtt_samples(flow);
+  EXPECT_EQ(samples.size(), 2u);
+}
+
+TEST(RttEstimator, KarnExcludesRetransmittedRange) {
+  FlowTrace flow = make_flow();
+  add_data(flow, 0, 1, 100);
+  add_data(flow, 1 * kMillisecond, 101, 100);
+  add_data(flow, 50 * kMillisecond, 1, 100);  // retransmission of seq 1
+  add_ack(flow, 70 * kMillisecond, 101);      // acks the ambiguous range
+  add_ack(flow, 71 * kMillisecond, 201);      // acks the clean range
+  const auto samples = extract_rtt_samples(flow);
+  ASSERT_EQ(samples.size(), 1u);
+  // Only the never-retransmitted segment may produce a sample.
+  EXPECT_EQ(samples[0].acked_seq, 201u);
+  EXPECT_EQ(samples[0].rtt, 70 * kMillisecond);
+}
+
+TEST(RttEstimator, DuplicateAcksProduceNoSamples) {
+  FlowTrace flow = make_flow();
+  add_data(flow, 0, 1, 100);
+  add_ack(flow, 20 * kMillisecond, 101);
+  add_ack(flow, 21 * kMillisecond, 101);  // dup
+  add_ack(flow, 22 * kMillisecond, 101);  // dup
+  const auto samples = extract_rtt_samples(flow);
+  EXPECT_EQ(samples.size(), 1u);
+}
+
+TEST(RttEstimator, CutoffLimitsWindow) {
+  FlowTrace flow = make_flow();
+  add_data(flow, 0, 1, 100);
+  add_data(flow, 1 * kMillisecond, 101, 100);
+  add_ack(flow, 20 * kMillisecond, 101);
+  add_ack(flow, 40 * kMillisecond, 201);
+  const auto all = extract_rtt_samples(flow);
+  EXPECT_EQ(all.size(), 2u);
+  const auto early = extract_rtt_samples(flow, 30 * kMillisecond);
+  ASSERT_EQ(early.size(), 1u);
+  EXPECT_EQ(early[0].rtt, 20 * kMillisecond);
+}
+
+TEST(RttEstimator, PureControlPacketsIgnored) {
+  FlowTrace flow = make_flow();
+  TraceRecord syn;
+  syn.time = 0;
+  syn.key = flow.data_key;
+  syn.seq = 0;
+  syn.flags.syn = true;
+  flow.data.push_back(syn);
+  add_data(flow, 10 * kMillisecond, 1, 100);
+  add_ack(flow, 30 * kMillisecond, 101);
+  const auto samples = extract_rtt_samples(flow);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].rtt, 20 * kMillisecond);
+}
+
+TEST(RttEstimator, SamplesAreTimeOrdered) {
+  FlowTrace flow = make_flow();
+  for (unsigned i = 0; i < 20; ++i) {
+    add_data(flow, i * kMillisecond, 1 + 100ull * i, 100);
+    add_ack(flow, (i + 15) * kMillisecond, 101 + 100ull * i);
+  }
+  const auto samples = extract_rtt_samples(flow);
+  ASSERT_GT(samples.size(), 1u);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].at, samples[i - 1].at);
+  }
+}
+
+TEST(RttEstimator, EmptyFlowNoSamples) {
+  const FlowTrace flow = make_flow();
+  EXPECT_TRUE(extract_rtt_samples(flow).empty());
+}
+
+}  // namespace
+}  // namespace ccsig::analysis

@@ -1,0 +1,131 @@
+#include "analysis/slow_start.h"
+
+#include <gtest/gtest.h>
+
+namespace ccsig::analysis {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+FlowTrace make_flow() {
+  FlowTrace flow;
+  flow.data_key = sim::FlowKey{1, 2, 10, 20};
+  return flow;
+}
+
+void add_data(FlowTrace& flow, sim::Time t, std::uint64_t seq,
+              std::uint32_t len) {
+  TraceRecord r;
+  r.time = t;
+  r.key = flow.data_key;
+  r.seq = seq;
+  r.payload_bytes = len;
+  flow.data.push_back(r);
+}
+
+void add_ack(FlowTrace& flow, sim::Time t, std::uint64_t ack) {
+  TraceRecord r;
+  r.time = t;
+  r.key = flow.data_key.reversed();
+  r.ack = ack;
+  r.flags.ack = true;
+  flow.acks.push_back(r);
+}
+
+TEST(SlowStart, DetectsFirstRetransmission) {
+  FlowTrace flow = make_flow();
+  add_data(flow, 0, 1, 100);
+  add_data(flow, 10, 101, 100);
+  add_data(flow, 20, 201, 100);
+  add_data(flow, 90, 101, 100);  // retransmission
+  add_data(flow, 95, 301, 100);
+  const auto ss = detect_slow_start(flow);
+  EXPECT_TRUE(ss.ended_by_retransmission);
+  EXPECT_EQ(ss.end_time, 90);
+}
+
+TEST(SlowStart, NoRetransmissionSpansWholeFlow) {
+  FlowTrace flow = make_flow();
+  add_data(flow, 0, 1, 100);
+  add_data(flow, 10, 101, 100);
+  add_ack(flow, 30, 201);
+  const auto ss = detect_slow_start(flow);
+  EXPECT_FALSE(ss.ended_by_retransmission);
+  EXPECT_EQ(ss.end_time, 30);
+  EXPECT_EQ(ss.acked_bytes, 200u);
+}
+
+TEST(SlowStart, AckedBytesOnlyCountUntilEnd) {
+  FlowTrace flow = make_flow();
+  add_data(flow, 0, 1, 100);
+  add_data(flow, 10, 101, 100);
+  add_data(flow, 50, 1, 100);  // retx at t=50 ends slow start
+  add_ack(flow, 20, 101);
+  add_ack(flow, 100, 201);  // after slow start; must not count
+  const auto ss = detect_slow_start(flow);
+  EXPECT_EQ(ss.end_time, 50);
+  EXPECT_EQ(ss.acked_bytes, 100u);
+}
+
+TEST(SlowStart, PartialOverlapCountsAsRetransmission) {
+  FlowTrace flow = make_flow();
+  add_data(flow, 0, 1, 1000);
+  add_data(flow, 10, 501, 1000);  // overlaps previously sent range...
+  const auto ss = detect_slow_start(flow);
+  // seq_end 1501 > 1001, so it is NOT a retransmission (new data included).
+  EXPECT_FALSE(ss.ended_by_retransmission);
+}
+
+TEST(SlowStartThroughput, SecondHalfDeliveryRate) {
+  FlowTrace flow = make_flow();
+  // Data from t=0; slow start ends at t = 1 s via retransmission.
+  add_data(flow, 0, 1, 100);
+  add_data(flow, 1 * kSecond, 1, 100);  // retx marks the end
+  // ACK progress: by mid (0.5 s) 1000 bytes; last advance at 0.9 s with
+  // 9000 bytes. Rate over [0.5 s, 0.9 s] = 8000 B / 0.4 s = 160 kbit/s.
+  add_ack(flow, 500 * kMillisecond, 1001);
+  add_ack(flow, 900 * kMillisecond, 9001);
+  const auto ss = detect_slow_start(flow);
+  const auto tput = slow_start_throughput_bps(flow, ss);
+  ASSERT_TRUE(tput.has_value());
+  EXPECT_NEAR(*tput, 8000.0 * 8.0 / 0.4, 1.0);
+}
+
+TEST(SlowStartThroughput, NoProgressInSecondHalfIsZero) {
+  FlowTrace flow = make_flow();
+  add_data(flow, 0, 1, 100);
+  add_data(flow, 1 * kSecond, 1, 100);  // retx at 1 s
+  add_ack(flow, 100 * kMillisecond, 5001);  // all progress in first half
+  const auto ss = detect_slow_start(flow);
+  const auto tput = slow_start_throughput_bps(flow, ss);
+  ASSERT_TRUE(tput.has_value());
+  EXPECT_EQ(*tput, 0.0);
+}
+
+TEST(SlowStartThroughput, NulloptWhenNothingAcked) {
+  FlowTrace flow = make_flow();
+  add_data(flow, 0, 1, 100);
+  add_data(flow, 10, 1, 100);
+  const auto ss = detect_slow_start(flow);
+  EXPECT_FALSE(slow_start_throughput_bps(flow, ss).has_value());
+}
+
+TEST(FlowThroughput, AckedBytesOverDuration) {
+  FlowTrace flow = make_flow();
+  add_data(flow, 0, 1, 100);
+  add_ack(flow, 1 * kSecond, 100'001);
+  const auto tput = flow_throughput_bps(flow);
+  ASSERT_TRUE(tput.has_value());
+  EXPECT_NEAR(*tput, 100'000 * 8.0, 1.0);
+}
+
+TEST(FlowThroughput, NulloptOnEmptyOrInstant) {
+  FlowTrace flow = make_flow();
+  EXPECT_FALSE(flow_throughput_bps(flow).has_value());
+  add_data(flow, 5, 1, 100);
+  EXPECT_FALSE(flow_throughput_bps(flow).has_value());  // zero duration
+}
+
+}  // namespace
+}  // namespace ccsig::analysis

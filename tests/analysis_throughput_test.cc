@@ -1,0 +1,104 @@
+#include "analysis/throughput.h"
+
+#include <gtest/gtest.h>
+
+namespace ccsig::analysis {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+FlowTrace make_flow() {
+  FlowTrace flow;
+  flow.data_key = sim::FlowKey{1, 2, 10, 20};
+  // One data packet anchors start_time at 0.
+  TraceRecord d;
+  d.time = 0;
+  d.key = flow.data_key;
+  d.seq = 1;
+  d.payload_bytes = 100;
+  flow.data.push_back(d);
+  return flow;
+}
+
+void add_ack(FlowTrace& flow, sim::Time t, std::uint64_t ack) {
+  TraceRecord r;
+  r.time = t;
+  r.key = flow.data_key.reversed();
+  r.ack = ack;
+  r.flags.ack = true;
+  flow.acks.push_back(r);
+}
+
+TEST(ThroughputSeries, BucketsAckProgress) {
+  FlowTrace flow = make_flow();
+  // 1000 bytes acked in the first 100 ms window, 3000 in the second.
+  add_ack(flow, 50 * kMillisecond, 1001);
+  add_ack(flow, 150 * kMillisecond, 4001);
+  const auto series = throughput_series(flow, 100 * kMillisecond);
+  ASSERT_GE(series.size(), 2u);
+  EXPECT_NEAR(series[0].bps, 1000 * 8.0 / 0.1, 1.0);
+  EXPECT_NEAR(series[1].bps, 3000 * 8.0 / 0.1, 1.0);
+  EXPECT_EQ(series[0].window_start, 0);
+  EXPECT_EQ(series[1].window_start, 100 * kMillisecond);
+}
+
+TEST(ThroughputSeries, DuplicateAcksIgnored) {
+  FlowTrace flow = make_flow();
+  add_ack(flow, 10 * kMillisecond, 1001);
+  add_ack(flow, 20 * kMillisecond, 1001);  // dup
+  add_ack(flow, 30 * kMillisecond, 1001);  // dup
+  const auto series = throughput_series(flow, 100 * kMillisecond);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_NEAR(series[0].bps, 1000 * 8.0 / 0.1, 1.0);
+}
+
+TEST(ThroughputSeries, IdleWindowsAreZero) {
+  FlowTrace flow = make_flow();
+  add_ack(flow, 10 * kMillisecond, 1001);
+  add_ack(flow, 250 * kMillisecond, 2001);
+  const auto series = throughput_series(flow, 100 * kMillisecond);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_GT(series[0].bps, 0);
+  EXPECT_EQ(series[1].bps, 0);
+  EXPECT_GT(series[2].bps, 0);
+}
+
+TEST(ThroughputSeries, EmptyAndDegenerateInputs) {
+  FlowTrace flow = make_flow();
+  EXPECT_TRUE(throughput_series(flow, 100 * kMillisecond).empty());
+  add_ack(flow, 10, 1001);
+  EXPECT_TRUE(throughput_series(flow, 0).empty());
+}
+
+TEST(PeakWindowed, FindsBusiestWindow) {
+  FlowTrace flow = make_flow();
+  add_ack(flow, 50 * kMillisecond, 1001);
+  add_ack(flow, 150 * kMillisecond, 10'001);  // busiest
+  add_ack(flow, 250 * kMillisecond, 12'001);
+  EXPECT_NEAR(peak_windowed_throughput_bps(flow, 100 * kMillisecond),
+              9000 * 8.0 / 0.1, 1.0);
+}
+
+TEST(ThroughputBetween, ExactSpanRate) {
+  FlowTrace flow = make_flow();
+  add_ack(flow, 100 * kMillisecond, 5001);
+  add_ack(flow, 600 * kMillisecond, 30'001);
+  const double bps = throughput_between_bps(flow, 100 * kMillisecond,
+                                            600 * kMillisecond);
+  EXPECT_NEAR(bps, 25'000 * 8.0 / 0.5, 1.0);
+}
+
+TEST(ThroughputBetween, EmptyOrInvertedSpanIsZero) {
+  FlowTrace flow = make_flow();
+  add_ack(flow, 100 * kMillisecond, 5001);
+  EXPECT_EQ(throughput_between_bps(flow, 200 * kMillisecond,
+                                   100 * kMillisecond),
+            0.0);
+  EXPECT_EQ(throughput_between_bps(flow, 200 * kMillisecond,
+                                   300 * kMillisecond),
+            0.0);
+}
+
+}  // namespace
+}  // namespace ccsig::analysis

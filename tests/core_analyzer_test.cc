@@ -1,0 +1,136 @@
+// End-to-end: simulated transfers (and pcap files) through the public
+// FlowAnalyzer API.
+#include "core/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "pcap/capture.h"
+#include "test_helpers.h"
+
+namespace ccsig {
+namespace {
+
+TEST(FlowAnalyzer, ClassifiesSelfInducedTransfer) {
+  // A bulk flow filling an idle 20 Mbps / 100 ms-buffer link: the textbook
+  // self-induced case.
+  testutil::TwoNodePath path(testutil::basic_link(20e6, 10, 100));
+  const auto result = testutil::run_transfer(path, 8'000'000);
+  ASSERT_TRUE(result.completed);
+
+  FlowAnalyzer analyzer;  // pretrained
+  const auto reports = analyzer.analyze(path.recorder.trace());
+  ASSERT_EQ(reports.size(), 1u);
+  const FlowReport& r = reports[0];
+  ASSERT_TRUE(r.features.has_value());
+  ASSERT_TRUE(r.classification.has_value());
+  EXPECT_EQ(r.classification->verdict, Verdict::kSelfInducedCongestion);
+  EXPECT_GT(r.throughput_bps, 10e6);
+  // §2.3: for self-induced flows, late slow-start delivery estimates the
+  // bottleneck capacity (the 20 Mbps link).
+  EXPECT_GT(r.estimated_capacity_bps, 14e6);
+  EXPECT_LT(r.estimated_capacity_bps, 26e6);
+}
+
+TEST(FlowAnalyzer, ShortFlowUnclassifiable) {
+  testutil::TwoNodePath path(testutil::basic_link(20e6, 10, 100));
+  const auto result = testutil::run_transfer(path, 3000);  // 3 segments
+  ASSERT_TRUE(result.completed);
+  FlowAnalyzer analyzer;
+  const auto reports = analyzer.analyze(path.recorder.trace());
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_FALSE(reports[0].features.has_value());
+  EXPECT_FALSE(reports[0].classification.has_value());
+}
+
+TEST(FlowAnalyzer, AnalyzesPcapFile) {
+  const std::string path_str =
+      (std::filesystem::temp_directory_path() / "ccsig_analyzer_test.pcap")
+          .string();
+  testutil::TwoNodePath path(testutil::basic_link(20e6, 10, 100));
+  pcap::PcapCaptureTap tap(path_str);
+  path.server->add_tap(&tap);
+  testutil::run_transfer(path, 8'000'000);
+  path.server->remove_tap(&tap);
+  tap.flush();
+
+  FlowAnalyzer analyzer;
+  const auto reports = analyzer.analyze_pcap(path_str);
+  std::filesystem::remove(path_str);
+  ASSERT_EQ(reports.size(), 1u);
+  ASSERT_TRUE(reports[0].classification.has_value());
+  EXPECT_EQ(reports[0].classification->verdict,
+            Verdict::kSelfInducedCongestion);
+}
+
+TEST(FlowAnalyzer, MultipleFlowsReportedSeparately) {
+  testutil::TwoNodePath path(testutil::basic_link(50e6, 5, 100));
+  // Two sequential transfers on different ports.
+  {
+    const sim::FlowKey key = path.flow_key(6001, 6002);
+    tcp::TcpSink::Config sk;
+    sk.data_key = key;
+    tcp::TcpSink sink(path.net.sim(), path.client, sk);
+    tcp::TcpSource::Config sc;
+    sc.key = key;
+    sc.bytes_to_send = 2'000'000;
+    tcp::TcpSource src(path.net.sim(), path.server, sc);
+    src.start();
+    path.net.sim().run_until(sim::from_seconds(10));
+  }
+  {
+    const sim::FlowKey key = path.flow_key(6003, 6004);
+    tcp::TcpSink::Config sk;
+    sk.data_key = key;
+    tcp::TcpSink sink(path.net.sim(), path.client, sk);
+    tcp::TcpSource::Config sc;
+    sc.key = key;
+    sc.bytes_to_send = 2'000'000;
+    tcp::TcpSource src(path.net.sim(), path.server, sc);
+    src.start();
+    path.net.sim().run_until(sim::from_seconds(20));
+  }
+  FlowAnalyzer analyzer;
+  const auto reports = analyzer.analyze(path.recorder.trace());
+  EXPECT_EQ(reports.size(), 2u);
+}
+
+TEST(FlowAnalyzer, RenderMentionsVerdict) {
+  testutil::TwoNodePath path(testutil::basic_link(20e6, 10, 100));
+  testutil::run_transfer(path, 8'000'000);
+  FlowAnalyzer analyzer;
+  const auto reports = analyzer.analyze(path.recorder.trace());
+  ASSERT_EQ(reports.size(), 1u);
+  const std::string line = FlowAnalyzer::render(reports[0]);
+  EXPECT_NE(line.find("self-induced-congestion"), std::string::npos);
+  EXPECT_NE(line.find("Mbps"), std::string::npos);
+}
+
+TEST(FlowAnalyzer, RenderUnclassifiable) {
+  FlowReport r;
+  r.data_key = sim::FlowKey{1, 2, 3, 4};
+  const std::string line = FlowAnalyzer::render(r);
+  EXPECT_NE(line.find("unclassifiable"), std::string::npos);
+}
+
+TEST(FlowAnalyzer, CustomModelInjectable) {
+  // A degenerate model that calls everything external.
+  ml::Dataset d({"norm_diff", "cov"});
+  d.add({0.0, 0.0}, 0);
+  d.add({1.0, 1.0}, 0);
+  CongestionClassifier clf;
+  clf.train(d);
+  FlowAnalyzer analyzer(std::move(clf));
+
+  testutil::TwoNodePath path(testutil::basic_link(20e6, 10, 100));
+  testutil::run_transfer(path, 8'000'000);
+  const auto reports = analyzer.analyze(path.recorder.trace());
+  ASSERT_EQ(reports.size(), 1u);
+  ASSERT_TRUE(reports[0].classification.has_value());
+  EXPECT_EQ(reports[0].classification->verdict,
+            Verdict::kExternalCongestion);
+}
+
+}  // namespace
+}  // namespace ccsig

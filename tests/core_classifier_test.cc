@@ -1,0 +1,114 @@
+#include "core/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace ccsig {
+namespace {
+
+ml::Dataset toy_signatures() {
+  // Separable toy data in (norm_diff, cov) space.
+  ml::Dataset d({"norm_diff", "cov"});
+  for (int i = 0; i < 20; ++i) {
+    const double jitter = i * 0.001;
+    d.add({0.8 + jitter, 0.4 + jitter}, 1);   // self
+    d.add({0.15 + jitter, 0.04 + jitter}, 0); // external
+  }
+  return d;
+}
+
+TEST(Classifier, UntrainedThrows) {
+  CongestionClassifier clf;
+  EXPECT_FALSE(clf.trained());
+  EXPECT_THROW(clf.classify(0.5, 0.2), std::logic_error);
+}
+
+TEST(Classifier, TrainAndClassify) {
+  CongestionClassifier clf;
+  clf.train(toy_signatures());
+  ASSERT_TRUE(clf.trained());
+  EXPECT_EQ(clf.classify(0.85, 0.45).verdict,
+            Verdict::kSelfInducedCongestion);
+  EXPECT_EQ(clf.classify(0.1, 0.03).verdict, Verdict::kExternalCongestion);
+}
+
+TEST(Classifier, ConfidenceWithinRange) {
+  CongestionClassifier clf;
+  clf.train(toy_signatures());
+  const auto c = clf.classify(0.85, 0.45);
+  EXPECT_GE(c.confidence, 0.5);
+  EXPECT_LE(c.confidence, 1.0);
+}
+
+TEST(Classifier, ClassifiesFromFlowFeatures) {
+  CongestionClassifier clf;
+  clf.train(toy_signatures());
+  features::FlowFeatures f;
+  f.norm_diff = 0.82;
+  f.cov = 0.41;
+  EXPECT_EQ(clf.classify(f).verdict, Verdict::kSelfInducedCongestion);
+}
+
+TEST(Classifier, SerializeRoundTrip) {
+  CongestionClassifier clf;
+  clf.train(toy_signatures());
+  const auto restored = CongestionClassifier::deserialize(clf.serialize());
+  for (double nd = 0.0; nd <= 1.0; nd += 0.05) {
+    for (double cov = 0.0; cov <= 0.6; cov += 0.05) {
+      EXPECT_EQ(restored.classify(nd, cov).verdict,
+                clf.classify(nd, cov).verdict);
+    }
+  }
+}
+
+TEST(Classifier, SaveLoadFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ccsig_model_rt.tree")
+          .string();
+  CongestionClassifier clf;
+  clf.train(toy_signatures());
+  clf.save(path);
+  const auto loaded = CongestionClassifier::load(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(loaded.classify(0.8, 0.4).verdict,
+            clf.classify(0.8, 0.4).verdict);
+}
+
+TEST(Classifier, LoadMissingFileThrows) {
+  EXPECT_THROW(CongestionClassifier::load("/no/such/model.tree"),
+               std::runtime_error);
+}
+
+TEST(Classifier, PretrainedModelWorks) {
+  const auto clf = CongestionClassifier::pretrained();
+  ASSERT_TRUE(clf.trained());
+  // Canonical signatures from the paper's Figure 1 setup must classify
+  // correctly with the bundled model.
+  EXPECT_EQ(clf.classify(0.83, 0.45).verdict,
+            Verdict::kSelfInducedCongestion);
+  EXPECT_EQ(clf.classify(0.10, 0.03).verdict, Verdict::kExternalCongestion);
+}
+
+TEST(Classifier, DescribeRendersTree) {
+  const auto clf = CongestionClassifier::pretrained();
+  const std::string desc = clf.describe();
+  EXPECT_NE(desc.find("cov"), std::string::npos);
+  EXPECT_NE(desc.find("class"), std::string::npos);
+}
+
+TEST(Classifier, MaxDepthRespected) {
+  CongestionClassifier clf;
+  clf.train(toy_signatures(), /*max_depth=*/2);
+  EXPECT_LE(clf.tree().depth(), 2);
+}
+
+TEST(VerdictNames, Stringify) {
+  EXPECT_STREQ(to_string(Verdict::kExternalCongestion),
+               "external-congestion");
+  EXPECT_STREQ(to_string(Verdict::kSelfInducedCongestion),
+               "self-induced-congestion");
+}
+
+}  // namespace
+}  // namespace ccsig

@@ -1,0 +1,146 @@
+#include "features/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.h"
+
+namespace ccsig::features {
+namespace {
+
+TEST(Summarize, HandComputedValues) {
+  const double values[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic example
+}
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(NormDiff, HandComputed) {
+  const double rtts[] = {20.0, 60.0, 100.0};
+  const auto nd = norm_diff(rtts);
+  ASSERT_TRUE(nd.has_value());
+  EXPECT_DOUBLE_EQ(*nd, 0.8);  // (100-20)/100
+}
+
+TEST(NormDiff, ConstantSeriesIsZero) {
+  const double rtts[] = {50.0, 50.0, 50.0};
+  EXPECT_DOUBLE_EQ(*norm_diff(rtts), 0.0);
+}
+
+TEST(NormDiff, EmptyOrDegenerate) {
+  EXPECT_FALSE(norm_diff({}).has_value());
+  const double zeros[] = {0.0, 0.0};
+  EXPECT_FALSE(norm_diff(zeros).has_value());
+}
+
+TEST(CoV, HandComputed) {
+  const double rtts[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto cv = coefficient_of_variation(rtts);
+  ASSERT_TRUE(cv.has_value());
+  EXPECT_DOUBLE_EQ(*cv, 2.0 / 5.0);
+}
+
+TEST(CoV, ConstantSeriesIsZero) {
+  const double rtts[] = {42.0, 42.0, 42.0, 42.0};
+  EXPECT_DOUBLE_EQ(*coefficient_of_variation(rtts), 0.0);
+}
+
+TEST(CoV, EmptyIsNullopt) {
+  EXPECT_FALSE(coefficient_of_variation({}).has_value());
+}
+
+TEST(Slope, IncreasingSeriesPositive) {
+  const double rtts[] = {10, 20, 30, 40, 50};
+  const auto slope = normalized_rtt_slope(rtts);
+  ASSERT_TRUE(slope.has_value());
+  EXPECT_GT(*slope, 0.0);
+}
+
+TEST(Slope, FlatSeriesZero) {
+  const double rtts[] = {30, 30, 30, 30};
+  EXPECT_DOUBLE_EQ(*normalized_rtt_slope(rtts), 0.0);
+}
+
+TEST(Slope, DecreasingNegative) {
+  const double rtts[] = {50, 40, 30, 20};
+  EXPECT_LT(*normalized_rtt_slope(rtts), 0.0);
+}
+
+TEST(Iqr, HandComputed) {
+  const double rtts[] = {1, 2, 3, 4, 5, 6, 7, 8, 9};  // median 5, q1 3, q3 7
+  const auto iqr = normalized_iqr(rtts);
+  ASSERT_TRUE(iqr.has_value());
+  EXPECT_DOUBLE_EQ(*iqr, 4.0 / 5.0);
+}
+
+TEST(Iqr, TooFewSamples) {
+  const double rtts[] = {1, 2, 3};
+  EXPECT_FALSE(normalized_iqr(rtts).has_value());
+}
+
+TEST(ToMillis, ConvertsDurations) {
+  const sim::Duration durs[] = {20 * sim::kMillisecond,
+                                500 * sim::kMicrosecond};
+  const auto ms = to_millis(durs);
+  ASSERT_EQ(ms.size(), 2u);
+  EXPECT_DOUBLE_EQ(ms[0], 20.0);
+  EXPECT_DOUBLE_EQ(ms[1], 0.5);
+}
+
+// Property sweep: for random positive RTT vectors, NormDiff is in [0, 1],
+// CoV is non-negative, and both are invariant to scaling all samples.
+class MetricProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricProperties, RangeAndScaleInvariance) {
+  sim::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 60));
+    std::vector<double> rtts;
+    for (int i = 0; i < n; ++i) rtts.push_back(rng.uniform(0.5, 300.0));
+
+    const auto nd = norm_diff(rtts);
+    const auto cv = coefficient_of_variation(rtts);
+    ASSERT_TRUE(nd.has_value());
+    ASSERT_TRUE(cv.has_value());
+    EXPECT_GE(*nd, 0.0);
+    EXPECT_LE(*nd, 1.0);
+    EXPECT_GE(*cv, 0.0);
+
+    std::vector<double> scaled = rtts;
+    const double k = rng.uniform(0.1, 10.0);
+    for (double& v : scaled) v *= k;
+    EXPECT_NEAR(*norm_diff(scaled), *nd, 1e-9);
+    EXPECT_NEAR(*coefficient_of_variation(scaled), *cv, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricProperties,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// Property: adding a constant to every sample reduces both metrics
+// (the "already full buffer raises the baseline" effect the paper uses).
+TEST(MetricProperties, BaselineShiftReducesBothMetrics) {
+  sim::Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> rtts;
+    for (int i = 0; i < 20; ++i) rtts.push_back(rng.uniform(10.0, 50.0));
+    std::vector<double> shifted = rtts;
+    for (double& v : shifted) v += 100.0;
+    EXPECT_LT(*norm_diff(shifted), *norm_diff(rtts) + 1e-12);
+    EXPECT_LT(*coefficient_of_variation(shifted),
+              *coefficient_of_variation(rtts) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace ccsig::features

@@ -1,0 +1,76 @@
+// Whole-pipeline integration: controlled testbed experiment -> server-side
+// capture -> pcap round trip -> feature extraction -> pretrained classifier.
+// This is the exact deployment pipeline the paper proposes, end to end.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/analyzer.h"
+#include "pcap/capture.h"
+#include "pcap/pcap_file.h"
+#include "testbed/experiment.h"
+
+namespace ccsig {
+namespace {
+
+testbed::TestbedConfig quick(testbed::Scenario scenario, std::uint64_t seed) {
+  testbed::TestbedConfig cfg;
+  cfg.scenario = scenario;
+  cfg.test_duration = sim::from_seconds(4);
+  cfg.warmup = sim::from_seconds(2);
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(IntegrationPipeline, SelfInducedVerdictFromLiveTrace) {
+  testbed::TestbedExperiment exp(quick(testbed::Scenario::kSelfInduced, 42));
+  exp.run();
+  FlowAnalyzer analyzer;
+  const auto reports = analyzer.analyze(exp.server_trace());
+  ASSERT_FALSE(reports.empty());
+  ASSERT_TRUE(reports[0].classification.has_value());
+  EXPECT_EQ(reports[0].classification->verdict,
+            Verdict::kSelfInducedCongestion);
+}
+
+TEST(IntegrationPipeline, ExternalVerdictFromLiveTrace) {
+  testbed::TestbedExperiment exp(quick(testbed::Scenario::kExternal, 43));
+  exp.run();
+  FlowAnalyzer analyzer;
+  const auto reports = analyzer.analyze(exp.server_trace());
+  ASSERT_FALSE(reports.empty());
+  if (reports[0].classification) {
+    EXPECT_EQ(reports[0].classification->verdict,
+              Verdict::kExternalCongestion);
+  }
+}
+
+TEST(IntegrationPipeline, PcapRoundTripPreservesVerdict) {
+  const std::string pcap_path =
+      (std::filesystem::temp_directory_path() / "ccsig_pipeline.pcap")
+          .string();
+  testbed::TestbedExperiment exp(quick(testbed::Scenario::kSelfInduced, 44));
+  // Mirror the live tap into a pcap file, like running tcpdump on Server 1.
+  pcap::PcapCaptureTap tap(pcap_path);
+  exp.network().node("server1")->add_tap(&tap);
+  exp.run();
+  tap.flush();
+
+  FlowAnalyzer analyzer;
+  const auto live = analyzer.analyze(exp.server_trace());
+  const auto from_file = analyzer.analyze_pcap(pcap_path);
+  std::filesystem::remove(pcap_path);
+
+  ASSERT_FALSE(live.empty());
+  ASSERT_EQ(from_file.size(), live.size());
+  ASSERT_TRUE(live[0].classification.has_value());
+  ASSERT_TRUE(from_file[0].classification.has_value());
+  EXPECT_EQ(from_file[0].classification->verdict,
+            live[0].classification->verdict);
+  EXPECT_NEAR(from_file[0].features->norm_diff, live[0].features->norm_diff,
+              0.02);
+  EXPECT_NEAR(from_file[0].features->cov, live[0].features->cov, 0.02);
+}
+
+}  // namespace
+}  // namespace ccsig

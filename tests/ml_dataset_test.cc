@@ -1,0 +1,73 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace ccsig::ml {
+namespace {
+
+TEST(Dataset, AddAndAccess) {
+  Dataset d({"a", "b"});
+  d.add({1.0, 2.0}, 0);
+  d.add({3.0, 4.0}, 1);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_EQ(d.row(1)[0], 3.0);
+  EXPECT_EQ(d.label(0), 0);
+  EXPECT_EQ(d.num_classes(), 2);
+}
+
+TEST(Dataset, RowWidthMismatchThrows) {
+  Dataset d({"a", "b"});
+  EXPECT_THROW(d.add({1.0}, 0), std::invalid_argument);
+}
+
+TEST(Dataset, InconsistentWidthWithoutNamesThrows) {
+  Dataset d;
+  d.add({1.0, 2.0}, 0);
+  EXPECT_THROW(d.add({1.0}, 0), std::invalid_argument);
+}
+
+TEST(Dataset, SubsetSelectsRows) {
+  Dataset d({"x"});
+  for (int i = 0; i < 5; ++i) d.add({static_cast<double>(i)}, i % 2);
+  const std::size_t idx[] = {0, 2, 4};
+  const Dataset s = d.subset(idx);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.row(1)[0], 2.0);
+  EXPECT_EQ(s.label(2), 0);
+  EXPECT_EQ(s.feature_names().size(), 1u);
+}
+
+TEST(Dataset, AppendMerges) {
+  Dataset a({"x"});
+  a.add({1.0}, 0);
+  Dataset b({"x"});
+  b.add({2.0}, 1);
+  a.append(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.label(1), 1);
+}
+
+TEST(Dataset, ClassCounts) {
+  Dataset d({"x"});
+  d.add({1.0}, 0);
+  d.add({2.0}, 1);
+  d.add({3.0}, 1);
+  d.add({4.0}, 3);  // gap: class 2 unused
+  const auto counts = d.class_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(Dataset, EmptyProperties) {
+  Dataset d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.num_classes(), 0);
+  EXPECT_TRUE(d.class_counts().empty());
+}
+
+}  // namespace
+}  // namespace ccsig::ml

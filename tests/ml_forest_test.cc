@@ -1,0 +1,66 @@
+#include "ml/random_forest.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+
+namespace ccsig::ml {
+namespace {
+
+Dataset noisy_blobs(std::uint64_t seed) {
+  Dataset d({"x", "y"});
+  sim::Rng rng(seed);
+  for (int i = 0; i < 300; ++i) {
+    const int label = i % 2;
+    const double cx = label == 0 ? -1.0 : 1.0;
+    d.add({rng.normal(cx, 0.8), rng.normal(cx, 0.8)}, label);
+  }
+  return d;
+}
+
+TEST(RandomForest, TrainsAndPredicts) {
+  const Dataset d = noisy_blobs(1);
+  RandomForest forest(RandomForest::Params{.n_trees = 15}, 7);
+  EXPECT_FALSE(forest.trained());
+  forest.fit(d);
+  EXPECT_TRUE(forest.trained());
+  EXPECT_EQ(forest.tree_count(), 15u);
+  ConfusionMatrix cm(d.labels(), forest.predict_all(d));
+  EXPECT_GT(cm.accuracy(), 0.8);
+}
+
+TEST(RandomForest, ClearSeparationIsPerfect) {
+  Dataset d({"x"});
+  for (int i = 0; i < 100; ++i) {
+    d.add({static_cast<double>(i)}, i < 50 ? 0 : 1);
+  }
+  RandomForest forest(RandomForest::Params{.n_trees = 9}, 3);
+  forest.fit(d);
+  const double low[] = {10.0};
+  const double high[] = {90.0};
+  EXPECT_EQ(forest.predict(low), 0);
+  EXPECT_EQ(forest.predict(high), 1);
+}
+
+TEST(RandomForest, DeterministicGivenSeed) {
+  const Dataset d = noisy_blobs(2);
+  RandomForest f1(RandomForest::Params{.n_trees = 11}, 99);
+  RandomForest f2(RandomForest::Params{.n_trees = 11}, 99);
+  f1.fit(d);
+  f2.fit(d);
+  EXPECT_EQ(f1.predict_all(d), f2.predict_all(d));
+}
+
+TEST(RandomForest, BootstrapFractionShrinksTrees) {
+  const Dataset d = noisy_blobs(3);
+  RandomForest forest(
+      RandomForest::Params{.n_trees = 5, .bootstrap_fraction = 0.1}, 1);
+  forest.fit(d);
+  EXPECT_TRUE(forest.trained());
+  // Still functional as a classifier.
+  ConfusionMatrix cm(d.labels(), forest.predict_all(d));
+  EXPECT_GT(cm.accuracy(), 0.6);
+}
+
+}  // namespace
+}  // namespace ccsig::ml

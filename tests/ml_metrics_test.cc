@@ -1,0 +1,84 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ccsig::ml {
+namespace {
+
+TEST(ConfusionMatrix, HandComputedBinary) {
+  //            predicted
+  // actual 0:  3 correct, 1 as class 1
+  // actual 1:  2 as class 0, 4 correct
+  const int y_true[] = {0, 0, 0, 0, 1, 1, 1, 1, 1, 1};
+  const int y_pred[] = {0, 0, 0, 1, 0, 0, 1, 1, 1, 1};
+  ConfusionMatrix cm(y_true, y_pred);
+  EXPECT_EQ(cm.num_classes(), 2);
+  EXPECT_EQ(cm.total(), 10u);
+  EXPECT_EQ(cm.at(0, 0), 3u);
+  EXPECT_EQ(cm.at(0, 1), 1u);
+  EXPECT_EQ(cm.at(1, 0), 2u);
+  EXPECT_EQ(cm.at(1, 1), 4u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.7);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 4.0 / 5.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 4.0 / 6.0);
+  const double p = 4.0 / 5.0, r = 4.0 / 6.0;
+  EXPECT_DOUBLE_EQ(cm.f1(1), 2 * p * r / (p + r));
+}
+
+TEST(ConfusionMatrix, PerfectPrediction) {
+  const int y[] = {0, 1, 2, 1, 0};
+  ConfusionMatrix cm(y, y);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(cm.precision(c), 1.0);
+    EXPECT_DOUBLE_EQ(cm.recall(c), 1.0);
+    EXPECT_DOUBLE_EQ(cm.f1(c), 1.0);
+  }
+}
+
+TEST(ConfusionMatrix, AbsentClassYieldsZeroNotNan) {
+  const int y_true[] = {0, 0, 1};
+  const int y_pred[] = {0, 0, 0};  // class 1 never predicted
+  ConfusionMatrix cm(y_true, y_pred);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(1), 0.0);
+}
+
+TEST(ConfusionMatrix, SizeMismatchThrows) {
+  const int a[] = {0, 1};
+  const int b[] = {0};
+  EXPECT_THROW(ConfusionMatrix(a, b), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, NegativeLabelThrows) {
+  const int a[] = {0, -1};
+  const int b[] = {0, 0};
+  EXPECT_THROW(ConfusionMatrix(a, b), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, OutOfRangeQueryThrows) {
+  const int y[] = {0, 1};
+  ConfusionMatrix cm(y, y);
+  EXPECT_THROW(cm.at(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.at(0, -1), std::out_of_range);
+}
+
+TEST(ConfusionMatrix, ToStringContainsNames) {
+  const int y[] = {0, 1};
+  ConfusionMatrix cm(y, y);
+  const std::string s = cm.to_string({"external", "self"});
+  EXPECT_NE(s.find("external"), std::string::npos);
+  EXPECT_NE(s.find("self"), std::string::npos);
+}
+
+TEST(ConfusionMatrix, EmptyInput) {
+  ConfusionMatrix cm(std::span<const int>{}, std::span<const int>{});
+  EXPECT_EQ(cm.total(), 0u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+}
+
+}  // namespace
+}  // namespace ccsig::ml

@@ -1,0 +1,107 @@
+#include "ml/split.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ccsig::ml {
+namespace {
+
+Dataset imbalanced(std::size_t n0, std::size_t n1) {
+  Dataset d({"x"});
+  for (std::size_t i = 0; i < n0; ++i) {
+    d.add({static_cast<double>(i)}, 0);
+  }
+  for (std::size_t i = 0; i < n1; ++i) {
+    d.add({1000.0 + static_cast<double>(i)}, 1);
+  }
+  return d;
+}
+
+TEST(StratifiedSplit, PreservesClassProportions) {
+  const Dataset d = imbalanced(80, 20);
+  sim::Rng rng(1);
+  const auto [train, test] = stratified_split(d, 0.25, rng);
+  EXPECT_EQ(test.size(), 25u);
+  EXPECT_EQ(train.size(), 75u);
+  const auto test_counts = test.class_counts();
+  EXPECT_EQ(test_counts[0], 20u);
+  EXPECT_EQ(test_counts[1], 5u);
+}
+
+TEST(StratifiedSplit, DisjointAndComplete) {
+  const Dataset d = imbalanced(30, 30);
+  sim::Rng rng(2);
+  const auto [train, test] = stratified_split(d, 0.5, rng);
+  std::multiset<double> all;
+  for (std::size_t i = 0; i < train.size(); ++i) all.insert(train.row(i)[0]);
+  for (std::size_t i = 0; i < test.size(); ++i) all.insert(test.row(i)[0]);
+  EXPECT_EQ(all.size(), 60u);
+  // Every original value present exactly once.
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(all.count(d.row(i)[0]), 1u);
+  }
+}
+
+TEST(StratifiedSplit, DeterministicGivenSeed) {
+  const Dataset d = imbalanced(50, 50);
+  sim::Rng rng1(42), rng2(42);
+  const auto [train1, test1] = stratified_split(d, 0.3, rng1);
+  const auto [train2, test2] = stratified_split(d, 0.3, rng2);
+  ASSERT_EQ(test1.size(), test2.size());
+  for (std::size_t i = 0; i < test1.size(); ++i) {
+    EXPECT_EQ(test1.row(i)[0], test2.row(i)[0]);
+  }
+}
+
+TEST(StratifiedSplit, InvalidFractionThrows) {
+  const Dataset d = imbalanced(10, 10);
+  sim::Rng rng(3);
+  EXPECT_THROW(stratified_split(d, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW(stratified_split(d, 1.1, rng), std::invalid_argument);
+}
+
+TEST(StratifiedSample, TwentyPercentLikePaper) {
+  const Dataset d = imbalanced(100, 100);
+  sim::Rng rng(4);
+  const auto [sample, rest] = stratified_sample(d, 0.2, rng);
+  EXPECT_EQ(sample.size(), 40u);
+  EXPECT_EQ(rest.size(), 160u);
+  const auto counts = sample.class_counts();
+  EXPECT_EQ(counts[0], 20u);
+  EXPECT_EQ(counts[1], 20u);
+}
+
+class FoldProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(FoldProperties, FoldsPartitionTheDataset) {
+  const int k = GetParam();
+  const Dataset d = imbalanced(53, 31);
+  sim::Rng rng(5);
+  const auto folds = stratified_folds(d, k, rng);
+  ASSERT_EQ(folds.size(), static_cast<std::size_t>(k));
+  std::set<std::size_t> seen;
+  for (const auto& fold : folds) {
+    for (std::size_t idx : fold) {
+      EXPECT_TRUE(seen.insert(idx).second) << "index appears twice";
+      EXPECT_LT(idx, d.size());
+    }
+  }
+  EXPECT_EQ(seen.size(), d.size());
+  // Fold sizes are balanced within one element per class.
+  for (const auto& fold : folds) {
+    EXPECT_NEAR(static_cast<double>(fold.size()),
+                static_cast<double>(d.size()) / k, 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FoldProperties, ::testing::Values(2, 3, 5, 10));
+
+TEST(Folds, InvalidKThrows) {
+  const Dataset d = imbalanced(4, 4);
+  sim::Rng rng(6);
+  EXPECT_THROW(stratified_folds(d, 1, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccsig::ml

@@ -1,0 +1,159 @@
+#include "mlab/dispute2014.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace ccsig::mlab {
+namespace {
+
+TEST(DiurnalCurve, ShapeMatchesResidentialTraffic) {
+  // Trough in the small hours, peak in the evening.
+  EXPECT_LT(diurnal_curve(4), 0.5);
+  EXPECT_GT(diurnal_curve(20), 0.9);
+  EXPECT_GT(diurnal_curve(21), 0.9);
+  // Monotone rise through the afternoon.
+  EXPECT_LT(diurnal_curve(12), diurnal_curve(16));
+  EXPECT_LT(diurnal_curve(16), diurnal_curve(20));
+  // Bounded.
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_GE(diurnal_curve(h), 0.3);
+    EXPECT_LE(diurnal_curve(h), 1.0);
+  }
+}
+
+TEST(Entities, PaperRoster) {
+  const auto sites = dispute_sites();
+  ASSERT_EQ(sites.size(), 3u);
+  int disputed = 0;
+  for (const auto& s : sites) disputed += s.disputed ? 1 : 0;
+  EXPECT_EQ(disputed, 2);  // Cogent LAX + LGA
+
+  const auto isps = dispute_isps();
+  ASSERT_EQ(isps.size(), 4u);
+  int direct = 0;
+  for (const auto& i : isps) {
+    direct += i.direct_peering ? 1 : 0;
+    ASSERT_EQ(i.plan_mbps.size(), i.plan_weights.size());
+    ASSERT_FALSE(i.plan_mbps.empty());
+  }
+  EXPECT_EQ(direct, 1);  // only Cox
+}
+
+TEST(DisputeActive, OnlyDisputedTransitNonPeeredIspJanFeb) {
+  const auto sites = dispute_sites();
+  const auto isps = dispute_isps();
+  const TransitSite& cogent = sites[0];
+  const TransitSite& level3 = sites[2];
+  const AccessIsp& comcast = isps[0];
+  const AccessIsp& cox = isps[3];
+
+  EXPECT_TRUE(dispute_active(cogent, comcast, 1));
+  EXPECT_TRUE(dispute_active(cogent, comcast, 2));
+  EXPECT_FALSE(dispute_active(cogent, comcast, 3));  // resolved in March
+  EXPECT_FALSE(dispute_active(cogent, cox, 1));      // direct peering
+  EXPECT_FALSE(dispute_active(level3, comcast, 1));  // unaffected transit
+}
+
+TEST(CoarseLabel, PaperWindows) {
+  NdtObservation obs;
+  obs.transit = "Cogent";
+  obs.isp = "Comcast";
+
+  obs.month = 1;
+  obs.hour = 20;  // peak, Jan
+  EXPECT_EQ(dispute_coarse_label(obs), std::optional<int>(0));
+
+  obs.month = 4;
+  obs.hour = 3;  // off-peak, Apr
+  EXPECT_EQ(dispute_coarse_label(obs), std::optional<int>(1));
+
+  obs.month = 1;
+  obs.hour = 3;  // off-peak Jan: excluded to minimize noise
+  EXPECT_FALSE(dispute_coarse_label(obs).has_value());
+
+  obs.month = 4;
+  obs.hour = 20;  // peak Apr: excluded
+  EXPECT_FALSE(dispute_coarse_label(obs).has_value());
+}
+
+TEST(CoarseLabel, CoxAndLevel3NeverExternal) {
+  NdtObservation obs;
+  obs.month = 1;
+  obs.hour = 20;
+  obs.transit = "Cogent";
+  obs.isp = "Cox";
+  EXPECT_FALSE(dispute_coarse_label(obs).has_value());
+  obs.transit = "Level3";
+  obs.isp = "Comcast";
+  EXPECT_FALSE(dispute_coarse_label(obs).has_value());
+}
+
+TEST(PeakWindows, MatchPaper) {
+  EXPECT_TRUE(is_peak_hour(16));
+  EXPECT_TRUE(is_peak_hour(23));
+  EXPECT_FALSE(is_peak_hour(15));
+  EXPECT_FALSE(is_peak_hour(0));
+  EXPECT_TRUE(is_offpeak_hour(1));
+  EXPECT_TRUE(is_offpeak_hour(8));
+  EXPECT_FALSE(is_offpeak_hour(9));
+  EXPECT_FALSE(is_offpeak_hour(0));
+}
+
+TEST(ObservationCsv, RoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ccsig_obs_rt.csv").string();
+  std::vector<NdtObservation> obs(2);
+  obs[0].transit = "Cogent";
+  obs[0].site = "LAX";
+  obs[0].isp = "Comcast";
+  obs[0].month = 2;
+  obs[0].hour = 21;
+  obs[0].plan_mbps = 25;
+  obs[0].throughput_mbps = 3.75;
+  obs[0].ss_tput_mbps = 4.5;
+  obs[0].norm_diff = 0.12;
+  obs[0].cov = 0.03;
+  obs[0].has_features = true;
+  obs[0].passes_filters = true;
+  obs[0].truth_external = true;
+  obs[1].transit = "Level3";
+  obs[1].site = "ATL";
+  obs[1].isp = "Cox";
+  obs[1].month = 4;
+  obs[1].hour = 3;
+  save_observations_csv(path, obs);
+  const auto loaded = load_observations_csv(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].transit, "Cogent");
+  EXPECT_EQ(loaded[0].site, "LAX");
+  EXPECT_DOUBLE_EQ(loaded[0].throughput_mbps, 3.75);
+  EXPECT_TRUE(loaded[0].truth_external);
+  EXPECT_EQ(loaded[1].isp, "Cox");
+  EXPECT_FALSE(loaded[1].has_features);
+}
+
+TEST(Generate, TinyCampaignRunsEndToEnd) {
+  Dispute2014Options opt;
+  opt.tests_per_cell = 1;
+  opt.months = {1};
+  opt.hours = {3, 21};
+  opt.ndt_duration = sim::from_seconds(4);
+  opt.warmup = sim::from_seconds(1.5);
+  opt.seed = 99;
+  const auto obs = generate_dispute2014(opt);
+  // 3 sites x 4 ISPs x 1 month x 2 hours.
+  ASSERT_EQ(obs.size(), 24u);
+  int external_truth = 0;
+  for (const auto& o : obs) {
+    EXPECT_GE(o.plan_mbps, 10.0);
+    external_truth += o.truth_external ? 1 : 0;
+  }
+  // Only disputed-transit, non-Cox, 21h cells can be congested:
+  // 2 sites x 3 ISPs = 6.
+  EXPECT_EQ(external_truth, 6);
+}
+
+}  // namespace
+}  // namespace ccsig::mlab

@@ -1,0 +1,101 @@
+// Integration: the M-Lab measurement path model (uncongested vs congested
+// interconnect, TSLP probing, Web100-style filters).
+#include "mlab/path.h"
+
+#include <gtest/gtest.h>
+
+namespace ccsig::mlab {
+namespace {
+
+PathConfig quick(double load, std::uint64_t seed) {
+  PathConfig cfg;
+  cfg.background_load = load;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(PathSim, UncongestedNdtReachesPlanRate) {
+  PathSim path(quick(0.5, 11));
+  path.warmup(sim::from_seconds(2));
+  const NdtResult ndt = path.run_ndt(sim::from_seconds(6));
+  EXPECT_GT(ndt.throughput_bps, 0.8 * 25e6);
+  EXPECT_TRUE(ndt.passes_mlab_filters);
+  ASSERT_TRUE(ndt.features.has_value());
+  EXPECT_GT(ndt.features->norm_diff, 0.5);  // self-induced signature
+}
+
+TEST(PathSim, CongestedNdtIsExternallyLimited) {
+  PathSim path(quick(1.25, 22));
+  path.warmup(sim::from_seconds(3));
+  const NdtResult ndt = path.run_ndt(sim::from_seconds(6));
+  EXPECT_LT(ndt.throughput_bps, 0.6 * 25e6);
+  if (ndt.features) {
+    EXPECT_LT(ndt.features->norm_diff, 0.5);
+    EXPECT_GT(ndt.features->min_rtt_ms, 30.0);  // standing queue baseline
+  }
+}
+
+TEST(PathSim, TslpFarProbeDetectsCongestion) {
+  PathSim idle(quick(0.5, 33));
+  idle.warmup(sim::from_seconds(2));
+  const double far_idle = sim::to_millis(idle.probe_far());
+  const double near_idle = sim::to_millis(idle.probe_near());
+
+  PathSim busy(quick(1.25, 34));
+  busy.warmup(sim::from_seconds(3));
+  const double far_busy = sim::to_millis(busy.probe_far());
+  const double near_busy = sim::to_millis(busy.probe_near());
+
+  // Near-side RTT never crosses the interconnect: flat in both states.
+  EXPECT_NEAR(near_idle, near_busy, 4.0);
+  // Far-side RTT picks up the standing queue (~15-25 ms buffer).
+  EXPECT_GT(far_busy, far_idle + 8.0);
+}
+
+TEST(PathSim, BaseRttMatchesConfiguration) {
+  PathConfig cfg = quick(0.3, 44);
+  cfg.access_latency_ms = 8.0;
+  PathSim path(cfg);
+  path.warmup(sim::from_seconds(1));
+  // Base RTT ~ 2 x (8 + 0.5 + 0.5) = 18 ms, as in the paper's TSLP2017.
+  const NdtResult ndt = path.run_ndt(sim::from_seconds(5));
+  ASSERT_TRUE(ndt.features.has_value());
+  EXPECT_GT(ndt.features->min_rtt_ms, 15.0);
+  EXPECT_LT(ndt.features->min_rtt_ms, 22.0);
+}
+
+TEST(PathSim, FiltersRejectIdleFlow) {
+  // A tiny plan makes the flow congestion-limited; sanity-check the
+  // congestion-limited fraction accounting is in [0, 1.05].
+  PathSim path(quick(0.4, 55));
+  path.warmup(sim::from_seconds(1));
+  const NdtResult ndt = path.run_ndt(sim::from_seconds(5));
+  EXPECT_GE(ndt.congestion_limited_fraction, 0.0);
+  EXPECT_LE(ndt.congestion_limited_fraction, 1.05);
+}
+
+TEST(AdaptiveStreamTest, DownshiftsUnderShortfall) {
+  // Run an adaptive background against a link that cannot carry it.
+  PathConfig cfg = quick(1.4, 66);
+  cfg.background_mode = PathConfig::BackgroundMode::kAdaptive;
+  PathSim path(cfg);
+  path.warmup(sim::from_seconds(8));
+  // The aggregate must have adapted: link delivers ~capacity, not demand.
+  const auto stats = path.interconnect_down()->stats();
+  const double delivered_bps =
+      static_cast<double>(stats.delivered_bytes) * 8.0 / 8.0;
+  EXPECT_LT(delivered_bps, 1.15 * cfg.interconnect_mbps * 1e6);
+}
+
+TEST(PathSim, DeterministicGivenSeed) {
+  PathSim a(quick(0.9, 77));
+  a.warmup(sim::from_seconds(2));
+  const NdtResult ra = a.run_ndt(sim::from_seconds(4));
+  PathSim b(quick(0.9, 77));
+  b.warmup(sim::from_seconds(2));
+  const NdtResult rb = b.run_ndt(sim::from_seconds(4));
+  EXPECT_DOUBLE_EQ(ra.throughput_bps, rb.throughput_bps);
+}
+
+}  // namespace
+}  // namespace ccsig::mlab

@@ -1,0 +1,153 @@
+#include "mlab/tslp.h"
+#include "mlab/tslp2017.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "sim/echo.h"
+#include "sim/network.h"
+
+namespace ccsig::mlab {
+namespace {
+
+TEST(TslpProber, MeasuresRoundTripOnCleanPath) {
+  sim::Network net(1);
+  sim::Node* vantage = net.add_node("vantage");
+  sim::Node* router = net.add_node("router");
+  sim::Link::Config link;
+  link.rate_bps = 1e9;
+  link.prop_delay = 9 * sim::kMillisecond;
+  link.buffer_bytes = 1 << 20;
+  net.connect(vantage, router, link);
+  sim::EchoResponder echo(router);
+  TslpProber prober(net.sim(), vantage, router, 40000);
+
+  prober.probe();
+  net.sim().run_until(sim::from_seconds(1));
+  ASSERT_EQ(prober.samples().size(), 1u);
+  EXPECT_NEAR(sim::to_millis(prober.samples()[0].rtt), 18.0, 0.5);
+  EXPECT_EQ(prober.min_rtt(), prober.samples()[0].rtt);
+}
+
+TEST(TslpProber, ScheduledSeriesAndMinRtt) {
+  sim::Network net(2);
+  sim::Node* vantage = net.add_node("vantage");
+  sim::Node* router = net.add_node("router");
+  sim::Link::Config link;
+  link.rate_bps = 1e8;
+  link.prop_delay = 5 * sim::kMillisecond;
+  link.buffer_bytes = 1 << 20;
+  net.connect(vantage, router, link);
+  sim::EchoResponder echo(router);
+  TslpProber prober(net.sim(), vantage, router, 40001);
+  prober.schedule(0, sim::from_seconds(1), 100 * sim::kMillisecond);
+  net.sim().run_until(sim::from_seconds(2));
+  EXPECT_EQ(prober.samples().size(), 11u);
+  for (const auto& s : prober.samples()) {
+    EXPECT_GT(s.rtt, 0);
+  }
+  EXPECT_NEAR(sim::to_millis(prober.min_rtt()), 10.0, 0.5);
+}
+
+TEST(TslpProber, LostProbeStaysUnanswered) {
+  sim::Network net(3);
+  sim::Node* vantage = net.add_node("vantage");
+  sim::Node* router = net.add_node("router");
+  sim::Link::Config link;
+  link.rate_bps = 1e8;
+  link.loss_rate = 1.0;  // everything lost
+  link.buffer_bytes = 1 << 20;
+  net.connect(vantage, router, link);
+  sim::EchoResponder echo(router);
+  TslpProber prober(net.sim(), vantage, router, 40002);
+  prober.probe();
+  net.sim().run_until(sim::from_seconds(1));
+  ASSERT_EQ(prober.samples().size(), 1u);
+  EXPECT_EQ(prober.samples()[0].rtt, -1);
+  EXPECT_EQ(prober.min_rtt(), -1);
+}
+
+TEST(TslpLabel, PaperRules) {
+  TslpObservation obs;
+  obs.ndt_ran = true;
+  obs.has_features = true;
+
+  obs.throughput_mbps = 10.0;
+  obs.min_flow_rtt_ms = 35.0;
+  EXPECT_EQ(tslp_label(obs), 0);  // external
+
+  obs.throughput_mbps = 23.0;
+  obs.min_flow_rtt_ms = 18.0;
+  EXPECT_EQ(tslp_label(obs), 1);  // self
+
+  obs.throughput_mbps = 17.0;  // gray zone
+  obs.min_flow_rtt_ms = 25.0;
+  EXPECT_EQ(tslp_label(obs), -1);
+
+  obs.throughput_mbps = 10.0;  // low tput but low RTT: unlabeled
+  obs.min_flow_rtt_ms = 18.0;
+  EXPECT_EQ(tslp_label(obs), -1);
+
+  obs.has_features = false;
+  obs.throughput_mbps = 10.0;
+  obs.min_flow_rtt_ms = 35.0;
+  EXPECT_EQ(tslp_label(obs), -1);
+}
+
+TEST(TslpCsv, RoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ccsig_tslp_rt.csv").string();
+  std::vector<TslpObservation> obs(1);
+  obs[0].day = 2;
+  obs[0].hour = 21;
+  obs[0].minute = 30;
+  obs[0].far_rtt_ms = 33.5;
+  obs[0].near_rtt_ms = 16.25;
+  obs[0].ndt_ran = true;
+  obs[0].throughput_mbps = 4.75;
+  obs[0].min_flow_rtt_ms = 34.0;
+  obs[0].norm_diff = 0.08;
+  obs[0].cov = 0.02;
+  obs[0].has_features = true;
+  obs[0].truth_external = true;
+  save_tslp_csv(path, obs);
+  const auto loaded = load_tslp_csv(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].day, 2);
+  EXPECT_DOUBLE_EQ(loaded[0].far_rtt_ms, 33.5);
+  EXPECT_DOUBLE_EQ(loaded[0].throughput_mbps, 4.75);
+  EXPECT_TRUE(loaded[0].truth_external);
+}
+
+TEST(Tslp2017, OneDayCampaign) {
+  Tslp2017Options opt;
+  opt.days = 1;
+  opt.ndt_duration = sim::from_seconds(4);
+  opt.warmup = sim::from_seconds(1.5);
+  opt.episode_probability = 1.0;  // force evening congestion
+  opt.seed = 5;
+  const auto obs = generate_tslp2017(opt);
+  // 16 off-peak hourly + 8 peak hours x 4 slots = 48 slots.
+  ASSERT_EQ(obs.size(), 48u);
+  double clean_far = 0, busy_far = 0;
+  int clean_n = 0, busy_n = 0;
+  for (const auto& o : obs) {
+    EXPECT_GT(o.near_rtt_ms, 0);
+    if (o.truth_external) {
+      busy_far += o.far_rtt_ms;
+      ++busy_n;
+    } else {
+      clean_far += o.far_rtt_ms;
+      ++clean_n;
+    }
+  }
+  ASSERT_GT(busy_n, 0);
+  ASSERT_GT(clean_n, 0);
+  // Congested slots must show the TSLP latency elevation.
+  EXPECT_GT(busy_far / busy_n, clean_far / clean_n + 5.0);
+}
+
+}  // namespace
+}  // namespace ccsig::mlab

@@ -1,0 +1,122 @@
+#include "pcap/headers.h"
+
+#include <gtest/gtest.h>
+
+namespace ccsig::pcap {
+namespace {
+
+sim::Packet sample_packet() {
+  sim::Packet p;
+  p.key = sim::FlowKey{5, 9, 5001, 5002};
+  p.seq = 12345;
+  p.ack = 999;
+  p.payload_bytes = 1448;
+  p.window = 256 * 1024;
+  p.flags.ack = true;
+  p.id = 77;
+  return p;
+}
+
+TEST(Headers, RoundTripBasicFields) {
+  const sim::Packet p = sample_packet();
+  const auto frame = encode_frame(p);
+  const auto d = decode_frame(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->src_ip, to_ipv4(5));
+  EXPECT_EQ(d->dst_ip, to_ipv4(9));
+  EXPECT_EQ(d->src_port, 5001);
+  EXPECT_EQ(d->dst_port, 5002);
+  EXPECT_EQ(d->seq32, 12345u);
+  EXPECT_EQ(d->ack32, 999u);
+  EXPECT_EQ(d->payload_bytes, 1448u);
+  EXPECT_TRUE(d->ack);
+  EXPECT_FALSE(d->syn);
+  EXPECT_FALSE(d->fin);
+  EXPECT_FALSE(d->rst);
+}
+
+TEST(Headers, AllFlagsRoundTrip) {
+  sim::Packet p = sample_packet();
+  p.flags = sim::TcpFlags{true, true, true, true};
+  const auto d = decode_frame(encode_frame(p));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->syn);
+  EXPECT_TRUE(d->ack);
+  EXPECT_TRUE(d->fin);
+  EXPECT_TRUE(d->rst);
+}
+
+TEST(Headers, SequenceWrapsAt32Bits) {
+  sim::Packet p = sample_packet();
+  p.seq = (1ull << 32) + 42;
+  const auto d = decode_frame(encode_frame(p));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->seq32, 42u);
+}
+
+TEST(Headers, WindowScaleRoundTripsWithinPrecision) {
+  sim::Packet p = sample_packet();
+  p.window = 1 << 20;  // 1 MB
+  const auto d = decode_frame(encode_frame(p));
+  ASSERT_TRUE(d.has_value());
+  // Encoded as window >> 8 (wscale 8), so the reader re-expands exactly.
+  EXPECT_EQ(static_cast<std::uint32_t>(d->window) << 8, p.window);
+}
+
+TEST(Headers, Ipv4ChecksumValidates) {
+  const auto frame = encode_frame(sample_packet());
+  // Recompute over the IP header; a correct checksum field makes the sum 0.
+  const std::uint16_t sum = internet_checksum(
+      {frame.data() + kEthernetHeaderBytes, kIpv4HeaderBytes});
+  EXPECT_EQ(sum, 0);
+}
+
+TEST(Headers, ChecksumKnownVector) {
+  // RFC 1071 style check: a buffer whose checksum we can compute by hand.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  // Sum = 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 = 0x2DDF0 -> 0xDDF2 -> ~ = 0x220D.
+  EXPECT_EQ(internet_checksum(data), 0x220D);
+}
+
+TEST(Headers, ChecksumOddLength) {
+  const std::uint8_t data[] = {0xAB};
+  EXPECT_EQ(internet_checksum(data),
+            static_cast<std::uint16_t>(~0xAB00 & 0xFFFF));
+}
+
+TEST(Headers, DecodeRejectsShortBuffer) {
+  std::uint8_t tiny[10] = {};
+  EXPECT_FALSE(decode_frame(tiny).has_value());
+}
+
+TEST(Headers, DecodeRejectsNonIpv4Ethertype) {
+  auto frame = encode_frame(sample_packet());
+  frame[12] = 0x86;  // IPv6 ethertype
+  frame[13] = 0xDD;
+  EXPECT_FALSE(decode_frame(frame).has_value());
+}
+
+TEST(Headers, DecodeRejectsNonTcpProtocol) {
+  auto frame = encode_frame(sample_packet());
+  frame[kEthernetHeaderBytes + 9] = 17;  // UDP
+  EXPECT_FALSE(decode_frame(frame).has_value());
+}
+
+TEST(Headers, IpTotalLengthAccountsForPayload) {
+  sim::Packet p = sample_packet();
+  p.payload_bytes = 777;
+  const auto d = decode_frame(encode_frame(p));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->payload_bytes, 777u);
+}
+
+TEST(Headers, ZeroWindowEncodesAsZero) {
+  sim::Packet p = sample_packet();
+  p.window = 0;
+  const auto d = decode_frame(encode_frame(p));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->window, 0);
+}
+
+}  // namespace
+}  // namespace ccsig::pcap

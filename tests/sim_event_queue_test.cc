@@ -1,0 +1,71 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccsig::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(30, [&] { fired.push_back(3); });
+  q.schedule(10, [&] { fired.push_back(1); });
+  q.schedule(20, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoTieBreakAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.schedule(100, [] {});
+  q.schedule(50, [] {});
+  EXPECT_EQ(q.next_time(), 50);
+  q.pop()();
+  EXPECT_EQ(q.next_time(), 100);
+}
+
+TEST(EventQueue, ScheduledCountMonotone) {
+  EventQueue q;
+  EXPECT_EQ(q.scheduled_count(), 0u);
+  q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.scheduled_count(), 2u);
+  q.pop()();
+  EXPECT_EQ(q.scheduled_count(), 2u);  // popping does not decrement
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  std::vector<Time> fired;
+  // Insert in a scrambled deterministic order.
+  for (int i = 0; i < 1000; ++i) {
+    const Time t = (i * 7919) % 1000;
+    q.schedule(t, [&fired, t] { fired.push_back(t); });
+  }
+  while (!q.empty()) q.pop()();
+  ASSERT_EQ(fired.size(), 1000u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1], fired[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ccsig::sim

@@ -1,0 +1,141 @@
+#include "sim/node.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "sim/trace.h"
+
+namespace ccsig::sim {
+namespace {
+
+Packet addressed(Address src, Address dst, Port sport, Port dport) {
+  Packet p;
+  p.key = FlowKey{src, dst, sport, dport};
+  p.payload_bytes = 100;
+  return p;
+}
+
+TEST(Node, DeliversToRegisteredEndpoint) {
+  Simulator sim;
+  Node node(sim, 1, "host");
+  int got = 0;
+  node.register_endpoint(80, [&](const Packet&) { ++got; });
+  node.receive(addressed(9, 1, 1234, 80));
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(node.delivered_packets(), 1u);
+}
+
+TEST(Node, UndeliverableWithoutEndpoint) {
+  Simulator sim;
+  Node node(sim, 1, "host");
+  node.receive(addressed(9, 1, 1234, 81));
+  EXPECT_EQ(node.undeliverable_packets(), 1u);
+}
+
+TEST(Node, UnregisterStopsDelivery) {
+  Simulator sim;
+  Node node(sim, 1, "host");
+  int got = 0;
+  node.register_endpoint(80, [&](const Packet&) { ++got; });
+  node.unregister_endpoint(80);
+  node.receive(addressed(9, 1, 1, 80));
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(node.undeliverable_packets(), 1u);
+}
+
+TEST(Node, ForwardsViaRoute) {
+  Network net(1);
+  Node* a = net.add_node("a");
+  Node* r = net.add_node("r");
+  Node* b = net.add_node("b");
+  Link::Config fast;
+  fast.rate_bps = 1e9;
+  fast.buffer_bytes = 1 << 20;
+  auto ar = net.connect(a, r, fast);
+  auto rb = net.connect(r, b, fast);
+  (void)ar;
+  a->add_route(b->address(), ar.ab);
+  r->add_route(b->address(), rb.ab);
+  int got = 0;
+  b->register_endpoint(80, [&](const Packet&) { ++got; });
+  a->send(addressed(a->address(), b->address(), 5, 80));
+  net.sim().run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(r->forwarded_packets(), 1u);
+}
+
+TEST(Node, DefaultRouteUsedAsFallback) {
+  Network net(1);
+  Node* a = net.add_node("a");
+  Node* b = net.add_node("b");
+  Link::Config fast;
+  fast.rate_bps = 1e9;
+  fast.buffer_bytes = 1 << 20;
+  auto ab = net.connect(a, b, fast);
+  // Send to an address with no explicit route; default covers it if b owns it.
+  a->set_default_route(ab.ab);
+  int got = 0;
+  b->register_endpoint(7, [&](const Packet&) { ++got; });
+  a->send(addressed(a->address(), b->address(), 1, 7));
+  net.sim().run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Node, NoRouteCountsUndeliverable) {
+  Simulator sim;
+  Node node(sim, 1, "lonely");
+  node.send(addressed(1, 99, 1, 2));
+  EXPECT_EQ(node.undeliverable_packets(), 1u);
+}
+
+class CountingTap : public TraceSink {
+ public:
+  int count = 0;
+  void on_packet(Time, const Packet&) override { ++count; }
+};
+
+TEST(Node, TapsSeeSendAndReceive) {
+  Simulator sim;
+  Node node(sim, 1, "host");
+  CountingTap tap;
+  node.add_tap(&tap);
+  node.register_endpoint(80, [](const Packet&) {});
+  node.receive(addressed(9, 1, 1, 80));   // receive
+  node.send(addressed(1, 1, 2, 80));      // loopback send
+  EXPECT_EQ(tap.count, 2);
+  node.remove_tap(&tap);
+  node.receive(addressed(9, 1, 1, 80));
+  EXPECT_EQ(tap.count, 2);
+}
+
+TEST(Node, LoopbackDelivery) {
+  Simulator sim;
+  Node node(sim, 1, "host");
+  int got = 0;
+  node.register_endpoint(80, [&](const Packet&) { ++got; });
+  node.send(addressed(1, 1, 5, 80));
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Network, DuplicateNodeNameThrows) {
+  Network net(1);
+  net.add_node("x");
+  EXPECT_THROW(net.add_node("x"), std::invalid_argument);
+}
+
+TEST(Network, NodeLookup) {
+  Network net(1);
+  Node* a = net.add_node("alpha");
+  EXPECT_EQ(net.node("alpha"), a);
+  EXPECT_THROW(net.node("missing"), std::out_of_range);
+}
+
+TEST(Network, SequentialAddresses) {
+  Network net(1);
+  Node* a = net.add_node("a");
+  Node* b = net.add_node("b");
+  EXPECT_EQ(a->address() + 1, b->address());
+}
+
+}  // namespace
+}  // namespace ccsig::sim

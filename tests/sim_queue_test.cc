@@ -1,0 +1,92 @@
+#include "sim/queue.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+
+namespace ccsig::sim {
+namespace {
+
+Packet make_packet(std::uint32_t payload) {
+  Packet p;
+  p.payload_bytes = payload;
+  return p;
+}
+
+TEST(DropTailQueue, AcceptsWithinCapacity) {
+  DropTailQueue q(1000);
+  EXPECT_TRUE(q.push(make_packet(500)));  // 540 wire bytes
+  EXPECT_EQ(q.occupancy_bytes(), 540u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(DropTailQueue, DropsWhenFull) {
+  DropTailQueue q(600);
+  EXPECT_TRUE(q.push(make_packet(500)));   // 540
+  EXPECT_FALSE(q.push(make_packet(100)));  // 140 would exceed 600
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.dropped_bytes(), 140u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(DropTailQueue, FifoOrder) {
+  DropTailQueue q(1 << 20);
+  for (std::uint32_t i = 1; i <= 5; ++i) ASSERT_TRUE(q.push(make_packet(i)));
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    EXPECT_EQ(q.pop().payload_bytes, i);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.occupancy_bytes(), 0u);
+}
+
+TEST(DropTailQueue, MaxOccupancyHighWaterMark) {
+  DropTailQueue q(10000);
+  q.push(make_packet(1000));
+  q.push(make_packet(1000));
+  EXPECT_EQ(q.max_occupancy_bytes(), 2080u);
+  q.pop();
+  q.pop();
+  EXPECT_EQ(q.max_occupancy_bytes(), 2080u);  // sticky
+  EXPECT_EQ(q.occupancy_bytes(), 0u);
+}
+
+TEST(DropTailQueue, ZeroCapacityDropsEverything) {
+  DropTailQueue q(0);
+  EXPECT_FALSE(q.push(make_packet(1)));
+  EXPECT_EQ(q.drops(), 1u);
+}
+
+// Property: under random push/pop traffic, occupancy never exceeds capacity
+// and equals the sum of queued packets' wire bytes.
+class QueueInvariants : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QueueInvariants, OccupancyAccountingHolds) {
+  const std::size_t capacity = GetParam();
+  DropTailQueue q(capacity);
+  Rng rng(capacity);
+  std::uint64_t expected = 0;
+  std::size_t count = 0;
+  for (int step = 0; step < 5000; ++step) {
+    if (rng.chance(0.6)) {
+      Packet p = make_packet(
+          static_cast<std::uint32_t>(rng.uniform_int(0, 1460)));
+      const std::size_t wire = p.wire_bytes();
+      if (q.push(std::move(p))) {
+        expected += wire;
+        ++count;
+      }
+    } else if (!q.empty()) {
+      expected -= q.pop().wire_bytes();
+      --count;
+    }
+    ASSERT_LE(q.occupancy_bytes(), capacity);
+    ASSERT_EQ(q.occupancy_bytes(), expected);
+    ASSERT_EQ(q.size(), count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, QueueInvariants,
+                         ::testing::Values(100, 1500, 4096, 65536, 1 << 20));
+
+}  // namespace
+}  // namespace ccsig::sim

@@ -1,0 +1,88 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccsig::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  Time seen = -1;
+  sim.schedule_at(100, [&] { seen = sim.now(); });
+  sim.run_until(1000);
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), 1000);  // clock lands on the deadline when idle
+}
+
+TEST(Simulator, RunUntilStopsBeforeLaterEvents) {
+  Simulator sim;
+  bool late_fired = false;
+  sim.schedule_at(2000, [&] { late_fired = true; });
+  sim.run_until(1000);
+  EXPECT_FALSE(late_fired);
+  sim.run_until(3000);
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  std::vector<Time> fire_times;
+  sim.schedule_at(500, [&] {
+    sim.schedule_in(250, [&] { fire_times.push_back(sim.now()); });
+  });
+  sim.run_until(10000);
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_EQ(fire_times[0], 750);
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator sim;
+  Time seen = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_at(50, [&] { seen = sim.now(); });  // in the past
+  });
+  sim.run_until(1000);
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(Simulator, NegativeDelayClamps) {
+  Simulator sim;
+  Time seen = -1;
+  sim.schedule_at(10, [&] {
+    sim.schedule_in(-5, [&] { seen = sim.now(); });
+  });
+  sim.run_until(100);
+  EXPECT_EQ(seen, 10);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_in(1, chain);
+  };
+  sim.schedule_at(0, chain);
+  const auto executed = sim.run_until(1000);
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(executed, 100u);
+}
+
+TEST(Simulator, RunDrainsEverything) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(i * 10, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_TRUE(sim.idle());
+}
+
+}  // namespace
+}  // namespace ccsig::sim

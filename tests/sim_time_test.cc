@@ -1,0 +1,50 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace ccsig::sim {
+namespace {
+
+TEST(Time, UnitConstants) {
+  EXPECT_EQ(kMicrosecond, 1000 * kNanosecond);
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+}
+
+TEST(Time, FromSeconds) {
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(0.5), kSecond / 2);
+  EXPECT_EQ(from_seconds(0.0), 0);
+  EXPECT_EQ(from_seconds(2.5), 2 * kSecond + kSecond / 2);
+}
+
+TEST(Time, FromMillisAndMicros) {
+  EXPECT_EQ(from_millis(1.0), kMillisecond);
+  EXPECT_EQ(from_millis(20.0), 20 * kMillisecond);
+  EXPECT_EQ(from_micros(7.0), 7 * kMicrosecond);
+  EXPECT_EQ(from_millis(0.5), 500 * kMicrosecond);
+}
+
+TEST(Time, ToSecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(3.25)), 3.25);
+  EXPECT_DOUBLE_EQ(to_millis(from_millis(18.5)), 18.5);
+}
+
+TEST(Time, NegativeDurations) {
+  EXPECT_EQ(from_seconds(-1.0), -kSecond);
+  EXPECT_DOUBLE_EQ(to_seconds(-kSecond), -1.0);
+}
+
+class TimeConversionRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(TimeConversionRoundTrip, MillisSurviveConversion) {
+  const double ms = GetParam();
+  EXPECT_NEAR(to_millis(from_millis(ms)), ms, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TimeConversionRoundTrip,
+                         ::testing::Values(0.0, 0.001, 0.5, 1.0, 2.0, 20.0,
+                                           50.0, 100.0, 1000.0, 86400000.0));
+
+}  // namespace
+}  // namespace ccsig::sim

@@ -1,0 +1,178 @@
+#include "tcp/congestion_control.h"
+
+#include <gtest/gtest.h>
+
+#include "tcp/reno.h"
+
+namespace ccsig::tcp {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+constexpr std::uint32_t kMss = 1448;
+
+TEST(Factory, ResolvesKnownNames) {
+  EXPECT_EQ(congestion_control_by_name("reno")(kMss)->name(), "reno");
+  EXPECT_EQ(congestion_control_by_name("newreno")(kMss)->name(), "reno");
+  EXPECT_EQ(congestion_control_by_name("cubic")(kMss)->name(), "cubic");
+  EXPECT_EQ(congestion_control_by_name("bbr")(kMss)->name(), "bbr");
+  EXPECT_EQ(congestion_control_by_name("bbr_lite")(kMss)->name(), "bbr");
+}
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW(congestion_control_by_name("vegas"), std::invalid_argument);
+}
+
+TEST(Reno, InitialWindowIsTenSegments) {
+  auto cc = make_reno(kMss);
+  EXPECT_EQ(cc->cwnd_bytes(), 10ull * kMss);
+  EXPECT_TRUE(cc->in_slow_start());
+}
+
+TEST(Reno, SlowStartDoublesPerRtt) {
+  auto cc = make_reno(kMss);
+  const std::uint64_t before = cc->cwnd_bytes();
+  // ACK a full window's worth, one MSS at a time (one RTT of ACKs).
+  for (std::uint64_t acked = 0; acked < before; acked += kMss) {
+    cc->on_ack(kMss, 10 * kMillisecond, 0);
+  }
+  EXPECT_EQ(cc->cwnd_bytes(), 2 * before);
+}
+
+TEST(Reno, FastRetransmitHalvesToSsthresh) {
+  auto cc = make_reno(kMss);
+  const std::uint64_t flight = 100ull * kMss;
+  cc->on_loss(LossKind::kFastRetransmit, flight, 0);
+  EXPECT_EQ(cc->ssthresh_bytes(), flight / 2);
+  EXPECT_EQ(cc->cwnd_bytes(), flight / 2);
+  EXPECT_FALSE(cc->in_slow_start());
+}
+
+TEST(Reno, TimeoutCollapsesToOneSegment) {
+  auto cc = make_reno(kMss);
+  cc->on_loss(LossKind::kTimeout, 100ull * kMss, 0);
+  EXPECT_EQ(cc->cwnd_bytes(), kMss);
+  EXPECT_TRUE(cc->in_slow_start());
+  EXPECT_EQ(cc->ssthresh_bytes(), 50ull * kMss);
+}
+
+TEST(Reno, SsthreshFloorIsTwoSegments) {
+  auto cc = make_reno(kMss);
+  cc->on_loss(LossKind::kFastRetransmit, kMss, 0);
+  EXPECT_EQ(cc->ssthresh_bytes(), 2ull * kMss);
+}
+
+TEST(Reno, CongestionAvoidanceLinearGrowth) {
+  auto cc = make_reno(kMss);
+  cc->on_loss(LossKind::kFastRetransmit, 20ull * kMss, 0);  // -> CA at 10 MSS
+  const std::uint64_t cwnd0 = cc->cwnd_bytes();
+  // One full window of ACKs -> exactly one MSS of growth.
+  for (std::uint64_t acked = 0; acked < cwnd0; acked += kMss) {
+    cc->on_ack(kMss, 10 * kMillisecond, 0);
+  }
+  EXPECT_EQ(cc->cwnd_bytes(), cwnd0 + kMss);
+}
+
+TEST(Reno, NoPacing) {
+  auto cc = make_reno(kMss);
+  EXPECT_EQ(cc->pacing_rate_bps(), 0.0);
+}
+
+TEST(Cubic, SlowStartMatchesReno) {
+  auto cc = make_cubic(kMss);
+  EXPECT_TRUE(cc->in_slow_start());
+  const std::uint64_t before = cc->cwnd_bytes();
+  for (std::uint64_t acked = 0; acked < before; acked += kMss) {
+    cc->on_ack(kMss, 10 * kMillisecond, 0);
+  }
+  EXPECT_EQ(cc->cwnd_bytes(), 2 * before);
+}
+
+TEST(Cubic, LossAppliesBeta) {
+  auto cc = make_cubic(kMss);
+  // Grow a bit first.
+  for (int i = 0; i < 100; ++i) cc->on_ack(kMss, 10 * kMillisecond, 0);
+  const std::uint64_t before = cc->cwnd_bytes();
+  cc->on_loss(LossKind::kFastRetransmit, before, 0);
+  EXPECT_NEAR(static_cast<double>(cc->cwnd_bytes()),
+              0.7 * static_cast<double>(before),
+              static_cast<double>(kMss));
+  EXPECT_FALSE(cc->in_slow_start());
+}
+
+TEST(Cubic, GrowsAfterLoss) {
+  auto cc = make_cubic(kMss);
+  for (int i = 0; i < 100; ++i) cc->on_ack(kMss, 10 * kMillisecond, 0);
+  cc->on_loss(LossKind::kFastRetransmit, cc->cwnd_bytes(), 1 * kSecond);
+  const std::uint64_t after_loss = cc->cwnd_bytes();
+  // Feed ACKs over simulated time; the cubic function must grow the window.
+  sim::Time now = 1 * kSecond;
+  for (int i = 0; i < 2000; ++i) {
+    now += 2 * kMillisecond;
+    cc->on_ack(kMss, 10 * kMillisecond, now);
+  }
+  EXPECT_GT(cc->cwnd_bytes(), after_loss);
+}
+
+TEST(Cubic, TimeoutCollapses) {
+  auto cc = make_cubic(kMss);
+  for (int i = 0; i < 50; ++i) cc->on_ack(kMss, 10 * kMillisecond, 0);
+  cc->on_loss(LossKind::kTimeout, cc->cwnd_bytes(), 0);
+  EXPECT_EQ(cc->cwnd_bytes(), kMss);
+}
+
+TEST(BbrLite, StartsInStartupWithHighGain) {
+  auto cc = make_bbr_lite(kMss);
+  EXPECT_TRUE(cc->in_slow_start());
+  EXPECT_EQ(cc->pacing_rate_bps(), 0.0);  // no estimate yet
+}
+
+TEST(BbrLite, EstimatesBandwidthAndPaces) {
+  auto cc = make_bbr_lite(kMss);
+  // Simulate steady delivery: 10 MSS per 10 ms -> ~11.6 Mbps.
+  sim::Time now = 0;
+  for (int i = 0; i < 50; ++i) {
+    now += 10 * kMillisecond;
+    cc->on_ack(10ull * kMss, 10 * kMillisecond, now);
+  }
+  EXPECT_GT(cc->pacing_rate_bps(), 0.0);
+  EXPECT_GT(cc->cwnd_bytes(), 4ull * kMss);
+}
+
+TEST(BbrLite, ExitsStartupWhenBandwidthPlateaus) {
+  auto cc = make_bbr_lite(kMss);
+  sim::Time now = 0;
+  for (int i = 0; i < 100 && cc->in_slow_start(); ++i) {
+    now += 10 * kMillisecond;
+    cc->on_ack(10ull * kMss, 10 * kMillisecond, now);
+  }
+  EXPECT_FALSE(cc->in_slow_start());
+}
+
+TEST(BbrLite, TimeoutResetsModel) {
+  auto cc = make_bbr_lite(kMss);
+  sim::Time now = 0;
+  for (int i = 0; i < 100; ++i) {
+    now += 10 * kMillisecond;
+    cc->on_ack(10ull * kMss, 10 * kMillisecond, now);
+  }
+  cc->on_loss(LossKind::kTimeout, 10ull * kMss, now);
+  EXPECT_TRUE(cc->in_slow_start());
+  EXPECT_EQ(cc->pacing_rate_bps(), 0.0);
+}
+
+TEST(BbrLite, IgnoresIsolatedFastRetransmit) {
+  auto cc = make_bbr_lite(kMss);
+  sim::Time now = 0;
+  for (int i = 0; i < 100; ++i) {
+    now += 10 * kMillisecond;
+    cc->on_ack(10ull * kMss, 10 * kMillisecond, now);
+  }
+  const double rate = cc->pacing_rate_bps();
+  cc->on_loss(LossKind::kFastRetransmit, 10ull * kMss, now);
+  EXPECT_GT(cc->pacing_rate_bps(), 0.5 * rate);
+}
+
+}  // namespace
+}  // namespace ccsig::tcp

@@ -1,0 +1,91 @@
+#include "tcp/rto.h"
+
+#include <gtest/gtest.h>
+
+namespace ccsig::tcp {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+TEST(Rto, InitialValueBeforeSamples) {
+  RtoEstimator rto;
+  EXPECT_FALSE(rto.has_sample());
+  EXPECT_EQ(rto.rto(), 1 * kSecond);
+}
+
+TEST(Rto, FirstSampleInitializesPerRfc) {
+  RtoEstimator rto;
+  rto.on_measurement(100 * kMillisecond);
+  EXPECT_TRUE(rto.has_sample());
+  EXPECT_EQ(rto.srtt(), 100 * kMillisecond);
+  EXPECT_EQ(rto.rttvar(), 50 * kMillisecond);
+  // RTO = SRTT + 4*RTTVAR = 300 ms.
+  EXPECT_EQ(rto.rto(), 300 * kMillisecond);
+}
+
+TEST(Rto, SmoothingConvergesToStableRtt) {
+  RtoEstimator rto;
+  for (int i = 0; i < 100; ++i) rto.on_measurement(80 * kMillisecond);
+  EXPECT_NEAR(static_cast<double>(rto.srtt()), 80.0 * kMillisecond,
+              1.0 * kMillisecond);
+  // With zero variance, RTO clamps to the 200 ms floor.
+  EXPECT_EQ(rto.rto(), 200 * kMillisecond);
+}
+
+TEST(Rto, MinimumFloor) {
+  RtoEstimator rto;
+  for (int i = 0; i < 50; ++i) rto.on_measurement(1 * kMillisecond);
+  EXPECT_EQ(rto.rto(), 200 * kMillisecond);
+}
+
+TEST(Rto, CustomFloor) {
+  RtoEstimator::Config cfg;
+  cfg.min_rto = 50 * kMillisecond;
+  RtoEstimator rto(cfg);
+  for (int i = 0; i < 50; ++i) rto.on_measurement(1 * kMillisecond);
+  EXPECT_EQ(rto.rto(), 50 * kMillisecond);
+}
+
+TEST(Rto, BackoffDoublesAndCaps) {
+  RtoEstimator rto;
+  rto.on_measurement(100 * kMillisecond);
+  const sim::Duration base = rto.rto();
+  rto.on_timeout();
+  EXPECT_EQ(rto.rto(), 2 * base);
+  rto.on_timeout();
+  EXPECT_EQ(rto.rto(), 4 * base);
+  for (int i = 0; i < 20; ++i) rto.on_timeout();
+  EXPECT_EQ(rto.rto(), 60 * kSecond);  // max clamp
+}
+
+TEST(Rto, MeasurementResetsBackoff) {
+  RtoEstimator rto;
+  rto.on_measurement(100 * kMillisecond);
+  rto.on_timeout();
+  rto.on_timeout();
+  rto.on_measurement(100 * kMillisecond);
+  EXPECT_LE(rto.rto(), 350 * kMillisecond);
+}
+
+TEST(Rto, VarianceTracksJitter) {
+  RtoEstimator rto;
+  for (int i = 0; i < 200; ++i) {
+    rto.on_measurement((i % 2 == 0 ? 60 : 140) * kMillisecond);
+  }
+  // Alternating 60/140: SRTT near 100, RTTVAR substantial -> RTO well
+  // above the floor.
+  EXPECT_GT(rto.rto(), 200 * kMillisecond);
+  EXPECT_NEAR(static_cast<double>(rto.srtt()), 100.0 * kMillisecond,
+              15.0 * kMillisecond);
+}
+
+TEST(Rto, NegativeSampleTreatedAsZero) {
+  RtoEstimator rto;
+  rto.on_measurement(-5);
+  EXPECT_EQ(rto.srtt(), 0);
+  EXPECT_EQ(rto.rto(), 200 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace ccsig::tcp

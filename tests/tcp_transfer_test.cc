@@ -1,0 +1,239 @@
+// End-to-end TCP transfers over the simulator: delivery correctness,
+// throughput, loss recovery, receiver windows, and delayed ACKs.
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace ccsig {
+namespace {
+
+using testutil::basic_link;
+using testutil::run_transfer;
+using testutil::TwoNodePath;
+
+TEST(TcpTransfer, DeliversAllBytesInOrder) {
+  // Small enough that slow start never overflows the 125 KB buffer: a
+  // truly loss-free transfer.
+  TwoNodePath path(basic_link(10e6, 10, 100));
+  const std::uint64_t bytes = 100'000;
+  const auto result = run_transfer(path, bytes);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.sink_stats.bytes_received, bytes);
+  EXPECT_EQ(result.source_stats.bytes_acked, bytes);
+  EXPECT_EQ(result.source_stats.retransmits, 0u);  // clean path
+}
+
+TEST(TcpTransfer, SlowStartOvershootSelfHeals) {
+  // A transfer larger than BDP+buffer must overflow the drop-tail queue at
+  // slow-start overshoot and recover without losing correctness.
+  TwoNodePath path(basic_link(10e6, 10, 100));
+  const std::uint64_t bytes = 2'000'000;
+  const auto result = run_transfer(path, bytes);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.sink_stats.bytes_received, bytes);
+  EXPECT_GT(result.source_stats.retransmits, 0u);
+  EXPECT_GT(path.down->stats().buffer_drops, 0u);
+}
+
+TEST(TcpTransfer, ThroughputApproachesLinkRate) {
+  TwoNodePath path(basic_link(20e6, 10, 100));
+  const std::uint64_t bytes = 10'000'000;  // 10 MB over 20 Mbps ~ 4 s
+  const auto result = run_transfer(path, bytes);
+  ASSERT_TRUE(result.completed);
+  const double tput =
+      static_cast<double>(bytes) * 8.0 / sim::to_seconds(result.completed_at);
+  EXPECT_GT(tput, 0.85 * 20e6);
+  EXPECT_LT(tput, 20e6 * 1.01);  // cannot beat the link
+}
+
+TEST(TcpTransfer, CompletesDespiteRandomLoss) {
+  TwoNodePath path(basic_link(10e6, 10, 100, /*loss=*/0.01));
+  const std::uint64_t bytes = 2'000'000;
+  const auto result = run_transfer(path, bytes);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.sink_stats.bytes_received, bytes);
+  EXPECT_GT(result.source_stats.retransmits, 0u);
+}
+
+TEST(TcpTransfer, HeavyLossStillCompletes) {
+  TwoNodePath path(basic_link(10e6, 5, 100, /*loss=*/0.05));
+  const std::uint64_t bytes = 500'000;
+  const auto result = run_transfer(path, bytes);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.sink_stats.bytes_received, bytes);
+}
+
+TEST(TcpTransfer, SackBeatsNewRenoUnderBurstLoss) {
+  // A tight buffer forces burst losses at slow-start overshoot; SACK
+  // recovery should finish the transfer significantly faster.
+  const std::uint64_t bytes = 4'000'000;
+  TwoNodePath sack_path(basic_link(20e6, 20, 30), 3);
+  const auto with_sack = run_transfer(sack_path, bytes, "reno",
+                                      sim::from_seconds(300), true);
+  TwoNodePath newreno_path(basic_link(20e6, 20, 30), 3);
+  const auto without_sack = run_transfer(newreno_path, bytes, "reno",
+                                         sim::from_seconds(300), false);
+  ASSERT_TRUE(with_sack.completed);
+  ASSERT_TRUE(without_sack.completed);
+  EXPECT_LT(with_sack.completed_at, without_sack.completed_at);
+}
+
+TEST(TcpTransfer, ReceiverWindowLimitsThroughput) {
+  TwoNodePath path(basic_link(100e6, 20, 100));
+  const sim::FlowKey key = path.flow_key();
+  tcp::TcpSink::Config sink_cfg;
+  sink_cfg.data_key = key;
+  sink_cfg.rwnd_bytes = 64 * 1024;  // 64 KB over 40 ms RTT ~ 13 Mbps max
+  tcp::TcpSink sink(path.net.sim(), path.client, sink_cfg);
+
+  tcp::TcpSource::Config src_cfg;
+  src_cfg.key = key;
+  src_cfg.bytes_to_send = 4'000'000;
+  tcp::TcpSource source(path.net.sim(), path.server, src_cfg);
+  bool completed = false;
+  sim::Time done_at = 0;
+  source.set_on_complete([&] {
+    completed = true;
+    done_at = path.net.sim().now();
+  });
+  source.start();
+  path.net.sim().run_until(sim::from_seconds(60));
+  ASSERT_TRUE(completed);
+  const double tput = 4'000'000 * 8.0 / sim::to_seconds(done_at);
+  EXPECT_LT(tput, 17e6);  // far below the 100 Mbps link
+  const auto stats = source.stats();
+  EXPECT_GT(stats.time_receiver_limited, stats.time_congestion_limited);
+}
+
+TEST(TcpTransfer, DelayedAckReducesAckCount) {
+  TwoNodePath every(basic_link(10e6, 10, 100));
+  const auto r1 = run_transfer(every, 1'000'000, "reno",
+                               sim::from_seconds(60), true,
+                               /*segments_per_ack=*/1);
+  TwoNodePath delayed(basic_link(10e6, 10, 100));
+  const auto r2 = run_transfer(delayed, 1'000'000, "reno",
+                               sim::from_seconds(60), true,
+                               /*segments_per_ack=*/2);
+  ASSERT_TRUE(r1.completed);
+  ASSERT_TRUE(r2.completed);
+  EXPECT_GT(r1.sink_stats.acks_sent, r2.sink_stats.acks_sent);
+}
+
+TEST(TcpTransfer, CubicCompletesAndFillsLink) {
+  TwoNodePath path(basic_link(20e6, 10, 100));
+  const std::uint64_t bytes = 10'000'000;
+  const auto result = run_transfer(path, bytes, "cubic");
+  ASSERT_TRUE(result.completed);
+  const double tput =
+      static_cast<double>(bytes) * 8.0 / sim::to_seconds(result.completed_at);
+  EXPECT_GT(tput, 0.85 * 20e6);
+}
+
+TEST(TcpTransfer, BbrCompletesWithLowQueueing) {
+  TwoNodePath path(basic_link(20e6, 10, 100));
+  const std::uint64_t bytes = 10'000'000;
+  const auto result = run_transfer(path, bytes, "bbr");
+  ASSERT_TRUE(result.completed);
+  const double tput =
+      static_cast<double>(bytes) * 8.0 / sim::to_seconds(result.completed_at);
+  EXPECT_GT(tput, 0.7 * 20e6);
+  // BBR should keep the standing queue well below a loss-based sender's.
+  EXPECT_LT(path.down->stats().max_queue_bytes,
+            sim::buffer_bytes_for(20e6, 100));
+}
+
+TEST(TcpTransfer, StopSendingEndsTimedTest) {
+  TwoNodePath path(basic_link(10e6, 10, 100));
+  const sim::FlowKey key = path.flow_key();
+  tcp::TcpSink::Config sink_cfg;
+  sink_cfg.data_key = key;
+  tcp::TcpSink sink(path.net.sim(), path.client, sink_cfg);
+  tcp::TcpSource::Config src_cfg;
+  src_cfg.key = key;
+  src_cfg.bytes_to_send = 0;  // unbounded timed test
+  tcp::TcpSource source(path.net.sim(), path.server, src_cfg);
+  source.start();
+  path.net.sim().schedule_at(sim::from_seconds(2),
+                             [&] { source.stop_sending(); });
+  path.net.sim().run_until(sim::from_seconds(5));
+  const std::uint64_t received = sink.bytes_received();
+  EXPECT_GT(received, 1'000'000u);  // got most of 2 s at 10 Mbps
+  path.net.sim().run_until(sim::from_seconds(10));
+  // Nothing more after the drain completes.
+  EXPECT_LE(sink.bytes_received() - received, 200'000u);
+}
+
+TEST(TcpTransfer, RateLimitedSourceHoldsAppRate) {
+  TwoNodePath path(basic_link(50e6, 5, 100));
+  const sim::FlowKey key = path.flow_key();
+  tcp::TcpSink::Config sink_cfg;
+  sink_cfg.data_key = key;
+  tcp::TcpSink sink(path.net.sim(), path.client, sink_cfg);
+  tcp::TcpSource::Config src_cfg;
+  src_cfg.key = key;
+  src_cfg.app_rate_bps = 4e6;
+  tcp::TcpSource source(path.net.sim(), path.server, src_cfg);
+  source.start();
+  path.net.sim().run_until(sim::from_seconds(10));
+  const double tput = static_cast<double>(sink.bytes_received()) * 8.0 / 10.0;
+  EXPECT_NEAR(tput, 4e6, 0.4e6);
+  const auto stats = source.stats();
+  EXPECT_GT(stats.time_application_limited, stats.time_congestion_limited);
+}
+
+TEST(TcpTransfer, QuotaModeDeliversChunks) {
+  TwoNodePath path(basic_link(50e6, 5, 100));
+  const sim::FlowKey key = path.flow_key();
+  tcp::TcpSink::Config sink_cfg;
+  sink_cfg.data_key = key;
+  tcp::TcpSink sink(path.net.sim(), path.client, sink_cfg);
+  tcp::TcpSource::Config src_cfg;
+  src_cfg.key = key;
+  src_cfg.quota_mode = true;
+  tcp::TcpSource source(path.net.sim(), path.server, src_cfg);
+  source.start();
+  source.release_app_bytes(100'000);
+  path.net.sim().run_until(sim::from_seconds(1));
+  EXPECT_EQ(sink.bytes_received(), 100'000u);
+  EXPECT_EQ(source.app_backlog(), 0u);
+  source.release_app_bytes(50'000);
+  path.net.sim().run_until(sim::from_seconds(2));
+  EXPECT_EQ(sink.bytes_received(), 150'000u);
+}
+
+TEST(TcpTransfer, FixedPacingCapsRate) {
+  TwoNodePath path(basic_link(100e6, 5, 100));
+  const sim::FlowKey key = path.flow_key();
+  tcp::TcpSink::Config sink_cfg;
+  sink_cfg.data_key = key;
+  tcp::TcpSink sink(path.net.sim(), path.client, sink_cfg);
+  tcp::TcpSource::Config src_cfg;
+  src_cfg.key = key;
+  src_cfg.fixed_pacing_bps = 10e6;
+  tcp::TcpSource source(path.net.sim(), path.server, src_cfg);
+  source.start();
+  path.net.sim().run_until(sim::from_seconds(10));
+  const double tput = static_cast<double>(sink.bytes_received()) * 8.0 / 10.0;
+  EXPECT_LT(tput, 11e6);
+  EXPECT_GT(tput, 7e6);
+}
+
+TEST(TcpTransfer, HandshakeSurvivesSynLoss) {
+  // 30% loss on the data direction can eat the SYN; retry must recover.
+  TwoNodePath path(basic_link(10e6, 10, 100, /*loss=*/0.3), 12);
+  const auto result =
+      run_transfer(path, 50'000, "reno", sim::from_seconds(120));
+  EXPECT_TRUE(result.completed);
+}
+
+TEST(TcpTransfer, DuplicateDataIsNotDoubleCounted) {
+  TwoNodePath path(basic_link(10e6, 10, 30, /*loss=*/0.02), 5);
+  const std::uint64_t bytes = 1'000'000;
+  const auto result = run_transfer(path, bytes);
+  ASSERT_TRUE(result.completed);
+  // Goodput accounting must be exact even with retransmissions.
+  EXPECT_EQ(result.sink_stats.bytes_received, bytes);
+}
+
+}  // namespace
+}  // namespace ccsig

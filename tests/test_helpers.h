@@ -1,0 +1,91 @@
+// Shared fixtures for integration-style tests: a minimal two-node network
+// with one shaped bottleneck link, plus helpers to run TCP transfers on it.
+#pragma once
+
+#include <memory>
+
+#include "analysis/trace_recorder.h"
+#include "sim/network.h"
+#include "tcp/tcp_sink.h"
+#include "tcp/tcp_source.h"
+
+namespace ccsig::testutil {
+
+/// server ── bottleneck link ── client, with a trace tap at the server.
+struct TwoNodePath {
+  explicit TwoNodePath(sim::Link::Config bottleneck, std::uint64_t seed = 1)
+      : net(seed) {
+    server = net.add_node("server");
+    client = net.add_node("client");
+    sim::Link::Config up = bottleneck;
+    up.loss_rate = 0;  // keep the ACK path clean unless a test overrides
+    auto duplex = net.connect(server, client, bottleneck, up);
+    down = duplex.ab;
+    up_link = duplex.ba;
+    server->add_tap(&recorder);
+  }
+
+  sim::FlowKey flow_key(sim::Port sport = 5001, sim::Port dport = 5002) const {
+    return sim::FlowKey{server->address(), client->address(), sport, dport};
+  }
+
+  sim::Network net;
+  sim::Node* server = nullptr;
+  sim::Node* client = nullptr;
+  sim::Link* down = nullptr;
+  sim::Link* up_link = nullptr;
+  analysis::TraceRecorder recorder;
+};
+
+inline sim::Link::Config basic_link(double rate_bps, double delay_ms,
+                                    double buffer_ms, double loss = 0.0) {
+  sim::Link::Config cfg;
+  cfg.rate_bps = rate_bps;
+  cfg.prop_delay = sim::from_millis(delay_ms);
+  cfg.buffer_bytes = sim::buffer_bytes_for(rate_bps, buffer_ms);
+  cfg.loss_rate = loss;
+  return cfg;
+}
+
+/// Runs a finite transfer to completion (or a deadline); returns true when
+/// all bytes were acknowledged.
+struct TransferResult {
+  bool completed = false;
+  sim::Time completed_at = -1;
+  tcp::TcpSource::Stats source_stats;
+  tcp::TcpSink::Stats sink_stats;
+};
+
+inline TransferResult run_transfer(TwoNodePath& path, std::uint64_t bytes,
+                                   const std::string& cc = "reno",
+                                   sim::Duration deadline =
+                                       sim::from_seconds(120),
+                                   bool use_sack = true,
+                                   int segments_per_ack = 2) {
+  const sim::FlowKey key = path.flow_key();
+
+  tcp::TcpSink::Config sink_cfg;
+  sink_cfg.data_key = key;
+  sink_cfg.segments_per_ack = segments_per_ack;
+  tcp::TcpSink sink(path.net.sim(), path.client, sink_cfg);
+
+  tcp::TcpSource::Config src_cfg;
+  src_cfg.key = key;
+  src_cfg.bytes_to_send = bytes;
+  src_cfg.congestion_control = cc;
+  src_cfg.use_sack = use_sack;
+  tcp::TcpSource source(path.net.sim(), path.server, src_cfg);
+
+  TransferResult result;
+  source.set_on_complete([&] {
+    result.completed = true;
+    result.completed_at = path.net.sim().now();
+  });
+  source.start();
+  path.net.sim().run_until(deadline);
+  result.source_stats = source.stats();
+  result.sink_stats = sink.stats();
+  return result;
+}
+
+}  // namespace ccsig::testutil

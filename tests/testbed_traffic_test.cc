@@ -1,0 +1,106 @@
+#include "testbed/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_helpers.h"
+
+namespace ccsig::testbed {
+namespace {
+
+TEST(PortAllocator, HandsOutUniquePorts) {
+  PortAllocator ports(1000);
+  std::set<sim::Port> seen;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(seen.insert(ports.next()).second);
+  }
+}
+
+TEST(FetchLoop, CompletesAndRestarts) {
+  testutil::TwoNodePath path(testutil::basic_link(50e6, 2, 100));
+  PortAllocator ports;
+  FetchLoop::Config cfg;
+  cfg.server = path.server;
+  cfg.client = path.client;
+  cfg.size_sampler = [] { return 100'000ull; };
+  cfg.think_sampler = [] { return 0.01; };
+  FetchLoop loop(path.net.sim(), ports, std::move(cfg));
+  loop.start(0);
+  path.net.sim().run_until(sim::from_seconds(5));
+  EXPECT_GT(loop.fetches_completed(), 5u);
+  EXPECT_EQ(loop.bytes_fetched(), loop.fetches_completed() * 100'000ull);
+}
+
+TEST(FetchLoop, StartTimeHonored) {
+  testutil::TwoNodePath path(testutil::basic_link(50e6, 2, 100));
+  PortAllocator ports;
+  FetchLoop::Config cfg;
+  cfg.server = path.server;
+  cfg.client = path.client;
+  cfg.size_sampler = [] { return 10'000ull; };
+  FetchLoop loop(path.net.sim(), ports, std::move(cfg));
+  loop.start(sim::from_seconds(2));
+  path.net.sim().run_until(sim::from_seconds(1));
+  EXPECT_EQ(loop.fetches_completed(), 0u);
+  path.net.sim().run_until(sim::from_seconds(4));
+  EXPECT_GT(loop.fetches_completed(), 0u);
+}
+
+TEST(TgTrans, GeneratesTraffic) {
+  testutil::TwoNodePath path(testutil::basic_link(100e6, 5, 100));
+  PortAllocator ports;
+  TgTrans::Config cfg;
+  cfg.servers = {path.server};
+  cfg.client = path.client;
+  cfg.workers = 3;
+  cfg.scale = 0.01;  // small objects for a fast test
+  TgTrans tg(path.net.sim(), ports, sim::Rng(5), cfg);
+  tg.start(0);
+  path.net.sim().run_until(sim::from_seconds(5));
+  EXPECT_GT(tg.fetches_completed(), 10u);
+}
+
+TEST(TgCong, SaturatesBottleneck) {
+  testutil::TwoNodePath path(testutil::basic_link(10e6, 1, 50));
+  PortAllocator ports;
+  TgCong::Config cfg;
+  cfg.server = path.server;
+  cfg.client = path.client;
+  cfg.flows = 10;
+  cfg.scale = 0.02;  // 2 MB objects
+  cfg.start_stagger = sim::from_seconds(0.5);
+  TgCong tg(path.net.sim(), ports, sim::Rng(6), cfg);
+  tg.start(0);
+  path.net.sim().run_until(sim::from_seconds(10));
+  // The 10 Mbps link should be essentially full after the ramp.
+  const auto stats = path.down->stats();
+  const double delivered_bps = static_cast<double>(stats.delivered_bytes) * 8.0 / 10.0;
+  EXPECT_GT(delivered_bps, 8e6);
+  EXPECT_GT(stats.max_queue_bytes, 0u);
+}
+
+TEST(TgCong, StaggersStarts) {
+  testutil::TwoNodePath path(testutil::basic_link(100e6, 1, 50));
+  PortAllocator ports;
+  TgCong::Config cfg;
+  cfg.server = path.server;
+  cfg.client = path.client;
+  cfg.flows = 20;
+  cfg.scale = 1e-5;  // ~1 MB floor objects
+  cfg.start_stagger = sim::from_seconds(1.0);
+  TgCong tg(path.net.sim(), ports, sim::Rng(7), cfg);
+  tg.start(0);
+  // After 0.1 s only a fraction of flows should have started: the tap on
+  // the server counts SYNs.
+  path.net.sim().run_until(100 * sim::kMillisecond);
+  int syns = 0;
+  for (const auto& r : path.recorder.trace()) {
+    if (r.flags.syn && !r.flags.ack) ++syns;
+  }
+  EXPECT_GT(syns, 0);
+  EXPECT_LT(syns, 20);
+}
+
+}  // namespace
+}  // namespace ccsig::testbed

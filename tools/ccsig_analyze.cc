@@ -1,0 +1,81 @@
+// ccsig_analyze — command-line flow diagnosis for pcap captures.
+//
+// Usage:
+//   ccsig_analyze <capture.pcap> [--model FILE] [--min-samples N] [--verbose]
+//
+// Prints one line per TCP flow found in the capture: throughput, the
+// slow-start congestion signature, and the classifier's verdict. Exit code
+// is 0 on success, 1 when the capture contains no classifiable flows, and
+// 2 on usage/IO errors.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/ccsig.h"
+
+int main(int argc, char** argv) {
+  std::string pcap_path;
+  std::string model_path;
+  ccsig::features::ExtractOptions extract;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+      model_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--min-samples") == 0 && i + 1 < argc) {
+      extract.min_rtt_samples =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else if (argv[i][0] != '-' && pcap_path.empty()) {
+      pcap_path = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s <capture.pcap> [--model FILE] "
+                   "[--min-samples N] [--verbose]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (pcap_path.empty()) {
+    std::fprintf(stderr, "usage: %s <capture.pcap> [--model FILE]\n", argv[0]);
+    return 2;
+  }
+
+  try {
+    ccsig::FlowAnalyzer analyzer =
+        model_path.empty()
+            ? ccsig::FlowAnalyzer()
+            : ccsig::FlowAnalyzer(ccsig::CongestionClassifier::load(model_path));
+    if (verbose) {
+      std::printf("model decision logic:\n%s\n",
+                  analyzer.classifier().describe().c_str());
+    }
+    const auto reports = analyzer.analyze_pcap(pcap_path, extract);
+    if (reports.empty()) {
+      std::fprintf(stderr, "no TCP flows with payload found in %s\n",
+                   pcap_path.c_str());
+      return 1;
+    }
+    int classified = 0;
+    for (const auto& report : reports) {
+      std::printf("%s\n", ccsig::FlowAnalyzer::render(report).c_str());
+      if (verbose && report.features) {
+        std::printf(
+            "    slow-start: %zu RTT samples, min %.1f ms, max %.1f ms, "
+            "late delivery %.2f Mbps%s\n",
+            report.features->rtt_samples, report.features->min_rtt_ms,
+            report.features->max_rtt_ms,
+            report.features->slow_start_throughput_bps / 1e6,
+            report.features->slow_start_ended_by_retransmission
+                ? ""
+                : " (no retransmission observed)");
+      }
+      classified += report.classification ? 1 : 0;
+    }
+    return classified > 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,106 @@
+// ccsig_testbed — run one controlled testbed experiment from the command
+// line and print the flow's signature, verdict, and path statistics.
+//
+// Usage:
+//   ccsig_testbed [--external] [--rate MBPS] [--latency MS] [--loss P]
+//                 [--buffer MS] [--duration S] [--cc reno|cubic|bbr]
+//                 [--seed N] [--pcap FILE]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/ccsig.h"
+#include "pcap/capture.h"
+#include "testbed/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace ccsig;
+  testbed::TestbedConfig cfg;
+  cfg.test_duration = sim::from_seconds(8);
+  cfg.warmup = sim::from_seconds(2.5);
+  cfg.seed = 1;
+  std::string pcap_path;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--external") == 0) {
+      cfg.scenario = testbed::Scenario::kExternal;
+    } else if (std::strcmp(argv[i], "--rate") == 0) {
+      cfg.access_rate_mbps = std::atof(next("--rate"));
+    } else if (std::strcmp(argv[i], "--latency") == 0) {
+      cfg.access_latency_ms = std::atof(next("--latency"));
+    } else if (std::strcmp(argv[i], "--loss") == 0) {
+      cfg.access_loss = std::atof(next("--loss"));
+    } else if (std::strcmp(argv[i], "--buffer") == 0) {
+      cfg.access_buffer_ms = std::atof(next("--buffer"));
+    } else if (std::strcmp(argv[i], "--duration") == 0) {
+      cfg.test_duration = sim::from_seconds(std::atof(next("--duration")));
+    } else if (std::strcmp(argv[i], "--cc") == 0) {
+      cfg.congestion_control = next("--cc");
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else if (std::strcmp(argv[i], "--pcap") == 0) {
+      pcap_path = next("--pcap");
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--external] [--rate MBPS] [--latency MS] "
+                   "[--loss P] [--buffer MS] [--duration S] [--cc NAME] "
+                   "[--seed N] [--pcap FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("testbed: %s scenario, access %.0f Mbps / %.0f ms latency / "
+              "%.4f loss / %.0f ms buffer, sender %s, seed %llu\n",
+              cfg.scenario == testbed::Scenario::kExternal ? "EXTERNAL"
+                                                           : "SELF-INDUCED",
+              cfg.access_rate_mbps, cfg.access_latency_ms, cfg.access_loss,
+              cfg.access_buffer_ms, cfg.congestion_control.c_str(),
+              static_cast<unsigned long long>(cfg.seed));
+
+  testbed::TestbedExperiment experiment(cfg);
+  std::unique_ptr<pcap::PcapCaptureTap> tap;
+  if (!pcap_path.empty()) {
+    tap = std::make_unique<pcap::PcapCaptureTap>(pcap_path);
+    experiment.network().node("server1")->add_tap(tap.get());
+  }
+  const testbed::TestResult result = experiment.run();
+  if (tap) {
+    tap->flush();
+    std::printf("capture written to %s (%llu frames)\n", pcap_path.c_str(),
+                static_cast<unsigned long long>(tap->packets_captured()));
+  }
+
+  std::printf("\nthroughput: %.2f Mbps over %.1f s (plan %.0f Mbps)\n",
+              result.receiver_throughput_bps / 1e6,
+              sim::to_seconds(cfg.test_duration), cfg.access_rate_mbps);
+  std::printf("web100: %llu segs sent, %llu retx (%llu fast, %llu RTO), "
+              "srtt %.1f ms\n",
+              static_cast<unsigned long long>(result.web100.segments_sent),
+              static_cast<unsigned long long>(result.web100.retransmits),
+              static_cast<unsigned long long>(result.web100.fast_retransmits),
+              static_cast<unsigned long long>(result.web100.timeouts),
+              sim::to_millis(result.web100.smoothed_rtt));
+
+  if (!result.features) {
+    std::printf("signature: unavailable (too few slow-start RTT samples)\n");
+    return 1;
+  }
+  std::printf("signature: NormDiff=%.3f CoV=%.3f (%zu samples, RTT "
+              "%.1f-%.1f ms)\n",
+              result.features->norm_diff, result.features->cov,
+              result.features->rtt_samples, result.features->min_rtt_ms,
+              result.features->max_rtt_ms);
+  const auto verdict =
+      CongestionClassifier::pretrained().classify(*result.features);
+  std::printf("verdict: %s (confidence %.2f)\n", to_string(verdict.verdict),
+              verdict.confidence);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Regenerates src/core/pretrained_model.inc from a controlled-testbed sweep.
+//
+// Usage: train_pretrained <sweep.csv> <output.inc> [threshold] [depth]
+//
+// The sweep CSV comes from testbed::save_samples_csv (run the fig3 bench
+// once, or call testbed::run_sweep yourself). The output is a C++ raw string
+// literal included by core/classifier.cc.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "ml/decision_tree.h"
+#include "testbed/sweep.h"
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <sweep.csv> <output.inc> [threshold=0.8] "
+                 "[depth=4]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string csv = argv[1];
+  const std::string out_path = argv[2];
+  const double threshold = argc > 3 ? std::stod(argv[3]) : 0.8;
+  const int depth = argc > 4 ? std::stoi(argv[4]) : 4;
+
+  const auto samples = ccsig::testbed::load_samples_csv(csv);
+  const auto data = ccsig::testbed::make_dataset(samples, threshold);
+  const auto counts = data.class_counts();
+  std::fprintf(stderr, "training on %zu samples (external=%zu self=%zu)\n",
+               data.size(), counts.size() > 0 ? counts[0] : 0,
+               counts.size() > 1 ? counts[1] : 0);
+
+  ccsig::ml::DecisionTree tree(
+      ccsig::ml::DecisionTree::Params{.max_depth = depth});
+  tree.fit(data);
+  std::fprintf(stderr, "tree depth %d, %zu leaves\n%s", tree.depth(),
+               tree.leaf_count(),
+               tree.describe({"norm_diff", "cov"}).c_str());
+
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "R\"(" << tree.to_text() << ")\"\n";
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
+}
