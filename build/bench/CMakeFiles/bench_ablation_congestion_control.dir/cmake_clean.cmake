@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_congestion_control.dir/bench_ablation_congestion_control.cc.o"
+  "CMakeFiles/bench_ablation_congestion_control.dir/bench_ablation_congestion_control.cc.o.d"
+  "bench_ablation_congestion_control"
+  "bench_ablation_congestion_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_congestion_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

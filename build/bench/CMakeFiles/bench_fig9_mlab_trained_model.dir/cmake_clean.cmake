@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_mlab_trained_model.dir/bench_fig9_mlab_trained_model.cc.o"
+  "CMakeFiles/bench_fig9_mlab_trained_model.dir/bench_fig9_mlab_trained_model.cc.o.d"
+  "bench_fig9_mlab_trained_model"
+  "bench_fig9_mlab_trained_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_mlab_trained_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_multiplexing.dir/bench_table_multiplexing.cc.o"
+  "CMakeFiles/bench_table_multiplexing.dir/bench_table_multiplexing.cc.o.d"
+  "bench_table_multiplexing"
+  "bench_table_multiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_tslp2017.dir/bench_table_tslp2017.cc.o"
+  "CMakeFiles/bench_table_tslp2017.dir/bench_table_tslp2017.cc.o.d"
+  "bench_table_tslp2017"
+  "bench_table_tslp2017.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_tslp2017.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

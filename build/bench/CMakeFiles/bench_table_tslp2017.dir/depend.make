@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table_tslp2017.
+# This may be replaced when dependencies are built.

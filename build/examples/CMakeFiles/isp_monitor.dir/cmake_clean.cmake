@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_monitor.dir/isp_monitor.cpp.o"
+  "CMakeFiles/isp_monitor.dir/isp_monitor.cpp.o.d"
+  "isp_monitor"
+  "isp_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

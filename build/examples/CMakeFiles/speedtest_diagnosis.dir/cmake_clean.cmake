@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedtest_diagnosis.dir/speedtest_diagnosis.cpp.o"
+  "CMakeFiles/speedtest_diagnosis.dir/speedtest_diagnosis.cpp.o.d"
+  "speedtest_diagnosis"
+  "speedtest_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedtest_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

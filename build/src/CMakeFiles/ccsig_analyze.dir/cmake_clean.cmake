@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsig_analyze.dir/__/tools/ccsig_analyze.cc.o"
+  "CMakeFiles/ccsig_analyze.dir/__/tools/ccsig_analyze.cc.o.d"
+  "ccsig_analyze"
+  "ccsig_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsig_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

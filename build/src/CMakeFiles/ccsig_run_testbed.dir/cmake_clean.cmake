@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsig_run_testbed.dir/__/tools/ccsig_testbed.cc.o"
+  "CMakeFiles/ccsig_run_testbed.dir/__/tools/ccsig_testbed.cc.o.d"
+  "ccsig_run_testbed"
+  "ccsig_run_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsig_run_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_pretrained.dir/__/tools/train_pretrained.cc.o"
+  "CMakeFiles/train_pretrained.dir/__/tools/train_pretrained.cc.o.d"
+  "train_pretrained"
+  "train_pretrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_pretrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/flow_trace.cc" "src/analysis/CMakeFiles/ccsig_analysis.dir/flow_trace.cc.o" "gcc" "src/analysis/CMakeFiles/ccsig_analysis.dir/flow_trace.cc.o.d"
+  "/root/repo/src/analysis/from_pcap.cc" "src/analysis/CMakeFiles/ccsig_analysis.dir/from_pcap.cc.o" "gcc" "src/analysis/CMakeFiles/ccsig_analysis.dir/from_pcap.cc.o.d"
+  "/root/repo/src/analysis/rtt_estimator.cc" "src/analysis/CMakeFiles/ccsig_analysis.dir/rtt_estimator.cc.o" "gcc" "src/analysis/CMakeFiles/ccsig_analysis.dir/rtt_estimator.cc.o.d"
+  "/root/repo/src/analysis/slow_start.cc" "src/analysis/CMakeFiles/ccsig_analysis.dir/slow_start.cc.o" "gcc" "src/analysis/CMakeFiles/ccsig_analysis.dir/slow_start.cc.o.d"
+  "/root/repo/src/analysis/throughput.cc" "src/analysis/CMakeFiles/ccsig_analysis.dir/throughput.cc.o" "gcc" "src/analysis/CMakeFiles/ccsig_analysis.dir/throughput.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccsig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/ccsig_pcap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

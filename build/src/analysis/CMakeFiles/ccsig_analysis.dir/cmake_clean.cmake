@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsig_analysis.dir/flow_trace.cc.o"
+  "CMakeFiles/ccsig_analysis.dir/flow_trace.cc.o.d"
+  "CMakeFiles/ccsig_analysis.dir/from_pcap.cc.o"
+  "CMakeFiles/ccsig_analysis.dir/from_pcap.cc.o.d"
+  "CMakeFiles/ccsig_analysis.dir/rtt_estimator.cc.o"
+  "CMakeFiles/ccsig_analysis.dir/rtt_estimator.cc.o.d"
+  "CMakeFiles/ccsig_analysis.dir/slow_start.cc.o"
+  "CMakeFiles/ccsig_analysis.dir/slow_start.cc.o.d"
+  "CMakeFiles/ccsig_analysis.dir/throughput.cc.o"
+  "CMakeFiles/ccsig_analysis.dir/throughput.cc.o.d"
+  "libccsig_analysis.a"
+  "libccsig_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsig_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

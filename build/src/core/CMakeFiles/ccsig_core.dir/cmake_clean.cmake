@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsig_core.dir/analyzer.cc.o"
+  "CMakeFiles/ccsig_core.dir/analyzer.cc.o.d"
+  "CMakeFiles/ccsig_core.dir/classifier.cc.o"
+  "CMakeFiles/ccsig_core.dir/classifier.cc.o.d"
+  "libccsig_core.a"
+  "libccsig_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsig_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/extractor.cc" "src/features/CMakeFiles/ccsig_features.dir/extractor.cc.o" "gcc" "src/features/CMakeFiles/ccsig_features.dir/extractor.cc.o.d"
+  "/root/repo/src/features/metrics.cc" "src/features/CMakeFiles/ccsig_features.dir/metrics.cc.o" "gcc" "src/features/CMakeFiles/ccsig_features.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ccsig_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/ccsig_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccsig_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsig_features.dir/extractor.cc.o"
+  "CMakeFiles/ccsig_features.dir/extractor.cc.o.d"
+  "CMakeFiles/ccsig_features.dir/metrics.cc.o"
+  "CMakeFiles/ccsig_features.dir/metrics.cc.o.d"
+  "libccsig_features.a"
+  "libccsig_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsig_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

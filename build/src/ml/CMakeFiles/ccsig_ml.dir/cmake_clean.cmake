@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsig_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/ccsig_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/ccsig_ml.dir/metrics.cc.o"
+  "CMakeFiles/ccsig_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/ccsig_ml.dir/random_forest.cc.o"
+  "CMakeFiles/ccsig_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/ccsig_ml.dir/split.cc.o"
+  "CMakeFiles/ccsig_ml.dir/split.cc.o.d"
+  "libccsig_ml.a"
+  "libccsig_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsig_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsig_mlab.dir/dispute2014.cc.o"
+  "CMakeFiles/ccsig_mlab.dir/dispute2014.cc.o.d"
+  "CMakeFiles/ccsig_mlab.dir/path.cc.o"
+  "CMakeFiles/ccsig_mlab.dir/path.cc.o.d"
+  "CMakeFiles/ccsig_mlab.dir/tslp.cc.o"
+  "CMakeFiles/ccsig_mlab.dir/tslp.cc.o.d"
+  "CMakeFiles/ccsig_mlab.dir/tslp2017.cc.o"
+  "CMakeFiles/ccsig_mlab.dir/tslp2017.cc.o.d"
+  "libccsig_mlab.a"
+  "libccsig_mlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsig_mlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

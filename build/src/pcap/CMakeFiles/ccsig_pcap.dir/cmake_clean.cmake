@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsig_pcap.dir/headers.cc.o"
+  "CMakeFiles/ccsig_pcap.dir/headers.cc.o.d"
+  "CMakeFiles/ccsig_pcap.dir/pcap_file.cc.o"
+  "CMakeFiles/ccsig_pcap.dir/pcap_file.cc.o.d"
+  "libccsig_pcap.a"
+  "libccsig_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsig_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

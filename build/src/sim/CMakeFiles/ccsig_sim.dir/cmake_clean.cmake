@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsig_sim.dir/link.cc.o"
+  "CMakeFiles/ccsig_sim.dir/link.cc.o.d"
+  "CMakeFiles/ccsig_sim.dir/network.cc.o"
+  "CMakeFiles/ccsig_sim.dir/network.cc.o.d"
+  "CMakeFiles/ccsig_sim.dir/node.cc.o"
+  "CMakeFiles/ccsig_sim.dir/node.cc.o.d"
+  "libccsig_sim.a"
+  "libccsig_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsig_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

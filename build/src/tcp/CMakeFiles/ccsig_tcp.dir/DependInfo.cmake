@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/bbr_lite.cc" "src/tcp/CMakeFiles/ccsig_tcp.dir/bbr_lite.cc.o" "gcc" "src/tcp/CMakeFiles/ccsig_tcp.dir/bbr_lite.cc.o.d"
+  "/root/repo/src/tcp/congestion_control.cc" "src/tcp/CMakeFiles/ccsig_tcp.dir/congestion_control.cc.o" "gcc" "src/tcp/CMakeFiles/ccsig_tcp.dir/congestion_control.cc.o.d"
+  "/root/repo/src/tcp/cubic.cc" "src/tcp/CMakeFiles/ccsig_tcp.dir/cubic.cc.o" "gcc" "src/tcp/CMakeFiles/ccsig_tcp.dir/cubic.cc.o.d"
+  "/root/repo/src/tcp/reno.cc" "src/tcp/CMakeFiles/ccsig_tcp.dir/reno.cc.o" "gcc" "src/tcp/CMakeFiles/ccsig_tcp.dir/reno.cc.o.d"
+  "/root/repo/src/tcp/tcp_sink.cc" "src/tcp/CMakeFiles/ccsig_tcp.dir/tcp_sink.cc.o" "gcc" "src/tcp/CMakeFiles/ccsig_tcp.dir/tcp_sink.cc.o.d"
+  "/root/repo/src/tcp/tcp_source.cc" "src/tcp/CMakeFiles/ccsig_tcp.dir/tcp_source.cc.o" "gcc" "src/tcp/CMakeFiles/ccsig_tcp.dir/tcp_source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccsig_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsig_tcp.dir/bbr_lite.cc.o"
+  "CMakeFiles/ccsig_tcp.dir/bbr_lite.cc.o.d"
+  "CMakeFiles/ccsig_tcp.dir/congestion_control.cc.o"
+  "CMakeFiles/ccsig_tcp.dir/congestion_control.cc.o.d"
+  "CMakeFiles/ccsig_tcp.dir/cubic.cc.o"
+  "CMakeFiles/ccsig_tcp.dir/cubic.cc.o.d"
+  "CMakeFiles/ccsig_tcp.dir/reno.cc.o"
+  "CMakeFiles/ccsig_tcp.dir/reno.cc.o.d"
+  "CMakeFiles/ccsig_tcp.dir/tcp_sink.cc.o"
+  "CMakeFiles/ccsig_tcp.dir/tcp_sink.cc.o.d"
+  "CMakeFiles/ccsig_tcp.dir/tcp_source.cc.o"
+  "CMakeFiles/ccsig_tcp.dir/tcp_source.cc.o.d"
+  "libccsig_tcp.a"
+  "libccsig_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsig_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

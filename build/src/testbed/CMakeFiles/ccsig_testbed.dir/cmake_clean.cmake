@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsig_testbed.dir/experiment.cc.o"
+  "CMakeFiles/ccsig_testbed.dir/experiment.cc.o.d"
+  "CMakeFiles/ccsig_testbed.dir/labeler.cc.o"
+  "CMakeFiles/ccsig_testbed.dir/labeler.cc.o.d"
+  "CMakeFiles/ccsig_testbed.dir/sweep.cc.o"
+  "CMakeFiles/ccsig_testbed.dir/sweep.cc.o.d"
+  "CMakeFiles/ccsig_testbed.dir/traffic.cc.o"
+  "CMakeFiles/ccsig_testbed.dir/traffic.cc.o.d"
+  "libccsig_testbed.a"
+  "libccsig_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsig_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

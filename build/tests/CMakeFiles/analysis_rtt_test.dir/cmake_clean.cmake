@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_rtt_test.dir/analysis_rtt_test.cc.o"
+  "CMakeFiles/analysis_rtt_test.dir/analysis_rtt_test.cc.o.d"
+  "analysis_rtt_test"
+  "analysis_rtt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_rtt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

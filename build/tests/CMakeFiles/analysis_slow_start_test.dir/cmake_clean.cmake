@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_slow_start_test.dir/analysis_slow_start_test.cc.o"
+  "CMakeFiles/analysis_slow_start_test.dir/analysis_slow_start_test.cc.o.d"
+  "analysis_slow_start_test"
+  "analysis_slow_start_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_slow_start_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

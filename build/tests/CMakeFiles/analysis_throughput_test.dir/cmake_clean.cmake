@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_throughput_test.dir/analysis_throughput_test.cc.o"
+  "CMakeFiles/analysis_throughput_test.dir/analysis_throughput_test.cc.o.d"
+  "analysis_throughput_test"
+  "analysis_throughput_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_throughput_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_forest_test.dir/ml_forest_test.cc.o"
+  "CMakeFiles/ml_forest_test.dir/ml_forest_test.cc.o.d"
+  "ml_forest_test"
+  "ml_forest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_forest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

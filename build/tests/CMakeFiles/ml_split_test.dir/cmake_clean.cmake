@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_split_test.dir/ml_split_test.cc.o"
+  "CMakeFiles/ml_split_test.dir/ml_split_test.cc.o.d"
+  "ml_split_test"
+  "ml_split_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlab_dispute_test.dir/mlab_dispute_test.cc.o"
+  "CMakeFiles/mlab_dispute_test.dir/mlab_dispute_test.cc.o.d"
+  "mlab_dispute_test"
+  "mlab_dispute_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlab_dispute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

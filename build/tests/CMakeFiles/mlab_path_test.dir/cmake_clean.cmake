@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlab_path_test.dir/mlab_path_test.cc.o"
+  "CMakeFiles/mlab_path_test.dir/mlab_path_test.cc.o.d"
+  "mlab_path_test"
+  "mlab_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlab_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

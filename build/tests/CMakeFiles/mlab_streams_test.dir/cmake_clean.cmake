@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlab_streams_test.dir/mlab_streams_test.cc.o"
+  "CMakeFiles/mlab_streams_test.dir/mlab_streams_test.cc.o.d"
+  "mlab_streams_test"
+  "mlab_streams_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlab_streams_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

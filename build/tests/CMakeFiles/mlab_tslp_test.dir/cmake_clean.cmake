@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlab_tslp_test.dir/mlab_tslp_test.cc.o"
+  "CMakeFiles/mlab_tslp_test.dir/mlab_tslp_test.cc.o.d"
+  "mlab_tslp_test"
+  "mlab_tslp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlab_tslp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

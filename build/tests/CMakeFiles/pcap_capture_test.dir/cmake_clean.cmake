@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_capture_test.dir/pcap_capture_test.cc.o"
+  "CMakeFiles/pcap_capture_test.dir/pcap_capture_test.cc.o.d"
+  "pcap_capture_test"
+  "pcap_capture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_capture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

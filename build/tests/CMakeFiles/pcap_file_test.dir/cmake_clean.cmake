@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_file_test.dir/pcap_file_test.cc.o"
+  "CMakeFiles/pcap_file_test.dir/pcap_file_test.cc.o.d"
+  "pcap_file_test"
+  "pcap_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

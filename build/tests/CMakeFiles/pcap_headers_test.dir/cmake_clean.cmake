@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_headers_test.dir/pcap_headers_test.cc.o"
+  "CMakeFiles/pcap_headers_test.dir/pcap_headers_test.cc.o.d"
+  "pcap_headers_test"
+  "pcap_headers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_headers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

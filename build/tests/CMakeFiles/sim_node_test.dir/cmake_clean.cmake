@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_node_test.dir/sim_node_test.cc.o"
+  "CMakeFiles/sim_node_test.dir/sim_node_test.cc.o.d"
+  "sim_node_test"
+  "sim_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

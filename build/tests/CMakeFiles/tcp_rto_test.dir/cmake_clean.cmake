@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_rto_test.dir/tcp_rto_test.cc.o"
+  "CMakeFiles/tcp_rto_test.dir/tcp_rto_test.cc.o.d"
+  "tcp_rto_test"
+  "tcp_rto_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_rto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_transfer_test.dir/tcp_transfer_test.cc.o"
+  "CMakeFiles/tcp_transfer_test.dir/tcp_transfer_test.cc.o.d"
+  "tcp_transfer_test"
+  "tcp_transfer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

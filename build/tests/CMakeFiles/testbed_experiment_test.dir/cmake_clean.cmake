@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_experiment_test.dir/testbed_experiment_test.cc.o"
+  "CMakeFiles/testbed_experiment_test.dir/testbed_experiment_test.cc.o.d"
+  "testbed_experiment_test"
+  "testbed_experiment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

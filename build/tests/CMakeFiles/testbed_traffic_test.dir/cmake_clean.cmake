@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_traffic_test.dir/testbed_traffic_test.cc.o"
+  "CMakeFiles/testbed_traffic_test.dir/testbed_traffic_test.cc.o.d"
+  "testbed_traffic_test"
+  "testbed_traffic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_traffic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
