@@ -4,6 +4,9 @@
 // Every bench accepts:
 //   --reps N        repetitions per configuration (default: bench-specific)
 //   --full          paper-scale settings (50 reps, 10 s tests)
+//   --jobs N        worker threads for sweeps/campaigns (default: all
+//                   hardware threads; 1 = serial). Results are identical
+//                   for any N — only wall-clock changes.
 //   --cache DIR     cache directory for sweep/campaign CSVs
 //   --fresh         ignore caches and regenerate
 #pragma once
@@ -23,6 +26,7 @@ namespace ccsig::bench {
 
 struct Options {
   int reps = 0;  // 0 = bench default
+  int jobs = 0;  // 0 = all hardware threads, 1 = serial
   bool full = false;
   bool fresh = false;
   std::string cache_dir = "bench_cache";
@@ -37,11 +41,14 @@ inline Options parse_options(int argc, char** argv) {
       opt.fresh = true;
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       opt.reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      opt.jobs = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
       opt.cache_dir = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--reps N] [--full] [--fresh] [--cache DIR]\n",
+                   "usage: %s [--reps N] [--jobs N] [--full] [--fresh] "
+                   "[--cache DIR]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -74,6 +81,7 @@ inline std::vector<testbed::SweepSample> standard_sweep(const Options& opt) {
   sweep.reps = opt.full ? 50 : (opt.reps > 0 ? opt.reps : 3);
   sweep.test_duration = sim::from_seconds(opt.full ? 10.0 : 5.0);
   sweep.warmup = sim::from_seconds(2.5);
+  sweep.jobs = opt.jobs;
   sweep.progress = progress_ticker("testbed-sweep");
   const std::string cache =
       opt.cache_dir + "/testbed_sweep_r" + std::to_string(sweep.reps) + ".csv";
@@ -92,6 +100,7 @@ inline std::vector<mlab::NdtObservation> standard_dispute2014(
     // shape and the paper's peak (16-23h) / off-peak (1-8h) windows.
     campaign.hours = {0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22};
   }
+  campaign.jobs = opt.jobs;
   campaign.progress = progress_ticker("dispute2014");
   const std::string cache = opt.cache_dir + "/dispute2014_t" +
                             std::to_string(campaign.tests_per_cell) +
@@ -107,6 +116,7 @@ inline std::vector<mlab::TslpObservation> standard_tslp2017(
   campaign.days = opt.full ? 10 : (opt.reps > 0 ? opt.reps : 6);
   campaign.ndt_duration = sim::from_seconds(opt.full ? 10.0 : 6.0);
   campaign.episode_probability = 0.4;  // enough labeled externals at 6 days
+  campaign.jobs = opt.jobs;
   campaign.progress = progress_ticker("tslp2017");
   const std::string cache = opt.cache_dir + "/tslp2017_d" +
                             std::to_string(campaign.days) + ".csv";

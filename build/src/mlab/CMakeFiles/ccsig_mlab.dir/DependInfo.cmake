@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/tcp/CMakeFiles/ccsig_tcp.dir/DependInfo.cmake"
   "/root/repo/build/src/features/CMakeFiles/ccsig_features.dir/DependInfo.cmake"
   "/root/repo/build/src/ml/CMakeFiles/ccsig_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ccsig_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/analysis/CMakeFiles/ccsig_analysis.dir/DependInfo.cmake"
   "/root/repo/build/src/pcap/CMakeFiles/ccsig_pcap.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/ccsig_sim.dir/DependInfo.cmake"

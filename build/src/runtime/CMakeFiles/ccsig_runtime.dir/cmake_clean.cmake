@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsig_runtime.dir/thread_pool.cc.o"
+  "CMakeFiles/ccsig_runtime.dir/thread_pool.cc.o.d"
+  "libccsig_runtime.a"
+  "libccsig_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsig_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_parallel_map_test.dir/runtime_parallel_map_test.cc.o"
+  "CMakeFiles/runtime_parallel_map_test.dir/runtime_parallel_map_test.cc.o.d"
+  "runtime_parallel_map_test"
+  "runtime_parallel_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_parallel_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "runtime/parallel_map.h"
 #include "sim/random.h"
 
 namespace ccsig::mlab {
@@ -43,18 +44,58 @@ bool dispute_active(const TransitSite& site, const AccessIsp& isp, int month) {
   return site.disputed && !isp.direct_peering && (month == 1 || month == 2);
 }
 
+namespace {
+
+/// One fully-specified NDT test: the path it runs over plus the metadata
+/// that identifies its cell. Built in a deterministic serial pre-pass
+/// (same enumeration and RNG draw order as the original serial loop), so
+/// the campaign's content never depends on execution order.
+struct PlannedNdt {
+  PathConfig pc;
+  std::string transit;
+  std::string site;
+  std::string isp;
+  int month = 0;
+  int hour = 0;
+  double load = 0;
+};
+
+NdtObservation run_planned_ndt(const PlannedNdt& p,
+                               const Dispute2014Options& opt) {
+  PathSim path(p.pc);
+  path.warmup(opt.warmup);
+  const NdtResult ndt = path.run_ndt(opt.ndt_duration);
+
+  NdtObservation obs;
+  obs.transit = p.transit;
+  obs.site = p.site;
+  obs.isp = p.isp;
+  obs.month = p.month;
+  obs.hour = p.hour;
+  obs.plan_mbps = p.pc.plan_mbps;
+  obs.throughput_mbps = ndt.throughput_bps / 1e6;
+  obs.passes_filters = ndt.passes_mlab_filters;
+  obs.truth_external = p.load > 1.0;
+  if (ndt.features) {
+    obs.has_features = true;
+    obs.norm_diff = ndt.features->norm_diff;
+    obs.cov = ndt.features->cov;
+    obs.ss_tput_mbps = ndt.features->slow_start_throughput_bps / 1e6;
+  }
+  return obs;
+}
+
+}  // namespace
+
 std::vector<NdtObservation> generate_dispute2014(
     const Dispute2014Options& opt) {
   const auto sites = dispute_sites();
   const auto isps = dispute_isps();
   sim::Rng rng(opt.seed);
 
-  const std::size_t total = sites.size() * isps.size() * opt.months.size() *
-                            opt.hours.size() *
-                            static_cast<std::size_t>(opt.tests_per_cell);
-  std::size_t done = 0;
-  std::vector<NdtObservation> out;
-  out.reserve(total);
+  std::vector<PlannedNdt> plan;
+  plan.reserve(sites.size() * isps.size() * opt.months.size() *
+               opt.hours.size() * static_cast<std::size_t>(opt.tests_per_cell));
 
   for (const TransitSite& site : sites) {
     for (const AccessIsp& isp : isps) {
@@ -66,47 +107,33 @@ std::vector<NdtObservation> generate_dispute2014(
           for (int t = 0; t < opt.tests_per_cell; ++t) {
             const double load = intensity * diurnal_curve(hour);
 
-            PathConfig pc;
-            pc.plan_mbps =
+            PlannedNdt p;
+            p.pc.plan_mbps =
                 isp.plan_mbps[rng.weighted_index(isp.plan_weights)];
-            pc.access_buffer_ms = rng.uniform(30.0, 120.0);
-            pc.access_latency_ms = rng.uniform(6.0, 18.0);
-            pc.access_loss = rng.uniform(0.0, 0.0003);
-            pc.interconnect_mbps = opt.interconnect_mbps;
-            pc.interconnect_buffer_ms = opt.interconnect_buffer_ms;
-            pc.background_load = load;
-            pc.seed = rng.next_u64();
-
-            PathSim path(pc);
-            path.warmup(opt.warmup);
-            const NdtResult ndt = path.run_ndt(opt.ndt_duration);
-
-            NdtObservation obs;
-            obs.transit = site.transit;
-            obs.site = site.site;
-            obs.isp = isp.name;
-            obs.month = month;
-            obs.hour = hour;
-            obs.plan_mbps = pc.plan_mbps;
-            obs.throughput_mbps = ndt.throughput_bps / 1e6;
-            obs.passes_filters = ndt.passes_mlab_filters;
-            obs.truth_external = load > 1.0;
-            if (ndt.features) {
-              obs.has_features = true;
-              obs.norm_diff = ndt.features->norm_diff;
-              obs.cov = ndt.features->cov;
-              obs.ss_tput_mbps =
-                  ndt.features->slow_start_throughput_bps / 1e6;
-            }
-            out.push_back(obs);
-            ++done;
-            if (opt.progress) opt.progress(done, total);
+            p.pc.access_buffer_ms = rng.uniform(30.0, 120.0);
+            p.pc.access_latency_ms = rng.uniform(6.0, 18.0);
+            p.pc.access_loss = rng.uniform(0.0, 0.0003);
+            p.pc.interconnect_mbps = opt.interconnect_mbps;
+            p.pc.interconnect_buffer_ms = opt.interconnect_buffer_ms;
+            p.pc.background_load = load;
+            p.pc.seed = rng.next_u64();
+            p.transit = site.transit;
+            p.site = site.site;
+            p.isp = isp.name;
+            p.month = month;
+            p.hour = hour;
+            p.load = load;
+            plan.push_back(std::move(p));
           }
         }
       }
     }
   }
-  return out;
+
+  runtime::ProgressCounter progress(plan.size(), opt.progress);
+  return runtime::parallel_map(
+      plan, [&opt](const PlannedNdt& p) { return run_planned_ndt(p, opt); },
+      opt.jobs, &progress);
 }
 
 std::optional<int> dispute_coarse_label(const NdtObservation& obs) {
@@ -126,13 +153,39 @@ namespace {
 constexpr char kHeader[] =
     "transit,site,isp,month,hour,plan_mbps,throughput_mbps,ss_tput_mbps,"
     "norm_diff,cov,has_features,passes_filters,truth_external";
+constexpr char kFingerprintPrefix[] = "# options: ";
+
+void append_ints(std::ostream& out, const std::vector<int>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out << '|';
+    out << v[i];
+  }
+}
 }  // namespace
 
+std::string dispute_fingerprint(const Dispute2014Options& opt) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "dispute2014-v1 tests_per_cell=" << opt.tests_per_cell << " months=";
+  append_ints(out, opt.months);
+  out << " hours=";
+  append_ints(out, opt.hours);
+  out << " interconnect=" << opt.interconnect_mbps
+      << " ic_buffer=" << opt.interconnect_buffer_ms
+      << " dispute_intensity=" << opt.dispute_intensity
+      << " normal_intensity=" << opt.normal_intensity
+      << " ndt=" << sim::to_seconds(opt.ndt_duration)
+      << " warmup=" << sim::to_seconds(opt.warmup) << " seed=" << opt.seed;
+  return out.str();
+}
+
 void save_observations_csv(const std::string& path,
-                           const std::vector<NdtObservation>& obs) {
+                           const std::vector<NdtObservation>& obs,
+                           const std::string& fingerprint) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) throw std::runtime_error("cannot write campaign csv: " + path);
   out.precision(17);
+  if (!fingerprint.empty()) out << kFingerprintPrefix << fingerprint << "\n";
   out << kHeader << "\n";
   for (const auto& o : obs) {
     out << o.transit << ',' << o.site << ',' << o.isp << ',' << o.month << ','
@@ -143,13 +196,23 @@ void save_observations_csv(const std::string& path,
   }
 }
 
-std::vector<NdtObservation> load_observations_csv(const std::string& path) {
+std::vector<NdtObservation> load_observations_csv(
+    const std::string& path, std::string* fingerprint_out) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot read campaign csv: " + path);
   std::string line;
-  if (!std::getline(in, line) || line != kHeader) {
+  std::string fingerprint;
+  if (!std::getline(in, line)) {
     throw std::runtime_error("unrecognized campaign csv header in " + path);
   }
+  if (line.rfind(kFingerprintPrefix, 0) == 0) {
+    fingerprint = line.substr(sizeof(kFingerprintPrefix) - 1);
+    if (!std::getline(in, line)) line.clear();
+  }
+  if (line != kHeader) {
+    throw std::runtime_error("unrecognized campaign csv header in " + path);
+  }
+  if (fingerprint_out) *fingerprint_out = fingerprint;
   std::vector<NdtObservation> out;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -182,11 +245,14 @@ std::vector<NdtObservation> load_observations_csv(const std::string& path) {
 
 std::vector<NdtObservation> load_or_generate_dispute2014(
     const std::string& cache_path, const Dispute2014Options& opt) {
+  const std::string want = dispute_fingerprint(opt);
   if (std::filesystem::exists(cache_path)) {
-    return load_observations_csv(cache_path);
+    std::string have;
+    auto obs = load_observations_csv(cache_path, &have);
+    if (have.empty() || have == want) return obs;
   }
   auto obs = generate_dispute2014(opt);
-  save_observations_csv(cache_path, obs);
+  save_observations_csv(cache_path, obs, want);
   return obs;
 }
 

@@ -78,6 +78,11 @@ struct Dispute2014Options {
   sim::Duration ndt_duration = sim::from_seconds(10.0);
   sim::Duration warmup = sim::from_seconds(2.0);
   std::uint64_t seed = 2014;
+  /// Worker threads: 0 = every hardware thread, 1 = serial. Output is
+  /// identical for any value (per-observation path configs and seeds are
+  /// drawn in a deterministic pre-pass, results collected in slot order).
+  int jobs = 0;
+  /// Progress callback; invocations are serialized even when `jobs > 1`.
   std::function<void(std::size_t, std::size_t)> progress;
 };
 
@@ -94,9 +99,18 @@ std::optional<int> dispute_coarse_label(const NdtObservation& obs);
 inline bool is_peak_hour(int hour) { return hour >= 16 && hour <= 23; }
 inline bool is_offpeak_hour(int hour) { return hour >= 1 && hour <= 8; }
 
+/// One-line digest of every option affecting campaign content (not
+/// `jobs`/`progress`); embedded in cache CSVs to invalidate stale caches.
+std::string dispute_fingerprint(const Dispute2014Options& opt);
+
 void save_observations_csv(const std::string& path,
-                           const std::vector<NdtObservation>& obs);
-std::vector<NdtObservation> load_observations_csv(const std::string& path);
+                           const std::vector<NdtObservation>& obs,
+                           const std::string& fingerprint = "");
+std::vector<NdtObservation> load_observations_csv(
+    const std::string& path, std::string* fingerprint_out = nullptr);
+
+/// Loads `cache_path` when present and not stale (legacy caches without a
+/// fingerprint are trusted); otherwise generates and rewrites the cache.
 std::vector<NdtObservation> load_or_generate_dispute2014(
     const std::string& cache_path, const Dispute2014Options& opt);
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "mlab/dispute2014.h"  // diurnal_curve
+#include "runtime/parallel_map.h"
 #include "sim/random.h"
 
 namespace ccsig::mlab {
@@ -13,11 +14,45 @@ namespace {
 
 bool is_tslp_peak(int hour) { return hour >= 16 && hour <= 23; }
 
+/// One measurement slot with its path fully specified (seed drawn in the
+/// deterministic pre-pass), ready to run on any worker thread.
+struct PlannedSlot {
+  PathConfig pc;
+  int day = 0;
+  int hour = 0;
+  int minute = 0;
+  double load = 0;
+};
+
+TslpObservation run_planned_slot(const PlannedSlot& p,
+                                 const Tslp2017Options& opt) {
+  PathSim path(p.pc);
+  path.warmup(opt.warmup);
+
+  TslpObservation obs;
+  obs.day = p.day;
+  obs.hour = p.hour;
+  obs.minute = p.minute;
+  obs.truth_external = p.load > 1.0;
+  obs.near_rtt_ms = sim::to_millis(path.probe_near());
+  obs.far_rtt_ms = sim::to_millis(path.probe_far());
+
+  const NdtResult ndt = path.run_ndt(opt.ndt_duration);
+  obs.ndt_ran = true;
+  obs.throughput_mbps = ndt.throughput_bps / 1e6;
+  if (ndt.features) {
+    obs.has_features = true;
+    obs.norm_diff = ndt.features->norm_diff;
+    obs.cov = ndt.features->cov;
+    obs.min_flow_rtt_ms = ndt.features->min_rtt_ms;
+  }
+  return obs;
+}
+
 }  // namespace
 
 std::vector<TslpObservation> generate_tslp2017(const Tslp2017Options& opt) {
   sim::Rng rng(opt.seed);
-  std::vector<TslpObservation> out;
 
   // Pre-draw the congestion episodes: each evening hour block 19–23 is
   // congested with the configured probability.
@@ -30,12 +65,9 @@ std::vector<TslpObservation> generate_tslp2017(const Tslp2017Options& opt) {
     }
   }
 
-  // Count slots for progress reporting.
-  std::size_t total = 0;
-  for (int h = 0; h < 24; ++h) total += is_tslp_peak(h) ? 4u : 1u;
-  total *= static_cast<std::size_t>(opt.days);
-  std::size_t done = 0;
-
+  // Deterministic pre-pass: enumerate slots and draw their seeds in
+  // schedule order, independent of which thread later runs them.
+  std::vector<PlannedSlot> plan;
   for (int day = 0; day < opt.days; ++day) {
     for (int hour = 0; hour < 24; ++hour) {
       const int slots = is_tslp_peak(hour) ? 4 : 1;  // 15 min vs hourly
@@ -47,42 +79,27 @@ std::vector<TslpObservation> generate_tslp2017(const Tslp2017Options& opt) {
                                     : opt.normal_peak_load *
                                           diurnal_curve(hour);
 
-        PathConfig pc;
-        pc.plan_mbps = opt.plan_mbps;
-        pc.access_buffer_ms = opt.access_buffer_ms;
-        pc.access_latency_ms = opt.base_one_way_ms;
-        pc.interconnect_mbps = opt.interconnect_mbps;
-        pc.interconnect_buffer_ms = opt.interconnect_buffer_ms;
-        pc.background_load = load;
-        pc.seed = rng.next_u64();
-
-        PathSim path(pc);
-        path.warmup(opt.warmup);
-
-        TslpObservation obs;
-        obs.day = day;
-        obs.hour = hour;
-        obs.minute = s * 15;
-        obs.truth_external = load > 1.0;
-        obs.near_rtt_ms = sim::to_millis(path.probe_near());
-        obs.far_rtt_ms = sim::to_millis(path.probe_far());
-
-        const NdtResult ndt = path.run_ndt(opt.ndt_duration);
-        obs.ndt_ran = true;
-        obs.throughput_mbps = ndt.throughput_bps / 1e6;
-        if (ndt.features) {
-          obs.has_features = true;
-          obs.norm_diff = ndt.features->norm_diff;
-          obs.cov = ndt.features->cov;
-          obs.min_flow_rtt_ms = ndt.features->min_rtt_ms;
-        }
-        out.push_back(obs);
-        ++done;
-        if (opt.progress) opt.progress(done, total);
+        PlannedSlot p;
+        p.pc.plan_mbps = opt.plan_mbps;
+        p.pc.access_buffer_ms = opt.access_buffer_ms;
+        p.pc.access_latency_ms = opt.base_one_way_ms;
+        p.pc.interconnect_mbps = opt.interconnect_mbps;
+        p.pc.interconnect_buffer_ms = opt.interconnect_buffer_ms;
+        p.pc.background_load = load;
+        p.pc.seed = rng.next_u64();
+        p.day = day;
+        p.hour = hour;
+        p.minute = s * 15;
+        p.load = load;
+        plan.push_back(p);
       }
     }
   }
-  return out;
+
+  runtime::ProgressCounter progress(plan.size(), opt.progress);
+  return runtime::parallel_map(
+      plan, [&opt](const PlannedSlot& p) { return run_planned_slot(p, opt); },
+      opt.jobs, &progress);
 }
 
 int tslp_label(const TslpObservation& obs) {
@@ -96,13 +113,32 @@ namespace {
 constexpr char kHeader[] =
     "day,hour,minute,far_rtt_ms,near_rtt_ms,ndt_ran,throughput_mbps,"
     "min_flow_rtt_ms,norm_diff,cov,has_features,truth_external";
+constexpr char kFingerprintPrefix[] = "# options: ";
 }  // namespace
 
+std::string tslp_fingerprint(const Tslp2017Options& opt) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "tslp2017-v1 days=" << opt.days << " plan=" << opt.plan_mbps
+      << " base_owd=" << opt.base_one_way_ms
+      << " access_buffer=" << opt.access_buffer_ms
+      << " interconnect=" << opt.interconnect_mbps
+      << " ic_buffer=" << opt.interconnect_buffer_ms
+      << " episode_p=" << opt.episode_probability
+      << " congested_load=" << opt.congested_load
+      << " normal_peak_load=" << opt.normal_peak_load
+      << " ndt=" << sim::to_seconds(opt.ndt_duration)
+      << " warmup=" << sim::to_seconds(opt.warmup) << " seed=" << opt.seed;
+  return out.str();
+}
+
 void save_tslp_csv(const std::string& path,
-                   const std::vector<TslpObservation>& obs) {
+                   const std::vector<TslpObservation>& obs,
+                   const std::string& fingerprint) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) throw std::runtime_error("cannot write tslp csv: " + path);
   out.precision(17);
+  if (!fingerprint.empty()) out << kFingerprintPrefix << fingerprint << "\n";
   out << kHeader << "\n";
   for (const auto& o : obs) {
     out << o.day << ',' << o.hour << ',' << o.minute << ',' << o.far_rtt_ms
@@ -113,13 +149,23 @@ void save_tslp_csv(const std::string& path,
   }
 }
 
-std::vector<TslpObservation> load_tslp_csv(const std::string& path) {
+std::vector<TslpObservation> load_tslp_csv(const std::string& path,
+                                           std::string* fingerprint_out) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot read tslp csv: " + path);
   std::string line;
-  if (!std::getline(in, line) || line != kHeader) {
+  std::string fingerprint;
+  if (!std::getline(in, line)) {
     throw std::runtime_error("unrecognized tslp csv header in " + path);
   }
+  if (line.rfind(kFingerprintPrefix, 0) == 0) {
+    fingerprint = line.substr(sizeof(kFingerprintPrefix) - 1);
+    if (!std::getline(in, line)) line.clear();
+  }
+  if (line != kHeader) {
+    throw std::runtime_error("unrecognized tslp csv header in " + path);
+  }
+  if (fingerprint_out) *fingerprint_out = fingerprint;
   std::vector<TslpObservation> out;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -151,11 +197,14 @@ std::vector<TslpObservation> load_tslp_csv(const std::string& path) {
 
 std::vector<TslpObservation> load_or_generate_tslp2017(
     const std::string& cache_path, const Tslp2017Options& opt) {
+  const std::string want = tslp_fingerprint(opt);
   if (std::filesystem::exists(cache_path)) {
-    return load_tslp_csv(cache_path);
+    std::string have;
+    auto obs = load_tslp_csv(cache_path, &have);
+    if (have.empty() || have == want) return obs;
   }
   auto obs = generate_tslp2017(opt);
-  save_tslp_csv(cache_path, obs);
+  save_tslp_csv(cache_path, obs, want);
   return obs;
 }
 

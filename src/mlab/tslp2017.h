@@ -45,6 +45,11 @@ struct Tslp2017Options {
   sim::Duration ndt_duration = sim::from_seconds(10.0);
   sim::Duration warmup = sim::from_seconds(2.0);
   std::uint64_t seed = 2017;
+  /// Worker threads: 0 = every hardware thread, 1 = serial. Output is
+  /// identical for any value (per-slot seeds are drawn in a deterministic
+  /// pre-pass, results collected in slot order).
+  int jobs = 0;
+  /// Progress callback; invocations are serialized even when `jobs > 1`.
   std::function<void(std::size_t, std::size_t)> progress;
 };
 
@@ -57,9 +62,18 @@ std::vector<TslpObservation> generate_tslp2017(const Tslp2017Options& opt);
 /// self-induced (1); otherwise unlabeled (-1).
 int tslp_label(const TslpObservation& obs);
 
+/// One-line digest of every option affecting campaign content (not
+/// `jobs`/`progress`); embedded in cache CSVs to invalidate stale caches.
+std::string tslp_fingerprint(const Tslp2017Options& opt);
+
 void save_tslp_csv(const std::string& path,
-                   const std::vector<TslpObservation>& obs);
-std::vector<TslpObservation> load_tslp_csv(const std::string& path);
+                   const std::vector<TslpObservation>& obs,
+                   const std::string& fingerprint = "");
+std::vector<TslpObservation> load_tslp_csv(
+    const std::string& path, std::string* fingerprint_out = nullptr);
+
+/// Loads `cache_path` when present and not stale (legacy caches without a
+/// fingerprint are trusted); otherwise generates and rewrites the cache.
 std::vector<TslpObservation> load_or_generate_tslp2017(
     const std::string& cache_path, const Tslp2017Options& opt);
 

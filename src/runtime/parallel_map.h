@@ -1,0 +1,76 @@
+// parallel_map: run an independent function over every element of a
+// vector on a thread pool, preserving input order in the results.
+//
+// This is the execution primitive behind the testbed sweep and the M-Lab
+// campaign generators. Determinism contract: `fn` receives items that
+// already carry their own RNG seeds (drawn in a serial pre-pass), and the
+// result vector is indexed by input slot, so the output is identical for
+// any `jobs` value — byte-for-byte, including `jobs == 1`, which runs
+// inline on the calling thread with no pool at all.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "runtime/progress.h"
+#include "runtime/thread_pool.h"
+
+namespace ccsig::runtime {
+
+/// Maps `fn` over `items` using `jobs` worker threads (`jobs <= 0` means
+/// default_jobs(); `jobs == 1` is the serial fallback). Results come back
+/// in input order. If any invocation throws, the first exception (by
+/// completion time) is rethrown here after all workers finish; remaining
+/// items still run but their results are discarded by the throw. The
+/// optional `progress` counter ticks once per completed item.
+template <typename In, typename Fn>
+auto parallel_map(const std::vector<In>& items, Fn&& fn, int jobs,
+                  ProgressCounter* progress = nullptr)
+    -> std::vector<std::invoke_result_t<Fn&, const In&>> {
+  using Out = std::invoke_result_t<Fn&, const In&>;
+  static_assert(!std::is_void_v<Out>,
+                "parallel_map requires a value-returning function");
+  static_assert(std::is_default_constructible_v<Out>,
+                "parallel_map results are slot-assigned and must be "
+                "default-constructible");
+  static_assert(!std::is_same_v<Out, bool>,
+                "vector<bool> slots share storage across indices and would "
+                "race under concurrent writes; return a wider type");
+
+  std::vector<Out> results(items.size());
+  const unsigned want = jobs <= 0 ? default_jobs() : static_cast<unsigned>(jobs);
+
+  if (want <= 1 || items.size() <= 1) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      results[i] = fn(items[i]);
+      if (progress) progress->tick();
+    }
+    return results;
+  }
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  {
+    ThreadPool pool(static_cast<unsigned>(
+        std::min<std::size_t>(want, items.size())));
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      pool.submit([&, i] {
+        try {
+          results[i] = fn(items[i]);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        if (progress) progress->tick();
+      });
+    }
+    pool.wait();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace ccsig::runtime

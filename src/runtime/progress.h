@@ -1,0 +1,44 @@
+// Thread-safe progress counter shared by the parallel campaign drivers.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+
+namespace ccsig::runtime {
+
+/// Counts completed work items and relays (done, total) to an optional
+/// callback. `tick()` takes a lock around both the increment and the
+/// callback, so callbacks observe a strictly increasing `done` — exactly
+/// 1, 2, …, total — and never run concurrently with each other, which
+/// lets callers reuse the non-thread-safe progress lambdas the serial
+/// drivers always accepted.
+class ProgressCounter {
+ public:
+  using Callback = std::function<void(std::size_t done, std::size_t total)>;
+
+  ProgressCounter(std::size_t total, Callback callback)
+      : total_(total), callback_(std::move(callback)) {}
+
+  /// Records one completed item and reports it. Thread-safe.
+  void tick() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++done_;
+    if (callback_) callback_(done_, total_);
+  }
+
+  std::size_t done() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return done_;
+  }
+
+  std::size_t total() const { return total_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t done_ = 0;
+  const std::size_t total_;
+  Callback callback_;
+};
+
+}  // namespace ccsig::runtime

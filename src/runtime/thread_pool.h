@@ -1,0 +1,56 @@
+// Minimal fixed-size thread pool with a FIFO work queue.
+//
+// The pool exists to parallelise coarse-grained, CPU-bound jobs — whole
+// discrete-event simulations, not packet events — so the design favours
+// simplicity over throughput tricks: one mutex, one queue, no work
+// stealing. Tasks must not throw out of the pool; wrap user code and
+// capture exceptions yourself (parallel_map does exactly that).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccsig::runtime {
+
+/// The default worker count for `jobs <= 0`: every hardware thread
+/// (`std::thread::hardware_concurrency()`, which may be 0 on exotic
+/// platforms — treated as 1).
+unsigned default_jobs();
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(unsigned threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  /// Waits for all submitted work to finish, then joins the workers.
+  ~ThreadPool();
+
+  /// Enqueues one task. Safe to call from any thread, including from
+  /// inside a running task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed (queue drained and
+  /// no task running).
+  void wait();
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signalled when tasks arrive / stop
+  std::condition_variable idle_cv_;  // signalled when in_flight_ hits 0
+  std::size_t in_flight_ = 0;        // queued + currently running tasks
+  bool stop_ = false;
+};
+
+}  // namespace ccsig::runtime

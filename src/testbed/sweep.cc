@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "runtime/parallel_map.h"
 #include "sim/random.h"
 #include "testbed/experiment.h"
 #include "testbed/labeler.h"
@@ -12,16 +13,15 @@
 namespace ccsig::testbed {
 
 std::vector<SweepSample> run_sweep(const SweepOptions& opt) {
-  std::vector<SweepSample> samples;
+  // Deterministic pre-pass: enumerate the grid in the canonical order and
+  // draw every run's seed up front. A run's seed depends only on its slot
+  // in the enumeration — never on execution order — so the parallel sweep
+  // reproduces the serial one exactly.
+  std::vector<TestbedConfig> runs;
+  runs.reserve(opt.access_rates_mbps.size() * opt.access_latencies_ms.size() *
+               opt.access_losses.size() * opt.access_buffers_ms.size() * 2 *
+               static_cast<std::size_t>(opt.reps));
   sim::Rng seeder(opt.seed);
-
-  const std::size_t total = opt.access_rates_mbps.size() *
-                            opt.access_latencies_ms.size() *
-                            opt.access_losses.size() *
-                            opt.access_buffers_ms.size() * 2 *
-                            static_cast<std::size_t>(opt.reps);
-  std::size_t done = 0;
-
   for (double rate : opt.access_rates_mbps) {
     for (double latency : opt.access_latencies_ms) {
       for (double loss : opt.access_losses) {
@@ -41,34 +41,43 @@ std::vector<SweepSample> run_sweep(const SweepOptions& opt) {
               cfg.warmup = opt.warmup;
               cfg.congestion_control = opt.congestion_control;
               cfg.seed = seeder.next_u64();
-
-              const TestResult r = run_testbed_experiment(cfg);
-              ++done;
-              if (opt.progress) opt.progress(done, total);
-              if (!r.features) continue;
-
-              SweepSample s;
-              s.norm_diff = r.features->norm_diff;
-              s.cov = r.features->cov;
-              s.rtt_slope = r.features->rtt_slope;
-              s.rtt_iqr = r.features->rtt_iqr;
-              s.slow_start_tput_bps = r.features->slow_start_throughput_bps;
-              s.flow_tput_bps = r.receiver_throughput_bps;
-              s.access_capacity_bps = r.access_capacity_bps;
-              s.scenario = static_cast<int>(
-                  scenario == Scenario::kExternal
-                      ? CongestionClass::kExternal
-                      : CongestionClass::kSelfInduced);
-              s.access_rate_mbps = rate;
-              s.access_latency_ms = latency;
-              s.access_loss = loss;
-              s.access_buffer_ms = buffer;
-              samples.push_back(s);
+              runs.push_back(cfg);
             }
           }
         }
       }
     }
+  }
+
+  runtime::ProgressCounter progress(runs.size(), opt.progress);
+  const std::vector<TestResult> results = runtime::parallel_map(
+      runs, [](const TestbedConfig& cfg) { return run_testbed_experiment(cfg); },
+      opt.jobs, &progress);
+
+  // Collect in slot order so the sample sequence matches the serial loop.
+  std::vector<SweepSample> samples;
+  samples.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const TestResult& r = results[i];
+    if (!r.features) continue;
+    const TestbedConfig& cfg = runs[i];
+
+    SweepSample s;
+    s.norm_diff = r.features->norm_diff;
+    s.cov = r.features->cov;
+    s.rtt_slope = r.features->rtt_slope;
+    s.rtt_iqr = r.features->rtt_iqr;
+    s.slow_start_tput_bps = r.features->slow_start_throughput_bps;
+    s.flow_tput_bps = r.receiver_throughput_bps;
+    s.access_capacity_bps = r.access_capacity_bps;
+    s.scenario = static_cast<int>(cfg.scenario == Scenario::kExternal
+                                      ? CongestionClass::kExternal
+                                      : CongestionClass::kSelfInduced);
+    s.access_rate_mbps = cfg.access_rate_mbps;
+    s.access_latency_ms = cfg.access_latency_ms;
+    s.access_loss = cfg.access_loss;
+    s.access_buffer_ms = cfg.access_buffer_ms;
+    samples.push_back(s);
   }
   return samples;
 }
@@ -111,13 +120,42 @@ constexpr char kCsvHeader[] =
     "norm_diff,cov,rtt_slope,rtt_iqr,slow_start_tput_bps,flow_tput_bps,"
     "access_capacity_bps,scenario,access_rate_mbps,access_latency_ms,"
     "access_loss,access_buffer_ms";
+constexpr char kFingerprintPrefix[] = "# options: ";
+
+void append_doubles(std::ostream& out, const std::vector<double>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out << '|';
+    out << v[i];
+  }
+}
 }  // namespace
 
+std::string sweep_fingerprint(const SweepOptions& opt) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "sweep-v1 rates=";
+  append_doubles(out, opt.access_rates_mbps);
+  out << " latencies=";
+  append_doubles(out, opt.access_latencies_ms);
+  out << " losses=";
+  append_doubles(out, opt.access_losses);
+  out << " buffers=";
+  append_doubles(out, opt.access_buffers_ms);
+  out << " reps=" << opt.reps << " scale=" << opt.scale
+      << " duration=" << sim::to_seconds(opt.test_duration)
+      << " warmup=" << sim::to_seconds(opt.warmup)
+      << " tgcong_flows=" << opt.tgcong_flows
+      << " cc=" << opt.congestion_control << " seed=" << opt.seed;
+  return out.str();
+}
+
 void save_samples_csv(const std::string& path,
-                      const std::vector<SweepSample>& samples) {
+                      const std::vector<SweepSample>& samples,
+                      const std::string& fingerprint) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) throw std::runtime_error("cannot write sweep csv: " + path);
   out.precision(17);
+  if (!fingerprint.empty()) out << kFingerprintPrefix << fingerprint << "\n";
   out << kCsvHeader << "\n";
   for (const SweepSample& s : samples) {
     out << s.norm_diff << ',' << s.cov << ',' << s.rtt_slope << ','
@@ -128,13 +166,23 @@ void save_samples_csv(const std::string& path,
   }
 }
 
-std::vector<SweepSample> load_samples_csv(const std::string& path) {
+std::vector<SweepSample> load_samples_csv(const std::string& path,
+                                          std::string* fingerprint_out) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot read sweep csv: " + path);
   std::string line;
-  if (!std::getline(in, line) || line != kCsvHeader) {
+  std::string fingerprint;
+  if (!std::getline(in, line)) {
     throw std::runtime_error("unrecognized sweep csv header in " + path);
   }
+  if (line.rfind(kFingerprintPrefix, 0) == 0) {
+    fingerprint = line.substr(sizeof(kFingerprintPrefix) - 1);
+    if (!std::getline(in, line)) line.clear();
+  }
+  if (line != kCsvHeader) {
+    throw std::runtime_error("unrecognized sweep csv header in " + path);
+  }
+  if (fingerprint_out) *fingerprint_out = fingerprint;
   std::vector<SweepSample> samples;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -155,11 +203,16 @@ std::vector<SweepSample> load_samples_csv(const std::string& path) {
 
 std::vector<SweepSample> load_or_run_sweep(const std::string& cache_path,
                                            const SweepOptions& opt) {
+  const std::string want = sweep_fingerprint(opt);
   if (std::filesystem::exists(cache_path)) {
-    return load_samples_csv(cache_path);
+    std::string have;
+    auto samples = load_samples_csv(cache_path, &have);
+    // Legacy caches predate fingerprinting; trust them as before. A
+    // fingerprinted cache written under different options is stale.
+    if (have.empty() || have == want) return samples;
   }
   auto samples = run_sweep(opt);
-  save_samples_csv(cache_path, samples);
+  save_samples_csv(cache_path, samples, want);
   return samples;
 }
 

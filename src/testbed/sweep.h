@@ -42,7 +42,14 @@ struct SweepOptions {
   int tgcong_flows = 100;
   std::string congestion_control = "reno";
   std::uint64_t seed = 42;
+  /// Worker threads for the sweep: 0 = every hardware thread, 1 = the
+  /// legacy serial path. Output is byte-identical for any value — each
+  /// run's seed is drawn in a deterministic pre-pass over the grid and
+  /// results are collected in enumeration order.
+  int jobs = 0;
   /// Called after each test with (done, total) for progress reporting.
+  /// Need not be thread-safe: invocations are serialized even when
+  /// `jobs > 1`.
   std::function<void(std::size_t, std::size_t)> progress;
 };
 
@@ -58,11 +65,27 @@ ml::Dataset make_dataset(const std::vector<SweepSample>& samples,
 /// Labels one sample at `threshold`; -1 when filtered.
 int label_sample(const SweepSample& s, double threshold);
 
-void save_samples_csv(const std::string& path,
-                      const std::vector<SweepSample>& samples);
-std::vector<SweepSample> load_samples_csv(const std::string& path);
+/// Canonical one-line digest of every option that affects sweep *content*
+/// (grids, reps, scale, durations, cc, seed — not `jobs` or `progress`).
+/// Embedded in cache CSVs so stale caches are detected and regenerated.
+std::string sweep_fingerprint(const SweepOptions& opt);
 
-/// Loads `cache_path` if present, otherwise runs the sweep and saves it.
+/// Writes the samples; when `fingerprint` is non-empty it is embedded as
+/// a leading `# options: …` comment line (load_samples_csv returns it).
+void save_samples_csv(const std::string& path,
+                      const std::vector<SweepSample>& samples,
+                      const std::string& fingerprint = "");
+
+/// Reads a samples CSV. Accepts both the fingerprinted format and the
+/// legacy header-first format; when `fingerprint_out` is non-null it
+/// receives the embedded fingerprint ("" for legacy files).
+std::vector<SweepSample> load_samples_csv(const std::string& path,
+                                          std::string* fingerprint_out =
+                                              nullptr);
+
+/// Loads `cache_path` when it exists and its embedded fingerprint matches
+/// `opt` (legacy caches without a fingerprint are trusted as-is);
+/// otherwise runs the sweep and rewrites the cache with a fingerprint.
 std::vector<SweepSample> load_or_run_sweep(const std::string& cache_path,
                                            const SweepOptions& opt);
 

@@ -1,0 +1,122 @@
+// Determinism contract of the parallel campaign drivers: for identical
+// options, `jobs > 1` must produce byte-identical CSV output to the
+// serial `jobs == 1` path — seeds are drawn in a deterministic pre-pass
+// and results collected in slot order, so thread scheduling can never
+// leak into the data.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "mlab/dispute2014.h"
+#include "testbed/sweep.h"
+
+namespace ccsig {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+testbed::SweepOptions tiny_sweep(int jobs) {
+  testbed::SweepOptions opt;
+  opt.access_rates_mbps = {20};
+  opt.access_latencies_ms = {20};
+  opt.access_losses = {0.0002};
+  opt.access_buffers_ms = {100};
+  opt.reps = 2;
+  opt.scale = 1.0;
+  opt.test_duration = sim::from_seconds(2.0);
+  opt.warmup = sim::from_seconds(1.5);
+  opt.seed = 9;
+  opt.jobs = jobs;
+  return opt;
+}
+
+TEST(SweepDeterminism, ParallelMatchesSerialByteForByte) {
+  const auto serial = run_sweep(tiny_sweep(1));
+  const auto parallel = run_sweep(tiny_sweep(4));
+
+  ASSERT_FALSE(serial.empty());
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].norm_diff, serial[i].norm_diff) << "slot " << i;
+    EXPECT_EQ(parallel[i].cov, serial[i].cov) << "slot " << i;
+    EXPECT_EQ(parallel[i].slow_start_tput_bps, serial[i].slow_start_tput_bps)
+        << "slot " << i;
+    EXPECT_EQ(parallel[i].flow_tput_bps, serial[i].flow_tput_bps)
+        << "slot " << i;
+    EXPECT_EQ(parallel[i].scenario, serial[i].scenario) << "slot " << i;
+  }
+
+  const std::string p1 = temp_path("ccsig_det_sweep_serial.csv");
+  const std::string p2 = temp_path("ccsig_det_sweep_parallel.csv");
+  const std::string fp = testbed::sweep_fingerprint(tiny_sweep(1));
+  testbed::save_samples_csv(p1, serial, fp);
+  testbed::save_samples_csv(p2, parallel,
+                            testbed::sweep_fingerprint(tiny_sweep(4)));
+  const std::string bytes1 = slurp(p1);
+  const std::string bytes2 = slurp(p2);
+  std::filesystem::remove(p1);
+  std::filesystem::remove(p2);
+  EXPECT_FALSE(bytes1.empty());
+  EXPECT_EQ(bytes1, bytes2);  // `jobs` must not enter the fingerprint either
+}
+
+TEST(SweepDeterminism, ProgressReportsEveryRunUnderConcurrency) {
+  auto opt = tiny_sweep(3);
+  opt.reps = 1;
+  std::size_t calls = 0;
+  std::size_t last_done = 0;
+  opt.progress = [&](std::size_t done, std::size_t total) {
+    ++calls;
+    EXPECT_EQ(done, last_done + 1);  // serialized, strictly increasing
+    EXPECT_EQ(total, 2u);
+    last_done = done;
+  };
+  run_sweep(opt);
+  EXPECT_EQ(calls, 2u);  // 1 config x 2 scenarios x 1 rep
+}
+
+TEST(Dispute2014Determinism, ParallelMatchesSerialByteForByte) {
+  mlab::Dispute2014Options opt;
+  opt.tests_per_cell = 1;
+  opt.months = {1};
+  opt.hours = {4};  // off-peak: light background, cheap simulations
+  opt.interconnect_mbps = 60.0;
+  opt.ndt_duration = sim::from_seconds(2.0);
+  opt.warmup = sim::from_seconds(1.0);
+  opt.seed = 77;
+
+  opt.jobs = 1;
+  const auto serial = generate_dispute2014(opt);
+  opt.jobs = 4;
+  const auto parallel = generate_dispute2014(opt);
+
+  ASSERT_EQ(serial.size(), 12u);  // 3 sites x 4 isps
+  ASSERT_EQ(parallel.size(), serial.size());
+
+  const std::string p1 = temp_path("ccsig_det_dispute_serial.csv");
+  const std::string p2 = temp_path("ccsig_det_dispute_parallel.csv");
+  const std::string fp = mlab::dispute_fingerprint(opt);
+  mlab::save_observations_csv(p1, serial, fp);
+  mlab::save_observations_csv(p2, parallel, fp);
+  const std::string bytes1 = slurp(p1);
+  const std::string bytes2 = slurp(p2);
+  std::filesystem::remove(p1);
+  std::filesystem::remove(p2);
+  EXPECT_FALSE(bytes1.empty());
+  EXPECT_EQ(bytes1, bytes2);
+}
+
+}  // namespace
+}  // namespace ccsig

@@ -101,6 +101,87 @@ TEST(SweepCsv, MissingFileThrows) {
   EXPECT_THROW(load_samples_csv("/no/such/file.csv"), std::runtime_error);
 }
 
+TEST(SweepCsv, FingerprintRoundTrips) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ccsig_sweep_fp.csv").string();
+  const std::vector<SweepSample> samples = {sample(18e6, 20e6, 1)};
+  SweepOptions opt;
+  const std::string fp = sweep_fingerprint(opt);
+  save_samples_csv(path, samples, fp);
+  std::string loaded_fp;
+  const auto loaded = load_samples_csv(path, &loaded_fp);
+  std::filesystem::remove(path);
+  EXPECT_EQ(loaded_fp, fp);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded[0].norm_diff, samples[0].norm_diff);
+}
+
+TEST(SweepFingerprint, SensitiveToContentOptionsOnly) {
+  SweepOptions a;
+  SweepOptions b = a;
+  EXPECT_EQ(sweep_fingerprint(a), sweep_fingerprint(b));
+  b.jobs = 16;  // execution knobs must not invalidate caches
+  EXPECT_EQ(sweep_fingerprint(a), sweep_fingerprint(b));
+  b.reps = a.reps + 1;
+  EXPECT_NE(sweep_fingerprint(a), sweep_fingerprint(b));
+  b = a;
+  b.congestion_control = "cubic";
+  EXPECT_NE(sweep_fingerprint(a), sweep_fingerprint(b));
+  b = a;
+  b.test_duration = a.test_duration * 2;
+  EXPECT_NE(sweep_fingerprint(a), sweep_fingerprint(b));
+  b = a;
+  b.scale = a.scale * 2;
+  EXPECT_NE(sweep_fingerprint(a), sweep_fingerprint(b));
+}
+
+// An empty parameter grid makes run_sweep a no-op, which lets the cache
+// logic be tested without paying for simulations: a cached file that the
+// current options could not have produced (it has rows) is the witness
+// for "loaded from cache" vs "regenerated".
+SweepOptions empty_grid_options(std::uint64_t seed) {
+  SweepOptions opt;
+  opt.access_rates_mbps.clear();
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(LoadOrRunSweep, MatchingFingerprintLoadsCache) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ccsig_cache_match.csv")
+          .string();
+  const SweepOptions opt = empty_grid_options(1);
+  save_samples_csv(path, {sample(18e6, 20e6, 1)}, sweep_fingerprint(opt));
+  const auto got = load_or_run_sweep(path, opt);
+  std::filesystem::remove(path);
+  EXPECT_EQ(got.size(), 1u);  // cache hit; a real run would yield 0 samples
+}
+
+TEST(LoadOrRunSweep, LegacyCacheWithoutFingerprintTrusted) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ccsig_cache_legacy.csv")
+          .string();
+  save_samples_csv(path, {sample(18e6, 20e6, 1)});  // no fingerprint line
+  const auto got = load_or_run_sweep(path, empty_grid_options(1));
+  std::filesystem::remove(path);
+  EXPECT_EQ(got.size(), 1u);
+}
+
+TEST(LoadOrRunSweep, StaleFingerprintRegenerates) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ccsig_cache_stale.csv")
+          .string();
+  save_samples_csv(path, {sample(18e6, 20e6, 1)},
+                   sweep_fingerprint(empty_grid_options(1)));
+  const SweepOptions changed = empty_grid_options(2);  // different seed
+  const auto got = load_or_run_sweep(path, changed);
+  EXPECT_TRUE(got.empty());  // regenerated: the empty grid produced nothing
+  std::string fp;
+  load_samples_csv(path, &fp);
+  std::filesystem::remove(path);
+  EXPECT_EQ(fp, sweep_fingerprint(changed));  // cache rewritten with new fp
+}
+
 TEST(RunSweep, TinySweepProducesLabeledSamples) {
   // One configuration, one reach, both scenarios — a smoke-level check
   // that the full machinery holds together.

@@ -1,16 +1,22 @@
 // ccsig_testbed — run one controlled testbed experiment from the command
 // line and print the flow's signature, verdict, and path statistics.
+// With --reps N it runs N independent replicates of the same configuration
+// (seeds derived deterministically from --seed) in parallel across --jobs
+// worker threads and prints one line per replicate plus a verdict tally.
 //
 // Usage:
 //   ccsig_testbed [--external] [--rate MBPS] [--latency MS] [--loss P]
 //                 [--buffer MS] [--duration S] [--cc reno|cubic|bbr]
-//                 [--seed N] [--pcap FILE]
+//                 [--seed N] [--reps N] [--jobs N] [--pcap FILE]
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/ccsig.h"
 #include "pcap/capture.h"
+#include "runtime/parallel_map.h"
+#include "sim/random.h"
 #include "testbed/experiment.h"
 
 int main(int argc, char** argv) {
@@ -19,6 +25,8 @@ int main(int argc, char** argv) {
   cfg.test_duration = sim::from_seconds(8);
   cfg.warmup = sim::from_seconds(2.5);
   cfg.seed = 1;
+  int reps = 1;
+  int jobs = 0;  // 0 = all hardware threads
   std::string pcap_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -45,16 +53,24 @@ int main(int argc, char** argv) {
       cfg.congestion_control = next("--cc");
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else if (std::strcmp(argv[i], "--reps") == 0) {
+      reps = std::atoi(next("--reps"));
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      jobs = std::atoi(next("--jobs"));
     } else if (std::strcmp(argv[i], "--pcap") == 0) {
       pcap_path = next("--pcap");
     } else {
       std::fprintf(stderr,
                    "usage: %s [--external] [--rate MBPS] [--latency MS] "
                    "[--loss P] [--buffer MS] [--duration S] [--cc NAME] "
-                   "[--seed N] [--pcap FILE]\n",
+                   "[--seed N] [--reps N] [--jobs N] [--pcap FILE]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (reps > 1 && !pcap_path.empty()) {
+    std::fprintf(stderr, "--pcap requires a single run (omit --reps)\n");
+    return 2;
   }
 
   std::printf("testbed: %s scenario, access %.0f Mbps / %.0f ms latency / "
@@ -64,6 +80,46 @@ int main(int argc, char** argv) {
               cfg.access_rate_mbps, cfg.access_latency_ms, cfg.access_loss,
               cfg.access_buffer_ms, cfg.congestion_control.c_str(),
               static_cast<unsigned long long>(cfg.seed));
+
+  if (reps > 1) {
+    // Replicate mode: derive one seed per replicate from --seed, run the
+    // batch on the runtime thread pool, report in replicate order.
+    std::vector<testbed::TestbedConfig> runs(static_cast<std::size_t>(reps),
+                                             cfg);
+    sim::Rng seeder(cfg.seed);
+    for (auto& r : runs) r.seed = seeder.next_u64();
+    const auto results = runtime::parallel_map(
+        runs,
+        [](const testbed::TestbedConfig& c) {
+          return testbed::run_testbed_experiment(c);
+        },
+        jobs);
+
+    const auto& clf = CongestionClassifier::pretrained();
+    int votes[2] = {0, 0};
+    int no_features = 0;
+    double tput_sum = 0;
+    for (int i = 0; i < reps; ++i) {
+      const testbed::TestResult& r = results[static_cast<std::size_t>(i)];
+      tput_sum += r.receiver_throughput_bps;
+      if (!r.features) {
+        ++no_features;
+        std::printf("rep %2d: %6.2f Mbps, signature unavailable\n", i,
+                    r.receiver_throughput_bps / 1e6);
+        continue;
+      }
+      const auto verdict = clf.classify(*r.features);
+      ++votes[static_cast<int>(verdict.verdict) == 1 ? 1 : 0];
+      std::printf(
+          "rep %2d: %6.2f Mbps, NormDiff=%.3f CoV=%.3f -> %s (%.2f)\n", i,
+          r.receiver_throughput_bps / 1e6, r.features->norm_diff,
+          r.features->cov, to_string(verdict.verdict), verdict.confidence);
+    }
+    std::printf("\n%d reps: mean throughput %.2f Mbps, verdicts: "
+                "%d self-induced / %d external / %d unavailable\n",
+                reps, tput_sum / reps / 1e6, votes[1], votes[0], no_features);
+    return 0;
+  }
 
   testbed::TestbedExperiment experiment(cfg);
   std::unique_ptr<pcap::PcapCaptureTap> tap;

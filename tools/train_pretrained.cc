@@ -1,30 +1,77 @@
 // Regenerates src/core/pretrained_model.inc from a controlled-testbed sweep.
 //
 // Usage: train_pretrained <sweep.csv> <output.inc> [threshold] [depth]
+//                         [--jobs N] [--reps N] [--seed N]
 //
 // The sweep CSV comes from testbed::save_samples_csv (run the fig3 bench
-// once, or call testbed::run_sweep yourself). The output is a C++ raw string
-// literal included by core/classifier.cc.
+// once, or call testbed::run_sweep yourself). When <sweep.csv> does not
+// exist, the standard sweep is run right here — across --jobs worker
+// threads (default: all hardware threads) — and saved to that path first.
+// The output is a C++ raw string literal included by core/classifier.cc.
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "ml/decision_tree.h"
 #include "testbed/sweep.h"
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  std::vector<const char*> positional;
+  int jobs = 0;  // 0 = all hardware threads
+  int reps = 5;
+  std::uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      jobs = std::atoi(next("--jobs"));
+    } else if (std::strcmp(argv[i], "--reps") == 0) {
+      reps = std::atoi(next("--reps"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 2) {
     std::fprintf(stderr,
                  "usage: %s <sweep.csv> <output.inc> [threshold=0.8] "
-                 "[depth=4]\n",
+                 "[depth=4] [--jobs N] [--reps N] [--seed N]\n",
                  argv[0]);
     return 2;
   }
-  const std::string csv = argv[1];
-  const std::string out_path = argv[2];
-  const double threshold = argc > 3 ? std::stod(argv[3]) : 0.8;
-  const int depth = argc > 4 ? std::stoi(argv[4]) : 4;
+  const std::string csv = positional[0];
+  const std::string out_path = positional[1];
+  const double threshold = positional.size() > 2 ? std::stod(positional[2])
+                                                 : 0.8;
+  const int depth = positional.size() > 3 ? std::stoi(positional[3]) : 4;
+
+  if (!std::filesystem::exists(csv)) {
+    ccsig::testbed::SweepOptions sweep;
+    sweep.scale = 1.0;
+    sweep.reps = reps;
+    sweep.seed = seed;
+    sweep.jobs = jobs;
+    sweep.progress = [](std::size_t done, std::size_t total) {
+      if (done % 25 == 0 || done == total) {
+        std::fprintf(stderr, "[sweep] %zu/%zu\n", done, total);
+      }
+    };
+    std::fprintf(stderr, "%s missing; running the sweep (reps=%d)\n",
+                 csv.c_str(), reps);
+    const auto fresh = ccsig::testbed::run_sweep(sweep);
+    ccsig::testbed::save_samples_csv(csv, fresh,
+                                     ccsig::testbed::sweep_fingerprint(sweep));
+  }
 
   const auto samples = ccsig::testbed::load_samples_csv(csv);
   const auto data = ccsig::testbed::make_dataset(samples, threshold);
