@@ -1,7 +1,17 @@
 // Micro-benchmarks of the library's hot paths (google-benchmark): event
 // queue, shaped link, TCP transfer, RTT extraction, feature computation,
 // classifier inference, pcap codec.
+//
+// Besides wall-clock, the simulator benches report *heap allocation*
+// counters via a global operator new/delete hook scoped to this binary.
+// Allocation counts are deterministic, so they double as a non-flaky
+// regression signal: `tools/bench_micro.py --smoke` (wired into ctest)
+// fails if the steady-state simulator path ever allocates again.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "analysis/flow_trace.h"
 #include "analysis/rtt_estimator.h"
@@ -14,22 +24,80 @@
 
 namespace {
 
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+std::uint64_t heap_allocs() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+/// Counts heap allocations across a scope. Deterministic, unlike timings.
+class AllocProbe {
+ public:
+  AllocProbe() : start_(heap_allocs()) {}
+  std::uint64_t count() const { return heap_allocs() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace
+
+// Counting replacements for the global allocation functions. Only the
+// plain forms are replaced; the aligned/nothrow forms are not used by the
+// hot paths this binary measures.
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
 using namespace ccsig;
 
 void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  std::uint64_t allocs = 0;
+  std::uint64_t items = 0;
   for (auto _ : state) {
-    sim::EventQueue q;
-    for (int i = 0; i < n; ++i) {
-      q.schedule((i * 7919) % n, [] {});
+    // Queue construction/teardown is not the cost under measurement; keep
+    // it outside the timed region so the number isolates schedule+pop.
+    state.PauseTiming();
+    auto q = std::make_unique<sim::EventQueue>();
+    state.ResumeTiming();
+    {
+      const AllocProbe probe;
+      for (int i = 0; i < n; ++i) {
+        q->schedule((i * 7919) % n, [] {});
+      }
+      while (!q->empty()) q->pop()();
+      allocs += probe.count();
     }
-    while (!q.empty()) q.pop()();
+    items += static_cast<std::uint64_t>(n);
+    state.PauseTiming();
+    q.reset();
+    state.ResumeTiming();
   }
   state.SetItemsProcessed(state.iterations() * n);
+  state.counters["allocs_per_event"] =
+      static_cast<double>(allocs) / static_cast<double>(items);
 }
 BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(100000);
 
 void BM_LinkShaping(benchmark::State& state) {
+  std::uint64_t allocs = 0;
+  std::uint64_t packets = 0;
   for (auto _ : state) {
     sim::Simulator sim;
     sim::Link::Config cfg;
@@ -40,15 +108,22 @@ void BM_LinkShaping(benchmark::State& state) {
     link.set_receiver([&](const sim::Packet&) { ++delivered; });
     sim::Packet p;
     p.payload_bytes = 1448;
+    const AllocProbe probe;
     for (int i = 0; i < 1000; ++i) link.send(p);
     sim.run();
+    allocs += probe.count();
+    packets += 1000;
     benchmark::DoNotOptimize(delivered);
   }
   state.SetItemsProcessed(state.iterations() * 1000);
+  state.counters["allocs_per_packet"] =
+      static_cast<double>(allocs) / static_cast<double>(packets);
 }
 BENCHMARK(BM_LinkShaping);
 
 void BM_TcpBulkTransfer(benchmark::State& state) {
+  std::uint64_t allocs = 0;
+  std::uint64_t segments = 0;
   for (auto _ : state) {
     sim::Network net(1);
     sim::Node* server = net.add_node("s");
@@ -67,12 +142,62 @@ void BM_TcpBulkTransfer(benchmark::State& state) {
     sc.bytes_to_send = 10'000'000;
     tcp::TcpSource source(net.sim(), server, sc);
     source.start();
+    const AllocProbe probe;
     net.sim().run_until(sim::from_seconds(30));
+    allocs += probe.count();
+    segments += source.stats().segments_sent + sink.stats().acks_sent;
     benchmark::DoNotOptimize(sink.bytes_received());
   }
   state.SetBytesProcessed(state.iterations() * 10'000'000);
+  state.counters["allocs_per_seg"] =
+      static_cast<double>(allocs) / static_cast<double>(segments);
 }
 BENCHMARK(BM_TcpBulkTransfer);
+
+// Steady-state allocation probe. A 100 MB transfer at 100 Mbps runs ≈ 8.5
+// simulated seconds; by 2 s it has finished slow start, overshot the
+// buffer, and completed its first recovery episode — every pool (event
+// arena, packet ring, segment-map free lists) is at its high-water mark.
+// From there to the end of the transfer the simulator must not touch the
+// heap at all; `steady_allocs` is asserted == 0 by the ctest smoke test.
+void BM_TcpSteadyStateAllocs(benchmark::State& state) {
+  std::uint64_t allocs = 0;
+  std::uint64_t segments = 0;
+  for (auto _ : state) {
+    sim::Network net(1);
+    sim::Node* server = net.add_node("s");
+    sim::Node* client = net.add_node("c");
+    sim::Link::Config link;
+    link.rate_bps = 100e6;
+    link.prop_delay = 5 * sim::kMillisecond;
+    link.buffer_bytes = sim::buffer_bytes_for(100e6, 50);
+    net.connect(server, client, link);
+    sim::FlowKey key{server->address(), client->address(), 1, 2};
+    tcp::TcpSink::Config sk;
+    sk.data_key = key;
+    tcp::TcpSink sink(net.sim(), client, sk);
+    tcp::TcpSource::Config sc;
+    sc.key = key;
+    sc.bytes_to_send = 100'000'000;
+    tcp::TcpSource source(net.sim(), server, sc);
+    source.start();
+    net.sim().run_until(sim::from_seconds(2));  // warmup: pools reach peak
+    const std::uint64_t segs_before =
+        source.stats().segments_sent + sink.stats().acks_sent;
+    const AllocProbe probe;
+    net.sim().run_until(sim::from_seconds(30));
+    allocs += probe.count();
+    segments += source.stats().segments_sent + sink.stats().acks_sent -
+                segs_before;
+    benchmark::DoNotOptimize(sink.bytes_received());
+  }
+  state.counters["steady_allocs"] = static_cast<double>(allocs);
+  state.counters["steady_allocs_per_seg"] =
+      segments > 0 ? static_cast<double>(allocs) / static_cast<double>(segments)
+                   : 0.0;
+  state.counters["steady_segments"] = static_cast<double>(segments);
+}
+BENCHMARK(BM_TcpSteadyStateAllocs);
 
 analysis::FlowTrace synthetic_flow(int n) {
   analysis::FlowTrace flow;
@@ -131,11 +256,18 @@ void BM_PcapEncodeDecode(benchmark::State& state) {
   p.ack = 654321;
   p.payload_bytes = 1448;
   p.flags.ack = true;
+  std::uint64_t allocs = 0;
+  std::uint64_t frames = 0;
   for (auto _ : state) {
+    const AllocProbe probe;
     const auto frame = pcap::encode_frame(p);
     auto decoded = pcap::decode_frame(frame);
+    allocs += probe.count();
+    ++frames;
     benchmark::DoNotOptimize(decoded);
   }
+  state.counters["allocs_per_frame"] =
+      static_cast<double>(allocs) / static_cast<double>(frames);
 }
 BENCHMARK(BM_PcapEncodeDecode);
 

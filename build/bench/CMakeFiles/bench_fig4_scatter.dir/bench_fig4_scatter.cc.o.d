@@ -229,14 +229,13 @@ bench/CMakeFiles/bench_fig4_scatter.dir/bench_fig4_scatter.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/features/extractor.h /root/repo/src/analysis/flow_trace.h \
  /root/repo/src/analysis/trace_record.h /root/repo/src/sim/packet.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/sim/time.h /root/repo/src/analysis/rtt_estimator.h \
  /root/repo/src/analysis/slow_start.h /root/repo/src/features/metrics.h \
  /root/repo/src/mlab/tslp.h /root/repo/src/sim/node.h \
  /root/repo/src/sim/link.h /root/repo/src/sim/queue.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/random.h \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/sim/random.h /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -264,12 +263,14 @@ bench/CMakeFiles/bench_fig4_scatter.dir/bench_fig4_scatter.cc.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/trace.h /root/repo/src/sim/echo.h \
  /root/repo/src/sim/network.h /root/repo/src/tcp/tcp_sink.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/tcp/tcp_types.h \
- /root/repo/src/tcp/tcp_source.h /root/repo/src/tcp/congestion_control.h \
- /root/repo/src/tcp/rto.h /root/repo/src/mlab/tslp2017.h \
- /root/repo/src/testbed/sweep.h /root/repo/src/testbed/config.h
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/tcp/node_pool.h \
+ /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
+ /root/repo/src/tcp/tcp_types.h /root/repo/src/tcp/tcp_source.h \
+ /root/repo/src/tcp/congestion_control.h /root/repo/src/tcp/rto.h \
+ /root/repo/src/mlab/tslp2017.h /root/repo/src/testbed/sweep.h \
+ /root/repo/src/testbed/config.h

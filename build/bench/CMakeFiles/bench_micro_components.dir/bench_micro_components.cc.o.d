@@ -225,10 +225,8 @@ bench/CMakeFiles/bench_micro_components.dir/bench_micro_components.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/sim/link.h \
- /root/repo/src/sim/queue.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/random.h /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/sim/queue.h /root/repo/src/sim/random.h \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -256,8 +254,9 @@ bench/CMakeFiles/bench_micro_components.dir/bench_micro_components.cc.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/sim/node.h /root/repo/src/sim/trace.h \
- /root/repo/src/tcp/tcp_sink.h /root/repo/src/tcp/tcp_types.h \
- /root/repo/src/tcp/tcp_source.h /root/repo/src/tcp/congestion_control.h \
- /root/repo/src/tcp/rto.h
+ /root/repo/src/tcp/tcp_sink.h /root/repo/src/tcp/node_pool.h \
+ /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
+ /root/repo/src/tcp/tcp_types.h /root/repo/src/tcp/tcp_source.h \
+ /root/repo/src/tcp/congestion_control.h /root/repo/src/tcp/rto.h

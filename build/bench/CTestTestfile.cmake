@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(bench_micro_smoke "/root/.pyenv/shims/python3" "/root/repo/tools/bench_micro.py" "--bench-bin" "/root/repo/build/bench/bench_micro_components" "--smoke")
+set_tests_properties(bench_micro_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;")

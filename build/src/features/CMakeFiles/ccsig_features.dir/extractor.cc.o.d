@@ -67,6 +67,7 @@ src/features/CMakeFiles/ccsig_features.dir/extractor.cc.o: \
  /usr/include/c++/12/bits/range_access.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/analysis/trace_record.h /root/repo/src/sim/packet.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/functional /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
@@ -111,8 +112,7 @@ src/features/CMakeFiles/ccsig_features.dir/extractor.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/time.h \
+ /usr/include/c++/12/bits/std_abs.h /root/repo/src/sim/time.h \
  /root/repo/src/analysis/rtt_estimator.h \
  /root/repo/src/analysis/slow_start.h /root/repo/src/features/metrics.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/span \

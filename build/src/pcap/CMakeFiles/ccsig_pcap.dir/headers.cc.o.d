@@ -55,7 +55,8 @@ src/pcap/CMakeFiles/ccsig_pcap.dir/headers.cc.o: \
  /usr/include/c++/12/bits/invoke.h /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
- /root/repo/src/sim/packet.h /usr/include/c++/12/functional \
+ /root/repo/src/sim/packet.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/stl_function.h \
  /usr/include/c++/12/backward/binders.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -110,6 +111,5 @@ src/pcap/CMakeFiles/ccsig_pcap.dir/headers.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/time.h \
+ /usr/include/c++/12/bits/std_abs.h /root/repo/src/sim/time.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h

@@ -118,6 +118,7 @@ src/sim/CMakeFiles/ccsig_sim.dir/link.cc.o: /root/repo/src/sim/link.cc \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/sim/packet.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/functional /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
@@ -137,12 +138,9 @@ src/sim/CMakeFiles/ccsig_sim.dir/link.cc.o: /root/repo/src/sim/link.cc \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/time.h \
- /root/repo/src/sim/queue.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/random.h /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sim/time.h \
+ /root/repo/src/sim/queue.h /root/repo/src/sim/random.h \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -171,9 +169,10 @@ src/sim/CMakeFiles/ccsig_sim.dir/link.cc.o: /root/repo/src/sim/link.cc \
  /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/simulator.h \
- /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/event_queue.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

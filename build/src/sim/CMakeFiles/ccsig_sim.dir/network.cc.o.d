@@ -204,17 +204,15 @@ src/sim/CMakeFiles/ccsig_sim.dir/network.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/sim/link.h \
- /root/repo/src/sim/packet.h /usr/include/c++/12/functional \
+ /root/repo/src/sim/packet.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/time.h \
- /root/repo/src/sim/queue.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/random.h /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sim/time.h \
+ /root/repo/src/sim/queue.h /root/repo/src/sim/random.h \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -243,5 +241,7 @@ src/sim/CMakeFiles/ccsig_sim.dir/network.cc.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/node.h /root/repo/src/sim/trace.h
+ /usr/include/c++/12/cstddef /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/node.h \
+ /root/repo/src/sim/trace.h

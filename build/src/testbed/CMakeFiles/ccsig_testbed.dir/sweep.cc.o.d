@@ -271,18 +271,20 @@ src/testbed/CMakeFiles/ccsig_testbed.dir/sweep.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/optional \
  /root/repo/src/analysis/trace_record.h /root/repo/src/sim/packet.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/analysis/trace_recorder.h /root/repo/src/sim/trace.h \
  /root/repo/src/features/extractor.h /root/repo/src/analysis/flow_trace.h \
  /root/repo/src/analysis/rtt_estimator.h \
  /root/repo/src/analysis/slow_start.h /root/repo/src/features/metrics.h \
  /root/repo/src/sim/network.h /root/repo/src/sim/link.h \
  /root/repo/src/sim/queue.h /root/repo/src/sim/simulator.h \
- /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/node.h \
+ /root/repo/src/sim/event_queue.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/node.h \
  /root/repo/src/tcp/tcp_sink.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/tcp/tcp_types.h \
- /root/repo/src/tcp/tcp_source.h /root/repo/src/tcp/congestion_control.h \
- /root/repo/src/tcp/rto.h /root/repo/src/testbed/traffic.h \
- /root/repo/src/testbed/labeler.h
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/tcp/node_pool.h \
+ /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
+ /root/repo/src/tcp/tcp_types.h /root/repo/src/tcp/tcp_source.h \
+ /root/repo/src/tcp/congestion_control.h /root/repo/src/tcp/rto.h \
+ /root/repo/src/testbed/traffic.h /root/repo/src/testbed/labeler.h

@@ -59,6 +59,7 @@ tests/CMakeFiles/analysis_flow_trace_test.dir/analysis_flow_trace_test.cc.o: \
  /usr/include/c++/12/bits/range_access.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/analysis/trace_record.h /root/repo/src/sim/packet.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/functional /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
@@ -105,8 +106,7 @@ tests/CMakeFiles/analysis_flow_trace_test.dir/analysis_flow_trace_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/time.h \
+ /usr/include/c++/12/bits/std_abs.h /root/repo/src/sim/time.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/limits /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -287,11 +287,11 @@ tests/CMakeFiles/analysis_flow_trace_test.dir/analysis_flow_trace_test.cc.o: \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
  /root/miniconda/include/gtest/internal/gtest-param-util.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/miniconda/include/gtest/gtest-test-part.h \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \

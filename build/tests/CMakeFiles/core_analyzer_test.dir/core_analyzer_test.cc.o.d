@@ -130,6 +130,7 @@ tests/CMakeFiles/core_analyzer_test.dir/core_analyzer_test.cc.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/analysis/flow_trace.h \
  /root/repo/src/analysis/trace_record.h /root/repo/src/sim/packet.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/functional /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
@@ -144,8 +145,7 @@ tests/CMakeFiles/core_analyzer_test.dir/core_analyzer_test.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/time.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sim/time.h \
  /root/repo/src/core/classifier.h /root/repo/src/features/extractor.h \
  /root/repo/src/analysis/rtt_estimator.h \
  /root/repo/src/analysis/slow_start.h /root/repo/src/features/metrics.h \
@@ -293,11 +293,11 @@ tests/CMakeFiles/core_analyzer_test.dir/core_analyzer_test.cc.o: \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
  /root/miniconda/include/gtest/internal/gtest-param-util.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/miniconda/include/gtest/gtest-test-part.h \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
@@ -313,10 +313,8 @@ tests/CMakeFiles/core_analyzer_test.dir/core_analyzer_test.cc.o: \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/sim/trace.h \
  /root/repo/tests/test_helpers.h /root/repo/src/analysis/trace_recorder.h \
  /root/repo/src/sim/network.h /root/repo/src/sim/link.h \
- /root/repo/src/sim/queue.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/random.h /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/sim/queue.h /root/repo/src/sim/random.h \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -344,7 +342,7 @@ tests/CMakeFiles/core_analyzer_test.dir/core_analyzer_test.cc.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/node.h /root/repo/src/tcp/tcp_sink.h \
+ /usr/include/c++/12/cstring /root/repo/src/sim/node.h \
+ /root/repo/src/tcp/tcp_sink.h /root/repo/src/tcp/node_pool.h \
  /root/repo/src/tcp/tcp_types.h /root/repo/src/tcp/tcp_source.h \
  /root/repo/src/tcp/congestion_control.h /root/repo/src/tcp/rto.h

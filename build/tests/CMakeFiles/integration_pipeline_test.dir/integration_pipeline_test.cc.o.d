@@ -313,9 +313,8 @@ tests/CMakeFiles/integration_pipeline_test.dir/integration_pipeline_test.cc.o: \
  /root/repo/src/testbed/experiment.h \
  /root/repo/src/analysis/trace_recorder.h /root/repo/src/sim/network.h \
  /root/repo/src/sim/link.h /root/repo/src/sim/queue.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/random.h \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/sim/random.h /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -343,8 +342,8 @@ tests/CMakeFiles/integration_pipeline_test.dir/integration_pipeline_test.cc.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/node.h /root/repo/src/tcp/tcp_sink.h \
+ /usr/include/c++/12/cstring /root/repo/src/sim/node.h \
+ /root/repo/src/tcp/tcp_sink.h /root/repo/src/tcp/node_pool.h \
  /root/repo/src/tcp/tcp_types.h /root/repo/src/tcp/tcp_source.h \
  /root/repo/src/tcp/congestion_control.h /root/repo/src/tcp/rto.h \
  /root/repo/src/testbed/config.h /root/repo/src/testbed/traffic.h

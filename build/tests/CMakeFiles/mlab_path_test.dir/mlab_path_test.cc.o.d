@@ -201,6 +201,7 @@ tests/CMakeFiles/mlab_path_test.dir/mlab_path_test.cc.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/features/extractor.h \
  /root/repo/src/analysis/flow_trace.h \
  /root/repo/src/analysis/trace_record.h /root/repo/src/sim/packet.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -210,16 +211,14 @@ tests/CMakeFiles/mlab_path_test.dir/mlab_path_test.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/time.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sim/time.h \
  /root/repo/src/analysis/rtt_estimator.h \
  /root/repo/src/analysis/slow_start.h /root/repo/src/features/metrics.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/span \
  /root/repo/src/mlab/tslp.h /root/repo/src/sim/node.h \
  /root/repo/src/sim/link.h /root/repo/src/sim/queue.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/random.h \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/sim/random.h /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -248,18 +247,20 @@ tests/CMakeFiles/mlab_path_test.dir/mlab_path_test.cc.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/trace.h /root/repo/src/sim/echo.h \
  /root/repo/src/sim/network.h /root/repo/src/tcp/tcp_sink.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/tcp/tcp_types.h \
- /root/repo/src/tcp/tcp_source.h /root/repo/src/tcp/congestion_control.h \
- /root/repo/src/tcp/rto.h /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/tcp/node_pool.h \
+ /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
+ /root/repo/src/tcp/tcp_types.h /root/repo/src/tcp/tcp_source.h \
+ /root/repo/src/tcp/congestion_control.h /root/repo/src/tcp/rto.h \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
- /usr/include/c++/12/stdlib.h /usr/include/string.h \
- /usr/include/strings.h /usr/include/x86_64-linux-gnu/sys/stat.h \
+ /usr/include/c++/12/stdlib.h /usr/include/x86_64-linux-gnu/sys/stat.h \
  /usr/include/x86_64-linux-gnu/bits/stat.h \
  /usr/include/x86_64-linux-gnu/bits/struct_stat.h \
  /usr/include/x86_64-linux-gnu/bits/statx.h /usr/include/linux/stat.h \
@@ -327,9 +328,7 @@ tests/CMakeFiles/mlab_path_test.dir/mlab_path_test.cc.o: \
  /root/miniconda/include/gtest/gtest-printers.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
- /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
  /root/miniconda/include/gtest/internal/gtest-param-util.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/miniconda/include/gtest/gtest-test-part.h \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \

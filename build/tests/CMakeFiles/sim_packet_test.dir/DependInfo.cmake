@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_packet_test.cc" "tests/CMakeFiles/sim_packet_test.dir/sim_packet_test.cc.o" "gcc" "tests/CMakeFiles/sim_packet_test.dir/sim_packet_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccsig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/ccsig_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlab/CMakeFiles/ccsig_mlab.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/ccsig_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/ccsig_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ccsig_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/ccsig_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ccsig_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccsig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ccsig_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_packet_test.dir/sim_packet_test.cc.o"
+  "CMakeFiles/sim_packet_test.dir/sim_packet_test.cc.o.d"
+  "sim_packet_test"
+  "sim_packet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_packet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

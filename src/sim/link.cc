@@ -16,13 +16,13 @@ Link::Link(Simulator& sim, Config cfg, Rng rng)
       queue_(cfg_.buffer_bytes),
       tokens_bytes_(static_cast<double>(cfg_.burst_bytes)) {}
 
-void Link::send(Packet p) {
+void Link::send(const Packet& p) {
   ++arrived_packets_;
   if (cfg_.loss_rate > 0.0 && rng_.chance(cfg_.loss_rate)) {
     ++random_losses_;
     return;
   }
-  if (!queue_.push(std::move(p))) return;  // drop-tail
+  if (!queue_.push(p)) return;  // drop-tail
   pump();
 }
 
@@ -82,9 +82,20 @@ void Link::deliver(Packet p) {
 
   ++delivered_packets_;
   delivered_bytes_ += p.wire_bytes();
-  sim_.schedule_at(due, [this, pkt = std::move(p)]() mutable {
-    if (receiver_) receiver_(pkt);
-  });
+  // Deliveries are FIFO (due times are clamped monotone above, and the
+  // event queue breaks time ties in schedule order), so the packet waits in
+  // the link's pooled in-flight ring rather than riding inside the closure.
+  // The event then captures only `this` — a pointer-sized inline event —
+  // and per-packet delivery never allocates.
+  in_flight_.push(p);
+  sim_.schedule_at(due, [this] { deliver_due(); });
+}
+
+void Link::deliver_due() {
+  // Copy out before invoking the receiver: the callback can re-enter this
+  // link (a routing loop) and grow the ring under a live reference.
+  const Packet p = in_flight_.pop();
+  if (receiver_) receiver_(p);
 }
 
 Duration Link::queueing_delay_estimate() const {

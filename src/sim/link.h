@@ -45,7 +45,7 @@ class Link {
   void set_receiver(PacketHandler receiver) { receiver_ = std::move(receiver); }
 
   /// Entry point: a packet arrives at the head of the link.
-  void send(Packet p);
+  void send(const Packet& p);
 
   /// Instantaneous queue occupancy in bytes (for tests/instrumentation).
   std::size_t queue_bytes() const { return queue_.occupancy_bytes(); }
@@ -62,12 +62,17 @@ class Link {
   // head-of-line packet can eventually depart.
   void refill_tokens(std::size_t cap_floor);
   Duration time_until_tokens(std::size_t bytes) const;
-  void deliver(Packet p);      // applies propagation delay + jitter, FIFO
+  // Applies propagation delay + jitter, FIFO. Takes the packet by value:
+  // the argument is the queue's popped slot and Packet copies are memcpys.
+  void deliver(Packet p);
+  // Fires when the oldest in-flight packet reaches the far end.
+  void deliver_due();
 
   Simulator& sim_;
   Config cfg_;
   Rng rng_;
   DropTailQueue queue_;
+  PacketRing in_flight_;  // packets between departure and delivery
   PacketHandler receiver_;
 
   double tokens_bytes_ = 0;    // current token-bucket fill

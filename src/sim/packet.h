@@ -1,11 +1,17 @@
 // The packet model shared by the simulator, the TCP stack, and the capture
 // substrate. Payload bytes are counted, not materialized.
+//
+// `Packet` is deliberately trivially copyable: packets are copied into link
+// queues, scheduled-event captures, and trace records on every hop, so the
+// whole hot path stays memcpy-cheap and allocation-free. SACK blocks live in
+// a fixed-capacity inline array (RFC 2018 caps a SACK option at 3 blocks
+// alongside timestamps) instead of a heap-backed vector.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <utility>
-#include <vector>
+#include <type_traits>
 
 #include "sim/time.h"
 
@@ -55,6 +61,59 @@ struct TcpFlags {
 
 inline constexpr std::size_t kTcpIpHeaderBytes = 40;  // IPv4 (20) + TCP (20)
 
+/// One SACK option block [start, end) in stream offsets.
+struct SackBlock {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+
+  friend bool operator==(const SackBlock&, const SackBlock&) = default;
+};
+
+/// RFC 2018: the 40-byte TCP option budget fits at most 3 SACK blocks when
+/// the timestamp option is in use, which is how every real stack runs.
+inline constexpr std::size_t kMaxSackBlocks = 3;
+
+/// Fixed-capacity inline array of SACK blocks, newest first. Replaces a
+/// heap-backed vector so `Packet` stays trivially copyable.
+class SackBlocks {
+ public:
+  using value_type = SackBlock;
+  using const_iterator = const SackBlock*;
+
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == kMaxSackBlocks; }
+  std::size_t size() const { return size_; }
+  static constexpr std::size_t capacity() { return kMaxSackBlocks; }
+
+  void clear() { size_ = 0; }
+
+  /// Appends a block. Precondition: !full() — callers gate on full().
+  void push_back(std::uint64_t start, std::uint64_t end) {
+    assert(!full());
+    blocks_[size_++] = SackBlock{start, end};
+  }
+
+  const SackBlock& operator[](std::size_t i) const {
+    assert(i < size_);
+    return blocks_[i];
+  }
+
+  const_iterator begin() const { return blocks_; }
+  const_iterator end() const { return blocks_ + size_; }
+
+  friend bool operator==(const SackBlocks& a, const SackBlocks& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a.blocks_[i] == b.blocks_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  SackBlock blocks_[kMaxSackBlocks];
+  std::uint8_t size_ = 0;
+};
+
 /// A simulated TCP/IP packet. Sequence/ack numbers are absolute 64-bit byte
 /// offsets from the start of the stream; the pcap codec wraps them to 32 bits
 /// on the wire and the reader unwraps them again.
@@ -66,7 +125,7 @@ struct Packet {
   std::uint32_t window = 0;       // advertised receive window (0 = unset)
   /// SACK option blocks [start, end) in stream offsets; at most 3, newest
   /// first (RFC 2018). Empty on data packets and plain cumulative ACKs.
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> sack_blocks;
+  SackBlocks sack_blocks;
   TcpFlags flags;
   Time sent_at = 0;               // stamped by the sending endpoint
   std::uint64_t id = 0;           // unique per transmission (retx gets new id)
@@ -74,6 +133,10 @@ struct Packet {
   /// Bytes occupying link capacity and buffers (headers + payload).
   std::size_t wire_bytes() const { return kTcpIpHeaderBytes + payload_bytes; }
 };
+
+// The hot path copies packets by value everywhere (queues, event captures,
+// handlers); this is only cheap because the copy is a memcpy.
+static_assert(std::is_trivially_copyable_v<Packet>);
 
 /// Anything that can absorb a delivered packet.
 using PacketHandler = std::function<void(const Packet&)>;

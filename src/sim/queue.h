@@ -2,11 +2,55 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "sim/packet.h"
 
 namespace ccsig::sim {
+
+/// Unbounded FIFO of recycled `Packet` slots. Storage is a power-of-two
+/// ring that grows geometrically to the high-water mark and is never
+/// shrunk, so steady-state push/pop performs no allocation — packets are
+/// memcpy'd into and out of pooled slots.
+class PacketRing {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  const Packet& front() const { return slots_[head_]; }
+
+  void push(const Packet& p) {
+    if (count_ == slots_.size()) grow();
+    slots_[(head_ + count_) & (slots_.size() - 1)] = p;
+    ++count_;
+  }
+
+  Packet pop() {
+    Packet p = slots_[head_];
+    head_ = (head_ + 1) & (slots_.size() - 1);
+    --count_;
+    return p;
+  }
+
+  /// Current slot-pool size (tests assert it stops growing in steady state).
+  std::size_t slot_capacity() const { return slots_.size(); }
+
+ private:
+  void grow() {
+    // Double the ring and linearize the live span to the front. Power-of-two
+    // sizes keep the index math a mask.
+    std::vector<Packet> next(slots_.empty() ? 16 : slots_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = slots_[(head_ + i) & (slots_.size() - 1)];
+    }
+    slots_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<Packet> slots_;  // power-of-two ring, grows to high-water mark
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
 
 /// Byte-limited drop-tail queue. Capacity is expressed in bytes because the
 /// paper sizes buffers in milliseconds at the link rate and we convert.
@@ -17,7 +61,7 @@ class DropTailQueue {
 
   /// Attempts to enqueue. Returns false (and counts a drop) when the packet
   /// does not fit.
-  bool push(Packet p) {
+  bool push(const Packet& p) {
     if (occupancy_bytes_ + p.wire_bytes() > capacity_bytes_) {
       ++drops_;
       dropped_bytes_ += p.wire_bytes();
@@ -27,18 +71,17 @@ class DropTailQueue {
     if (occupancy_bytes_ > max_occupancy_bytes_) {
       max_occupancy_bytes_ = occupancy_bytes_;
     }
-    items_.push_back(std::move(p));
+    ring_.push(p);
     return true;
   }
 
-  bool empty() const { return items_.empty(); }
-  std::size_t size() const { return items_.size(); }
+  bool empty() const { return ring_.empty(); }
+  std::size_t size() const { return ring_.size(); }
 
-  const Packet& front() const { return items_.front(); }
+  const Packet& front() const { return ring_.front(); }
 
   Packet pop() {
-    Packet p = std::move(items_.front());
-    items_.pop_front();
+    Packet p = ring_.pop();
     occupancy_bytes_ -= p.wire_bytes();
     return p;
   }
@@ -49,13 +92,16 @@ class DropTailQueue {
   std::uint64_t drops() const { return drops_; }
   std::uint64_t dropped_bytes() const { return dropped_bytes_; }
 
+  /// Current slot-pool size (tests assert it stops growing in steady state).
+  std::size_t slot_capacity() const { return ring_.slot_capacity(); }
+
  private:
   std::size_t capacity_bytes_;
   std::size_t occupancy_bytes_ = 0;
   std::size_t max_occupancy_bytes_ = 0;
   std::uint64_t drops_ = 0;
   std::uint64_t dropped_bytes_ = 0;
-  std::deque<Packet> items_;
+  PacketRing ring_;
 };
 
 }  // namespace ccsig::sim

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -50,9 +51,43 @@ class Simulator {
   bool idle() const { return queue_.empty(); }
   std::uint64_t events_executed_hint() const { return queue_.scheduled_count(); }
 
+  /// A lease on a liveness slot. A timer closure that captures a raw pointer
+  /// to a component that can be torn down mid-simulation (a TCP endpoint of
+  /// a finished fetch) also captures the lease and asks `alive()` before
+  /// touching the pointer. The generation table is owned by the simulator,
+  /// so the check never reads freed memory — unlike a generation counter
+  /// stored inside the possibly-destroyed object itself.
+  struct LifetimeLease {
+    std::uint32_t slot = 0;
+    std::uint64_t gen = 0;
+  };
+
+  LifetimeLease lease_lifetime() {
+    std::uint32_t slot;
+    if (!free_lifetime_slots_.empty()) {
+      slot = free_lifetime_slots_.back();
+      free_lifetime_slots_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(lifetime_gens_.size());
+      lifetime_gens_.push_back(0);
+    }
+    return LifetimeLease{slot, lifetime_gens_[slot]};
+  }
+
+  /// Invalidates every closure holding `l`; the slot is recycled, so churn
+  /// of short-lived components does not grow the table.
+  void release_lifetime(LifetimeLease l) {
+    ++lifetime_gens_[l.slot];
+    free_lifetime_slots_.push_back(l.slot);
+  }
+
+  bool alive(LifetimeLease l) const { return lifetime_gens_[l.slot] == l.gen; }
+
  private:
   Time now_ = 0;
   EventQueue queue_;
+  std::vector<std::uint64_t> lifetime_gens_;
+  std::vector<std::uint32_t> free_lifetime_slots_;
 };
 
 }  // namespace ccsig::sim

@@ -1,0 +1,59 @@
+// Free-list of std::map node handles: insert/erase without heap traffic.
+//
+// The TCP sender's in-flight scoreboard and the receiver's out-of-order map
+// insert and erase one node per segment. Recycling the extracted node
+// handles through this pool makes that churn allocation-free once the pool
+// has grown to the connection's high-water mark (set during the slow-start
+// overshoot), which is what keeps the steady-state per-packet allocation
+// count at zero.
+#pragma once
+
+#include <iterator>
+#include <utility>
+#include <vector>
+
+namespace ccsig::tcp {
+
+template <typename Map>
+class MapNodePool {
+ public:
+  /// Emplaces (key, value), reusing a pooled node when one is available.
+  /// Same contract as Map::emplace: on a key collision the map is unchanged
+  /// (and the node returns to the pool).
+  std::pair<typename Map::iterator, bool> insert(
+      Map& map, const typename Map::key_type& key,
+      const typename Map::mapped_type& value) {
+    if (free_.empty()) {
+      auto res = map.emplace(key, value);
+      // A fresh node exists only when the map sets a new size record.
+      // Size the free list for every node ever created so banking them —
+      // which peaks when the map drains — never reallocates mid-run.
+      if (res.second && ++total_nodes_ > free_.capacity()) {
+        free_.reserve(total_nodes_ < 16 ? 16 : total_nodes_ * 2);
+      }
+      return res;
+    }
+    auto node = std::move(free_.back());
+    free_.pop_back();
+    node.key() = key;
+    node.mapped() = value;
+    auto res = map.insert(std::move(node));
+    if (!res.inserted) free_.push_back(std::move(res.node));
+    return {res.position, res.inserted};
+  }
+
+  /// Erases `it`, banking its node. Returns the following iterator.
+  typename Map::iterator erase(Map& map, typename Map::iterator it) {
+    auto next = std::next(it);
+    free_.push_back(map.extract(it));
+    return next;
+  }
+
+  std::size_t pooled() const { return free_.size(); }
+
+ private:
+  std::vector<typename Map::node_type> free_;
+  std::size_t total_nodes_ = 0;  // nodes ever created through this pool
+};
+
+}  // namespace ccsig::tcp

@@ -5,12 +5,18 @@
 namespace ccsig::tcp {
 
 TcpSink::TcpSink(sim::Simulator& sim, sim::Node* local, Config cfg)
-    : sim_(sim), local_(local), cfg_(std::move(cfg)) {
+    : sim_(sim), local_(local), cfg_(std::move(cfg)),
+      life_(sim.lease_lifetime()) {
   local_->register_endpoint(cfg_.data_key.dst_port,
                             [this](const sim::Packet& p) { on_packet(p); });
 }
 
-TcpSink::~TcpSink() { local_->unregister_endpoint(cfg_.data_key.dst_port); }
+TcpSink::~TcpSink() {
+  local_->unregister_endpoint(cfg_.data_key.dst_port);
+  // Invalidates the pending delayed-ACK closure: sinks of completed fetches
+  // are destroyed while the timer is still in flight.
+  sim_.release_lifetime(life_);
+}
 
 void TcpSink::on_packet(const sim::Packet& p) {
   if (p.flags.syn) {
@@ -56,7 +62,7 @@ void TcpSink::on_data(const sim::Packet& p) {
     // A hole precedes this segment: stash it and emit an immediate
     // duplicate ACK (RFC 5681 §3.2).
     ++stats_.out_of_order_segments;
-    auto [it, inserted] = ooo_.emplace(p.seq, seg_end);
+    auto [it, inserted] = ooo_pool_.insert(ooo_, p.seq, seg_end);
     if (!inserted && seg_end > it->second) it->second = seg_end;
     send_ack();
     return;
@@ -70,7 +76,7 @@ void TcpSink::on_data(const sim::Packet& p) {
       stats_.bytes_received += it->second - rcv_nxt_;
       rcv_nxt_ = it->second;
     }
-    it = ooo_.erase(it);
+    it = ooo_pool_.erase(ooo_, it);
   }
 
   if (!ooo_.empty()) {
@@ -103,9 +109,9 @@ void TcpSink::send_ack() {
     // Up to 3 SACK blocks, newest-touched range first (RFC 2018). The
     // newest range is the one containing the most recently arrived data;
     // report the highest ranges, which is where recent arrivals live.
-    for (auto it = ooo_.rbegin(); it != ooo_.rend() &&
-                                  ack.sack_blocks.size() < 3; ++it) {
-      ack.sack_blocks.emplace_back(it->first, it->second);
+    for (auto it = ooo_.rbegin();
+         it != ooo_.rend() && !ack.sack_blocks.full(); ++it) {
+      ack.sack_blocks.push_back(it->first, it->second);
     }
   }
   ack.window = static_cast<std::uint32_t>(
@@ -118,7 +124,11 @@ void TcpSink::schedule_delayed_ack() {
   if (delayed_ack_pending_) return;
   delayed_ack_pending_ = true;
   const std::uint64_t gen = ++delack_generation_;
-  sim_.schedule_in(cfg_.delayed_ack_timeout, [this, gen] {
+  // The lease check must come before reading any member: the sink may have
+  // been destroyed (and its memory recycled) by the time the timer fires.
+  sim::Simulator* const sim = &sim_;
+  sim_.schedule_in(cfg_.delayed_ack_timeout, [this, sim, life = life_, gen] {
+    if (!sim->alive(life)) return;
     if (delayed_ack_pending_ && gen == delack_generation_) send_ack();
   });
 }

@@ -11,6 +11,7 @@
 #include "sim/node.h"
 #include "sim/packet.h"
 #include "sim/simulator.h"
+#include "tcp/node_pool.h"
 #include "tcp/tcp_types.h"
 
 namespace ccsig::tcp {
@@ -61,9 +62,14 @@ class TcpSink {
   sim::Simulator& sim_;
   sim::Node* local_;
   Config cfg_;
+  // Guards the delayed-ACK closure against firing after destruction.
+  sim::Simulator::LifetimeLease life_;
+
+  using OooMap = std::map<std::uint64_t, std::uint64_t>;
 
   std::uint64_t rcv_nxt_ = 0;  // next expected wire sequence
-  std::map<std::uint64_t, std::uint64_t> ooo_;  // seq -> end (exclusive)
+  OooMap ooo_;                 // seq -> end (exclusive)
+  MapNodePool<OooMap> ooo_pool_;  // recycles out-of-order map nodes
   int unacked_segments_ = 0;
   int quickack_sent_ = 0;
   bool delayed_ack_pending_ = false;

@@ -10,12 +10,18 @@ TcpSource::TcpSource(sim::Simulator& sim, sim::Node* local, Config cfg)
       local_(local),
       cfg_(std::move(cfg)),
       cc_(congestion_control_by_name(cfg_.congestion_control)(cfg_.mss)),
-      rto_(cfg_.rto) {
+      rto_(cfg_.rto),
+      life_(sim.lease_lifetime()) {
   local_->register_endpoint(cfg_.key.src_port,
                             [this](const sim::Packet& p) { on_packet(p); });
 }
 
-TcpSource::~TcpSource() { local_->unregister_endpoint(cfg_.key.src_port); }
+TcpSource::~TcpSource() {
+  local_->unregister_endpoint(cfg_.key.src_port);
+  // Invalidates every pending timer closure that captured `this`: sources
+  // of completed fetches are destroyed while timers are still in flight.
+  sim_.release_lifetime(life_);
+}
 
 void TcpSource::start() {
   assert(state_ == State::kClosed);
@@ -59,9 +65,14 @@ void TcpSource::send_syn() {
   syn.payload_bytes = 0;
   syn.id = next_packet_id_++;
   local_->send(syn);
-  // SYN retransmission safety net.
+  // SYN retransmission safety net. The closure checks the simulator-owned
+  // lease before touching `this`: the source may be gone by the time it
+  // fires, and even reading `state_` off freed memory would let a recycled
+  // allocation retransmit some other flow's SYN.
   const std::uint64_t gen = ++rto_generation_;
-  sim_.schedule_in(rto_.rto(), [this, gen] {
+  sim::Simulator* const sim = &sim_;
+  sim_.schedule_in(rto_.rto(), [this, sim, life = life_, gen] {
+    if (!sim->alive(life)) return;
     if (state_ == State::kSynSent && gen == rto_generation_) {
       rto_.on_timeout();
       send_syn();
@@ -143,7 +154,9 @@ void TcpSource::try_send() {
         const auto dt = static_cast<sim::Duration>(
             static_cast<double>(cfg_.mss) * 8.0 / cfg_.app_rate_bps *
             static_cast<double>(sim::kSecond));
-        sim_.schedule_in(dt, [this] {
+        sim::Simulator* const sim = &sim_;
+        sim_.schedule_in(dt, [this, sim, life = life_] {
+          if (!sim->alive(life)) return;
           app_wakeup_scheduled_ = false;
           try_send();
         });
@@ -154,7 +167,9 @@ void TcpSource::try_send() {
       if (sim_.now() < next_pace_time_) {
         if (!pace_scheduled_) {
           pace_scheduled_ = true;
-          sim_.schedule_at(next_pace_time_, [this] {
+          sim::Simulator* const sim = &sim_;
+          sim_.schedule_at(next_pace_time_, [this, sim, life = life_] {
+            if (!sim->alive(life)) return;
             pace_scheduled_ = false;
             try_send();
           });
@@ -200,7 +215,7 @@ void TcpSource::emit_segment(std::uint64_t seq, std::uint32_t len,
       it->second.sent_at = sim_.now();
     }
   } else {
-    in_flight_.emplace(seq, Segment{len, sim_.now(), false});
+    segment_pool_.insert(in_flight_, seq, Segment{len, sim_.now(), false});
   }
   if (!rto_armed_) arm_rto();
 }
@@ -219,7 +234,11 @@ void TcpSource::retransmit_head() {
 void TcpSource::arm_rto() {
   rto_armed_ = true;
   const std::uint64_t gen = ++rto_generation_;
-  sim_.schedule_in(rto_.rto(), [this, gen] { on_rto_fired(gen); });
+  sim::Simulator* const sim = &sim_;
+  sim_.schedule_in(rto_.rto(), [this, sim, life = life_, gen] {
+    if (!sim->alive(life)) return;
+    on_rto_fired(gen);
+  });
 }
 
 void TcpSource::disarm_rto() {
@@ -240,8 +259,17 @@ void TcpSource::on_rto_fired(std::uint64_t generation) {
   recovery_inflation_ = 0;
   dup_acks_ = 0;
   // Allow every presumed-lost segment to be retransmitted again; SACK marks
-  // stay (the receiver still holds that data).
-  for (auto& [seq, seg] : in_flight_) seg.lost_rtx = false;
+  // stay (the receiver still holds that data). Clearing the marks
+  // invalidates the recovery cursor's skipped prefix and the loss sum;
+  // rebuild both (an RTO is rare enough for the full walk).
+  lost_unrtx_bytes_ = 0;
+  for (auto& [seq, seg] : in_flight_) {
+    seg.lost_rtx = false;
+    if (!seg.sacked && seq + seg.len <= highest_sacked_) {
+      lost_unrtx_bytes_ += seg.len;
+    }
+  }
+  rtx_cursor_ = 0;
   retransmit_head();
   arm_rto();
 }
@@ -290,31 +318,75 @@ void TcpSource::on_ack_packet(const sim::Packet& p) {
 
 void TcpSource::apply_sack(const sim::Packet& p) {
   for (const auto& [start, end] : p.sack_blocks) {
-    // Mark every in-flight segment fully inside the block.
-    for (auto it = in_flight_.lower_bound(start);
-         it != in_flight_.end() && it->first + it->second.len <= end; ++it) {
-      if (!it->second.sacked) {
-        it->second.sacked = true;
-        highest_sacked_ =
-            std::max(highest_sacked_, it->first + it->second.len);
+    // Mark every in-flight segment fully inside the block. A span cache
+    // entry overlapping the block's start proves everything below its
+    // resume position is already marked, so the scan starts there.
+    std::uint64_t scan_from = start;
+    SackSpan* hit = nullptr;
+    for (auto& span : sack_spans_) {
+      if (span.end != 0 && span.start <= start && start <= span.end) {
+        hit = &span;
+        break;
       }
     }
+    if (hit != nullptr) {
+      if (end <= hit->end) continue;  // block fully processed before
+      scan_from = std::max(scan_from, hit->end);
+    }
+    auto it = in_flight_.lower_bound(scan_from);
+    std::uint64_t block_high = 0;  // highest end newly marked in this block
+    while (it != in_flight_.end() && it->first + it->second.len <= end) {
+      if (!it->second.sacked) {
+        Segment& seg = it->second;
+        const std::uint64_t seg_end = it->first + seg.len;
+        seg.sacked = true;
+        sacked_bytes_ += seg.len;
+        // If the old boundary already counted it presumed-lost, move it
+        // from the loss sum to the sacked sum.
+        if (seg_end <= highest_sacked_ && !seg.lost_rtx) {
+          lost_unrtx_bytes_ -= seg.len;
+        }
+        block_high = seg_end;  // ends ascend within the block
+      }
+      ++it;
+    }
+    if (block_high > highest_sacked_) raise_highest_sacked(block_high);
+    // Resume position: the first segment not fully covered (it may be a
+    // straddler that a later, longer block covers entirely), or the block
+    // end when everything below it was covered.
+    const std::uint64_t processed_to =
+        it == in_flight_.end() ? end : std::min<std::uint64_t>(end, it->first);
+    if (hit != nullptr) {
+      hit->end = std::max(hit->end, processed_to);
+    } else {
+      sack_spans_[sack_span_victim_] = SackSpan{start, processed_to};
+      sack_span_victim_ = (sack_span_victim_ + 1) % kSackSpanCacheSize;
+    }
   }
+}
+
+void TcpSource::raise_highest_sacked(std::uint64_t new_end) {
+  // Segment boundaries never move except the scoreboard head (partial
+  // ACK), so the old boundary always aligns with a segment start and the
+  // range scan visits each segment once over the connection's lifetime.
+  for (auto it = in_flight_.lower_bound(highest_sacked_);
+       it != in_flight_.end() && it->first + it->second.len <= new_end;
+       ++it) {
+    if (!it->second.sacked && !it->second.lost_rtx) {
+      lost_unrtx_bytes_ += it->second.len;
+    }
+  }
+  highest_sacked_ = new_end;
 }
 
 std::uint64_t TcpSource::pipe_bytes() const {
   // RFC 6675 pipe: bytes believed in the network. SACKed bytes arrived;
   // unSACKed bytes below the highest SACK are presumed lost (unless their
-  // retransmission is in flight).
-  std::uint64_t pipe = 0;
-  for (const auto& [seq, seg] : in_flight_) {
-    if (seg.sacked) continue;
-    const bool presumed_lost =
-        seq + seg.len <= highest_sacked_ && !seg.lost_rtx;
-    if (presumed_lost) continue;
-    pipe += seg.len;
-  }
-  return pipe;
+  // retransmission is in flight). Both sums are maintained incrementally,
+  // so this is O(1) where a scoreboard scan per recovery ACK used to make
+  // loss episodes quadratic.
+  assert(sacked_bytes_ + lost_unrtx_bytes_ <= flight_bytes());
+  return flight_bytes() - sacked_bytes_ - lost_unrtx_bytes_;
 }
 
 void TcpSource::enter_recovery() {
@@ -338,12 +410,22 @@ void TcpSource::recovery_send() {
   const std::uint64_t wnd = effective_window();
   std::uint64_t pipe = pipe_bytes();
   while (pipe + cfg_.mss / 2 < wnd) {
-    // Find the first presumed-lost, not-yet-retransmitted segment.
+    // Find the first presumed-lost, not-yet-retransmitted segment. The
+    // cursor skips the permanently ineligible prefix (sacked or already
+    // retransmitted) so repeated calls don't re-walk the scoreboard.
     bool retransmitted_one = false;
-    for (auto& [seq, seg] : in_flight_) {
+    for (auto it = in_flight_.lower_bound(rtx_cursor_);
+         it != in_flight_.end(); ++it) {
+      const std::uint64_t seq = it->first;
+      Segment& seg = it->second;
       if (seq + seg.len > highest_sacked_) break;
-      if (seg.sacked || seg.lost_rtx) continue;
+      if (seg.sacked || seg.lost_rtx) {
+        rtx_cursor_ = seq + seg.len;
+        continue;
+      }
       seg.lost_rtx = true;
+      lost_unrtx_bytes_ -= seg.len;  // its retransmission re-enters the pipe
+      rtx_cursor_ = seq + seg.len;
       emit_segment(seq, seg.len, /*retransmission=*/true);
       pipe += seg.len;
       retransmitted_one = true;
@@ -370,17 +452,30 @@ void TcpSource::handle_new_ack(std::uint64_t ack) {
   sim::Duration rtt_sample = -1;
   for (auto it = in_flight_.begin();
        it != in_flight_.end() && it->first + it->second.len <= ack;) {
-    if (!it->second.retransmitted) rtt_sample = sim_.now() - it->second.sent_at;
-    it = in_flight_.erase(it);
+    const Segment& seg = it->second;
+    if (!seg.retransmitted) rtt_sample = sim_.now() - seg.sent_at;
+    if (seg.sacked) {
+      sacked_bytes_ -= seg.len;
+    } else if (it->first + seg.len <= highest_sacked_ && !seg.lost_rtx) {
+      lost_unrtx_bytes_ -= seg.len;
+    }
+    it = segment_pool_.erase(in_flight_, it);
   }
   // A partial ACK inside a segment: split bookkeeping (rare; only after MSS
-  // changes). Treat remainder as a fresh segment boundary.
+  // changes). Treat remainder as a fresh segment boundary, reusing the
+  // extracted node.
   if (!in_flight_.empty() && in_flight_.begin()->first < ack) {
     auto node = in_flight_.extract(in_flight_.begin());
-    Segment seg = node.mapped();
-    const std::uint64_t old_seq = node.key();
-    seg.len -= static_cast<std::uint32_t>(ack - old_seq);
-    in_flight_.emplace(ack, seg);
+    const std::uint32_t trim = static_cast<std::uint32_t>(ack - node.key());
+    // The head is never SACKed here (cumulative ACKs cannot land inside a
+    // received run), so only the loss sum can be holding its bytes.
+    if (node.key() + node.mapped().len <= highest_sacked_ &&
+        !node.mapped().lost_rtx) {
+      lost_unrtx_bytes_ -= trim;
+    }
+    node.mapped().len -= trim;
+    node.key() = ack;
+    in_flight_.insert(std::move(node));
   }
   snd_una_ = ack;
 

@@ -72,6 +72,31 @@ TEST(SweepDeterminism, ParallelMatchesSerialByteForByte) {
   EXPECT_EQ(bytes1, bytes2);  // `jobs` must not enter the fingerprint either
 }
 
+// Golden bytes for tiny_sweep(1). Pinned so that any drift — in the event
+// queue's tie-break, SACK recovery decisions, or the RNG consumption
+// order — fails loudly rather than silently changing data. Captured after
+// the stale-timer fix (Simulator lifetime leases): the pre-refactor tree's
+// results depended on pending TCP timer closures reading the freed memory
+// of destroyed endpoints, so its bytes were a property of heap layout, not
+// of the simulation, and are deliberately not the reference.
+constexpr const char* kTinySweepGoldenCsv =
+    R"(# options: sweep-v1 rates=20 latencies=20 losses=0.00020000000000000001 buffers=100 reps=2 scale=1 duration=2 warmup=1.5 tgcong_flows=100 cc=reno seed=9
+norm_diff,cov,rtt_slope,rtt_iqr,slow_start_tput_bps,flow_tput_bps,access_capacity_bps,scenario,access_rate_mbps,access_latency_ms,access_loss,access_buffer_ms
+0.83770651442559596,0.48578138798303083,1.6710564892729334,0.95403194975911731,19379479.833865482,19794160,20000000,1,20,20,0.00020000000000000001,100
+0.84780894493300596,0.48797324218814969,1.6779440958206155,0.95963154884282487,19529757.867418427,19368448,20000000,1,20,20,0.00020000000000000001,100
+0.26702962027158267,0.080860510605426372,0.26606665617578218,0.11027137935512016,4929513.0945544131,4246984,20000000,0,20,20,0.00020000000000000001,100
+)";
+
+TEST(SweepDeterminism, MatchesPreRefactorGoldenBytes) {
+  const auto samples = run_sweep(tiny_sweep(1));
+  const std::string path = temp_path("ccsig_det_sweep_golden.csv");
+  testbed::save_samples_csv(path, samples,
+                            testbed::sweep_fingerprint(tiny_sweep(1)));
+  const std::string bytes = slurp(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(bytes, kTinySweepGoldenCsv);
+}
+
 TEST(SweepDeterminism, ProgressReportsEveryRunUnderConcurrency) {
   auto opt = tiny_sweep(3);
   opt.reps = 1;

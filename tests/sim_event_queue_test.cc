@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
+
+#include "sim/simulator.h"
 
 namespace ccsig::sim {
 namespace {
@@ -50,6 +53,104 @@ TEST(EventQueue, ScheduledCountMonotone) {
   EXPECT_EQ(q.scheduled_count(), 2u);
   q.pop()();
   EXPECT_EQ(q.scheduled_count(), 2u);  // popping does not decrement
+}
+
+TEST(EventQueue, SmallCapturesStayInline) {
+  EventQueue q;
+  int fired = 0;
+  long a = 1, b = 2, c = 3;  // [this]-plus-scalars shape: well under budget
+  q.schedule(1, [&fired, a, b, c] { fired += static_cast<int>(a + b + c); });
+  EXPECT_EQ(q.heap_fallback_count(), 0u);
+  q.pop()();
+  EXPECT_EQ(fired, 6);
+}
+
+TEST(EventQueue, OversizedCapturesFallBackToHeapAndStillFire) {
+  EventQueue q;
+  std::vector<int> fired;
+  struct Big {
+    long payload[12];  // 96 bytes > kInlineBytes
+  };
+  for (int i = 0; i < 4; ++i) {
+    // Alternate oversized (heap) and small (inline) captures at one time:
+    // the FIFO tie-break must hold across storage classes.
+    if (i % 2 == 0) {
+      Big big{};
+      big.payload[0] = i;
+      q.schedule(7, [&fired, big] {
+        fired.push_back(static_cast<int>(big.payload[0]));
+      });
+    } else {
+      q.schedule(7, [&fired, i] { fired.push_back(i); });
+    }
+  }
+  EXPECT_EQ(q.heap_fallback_count(), 2u);
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, NonTriviallyCopyableCapturesFallBackAndDoNotLeak) {
+  // shared_ptr captures are not trivially copyable, so they must take the
+  // heap path; the use_count checks that the closure (and its copy of the
+  // pointer) is destroyed both when fired and when the queue is abandoned.
+  auto token = std::make_shared<int>(99);
+  {
+    EventQueue q;
+    int observed = 0;
+    q.schedule(1, [&observed, token] { observed = *token; });
+    q.schedule(2, [token] { });  // never popped: destroyed with the queue
+    EXPECT_EQ(q.heap_fallback_count(), 2u);
+    EXPECT_EQ(token.use_count(), 3);
+    q.pop()();
+    EXPECT_EQ(observed, 99);
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueue, ArenaSlotsAreRecycled) {
+  EventQueue q;
+  // Interleave schedule/pop so the pending count never exceeds 2: the
+  // arena must plateau instead of growing with total events scheduled.
+  q.schedule(0, [] {});
+  for (Time t = 1; t <= 1000; ++t) {
+    q.schedule(t, [] {});
+    q.pop()();
+  }
+  q.pop()();
+  EXPECT_EQ(q.scheduled_count(), 1001u);
+  EXPECT_LE(q.arena_capacity(), 2u);
+}
+
+TEST(LifetimeLease, ReleasedLeaseKillsPendingClosureAndRecyclesSlot) {
+  Simulator sim;
+  auto lease = sim.lease_lifetime();
+  EXPECT_TRUE(sim.alive(lease));
+
+  int fired = 0;
+  sim.schedule_in(10, [&sim, &fired, lease] {
+    if (!sim.alive(lease)) return;
+    ++fired;
+  });
+  sim.schedule_in(20, [&sim, &fired, lease] {
+    if (!sim.alive(lease)) return;
+    ++fired;
+  });
+  sim.run_until(15);
+  EXPECT_EQ(fired, 1);  // first timer ran while the lease was live
+
+  sim.release_lifetime(lease);
+  EXPECT_FALSE(sim.alive(lease));
+  sim.run();
+  EXPECT_EQ(fired, 1);  // second timer was invalidated
+
+  // The slot is recycled with a bumped generation: the new lease is alive,
+  // the stale one stays dead.
+  auto next = sim.lease_lifetime();
+  EXPECT_EQ(next.slot, lease.slot);
+  EXPECT_NE(next.gen, lease.gen);
+  EXPECT_TRUE(sim.alive(next));
+  EXPECT_FALSE(sim.alive(lease));
 }
 
 TEST(EventQueue, ManyEventsStressOrdering) {

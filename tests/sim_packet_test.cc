@@ -1,0 +1,147 @@
+// Coverage for the inline (fixed-capacity) SACK storage that keeps Packet
+// trivially copyable: capacity boundary, ordering, wire-format neutrality,
+// and the sink's newest-first block generation end to end.
+#include "sim/packet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <type_traits>
+#include <vector>
+
+#include "pcap/headers.h"
+#include "sim/network.h"
+#include "tcp/tcp_sink.h"
+#include "tcp/tcp_source.h"
+
+namespace ccsig {
+namespace {
+
+// The hot path copies packets through queues, rings, and event captures by
+// memcpy; these are the properties that make that legal.
+static_assert(std::is_trivially_copyable_v<sim::Packet>);
+static_assert(std::is_trivially_copyable_v<sim::SackBlocks>);
+static_assert(std::is_trivially_copyable_v<sim::SackBlock>);
+
+TEST(SackBlocks, BoundaryAtExactlyThreeBlocks) {
+  sim::SackBlocks blocks;
+  EXPECT_TRUE(blocks.empty());
+  EXPECT_EQ(sim::SackBlocks::capacity(), sim::kMaxSackBlocks);
+  for (std::uint64_t i = 0; i < sim::kMaxSackBlocks; ++i) {
+    EXPECT_FALSE(blocks.full());
+    blocks.push_back(i * 100, i * 100 + 50);
+  }
+  EXPECT_TRUE(blocks.full());
+  EXPECT_EQ(blocks.size(), 3u);
+}
+
+TEST(SackBlocks, PreservesInsertionOrder) {
+  // The sink pushes newest ranges first; storage must not reorder them.
+  sim::SackBlocks blocks;
+  blocks.push_back(3000, 4000);
+  blocks.push_back(1000, 2000);
+  blocks.push_back(500, 600);
+  EXPECT_EQ(blocks[0], (sim::SackBlock{3000, 4000}));
+  EXPECT_EQ(blocks[1], (sim::SackBlock{1000, 2000}));
+  EXPECT_EQ(blocks[2], (sim::SackBlock{500, 600}));
+  std::vector<sim::SackBlock> seen(blocks.begin(), blocks.end());
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen.front().start, 3000u);
+}
+
+TEST(SackBlocks, ClearAndEquality) {
+  sim::SackBlocks a;
+  sim::SackBlocks b;
+  EXPECT_EQ(a, b);
+  a.push_back(10, 20);
+  EXPECT_FALSE(a == b);
+  b.push_back(10, 20);
+  EXPECT_EQ(a, b);
+  a.clear();
+  EXPECT_TRUE(a.empty());
+  EXPECT_FALSE(a == b);
+}
+
+// SACK blocks ride inside the simulated packet, not the wire format (the
+// codec emits plain TCP/IP headers); attaching blocks must leave the
+// encoded frame and its decode byte-identical to a block-free packet —
+// exactly as with the old vector representation.
+TEST(SackBlocks, PcapFrameUnaffectedByBlocks) {
+  sim::Packet plain;
+  plain.key = sim::FlowKey{1, 2, 4001, 4002};
+  plain.seq = 1;
+  plain.ack = 77777;
+  plain.flags.ack = true;
+  plain.window = 65535;
+
+  sim::Packet with_sack = plain;
+  with_sack.sack_blocks.push_back(90000, 91448);
+  with_sack.sack_blocks.push_back(80000, 81448);
+  with_sack.sack_blocks.push_back(70000, 71448);
+
+  const auto f1 = pcap::encode_frame(plain);
+  const auto f2 = pcap::encode_frame(with_sack);
+  EXPECT_EQ(f1, f2);
+
+  const auto d = pcap::decode_frame(f2);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->ack32, 77777u);
+}
+
+// End to end: holes punched into a transfer make the sink advertise its
+// out-of-order runs highest-first (where the newest arrivals live), capped
+// at 3 blocks even when more runs exist.
+TEST(SackBlocks, SinkAdvertisesNewestFirstAndCapsAtThree) {
+  sim::Network net(42);
+  sim::Node* server = net.add_node("server");
+  sim::Node* client = net.add_node("client");
+  sim::Link::Config lc;
+  lc.rate_bps = 10e6;
+  lc.prop_delay = 5 * sim::kMillisecond;
+  lc.buffer_bytes = 1 << 22;
+  auto duplex = net.connect(server, client, lc);
+
+  // Drop four separated segments once each, creating four ooo runs.
+  std::set<std::uint64_t> dropped;
+  duplex.ab->set_receiver([&](const sim::Packet& p) {
+    const bool target = p.payload_bytes > 0 &&
+                        (p.seq / 1448) % 7 == 2 && p.seq < 60000;
+    if (target && dropped.insert(p.seq).second) return;
+    client->receive(p);
+  });
+
+  // Record every SACK-bearing ACK heading back to the server.
+  std::vector<sim::SackBlocks> advertised;
+  duplex.ba->set_receiver([&](const sim::Packet& p) {
+    if (!p.sack_blocks.empty()) advertised.push_back(p.sack_blocks);
+    server->receive(p);
+  });
+
+  const sim::FlowKey key{server->address(), client->address(), 1, 2};
+  tcp::TcpSink::Config sk;
+  sk.data_key = key;
+  tcp::TcpSink sink(net.sim(), client, sk);
+  tcp::TcpSource::Config sc;
+  sc.key = key;
+  sc.bytes_to_send = 200'000;
+  tcp::TcpSource source(net.sim(), server, sc);
+  source.start();
+  net.sim().run_until(sim::from_seconds(30));
+
+  ASSERT_FALSE(advertised.empty());
+  std::size_t max_blocks = 0;
+  for (const auto& blocks : advertised) {
+    max_blocks = std::max(max_blocks, blocks.size());
+    ASSERT_LE(blocks.size(), sim::kMaxSackBlocks);
+    // Newest-first: strictly descending, non-overlapping ranges.
+    for (std::size_t i = 1; i < blocks.size(); ++i) {
+      EXPECT_LE(blocks[i].end, blocks[i - 1].start);
+    }
+    for (const auto& b : blocks) EXPECT_LT(b.start, b.end);
+  }
+  EXPECT_EQ(max_blocks, sim::kMaxSackBlocks);  // enough holes to fill it
+}
+
+}  // namespace
+}  // namespace ccsig

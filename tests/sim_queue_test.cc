@@ -56,6 +56,39 @@ TEST(DropTailQueue, ZeroCapacityDropsEverything) {
   EXPECT_EQ(q.drops(), 1u);
 }
 
+TEST(PacketRing, FifoAcrossWraparound) {
+  PacketRing ring;
+  // Advance head past the initial capacity so pushes wrap the ring, then
+  // check FIFO order survives the index masking.
+  std::uint32_t next_in = 0;
+  std::uint32_t next_out = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 11; ++i) ring.push(make_packet(next_in++));
+    for (int i = 0; i < 11; ++i) {
+      EXPECT_EQ(ring.pop().payload_bytes, next_out++);
+    }
+  }
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.slot_capacity(), 16u);  // never needed to grow
+}
+
+TEST(PacketRing, GrowthLinearizesLiveSpan) {
+  PacketRing ring;
+  // Offset the head so the live span straddles the ring boundary, then
+  // force growth and verify nothing is reordered or lost.
+  for (std::uint32_t i = 0; i < 12; ++i) ring.push(make_packet(i));
+  for (std::uint32_t i = 0; i < 12; ++i) EXPECT_EQ(ring.pop().payload_bytes, i);
+  for (std::uint32_t i = 0; i < 40; ++i) ring.push(make_packet(100 + i));
+  EXPECT_EQ(ring.size(), 40u);
+  EXPECT_EQ(ring.slot_capacity(), 64u);
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(ring.front().payload_bytes, 100 + i);
+    EXPECT_EQ(ring.pop().payload_bytes, 100 + i);
+  }
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.slot_capacity(), 64u);  // pool is sticky, never shrinks
+}
+
 // Property: under random push/pop traffic, occupancy never exceeds capacity
 // and equals the sum of queued packets' wire bytes.
 class QueueInvariants : public ::testing::TestWithParam<std::size_t> {};

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Micro-benchmark regression harness.
+
+Runs ``bench_micro_components`` (google-benchmark), folds the results into
+``BENCH_micro.json`` at the repo root, and — in ``--smoke`` mode — asserts
+the deterministic allocation counters that guard the simulator's
+allocation-free hot path. Timing numbers are machine-dependent and only
+recorded; allocation counts are exact and enforced.
+
+Usage:
+  tools/bench_micro.py --bench-bin build/bench/bench_micro_components
+  tools/bench_micro.py --bench-bin ... --smoke   # fast, counters only
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_FILE = REPO_ROOT / "BENCH_micro.json"
+
+# Benchmarks whose counters are deterministic (independent of machine
+# speed) and must hold for the allocation-free hot path to be intact.
+# Ratios slightly above zero amortize one-time arena/pool growth.
+COUNTER_BOUNDS = {
+    "BM_EventQueueScheduleAndPop/1000": {"allocs_per_event": 0.10},
+    "BM_EventQueueScheduleAndPop/100000": {"allocs_per_event": 0.01},
+    "BM_LinkShaping": {"allocs_per_packet": 0.05},
+    "BM_TcpBulkTransfer": {"allocs_per_seg": 0.50},
+    "BM_TcpSteadyStateAllocs": {"steady_allocs": 0.0},
+    "BM_PcapEncodeDecode": {"allocs_per_frame": 0.0},
+}
+
+# In --smoke mode only these run (the steady-state bench simulates a 30 s
+# 100 MB transfer; everything else is sub-second at min_time=0.05).
+SMOKE_FILTER = "|".join(
+    name.split("/")[0] for name in COUNTER_BOUNDS if "SteadyState" not in name
+)
+
+
+def run_bench(bench_bin, bench_filter, min_time):
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    cmd = [
+        bench_bin,
+        f"--benchmark_min_time={min_time}",
+        "--benchmark_format=json",
+        f"--benchmark_out={out_path}",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    with open(out_path) as f:
+        data = json.load(f)
+    pathlib.Path(out_path).unlink()
+    results = {}
+    for bench in data["benchmarks"]:
+        entry = {"real_time_ns": bench["real_time"]}
+        for key, value in bench.items():
+            if key.startswith(("allocs", "steady", "bytes_per")):
+                entry[key] = value
+        results[bench["name"]] = entry
+    return results
+
+
+def check_counters(results):
+    failures = []
+    for name, bounds in COUNTER_BOUNDS.items():
+        if name not in results:
+            continue  # filtered out in smoke mode
+        for counter, bound in bounds.items():
+            actual = results[name].get(counter)
+            if actual is None:
+                failures.append(f"{name}: counter {counter} missing")
+            elif actual > bound:
+                failures.append(
+                    f"{name}: {counter} = {actual:.6g} exceeds bound {bound}"
+                )
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench-bin",
+        default=str(REPO_ROOT / "build" / "bench" / "bench_micro_components"),
+        help="path to the bench_micro_components binary",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast run: allocation counters only, no timing record",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the 'current' section of BENCH_micro.json",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        results = run_bench(args.bench_bin, SMOKE_FILTER, min_time=0.05)
+    else:
+        results = run_bench(args.bench_bin, bench_filter=None, min_time=0.3)
+
+    failures = check_counters(results)
+    for line in failures:
+        print(f"FAIL {line}", file=sys.stderr)
+
+    checked = [n for n in COUNTER_BOUNDS if n in results]
+    print(f"checked {len(checked)} allocation-counter benchmarks: "
+          f"{'FAIL' if failures else 'OK'}")
+    for name in sorted(results):
+        extras = {
+            k: v for k, v in results[name].items() if k != "real_time_ns"
+        }
+        print(f"  {name}: {results[name]['real_time_ns']:.0f} ns {extras}")
+
+    if args.update and not args.smoke:
+        doc = {}
+        if RESULT_FILE.exists():
+            with open(RESULT_FILE) as f:
+                doc = json.load(f)
+        doc["current"] = results
+        with open(RESULT_FILE, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {RESULT_FILE}")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
