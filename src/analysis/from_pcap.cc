@@ -83,4 +83,12 @@ Trace trace_from_pcap(const std::string& path) {
   return trace_from_records(pcap::read_all(path));
 }
 
+TraceReadResult trace_from_pcap_checked(const std::string& path) {
+  pcap::PcapReadResult raw = pcap::read_all_checked(path);
+  TraceReadResult out;
+  out.trace = trace_from_records(raw.records);
+  out.error = std::move(raw.error);
+  return out;
+}
+
 }  // namespace ccsig::analysis

@@ -1,6 +1,7 @@
 // Bridges pcap files into the analysis representation.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,7 +15,18 @@ namespace ccsig::analysis {
 /// Non-TCP/IPv4 records are skipped.
 Trace trace_from_records(const std::vector<pcap::PcapRecord>& records);
 
-/// Convenience: read + decode a pcap file.
+/// Convenience: read + decode a pcap file. Throws runtime::ParseException
+/// (with file/offset/reason) on malformed input.
 Trace trace_from_pcap(const std::string& path);
+
+/// Non-throwing bridge for damaged captures: decodes the longest clean
+/// record prefix and reports the structured error that stopped reading.
+struct TraceReadResult {
+  Trace trace;
+  std::optional<runtime::ParseError> error;
+  bool ok() const { return !error.has_value(); }
+};
+
+TraceReadResult trace_from_pcap_checked(const std::string& path);
 
 }  // namespace ccsig::analysis

@@ -14,7 +14,9 @@ FlowReport FlowAnalyzer::analyze_flow(const analysis::FlowTrace& flow,
   report.duration = flow.duration();
   report.data_packets = flow.data.size();
   report.throughput_bps = analysis::flow_throughput_bps(flow).value_or(0.0);
-  report.features = features::extract_features(flow, opt);
+  features::ExtractResult extracted = features::extract_features_checked(flow, opt);
+  report.features = std::move(extracted.features);
+  report.insufficiency = extracted.insufficiency;
   if (report.features) {
     report.classification = classifier_.classify(*report.features);
     if (report.classification->verdict == Verdict::kSelfInducedCongestion) {
@@ -39,6 +41,15 @@ std::vector<FlowReport> FlowAnalyzer::analyze_pcap(
   return analyze(analysis::trace_from_pcap(path), opt);
 }
 
+PcapAnalysis FlowAnalyzer::analyze_pcap_checked(
+    const std::string& path, const features::ExtractOptions& opt) const {
+  analysis::TraceReadResult raw = analysis::trace_from_pcap_checked(path);
+  PcapAnalysis out;
+  out.reports = analyze(raw.trace, opt);
+  out.error = std::move(raw.error);
+  return out;
+}
+
 std::string FlowAnalyzer::render(const FlowReport& r) {
   std::ostringstream os;
   os.precision(3);
@@ -51,7 +62,8 @@ std::string FlowAnalyzer::render(const FlowReport& r) {
        << r.classification->confidence << ", norm_diff "
        << r.features->norm_diff << ", cov " << r.features->cov << ")";
   } else {
-    os << "  => unclassifiable (insufficient slow-start RTT samples)";
+    os << "  => " << to_string(Verdict::kInsufficientData) << " ("
+       << features::to_string(r.insufficiency) << ")";
   }
   return os.str();
 }

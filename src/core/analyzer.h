@@ -10,6 +10,7 @@
 #include "analysis/trace_record.h"
 #include "core/classifier.h"
 #include "features/extractor.h"
+#include "runtime/parse_error.h"
 
 namespace ccsig {
 
@@ -18,6 +19,8 @@ struct FlowReport {
   sim::FlowKey data_key;  // the payload-carrying direction
   std::optional<features::FlowFeatures> features;
   std::optional<Classification> classification;  // set when features valid
+  /// Why `features`/`classification` are absent (kNone when present).
+  features::Insufficiency insufficiency = features::Insufficiency::kNone;
   double throughput_bps = 0;
   sim::Duration duration = 0;
   std::size_t data_packets = 0;
@@ -26,6 +29,22 @@ struct FlowReport {
   /// "is indicative of the capacity of the bottleneck link during a
   /// self-induced congestion event"). 0 otherwise.
   double estimated_capacity_bps = 0;
+
+  /// Three-way verdict: a congestion label when the flow carried a valid
+  /// signature, Verdict::kInsufficientData otherwise — degenerate RTT
+  /// streams are never given a fabricated congestion label.
+  Verdict verdict() const {
+    return classification ? classification->verdict
+                          : Verdict::kInsufficientData;
+  }
+};
+
+/// analyze_pcap_checked: reports for the readable prefix of a (possibly
+/// damaged) capture, plus the structured error that stopped reading.
+struct PcapAnalysis {
+  std::vector<FlowReport> reports;
+  std::optional<runtime::ParseError> error;
+  bool ok() const { return !error.has_value(); }
 };
 
 class FlowAnalyzer {
@@ -43,9 +62,15 @@ class FlowAnalyzer {
   FlowReport analyze_flow(const analysis::FlowTrace& flow,
                           const features::ExtractOptions& opt = {}) const;
 
-  /// Reads a tcpdump-format capture and analyzes it.
+  /// Reads a tcpdump-format capture and analyzes it. Malformed input
+  /// raises runtime::ParseException (file, byte offset, reason).
   std::vector<FlowReport> analyze_pcap(const std::string& path,
                                        const features::ExtractOptions& opt = {}) const;
+
+  /// Non-throwing variant for damaged captures: analyzes the longest clean
+  /// record prefix and reports the error that stopped reading.
+  PcapAnalysis analyze_pcap_checked(const std::string& path,
+                                    const features::ExtractOptions& opt = {}) const;
 
   const CongestionClassifier& classifier() const { return classifier_; }
 

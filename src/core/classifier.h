@@ -17,6 +17,9 @@ enum class Verdict {
                             // disputed interconnect): not the user's plan
   kSelfInducedCongestion = 1,  // the flow filled an otherwise idle
                                // bottleneck (e.g. the last-mile link)
+  kInsufficientData = 2,  // the flow's RTT stream was too short or too
+                          // damaged to yield a trustworthy signature; a
+                          // congestion label would be fabricated
 };
 
 const char* to_string(Verdict v);

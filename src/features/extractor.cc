@@ -1,28 +1,71 @@
 #include "features/extractor.h"
 
+#include <cmath>
 #include <vector>
 
 namespace ccsig::features {
 
-std::optional<FlowFeatures> extract_features(const analysis::FlowTrace& flow,
-                                             const ExtractOptions& opt) {
-  if (flow.data.empty() || flow.acks.empty()) return std::nullopt;
+const char* to_string(Insufficiency i) {
+  switch (i) {
+    case Insufficiency::kNone: return "none";
+    case Insufficiency::kNoData: return "no data packets";
+    case Insufficiency::kNoRetransmission: return "no retransmission";
+    case Insufficiency::kTooFewRttSamples:
+      return "insufficient slow-start RTT samples";
+    case Insufficiency::kInvalidRtts: return "invalid RTT samples";
+    case Insufficiency::kNonMonotonicTimestamps:
+      return "non-monotonic sample timestamps";
+    case Insufficiency::kDegenerateStats:
+      return "degenerate RTT statistics";
+  }
+  return "?";
+}
+
+ExtractResult extract_features_checked(const analysis::FlowTrace& flow,
+                                       const ExtractOptions& opt) {
+  ExtractResult out;
+  if (flow.data.empty() || flow.acks.empty()) {
+    out.insufficiency = Insufficiency::kNoData;
+    return out;
+  }
 
   const analysis::SlowStartInfo ss = analysis::detect_slow_start(flow);
   if (opt.require_retransmission && !ss.ended_by_retransmission) {
-    return std::nullopt;
+    out.insufficiency = Insufficiency::kNoRetransmission;
+    return out;
   }
 
   const auto samples = analysis::extract_rtt_samples(flow, ss.end_time);
-  if (samples.size() < opt.min_rtt_samples) return std::nullopt;
+  if (samples.size() < opt.min_rtt_samples) {
+    out.insufficiency = Insufficiency::kTooFewRttSamples;
+    return out;
+  }
 
+  // A damaged or truncated capture can decode into garbage measurements;
+  // refuse to classify rather than feed the tree a fabricated signature.
   std::vector<double> rtts_ms;
   rtts_ms.reserve(samples.size());
-  for (const auto& s : samples) rtts_ms.push_back(sim::to_millis(s.rtt));
+  sim::Time prev_at = samples.front().at;
+  for (const auto& s : samples) {
+    const double ms = sim::to_millis(s.rtt);
+    if (!std::isfinite(ms) || ms <= 0.0) {
+      out.insufficiency = Insufficiency::kInvalidRtts;
+      return out;
+    }
+    if (s.at < prev_at) {
+      out.insufficiency = Insufficiency::kNonMonotonicTimestamps;
+      return out;
+    }
+    prev_at = s.at;
+    rtts_ms.push_back(ms);
+  }
 
   const auto nd = norm_diff(rtts_ms);
   const auto cv = coefficient_of_variation(rtts_ms);
-  if (!nd || !cv) return std::nullopt;
+  if (!nd || !cv || !std::isfinite(*nd) || !std::isfinite(*cv)) {
+    out.insufficiency = Insufficiency::kDegenerateStats;
+    return out;
+  }
 
   FlowFeatures f;
   f.norm_diff = *nd;
@@ -38,7 +81,13 @@ std::optional<FlowFeatures> extract_features(const analysis::FlowTrace& flow,
   f.flow_throughput_bps = analysis::flow_throughput_bps(flow).value_or(0.0);
   f.slow_start_ended_by_retransmission = ss.ended_by_retransmission;
   f.flow_duration = flow.duration();
-  return f;
+  out.features = f;
+  return out;
+}
+
+std::optional<FlowFeatures> extract_features(const analysis::FlowTrace& flow,
+                                             const ExtractOptions& opt) {
+  return extract_features_checked(flow, opt).features;
 }
 
 }  // namespace ccsig::features

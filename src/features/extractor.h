@@ -40,10 +40,37 @@ struct ExtractOptions {
   bool require_retransmission = false;
 };
 
+/// Why a flow yielded no features. Degenerate measurement streams (bogus
+/// RTTs, time going backwards) are distinguished from merely-short flows:
+/// the former indicate a damaged capture, the latter are routine filtering.
+enum class Insufficiency {
+  kNone = 0,               // features extracted
+  kNoData,                 // no data or no ack packets
+  kNoRetransmission,       // require_retransmission and none seen
+  kTooFewRttSamples,       // fewer than min_rtt_samples in slow start
+  kInvalidRtts,            // NaN, zero, or negative RTT samples
+  kNonMonotonicTimestamps, // sample timestamps go backwards
+  kDegenerateStats,        // summary statistics undefined (e.g. zero mean)
+};
+
+const char* to_string(Insufficiency i);
+
+struct ExtractResult {
+  std::optional<FlowFeatures> features;
+  Insufficiency insufficiency = Insufficiency::kNone;
+  bool ok() const { return features.has_value(); }
+};
+
 /// Extracts the paper's features from a flow, or nullopt when the flow
 /// fails the validity filters (too few slow-start RTT samples, no data,
 /// optionally no retransmission).
 std::optional<FlowFeatures> extract_features(const analysis::FlowTrace& flow,
                                              const ExtractOptions& opt = {});
+
+/// Like extract_features, but reports *why* extraction was refused, so
+/// callers can distinguish a short flow from a damaged capture and never
+/// emit a bogus congestion label for either.
+ExtractResult extract_features_checked(const analysis::FlowTrace& flow,
+                                       const ExtractOptions& opt = {});
 
 }  // namespace ccsig::features

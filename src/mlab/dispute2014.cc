@@ -6,7 +6,9 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "runtime/parallel_map.h"
+#include "runtime/atomic_file.h"
+#include "runtime/campaign.h"
+#include "runtime/csv.h"
 #include "sim/random.h"
 
 namespace ccsig::mlab {
@@ -85,6 +87,53 @@ NdtObservation run_planned_ndt(const PlannedNdt& p,
   return obs;
 }
 
+constexpr char kHeader[] =
+    "transit,site,isp,month,hour,plan_mbps,throughput_mbps,ss_tput_mbps,"
+    "norm_diff,cov,has_features,passes_filters,truth_external";
+constexpr char kFingerprintPrefix[] = "# options: ";
+
+void append_ints(std::ostream& out, const std::vector<int>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out << '|';
+    out << v[i];
+  }
+}
+
+/// The one formatter behind both the cache CSV and the shard checkpoint:
+/// byte-identical rows are what make kill/resume reproducible.
+std::string format_observation_row(const NdtObservation& o) {
+  std::ostringstream out;
+  out.precision(17);
+  out << o.transit << ',' << o.site << ',' << o.isp << ',' << o.month << ','
+      << o.hour << ',' << o.plan_mbps << ',' << o.throughput_mbps << ','
+      << o.ss_tput_mbps << ',' << o.norm_diff << ',' << o.cov << ','
+      << (o.has_features ? 1 : 0) << ',' << (o.passes_filters ? 1 : 0) << ','
+      << (o.truth_external ? 1 : 0);
+  return out.str();
+}
+
+NdtObservation parse_observation_row(const std::string& line,
+                                     const std::string& file,
+                                     std::uint64_t line_no) {
+  runtime::CsvRow row(line, file, line_no);
+  NdtObservation o;
+  o.transit = row.next_string();
+  o.site = row.next_string();
+  o.isp = row.next_string();
+  o.month = row.next_int();
+  o.hour = row.next_int();
+  o.plan_mbps = row.next_double();
+  o.throughput_mbps = row.next_double();
+  o.ss_tput_mbps = row.next_double();
+  o.norm_diff = row.next_double();
+  o.cov = row.next_double();
+  o.has_features = row.next_bool01();
+  o.passes_filters = row.next_bool01();
+  o.truth_external = row.next_bool01();
+  row.expect_end();
+  return o;
+}
+
 }  // namespace
 
 std::vector<NdtObservation> generate_dispute2014(
@@ -130,10 +179,36 @@ std::vector<NdtObservation> generate_dispute2014(
     }
   }
 
-  runtime::ProgressCounter progress(plan.size(), opt.progress);
-  return runtime::parallel_map(
-      plan, [&opt](const PlannedNdt& p) { return run_planned_ndt(p, opt); },
-      opt.jobs, &progress);
+  runtime::CheckpointedRunOptions ropt;
+  ropt.checkpoint_path = opt.checkpoint_path;
+  ropt.fingerprint = dispute_fingerprint(opt);
+  ropt.checkpoint_every = opt.checkpoint_every;
+  ropt.jobs = opt.jobs;
+  ropt.retry = opt.retry;
+  ropt.soft_deadline = opt.soft_deadline;
+  ropt.abandon_on_deadline = opt.abandon_on_deadline;
+  ropt.faults = opt.faults;
+  ropt.progress = opt.progress;
+  // By value: abandoned jobs may report errors after this frame is gone.
+  std::vector<std::uint64_t> seeds(plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) seeds[i] = plan[i].pc.seed;
+  ropt.seed_of = [seeds](std::size_t slot) { return seeds[slot]; };
+  ropt.errors_out = opt.errors_out;
+
+  const auto slots = runtime::run_checkpointed(
+      plan, [opt](const PlannedNdt& p) { return run_planned_ndt(p, opt); },
+      format_observation_row,
+      [&ropt](const std::string& line) {
+        return parse_observation_row(line, ropt.checkpoint_path, 0);
+      },
+      ropt);
+
+  std::vector<NdtObservation> out;
+  out.reserve(slots.size());
+  for (const auto& slot : slots) {
+    if (slot) out.push_back(*slot);
+  }
+  return out;
 }
 
 std::optional<int> dispute_coarse_label(const NdtObservation& obs) {
@@ -148,20 +223,6 @@ std::optional<int> dispute_coarse_label(const NdtObservation& obs) {
   }
   return std::nullopt;
 }
-
-namespace {
-constexpr char kHeader[] =
-    "transit,site,isp,month,hour,plan_mbps,throughput_mbps,ss_tput_mbps,"
-    "norm_diff,cov,has_features,passes_filters,truth_external";
-constexpr char kFingerprintPrefix[] = "# options: ";
-
-void append_ints(std::ostream& out, const std::vector<int>& v) {
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    if (i) out << '|';
-    out << v[i];
-  }
-}
-}  // namespace
 
 std::string dispute_fingerprint(const Dispute2014Options& opt) {
   std::ostringstream out;
@@ -182,63 +243,41 @@ std::string dispute_fingerprint(const Dispute2014Options& opt) {
 void save_observations_csv(const std::string& path,
                            const std::vector<NdtObservation>& obs,
                            const std::string& fingerprint) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot write campaign csv: " + path);
-  out.precision(17);
+  std::ostringstream out;
   if (!fingerprint.empty()) out << kFingerprintPrefix << fingerprint << "\n";
   out << kHeader << "\n";
-  for (const auto& o : obs) {
-    out << o.transit << ',' << o.site << ',' << o.isp << ',' << o.month << ','
-        << o.hour << ',' << o.plan_mbps << ',' << o.throughput_mbps << ','
-        << o.ss_tput_mbps << ',' << o.norm_diff << ',' << o.cov << ','
-        << (o.has_features ? 1 : 0) << ',' << (o.passes_filters ? 1 : 0)
-        << ',' << (o.truth_external ? 1 : 0) << "\n";
-  }
+  for (const auto& o : obs) out << format_observation_row(o) << "\n";
+  runtime::write_file_atomic(path, out.str());
 }
 
 std::vector<NdtObservation> load_observations_csv(
     const std::string& path, std::string* fingerprint_out) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot read campaign csv: " + path);
+  if (!in) {
+    runtime::throw_parse_error(path, 0, "line", "cannot read campaign csv");
+  }
   std::string line;
   std::string fingerprint;
+  std::uint64_t line_no = 1;
   if (!std::getline(in, line)) {
-    throw std::runtime_error("unrecognized campaign csv header in " + path);
+    runtime::throw_parse_error(path, line_no, "line",
+                               "empty file (expected csv header)");
   }
   if (line.rfind(kFingerprintPrefix, 0) == 0) {
     fingerprint = line.substr(sizeof(kFingerprintPrefix) - 1);
+    ++line_no;
     if (!std::getline(in, line)) line.clear();
   }
   if (line != kHeader) {
-    throw std::runtime_error("unrecognized campaign csv header in " + path);
+    runtime::throw_parse_error(path, line_no, "line",
+                               "unrecognized campaign csv header");
   }
   if (fingerprint_out) *fingerprint_out = fingerprint;
   std::vector<NdtObservation> out;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
-    std::istringstream row(line);
-    NdtObservation o;
-    std::string field;
-    auto next = [&]() -> std::string {
-      if (!std::getline(row, field, ',')) {
-        throw std::runtime_error("malformed campaign csv row: " + line);
-      }
-      return field;
-    };
-    o.transit = next();
-    o.site = next();
-    o.isp = next();
-    o.month = std::stoi(next());
-    o.hour = std::stoi(next());
-    o.plan_mbps = std::stod(next());
-    o.throughput_mbps = std::stod(next());
-    o.ss_tput_mbps = std::stod(next());
-    o.norm_diff = std::stod(next());
-    o.cov = std::stod(next());
-    o.has_features = next() == "1";
-    o.passes_filters = next() == "1";
-    o.truth_external = next() == "1";
-    out.push_back(std::move(o));
+    out.push_back(parse_observation_row(line, path, line_no));
   }
   return out;
 }
@@ -247,11 +286,19 @@ std::vector<NdtObservation> load_or_generate_dispute2014(
     const std::string& cache_path, const Dispute2014Options& opt) {
   const std::string want = dispute_fingerprint(opt);
   if (std::filesystem::exists(cache_path)) {
-    std::string have;
-    auto obs = load_observations_csv(cache_path, &have);
-    if (have.empty() || have == want) return obs;
+    try {
+      std::string have;
+      auto obs = load_observations_csv(cache_path, &have);
+      if (have.empty() || have == want) return obs;
+    } catch (const runtime::ParseException&) {
+      // Corrupt cache: regenerate below instead of failing the caller.
+    }
   }
-  auto obs = generate_dispute2014(opt);
+  Dispute2014Options resumable = opt;
+  if (resumable.checkpoint_path.empty()) {
+    resumable.checkpoint_path = cache_path + ".ckpt";
+  }
+  auto obs = generate_dispute2014(resumable);
   save_observations_csv(cache_path, obs, want);
   return obs;
 }

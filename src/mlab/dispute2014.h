@@ -8,6 +8,7 @@
 // prioritization). Cox peered directly and is never affected.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -15,6 +16,8 @@
 #include <vector>
 
 #include "mlab/path.h"
+#include "runtime/fault_injection.h"
+#include "runtime/job_result.h"
 
 namespace ccsig::mlab {
 
@@ -84,6 +87,19 @@ struct Dispute2014Options {
   int jobs = 0;
   /// Progress callback; invocations are serialized even when `jobs > 1`.
   std::function<void(std::size_t, std::size_t)> progress;
+
+  // --- Fault tolerance (see runtime/campaign.h) ---------------------------
+  /// Shard-checkpoint file for kill/resume; empty disables checkpointing.
+  /// load_or_generate_dispute2014 sets this to `<cache>.ckpt` automatically.
+  std::string checkpoint_path;
+  int checkpoint_every = 16;
+  runtime::RetryPolicy retry = runtime::RetryPolicy::attempts(2);
+  std::chrono::milliseconds soft_deadline{0};
+  bool abandon_on_deadline = false;
+  const runtime::FaultPlan* faults = nullptr;
+  /// Receives one JobError per observation that ultimately failed (the
+  /// observation is absent from the result). nullptr = discard errors.
+  std::vector<runtime::JobError>* errors_out = nullptr;
 };
 
 /// Runs the campaign (one independent path simulation per observation).
@@ -103,14 +119,19 @@ inline bool is_offpeak_hour(int hour) { return hour >= 1 && hour <= 8; }
 /// `jobs`/`progress`); embedded in cache CSVs to invalidate stale caches.
 std::string dispute_fingerprint(const Dispute2014Options& opt);
 
+/// Writes the observations atomically (temp file + rename).
 void save_observations_csv(const std::string& path,
                            const std::vector<NdtObservation>& obs,
                            const std::string& fingerprint = "");
+/// Malformed input raises runtime::ParseException (file, line, reason).
 std::vector<NdtObservation> load_observations_csv(
     const std::string& path, std::string* fingerprint_out = nullptr);
 
 /// Loads `cache_path` when present and not stale (legacy caches without a
-/// fingerprint are trusted); otherwise generates and rewrites the cache.
+/// fingerprint are trusted); otherwise generates — resuming from
+/// `<cache_path>.ckpt` when a matching checkpoint survives a previous
+/// kill — and atomically rewrites the cache. A corrupt cache is treated
+/// as stale, never fatal.
 std::vector<NdtObservation> load_or_generate_dispute2014(
     const std::string& cache_path, const Dispute2014Options& opt);
 

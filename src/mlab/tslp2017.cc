@@ -6,7 +6,9 @@
 #include <stdexcept>
 
 #include "mlab/dispute2014.h"  // diurnal_curve
-#include "runtime/parallel_map.h"
+#include "runtime/atomic_file.h"
+#include "runtime/campaign.h"
+#include "runtime/csv.h"
 #include "sim/random.h"
 
 namespace ccsig::mlab {
@@ -47,6 +49,45 @@ TslpObservation run_planned_slot(const PlannedSlot& p,
     obs.min_flow_rtt_ms = ndt.features->min_rtt_ms;
   }
   return obs;
+}
+
+constexpr char kHeader[] =
+    "day,hour,minute,far_rtt_ms,near_rtt_ms,ndt_ran,throughput_mbps,"
+    "min_flow_rtt_ms,norm_diff,cov,has_features,truth_external";
+constexpr char kFingerprintPrefix[] = "# options: ";
+
+/// The one formatter behind both the cache CSV and the shard checkpoint:
+/// byte-identical rows are what make kill/resume reproducible.
+std::string format_tslp_row(const TslpObservation& o) {
+  std::ostringstream out;
+  out.precision(17);
+  out << o.day << ',' << o.hour << ',' << o.minute << ',' << o.far_rtt_ms
+      << ',' << o.near_rtt_ms << ',' << (o.ndt_ran ? 1 : 0) << ','
+      << o.throughput_mbps << ',' << o.min_flow_rtt_ms << ',' << o.norm_diff
+      << ',' << o.cov << ',' << (o.has_features ? 1 : 0) << ','
+      << (o.truth_external ? 1 : 0);
+  return out.str();
+}
+
+TslpObservation parse_tslp_row(const std::string& line,
+                               const std::string& file,
+                               std::uint64_t line_no) {
+  runtime::CsvRow row(line, file, line_no);
+  TslpObservation o;
+  o.day = row.next_int();
+  o.hour = row.next_int();
+  o.minute = row.next_int();
+  o.far_rtt_ms = row.next_double();
+  o.near_rtt_ms = row.next_double();
+  o.ndt_ran = row.next_bool01();
+  o.throughput_mbps = row.next_double();
+  o.min_flow_rtt_ms = row.next_double();
+  o.norm_diff = row.next_double();
+  o.cov = row.next_double();
+  o.has_features = row.next_bool01();
+  o.truth_external = row.next_bool01();
+  row.expect_end();
+  return o;
 }
 
 }  // namespace
@@ -96,10 +137,36 @@ std::vector<TslpObservation> generate_tslp2017(const Tslp2017Options& opt) {
     }
   }
 
-  runtime::ProgressCounter progress(plan.size(), opt.progress);
-  return runtime::parallel_map(
-      plan, [&opt](const PlannedSlot& p) { return run_planned_slot(p, opt); },
-      opt.jobs, &progress);
+  runtime::CheckpointedRunOptions ropt;
+  ropt.checkpoint_path = opt.checkpoint_path;
+  ropt.fingerprint = tslp_fingerprint(opt);
+  ropt.checkpoint_every = opt.checkpoint_every;
+  ropt.jobs = opt.jobs;
+  ropt.retry = opt.retry;
+  ropt.soft_deadline = opt.soft_deadline;
+  ropt.abandon_on_deadline = opt.abandon_on_deadline;
+  ropt.faults = opt.faults;
+  ropt.progress = opt.progress;
+  // By value: abandoned jobs may report errors after this frame is gone.
+  std::vector<std::uint64_t> seeds(plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) seeds[i] = plan[i].pc.seed;
+  ropt.seed_of = [seeds](std::size_t slot) { return seeds[slot]; };
+  ropt.errors_out = opt.errors_out;
+
+  const auto slots = runtime::run_checkpointed(
+      plan, [opt](const PlannedSlot& p) { return run_planned_slot(p, opt); },
+      format_tslp_row,
+      [&ropt](const std::string& line) {
+        return parse_tslp_row(line, ropt.checkpoint_path, 0);
+      },
+      ropt);
+
+  std::vector<TslpObservation> out;
+  out.reserve(slots.size());
+  for (const auto& slot : slots) {
+    if (slot) out.push_back(*slot);
+  }
+  return out;
 }
 
 int tslp_label(const TslpObservation& obs) {
@@ -108,13 +175,6 @@ int tslp_label(const TslpObservation& obs) {
   if (obs.throughput_mbps > 20.0 && obs.min_flow_rtt_ms < 20.0) return 1;
   return -1;
 }
-
-namespace {
-constexpr char kHeader[] =
-    "day,hour,minute,far_rtt_ms,near_rtt_ms,ndt_ran,throughput_mbps,"
-    "min_flow_rtt_ms,norm_diff,cov,has_features,truth_external";
-constexpr char kFingerprintPrefix[] = "# options: ";
-}  // namespace
 
 std::string tslp_fingerprint(const Tslp2017Options& opt) {
   std::ostringstream out;
@@ -135,62 +195,41 @@ std::string tslp_fingerprint(const Tslp2017Options& opt) {
 void save_tslp_csv(const std::string& path,
                    const std::vector<TslpObservation>& obs,
                    const std::string& fingerprint) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot write tslp csv: " + path);
-  out.precision(17);
+  std::ostringstream out;
   if (!fingerprint.empty()) out << kFingerprintPrefix << fingerprint << "\n";
   out << kHeader << "\n";
-  for (const auto& o : obs) {
-    out << o.day << ',' << o.hour << ',' << o.minute << ',' << o.far_rtt_ms
-        << ',' << o.near_rtt_ms << ',' << (o.ndt_ran ? 1 : 0) << ','
-        << o.throughput_mbps << ',' << o.min_flow_rtt_ms << ',' << o.norm_diff
-        << ',' << o.cov << ',' << (o.has_features ? 1 : 0) << ','
-        << (o.truth_external ? 1 : 0) << "\n";
-  }
+  for (const auto& o : obs) out << format_tslp_row(o) << "\n";
+  runtime::write_file_atomic(path, out.str());
 }
 
 std::vector<TslpObservation> load_tslp_csv(const std::string& path,
                                            std::string* fingerprint_out) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot read tslp csv: " + path);
+  if (!in) {
+    runtime::throw_parse_error(path, 0, "line", "cannot read tslp csv");
+  }
   std::string line;
   std::string fingerprint;
+  std::uint64_t line_no = 1;
   if (!std::getline(in, line)) {
-    throw std::runtime_error("unrecognized tslp csv header in " + path);
+    runtime::throw_parse_error(path, line_no, "line",
+                               "empty file (expected csv header)");
   }
   if (line.rfind(kFingerprintPrefix, 0) == 0) {
     fingerprint = line.substr(sizeof(kFingerprintPrefix) - 1);
+    ++line_no;
     if (!std::getline(in, line)) line.clear();
   }
   if (line != kHeader) {
-    throw std::runtime_error("unrecognized tslp csv header in " + path);
+    runtime::throw_parse_error(path, line_no, "line",
+                               "unrecognized tslp csv header");
   }
   if (fingerprint_out) *fingerprint_out = fingerprint;
   std::vector<TslpObservation> out;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
-    std::istringstream row(line);
-    TslpObservation o;
-    std::string field;
-    auto next = [&]() -> std::string {
-      if (!std::getline(row, field, ',')) {
-        throw std::runtime_error("malformed tslp csv row: " + line);
-      }
-      return field;
-    };
-    o.day = std::stoi(next());
-    o.hour = std::stoi(next());
-    o.minute = std::stoi(next());
-    o.far_rtt_ms = std::stod(next());
-    o.near_rtt_ms = std::stod(next());
-    o.ndt_ran = next() == "1";
-    o.throughput_mbps = std::stod(next());
-    o.min_flow_rtt_ms = std::stod(next());
-    o.norm_diff = std::stod(next());
-    o.cov = std::stod(next());
-    o.has_features = next() == "1";
-    o.truth_external = next() == "1";
-    out.push_back(o);
+    out.push_back(parse_tslp_row(line, path, line_no));
   }
   return out;
 }
@@ -199,11 +238,19 @@ std::vector<TslpObservation> load_or_generate_tslp2017(
     const std::string& cache_path, const Tslp2017Options& opt) {
   const std::string want = tslp_fingerprint(opt);
   if (std::filesystem::exists(cache_path)) {
-    std::string have;
-    auto obs = load_tslp_csv(cache_path, &have);
-    if (have.empty() || have == want) return obs;
+    try {
+      std::string have;
+      auto obs = load_tslp_csv(cache_path, &have);
+      if (have.empty() || have == want) return obs;
+    } catch (const runtime::ParseException&) {
+      // Corrupt cache: regenerate below instead of failing the caller.
+    }
   }
-  auto obs = generate_tslp2017(opt);
+  Tslp2017Options resumable = opt;
+  if (resumable.checkpoint_path.empty()) {
+    resumable.checkpoint_path = cache_path + ".ckpt";
+  }
+  auto obs = generate_tslp2017(resumable);
   save_tslp_csv(cache_path, obs, want);
   return obs;
 }

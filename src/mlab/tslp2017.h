@@ -5,12 +5,15 @@
 // NDT tests run every 15 minutes during peak hours and hourly off-peak.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "mlab/path.h"
+#include "runtime/fault_injection.h"
+#include "runtime/job_result.h"
 
 namespace ccsig::mlab {
 
@@ -51,6 +54,19 @@ struct Tslp2017Options {
   int jobs = 0;
   /// Progress callback; invocations are serialized even when `jobs > 1`.
   std::function<void(std::size_t, std::size_t)> progress;
+
+  // --- Fault tolerance (see runtime/campaign.h) ---------------------------
+  /// Shard-checkpoint file for kill/resume; empty disables checkpointing.
+  /// load_or_generate_tslp2017 sets this to `<cache>.ckpt` automatically.
+  std::string checkpoint_path;
+  int checkpoint_every = 16;
+  runtime::RetryPolicy retry = runtime::RetryPolicy::attempts(2);
+  std::chrono::milliseconds soft_deadline{0};
+  bool abandon_on_deadline = false;
+  const runtime::FaultPlan* faults = nullptr;
+  /// Receives one JobError per slot that ultimately failed (the slot is
+  /// absent from the result). nullptr = discard errors.
+  std::vector<runtime::JobError>* errors_out = nullptr;
 };
 
 /// Runs the multi-day campaign (one path snapshot per slot; peak slots every
@@ -66,14 +82,19 @@ int tslp_label(const TslpObservation& obs);
 /// `jobs`/`progress`); embedded in cache CSVs to invalidate stale caches.
 std::string tslp_fingerprint(const Tslp2017Options& opt);
 
+/// Writes the observations atomically (temp file + rename).
 void save_tslp_csv(const std::string& path,
                    const std::vector<TslpObservation>& obs,
                    const std::string& fingerprint = "");
+/// Malformed input raises runtime::ParseException (file, line, reason).
 std::vector<TslpObservation> load_tslp_csv(
     const std::string& path, std::string* fingerprint_out = nullptr);
 
 /// Loads `cache_path` when present and not stale (legacy caches without a
-/// fingerprint are trusted); otherwise generates and rewrites the cache.
+/// fingerprint are trusted); otherwise generates — resuming from
+/// `<cache_path>.ckpt` when a matching checkpoint survives a previous
+/// kill — and atomically rewrites the cache. A corrupt cache is treated
+/// as stale, never fatal.
 std::vector<TslpObservation> load_or_generate_tslp2017(
     const std::string& cache_path, const Tslp2017Options& opt);
 

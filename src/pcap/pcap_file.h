@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/parse_error.h"
 #include "sim/time.h"
 
 namespace ccsig::pcap {
@@ -46,7 +47,10 @@ class PcapWriter {
   std::uint64_t records_ = 0;
 };
 
-/// Reads a whole pcap file. Throws std::runtime_error on malformed input.
+/// Reads a whole pcap file. Malformed input raises runtime::ParseException
+/// carrying (file, byte offset, reason) — still a std::runtime_error, so
+/// legacy catch sites keep working, but callers that care can recover the
+/// structured runtime::ParseError.
 class PcapReader {
  public:
   explicit PcapReader(const std::string& path);
@@ -57,13 +61,34 @@ class PcapReader {
   std::uint32_t snaplen() const { return snaplen_; }
   std::uint32_t linktype() const { return linktype_; }
 
+  /// Byte offset of the next unread position (for error reporting).
+  std::uint64_t offset() const { return offset_; }
+
  private:
+  [[noreturn]] void fail(std::string reason) const;
+
+  std::string path_;
   std::ifstream in_;
   std::uint32_t snaplen_ = 0;
   std::uint32_t linktype_ = 0;
+  std::uint64_t offset_ = 0;
 };
 
-/// Convenience: reads every record.
+/// Convenience: reads every record. Throws runtime::ParseException on
+/// malformed input.
 std::vector<PcapRecord> read_all(const std::string& path);
+
+/// Everything readable from a (possibly damaged) capture: the longest
+/// clean prefix of records, plus the structured error that stopped
+/// parsing, if any.
+struct PcapReadResult {
+  std::vector<PcapRecord> records;
+  std::optional<runtime::ParseError> error;
+  bool ok() const { return !error.has_value(); }
+};
+
+/// Non-throwing read: truncated or corrupt captures yield the good prefix
+/// and a ParseError instead of an exception.
+PcapReadResult read_all_checked(const std::string& path);
 
 }  // namespace ccsig::pcap

@@ -1,0 +1,37 @@
+#include "runtime/atomic_file.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace ccsig::runtime {
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("cannot open temp file for atomic write: " +
+                               tmp);
+    }
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ignore;
+      std::filesystem::remove(tmp, ignore);
+      throw std::runtime_error("short write to temp file: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignore;
+    std::filesystem::remove(tmp, ignore);
+    throw std::runtime_error("cannot rename " + tmp + " -> " + path + ": " +
+                             ec.message());
+  }
+}
+
+}  // namespace ccsig::runtime

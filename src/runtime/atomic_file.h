@@ -1,0 +1,21 @@
+// Atomic file replacement: write to a sibling temp file, fsync-free rename.
+//
+// Every cache artifact the project persists (sweep/campaign CSVs, shard
+// checkpoints, BENCH_micro.json via the python twin of this helper) goes
+// through here so a killed process can never leave a half-written file
+// behind — readers either see the old complete file or the new complete
+// file, which is what makes checkpoint/resume trustworthy.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ccsig::runtime {
+
+/// Writes `content` to `path` atomically (temp file + std::filesystem::
+/// rename, which is atomic on POSIX within a filesystem). Throws
+/// std::runtime_error when the temp file cannot be written or renamed; the
+/// destination is left untouched in that case.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+}  // namespace ccsig::runtime

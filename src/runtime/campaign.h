@@ -1,0 +1,145 @@
+// run_checkpointed: the shared execution harness behind testbed::run_sweep
+// and both M-Lab campaign generators.
+//
+// Given a deterministic item list (already carrying per-slot seeds), it
+//   1. restores completed slots from a fingerprinted shard checkpoint,
+//   2. runs the remaining slots under parallel_map_supervised (bounded
+//      retries, deterministic backoff, optional watchdog, fault injection),
+//   3. records each completed slot's serialized row back into the
+//      checkpoint (atomic rewrite every `checkpoint_every` completions),
+//   4. reports per-slot failures instead of aborting the campaign.
+//
+// The caller supplies `run` (item -> row value), `serialize` (row value ->
+// the exact CSV line the final file will contain), and `deserialize` (the
+// inverse). Because rows round-trip through the same formatter the final
+// CSV writer uses, a resumed campaign's output is byte-identical to an
+// uninterrupted run.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "runtime/checkpoint.h"
+#include "runtime/supervised.h"
+
+namespace ccsig::runtime {
+
+struct CheckpointedRunOptions {
+  /// Shard checkpoint location; empty disables checkpointing entirely.
+  std::string checkpoint_path;
+  std::string fingerprint;
+  int checkpoint_every = 16;
+
+  int jobs = 0;
+  RetryPolicy retry;
+  std::chrono::milliseconds soft_deadline{0};
+  bool abandon_on_deadline = false;
+  const FaultPlan* faults = nullptr;
+
+  std::function<void(std::size_t, std::size_t)> progress;
+  /// Slot -> seed tag for error reports (e.g. the run's RNG seed).
+  std::function<std::uint64_t(std::size_t)> seed_of;
+  /// When non-null, receives one JobError per slot that ultimately failed
+  /// (after retries). Failed slots come back as nullopt in the result.
+  std::vector<JobError>* errors_out = nullptr;
+};
+
+template <typename In, typename RunFn, typename SerFn, typename DeFn>
+auto run_checkpointed(const std::vector<In>& items, RunFn run, SerFn ser,
+                      DeFn de, const CheckpointedRunOptions& opt)
+    -> std::vector<std::optional<std::invoke_result_t<RunFn&, const In&>>> {
+  using Out = std::invoke_result_t<RunFn&, const In&>;
+  const std::size_t n = items.size();
+  std::vector<std::optional<Out>> out(n);
+
+  std::shared_ptr<ShardCheckpoint> ckpt;
+  if (!opt.checkpoint_path.empty()) {
+    ckpt = std::make_shared<ShardCheckpoint>(
+        opt.checkpoint_path, opt.fingerprint, opt.checkpoint_every);
+    auto restored = ShardCheckpoint::load(opt.checkpoint_path,
+                                          opt.fingerprint);
+    std::map<std::size_t, std::string> kept;
+    for (const auto& [slot, row] : restored) {
+      if (slot >= n) continue;
+      try {
+        out[slot] = de(row);
+        kept.emplace(slot, row);
+      } catch (...) {
+        // Damaged row: drop it and re-run the slot.
+      }
+    }
+    ckpt->restore(kept);
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!out[i]) pending.push_back(i);
+  }
+
+  ProgressCounter progress(n, opt.progress);
+  for (std::size_t i = 0; i < n - pending.size(); ++i) progress.tick();
+
+  // Copies shared with the workers so abandoned (still-running) jobs can
+  // outlive this call safely; see supervised.h's abandonment contract.
+  auto items_shared = std::make_shared<const std::vector<In>>(items);
+
+  SupervisedOptions sopt;
+  sopt.jobs = opt.jobs;
+  sopt.retry = opt.retry;
+  sopt.soft_deadline = opt.soft_deadline;
+  sopt.abandon_on_deadline = opt.abandon_on_deadline;
+  sopt.faults = opt.faults;
+  sopt.fault_key = [pending](std::size_t k) {
+    return static_cast<std::uint64_t>(pending[k]);
+  };
+  if (opt.seed_of) {
+    sopt.seed_of = [pending, seed_of = opt.seed_of](std::size_t k) {
+      return seed_of(pending[k]);
+    };
+  }
+
+  auto results = parallel_map_supervised(
+      pending,
+      [items_shared, ckpt, run, ser,
+       faults = opt.faults](const std::size_t& slot) -> Out {
+        Out o = run((*items_shared)[slot]);
+        if (ckpt) ckpt->record(slot, ser(o), faults);
+        return o;
+      },
+      sopt, &progress);
+
+  for (std::size_t k = 0; k < pending.size(); ++k) {
+    const std::size_t slot = pending[k];
+    if (results[k].ok()) {
+      out[slot] = std::move(results[k].value());
+    } else if (opt.errors_out) {
+      JobError err = results[k].error();
+      err.index = slot;  // report the campaign slot, not the subset index
+      opt.errors_out->push_back(std::move(err));
+    }
+  }
+
+  if (ckpt) {
+    bool all_ok = true;
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      if (!results[k].ok()) all_ok = false;
+    }
+    if (all_ok) {
+      ckpt->remove();  // complete run: the final CSV is the artifact now
+    } else {
+      ckpt->flush();  // keep partial progress for the next invocation
+    }
+  }
+  return out;
+}
+
+}  // namespace ccsig::runtime

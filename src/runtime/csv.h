@@ -1,0 +1,104 @@
+// Strict CSV field cursor with structured errors.
+//
+// The sweep/campaign cache loaders used to pull fields with `stream >>`
+// and raw std::stod — malformed input either threw a bare exception
+// straight through main() or, worse, silently misparsed ("12abc" -> 12).
+// CsvRow converts one line field-by-field and reports every defect as a
+// runtime::ParseException carrying the file, 1-based line number, and a
+// reason naming the offending field.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "runtime/parse_error.h"
+
+namespace ccsig::runtime {
+
+class CsvRow {
+ public:
+  CsvRow(const std::string& line, std::string file, std::uint64_t line_no)
+      : line_(line), file_(std::move(file)), line_no_(line_no) {}
+
+  std::string next_string() {
+    if (pos_ == std::string::npos) {
+      fail("missing field " + std::to_string(field_ + 1));
+    }
+    const std::size_t comma = line_.find(',', pos_);
+    std::string field;
+    if (comma == std::string::npos) {
+      field = line_.substr(pos_);
+      pos_ = std::string::npos;
+    } else {
+      field = line_.substr(pos_, comma - pos_);
+      pos_ = comma + 1;
+    }
+    ++field_;
+    return field;
+  }
+
+  double next_double() {
+    const std::string field = next_string();
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(field, &used);
+      if (used != field.size()) {
+        fail("field " + std::to_string(field_) +
+             ": trailing garbage in number '" + field + "'");
+      }
+      return v;
+    } catch (const ParseException&) {
+      throw;
+    } catch (...) {
+      fail("field " + std::to_string(field_) + ": not a number: '" + field +
+           "'");
+    }
+  }
+
+  int next_int() {
+    const std::string field = next_string();
+    try {
+      std::size_t used = 0;
+      const int v = std::stoi(field, &used);
+      if (used != field.size()) {
+        fail("field " + std::to_string(field_) +
+             ": trailing garbage in integer '" + field + "'");
+      }
+      return v;
+    } catch (const ParseException&) {
+      throw;
+    } catch (...) {
+      fail("field " + std::to_string(field_) + ": not an integer: '" +
+           field + "'");
+    }
+  }
+
+  bool next_bool01() {
+    const std::string field = next_string();
+    if (field == "0") return false;
+    if (field == "1") return true;
+    fail("field " + std::to_string(field_) + ": expected 0 or 1, got '" +
+         field + "'");
+  }
+
+  /// Call after the last field to reject rows with extra columns.
+  void expect_end() {
+    if (pos_ != std::string::npos) {
+      fail("unexpected extra fields after field " + std::to_string(field_));
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& reason) {
+    throw_parse_error(file_, line_no_, "line", reason);
+  }
+
+ private:
+  const std::string& line_;
+  std::string file_;
+  std::uint64_t line_no_;
+  std::size_t pos_ = 0;
+  int field_ = 0;
+};
+
+}  // namespace ccsig::runtime

@@ -1,0 +1,137 @@
+#include "runtime/fault_injection.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+namespace ccsig::runtime {
+namespace {
+
+// SplitMix64 finalizer (same mixer the simulator's Rng uses to derive
+// child seeds) — full-avalanche, so consecutive job indices decorrelate.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t file_size_or_throw(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    throw std::runtime_error("cannot stat " + path + ": " + ec.message());
+  }
+  return static_cast<std::uint64_t>(size);
+}
+
+}  // namespace
+
+double FaultPlan::unit_draw(std::uint64_t job_key, int attempt,
+                            std::uint64_t salt) const {
+  std::uint64_t h = mix64(seed_ ^ salt);
+  h = mix64(h ^ job_key);
+  h = mix64(h ^ static_cast<std::uint64_t>(attempt));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultPlan::plans_throw(std::uint64_t job_key, int attempt) const {
+  return attempt <= spec_.fault_attempts_at_most &&
+         unit_draw(job_key, attempt, 0x7472616E73ULL) < spec_.throw_rate;
+}
+
+bool FaultPlan::plans_permanent(std::uint64_t job_key, int attempt) const {
+  return attempt <= spec_.fault_attempts_at_most &&
+         unit_draw(job_key, attempt, 0x7065726DULL) < spec_.permanent_rate;
+}
+
+bool FaultPlan::plans_stall(std::uint64_t job_key, int attempt) const {
+  return attempt <= spec_.fault_attempts_at_most &&
+         unit_draw(job_key, attempt, 0x7374616CULL) < spec_.stall_rate;
+}
+
+bool FaultPlan::io_should_fail(std::uint64_t job_key, int attempt) const {
+  return attempt <= spec_.fault_attempts_at_most &&
+         unit_draw(job_key, attempt, 0x696F6661ULL) < spec_.io_fail_rate;
+}
+
+void FaultPlan::maybe_fault(std::uint64_t job_key, int attempt) const {
+  if (!armed()) return;
+  if (plans_stall(job_key, attempt)) {
+    std::this_thread::sleep_for(spec_.stall);
+  }
+  if (plans_permanent(job_key, attempt)) {
+    throw std::runtime_error("injected permanent fault (job " +
+                             std::to_string(job_key) + ", attempt " +
+                             std::to_string(attempt) + ")");
+  }
+  if (plans_throw(job_key, attempt)) {
+    throw TransientError("injected transient fault (job " +
+                         std::to_string(job_key) + ", attempt " +
+                         std::to_string(attempt) + ")");
+  }
+}
+
+void truncate_file(const std::string& path, std::uint64_t keep_bytes) {
+  const std::uint64_t size = file_size_or_throw(path);
+  if (keep_bytes >= size) return;
+  std::error_code ec;
+  std::filesystem::resize_file(path, keep_bytes, ec);
+  if (ec) {
+    throw std::runtime_error("cannot truncate " + path + ": " + ec.message());
+  }
+}
+
+void flip_byte(const std::string& path, std::uint64_t offset,
+               std::uint8_t mask) {
+  if (mask == 0) mask = 0xFF;
+  const std::uint64_t size = file_size_or_throw(path);
+  if (offset >= size) {
+    throw std::runtime_error("flip_byte offset past end of " + path);
+  }
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!f) throw std::runtime_error("cannot open " + path + " for mutation");
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(static_cast<std::uint8_t>(byte) ^ mask);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&byte, 1);
+  if (!f) throw std::runtime_error("cannot rewrite byte in " + path);
+}
+
+std::vector<std::string> mutate_corpus(const std::string& source,
+                                       const std::string& out_dir,
+                                       std::uint64_t seed, int count) {
+  namespace fs = std::filesystem;
+  fs::create_directories(out_dir);
+  const std::uint64_t size = file_size_or_throw(source);
+  const std::string stem = fs::path(source).stem().string();
+  const std::string ext = fs::path(source).extension().string();
+
+  std::vector<std::string> mutants;
+  mutants.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t h = mix64(seed ^ static_cast<std::uint64_t>(i));
+    const bool truncate = (i % 2) == 0;
+    const std::string name = stem + (truncate ? "_trunc" : "_flip") +
+                             std::to_string(i) + ext;
+    const std::string dst = (fs::path(out_dir) / name).string();
+    fs::copy_file(source, dst, fs::copy_options::overwrite_existing);
+    if (size == 0) {
+      mutants.push_back(dst);
+      continue;
+    }
+    if (truncate) {
+      truncate_file(dst, h % size);
+    } else {
+      flip_byte(dst, h % size,
+                static_cast<std::uint8_t>((h >> 32) & 0xFF));
+    }
+    mutants.push_back(dst);
+  }
+  return mutants;
+}
+
+}  // namespace ccsig::runtime

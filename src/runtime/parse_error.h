@@ -1,0 +1,53 @@
+// Structured ingestion errors.
+//
+// Every reader in the project (pcap files, sweep/campaign CSV caches,
+// serialized models) reports malformed input as a ParseError carrying the
+// file, the position where parsing stopped, and a human-readable reason —
+// never a bare std::runtime_error and never a silent misparse. Readers with
+// exception-based APIs throw ParseException (which IS-A runtime_error, so
+// legacy catch sites keep working); readers with checked APIs return the
+// ParseError by value next to whatever prefix of the input was good.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace ccsig::runtime {
+
+struct ParseError {
+  std::string file;
+  /// Position where parsing stopped: a byte offset for binary formats, a
+  /// 1-based line number for text formats (see `unit`).
+  std::uint64_t offset = 0;
+  const char* unit = "byte";  // "byte" or "line"
+  std::string reason;
+
+  std::string to_string() const {
+    return file + " (" + unit + " " + std::to_string(offset) +
+           "): " + reason;
+  }
+};
+
+/// Exception wrapper so throwing readers still surface the structured form.
+class ParseException : public std::runtime_error {
+ public:
+  explicit ParseException(ParseError e)
+      : std::runtime_error(e.to_string()), error_(std::move(e)) {}
+
+  const ParseError& error() const { return error_; }
+
+ private:
+  ParseError error_;
+};
+
+[[noreturn]] inline void throw_parse_error(std::string file,
+                                           std::uint64_t offset,
+                                           const char* unit,
+                                           std::string reason) {
+  throw ParseException(
+      ParseError{std::move(file), offset, unit, std::move(reason)});
+}
+
+}  // namespace ccsig::runtime

@@ -1,0 +1,248 @@
+// parallel_map_supervised: the fault-tolerant sibling of parallel_map.
+//
+// Where parallel_map rethrows the first job exception and discards every
+// other result, the supervised variant returns a JobResult per input slot:
+// failed jobs carry a structured JobError (slot, seed tag, attempts, cause)
+// and successful jobs are unaffected. A RetryPolicy re-runs transient
+// failures with deterministic exponential backoff, and a soft-deadline
+// watchdog flags jobs that run long — optionally abandoning them so one
+// stuck simulation cannot hang a multi-thousand-run campaign.
+//
+// Determinism contract (same as parallel_map): job content must depend only
+// on the input item, never on thread interleaving. Retries re-run the same
+// deterministic item, so a retried-transient job produces a result
+// byte-identical to a fault-free run.
+//
+// Abandonment semantics: an abandoned job KEEPS RUNNING on its worker
+// thread; its eventual result is discarded. To make that safe the items,
+// the function, and all bookkeeping are copied into shared state that a
+// detached reaper thread keeps alive until every worker actually finishes.
+// Abandonment therefore requires copyable items/fn and is only available on
+// the parallel path (`jobs > 1`); the serial path can flag but never
+// abandon.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "runtime/fault_injection.h"
+#include "runtime/job_result.h"
+#include "runtime/progress.h"
+#include "runtime/thread_pool.h"
+
+namespace ccsig::runtime {
+
+struct SupervisedOptions {
+  /// Worker threads: 0 = every hardware thread, 1 = serial inline.
+  int jobs = 0;
+  RetryPolicy retry;
+  /// Per-job soft deadline (wall clock, per attempt). 0 = no watchdog.
+  std::chrono::milliseconds soft_deadline{0};
+  /// When the deadline passes: false = let the job finish and flag
+  /// `deadline_exceeded` on its result; true = abandon it immediately with
+  /// a kTimeout JobError (parallel path only).
+  bool abandon_on_deadline = false;
+  /// Optional seed/tag reported in JobError (e.g. the run's RNG seed).
+  std::function<std::uint64_t(std::size_t)> seed_of;
+  /// Key used by the fault plan for job `index`; defaults to the index
+  /// itself. Campaign drivers map subset indices back to global slots here
+  /// so injected faults stay stable across resumes.
+  std::function<std::uint64_t(std::size_t)> fault_key;
+  /// Deterministic fault injection; nullptr = none.
+  const FaultPlan* faults = nullptr;
+};
+
+namespace detail {
+
+/// Runs one item through the retry loop. `on_attempt_start(attempt)` lets
+/// the parallel path publish per-attempt start times to the watchdog.
+template <typename Out, typename In, typename Fn>
+JobResult<Out> run_supervised_attempts(
+    const In& item, Fn& fn, const SupervisedOptions& opt, std::size_t index,
+    const std::function<void(int)>& on_attempt_start) {
+  const std::uint64_t key = opt.fault_key ? opt.fault_key(index)
+                                          : static_cast<std::uint64_t>(index);
+  for (int attempt = 1;; ++attempt) {
+    if (on_attempt_start) on_attempt_start(attempt);
+    const auto attempt_start = std::chrono::steady_clock::now();
+    try {
+      if (opt.faults) opt.faults->maybe_fault(key, attempt);
+      Out value = fn(item);
+      auto r = JobResult<Out>::success(std::move(value), attempt);
+      if (opt.soft_deadline.count() > 0 &&
+          std::chrono::steady_clock::now() - attempt_start >
+              opt.soft_deadline) {
+        r.deadline_exceeded = true;
+      }
+      return r;
+    } catch (const std::exception& e) {
+      const bool transient = opt.retry.classify_transient(e);
+      if (transient && attempt < opt.retry.max_attempts) {
+        const auto pause = opt.retry.backoff_for(attempt);
+        if (pause.count() > 0) std::this_thread::sleep_for(pause);
+        continue;
+      }
+      JobError err;
+      err.index = index;
+      err.seed = opt.seed_of ? opt.seed_of(index) : 0;
+      err.attempts = attempt;
+      err.kind = transient ? JobErrorKind::kTransient : JobErrorKind::kPermanent;
+      err.message = e.what();
+      return JobResult<Out>::failure(std::move(err));
+    } catch (...) {
+      JobError err;
+      err.index = index;
+      err.seed = opt.seed_of ? opt.seed_of(index) : 0;
+      err.attempts = attempt;
+      err.kind = JobErrorKind::kPermanent;
+      err.message = "unknown exception";
+      return JobResult<Out>::failure(std::move(err));
+    }
+  }
+}
+
+}  // namespace detail
+
+template <typename In, typename Fn>
+auto parallel_map_supervised(const std::vector<In>& items, Fn&& fn,
+                             const SupervisedOptions& opt = {},
+                             ProgressCounter* progress = nullptr)
+    -> std::vector<JobResult<std::invoke_result_t<Fn&, const In&>>> {
+  using Out = std::invoke_result_t<Fn&, const In&>;
+  static_assert(!std::is_void_v<Out>,
+                "parallel_map_supervised requires a value-returning function");
+
+  const unsigned want =
+      opt.jobs <= 0 ? default_jobs() : static_cast<unsigned>(opt.jobs);
+
+  if (want <= 1 || items.size() <= 1) {
+    std::vector<JobResult<Out>> results;
+    results.reserve(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      results.push_back(detail::run_supervised_attempts<Out>(
+          items[i], fn, opt, i, nullptr));
+      if (progress) progress->tick();
+    }
+    return results;
+  }
+
+  enum class Status : std::uint8_t { kPending, kRunning, kDone, kAbandoned };
+
+  struct State {
+    std::vector<In> items;
+    std::decay_t<Fn> fn;
+    SupervisedOptions opt;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t settled = 0;  // done + abandoned
+    std::vector<JobResult<Out>> results;
+    std::vector<Status> status;
+    std::vector<std::chrono::steady_clock::time_point> attempt_started;
+    std::vector<int> attempt;
+
+    State(const std::vector<In>& items_in, Fn&& fn_in,
+          const SupervisedOptions& opt_in)
+        : items(items_in),
+          fn(std::forward<Fn>(fn_in)),
+          opt(opt_in),
+          results(items_in.size()),
+          status(items_in.size(), Status::kPending),
+          attempt_started(items_in.size()),
+          attempt(items_in.size(), 0) {}
+  };
+
+  const std::size_t n = items.size();
+  auto state = std::make_shared<State>(items, std::forward<Fn>(fn), opt);
+  auto pool = std::make_shared<ThreadPool>(
+      static_cast<unsigned>(std::min<std::size_t>(want, n)));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    pool->submit([state, progress, i] {
+      std::function<void(int)> on_attempt_start = [&state, i](int attempt) {
+        std::lock_guard<std::mutex> lk(state->mu);
+        state->status[i] = Status::kRunning;
+        state->attempt[i] = attempt;
+        state->attempt_started[i] = std::chrono::steady_clock::now();
+      };
+      auto result = detail::run_supervised_attempts<Out>(
+          state->items[i], state->fn, state->opt, i, on_attempt_start);
+      {
+        std::lock_guard<std::mutex> lk(state->mu);
+        if (state->status[i] == Status::kAbandoned) {
+          return;  // the watchdog already settled this slot; result dropped
+        }
+        state->status[i] = Status::kDone;
+        state->results[i] = std::move(result);
+        ++state->settled;
+      }
+      // Progress ticks outside state->mu (ProgressCounter has its own
+      // lock); safe because the caller cannot return before `settled`
+      // reaches n, which this task only bumps for non-abandoned slots.
+      if (progress) progress->tick();
+      state->cv.notify_all();
+    });
+  }
+
+  bool any_abandoned = false;
+  {
+    std::unique_lock<std::mutex> lk(state->mu);
+    const bool watchdog =
+        opt.soft_deadline.count() > 0 && opt.abandon_on_deadline;
+    const auto poll = std::chrono::milliseconds(
+        watchdog ? std::max<std::int64_t>(1, opt.soft_deadline.count() / 4)
+                 : 0);
+    while (state->settled < n) {
+      if (!watchdog) {
+        state->cv.wait(lk);
+        continue;
+      }
+      state->cv.wait_for(lk, poll);
+      const auto now = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (state->status[i] != Status::kRunning) continue;
+        if (now - state->attempt_started[i] <= opt.soft_deadline) continue;
+        state->status[i] = Status::kAbandoned;
+        JobError err;
+        err.index = i;
+        err.seed = opt.seed_of ? opt.seed_of(i) : 0;
+        err.attempts = state->attempt[i];
+        err.kind = JobErrorKind::kTimeout;
+        err.message = "exceeded soft deadline of " +
+                      std::to_string(opt.soft_deadline.count()) +
+                      " ms; abandoned";
+        state->results[i] = JobResult<Out>::failure(std::move(err));
+        ++state->settled;
+        any_abandoned = true;
+        if (progress) progress->tick();
+      }
+    }
+  }
+
+  std::vector<JobResult<Out>> results;
+  {
+    std::lock_guard<std::mutex> lk(state->mu);
+    results = std::move(state->results);
+  }
+  if (any_abandoned) {
+    // Abandoned jobs are still executing inside `state`; a detached reaper
+    // keeps the pool and state alive until they drain, so this call can
+    // return now instead of hanging the campaign.
+    std::thread([pool, state]() mutable {
+      pool.reset();  // ~ThreadPool drains the queue and joins workers
+      state.reset();
+    }).detach();
+  }
+  return results;
+}
+
+}  // namespace ccsig::runtime

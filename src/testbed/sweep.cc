@@ -2,21 +2,98 @@
 
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
-#include <stdexcept>
 
-#include "runtime/parallel_map.h"
+#include "runtime/atomic_file.h"
+#include "runtime/campaign.h"
+#include "runtime/csv.h"
 #include "sim/random.h"
 #include "testbed/experiment.h"
 #include "testbed/labeler.h"
 
 namespace ccsig::testbed {
 
+namespace {
+constexpr char kCsvHeader[] =
+    "norm_diff,cov,rtt_slope,rtt_iqr,slow_start_tput_bps,flow_tput_bps,"
+    "access_capacity_bps,scenario,access_rate_mbps,access_latency_ms,"
+    "access_loss,access_buffer_ms";
+constexpr char kFingerprintPrefix[] = "# options: ";
+/// Checkpoint marker for a run that completed but produced no sample
+/// (features unavailable) — still "done", must not be re-run on resume.
+constexpr char kNoSampleRow[] = "-";
+
+void append_doubles(std::ostream& out, const std::vector<double>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out << '|';
+    out << v[i];
+  }
+}
+
+/// The one formatter behind both the cache CSV and the shard checkpoint:
+/// byte-identical rows are what make kill/resume reproducible.
+std::string format_sample_row(const SweepSample& s) {
+  std::ostringstream out;
+  out.precision(17);
+  out << s.norm_diff << ',' << s.cov << ',' << s.rtt_slope << ','
+      << s.rtt_iqr << ',' << s.slow_start_tput_bps << ',' << s.flow_tput_bps
+      << ',' << s.access_capacity_bps << ',' << s.scenario << ','
+      << s.access_rate_mbps << ',' << s.access_latency_ms << ','
+      << s.access_loss << ',' << s.access_buffer_ms;
+  return out.str();
+}
+
+SweepSample parse_sample_row(const std::string& line, const std::string& file,
+                             std::uint64_t line_no) {
+  runtime::CsvRow row(line, file, line_no);
+  SweepSample s;
+  s.norm_diff = row.next_double();
+  s.cov = row.next_double();
+  s.rtt_slope = row.next_double();
+  s.rtt_iqr = row.next_double();
+  s.slow_start_tput_bps = row.next_double();
+  s.flow_tput_bps = row.next_double();
+  s.access_capacity_bps = row.next_double();
+  s.scenario = row.next_int();
+  s.access_rate_mbps = row.next_double();
+  s.access_latency_ms = row.next_double();
+  s.access_loss = row.next_double();
+  s.access_buffer_ms = row.next_double();
+  row.expect_end();
+  return s;
+}
+
+/// Runs one grid point and reduces it to its (optional) sample.
+std::optional<SweepSample> run_one(const TestbedConfig& cfg) {
+  const TestResult r = run_testbed_experiment(cfg);
+  if (!r.features) return std::nullopt;
+  SweepSample s;
+  s.norm_diff = r.features->norm_diff;
+  s.cov = r.features->cov;
+  s.rtt_slope = r.features->rtt_slope;
+  s.rtt_iqr = r.features->rtt_iqr;
+  s.slow_start_tput_bps = r.features->slow_start_throughput_bps;
+  s.flow_tput_bps = r.receiver_throughput_bps;
+  s.access_capacity_bps = r.access_capacity_bps;
+  s.scenario = static_cast<int>(cfg.scenario == Scenario::kExternal
+                                    ? CongestionClass::kExternal
+                                    : CongestionClass::kSelfInduced);
+  s.access_rate_mbps = cfg.access_rate_mbps;
+  s.access_latency_ms = cfg.access_latency_ms;
+  s.access_loss = cfg.access_loss;
+  s.access_buffer_ms = cfg.access_buffer_ms;
+  return s;
+}
+
+}  // namespace
+
 std::vector<SweepSample> run_sweep(const SweepOptions& opt) {
   // Deterministic pre-pass: enumerate the grid in the canonical order and
   // draw every run's seed up front. A run's seed depends only on its slot
   // in the enumeration — never on execution order — so the parallel sweep
-  // reproduces the serial one exactly.
+  // reproduces the serial one exactly, and a resumed sweep reproduces an
+  // uninterrupted one.
   std::vector<TestbedConfig> runs;
   runs.reserve(opt.access_rates_mbps.size() * opt.access_latencies_ms.size() *
                opt.access_losses.size() * opt.access_buffers_ms.size() * 2 *
@@ -49,35 +126,38 @@ std::vector<SweepSample> run_sweep(const SweepOptions& opt) {
     }
   }
 
-  runtime::ProgressCounter progress(runs.size(), opt.progress);
-  const std::vector<TestResult> results = runtime::parallel_map(
-      runs, [](const TestbedConfig& cfg) { return run_testbed_experiment(cfg); },
-      opt.jobs, &progress);
+  runtime::CheckpointedRunOptions ropt;
+  ropt.checkpoint_path = opt.checkpoint_path;
+  ropt.fingerprint = sweep_fingerprint(opt);
+  ropt.checkpoint_every = opt.checkpoint_every;
+  ropt.jobs = opt.jobs;
+  ropt.retry = opt.retry;
+  ropt.soft_deadline = opt.soft_deadline;
+  ropt.abandon_on_deadline = opt.abandon_on_deadline;
+  ropt.faults = opt.faults;
+  ropt.progress = opt.progress;
+  // By value: abandoned jobs may report errors after this frame is gone.
+  std::vector<std::uint64_t> seeds(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) seeds[i] = runs[i].seed;
+  ropt.seed_of = [seeds](std::size_t slot) { return seeds[slot]; };
+  ropt.errors_out = opt.errors_out;
+
+  const auto slots = runtime::run_checkpointed(
+      runs, run_one,
+      [](const std::optional<SweepSample>& s) {
+        return s ? format_sample_row(*s) : std::string(kNoSampleRow);
+      },
+      [&ropt](const std::string& line) -> std::optional<SweepSample> {
+        if (line == kNoSampleRow) return std::nullopt;
+        return parse_sample_row(line, ropt.checkpoint_path, 0);
+      },
+      ropt);
 
   // Collect in slot order so the sample sequence matches the serial loop.
   std::vector<SweepSample> samples;
-  samples.reserve(results.size());
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const TestResult& r = results[i];
-    if (!r.features) continue;
-    const TestbedConfig& cfg = runs[i];
-
-    SweepSample s;
-    s.norm_diff = r.features->norm_diff;
-    s.cov = r.features->cov;
-    s.rtt_slope = r.features->rtt_slope;
-    s.rtt_iqr = r.features->rtt_iqr;
-    s.slow_start_tput_bps = r.features->slow_start_throughput_bps;
-    s.flow_tput_bps = r.receiver_throughput_bps;
-    s.access_capacity_bps = r.access_capacity_bps;
-    s.scenario = static_cast<int>(cfg.scenario == Scenario::kExternal
-                                      ? CongestionClass::kExternal
-                                      : CongestionClass::kSelfInduced);
-    s.access_rate_mbps = cfg.access_rate_mbps;
-    s.access_latency_ms = cfg.access_latency_ms;
-    s.access_loss = cfg.access_loss;
-    s.access_buffer_ms = cfg.access_buffer_ms;
-    samples.push_back(s);
+  samples.reserve(slots.size());
+  for (const auto& slot : slots) {
+    if (slot && *slot) samples.push_back(**slot);
   }
   return samples;
 }
@@ -115,21 +195,6 @@ ml::Dataset make_dataset(const std::vector<SweepSample>& samples,
   return data;
 }
 
-namespace {
-constexpr char kCsvHeader[] =
-    "norm_diff,cov,rtt_slope,rtt_iqr,slow_start_tput_bps,flow_tput_bps,"
-    "access_capacity_bps,scenario,access_rate_mbps,access_latency_ms,"
-    "access_loss,access_buffer_ms";
-constexpr char kFingerprintPrefix[] = "# options: ";
-
-void append_doubles(std::ostream& out, const std::vector<double>& v) {
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    if (i) out << '|';
-    out << v[i];
-  }
-}
-}  // namespace
-
 std::string sweep_fingerprint(const SweepOptions& opt) {
   std::ostringstream out;
   out.precision(17);
@@ -152,51 +217,41 @@ std::string sweep_fingerprint(const SweepOptions& opt) {
 void save_samples_csv(const std::string& path,
                       const std::vector<SweepSample>& samples,
                       const std::string& fingerprint) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot write sweep csv: " + path);
-  out.precision(17);
+  std::ostringstream out;
   if (!fingerprint.empty()) out << kFingerprintPrefix << fingerprint << "\n";
   out << kCsvHeader << "\n";
-  for (const SweepSample& s : samples) {
-    out << s.norm_diff << ',' << s.cov << ',' << s.rtt_slope << ','
-        << s.rtt_iqr << ',' << s.slow_start_tput_bps << ',' << s.flow_tput_bps
-        << ',' << s.access_capacity_bps << ',' << s.scenario << ','
-        << s.access_rate_mbps << ',' << s.access_latency_ms << ','
-        << s.access_loss << ',' << s.access_buffer_ms << "\n";
-  }
+  for (const SweepSample& s : samples) out << format_sample_row(s) << "\n";
+  runtime::write_file_atomic(path, out.str());
 }
 
 std::vector<SweepSample> load_samples_csv(const std::string& path,
                                           std::string* fingerprint_out) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot read sweep csv: " + path);
+  if (!in) {
+    runtime::throw_parse_error(path, 0, "line", "cannot read sweep csv");
+  }
   std::string line;
   std::string fingerprint;
+  std::uint64_t line_no = 1;
   if (!std::getline(in, line)) {
-    throw std::runtime_error("unrecognized sweep csv header in " + path);
+    runtime::throw_parse_error(path, line_no, "line",
+                               "empty file (expected csv header)");
   }
   if (line.rfind(kFingerprintPrefix, 0) == 0) {
     fingerprint = line.substr(sizeof(kFingerprintPrefix) - 1);
+    ++line_no;
     if (!std::getline(in, line)) line.clear();
   }
   if (line != kCsvHeader) {
-    throw std::runtime_error("unrecognized sweep csv header in " + path);
+    runtime::throw_parse_error(path, line_no, "line",
+                               "unrecognized sweep csv header");
   }
   if (fingerprint_out) *fingerprint_out = fingerprint;
   std::vector<SweepSample> samples;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
-    std::istringstream row(line);
-    SweepSample s;
-    char comma;
-    row >> s.norm_diff >> comma >> s.cov >> comma >> s.rtt_slope >> comma >>
-        s.rtt_iqr >> comma >> s.slow_start_tput_bps >> comma >>
-        s.flow_tput_bps >> comma >> s.access_capacity_bps >> comma >>
-        s.scenario >> comma >> s.access_rate_mbps >> comma >>
-        s.access_latency_ms >> comma >> s.access_loss >> comma >>
-        s.access_buffer_ms;
-    if (!row) throw std::runtime_error("malformed sweep csv row: " + line);
-    samples.push_back(s);
+    samples.push_back(parse_sample_row(line, path, line_no));
   }
   return samples;
 }
@@ -205,13 +260,21 @@ std::vector<SweepSample> load_or_run_sweep(const std::string& cache_path,
                                            const SweepOptions& opt) {
   const std::string want = sweep_fingerprint(opt);
   if (std::filesystem::exists(cache_path)) {
-    std::string have;
-    auto samples = load_samples_csv(cache_path, &have);
-    // Legacy caches predate fingerprinting; trust them as before. A
-    // fingerprinted cache written under different options is stale.
-    if (have.empty() || have == want) return samples;
+    try {
+      std::string have;
+      auto samples = load_samples_csv(cache_path, &have);
+      // Legacy caches predate fingerprinting; trust them as before. A
+      // fingerprinted cache written under different options is stale.
+      if (have.empty() || have == want) return samples;
+    } catch (const runtime::ParseException&) {
+      // Corrupt cache: regenerate below instead of failing the caller.
+    }
   }
-  auto samples = run_sweep(opt);
+  SweepOptions resumable = opt;
+  if (resumable.checkpoint_path.empty()) {
+    resumable.checkpoint_path = cache_path + ".ckpt";
+  }
+  auto samples = run_sweep(resumable);
   save_samples_csv(cache_path, samples, want);
   return samples;
 }

@@ -4,11 +4,14 @@
 // expensive sweeps run once per machine.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "ml/dataset.h"
+#include "runtime/fault_injection.h"
+#include "runtime/job_result.h"
 #include "testbed/config.h"
 
 namespace ccsig::testbed {
@@ -51,6 +54,25 @@ struct SweepOptions {
   /// Need not be thread-safe: invocations are serialized even when
   /// `jobs > 1`.
   std::function<void(std::size_t, std::size_t)> progress;
+
+  // --- Fault tolerance (see runtime/campaign.h) ---------------------------
+  /// Shard-checkpoint file for kill/resume; empty disables checkpointing.
+  /// load_or_run_sweep sets this to `<cache>.ckpt` automatically.
+  std::string checkpoint_path;
+  int checkpoint_every = 16;
+  /// Per-run retry policy; transient failures (injected faults, I/O
+  /// hiccups) are re-run with deterministic backoff.
+  runtime::RetryPolicy retry = runtime::RetryPolicy::attempts(2);
+  /// Per-run soft deadline (wall clock); 0 = no watchdog. With
+  /// `abandon_on_deadline` a stuck run is reported as a kTimeout JobError
+  /// instead of hanging the sweep.
+  std::chrono::milliseconds soft_deadline{0};
+  bool abandon_on_deadline = false;
+  /// Deterministic fault injection (tests); nullptr = none.
+  const runtime::FaultPlan* faults = nullptr;
+  /// Receives one JobError per run that ultimately failed; such runs are
+  /// simply absent from the returned samples. nullptr = discard errors.
+  std::vector<runtime::JobError>* errors_out = nullptr;
 };
 
 /// Runs the full sweep; both scenarios for every combination.
@@ -70,22 +92,27 @@ int label_sample(const SweepSample& s, double threshold);
 /// Embedded in cache CSVs so stale caches are detected and regenerated.
 std::string sweep_fingerprint(const SweepOptions& opt);
 
-/// Writes the samples; when `fingerprint` is non-empty it is embedded as
-/// a leading `# options: …` comment line (load_samples_csv returns it).
+/// Writes the samples atomically (temp file + rename); when `fingerprint`
+/// is non-empty it is embedded as a leading `# options: …` comment line
+/// (load_samples_csv returns it).
 void save_samples_csv(const std::string& path,
                       const std::vector<SweepSample>& samples,
                       const std::string& fingerprint = "");
 
 /// Reads a samples CSV. Accepts both the fingerprinted format and the
 /// legacy header-first format; when `fingerprint_out` is non-null it
-/// receives the embedded fingerprint ("" for legacy files).
+/// receives the embedded fingerprint ("" for legacy files). Malformed
+/// input raises runtime::ParseException (file, line, reason).
 std::vector<SweepSample> load_samples_csv(const std::string& path,
                                           std::string* fingerprint_out =
                                               nullptr);
 
-/// Loads `cache_path` when it exists and its embedded fingerprint matches
-/// `opt` (legacy caches without a fingerprint are trusted as-is);
-/// otherwise runs the sweep and rewrites the cache with a fingerprint.
+/// Loads `cache_path` when it exists, parses cleanly, and its embedded
+/// fingerprint matches `opt` (legacy caches without a fingerprint are
+/// trusted as-is); otherwise runs the sweep — resuming from
+/// `<cache_path>.ckpt` when a matching checkpoint survives a previous
+/// kill — and atomically rewrites the cache with a fingerprint. A corrupt
+/// cache is treated as stale, never fatal.
 std::vector<SweepSample> load_or_run_sweep(const std::string& cache_path,
                                            const SweepOptions& opt);
 

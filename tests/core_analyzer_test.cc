@@ -110,8 +110,12 @@ TEST(FlowAnalyzer, RenderMentionsVerdict) {
 TEST(FlowAnalyzer, RenderUnclassifiable) {
   FlowReport r;
   r.data_key = sim::FlowKey{1, 2, 3, 4};
+  r.insufficiency = features::Insufficiency::kNoData;
   const std::string line = FlowAnalyzer::render(r);
-  EXPECT_NE(line.find("unclassifiable"), std::string::npos);
+  // Unclassifiable flows render the three-way verdict plus the reason.
+  EXPECT_NE(line.find("insufficient-data"), std::string::npos);
+  EXPECT_NE(line.find(features::to_string(r.insufficiency)),
+            std::string::npos);
 }
 
 TEST(FlowAnalyzer, CustomModelInjectable) {

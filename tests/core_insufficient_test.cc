@@ -1,0 +1,147 @@
+// Degenerate RTT streams must yield Verdict::kInsufficientData with a
+// machine-readable reason — never a fabricated congestion label.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "core/analyzer.h"
+#include "features/extractor.h"
+
+namespace ccsig {
+namespace {
+
+using features::ExtractOptions;
+using features::Insufficiency;
+using features::extract_features_checked;
+using sim::kMillisecond;
+
+/// A clean single-flow trace: `n` segments, each acked one base RTT plus a
+/// small ramp later. Ack times can then be damaged per test.
+analysis::FlowTrace make_flow(int n) {
+  analysis::FlowTrace flow;
+  flow.data_key = sim::FlowKey{1, 2, 10, 20};
+  sim::Time t = 0;
+  for (int i = 0; i < n; ++i) {
+    analysis::TraceRecord d;
+    d.time = t;
+    d.key = flow.data_key;
+    d.seq = 1 + 100ull * static_cast<unsigned>(i);
+    d.payload_bytes = 100;
+    flow.data.push_back(d);
+
+    analysis::TraceRecord a;
+    a.time = t + (20 + 2 * i) * kMillisecond;
+    a.key = flow.data_key.reversed();
+    a.ack = d.seq + 100;
+    a.flags.ack = true;
+    flow.acks.push_back(a);
+    t += 2 * kMillisecond;
+  }
+  return flow;
+}
+
+TEST(Insufficiency, EmptyFlowIsNoData) {
+  const auto r = extract_features_checked(analysis::FlowTrace{});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.insufficiency, Insufficiency::kNoData);
+
+  auto acks_only = make_flow(12);
+  acks_only.data.clear();
+  EXPECT_EQ(extract_features_checked(acks_only).insufficiency,
+            Insufficiency::kNoData);
+}
+
+TEST(Insufficiency, ShortFlowIsTooFewSamples) {
+  const auto r = extract_features_checked(make_flow(5));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.insufficiency, Insufficiency::kTooFewRttSamples);
+}
+
+TEST(Insufficiency, RequireRetransmissionReported) {
+  ExtractOptions opt;
+  opt.require_retransmission = true;
+  const auto r = extract_features_checked(make_flow(20), opt);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.insufficiency, Insufficiency::kNoRetransmission);
+}
+
+TEST(Insufficiency, ZeroRttsFromDamagedTimestampsAreInvalid) {
+  // Every ack lands at the exact instant its data segment left: RTT = 0,
+  // which a real path cannot produce — a corrupt-capture signature.
+  auto flow = make_flow(12);
+  for (std::size_t i = 0; i < flow.acks.size(); ++i) {
+    flow.acks[i].time = flow.data[i].time;
+  }
+  const auto r = extract_features_checked(flow);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.insufficiency, Insufficiency::kInvalidRtts);
+}
+
+TEST(Insufficiency, BackwardsSampleTimesAreNonMonotonic) {
+  // Two mid-stream acks swap their timestamps (the last ack keeps the
+  // latest time, so the trace end and the sample count are intact).
+  auto flow = make_flow(12);
+  std::swap(flow.acks[5].time, flow.acks[6].time);
+  const auto r = extract_features_checked(flow);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.insufficiency, Insufficiency::kNonMonotonicTimestamps);
+}
+
+TEST(Insufficiency, HealthyFlowReportsNone) {
+  const auto r = extract_features_checked(make_flow(20));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.insufficiency, Insufficiency::kNone);
+  EXPECT_EQ(r.features->rtt_samples, 20u);
+}
+
+TEST(Insufficiency, ReasonsHaveDistinctNames) {
+  EXPECT_STREQ(features::to_string(Insufficiency::kNone), "none");
+  EXPECT_NE(std::string(features::to_string(Insufficiency::kInvalidRtts)),
+            features::to_string(Insufficiency::kNonMonotonicTimestamps));
+  EXPECT_NE(std::string(features::to_string(Insufficiency::kNoData)),
+            features::to_string(Insufficiency::kTooFewRttSamples));
+}
+
+TEST(AnalyzerVerdict, InsufficientFlowNeverGetsCongestionLabel) {
+  const FlowAnalyzer analyzer;
+  const auto report = analyzer.analyze_flow(make_flow(5));
+  EXPECT_FALSE(report.classification.has_value());
+  EXPECT_FALSE(report.features.has_value());
+  EXPECT_EQ(report.insufficiency, Insufficiency::kTooFewRttSamples);
+  EXPECT_EQ(report.verdict(), Verdict::kInsufficientData);
+  const std::string line = FlowAnalyzer::render(report);
+  EXPECT_NE(line.find("insufficient-data"), std::string::npos);
+  EXPECT_NE(line.find(features::to_string(Insufficiency::kTooFewRttSamples)),
+            std::string::npos);
+}
+
+TEST(AnalyzerVerdict, DamagedRttStreamRefusedNotMislabeled) {
+  auto flow = make_flow(12);
+  for (std::size_t i = 0; i < flow.acks.size(); ++i) {
+    flow.acks[i].time = flow.data[i].time;  // impossible zero RTTs
+  }
+  const FlowAnalyzer analyzer;
+  const auto report = analyzer.analyze_flow(flow);
+  EXPECT_EQ(report.verdict(), Verdict::kInsufficientData);
+  EXPECT_EQ(report.insufficiency, Insufficiency::kInvalidRtts);
+}
+
+TEST(AnalyzerVerdict, HealthyFlowStillClassifies) {
+  const FlowAnalyzer analyzer;
+  const auto report = analyzer.analyze_flow(make_flow(30));
+  ASSERT_TRUE(report.classification.has_value());
+  EXPECT_NE(report.verdict(), Verdict::kInsufficientData);
+  EXPECT_EQ(report.verdict(), report.classification->verdict);
+}
+
+TEST(AnalyzerVerdict, VerdictNamesCoverAllThreeStates) {
+  EXPECT_STREQ(to_string(Verdict::kExternalCongestion),
+               "external-congestion");
+  EXPECT_STREQ(to_string(Verdict::kSelfInducedCongestion),
+               "self-induced-congestion");
+  EXPECT_STREQ(to_string(Verdict::kInsufficientData), "insufficient-data");
+}
+
+}  // namespace
+}  // namespace ccsig

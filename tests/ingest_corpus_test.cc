@@ -1,0 +1,251 @@
+// Corpus tests: deterministically damaged pcap captures and campaign CSVs
+// must surface as structured ParseErrors (file, offset, reason) — never as
+// crashes, silent misparses, or fabricated verdicts.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/from_pcap.h"
+#include "core/analyzer.h"
+#include "mlab/dispute2014.h"
+#include "mlab/tslp2017.h"
+#include "pcap/capture.h"
+#include "pcap/pcap_file.h"
+#include "runtime/fault_injection.h"
+#include "runtime/parse_error.h"
+#include "test_helpers.h"
+#include "testbed/sweep.h"
+
+namespace ccsig {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("ccsig_corpus_" + std::to_string(counter_++)))
+               .string();
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string file(const std::string& name) const {
+    return (fs::path(dir_) / name).string();
+  }
+
+  /// Writes a healthy capture: a real buffer-limited transfer whose
+  /// slow-start overshoot guarantees a retransmission, so the flow
+  /// classifies end to end.
+  std::string write_capture() const {
+    const std::string path = file("healthy.pcap");
+    testutil::TwoNodePath net(testutil::basic_link(10e6, 10, 25));
+    pcap::PcapCaptureTap tap(path);
+    net.server->add_tap(&tap);
+    const auto result = testutil::run_transfer(net, 300'000);
+    net.server->remove_tap(&tap);
+    tap.flush();
+    EXPECT_TRUE(result.completed);
+    return path;
+  }
+
+  static int counter_;
+  std::string dir_;
+};
+
+int CorpusTest::counter_ = 0;
+
+TEST_F(CorpusTest, HealthyCaptureReadsCleanAndClassifies) {
+  const std::string path = write_capture();
+  const auto raw = pcap::read_all_checked(path);
+  EXPECT_TRUE(raw.ok());
+  EXPECT_GT(raw.records.size(), 100u);
+
+  const FlowAnalyzer analyzer;
+  const auto analysis = analyzer.analyze_pcap_checked(path);
+  EXPECT_TRUE(analysis.ok());
+  ASSERT_EQ(analysis.reports.size(), 1u);
+  EXPECT_TRUE(analysis.reports[0].classification.has_value());
+  EXPECT_NE(analysis.reports[0].verdict(), Verdict::kInsufficientData);
+}
+
+TEST_F(CorpusTest, TruncatedFileHeaderIsStructuredError) {
+  const std::string path = write_capture();
+  runtime::truncate_file(path, 10);  // mid file header
+  const auto raw = pcap::read_all_checked(path);
+  ASSERT_FALSE(raw.ok());
+  EXPECT_TRUE(raw.records.empty());
+  EXPECT_EQ(raw.error->file, path);
+  EXPECT_FALSE(raw.error->reason.empty());
+  // The throwing API reports the same thing as an exception that is still
+  // a std::runtime_error for legacy catch sites.
+  EXPECT_THROW(pcap::read_all(path), runtime::ParseException);
+  EXPECT_THROW(pcap::read_all(path), std::runtime_error);
+}
+
+TEST_F(CorpusTest, BadMagicIsStructuredError) {
+  const std::string path = file("junk.pcap");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char junk[64] = "this is not a capture";
+    out.write(junk, sizeof(junk));
+  }
+  const auto raw = pcap::read_all_checked(path);
+  ASSERT_FALSE(raw.ok());
+  EXPECT_NE(raw.error->reason.find("magic"), std::string::npos);
+  EXPECT_NE(raw.error->to_string().find(path), std::string::npos);
+}
+
+TEST_F(CorpusTest, TruncatedRecordKeepsCleanPrefix) {
+  const std::string path = write_capture();
+  const auto whole = pcap::read_all(path);
+  runtime::truncate_file(path, fs::file_size(path) - 7);
+  const auto raw = pcap::read_all_checked(path);
+  ASSERT_FALSE(raw.ok());
+  EXPECT_EQ(raw.records.size(), whole.size() - 1);
+  EXPECT_GT(raw.error->offset, 0u);
+
+  // The analyzer sees the same prefix and still does not crash.
+  const FlowAnalyzer analyzer;
+  const auto analysis = analyzer.analyze_pcap_checked(path);
+  EXPECT_FALSE(analysis.ok());
+  EXPECT_EQ(analysis.reports.size(), 1u);
+}
+
+TEST_F(CorpusTest, MutatedPcapCorpusNeverCrashesReaders) {
+  const std::string source = write_capture();
+  const auto mutants =
+      runtime::mutate_corpus(source, file("mutants"), /*seed=*/77,
+                             /*count=*/14);
+  ASSERT_EQ(mutants.size(), 14u);
+  const FlowAnalyzer analyzer;
+  int structured_errors = 0;
+  for (const auto& mutant : mutants) {
+    // Damaged captures must degrade into a clean prefix + structured
+    // error. Any other exception (or a crash) fails the test.
+    const auto raw = pcap::read_all_checked(mutant);
+    if (!raw.ok()) {
+      ++structured_errors;
+      EXPECT_EQ(raw.error->file, mutant);
+      EXPECT_FALSE(raw.error->reason.empty());
+    }
+    const auto analysis = analyzer.analyze_pcap_checked(mutant);
+    EXPECT_EQ(analysis.ok(), raw.ok());
+  }
+  // Truncations nearly always break framing; most mutants must report
+  // structured errors rather than parse silently.
+  EXPECT_GE(structured_errors, 5);
+}
+
+TEST_F(CorpusTest, SweepCsvRejectsDamagedRowsWithLineNumbers) {
+  const std::string path = file("sweep.csv");
+  testbed::SweepSample s;
+  s.norm_diff = 0.5;
+  s.scenario = 1;
+  testbed::save_samples_csv(path, {s});
+
+  // Append a row whose number carries trailing garbage — the old
+  // `stream >>` loader silently read "12abc" as 12.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "12abc,0,0,0,0,0,0,1,0,0,0,0\n";
+  }
+  try {
+    testbed::load_samples_csv(path);
+    FAIL() << "expected ParseException";
+  } catch (const runtime::ParseException& e) {
+    EXPECT_EQ(e.error().file, path);
+    EXPECT_EQ(e.error().offset, 3u);  // header is line 1, good row line 2
+    EXPECT_NE(e.error().reason.find("garbage"), std::string::npos);
+  }
+}
+
+TEST_F(CorpusTest, SweepCsvRejectsMissingAndExtraFields) {
+  const std::string path = file("fields.csv");
+  testbed::save_samples_csv(path, {});
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "1,2,3\n";  // far too few fields
+  }
+  EXPECT_THROW(testbed::load_samples_csv(path), runtime::ParseException);
+
+  testbed::save_samples_csv(path, {});
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "0,0,0,0,0,0,0,1,0,0,0,0,99\n";  // one extra field
+  }
+  EXPECT_THROW(testbed::load_samples_csv(path), runtime::ParseException);
+}
+
+TEST_F(CorpusTest, CampaignCsvLoadersSurviveMutatedCorpus) {
+  // One healthy cache per campaign format.
+  const std::string sweep_csv = file("sweep_src.csv");
+  testbed::SweepSample sample;
+  sample.norm_diff = 0.25;
+  sample.cov = 0.125;
+  sample.scenario = 1;
+  testbed::save_samples_csv(sweep_csv, {sample, sample, sample});
+
+  const std::string dispute_csv = file("dispute_src.csv");
+  mlab::NdtObservation obs;
+  obs.transit = "Cogent";
+  obs.site = "LAX";
+  obs.isp = "Comcast";
+  obs.month = 2;
+  obs.throughput_mbps = 8.5;
+  mlab::save_observations_csv(dispute_csv, {obs, obs});
+
+  const std::string tslp_csv = file("tslp_src.csv");
+  mlab::TslpObservation slot;
+  slot.day = 1;
+  slot.hour = 20;
+  slot.throughput_mbps = 12.5;
+  mlab::save_tslp_csv(tslp_csv, {slot, slot});
+
+  int outcomes = 0;
+  for (const std::string& source : {sweep_csv, dispute_csv, tslp_csv}) {
+    const auto mutants = runtime::mutate_corpus(
+        source, file("csv_mutants"), /*seed=*/13, /*count=*/8);
+    for (const auto& mutant : mutants) {
+      try {
+        if (source == sweep_csv) {
+          testbed::load_samples_csv(mutant);
+        } else if (source == dispute_csv) {
+          mlab::load_observations_csv(mutant);
+        } else {
+          mlab::load_tslp_csv(mutant);
+        }
+      } catch (const runtime::ParseException& e) {
+        // Structured rejection is a valid outcome; anything else escapes
+        // and fails the test.
+        EXPECT_EQ(e.error().file, mutant);
+        EXPECT_FALSE(e.error().reason.empty());
+      }
+      ++outcomes;
+    }
+  }
+  EXPECT_EQ(outcomes, 24);
+}
+
+TEST_F(CorpusTest, LoadOrRunSweepSelfHealsCorruptCache) {
+  const std::string cache = file("cache.csv");
+  {
+    std::ofstream out(cache);
+    out << "complete garbage\nnot,a,sweep\n";
+  }
+  testbed::SweepOptions opt;
+  opt.access_rates_mbps.clear();  // empty grid: regeneration is free
+  const auto got = testbed::load_or_run_sweep(cache, opt);
+  EXPECT_TRUE(got.empty());
+  // The corrupt cache was replaced by a well-formed fingerprinted one.
+  std::string fp;
+  EXPECT_NO_THROW(testbed::load_samples_csv(cache, &fp));
+  EXPECT_EQ(fp, testbed::sweep_fingerprint(opt));
+}
+
+}  // namespace
+}  // namespace ccsig

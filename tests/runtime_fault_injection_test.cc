@@ -1,0 +1,175 @@
+#include "runtime/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ccsig::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+FaultSpec spec_with(double throw_rate, double permanent_rate = 0,
+                    double stall_rate = 0, double io_fail_rate = 0) {
+  FaultSpec s;
+  s.throw_rate = throw_rate;
+  s.permanent_rate = permanent_rate;
+  s.stall_rate = stall_rate;
+  s.io_fail_rate = io_fail_rate;
+  return s;
+}
+
+std::string temp_file(const std::string& name, const std::string& content) {
+  const std::string path = (fs::temp_directory_path() / name).string();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  return path;
+}
+
+TEST(FaultPlan, DefaultIsInert) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.armed());
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    EXPECT_FALSE(plan.plans_throw(k, 1));
+    EXPECT_FALSE(plan.plans_permanent(k, 1));
+    EXPECT_FALSE(plan.plans_stall(k, 1));
+    EXPECT_FALSE(plan.io_should_fail(k, 1));
+    EXPECT_NO_THROW(plan.maybe_fault(k, 1));
+  }
+}
+
+TEST(FaultPlan, DecisionsArePureFunctionsOfSeedKeyAttempt) {
+  const FaultPlan a(42, spec_with(0.5, 0.2, 0.1, 0.3));
+  const FaultPlan b(42, spec_with(0.5, 0.2, 0.1, 0.3));
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    EXPECT_EQ(a.plans_throw(k, 1), b.plans_throw(k, 1));
+    EXPECT_EQ(a.plans_permanent(k, 1), b.plans_permanent(k, 1));
+    EXPECT_EQ(a.plans_stall(k, 1), b.plans_stall(k, 1));
+    EXPECT_EQ(a.io_should_fail(k, 1), b.io_should_fail(k, 1));
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsGiveDifferentPlans) {
+  const FaultPlan a(1, spec_with(0.5));
+  const FaultPlan b(2, spec_with(0.5));
+  int differing = 0;
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    if (a.plans_throw(k, 1) != b.plans_throw(k, 1)) ++differing;
+  }
+  EXPECT_GT(differing, 20);
+}
+
+TEST(FaultPlan, RateOneFaultsEveryFirstAttempt) {
+  const FaultPlan plan(7, spec_with(1.0));
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    EXPECT_TRUE(plan.plans_throw(k, 1));
+    EXPECT_THROW(plan.maybe_fault(k, 1), TransientError);
+  }
+}
+
+TEST(FaultPlan, LaterAttemptsSpareByDefault) {
+  // fault_attempts_at_most defaults to 1: a retried job must succeed.
+  const FaultPlan plan(7, spec_with(1.0, 1.0, 1.0, 1.0));
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    EXPECT_FALSE(plan.plans_throw(k, 2));
+    EXPECT_FALSE(plan.plans_permanent(k, 2));
+    EXPECT_FALSE(plan.io_should_fail(k, 2));
+    EXPECT_NO_THROW(plan.maybe_fault(k, 2));
+  }
+}
+
+TEST(FaultPlan, PermanentFaultThrowsPlainRuntimeError) {
+  FaultSpec spec = spec_with(0, 1.0);
+  const FaultPlan plan(3, spec);
+  try {
+    plan.maybe_fault(0, 1);
+    FAIL() << "expected a throw";
+  } catch (const TransientError&) {
+    FAIL() << "permanent fault must not be retryable";
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+  }
+}
+
+TEST(FaultPlan, ApproximateRateHonored) {
+  const FaultPlan plan(11, spec_with(0.3));
+  int hits = 0;
+  const int n = 2000;
+  for (std::uint64_t k = 0; k < static_cast<std::uint64_t>(n); ++k) {
+    if (plan.plans_throw(k, 1)) ++hits;
+  }
+  EXPECT_GT(hits, n * 0.2);
+  EXPECT_LT(hits, n * 0.4);
+}
+
+TEST(CorpusMutation, TruncateFileShortens) {
+  const std::string path = temp_file("ccsig_trunc.bin", "0123456789");
+  truncate_file(path, 4);
+  EXPECT_EQ(fs::file_size(path), 4u);
+  truncate_file(path, 100);  // longer than the file: no-op
+  EXPECT_EQ(fs::file_size(path), 4u);
+  fs::remove(path);
+}
+
+TEST(CorpusMutation, FlipByteChangesExactlyThatByte) {
+  const std::string path = temp_file("ccsig_flip.bin", "abcdef");
+  flip_byte(path, 2, 0x01);
+  std::ifstream in(path, std::ios::binary);
+  std::string got((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(got, std::string("ab") + static_cast<char>('c' ^ 0x01) + "def");
+  // Mask 0 is promoted so the mutation always changes the byte.
+  flip_byte(path, 0, 0);
+  std::ifstream in2(path, std::ios::binary);
+  std::string got2((std::istreambuf_iterator<char>(in2)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(got2[0], 'a');
+  fs::remove(path);
+}
+
+TEST(CorpusMutation, FlipByteOutOfRangeThrows) {
+  const std::string path = temp_file("ccsig_flip_oob.bin", "xy");
+  EXPECT_THROW(flip_byte(path, 10), std::runtime_error);
+  fs::remove(path);
+  EXPECT_THROW(flip_byte("/no/such/file.bin", 0), std::runtime_error);
+}
+
+TEST(CorpusMutation, MutateCorpusIsDeterministic) {
+  const std::string source =
+      temp_file("ccsig_corpus_src.bin", std::string(256, 'Q'));
+  const std::string dir_a =
+      (fs::temp_directory_path() / "ccsig_corpus_a").string();
+  const std::string dir_b =
+      (fs::temp_directory_path() / "ccsig_corpus_b").string();
+  const auto mutants_a = mutate_corpus(source, dir_a, 5, 6);
+  const auto mutants_b = mutate_corpus(source, dir_b, 5, 6);
+  ASSERT_EQ(mutants_a.size(), 6u);
+  ASSERT_EQ(mutants_b.size(), 6u);
+  std::string original;
+  {
+    std::ifstream in(source, std::ios::binary);
+    original.assign((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  }
+  for (std::size_t i = 0; i < mutants_a.size(); ++i) {
+    std::ifstream fa(mutants_a[i], std::ios::binary);
+    std::ifstream fb(mutants_b[i], std::ios::binary);
+    const std::string ca((std::istreambuf_iterator<char>(fa)),
+                         std::istreambuf_iterator<char>());
+    const std::string cb((std::istreambuf_iterator<char>(fb)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_EQ(ca, cb) << "mutant " << i << " differs across identical seeds";
+    EXPECT_NE(ca, original) << "mutant " << i << " did not damage the file";
+  }
+  fs::remove(source);
+  fs::remove_all(dir_a);
+  fs::remove_all(dir_b);
+}
+
+}  // namespace
+}  // namespace ccsig::runtime

@@ -122,12 +122,24 @@ def main():
     if args.update and not args.smoke:
         doc = {}
         if RESULT_FILE.exists():
-            with open(RESULT_FILE) as f:
-                doc = json.load(f)
+            try:
+                with open(RESULT_FILE) as f:
+                    doc = json.load(f)
+            except (json.JSONDecodeError, UnicodeDecodeError) as e:
+                print(
+                    f"warning: existing {RESULT_FILE} is corrupt ({e}); "
+                    "starting a fresh baseline (previous content discarded)",
+                    file=sys.stderr,
+                )
+                doc = {}
         doc["current"] = results
-        with open(RESULT_FILE, "w") as f:
+        # Write-then-rename so a crash mid-dump never truncates the
+        # baseline file.
+        tmp_path = RESULT_FILE.with_suffix(".json.tmp")
+        with open(tmp_path, "w") as f:
             json.dump(doc, f, indent=2, sort_keys=True)
             f.write("\n")
+        tmp_path.replace(RESULT_FILE)
         print(f"wrote {RESULT_FILE}")
 
     return 1 if failures else 0

@@ -4,14 +4,17 @@
 //   ccsig_analyze <capture.pcap> [--model FILE] [--min-samples N] [--verbose]
 //
 // Prints one line per TCP flow found in the capture: throughput, the
-// slow-start congestion signature, and the classifier's verdict. Exit code
-// is 0 on success, 1 when the capture contains no classifiable flows, and
-// 2 on usage/IO errors.
+// slow-start congestion signature, and the classifier's verdict. Exit
+// codes: 0 success, 1 no classifiable flows, 2 usage error, 3 unreadable
+// or malformed input, 4 internal error.
 #include <cstdio>
 #include <cstring>
+#include <ios>
 #include <string>
+#include <utility>
 
 #include "core/ccsig.h"
+#include "runtime/parse_error.h"
 
 int main(int argc, char** argv) {
   std::string pcap_path;
@@ -43,15 +46,32 @@ int main(int argc, char** argv) {
   }
 
   try {
-    ccsig::FlowAnalyzer analyzer =
-        model_path.empty()
-            ? ccsig::FlowAnalyzer()
-            : ccsig::FlowAnalyzer(ccsig::CongestionClassifier::load(model_path));
+    ccsig::CongestionClassifier model;
+    if (!model_path.empty()) {
+      try {
+        model = ccsig::CongestionClassifier::load(model_path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 3;
+      }
+    }
+    ccsig::FlowAnalyzer analyzer = model_path.empty()
+                                       ? ccsig::FlowAnalyzer()
+                                       : ccsig::FlowAnalyzer(std::move(model));
     if (verbose) {
       std::printf("model decision logic:\n%s\n",
                   analyzer.classifier().describe().c_str());
     }
-    const auto reports = analyzer.analyze_pcap(pcap_path, extract);
+    const auto analysis = analyzer.analyze_pcap_checked(pcap_path, extract);
+    if (analysis.error) {
+      std::fprintf(stderr, "error: %s\n",
+                   analysis.error->to_string().c_str());
+      if (analysis.reports.empty()) return 3;
+      std::fprintf(stderr,
+                   "analyzing the %zu flow(s) decoded before the error\n",
+                   analysis.reports.size());
+    }
+    const auto& reports = analysis.reports;
     if (reports.empty()) {
       std::fprintf(stderr, "no TCP flows with payload found in %s\n",
                    pcap_path.c_str());
@@ -73,9 +93,16 @@ int main(int argc, char** argv) {
       }
       classified += report.classification ? 1 : 0;
     }
+    if (analysis.error) return 3;
     return classified > 0 ? 0 : 1;
-  } catch (const std::exception& e) {
+  } catch (const ccsig::runtime::ParseException& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+    return 3;
+  } catch (const std::ios_base::failure& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 4;
   }
 }

@@ -8,16 +8,29 @@
 //   ccsig_testbed [--external] [--rate MBPS] [--latency MS] [--loss P]
 //                 [--buffer MS] [--duration S] [--cc reno|cubic|bbr]
 //                 [--seed N] [--reps N] [--jobs N] [--pcap FILE]
+//
+// Exit codes: 0 success, 1 signature unavailable, 2 usage error, 3 input
+// or I/O error, 4 internal error.
 #include <cstdio>
 #include <cstring>
+#include <ios>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/ccsig.h"
 #include "pcap/capture.h"
 #include "runtime/parallel_map.h"
+#include "runtime/parse_error.h"
 #include "sim/random.h"
 #include "testbed/experiment.h"
+
+namespace {
+
+int run_tool(ccsig::testbed::TestbedConfig cfg, int reps, int jobs,
+             const std::string& pcap_path);
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ccsig;
@@ -73,6 +86,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  try {
+    return run_tool(std::move(cfg), reps, jobs, pcap_path);
+  } catch (const runtime::ParseException& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  } catch (const std::ios_base::failure& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 4;
+  }
+}
+
+namespace {
+
+int run_tool(ccsig::testbed::TestbedConfig cfg, int reps, int jobs,
+             const std::string& pcap_path) {
+  using namespace ccsig;
   std::printf("testbed: %s scenario, access %.0f Mbps / %.0f ms latency / "
               "%.4f loss / %.0f ms buffer, sender %s, seed %llu\n",
               cfg.scenario == testbed::Scenario::kExternal ? "EXTERNAL"
@@ -160,3 +192,5 @@ int main(int argc, char** argv) {
               verdict.confidence);
   return 0;
 }
+
+}  // namespace

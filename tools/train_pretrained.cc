@@ -8,16 +8,29 @@
 // exist, the standard sweep is run right here — across --jobs worker
 // threads (default: all hardware threads) — and saved to that path first.
 // The output is a C++ raw string literal included by core/classifier.cc.
+//
+// Exit codes: 0 success, 2 usage error, 3 input or I/O error, 4 internal
+// error.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <ios>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "ml/decision_tree.h"
+#include "runtime/parse_error.h"
 #include "testbed/sweep.h"
+
+namespace {
+
+int run_tool(const std::string& csv, const std::string& out_path,
+             double threshold, int depth, int jobs, int reps,
+             std::uint64_t seed);
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::vector<const char*> positional;
@@ -51,10 +64,35 @@ int main(int argc, char** argv) {
   }
   const std::string csv = positional[0];
   const std::string out_path = positional[1];
-  const double threshold = positional.size() > 2 ? std::stod(positional[2])
-                                                 : 0.8;
-  const int depth = positional.size() > 3 ? std::stoi(positional[3]) : 4;
+  double threshold = 0.8;
+  int depth = 4;
+  try {
+    if (positional.size() > 2) threshold = std::stod(positional[2]);
+    if (positional.size() > 3) depth = std::stoi(positional[3]);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "bad threshold/depth argument\n");
+    return 2;
+  }
 
+  try {
+    return run_tool(csv, out_path, threshold, depth, jobs, reps, seed);
+  } catch (const ccsig::runtime::ParseException& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  } catch (const std::ios_base::failure& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 4;
+  }
+}
+
+namespace {
+
+int run_tool(const std::string& csv, const std::string& out_path,
+             double threshold, int depth, int jobs, int reps,
+             std::uint64_t seed) {
   if (!std::filesystem::exists(csv)) {
     ccsig::testbed::SweepOptions sweep;
     sweep.scale = 1.0;
@@ -90,9 +128,11 @@ int main(int argc, char** argv) {
   std::ofstream out(out_path, std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
+    return 3;
   }
   out << "R\"(" << tree.to_text() << ")\"\n";
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
   return 0;
 }
+
+}  // namespace
