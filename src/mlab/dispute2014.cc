@@ -194,6 +194,7 @@ std::vector<NdtObservation> generate_dispute2014(
   for (std::size_t i = 0; i < plan.size(); ++i) seeds[i] = plan[i].pc.seed;
   ropt.seed_of = [seeds](std::size_t slot) { return seeds[slot]; };
   ropt.errors_out = opt.errors_out;
+  ropt.commit_out = opt.checkpoint_commit_out;
 
   const auto slots = runtime::run_checkpointed(
       plan, [opt](const PlannedNdt& p) { return run_planned_ndt(p, opt); },
@@ -298,8 +299,21 @@ std::vector<NdtObservation> load_or_generate_dispute2014(
   if (resumable.checkpoint_path.empty()) {
     resumable.checkpoint_path = cache_path + ".ckpt";
   }
+  // A partial result (some observations failed permanently) must never
+  // become a fingerprinted cache hit: skip the cache write so the kept
+  // checkpoint drives a retry of only the failed slots next invocation.
+  std::vector<runtime::JobError> local_errors;
+  if (!resumable.errors_out) resumable.errors_out = &local_errors;
+  const std::size_t errors_before = resumable.errors_out->size();
+  std::function<void()> commit;
+  resumable.checkpoint_commit_out = &commit;
   auto obs = generate_dispute2014(resumable);
-  save_observations_csv(cache_path, obs, want);
+  if (resumable.errors_out->size() == errors_before) {
+    // Cache first, checkpoint removal second: a crash between the two only
+    // costs a cheap resume-with-nothing-pending, never recorded progress.
+    save_observations_csv(cache_path, obs, want);
+    if (commit) commit();
+  }
   return obs;
 }
 

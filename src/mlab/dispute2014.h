@@ -100,6 +100,11 @@ struct Dispute2014Options {
   /// Receives one JobError per observation that ultimately failed (the
   /// observation is absent from the result). nullptr = discard errors.
   std::vector<runtime::JobError>* errors_out = nullptr;
+  /// When non-null and every observation succeeded, receives a callback
+  /// that deletes the shard checkpoint; the checkpoint is kept until the
+  /// caller invokes it (after atomically writing the final CSV). See
+  /// runtime::CheckpointedRunOptions::commit_out.
+  std::function<void()>* checkpoint_commit_out = nullptr;
 };
 
 /// Runs the campaign (one independent path simulation per observation).
@@ -131,7 +136,10 @@ std::vector<NdtObservation> load_observations_csv(
 /// fingerprint are trusted); otherwise generates — resuming from
 /// `<cache_path>.ckpt` when a matching checkpoint survives a previous
 /// kill — and atomically rewrites the cache. A corrupt cache is treated
-/// as stale, never fatal.
+/// as stale, never fatal. A campaign with permanently failed observations
+/// returns its partial result but is NOT cached: the checkpoint is kept so
+/// the next invocation retries only the failed slots. On success the
+/// checkpoint is removed only after the cache CSV is safely on disk.
 std::vector<NdtObservation> load_or_generate_dispute2014(
     const std::string& cache_path, const Dispute2014Options& opt);
 

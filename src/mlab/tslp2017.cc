@@ -152,6 +152,7 @@ std::vector<TslpObservation> generate_tslp2017(const Tslp2017Options& opt) {
   for (std::size_t i = 0; i < plan.size(); ++i) seeds[i] = plan[i].pc.seed;
   ropt.seed_of = [seeds](std::size_t slot) { return seeds[slot]; };
   ropt.errors_out = opt.errors_out;
+  ropt.commit_out = opt.checkpoint_commit_out;
 
   const auto slots = runtime::run_checkpointed(
       plan, [opt](const PlannedSlot& p) { return run_planned_slot(p, opt); },
@@ -250,8 +251,21 @@ std::vector<TslpObservation> load_or_generate_tslp2017(
   if (resumable.checkpoint_path.empty()) {
     resumable.checkpoint_path = cache_path + ".ckpt";
   }
+  // A partial result (some slots failed permanently) must never become a
+  // fingerprinted cache hit: skip the cache write so the kept checkpoint
+  // drives a retry of only the failed slots on the next invocation.
+  std::vector<runtime::JobError> local_errors;
+  if (!resumable.errors_out) resumable.errors_out = &local_errors;
+  const std::size_t errors_before = resumable.errors_out->size();
+  std::function<void()> commit;
+  resumable.checkpoint_commit_out = &commit;
   auto obs = generate_tslp2017(resumable);
-  save_tslp_csv(cache_path, obs, want);
+  if (resumable.errors_out->size() == errors_before) {
+    // Cache first, checkpoint removal second: a crash between the two only
+    // costs a cheap resume-with-nothing-pending, never recorded progress.
+    save_tslp_csv(cache_path, obs, want);
+    if (commit) commit();
+  }
   return obs;
 }
 

@@ -67,6 +67,11 @@ struct Tslp2017Options {
   /// Receives one JobError per slot that ultimately failed (the slot is
   /// absent from the result). nullptr = discard errors.
   std::vector<runtime::JobError>* errors_out = nullptr;
+  /// When non-null and every slot succeeded, receives a callback that
+  /// deletes the shard checkpoint; the checkpoint is kept until the caller
+  /// invokes it (after atomically writing the final CSV). See
+  /// runtime::CheckpointedRunOptions::commit_out.
+  std::function<void()>* checkpoint_commit_out = nullptr;
 };
 
 /// Runs the multi-day campaign (one path snapshot per slot; peak slots every
@@ -94,7 +99,10 @@ std::vector<TslpObservation> load_tslp_csv(
 /// fingerprint are trusted); otherwise generates — resuming from
 /// `<cache_path>.ckpt` when a matching checkpoint survives a previous
 /// kill — and atomically rewrites the cache. A corrupt cache is treated
-/// as stale, never fatal.
+/// as stale, never fatal. A campaign with permanently failed slots returns
+/// its partial result but is NOT cached: the checkpoint is kept so the
+/// next invocation retries only the failed slots. On success the
+/// checkpoint is removed only after the cache CSV is safely on disk.
 std::vector<TslpObservation> load_or_generate_tslp2017(
     const std::string& cache_path, const Tslp2017Options& opt);
 

@@ -50,6 +50,16 @@ struct CheckpointedRunOptions {
   /// When non-null, receives one JobError per slot that ultimately failed
   /// (after retries). Failed slots come back as nullopt in the result.
   std::vector<JobError>* errors_out = nullptr;
+  /// When non-null, checkpoint removal after a fully successful run is
+  /// deferred: the checkpoint is flushed and kept on disk, and *commit_out
+  /// receives a callback that deletes it. The caller invokes the callback
+  /// only AFTER atomically writing the final artifact, so a crash between
+  /// "run finished" and "CSV written" still resumes from the checkpoint
+  /// instead of re-running the whole campaign. Left empty when the run had
+  /// failures or checkpointing is disabled. When null, a fully successful
+  /// run removes its checkpoint before returning (callers that produce no
+  /// further artifact).
+  std::function<void()>* commit_out = nullptr;
 };
 
 template <typename In, typename RunFn, typename SerFn, typename DeFn>
@@ -59,6 +69,7 @@ auto run_checkpointed(const std::vector<In>& items, RunFn run, SerFn ser,
   using Out = std::invoke_result_t<RunFn&, const In&>;
   const std::size_t n = items.size();
   std::vector<std::optional<Out>> out(n);
+  if (opt.commit_out) *opt.commit_out = nullptr;
 
   std::shared_ptr<ShardCheckpoint> ckpt;
   if (!opt.checkpoint_path.empty()) {
@@ -133,7 +144,12 @@ auto run_checkpointed(const std::vector<In>& items, RunFn run, SerFn ser,
     for (std::size_t k = 0; k < pending.size(); ++k) {
       if (!results[k].ok()) all_ok = false;
     }
-    if (all_ok) {
+    if (all_ok && opt.commit_out) {
+      // Deferred commit: keep the checkpoint until the caller has written
+      // the final artifact, then let it retire the checkpoint.
+      ckpt->flush();
+      *opt.commit_out = [ckpt] { ckpt->remove(); };
+    } else if (all_ok) {
       ckpt->remove();  // complete run: the final CSV is the artifact now
     } else {
       ckpt->flush();  // keep partial progress for the next invocation

@@ -64,15 +64,26 @@ struct SupervisedOptions {
 namespace detail {
 
 /// Runs one item through the retry loop. `on_attempt_start(attempt)` lets
-/// the parallel path publish per-attempt start times to the watchdog.
+/// the parallel path publish per-attempt start times to the watchdog; a
+/// `false` return means the watchdog abandoned this slot (its kTimeout
+/// error is already settled), so the loop must bail out instead of running
+/// another attempt — the returned placeholder failure is discarded.
 template <typename Out, typename In, typename Fn>
 JobResult<Out> run_supervised_attempts(
     const In& item, Fn& fn, const SupervisedOptions& opt, std::size_t index,
-    const std::function<void(int)>& on_attempt_start) {
+    const std::function<bool(int)>& on_attempt_start) {
   const std::uint64_t key = opt.fault_key ? opt.fault_key(index)
                                           : static_cast<std::uint64_t>(index);
   for (int attempt = 1;; ++attempt) {
-    if (on_attempt_start) on_attempt_start(attempt);
+    if (on_attempt_start && !on_attempt_start(attempt)) {
+      JobError err;
+      err.index = index;
+      err.seed = opt.seed_of ? opt.seed_of(index) : 0;
+      err.attempts = attempt;
+      err.kind = JobErrorKind::kTimeout;
+      err.message = "abandoned by watchdog";
+      return JobResult<Out>::failure(std::move(err));
+    }
     const auto attempt_start = std::chrono::steady_clock::now();
     try {
       if (opt.faults) opt.faults->maybe_fault(key, attempt);
@@ -168,11 +179,17 @@ auto parallel_map_supervised(const std::vector<In>& items, Fn&& fn,
 
   for (std::size_t i = 0; i < n; ++i) {
     pool->submit([state, progress, i] {
-      std::function<void(int)> on_attempt_start = [&state, i](int attempt) {
+      std::function<bool(int)> on_attempt_start = [&state, i](int attempt) {
         std::lock_guard<std::mutex> lk(state->mu);
+        // Never clobber an abandonment: the watchdog settled this slot with
+        // a kTimeout error, and resetting it to kRunning would let the slot
+        // settle a second time (early return + write into a moved-from
+        // results vector). Tell the retry loop to bail out instead.
+        if (state->status[i] == Status::kAbandoned) return false;
         state->status[i] = Status::kRunning;
         state->attempt[i] = attempt;
         state->attempt_started[i] = std::chrono::steady_clock::now();
+        return true;
       };
       auto result = detail::run_supervised_attempts<Out>(
           state->items[i], state->fn, state->opt, i, on_attempt_start);

@@ -141,6 +141,7 @@ std::vector<SweepSample> run_sweep(const SweepOptions& opt) {
   for (std::size_t i = 0; i < runs.size(); ++i) seeds[i] = runs[i].seed;
   ropt.seed_of = [seeds](std::size_t slot) { return seeds[slot]; };
   ropt.errors_out = opt.errors_out;
+  ropt.commit_out = opt.checkpoint_commit_out;
 
   const auto slots = runtime::run_checkpointed(
       runs, run_one,
@@ -274,8 +275,21 @@ std::vector<SweepSample> load_or_run_sweep(const std::string& cache_path,
   if (resumable.checkpoint_path.empty()) {
     resumable.checkpoint_path = cache_path + ".ckpt";
   }
+  // A partial result (some runs failed permanently) must never become a
+  // fingerprinted cache hit: skip the cache write so the kept checkpoint
+  // drives a retry of only the failed slots on the next invocation.
+  std::vector<runtime::JobError> local_errors;
+  if (!resumable.errors_out) resumable.errors_out = &local_errors;
+  const std::size_t errors_before = resumable.errors_out->size();
+  std::function<void()> commit;
+  resumable.checkpoint_commit_out = &commit;
   auto samples = run_sweep(resumable);
-  save_samples_csv(cache_path, samples, want);
+  if (resumable.errors_out->size() == errors_before) {
+    // Cache first, checkpoint removal second: a crash between the two only
+    // costs a cheap resume-with-nothing-pending, never recorded progress.
+    save_samples_csv(cache_path, samples, want);
+    if (commit) commit();
+  }
   return samples;
 }
 

@@ -73,6 +73,12 @@ struct SweepOptions {
   /// Receives one JobError per run that ultimately failed; such runs are
   /// simply absent from the returned samples. nullptr = discard errors.
   std::vector<runtime::JobError>* errors_out = nullptr;
+  /// When non-null and every run succeeded, receives a callback that
+  /// deletes the shard checkpoint; the checkpoint is kept until the caller
+  /// invokes it (after atomically writing the final CSV). When null, a
+  /// fully successful sweep removes its checkpoint before returning. See
+  /// runtime::CheckpointedRunOptions::commit_out.
+  std::function<void()>* checkpoint_commit_out = nullptr;
 };
 
 /// Runs the full sweep; both scenarios for every combination.
@@ -112,7 +118,10 @@ std::vector<SweepSample> load_samples_csv(const std::string& path,
 /// trusted as-is); otherwise runs the sweep — resuming from
 /// `<cache_path>.ckpt` when a matching checkpoint survives a previous
 /// kill — and atomically rewrites the cache with a fingerprint. A corrupt
-/// cache is treated as stale, never fatal.
+/// cache is treated as stale, never fatal. A sweep with permanently failed
+/// runs returns its partial samples but is NOT cached: the checkpoint is
+/// kept so the next invocation retries only the failed slots. On success
+/// the checkpoint is removed only after the cache CSV is safely on disk.
 std::vector<SweepSample> load_or_run_sweep(const std::string& cache_path,
                                            const SweepOptions& opt);
 

@@ -177,6 +177,45 @@ TEST_F(ResumeTest, CheckpointWriteFaultIsRetriedTransparently) {
   EXPECT_FALSE(fs::exists(opt.checkpoint_path));
 }
 
+TEST_F(ResumeTest, CommitOutDefersCheckpointRemovalUntilCallerCommits) {
+  const auto items = iota_items(4);
+  CheckpointedRunOptions opt;
+  opt.checkpoint_path = file("commit.ckpt");
+  opt.fingerprint = "fp-commit";
+  opt.checkpoint_every = 1;
+  std::function<void()> commit;
+  opt.commit_out = &commit;
+  const auto out = run_checkpointed(
+      items, [](const int& x) -> int { return x * 2; }, ser_int, de_int, opt);
+  for (const auto& o : out) ASSERT_TRUE(o.has_value());
+  // Full success with a deferred commit: the checkpoint survives until the
+  // caller has written its final artifact and invokes the callback.
+  EXPECT_TRUE(fs::exists(opt.checkpoint_path));
+  ASSERT_TRUE(static_cast<bool>(commit));
+  commit();
+  EXPECT_FALSE(fs::exists(opt.checkpoint_path));
+}
+
+TEST_F(ResumeTest, CommitOutLeftEmptyOnPartialFailure) {
+  const auto items = iota_items(4);
+  CheckpointedRunOptions opt;
+  opt.checkpoint_path = file("commit_fail.ckpt");
+  opt.fingerprint = "fp-commit";
+  opt.checkpoint_every = 1;
+  std::function<void()> commit = [] {};  // must be cleared, not left stale
+  opt.commit_out = &commit;
+  const auto out = run_checkpointed(
+      items,
+      [](const int& x) -> int {
+        if (x == 2) throw std::runtime_error("boom");
+        return x * 2;
+      },
+      ser_int, de_int, opt);
+  EXPECT_FALSE(out[2].has_value());
+  EXPECT_FALSE(static_cast<bool>(commit));
+  EXPECT_TRUE(fs::exists(opt.checkpoint_path));
+}
+
 testbed::SweepOptions tiny_sweep() {
   testbed::SweepOptions opt;
   opt.access_rates_mbps = {20};
@@ -280,6 +319,42 @@ TEST_F(ResumeTest, SweepPermanentFaultsReportIndexSeedAttempts) {
     EXPECT_EQ(e.attempts, 1);
     EXPECT_EQ(e.kind, runtime::JobErrorKind::kPermanent);
   }
+}
+
+TEST_F(ResumeTest, PartialFailureDoesNotPoisonSweepCache) {
+  // Regression: a sweep with permanently failed slots must not publish a
+  // fingerprinted cache — that cache would be a trusted hit forever and
+  // the kept checkpoint would never be consulted again.
+  const std::string cache = file("sweep_cache.csv");
+  const auto want = testbed::run_sweep(tiny_sweep());
+
+  FaultSpec spec;
+  spec.permanent_rate = 0.5;
+  const FaultPlan faults(seed_killing_one_of_two(spec), spec);
+
+  auto opt = tiny_sweep();
+  opt.checkpoint_every = 1;
+  opt.faults = &faults;
+  std::vector<JobError> errors;
+  opt.errors_out = &errors;
+  const auto partial = testbed::load_or_run_sweep(cache, opt);
+  EXPECT_EQ(errors.size(), 1u);
+  EXPECT_LE(partial.size(), want.size());
+  EXPECT_FALSE(fs::exists(cache));  // incomplete data never cached
+  EXPECT_TRUE(fs::exists(cache + ".ckpt"));
+
+  // Fault gone: the retry resumes from the checkpoint, completes, publishes
+  // the cache, and only then retires the checkpoint.
+  opt.faults = nullptr;
+  opt.errors_out = nullptr;
+  const auto full = testbed::load_or_run_sweep(cache, opt);
+  EXPECT_EQ(full.size(), want.size());
+  EXPECT_TRUE(fs::exists(cache));
+  EXPECT_FALSE(fs::exists(cache + ".ckpt"));
+
+  // The published cache is a genuine hit with the complete data.
+  const auto cached = testbed::load_or_run_sweep(cache, tiny_sweep());
+  EXPECT_EQ(cached.size(), want.size());
 }
 
 TEST_F(ResumeTest, InterruptedDisputeCampaignResumesByteIdentical) {

@@ -198,6 +198,45 @@ TEST(Supervised, AbandonOnDeadlineReportsTimeoutAndReturnsPromptly) {
             1500);
 }
 
+TEST(Supervised, AbandonedSlotRetryDoesNotSettleTwice) {
+  // Regression: a job that stalls past the deadline, then throws a
+  // transient error with retries left, must NOT clobber the watchdog's
+  // abandonment. Previously on_attempt_start reset the slot to kRunning,
+  // the slot settled twice, the call returned while workers were still
+  // running, and a late completion wrote into the moved-from results
+  // vector (UB); the kTimeout error could also be silently overwritten.
+  static std::atomic<int> slow_attempts{0};
+  slow_attempts = 0;
+  const std::vector<int> items = {0, 1, 2, 3};
+  SupervisedOptions opt;
+  opt.jobs = 2;
+  opt.retry.max_attempts = 4;
+  opt.soft_deadline = std::chrono::milliseconds(30);
+  opt.abandon_on_deadline = true;
+  const auto results = parallel_map_supervised(
+      items,
+      [](const int& x) -> int {
+        if (x == 1) {
+          ++slow_attempts;
+          std::this_thread::sleep_for(std::chrono::milliseconds(150));
+          throw TransientError("slow and flaky");
+        }
+        return x * 3;
+      },
+      opt);
+  ASSERT_EQ(results.size(), 4u);
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].error().kind, JobErrorKind::kTimeout);
+  for (std::size_t i : {0u, 2u, 3u}) {
+    ASSERT_TRUE(results[i].ok());
+    EXPECT_EQ(results[i].value(), static_cast<int>(i) * 3);
+  }
+  // The orphaned worker observes the abandonment when its first attempt
+  // fails and bails out instead of burning the remaining retries.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_LT(slow_attempts.load(), opt.retry.max_attempts);
+}
+
 TEST(Supervised, FaultOutcomesIdenticalAcrossJobCounts) {
   const auto items = iota_items(24);
   const FaultPlan faults(1234, spec_with(0.3, 0.2));
