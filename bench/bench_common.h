@@ -14,10 +14,13 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ml/decision_tree.h"
+#include "runtime/progress.h"
 #include "mlab/dispute2014.h"
 #include "mlab/tslp2017.h"
 #include "testbed/sweep.h"
@@ -64,13 +67,17 @@ inline void print_header(const char* title, const char* paper_ref) {
   std::printf("=====================================================\n");
 }
 
-/// Progress ticker on stderr (stdout stays clean for the table).
+/// Progress ticker on stderr (stdout stays clean for the table). Built on
+/// the shared runtime::ProgressReporter: in-place redraw with rate and ETA
+/// on a terminal, throttled full lines when stderr is redirected. The
+/// reporter rides inside the returned callback (shared_ptr) so it lives as
+/// long as the campaign options that hold it.
 inline std::function<void(std::size_t, std::size_t)> progress_ticker(
     const char* label) {
-  return [label](std::size_t done, std::size_t total) {
-    if (done % 25 == 0 || done == total) {
-      std::fprintf(stderr, "[%s] %zu/%zu\n", label, done, total);
-    }
+  auto reporter = std::make_shared<runtime::ProgressReporter>(
+      std::string(label));
+  return [reporter](std::size_t done, std::size_t total) {
+    reporter->update(done, total);
   };
 }
 

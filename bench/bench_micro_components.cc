@@ -17,6 +17,7 @@
 #include "analysis/rtt_estimator.h"
 #include "core/classifier.h"
 #include "features/extractor.h"
+#include "obs/metrics.h"
 #include "pcap/headers.h"
 #include "sim/network.h"
 #include "tcp/tcp_sink.h"
@@ -248,6 +249,71 @@ void BM_ClassifierInference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClassifierInference);
+
+// Metrics overhead. BM_MetricsCounterRecord measures the live sharded
+// counter path (and asserts it never allocates once the calling thread's
+// shard exists — the first record per thread allocates it, so a warm-up
+// record precedes the probe). BM_MetricsCounterInert measures the
+// default-constructed handle, which is the same two-branch no-op a
+// CCSIG_OBS_OFF build compiles every record call down to — comparing the
+// two is the instrumented-vs-off overhead of a record.
+void BM_MetricsCounterRecord(benchmark::State& state) {
+  obs::Counter c = obs::MetricsRegistry::global().counter("bench.counter");
+  c.inc();  // allocate this thread's shard before probing
+  std::uint64_t allocs = 0;
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    const AllocProbe probe;
+    for (int i = 0; i < 1000; ++i) c.inc();
+    allocs += probe.count();
+    records += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.counters["allocs_per_record"] =
+      static_cast<double>(allocs) / static_cast<double>(records);
+}
+BENCHMARK(BM_MetricsCounterRecord);
+
+void BM_MetricsCounterInert(benchmark::State& state) {
+  obs::Counter c;  // not registered: records are dropped in two branches
+  std::uint64_t allocs = 0;
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    const AllocProbe probe;
+    for (int i = 0; i < 1000; ++i) {
+      c.inc();
+      benchmark::DoNotOptimize(c);
+    }
+    allocs += probe.count();
+    records += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.counters["allocs_per_record"] =
+      static_cast<double>(allocs) / static_cast<double>(records);
+}
+BENCHMARK(BM_MetricsCounterInert);
+
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  obs::Histogram h = obs::MetricsRegistry::global().histogram(
+      "bench.histogram", {0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000});
+  h.record(1.0);  // allocate this thread's shard before probing
+  std::uint64_t allocs = 0;
+  std::uint64_t records = 0;
+  double v = 0.05;
+  for (auto _ : state) {
+    const AllocProbe probe;
+    for (int i = 0; i < 1000; ++i) {
+      v = v > 900 ? 0.05 : v * 1.7;
+      h.record(v);
+    }
+    allocs += probe.count();
+    records += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.counters["allocs_per_record"] =
+      static_cast<double>(allocs) / static_cast<double>(records);
+}
+BENCHMARK(BM_MetricsHistogramRecord);
 
 void BM_PcapEncodeDecode(benchmark::State& state) {
   sim::Packet p;

@@ -195,6 +195,7 @@ std::vector<NdtObservation> generate_dispute2014(
   ropt.seed_of = [seeds](std::size_t slot) { return seeds[slot]; };
   ropt.errors_out = opt.errors_out;
   ropt.commit_out = opt.checkpoint_commit_out;
+  ropt.stats_out = opt.stats_out;
 
   const auto slots = runtime::run_checkpointed(
       plan, [opt](const PlannedNdt& p) { return run_planned_ndt(p, opt); },
@@ -307,13 +308,20 @@ std::vector<NdtObservation> load_or_generate_dispute2014(
   const std::size_t errors_before = resumable.errors_out->size();
   std::function<void()> commit;
   resumable.checkpoint_commit_out = &commit;
+  runtime::CampaignStats stats;
+  if (!resumable.stats_out) resumable.stats_out = &stats;
   auto obs = generate_dispute2014(resumable);
   if (resumable.errors_out->size() == errors_before) {
     // Cache first, checkpoint removal second: a crash between the two only
     // costs a cheap resume-with-nothing-pending, never recorded progress.
+    obs::TraceSpan span("campaign.cache_commit", "campaign");
     save_observations_csv(cache_path, obs, want);
     if (commit) commit();
   }
+  // Auditability side artifact (never read back, never fingerprinted).
+  runtime::write_file_atomic(
+      cache_path + ".metrics.json",
+      runtime::campaign_metrics_json(want, *resumable.stats_out));
   return obs;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "mlab/path.h"
+#include "runtime/campaign.h"
 #include "runtime/fault_injection.h"
 #include "runtime/job_result.h"
 
@@ -105,6 +106,9 @@ struct Dispute2014Options {
   /// caller invokes it (after atomically writing the final CSV). See
   /// runtime::CheckpointedRunOptions::commit_out.
   std::function<void()>* checkpoint_commit_out = nullptr;
+  /// When non-null, receives the campaign's slot accounting
+  /// (restored/executed/failed/retried/abandoned counts).
+  runtime::CampaignStats* stats_out = nullptr;
 };
 
 /// Runs the campaign (one independent path simulation per observation).

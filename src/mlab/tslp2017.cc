@@ -153,6 +153,7 @@ std::vector<TslpObservation> generate_tslp2017(const Tslp2017Options& opt) {
   ropt.seed_of = [seeds](std::size_t slot) { return seeds[slot]; };
   ropt.errors_out = opt.errors_out;
   ropt.commit_out = opt.checkpoint_commit_out;
+  ropt.stats_out = opt.stats_out;
 
   const auto slots = runtime::run_checkpointed(
       plan, [opt](const PlannedSlot& p) { return run_planned_slot(p, opt); },
@@ -259,13 +260,20 @@ std::vector<TslpObservation> load_or_generate_tslp2017(
   const std::size_t errors_before = resumable.errors_out->size();
   std::function<void()> commit;
   resumable.checkpoint_commit_out = &commit;
+  runtime::CampaignStats stats;
+  if (!resumable.stats_out) resumable.stats_out = &stats;
   auto obs = generate_tslp2017(resumable);
   if (resumable.errors_out->size() == errors_before) {
     // Cache first, checkpoint removal second: a crash between the two only
     // costs a cheap resume-with-nothing-pending, never recorded progress.
+    obs::TraceSpan span("campaign.cache_commit", "campaign");
     save_tslp_csv(cache_path, obs, want);
     if (commit) commit();
   }
+  // Auditability side artifact (never read back, never fingerprinted).
+  runtime::write_file_atomic(
+      cache_path + ".metrics.json",
+      runtime::campaign_metrics_json(want, *resumable.stats_out));
   return obs;
 }
 

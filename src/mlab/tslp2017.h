@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "mlab/path.h"
+#include "runtime/campaign.h"
 #include "runtime/fault_injection.h"
 #include "runtime/job_result.h"
 
@@ -72,6 +73,9 @@ struct Tslp2017Options {
   /// invokes it (after atomically writing the final CSV). See
   /// runtime::CheckpointedRunOptions::commit_out.
   std::function<void()>* checkpoint_commit_out = nullptr;
+  /// When non-null, receives the campaign's slot accounting
+  /// (restored/executed/failed/retried/abandoned counts).
+  runtime::CampaignStats* stats_out = nullptr;
 };
 
 /// Runs the multi-day campaign (one path snapshot per slot; peak slots every

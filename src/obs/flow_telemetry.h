@@ -1,0 +1,210 @@
+// ccsig::obs — per-flow TCP telemetry sampler.
+//
+// A FlowTelemetryRecorder is attached to a TcpSource (via its Config) and
+// receives the sender's congestion state on every ACK plus discrete loss /
+// recovery events. Samples land in a preallocated ring that overwrites the
+// oldest entries when full, so recording is allocation-free after
+// construction and a runaway flow cannot exhaust memory — the same pooled
+// idiom as the PR-2 packet rings. ACK-clocked kSample records can be
+// thinned with `min_sample_gap`; discrete events (retransmit, timeout,
+// recovery exit) always record.
+//
+// The recorder is deliberately simulation-passive: it observes and never
+// calls back into the stack, so attaching one cannot perturb campaign
+// results. Single-flow, single-thread (one simulator) by design.
+//
+// Under CCSIG_OBS_OFF the recorder keeps its API but records nothing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"  // json_escape
+#include "sim/time.h"
+
+namespace ccsig::obs {
+
+/// What triggered a telemetry record.
+enum class FlowEvent : std::uint8_t {
+  kSample = 0,         // ACK-clocked periodic state sample
+  kFastRetransmit = 1, // dupack/SACK-triggered recovery entry
+  kTimeout = 2,        // RTO fired
+  kRecoveryExit = 3,   // recovery completed, back to congestion avoidance
+};
+
+inline const char* flow_event_name(FlowEvent e) {
+  switch (e) {
+    case FlowEvent::kSample: return "sample";
+    case FlowEvent::kFastRetransmit: return "fast_retransmit";
+    case FlowEvent::kTimeout: return "timeout";
+    case FlowEvent::kRecoveryExit: return "recovery_exit";
+  }
+  return "unknown";
+}
+
+/// One telemetry record: sender congestion state at `at`.
+struct FlowSample {
+  sim::Time at = 0;
+  FlowEvent event = FlowEvent::kSample;
+  std::uint64_t cwnd_bytes = 0;
+  std::uint64_t ssthresh_bytes = 0;
+  std::uint64_t pipe_bytes = 0;  // outstanding estimate (pipe or flight)
+  sim::Duration srtt = 0;
+  std::uint64_t retransmits = 0;  // cumulative sender retransmit count
+};
+
+/// Recorder configuration (namespace scope so it can be a default
+/// argument; nested-class NSDMIs cannot).
+struct FlowTelemetryConfig {
+  /// Ring capacity in samples (preallocated up front).
+  std::size_t capacity = 1 << 16;
+  /// Minimum spacing between kSample records; 0 keeps every ACK sample.
+  /// Event records ignore the gap.
+  sim::Duration min_sample_gap = 0;
+};
+
+#ifndef CCSIG_OBS_OFF
+
+/// Fixed-capacity overwrite-oldest sample ring; see file header.
+class FlowTelemetryRecorder {
+ public:
+  using Config = FlowTelemetryConfig;
+
+  explicit FlowTelemetryRecorder(Config cfg = Config()) : cfg_(cfg) {
+    if (cfg_.capacity == 0) {
+      throw std::runtime_error("obs: flow telemetry capacity must be > 0");
+    }
+    ring_.resize(cfg_.capacity);
+  }
+
+  /// Records one sample. kSample records inside `min_sample_gap` of the
+  /// previous kept kSample are dropped (counted, not stored).
+  void record(const FlowSample& s) {
+    if (s.event == FlowEvent::kSample && cfg_.min_sample_gap > 0 &&
+        have_sample_ && s.at - last_sample_at_ < cfg_.min_sample_gap) {
+      ++thinned_;
+      return;
+    }
+    if (s.event == FlowEvent::kSample) {
+      last_sample_at_ = s.at;
+      have_sample_ = true;
+    }
+    ring_[head_] = s;
+    head_ = (head_ + 1) % ring_.size();
+    if (size_ < ring_.size()) {
+      ++size_;
+    } else {
+      ++overwritten_;
+    }
+    ++recorded_;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return ring_.size(); }
+  /// Records accepted into the ring (including ones later overwritten).
+  std::uint64_t recorded() const { return recorded_; }
+  /// kSample records dropped by min_sample_gap thinning.
+  std::uint64_t thinned() const { return thinned_; }
+  /// Records evicted because the ring wrapped.
+  std::uint64_t overwritten() const { return overwritten_; }
+
+  /// Retained samples in chronological (record) order.
+  std::vector<FlowSample> samples() const {
+    std::vector<FlowSample> out;
+    out.reserve(size_);
+    const std::size_t start =
+        size_ < ring_.size() ? 0 : head_;  // oldest retained record
+    for (std::size_t i = 0; i < size_; ++i) {
+      out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+    recorded_ = thinned_ = overwritten_ = 0;
+    have_sample_ = false;
+    last_sample_at_ = 0;
+  }
+
+  /// CSV rendering: header + one row per retained sample, times in
+  /// seconds with the repo-wide precision-17 convention.
+  std::string to_csv() const {
+    std::ostringstream out;
+    out.precision(17);
+    out << "time_s,event,cwnd_bytes,ssthresh_bytes,pipe_bytes,srtt_s,"
+           "retransmits\n";
+    for (const FlowSample& s : samples()) {
+      out << sim::to_seconds(s.at) << ',' << flow_event_name(s.event) << ','
+          << s.cwnd_bytes << ',' << s.ssthresh_bytes << ',' << s.pipe_bytes
+          << ',' << sim::to_seconds(s.srtt) << ',' << s.retransmits << '\n';
+    }
+    return out.str();
+  }
+
+  /// JSON rendering: ring accounting plus the retained sample array.
+  std::string to_json() const {
+    std::ostringstream out;
+    out.precision(17);
+    out << "{\"recorded\":" << recorded_ << ",\"thinned\":" << thinned_
+        << ",\"overwritten\":" << overwritten_ << ",\"samples\":[";
+    bool first = true;
+    for (const FlowSample& s : samples()) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"time_s\":" << sim::to_seconds(s.at) << ",\"event\":\""
+          << flow_event_name(s.event) << "\",\"cwnd_bytes\":" << s.cwnd_bytes
+          << ",\"ssthresh_bytes\":" << s.ssthresh_bytes
+          << ",\"pipe_bytes\":" << s.pipe_bytes
+          << ",\"srtt_s\":" << sim::to_seconds(s.srtt)
+          << ",\"retransmits\":" << s.retransmits << '}';
+    }
+    out << "]}";
+    return out.str();
+  }
+
+ private:
+  Config cfg_;
+  std::vector<FlowSample> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t thinned_ = 0;
+  std::uint64_t overwritten_ = 0;
+  bool have_sample_ = false;
+  sim::Time last_sample_at_ = 0;
+};
+
+#else  // CCSIG_OBS_OFF
+
+class FlowTelemetryRecorder {
+ public:
+  using Config = FlowTelemetryConfig;
+
+  explicit FlowTelemetryRecorder(Config = Config()) {}
+  void record(const FlowSample&) {}
+  std::size_t size() const { return 0; }
+  std::size_t capacity() const { return 0; }
+  std::uint64_t recorded() const { return 0; }
+  std::uint64_t thinned() const { return 0; }
+  std::uint64_t overwritten() const { return 0; }
+  std::vector<FlowSample> samples() const { return {}; }
+  void clear() {}
+  std::string to_csv() const {
+    return "time_s,event,cwnd_bytes,ssthresh_bytes,pipe_bytes,srtt_s,"
+           "retransmits\n";
+  }
+  std::string to_json() const {
+    return "{\"recorded\":0,\"thinned\":0,\"overwritten\":0,\"samples\":[]}";
+  }
+};
+
+#endif  // CCSIG_OBS_OFF
+
+}  // namespace ccsig::obs

@@ -1,0 +1,530 @@
+// ccsig::obs — allocation-free metrics: counters, gauges, and fixed-bucket
+// latency histograms.
+//
+// Hot-path design. `Counter::add` / `Histogram::record` resolve to one
+// relaxed atomic RMW on a *per-thread shard* of the owning registry —
+// lock-free, and zero-allocation in steady state. A thread's first record
+// against a registry allocates its shard (8 KB) and registers it under the
+// registry mutex; every later record is a thread-local cache hit. Snapshots
+// take the registry lock and merge all shards, so readers never perturb
+// writers. Gauges are last-write-wins and live in a registry-level atomic
+// array (per-thread values cannot be merged meaningfully).
+//
+// Instruments are registered once (by name) and recorded through trivially
+// copyable handles; registration allocates, recording never does — the
+// property `bench_micro_components` enforces with its operator-new counter.
+//
+// Compile-time kill switch: with `CCSIG_OBS_OFF` defined (CMake option of
+// the same name) every type in this header collapses to an empty inline
+// no-op with the identical API, so instrumented call sites cost nothing and
+// need no #ifdefs. A translation unit compiled with CCSIG_OBS_OFF must not
+// be linked into a program that also uses the instrumented definitions
+// (ODR); the switch is a whole-build mode, exactly like the sanitizers.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccsig::obs {
+
+/// Minimal JSON string escaping (quotes, backslash, control characters) for
+/// the exporters in this subsystem.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Merged view of one histogram: cumulative bucket counts plus the bucket
+/// upper bounds it was registered with (the last bucket is the +inf
+/// overflow bucket and has no bound).
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;     // ascending upper bounds, size B
+  std::vector<std::uint64_t> buckets;  // size B + 1 (overflow last)
+  double sum = 0;                 // sum of recorded values
+
+  std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t b : buckets) total += b;
+    return total;
+  }
+
+  double mean() const {
+    const std::uint64_t n = count();
+    return n ? sum / static_cast<double>(n) : 0.0;
+  }
+
+  /// Bucket-interpolated quantile. Values in bucket i are assumed uniform
+  /// over (lower_i, bounds[i]] where lower_0 = 0; the overflow bucket
+  /// reports its lower bound (the last finite bound) since it has no upper
+  /// edge. `q` is clamped to [0, 1]; returns 0 on an empty histogram.
+  ///
+  /// Exact-boundary contract: a histogram holding exactly the values at a
+  /// bucket's upper bound reports that bound for every quantile that lands
+  /// in the bucket — quantile(1.0) of {10} with bounds {10, 20} is 10.
+  double quantile(double q) const {
+    const std::uint64_t total = count();
+    if (total == 0) return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(total))));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      const std::uint64_t prev = cum;
+      cum += buckets[i];
+      if (cum < rank) continue;
+      if (i >= bounds.size()) {
+        // Overflow bucket: unbounded above; report the last finite edge.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double frac = static_cast<double>(rank - prev) /
+                          static_cast<double>(buckets[i]);
+      return lower + (bounds[i] - lower) * frac;
+    }
+    return bounds.empty() ? 0.0 : bounds.back();
+  }
+};
+
+/// Point-in-time merged view of a registry, detached from its shards.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0;
+  };
+
+  std::vector<CounterValue> counters;    // sorted by name
+  std::vector<GaugeValue> gauges;        // sorted by name
+  std::vector<HistogramSnapshot> histograms;  // sorted by name
+
+  const CounterValue* counter(std::string_view name) const {
+    for (const auto& c : counters)
+      if (c.name == name) return &c;
+    return nullptr;
+  }
+  const GaugeValue* gauge(std::string_view name) const {
+    for (const auto& g : gauges)
+      if (g.name == name) return &g;
+    return nullptr;
+  }
+  const HistogramSnapshot* histogram(std::string_view name) const {
+    for (const auto& h : histograms)
+      if (h.name == name) return &h;
+    return nullptr;
+  }
+
+  /// Stable JSON rendering (instruments sorted by name): counters and
+  /// gauges as name->value maps, histograms with bounds, buckets, count,
+  /// sum, mean and the p50/p90/p99 the quantile math derives.
+  std::string to_json() const {
+    std::ostringstream out;
+    out.precision(17);
+    out << "{\"counters\":{";
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+      if (i) out << ',';
+      out << '"' << json_escape(counters[i].name) << "\":"
+          << counters[i].value;
+    }
+    out << "},\"gauges\":{";
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+      if (i) out << ',';
+      out << '"' << json_escape(gauges[i].name) << "\":" << gauges[i].value;
+    }
+    out << "},\"histograms\":{";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+      const HistogramSnapshot& h = histograms[i];
+      if (i) out << ',';
+      out << '"' << json_escape(h.name) << "\":{\"bounds\":[";
+      for (std::size_t k = 0; k < h.bounds.size(); ++k) {
+        if (k) out << ',';
+        out << h.bounds[k];
+      }
+      out << "],\"buckets\":[";
+      for (std::size_t k = 0; k < h.buckets.size(); ++k) {
+        if (k) out << ',';
+        out << h.buckets[k];
+      }
+      out << "],\"count\":" << h.count() << ",\"sum\":" << h.sum
+          << ",\"mean\":" << h.mean() << ",\"p50\":" << h.quantile(0.5)
+          << ",\"p90\":" << h.quantile(0.9) << ",\"p99\":" << h.quantile(0.99)
+          << '}';
+    }
+    out << "}}";
+    return out.str();
+  }
+};
+
+#ifndef CCSIG_OBS_OFF
+
+class MetricsRegistry;
+
+namespace detail {
+/// Adds `v` to an atomic holding a bit-cast double (lock-free CAS loop).
+inline void atomic_add_double(std::atomic<std::uint64_t>& a, double v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (true) {
+    const double next = std::bit_cast<double>(cur) + v;
+    if (a.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(next),
+                                std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+}  // namespace detail
+
+/// Trivially copyable handle to a registered counter. A default-constructed
+/// handle is inert (records nowhere).
+class Counter {
+ public:
+  inline void add(std::uint64_t delta);
+  void inc() { add(1); }
+
+ private:
+  friend class MetricsRegistry;
+  MetricsRegistry* reg_ = nullptr;
+  std::uint32_t slot_ = 0;
+};
+
+/// Last-write-wins double-valued gauge handle.
+class Gauge {
+ public:
+  inline void set(double value);
+
+ private:
+  friend class MetricsRegistry;
+  MetricsRegistry* reg_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
+/// Fixed-bucket histogram handle. Bucket resolution happens against the
+/// bounds array owned by the registry, so recording reads shared immutable
+/// data and writes one shard slot — no locks, no allocation.
+class Histogram {
+ public:
+  inline void record(double value);
+
+ private:
+  friend class MetricsRegistry;
+  MetricsRegistry* reg_ = nullptr;
+  std::uint32_t first_slot_ = 0;   // buckets.. then one sum slot
+  const double* bounds_ = nullptr;
+  std::uint32_t n_bounds_ = 0;
+};
+
+/// Registry of named instruments with sharded per-thread storage. See the
+/// file header for the concurrency and allocation contract.
+class MetricsRegistry {
+ public:
+  /// Per-shard slot budget (counters use 1 slot; a histogram uses
+  /// bounds+2). Exceeding it throws at registration time.
+  static constexpr std::size_t kSlotCapacity = 1024;
+  static constexpr std::size_t kMaxGauges = 256;
+
+  MetricsRegistry() : id_(next_registry_id()) {
+    for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+  }
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry all built-in instrumentation records into.
+  /// Intentionally immortal (never destroyed) so handles cached in
+  /// function-local statics stay valid through static teardown.
+  static MetricsRegistry& global() {
+    static auto* r = new MetricsRegistry();
+    return *r;
+  }
+
+  /// Registers (or looks up) a counter. Idempotent per name.
+  Counter counter(const std::string& name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    Counter c;
+    c.reg_ = this;
+    for (const auto& [n, slot] : counters_) {
+      if (n == name) {
+        c.slot_ = slot;
+        return c;
+      }
+    }
+    c.slot_ = allocate_slots(1);
+    counters_.emplace_back(name, c.slot_);
+    return c;
+  }
+
+  /// Registers (or looks up) a gauge. Idempotent per name.
+  Gauge gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    Gauge g;
+    g.reg_ = this;
+    for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+      if (gauge_names_[i] == name) {
+        g.index_ = static_cast<std::uint32_t>(i);
+        return g;
+      }
+    }
+    if (gauge_names_.size() >= kMaxGauges) {
+      throw std::runtime_error("obs: gauge capacity exhausted");
+    }
+    g.index_ = static_cast<std::uint32_t>(gauge_names_.size());
+    gauge_names_.push_back(name);
+    return g;
+  }
+
+  /// Registers (or looks up) a histogram with ascending upper `bounds`
+  /// (an implicit +inf overflow bucket is appended). Re-registering the
+  /// same name returns the original instrument; the original bounds win.
+  Histogram histogram(const std::string& name, std::vector<double> bounds) {
+    if (bounds.empty() || !std::is_sorted(bounds.begin(), bounds.end())) {
+      throw std::runtime_error("obs: histogram bounds must be ascending");
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& meta : histograms_) {
+      if (meta.name == name) return make_handle(meta);
+    }
+    HistogramMeta meta;
+    meta.name = name;
+    meta.bounds = std::make_shared<const std::vector<double>>(std::move(bounds));
+    // Buckets (bounds + overflow) followed by the bit-cast double sum slot.
+    meta.first_slot =
+        allocate_slots(static_cast<std::uint32_t>(meta.bounds->size()) + 2);
+    histograms_.push_back(meta);
+    return make_handle(histograms_.back());
+  }
+
+  /// Merges every shard into a detached snapshot.
+  MetricsSnapshot snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    MetricsSnapshot snap;
+    auto slot_sum = [this](std::uint32_t slot) {
+      std::uint64_t total = 0;
+      for (const auto& shard : shards_) {
+        total += shard->slots[slot].load(std::memory_order_relaxed);
+      }
+      return total;
+    };
+    for (const auto& [name, slot] : counters_) {
+      snap.counters.push_back({name, slot_sum(slot)});
+    }
+    for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+      snap.gauges.push_back(
+          {gauge_names_[i],
+           std::bit_cast<double>(gauges_[i].load(std::memory_order_relaxed))});
+    }
+    for (const auto& meta : histograms_) {
+      HistogramSnapshot h;
+      h.name = meta.name;
+      h.bounds = *meta.bounds;
+      h.buckets.resize(meta.bounds->size() + 1);
+      for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+        h.buckets[b] = slot_sum(meta.first_slot + static_cast<std::uint32_t>(b));
+      }
+      double sum = 0;
+      const std::uint32_t sum_slot =
+          meta.first_slot + static_cast<std::uint32_t>(meta.bounds->size()) + 1;
+      for (const auto& shard : shards_) {
+        sum += std::bit_cast<double>(
+            shard->slots[sum_slot].load(std::memory_order_relaxed));
+      }
+      h.sum = sum;
+      snap.histograms.push_back(std::move(h));
+    }
+    auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+    std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+    std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+    std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+    return snap;
+  }
+
+  /// Zeroes every recorded value (instrument registrations are kept).
+  /// Tests and tools that want per-phase deltas call this between phases.
+  void reset() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& shard : shards_) {
+      for (auto& slot : shard->slots) slot.store(0, std::memory_order_relaxed);
+    }
+    for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+  }
+
+  std::size_t shard_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return shards_.size();
+  }
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kSlotCapacity> slots{};
+  };
+
+  struct HistogramMeta {
+    std::string name;
+    std::shared_ptr<const std::vector<double>> bounds;
+    std::uint32_t first_slot = 0;
+  };
+
+  static std::uint64_t next_registry_id() {
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Histogram make_handle(const HistogramMeta& meta) const {
+    Histogram h;
+    h.reg_ = const_cast<MetricsRegistry*>(this);
+    h.first_slot_ = meta.first_slot;
+    h.bounds_ = meta.bounds->data();
+    h.n_bounds_ = static_cast<std::uint32_t>(meta.bounds->size());
+    return h;
+  }
+
+  std::uint32_t allocate_slots(std::uint32_t n) {
+    if (next_slot_ + n > kSlotCapacity) {
+      throw std::runtime_error("obs: metrics slot capacity exhausted");
+    }
+    const std::uint32_t first = next_slot_;
+    next_slot_ += n;
+    return first;
+  }
+
+  /// The hot-path shard lookup. A small thread-local cache maps registry
+  /// ids to shards; ids are never reused, so an entry can only resolve to
+  /// a live shard of *this* registry. On a miss we attach a fresh shard
+  /// and cache it round-robin — a thread can end up with several shards on
+  /// pathological cache churn, which is harmless because snapshots sum
+  /// across all shards.
+  Shard& local_shard() {
+    struct CacheEntry {
+      std::uint64_t id = 0;
+      Shard* shard = nullptr;
+    };
+    static constexpr std::size_t kCacheSize = 8;
+    thread_local CacheEntry cache[kCacheSize];
+    thread_local std::size_t victim = 0;
+    for (auto& e : cache) {
+      if (e.id == id_) return *e.shard;
+    }
+    Shard* shard;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shards_.push_back(std::make_unique<Shard>());
+      shard = shards_.back().get();
+    }
+    cache[victim] = CacheEntry{id_, shard};
+    victim = (victim + 1) % kCacheSize;
+    return *shard;
+  }
+
+  const std::uint64_t id_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint32_t next_slot_ = 0;
+  std::vector<std::pair<std::string, std::uint32_t>> counters_;
+  std::vector<HistogramMeta> histograms_;
+  std::vector<std::string> gauge_names_;
+  std::array<std::atomic<std::uint64_t>, kMaxGauges> gauges_;
+};
+
+inline void Counter::add(std::uint64_t delta) {
+  if (!reg_) return;
+  reg_->local_shard().slots[slot_].fetch_add(delta, std::memory_order_relaxed);
+}
+
+inline void Gauge::set(double value) {
+  if (!reg_) return;
+  reg_->gauges_[index_].store(std::bit_cast<std::uint64_t>(value),
+                              std::memory_order_relaxed);
+}
+
+inline void Histogram::record(double value) {
+  if (!reg_) return;
+  const double* end = bounds_ + n_bounds_;
+  const std::uint32_t bucket =
+      static_cast<std::uint32_t>(std::lower_bound(bounds_, end, value) -
+                                 bounds_);
+  auto& slots = reg_->local_shard().slots;
+  slots[first_slot_ + bucket].fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add_double(slots[first_slot_ + n_bounds_ + 1], value);
+}
+
+#else  // CCSIG_OBS_OFF: the identical API, compiled to nothing.
+
+class MetricsRegistry;
+
+class Counter {
+ public:
+  void add(std::uint64_t) {}
+  void inc() {}
+};
+
+class Gauge {
+ public:
+  void set(double) {}
+};
+
+class Histogram {
+ public:
+  void record(double) {}
+};
+
+class MetricsRegistry {
+ public:
+  static constexpr std::size_t kSlotCapacity = 1024;
+  static constexpr std::size_t kMaxGauges = 256;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& global() {
+    static auto* r = new MetricsRegistry();
+    return *r;
+  }
+
+  Counter counter(const std::string&) { return {}; }
+  Gauge gauge(const std::string&) { return {}; }
+  Histogram histogram(const std::string&, std::vector<double>) { return {}; }
+  MetricsSnapshot snapshot() const { return {}; }
+  void reset() {}
+  std::size_t shard_count() const { return 0; }
+};
+
+#endif  // CCSIG_OBS_OFF
+
+}  // namespace ccsig::obs

@@ -1,0 +1,74 @@
+// ccsig::obs — shared command-line wiring for the observability side
+// files every tool exposes:
+//
+//   --metrics-out FILE   final MetricsRegistry snapshot as JSON
+//   --trace-out FILE     Chrome trace-event JSON (chrome://tracing, Perfetto)
+//
+// ToolObs is constructed once in main() after flag parsing. When a trace
+// path was given it installs a process-global TraceWriter so every
+// obs::TraceSpan in the libraries records; finalize() (idempotent, also run
+// by the destructor) uninstalls the writer and writes both files with the
+// repo's atomic temp+rename discipline. Both outputs are side files: they
+// never touch stdout and never change what the tool computes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/atomic_file.h"
+
+namespace ccsig::obs {
+
+class ToolObs {
+ public:
+  ToolObs(std::string metrics_out, std::string trace_out,
+          std::string process_name)
+      : metrics_out_(std::move(metrics_out)),
+        trace_out_(std::move(trace_out)),
+        process_name_(std::move(process_name)) {
+    if (!trace_out_.empty()) {
+      writer_ = std::make_unique<TraceWriter>();
+      TraceWriter::install_global(writer_.get());
+    }
+  }
+
+  ToolObs(const ToolObs&) = delete;
+  ToolObs& operator=(const ToolObs&) = delete;
+
+  ~ToolObs() {
+    try {
+      finalize();
+    } catch (...) {
+      // Destructor path: losing a diagnostics side file must not turn a
+      // successful run into a crash.
+    }
+  }
+
+  /// Uninstalls the trace writer and writes the requested side files.
+  /// Idempotent; call explicitly to surface I/O errors as exceptions.
+  void finalize() {
+    if (finalized_) return;
+    finalized_ = true;
+    if (writer_) {
+      TraceWriter::install_global(nullptr);
+      runtime::write_file_atomic(trace_out_,
+                                 writer_->to_json(process_name_) + "\n");
+    }
+    if (!metrics_out_.empty()) {
+      runtime::write_file_atomic(
+          metrics_out_, MetricsRegistry::global().snapshot().to_json() + "\n");
+    }
+  }
+
+ private:
+  std::string metrics_out_;
+  std::string trace_out_;
+  std::string process_name_;
+  std::unique_ptr<TraceWriter> writer_;
+  bool finalized_ = false;
+};
+
+}  // namespace ccsig::obs

@@ -1,0 +1,224 @@
+// ccsig::obs — Chrome trace-event JSON writer.
+//
+// Produces the `{"traceEvents":[...]}` format loadable in Perfetto and
+// chrome://tracing: complete events (ph "X", a span with ts+dur), instant
+// events (ph "i") and process/thread metadata (ph "M"). Timestamps are
+// microseconds of std::chrono::steady_clock elapsed since the writer was
+// constructed.
+//
+// Tracing is *opt-in per process*: instrumented call sites go through
+// `TraceWriter::global()`, which is null until a tool installs a writer
+// (see `install_global`). When no writer is installed a TraceSpan is two
+// branches and no stores — cheap enough to leave in release builds, but
+// unlike metrics the enabled path does allocate (event strings, vector
+// growth); tracing is a diagnosis tool, not a steady-state one, which is
+// why the allocation benches run without a writer installed.
+//
+// Thread safety: record calls lock a mutex; spans capture their start time
+// outside the lock so contention never skews measured durations (only
+// their recording). Under CCSIG_OBS_OFF everything here is a no-op with
+// the identical API.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"  // json_escape
+
+namespace ccsig::obs {
+
+#ifndef CCSIG_OBS_OFF
+
+/// Collects trace events and renders them as Chrome trace JSON.
+class TraceWriter {
+ public:
+  TraceWriter() : epoch_(std::chrono::steady_clock::now()) {}
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// The process-wide writer instrumentation records into, or nullptr when
+  /// tracing is disabled (the default).
+  static TraceWriter* global() {
+    return global_slot().load(std::memory_order_acquire);
+  }
+
+  /// Installs `w` (may be nullptr to disable) as the global writer and
+  /// returns the previous one. The caller owns lifetimes: the installed
+  /// writer must outlive every instrumented call, so tools install at
+  /// startup and uninstall (or export) before destroying it.
+  static TraceWriter* install_global(TraceWriter* w) {
+    return global_slot().exchange(w, std::memory_order_acq_rel);
+  }
+
+  /// Microseconds since this writer was constructed.
+  std::int64_t now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Records a complete event (ph "X"): a span [ts_us, ts_us + dur_us].
+  void complete(std::string_view name, std::string_view category,
+                std::int64_t ts_us, std::int64_t dur_us) {
+    Event e;
+    e.ph = 'X';
+    e.name.assign(name);
+    e.cat.assign(category);
+    e.ts_us = ts_us;
+    e.dur_us = dur_us < 0 ? 0 : dur_us;
+    e.tid = current_tid();
+    push(std::move(e));
+  }
+
+  /// Records an instant event (ph "i", thread scope).
+  void instant(std::string_view name, std::string_view category) {
+    Event e;
+    e.ph = 'i';
+    e.name.assign(name);
+    e.cat.assign(category);
+    e.ts_us = now_us();
+    e.tid = current_tid();
+    push(std::move(e));
+  }
+
+  std::size_t event_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return events_.size();
+  }
+
+  /// Renders all recorded events as Chrome trace JSON, sorted by
+  /// timestamp (ties by thread then duration, longest first, so parents
+  /// precede the children they enclose).
+  std::string to_json(std::string_view process_name = "ccsig") const {
+    std::vector<Event> events;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      events = events_;
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& a, const Event& b) {
+                       if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                       if (a.tid != b.tid) return a.tid < b.tid;
+                       return a.dur_us > b.dur_us;
+                     });
+    std::ostringstream out;
+    out << "{\"traceEvents\":[";
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+           "\"args\":{\"name\":\""
+        << json_escape(process_name) << "\"}}";
+    for (const Event& e : events) {
+      out << ",{\"ph\":\"" << e.ph << "\",\"pid\":1,\"tid\":" << e.tid
+          << ",\"ts\":" << e.ts_us << ",\"name\":\"" << json_escape(e.name)
+          << "\",\"cat\":\"" << json_escape(e.cat) << '"';
+      if (e.ph == 'X') out << ",\"dur\":" << e.dur_us;
+      if (e.ph == 'i') out << ",\"s\":\"t\"";
+      out << '}';
+    }
+    out << "]}";
+    return out.str();
+  }
+
+ private:
+  struct Event {
+    char ph = 'X';
+    std::string name;
+    std::string cat;
+    std::int64_t ts_us = 0;
+    std::int64_t dur_us = 0;
+    std::uint32_t tid = 0;
+  };
+
+  static std::atomic<TraceWriter*>& global_slot() {
+    static std::atomic<TraceWriter*> slot{nullptr};
+    return slot;
+  }
+
+  /// Small dense thread ids (1, 2, ...) instead of opaque native handles,
+  /// so trace viewers show a compact lane per worker.
+  static std::uint32_t current_tid() {
+    static std::atomic<std::uint32_t> next{1};
+    thread_local std::uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+  }
+
+  void push(Event&& e) {
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.push_back(std::move(e));
+  }
+
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+/// RAII span: captures start on construction, records a complete event on
+/// destruction. No-op (two loads, no stores) when no global writer is
+/// installed. The name/category string_views must outlive the span —
+/// instrumented call sites use string literals.
+class TraceSpan {
+ public:
+  TraceSpan(std::string_view name, std::string_view category)
+      : writer_(TraceWriter::global()), name_(name), category_(category) {
+    if (writer_) start_us_ = writer_->now_us();
+  }
+  ~TraceSpan() {
+    if (writer_) {
+      writer_->complete(name_, category_, start_us_,
+                        writer_->now_us() - start_us_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceWriter* writer_;
+  std::string_view name_;
+  std::string_view category_;
+  std::int64_t start_us_ = 0;
+};
+
+/// Records an instant event on the global writer, if one is installed.
+inline void trace_instant(std::string_view name, std::string_view category) {
+  if (TraceWriter* w = TraceWriter::global()) w->instant(name, category);
+}
+
+#else  // CCSIG_OBS_OFF
+
+class TraceWriter {
+ public:
+  TraceWriter() = default;
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  static TraceWriter* global() { return nullptr; }
+  static TraceWriter* install_global(TraceWriter*) { return nullptr; }
+  std::int64_t now_us() const { return 0; }
+  void complete(std::string_view, std::string_view, std::int64_t,
+                std::int64_t) {}
+  void instant(std::string_view, std::string_view) {}
+  std::size_t event_count() const { return 0; }
+  std::string to_json(std::string_view = "ccsig") const {
+    return "{\"traceEvents\":[]}";
+  }
+};
+
+class TraceSpan {
+ public:
+  TraceSpan(std::string_view, std::string_view) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+inline void trace_instant(std::string_view, std::string_view) {}
+
+#endif  // CCSIG_OBS_OFF
+
+}  // namespace ccsig::obs

@@ -23,14 +23,56 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/checkpoint.h"
 #include "runtime/supervised.h"
 
 namespace ccsig::runtime {
+
+/// Per-campaign accounting filled in by run_checkpointed. Makes
+/// resumed-vs-fresh runs auditable: a resumed campaign shows
+/// `restored_slots > 0`, a retry storm shows `attempts >> executed_slots`.
+struct CampaignStats {
+  std::size_t total_slots = 0;
+  std::size_t restored_slots = 0;  // satisfied from the shard checkpoint
+  std::size_t executed_slots = 0;  // actually run this invocation
+  std::size_t failed_slots = 0;    // still failed after retries
+  std::size_t retried_slots = 0;   // needed more than one attempt
+  std::size_t abandoned_slots = 0; // watchdog kTimeout abandonments
+  std::size_t attempts = 0;        // total attempts across executed slots
+
+  /// Stable single-line JSON rendering of the stats alone.
+  std::string to_json() const {
+    std::ostringstream out;
+    out << "{\"total_slots\":" << total_slots
+        << ",\"restored_slots\":" << restored_slots
+        << ",\"executed_slots\":" << executed_slots
+        << ",\"failed_slots\":" << failed_slots
+        << ",\"retried_slots\":" << retried_slots
+        << ",\"abandoned_slots\":" << abandoned_slots
+        << ",\"attempts\":" << attempts << '}';
+    return out.str();
+  }
+};
+
+/// The end-of-campaign snapshot written next to every campaign cache CSV
+/// (`<cache>.metrics.json`): the campaign's fingerprint and slot
+/// accounting plus the process-wide metrics registry at snapshot time.
+inline std::string campaign_metrics_json(const std::string& fingerprint,
+                                         const CampaignStats& stats) {
+  std::ostringstream out;
+  out << "{\"fingerprint\":\"" << obs::json_escape(fingerprint)
+      << "\",\"campaign\":" << stats.to_json()
+      << ",\"metrics\":" << obs::MetricsRegistry::global().snapshot().to_json()
+      << "}\n";
+  return out.str();
+}
 
 struct CheckpointedRunOptions {
   /// Shard checkpoint location; empty disables checkpointing entirely.
@@ -60,6 +102,9 @@ struct CheckpointedRunOptions {
   /// run removes its checkpoint before returning (callers that produce no
   /// further artifact).
   std::function<void()>* commit_out = nullptr;
+  /// When non-null, receives the campaign's slot accounting (restored vs
+  /// executed vs failed, retry/abandonment counts).
+  CampaignStats* stats_out = nullptr;
 };
 
 template <typename In, typename RunFn, typename SerFn, typename DeFn>
@@ -73,6 +118,7 @@ auto run_checkpointed(const std::vector<In>& items, RunFn run, SerFn ser,
 
   std::shared_ptr<ShardCheckpoint> ckpt;
   if (!opt.checkpoint_path.empty()) {
+    obs::TraceSpan span("campaign.checkpoint_load", "campaign");
     ckpt = std::make_shared<ShardCheckpoint>(
         opt.checkpoint_path, opt.fingerprint, opt.checkpoint_every);
     auto restored = ShardCheckpoint::load(opt.checkpoint_path,
@@ -118,26 +164,45 @@ auto run_checkpointed(const std::vector<In>& items, RunFn run, SerFn ser,
     };
   }
 
-  auto results = parallel_map_supervised(
-      pending,
-      [items_shared, ckpt, run, ser,
-       faults = opt.faults](const std::size_t& slot) -> Out {
-        Out o = run((*items_shared)[slot]);
-        if (ckpt) ckpt->record(slot, ser(o), faults);
-        return o;
-      },
-      sopt, &progress);
+  std::vector<JobResult<Out>> results;
+  {
+    obs::TraceSpan span("campaign.run", "campaign");
+    results = parallel_map_supervised(
+        pending,
+        [items_shared, ckpt, run, ser,
+         faults = opt.faults](const std::size_t& slot) -> Out {
+          Out o = run((*items_shared)[slot]);
+          if (ckpt) ckpt->record(slot, ser(o), faults);
+          return o;
+        },
+        sopt, &progress);
+  }
 
+  CampaignStats stats;
+  stats.total_slots = n;
+  stats.restored_slots = n - pending.size();
+  stats.executed_slots = pending.size();
   for (std::size_t k = 0; k < pending.size(); ++k) {
     const std::size_t slot = pending[k];
+    const int attempts = results[k].ok() ? results[k].attempts()
+                                         : results[k].error().attempts;
+    stats.attempts += static_cast<std::size_t>(attempts > 0 ? attempts : 0);
+    if (attempts > 1) ++stats.retried_slots;
     if (results[k].ok()) {
       out[slot] = std::move(results[k].value());
-    } else if (opt.errors_out) {
-      JobError err = results[k].error();
-      err.index = slot;  // report the campaign slot, not the subset index
-      opt.errors_out->push_back(std::move(err));
+    } else {
+      ++stats.failed_slots;
+      if (results[k].error().kind == JobErrorKind::kTimeout) {
+        ++stats.abandoned_slots;
+      }
+      if (opt.errors_out) {
+        JobError err = results[k].error();
+        err.index = slot;  // report the campaign slot, not the subset index
+        opt.errors_out->push_back(std::move(err));
+      }
     }
   }
+  if (opt.stats_out) *opt.stats_out = stats;
 
   if (ckpt) {
     bool all_ok = true;

@@ -1,9 +1,16 @@
-// Thread-safe progress counter shared by the parallel campaign drivers.
+// Thread-safe progress counter shared by the parallel campaign drivers,
+// plus the stderr-only reporter every tool and bench routes progress
+// through (stdout stays machine-parseable).
 #pragma once
 
+#include <chrono>
+#include <cmath>
 #include <cstddef>
+#include <cstdio>
 #include <functional>
 #include <mutex>
+#include <string>
+#include <unistd.h>
 
 namespace ccsig::runtime {
 
@@ -39,6 +46,124 @@ class ProgressCounter {
   std::size_t done_ = 0;
   const std::size_t total_;
   Callback callback_;
+};
+
+/// Renders campaign progress — count, percentage, rate, ETA — to stderr
+/// and nothing else, so stdout stays machine-parseable. On a terminal the
+/// line redraws in place (carriage return); when stderr is redirected each
+/// throttled update is a complete line, so logs stay readable. Updates are
+/// throttled to one redraw per `min_interval_s` except the final one.
+///
+/// Thread-safe; `callback()` plugs directly into a ProgressCounter or any
+/// `(done, total)` campaign progress hook.
+struct ProgressReporterOptions {
+  std::string label = "progress";
+  /// Minimum seconds between redraws (the `done == total` update always
+  /// prints).
+  double min_interval_s = 0.25;
+  /// Output stream; nullptr means stderr.
+  std::FILE* stream = nullptr;
+};
+
+class ProgressReporter {
+ public:
+  using Options = ProgressReporterOptions;
+
+  explicit ProgressReporter(Options opt = Options())
+      : opt_(std::move(opt)), start_(std::chrono::steady_clock::now()) {
+    if (!opt_.stream) opt_.stream = stderr;
+    tty_ = isatty(fileno(opt_.stream)) != 0;
+  }
+
+  explicit ProgressReporter(std::string label)
+      : ProgressReporter(Options{std::move(label), 0.25, nullptr}) {}
+
+  ~ProgressReporter() { finish(); }
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// Pure formatter (exposed for tests): "[label] done/total pct% rate/s
+  /// eta Ns". Rate and ETA are omitted when `elapsed_s` is not positive;
+  /// ETA is omitted once done >= total.
+  static std::string format_line(const std::string& label, std::size_t done,
+                                 std::size_t total, double elapsed_s) {
+    char buf[64];
+    std::string out = "[" + label + "] " + std::to_string(done) + "/" +
+                      std::to_string(total);
+    if (total > 0) {
+      std::snprintf(buf, sizeof(buf), " %.0f%%",
+                    100.0 * static_cast<double>(done) /
+                        static_cast<double>(total));
+      out += buf;
+    }
+    if (elapsed_s > 0 && done > 0) {
+      const double rate = static_cast<double>(done) / elapsed_s;
+      std::snprintf(buf, sizeof(buf), " %.1f/s", rate);
+      out += buf;
+      if (done < total && rate > 0) {
+        const long eta = std::lround(
+            static_cast<double>(total - done) / rate);
+        std::snprintf(buf, sizeof(buf), " eta %lds", eta);
+        out += buf;
+      }
+    }
+    return out;
+  }
+
+  /// Records progress and (throttled) redraws. Thread-safe.
+  void update(std::size_t done, std::size_t total) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto now = std::chrono::steady_clock::now();
+    const bool final = total > 0 && done >= total;
+    if (!final && printed_ &&
+        std::chrono::duration<double>(now - last_print_).count() <
+            opt_.min_interval_s) {
+      return;
+    }
+    const double elapsed = std::chrono::duration<double>(now - start_).count();
+    const std::string line = format_line(opt_.label, done, total, elapsed);
+    if (tty_) {
+      std::fprintf(opt_.stream, "\r%s\x1b[K", line.c_str());
+      if (final) std::fprintf(opt_.stream, "\n");
+      needs_newline_ = !final;
+    } else {
+      std::fprintf(opt_.stream, "%s\n", line.c_str());
+    }
+    std::fflush(opt_.stream);
+    printed_ = true;
+    finished_ = final;
+    last_print_ = now;
+  }
+
+  /// Terminates an in-place redraw line (no-op when nothing was printed or
+  /// the final update already ended the line). Called by the destructor.
+  void finish() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (needs_newline_ && !finished_) {
+      std::fprintf(opt_.stream, "\n");
+      std::fflush(opt_.stream);
+    }
+    needs_newline_ = false;
+    finished_ = true;
+  }
+
+  /// Adapter for ProgressCounter / campaign progress hooks. The reporter
+  /// must outlive the returned callback.
+  ProgressCounter::Callback callback() {
+    return [this](std::size_t done, std::size_t total) {
+      update(done, total);
+    };
+  }
+
+ private:
+  Options opt_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_print_;
+  std::mutex mu_;
+  bool tty_ = false;
+  bool printed_ = false;
+  bool finished_ = false;
+  bool needs_newline_ = false;
 };
 
 }  // namespace ccsig::runtime

@@ -34,12 +34,36 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/fault_injection.h"
 #include "runtime/job_result.h"
 #include "runtime/progress.h"
 #include "runtime/thread_pool.h"
 
 namespace ccsig::runtime {
+
+/// Supervision counters (attempt/retry/failure accounting), registered
+/// once; see obs/metrics.h for the recording contract.
+struct SupervisedMetrics {
+  obs::Counter attempts;
+  obs::Counter retries;
+  obs::Counter failures_transient;
+  obs::Counter failures_permanent;
+  obs::Counter deadline_flagged;
+  obs::Counter jobs_abandoned;
+};
+
+inline SupervisedMetrics& supervised_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static SupervisedMetrics m{reg.counter("runtime.attempts"),
+                             reg.counter("runtime.retries"),
+                             reg.counter("runtime.failures_transient"),
+                             reg.counter("runtime.failures_permanent"),
+                             reg.counter("runtime.deadline_flagged"),
+                             reg.counter("runtime.jobs_abandoned")};
+  return m;
+}
 
 struct SupervisedOptions {
   /// Worker threads: 0 = every hardware thread, 1 = serial inline.
@@ -85,7 +109,9 @@ JobResult<Out> run_supervised_attempts(
       return JobResult<Out>::failure(std::move(err));
     }
     const auto attempt_start = std::chrono::steady_clock::now();
+    supervised_metrics().attempts.inc();
     try {
+      obs::TraceSpan span("runtime.attempt", "runtime");
       if (opt.faults) opt.faults->maybe_fault(key, attempt);
       Out value = fn(item);
       auto r = JobResult<Out>::success(std::move(value), attempt);
@@ -93,11 +119,14 @@ JobResult<Out> run_supervised_attempts(
           std::chrono::steady_clock::now() - attempt_start >
               opt.soft_deadline) {
         r.deadline_exceeded = true;
+        supervised_metrics().deadline_flagged.inc();
       }
       return r;
     } catch (const std::exception& e) {
       const bool transient = opt.retry.classify_transient(e);
       if (transient && attempt < opt.retry.max_attempts) {
+        supervised_metrics().retries.inc();
+        obs::trace_instant("runtime.retry", "runtime");
         const auto pause = opt.retry.backoff_for(attempt);
         if (pause.count() > 0) std::this_thread::sleep_for(pause);
         continue;
@@ -108,6 +137,9 @@ JobResult<Out> run_supervised_attempts(
       err.attempts = attempt;
       err.kind = transient ? JobErrorKind::kTransient : JobErrorKind::kPermanent;
       err.message = e.what();
+      (transient ? supervised_metrics().failures_transient
+                 : supervised_metrics().failures_permanent)
+          .inc();
       return JobResult<Out>::failure(std::move(err));
     } catch (...) {
       JobError err;
@@ -116,6 +148,7 @@ JobResult<Out> run_supervised_attempts(
       err.attempts = attempt;
       err.kind = JobErrorKind::kPermanent;
       err.message = "unknown exception";
+      supervised_metrics().failures_permanent.inc();
       return JobResult<Out>::failure(std::move(err));
     }
   }
@@ -240,6 +273,8 @@ auto parallel_map_supervised(const std::vector<In>& items, Fn&& fn,
         state->results[i] = JobResult<Out>::failure(std::move(err));
         ++state->settled;
         any_abandoned = true;
+        supervised_metrics().jobs_abandoned.inc();
+        obs::trace_instant("runtime.abandon", "runtime");
         if (progress) progress->tick();
       }
     }

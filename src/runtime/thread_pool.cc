@@ -1,9 +1,36 @@
 #include "runtime/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ccsig::runtime {
+
+namespace {
+
+struct PoolMetrics {
+  obs::Counter jobs_submitted;
+  obs::Counter jobs_completed;
+  obs::Gauge queue_depth;
+  obs::Histogram job_ms;
+};
+
+PoolMetrics& pool_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static PoolMetrics m{
+      reg.counter("runtime.pool.jobs_submitted"),
+      reg.counter("runtime.pool.jobs_completed"),
+      reg.gauge("runtime.pool.queue_depth"),
+      reg.histogram("runtime.pool.job_ms",
+                    {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+                     1000, 2500, 5000, 10000, 30000})};
+  return m;
+}
+
+}  // namespace
 
 unsigned default_jobs() {
   const unsigned n = std::thread::hardware_concurrency();
@@ -28,11 +55,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  PoolMetrics& m = pool_metrics();
   {
     std::lock_guard<std::mutex> lk(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    m.queue_depth.set(static_cast<double>(queue_.size()));
   }
+  m.jobs_submitted.inc();
   work_cv_.notify_one();
 }
 
@@ -44,14 +74,24 @@ void ThreadPool::wait() {
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
+    PoolMetrics& m = pool_metrics();
     {
       std::unique_lock<std::mutex> lk(mu_);
       work_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
+      m.queue_depth.set(static_cast<double>(queue_.size()));
     }
-    task();
+    {
+      obs::TraceSpan span("runtime.job", "runtime");
+      const auto start = std::chrono::steady_clock::now();
+      task();
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      m.job_ms.record(
+          std::chrono::duration<double, std::milli>(elapsed).count());
+      m.jobs_completed.inc();
+    }
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (--in_flight_ == 0) idle_cv_.notify_all();

@@ -3,7 +3,33 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace ccsig::sim {
+
+namespace {
+
+// Process-wide link counters, registered once. Recording is one relaxed
+// atomic add per packet — allocation-free, enforced by the bench harness.
+struct LinkMetrics {
+  obs::Counter packets_arrived;
+  obs::Counter packets_delivered;
+  obs::Counter bytes_delivered;
+  obs::Counter random_losses;
+  obs::Counter tail_drops;
+};
+
+LinkMetrics& link_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static LinkMetrics m{reg.counter("sim.link.packets_arrived"),
+                       reg.counter("sim.link.packets_delivered"),
+                       reg.counter("sim.link.bytes_delivered"),
+                       reg.counter("sim.link.random_losses"),
+                       reg.counter("sim.link.tail_drops")};
+  return m;
+}
+
+}  // namespace
 
 std::size_t buffer_bytes_for(double rate_bps, double buffer_ms) {
   return static_cast<std::size_t>(rate_bps / 8.0 * buffer_ms / 1000.0);
@@ -18,11 +44,16 @@ Link::Link(Simulator& sim, Config cfg, Rng rng)
 
 void Link::send(const Packet& p) {
   ++arrived_packets_;
+  link_metrics().packets_arrived.inc();
   if (cfg_.loss_rate > 0.0 && rng_.chance(cfg_.loss_rate)) {
     ++random_losses_;
+    link_metrics().random_losses.inc();
     return;
   }
-  if (!queue_.push(p)) return;  // drop-tail
+  if (!queue_.push(p)) {  // drop-tail
+    link_metrics().tail_drops.inc();
+    return;
+  }
   pump();
 }
 
@@ -82,6 +113,9 @@ void Link::deliver(Packet p) {
 
   ++delivered_packets_;
   delivered_bytes_ += p.wire_bytes();
+  LinkMetrics& m = link_metrics();
+  m.packets_delivered.inc();
+  m.bytes_delivered.add(p.wire_bytes());
   // Deliveries are FIFO (due times are clamped monotone above, and the
   // event queue breaks time ties in schedule order), so the packet waits in
   // the link's pooled in-flight ring rather than riding inside the closure.

@@ -5,10 +5,26 @@
 #include <limits>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
 namespace ccsig::sim {
+
+/// Process-wide simulator instruments (registered once; recording is
+/// lock-free and allocation-free, see obs/metrics.h).
+struct SimMetrics {
+  obs::Counter events_executed;
+  obs::Gauge event_queue_depth;
+};
+
+inline SimMetrics& sim_metrics() {
+  static SimMetrics m{
+      obs::MetricsRegistry::global().counter("sim.events_executed"),
+      obs::MetricsRegistry::global().gauge("sim.event_queue_depth")};
+  return m;
+}
 
 /// Owns the clock and the event queue. Components hold a `Simulator&` and
 /// schedule callbacks; `run_until()` drives them. Single-threaded by design.
@@ -34,6 +50,7 @@ class Simulator {
   /// Runs events until the queue is exhausted or the clock passes `deadline`.
   /// Returns the number of events executed.
   std::uint64_t run_until(Time deadline) {
+    obs::TraceSpan span("sim.run_until", "sim");
     std::uint64_t executed = 0;
     while (!queue_.empty() && queue_.next_time() <= deadline) {
       now_ = queue_.next_time();
@@ -42,6 +59,9 @@ class Simulator {
       ++executed;
     }
     if (now_ < deadline && queue_.empty()) now_ = deadline;
+    SimMetrics& m = sim_metrics();
+    m.events_executed.add(executed);
+    m.event_queue_depth.set(static_cast<double>(queue_.size()));
     return executed;
   }
 

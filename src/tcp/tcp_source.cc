@@ -125,6 +125,21 @@ void TcpSource::note_limit(SendLimit limit) {
   limit_since_ = sim_.now();
 }
 
+void TcpSource::telemetry_record(obs::FlowEvent event) {
+  if (!cfg_.telemetry) return;
+  obs::FlowSample s;
+  s.at = sim_.now();
+  s.event = event;
+  s.cwnd_bytes = cc_->cwnd_bytes();
+  s.ssthresh_bytes = cc_->ssthresh_bytes();
+  // Outstanding-data estimate: RFC 6675 pipe when the SACK scoreboard is
+  // maintained, plain flight otherwise.
+  s.pipe_bytes = cfg_.use_sack ? pipe_bytes() : flight_bytes();
+  s.srtt = rto_.srtt();
+  s.retransmits = stats_.retransmits;
+  cfg_.telemetry->record(s);
+}
+
 void TcpSource::try_send() {
   if (state_ != State::kEstablished) return;
   double pace_bps = cfg_.enable_pacing ? cc_->pacing_rate_bps() : 0.0;
@@ -255,6 +270,7 @@ void TcpSource::on_rto_fired(std::uint64_t generation) {
   ++stats_.timeouts;
   rto_.on_timeout();
   cc_->on_loss(LossKind::kTimeout, flight_bytes(), sim_.now());
+  telemetry_record(obs::FlowEvent::kTimeout);
   in_recovery_ = false;
   recovery_inflation_ = 0;
   dup_acks_ = 0;
@@ -392,6 +408,7 @@ std::uint64_t TcpSource::pipe_bytes() const {
 void TcpSource::enter_recovery() {
   ++stats_.fast_retransmits;
   cc_->on_loss(LossKind::kFastRetransmit, flight_bytes(), sim_.now());
+  telemetry_record(obs::FlowEvent::kFastRetransmit);
   in_recovery_ = true;
   recover_seq_ = snd_nxt_;
   disarm_rto();
@@ -492,6 +509,7 @@ void TcpSource::handle_new_ack(std::uint64_t ack) {
       recovery_inflation_ = 0;
       dup_acks_ = 0;
       cc_->on_recovery_exit(sim_.now());
+      telemetry_record(obs::FlowEvent::kRecoveryExit);
     } else if (cfg_.use_sack) {
       // Partial ACK during SACK recovery: keep repairing the scoreboard.
       recovery_send();
@@ -505,6 +523,7 @@ void TcpSource::handle_new_ack(std::uint64_t ack) {
   } else {
     dup_acks_ = 0;
     cc_->on_ack(newly, rtt_sample, sim_.now());
+    telemetry_record(obs::FlowEvent::kSample);
   }
 
   if (flight_bytes() == 0) {

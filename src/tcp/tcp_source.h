@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/flow_telemetry.h"
 #include "sim/node.h"
 #include "sim/packet.h"
 #include "sim/simulator.h"
@@ -55,6 +56,11 @@ class TcpSource {
     /// the sender falls back to NewReno partial-ACK recovery — much slower
     /// through burst losses, kept for the recovery ablation.
     bool use_sack = true;
+    /// Optional passive telemetry sink: receives cwnd/ssthresh/srtt/pipe on
+    /// every new ACK plus retransmit/timeout/recovery events. Purely
+    /// observational — attaching one never changes sender behavior. Must
+    /// outlive the source. nullptr = disabled.
+    obs::FlowTelemetryRecorder* telemetry = nullptr;
   };
 
   /// Web100-style counters exposed after (or during) the test.
@@ -141,6 +147,7 @@ class TcpSource {
   void disarm_rto();
   void on_rto_fired(std::uint64_t generation);
   void note_limit(SendLimit limit);
+  void telemetry_record(obs::FlowEvent event);
   std::uint64_t flight_bytes() const { return snd_nxt_ - snd_una_; }
   std::uint64_t effective_window() const;
   std::uint64_t app_bytes_remaining() const;

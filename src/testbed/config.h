@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/flow_telemetry.h"
 #include "sim/time.h"
 
 namespace ccsig::testbed {
@@ -59,6 +60,11 @@ struct TestbedConfig {
   int receiver_segments_per_ack = 2;  // Linux delayed ACK
 
   std::uint64_t seed = 1;
+
+  /// Optional telemetry sink attached to the *test flow's* sender (cross
+  /// traffic is never recorded). Purely observational: never part of the
+  /// experiment fingerprint, never changes results. Must outlive the run.
+  obs::FlowTelemetryRecorder* telemetry = nullptr;
 
   double access_rate_bps() const { return access_rate_mbps * 1e6 * scale; }
   double interconnect_rate_bps() const {

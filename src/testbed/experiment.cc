@@ -1,9 +1,44 @@
 #include "testbed/experiment.h"
 
 #include "analysis/flow_trace.h"
+#include "obs/metrics.h"
 
 namespace ccsig::testbed {
 namespace {
+
+// Per-run distributions over the experiment's two key links; one record
+// per link per completed run.
+struct RunMetrics {
+  obs::Histogram link_utilization_pct;
+  obs::Histogram queue_peak_pct;
+};
+
+RunMetrics& run_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static RunMetrics m{
+      reg.histogram("testbed.link_utilization_pct",
+                    {5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 95, 99, 100}),
+      reg.histogram("testbed.queue_peak_pct",
+                    {5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 95, 99, 100})};
+  return m;
+}
+
+void record_link_run(const sim::Link* link, double duration_s) {
+  if (!link || duration_s <= 0) return;
+  const sim::Link::Stats st = link->stats();
+  const sim::Link::Config& cfg = link->config();
+  RunMetrics& m = run_metrics();
+  if (cfg.rate_bps > 0) {
+    m.link_utilization_pct.record(
+        100.0 * static_cast<double>(st.delivered_bytes) * 8.0 /
+        (cfg.rate_bps * duration_s));
+  }
+  if (cfg.buffer_bytes > 0) {
+    m.queue_peak_pct.record(100.0 *
+                            static_cast<double>(st.max_queue_bytes) /
+                            static_cast<double>(cfg.buffer_bytes));
+  }
+}
 
 sim::Link::Config plain_link(double rate_bps, double delay_ms,
                              double buffer_ms) {
@@ -153,6 +188,7 @@ TestResult TestbedExperiment::run() {
   src_cfg.key = key;
   src_cfg.bytes_to_send = 0;  // timed test
   src_cfg.congestion_control = cfg_.congestion_control;
+  src_cfg.telemetry = cfg_.telemetry;
   tcp::TcpSource source(sim, server1, src_cfg);
 
   const std::uint64_t cong_before = tgcong_ ? tgcong_->bytes_fetched() : 0;
@@ -171,6 +207,10 @@ TestResult TestbedExperiment::run() {
       sim::to_seconds(cfg_.test_duration);
   result.cross_traffic_bytes =
       (tgcong_ ? tgcong_->bytes_fetched() : 0) - cong_before;
+
+  const double run_s = sim::to_seconds(cfg_.warmup + cfg_.test_duration);
+  record_link_run(interconnect_down_, run_s);
+  record_link_run(access_down_, run_s);
 
   trace_ = recorder_->take();
   const analysis::FlowTrace flow = analysis::extract_flow(trace_, key);

@@ -126,6 +126,10 @@ std::vector<SweepSample> run_sweep(const SweepOptions& opt) {
     }
   }
 
+  // The telemetry sink rides on the first run only: one exemplar cwnd/RTT
+  // trajectory per sweep without recording thousands of flows.
+  if (opt.telemetry && !runs.empty()) runs.front().telemetry = opt.telemetry;
+
   runtime::CheckpointedRunOptions ropt;
   ropt.checkpoint_path = opt.checkpoint_path;
   ropt.fingerprint = sweep_fingerprint(opt);
@@ -142,6 +146,7 @@ std::vector<SweepSample> run_sweep(const SweepOptions& opt) {
   ropt.seed_of = [seeds](std::size_t slot) { return seeds[slot]; };
   ropt.errors_out = opt.errors_out;
   ropt.commit_out = opt.checkpoint_commit_out;
+  ropt.stats_out = opt.stats_out;
 
   const auto slots = runtime::run_checkpointed(
       runs, run_one,
@@ -283,13 +288,22 @@ std::vector<SweepSample> load_or_run_sweep(const std::string& cache_path,
   const std::size_t errors_before = resumable.errors_out->size();
   std::function<void()> commit;
   resumable.checkpoint_commit_out = &commit;
+  runtime::CampaignStats stats;
+  if (!resumable.stats_out) resumable.stats_out = &stats;
   auto samples = run_sweep(resumable);
   if (resumable.errors_out->size() == errors_before) {
     // Cache first, checkpoint removal second: a crash between the two only
     // costs a cheap resume-with-nothing-pending, never recorded progress.
+    obs::TraceSpan span("campaign.cache_commit", "campaign");
     save_samples_csv(cache_path, samples, want);
     if (commit) commit();
   }
+  // Auditability side artifact (never read back, never fingerprinted):
+  // the campaign's slot accounting + the process metrics snapshot. Written
+  // on partial failure too, so a retry storm leaves evidence.
+  runtime::write_file_atomic(
+      cache_path + ".metrics.json",
+      runtime::campaign_metrics_json(want, *resumable.stats_out));
   return samples;
 }
 

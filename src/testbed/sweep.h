@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "ml/dataset.h"
+#include "obs/flow_telemetry.h"
+#include "runtime/campaign.h"
 #include "runtime/fault_injection.h"
 #include "runtime/job_result.h"
 #include "testbed/config.h"
@@ -79,6 +81,15 @@ struct SweepOptions {
   /// fully successful sweep removes its checkpoint before returning. See
   /// runtime::CheckpointedRunOptions::commit_out.
   std::function<void()>* checkpoint_commit_out = nullptr;
+
+  // --- Observability (see src/obs) ----------------------------------------
+  /// Optional telemetry sink attached to the FIRST run of the enumeration
+  /// (the exemplar flow); all other runs stay untouched. Excluded from the
+  /// fingerprint — purely observational, never changes sweep content.
+  obs::FlowTelemetryRecorder* telemetry = nullptr;
+  /// When non-null, receives the campaign's slot accounting
+  /// (restored/executed/failed/retried/abandoned; see runtime::CampaignStats).
+  runtime::CampaignStats* stats_out = nullptr;
 };
 
 /// Runs the full sweep; both scenarios for every combination.

@@ -1,0 +1,165 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ccsig::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterAccumulatesAcrossHandles) {
+  MetricsRegistry reg;
+  Counter a = reg.counter("requests");
+  Counter b = reg.counter("requests");  // idempotent: same slot
+  a.add(3);
+  b.inc();
+  const auto snap = reg.snapshot();
+  ASSERT_NE(snap.counter("requests"), nullptr);
+  EXPECT_EQ(snap.counter("requests")->value, 4u);
+}
+
+TEST(MetricsRegistry, DefaultConstructedHandlesAreInert) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.inc();
+  g.set(1.0);
+  h.record(1.0);  // must not crash, records nowhere
+}
+
+TEST(MetricsRegistry, GaugeIsLastWriteWins) {
+  MetricsRegistry reg;
+  Gauge g = reg.gauge("depth");
+  g.set(4.0);
+  g.set(2.5);
+  const auto snap = reg.snapshot();
+  ASSERT_NE(snap.gauge("depth"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.gauge("depth")->value, 2.5);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAndSum) {
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  h.record(0.5);    // bucket 0: (0, 1]
+  h.record(1.0);    // bucket 0: exactly at the upper bound
+  h.record(5.0);    // bucket 1
+  h.record(1000.0); // overflow
+  const auto snap = reg.snapshot();
+  const HistogramSnapshot* s = snap.histogram("lat");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->buckets.size(), 4u);
+  EXPECT_EQ(s->buckets[0], 2u);
+  EXPECT_EQ(s->buckets[1], 1u);
+  EXPECT_EQ(s->buckets[2], 0u);
+  EXPECT_EQ(s->buckets[3], 1u);
+  EXPECT_EQ(s->count(), 4u);
+  EXPECT_DOUBLE_EQ(s->sum, 1006.5);
+  EXPECT_DOUBLE_EQ(s->mean(), 1006.5 / 4);
+}
+
+TEST(MetricsRegistry, HistogramRejectsBadBounds) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("empty", {}), std::runtime_error);
+  EXPECT_THROW(reg.histogram("unsorted", {10.0, 1.0}), std::runtime_error);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesKeepsInstruments) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("n");
+  c.add(7);
+  reg.reset();
+  c.inc();
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("n")->value, 1u);
+}
+
+// --- quantile math, including the exact bucket-boundary contract ---------
+
+HistogramSnapshot hist(std::vector<double> bounds,
+                       std::vector<std::uint64_t> buckets, double sum = 0) {
+  HistogramSnapshot h;
+  h.bounds = std::move(bounds);
+  h.buckets = std::move(buckets);
+  h.sum = sum;
+  return h;
+}
+
+TEST(HistogramQuantile, EmptyHistogramReportsZero) {
+  EXPECT_DOUBLE_EQ(hist({1, 2}, {0, 0, 0}).quantile(0.5), 0.0);
+}
+
+TEST(HistogramQuantile, SingleValueAtBucketBoundaryReportsTheBound) {
+  // One value recorded exactly at bound 10 lands in the (0, 10] bucket;
+  // every quantile must report 10, not something interpolated below it.
+  const auto h = hist({10, 20}, {1, 0, 0}, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(HistogramQuantile, AllValuesAtSecondBucketBoundary) {
+  // Five values at exactly 20 -> bucket (10, 20]; quantile(1.0) == 20.
+  const auto h = hist({10, 20, 30}, {0, 5, 0, 0}, 100);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+  // Lower quantiles interpolate inside (10, 20]: rank 1 of 5 -> 12.
+  EXPECT_DOUBLE_EQ(h.quantile(0.2), 12.0);
+}
+
+TEST(HistogramQuantile, MedianSplitsEvenBuckets) {
+  // 10 values in (0,10], 10 in (10,20]: p50 is the top of bucket 0.
+  const auto h = hist({10, 20}, {10, 10, 0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+}
+
+TEST(HistogramQuantile, OverflowBucketReportsLastFiniteBound) {
+  const auto h = hist({10, 20}, {0, 0, 3});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+}
+
+TEST(HistogramQuantile, ClampsOutOfRangeQ) {
+  const auto h = hist({10}, {4, 0});
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+// --- snapshot JSON -------------------------------------------------------
+
+TEST(MetricsSnapshot, JsonShapeIsStableAndSorted) {
+  MetricsRegistry reg;
+  reg.counter("z.count").inc();
+  reg.counter("a.count").add(2);
+  reg.gauge("depth").set(3.0);
+  reg.histogram("lat", {1.0}).record(0.5);
+  const std::string json = reg.snapshot().to_json();
+  // Counters sorted by name: a.count before z.count.
+  const auto a_pos = json.find("\"a.count\":2");
+  const auto z_pos = json.find("\"z.count\":1");
+  ASSERT_NE(a_pos, std::string::npos);
+  ASSERT_NE(z_pos, std::string::npos);
+  EXPECT_LT(a_pos, z_pos);
+  EXPECT_NE(json.find("\"gauges\":{\"depth\":3}"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\":[1]"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(MetricsRegistry, GlobalRegistryCarriesSimInstrumentation) {
+  // The built-in instruments register lazily; just touching the global
+  // registry must be safe and snapshot cleanly.
+  const auto snap = MetricsRegistry::global().snapshot();
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccsig::obs

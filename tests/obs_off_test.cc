@@ -1,0 +1,84 @@
+// Compiled with CCSIG_OBS_OFF (see tests/CMakeLists.txt): proves the
+// no-op twin of every obs type keeps the identical API so instrumented
+// call sites build unchanged, and that recording genuinely does nothing.
+// Deliberately links only GTest — obs is header-only, and linking library
+// code compiled *without* CCSIG_OBS_OFF would be an ODR violation.
+#ifndef CCSIG_OBS_OFF
+#error "this test must be compiled with CCSIG_OBS_OFF"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/flow_telemetry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ccsig::obs {
+namespace {
+
+TEST(ObsOff, MetricsApiCompilesAndRecordsNothing) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("n");
+  Gauge g = reg.gauge("depth");
+  Histogram h = reg.histogram("lat", {1.0, 10.0});
+  c.add(5);
+  c.inc();
+  g.set(3.5);
+  h.record(2.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  EXPECT_EQ(snap.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+  reg.reset();
+  EXPECT_EQ(reg.shard_count(), 0u);
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+TEST(ObsOff, TraceApiCompilesAndRecordsNothing) {
+  TraceWriter w;
+  EXPECT_EQ(TraceWriter::global(), nullptr);
+  EXPECT_EQ(TraceWriter::install_global(&w), nullptr);
+  EXPECT_EQ(TraceWriter::global(), nullptr);  // install is a no-op
+  w.complete("span", "cat", 0, 10);
+  w.instant("mark", "cat");
+  { TraceSpan span("scoped", "cat"); }
+  trace_instant("free", "cat");
+  EXPECT_EQ(w.event_count(), 0u);
+  EXPECT_EQ(w.to_json(), "{\"traceEvents\":[]}");
+  TraceWriter::install_global(nullptr);
+}
+
+TEST(ObsOff, FlowTelemetryApiCompilesAndRecordsNothing) {
+  FlowTelemetryConfig cfg;
+  cfg.capacity = 16;
+  FlowTelemetryRecorder rec(cfg);
+  FlowSample s;
+  s.event = FlowEvent::kTimeout;
+  rec.record(s);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_TRUE(rec.samples().empty());
+  const std::string csv = rec.to_csv();
+  EXPECT_EQ(csv,
+            "time_s,event,cwnd_bytes,ssthresh_bytes,pipe_bytes,srtt_s,"
+            "retransmits\n");
+  rec.clear();
+}
+
+TEST(ObsOff, SnapshotMathStillWorksOnHandBuiltData) {
+  // The snapshot structs stay fully functional under CCSIG_OBS_OFF (they
+  // are plain data); only the recording machinery is compiled out.
+  HistogramSnapshot h;
+  h.bounds = {10.0};
+  h.buckets = {4, 0};
+  h.sum = 40.0;
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+}  // namespace
+}  // namespace ccsig::obs

@@ -1,0 +1,111 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ccsig::obs {
+namespace {
+
+/// Restores the previous global writer even when a test fails mid-body.
+class GlobalWriterGuard {
+ public:
+  explicit GlobalWriterGuard(TraceWriter* w)
+      : prev_(TraceWriter::install_global(w)) {}
+  ~GlobalWriterGuard() { TraceWriter::install_global(prev_); }
+
+ private:
+  TraceWriter* prev_;
+};
+
+TEST(TraceWriter, CompleteAndInstantEventsRender) {
+  TraceWriter w;
+  w.complete("span", "cat", 100, 50);
+  w.instant("mark", "cat");
+  EXPECT_EQ(w.event_count(), 2u);
+  const std::string json = w.to_json("test_proc");
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("test_proc"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":50"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+}
+
+TEST(TraceWriter, EventsSortedByTimestamp) {
+  TraceWriter w;
+  w.complete("later", "cat", 500, 10);
+  w.complete("earlier", "cat", 100, 10);
+  const std::string json = w.to_json();
+  const auto early = json.find("\"name\":\"earlier\"");
+  const auto late = json.find("\"name\":\"later\"");
+  ASSERT_NE(early, std::string::npos);
+  ASSERT_NE(late, std::string::npos);
+  EXPECT_LT(early, late);
+}
+
+TEST(TraceWriter, ParentSpanPrecedesChildAtSameTimestamp) {
+  TraceWriter w;
+  w.complete("child", "cat", 100, 10);
+  w.complete("parent", "cat", 100, 100);  // longer duration: must come first
+  const std::string json = w.to_json();
+  EXPECT_LT(json.find("\"name\":\"parent\""), json.find("\"name\":\"child\""));
+}
+
+TEST(TraceWriter, NegativeDurationClampedToZero) {
+  TraceWriter w;
+  w.complete("span", "cat", 100, -5);
+  EXPECT_NE(w.to_json().find("\"dur\":0"), std::string::npos);
+}
+
+TEST(TraceWriter, EmptyWriterStillRendersValidSkeleton) {
+  TraceWriter w;
+  const std::string json = w.to_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(TraceSpan, NoOpWithoutGlobalWriter) {
+  GlobalWriterGuard guard(nullptr);
+  { TraceSpan span("unrecorded", "cat"); }
+  trace_instant("unrecorded", "cat");
+  // Nothing to assert beyond "does not crash": there is no writer.
+}
+
+TEST(TraceSpan, RecordsIntoInstalledGlobalWriter) {
+  TraceWriter w;
+  GlobalWriterGuard guard(&w);
+  {
+    TraceSpan outer("outer", "test");
+    TraceSpan inner("inner", "test");
+    trace_instant("tick", "test");
+  }
+  EXPECT_EQ(w.event_count(), 3u);
+  const std::string json = w.to_json();
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"tick\""), std::string::npos);
+}
+
+TEST(TraceSpan, SpanCapturesWriterAtConstruction) {
+  TraceWriter w;
+  TraceWriter* prev = TraceWriter::install_global(&w);
+  {
+    TraceSpan span("captured", "test");
+    // Uninstall mid-span: the span still records into the writer it saw.
+    TraceWriter::install_global(nullptr);
+  }
+  TraceWriter::install_global(prev);
+  EXPECT_EQ(w.event_count(), 1u);
+}
+
+TEST(TraceWriter, JsonEscapesEventNames) {
+  TraceWriter w;
+  w.instant("quote\"name", "cat");
+  EXPECT_NE(w.to_json().find("quote\\\"name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccsig::obs

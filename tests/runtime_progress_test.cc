@@ -1,0 +1,144 @@
+#include "runtime/progress.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ccsig::runtime {
+namespace {
+
+TEST(ProgressCounter, TicksReportStrictlyIncreasingDone) {
+  std::vector<std::size_t> seen;
+  ProgressCounter counter(3, [&](std::size_t done, std::size_t total) {
+    EXPECT_EQ(total, 3u);
+    seen.push_back(done);
+  });
+  counter.tick();
+  counter.tick();
+  counter.tick();
+  EXPECT_EQ(seen, (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(counter.done(), 3u);
+  EXPECT_EQ(counter.total(), 3u);
+}
+
+TEST(ProgressCounter, CallbacksSerializedAcrossThreads) {
+  // The callback is deliberately not thread-safe: the counter's lock must
+  // serialize invocations so `seen` sees every value exactly once.
+  std::vector<std::size_t> seen;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kEach = 500;
+  ProgressCounter counter(kThreads * kEach,
+                          [&](std::size_t done, std::size_t) {
+                            seen.push_back(done);
+                          });
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::size_t i = 0; i < kEach; ++i) counter.tick();
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(seen.size(), kThreads * kEach);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], i + 1);  // exactly 1, 2, ..., N in order
+  }
+}
+
+TEST(ProgressCounter, NullCallbackStillCounts) {
+  ProgressCounter counter(2, nullptr);
+  counter.tick();
+  EXPECT_EQ(counter.done(), 1u);
+}
+
+TEST(ProgressReporterFormat, FullLineHasCountPercentRateAndEta) {
+  // 50/200 after 10s -> 25%, 5.0/s, 30s remaining.
+  EXPECT_EQ(ProgressReporter::format_line("sweep", 50, 200, 10.0),
+            "[sweep] 50/200 25% 5.0/s eta 30s");
+}
+
+TEST(ProgressReporterFormat, FinalUpdateOmitsEta) {
+  EXPECT_EQ(ProgressReporter::format_line("sweep", 200, 200, 10.0),
+            "[sweep] 200/200 100% 20.0/s");
+}
+
+TEST(ProgressReporterFormat, NoElapsedOmitsRate) {
+  EXPECT_EQ(ProgressReporter::format_line("job", 1, 4, 0.0),
+            "[job] 1/4 25%");
+}
+
+TEST(ProgressReporterFormat, ZeroTotalOmitsPercent) {
+  EXPECT_EQ(ProgressReporter::format_line("scan", 7, 0, 0.0), "[scan] 7/0");
+}
+
+TEST(ProgressReporterFormat, ZeroDoneOmitsRate) {
+  EXPECT_EQ(ProgressReporter::format_line("job", 0, 4, 5.0), "[job] 0/4 0%");
+}
+
+TEST(ProgressReporter, WritesCompleteLinesToNonTtyStream) {
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  {
+    ProgressReporterOptions opt;
+    opt.label = "test";
+    opt.min_interval_s = 0.0;  // no throttling: every update prints
+    opt.stream = tmp;
+    ProgressReporter reporter(opt);
+    reporter.update(1, 2);
+    reporter.update(2, 2);
+  }
+  std::rewind(tmp);
+  char buf[256];
+  std::string content;
+  while (std::fgets(buf, sizeof(buf), tmp)) content += buf;
+  std::fclose(tmp);
+  EXPECT_NE(content.find("[test] 1/2 50%"), std::string::npos);
+  EXPECT_NE(content.find("[test] 2/2 100%"), std::string::npos);
+  // Non-tty mode: plain lines, no carriage-return redraws.
+  EXPECT_EQ(content.find('\r'), std::string::npos);
+}
+
+TEST(ProgressReporter, ThrottlesIntermediateUpdates) {
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  {
+    ProgressReporterOptions opt;
+    opt.label = "thr";
+    opt.min_interval_s = 3600.0;  // only the first and final updates print
+    opt.stream = tmp;
+    ProgressReporter reporter(opt);
+    for (std::size_t i = 1; i <= 100; ++i) reporter.update(i, 100);
+  }
+  std::rewind(tmp);
+  char buf[256];
+  int lines = 0;
+  while (std::fgets(buf, sizeof(buf), tmp)) ++lines;
+  std::fclose(tmp);
+  EXPECT_EQ(lines, 2);  // first (unthrottled) + final (always printed)
+}
+
+TEST(ProgressReporter, CallbackAdapterFeedsCounter) {
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  {
+    ProgressReporterOptions opt;
+    opt.label = "cb";
+    opt.min_interval_s = 0.0;
+    opt.stream = tmp;
+    ProgressReporter reporter(opt);
+    ProgressCounter counter(2, reporter.callback());
+    counter.tick();
+    counter.tick();
+  }
+  std::rewind(tmp);
+  char buf[256];
+  std::string content;
+  while (std::fgets(buf, sizeof(buf), tmp)) content += buf;
+  std::fclose(tmp);
+  EXPECT_NE(content.find("[cb] 2/2 100%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccsig::runtime

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 
 namespace ccsig::testbed {
 namespace {
@@ -180,6 +181,26 @@ TEST(LoadOrRunSweep, StaleFingerprintRegenerates) {
   load_samples_csv(path, &fp);
   std::filesystem::remove(path);
   EXPECT_EQ(fp, sweep_fingerprint(changed));  // cache rewritten with new fp
+}
+
+TEST(LoadOrRunSweep, RegenerationWritesMetricsSidecar) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ccsig_cache_obs.csv")
+          .string();
+  const std::string sidecar = path + ".metrics.json";
+  std::filesystem::remove(path);
+  std::filesystem::remove(sidecar);
+  const auto got = load_or_run_sweep(path, empty_grid_options(9));
+  EXPECT_TRUE(got.empty());
+  ASSERT_TRUE(std::filesystem::exists(sidecar));
+  std::ifstream in(sidecar);
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"fingerprint\":"), std::string::npos);
+  EXPECT_NE(json.find("\"campaign\":{\"total_slots\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":{\"counters\":"), std::string::npos);
+  std::filesystem::remove(path);
+  std::filesystem::remove(sidecar);
 }
 
 TEST(RunSweep, TinySweepProducesLabeledSamples) {

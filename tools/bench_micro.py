@@ -32,6 +32,11 @@ COUNTER_BOUNDS = {
     "BM_TcpBulkTransfer": {"allocs_per_seg": 0.50},
     "BM_TcpSteadyStateAllocs": {"steady_allocs": 0.0},
     "BM_PcapEncodeDecode": {"allocs_per_frame": 0.0},
+    # Metrics recording must be allocation-free once the calling thread's
+    # shard exists (the benches record once before probing).
+    "BM_MetricsCounterRecord": {"allocs_per_record": 0.0},
+    "BM_MetricsCounterInert": {"allocs_per_record": 0.0},
+    "BM_MetricsHistogramRecord": {"allocs_per_record": 0.0},
 }
 
 # In --smoke mode only these run (the steady-state bench simulates a 30 s

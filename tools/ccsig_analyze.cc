@@ -2,23 +2,63 @@
 //
 // Usage:
 //   ccsig_analyze <capture.pcap> [--model FILE] [--min-samples N] [--verbose]
+//                 [--metrics-out FILE] [--trace-out FILE]
+//                 [--flow-telemetry FILE]
 //
 // Prints one line per TCP flow found in the capture: throughput, the
-// slow-start congestion signature, and the classifier's verdict. Exit
-// codes: 0 success, 1 no classifiable flows, 2 usage error, 3 unreadable
-// or malformed input, 4 internal error.
+// slow-start congestion signature, and the classifier's verdict.
+//
+// Observability side files (see src/obs/): --metrics-out writes the final
+// metrics snapshot JSON, --trace-out writes Chrome trace JSON, and
+// --flow-telemetry writes one CSV row per RTT sample of every flow in the
+// capture (flow index, ports, ACK arrival time, RTT, acked offset).
+//
+// Exit codes: 0 success, 1 no classifiable flows, 2 usage error,
+// 3 unreadable or malformed input, 4 internal error.
 #include <cstdio>
 #include <cstring>
 #include <ios>
+#include <sstream>
 #include <string>
 #include <utility>
 
+#include "analysis/flow_trace.h"
+#include "analysis/from_pcap.h"
+#include "analysis/rtt_estimator.h"
 #include "core/ccsig.h"
+#include "obs/tool_obs.h"
+#include "obs/trace.h"
+#include "runtime/atomic_file.h"
 #include "runtime/parse_error.h"
+
+namespace {
+
+/// Renders every flow's RTT sample series as one CSV (times and RTTs in
+/// seconds, repo-wide precision-17 convention).
+std::string rtt_telemetry_csv(const std::vector<ccsig::analysis::FlowTrace>&
+                                  flows) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "flow,src_port,dst_port,time_s,rtt_s,acked_seq\n";
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    for (const auto& s : ccsig::analysis::extract_rtt_samples(flows[i])) {
+      out << i << ',' << flows[i].data_key.src_port << ','
+          << flows[i].data_key.dst_port << ',' << ccsig::sim::to_seconds(s.at)
+          << ',' << ccsig::sim::to_seconds(s.rtt) << ',' << s.acked_seq
+          << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string pcap_path;
   std::string model_path;
+  std::string metrics_path;
+  std::string trace_path;
+  std::string telemetry_path;
   ccsig::features::ExtractOptions extract;
   bool verbose = false;
 
@@ -30,12 +70,19 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--flow-telemetry") == 0 && i + 1 < argc) {
+      telemetry_path = argv[++i];
     } else if (argv[i][0] != '-' && pcap_path.empty()) {
       pcap_path = argv[i];
     } else {
       std::fprintf(stderr,
                    "usage: %s <capture.pcap> [--model FILE] "
-                   "[--min-samples N] [--verbose]\n",
+                   "[--min-samples N] [--verbose] [--metrics-out FILE] "
+                   "[--trace-out FILE] [--flow-telemetry FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -46,6 +93,7 @@ int main(int argc, char** argv) {
   }
 
   try {
+    ccsig::obs::ToolObs tool_obs(metrics_path, trace_path, "ccsig_analyze");
     ccsig::CongestionClassifier model;
     if (!model_path.empty()) {
       try {
@@ -63,6 +111,17 @@ int main(int argc, char** argv) {
                   analyzer.classifier().describe().c_str());
     }
     const auto analysis = analyzer.analyze_pcap_checked(pcap_path, extract);
+    if (!telemetry_path.empty()) {
+      // Decoded separately from the analyzer pass: the reports keep only
+      // features, while telemetry wants the raw per-ACK RTT series.
+      ccsig::obs::TraceSpan span("analyze.flow_telemetry", "analyze");
+      const auto decoded = ccsig::analysis::trace_from_pcap_checked(pcap_path);
+      const auto flows = ccsig::analysis::split_flows(decoded.trace);
+      ccsig::runtime::write_file_atomic(telemetry_path,
+                                        rtt_telemetry_csv(flows));
+      std::fprintf(stderr, "flow telemetry written to %s (%zu flows)\n",
+                   telemetry_path.c_str(), flows.size());
+    }
     if (analysis.error) {
       std::fprintf(stderr, "error: %s\n",
                    analysis.error->to_string().c_str());

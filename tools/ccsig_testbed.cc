@@ -8,6 +8,14 @@
 //   ccsig_testbed [--external] [--rate MBPS] [--latency MS] [--loss P]
 //                 [--buffer MS] [--duration S] [--cc reno|cubic|bbr]
 //                 [--seed N] [--reps N] [--jobs N] [--pcap FILE]
+//                 [--metrics-out FILE] [--trace-out FILE]
+//                 [--flow-telemetry FILE]
+//
+// Observability side files (stdout/verdicts are unaffected):
+//   --metrics-out     final counters/gauges/histograms snapshot (JSON)
+//   --trace-out       Chrome trace-event JSON (chrome://tracing, Perfetto)
+//   --flow-telemetry  per-ACK cwnd/ssthresh/pipe/srtt CSV of the test flow
+//                     (single run only, like --pcap)
 //
 // Exit codes: 0 success, 1 signature unavailable, 2 usage error, 3 input
 // or I/O error, 4 internal error.
@@ -19,16 +27,20 @@
 #include <vector>
 
 #include "core/ccsig.h"
+#include "obs/flow_telemetry.h"
+#include "obs/tool_obs.h"
 #include "pcap/capture.h"
+#include "runtime/atomic_file.h"
 #include "runtime/parallel_map.h"
 #include "runtime/parse_error.h"
+#include "runtime/progress.h"
 #include "sim/random.h"
 #include "testbed/experiment.h"
 
 namespace {
 
 int run_tool(ccsig::testbed::TestbedConfig cfg, int reps, int jobs,
-             const std::string& pcap_path);
+             const std::string& pcap_path, const std::string& telemetry_path);
 
 }  // namespace
 
@@ -41,6 +53,9 @@ int main(int argc, char** argv) {
   int reps = 1;
   int jobs = 0;  // 0 = all hardware threads
   std::string pcap_path;
+  std::string metrics_path;
+  std::string trace_path;
+  std::string telemetry_path;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -72,11 +87,19 @@ int main(int argc, char** argv) {
       jobs = std::atoi(next("--jobs"));
     } else if (std::strcmp(argv[i], "--pcap") == 0) {
       pcap_path = next("--pcap");
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metrics_path = next("--metrics-out");
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_path = next("--trace-out");
+    } else if (std::strcmp(argv[i], "--flow-telemetry") == 0) {
+      telemetry_path = next("--flow-telemetry");
     } else {
       std::fprintf(stderr,
                    "usage: %s [--external] [--rate MBPS] [--latency MS] "
                    "[--loss P] [--buffer MS] [--duration S] [--cc NAME] "
-                   "[--seed N] [--reps N] [--jobs N] [--pcap FILE]\n",
+                   "[--seed N] [--reps N] [--jobs N] [--pcap FILE] "
+                   "[--metrics-out FILE] [--trace-out FILE] "
+                   "[--flow-telemetry FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -85,9 +108,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--pcap requires a single run (omit --reps)\n");
     return 2;
   }
+  if (reps > 1 && !telemetry_path.empty()) {
+    std::fprintf(stderr,
+                 "--flow-telemetry requires a single run (omit --reps)\n");
+    return 2;
+  }
 
   try {
-    return run_tool(std::move(cfg), reps, jobs, pcap_path);
+    obs::ToolObs tool_obs(metrics_path, trace_path, "ccsig_testbed");
+    const int rc = run_tool(std::move(cfg), reps, jobs, pcap_path,
+                            telemetry_path);
+    tool_obs.finalize();
+    return rc;
   } catch (const runtime::ParseException& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 3;
@@ -103,7 +135,7 @@ int main(int argc, char** argv) {
 namespace {
 
 int run_tool(ccsig::testbed::TestbedConfig cfg, int reps, int jobs,
-             const std::string& pcap_path) {
+             const std::string& pcap_path, const std::string& telemetry_path) {
   using namespace ccsig;
   std::printf("testbed: %s scenario, access %.0f Mbps / %.0f ms latency / "
               "%.4f loss / %.0f ms buffer, sender %s, seed %llu\n",
@@ -120,12 +152,15 @@ int run_tool(ccsig::testbed::TestbedConfig cfg, int reps, int jobs,
                                              cfg);
     sim::Rng seeder(cfg.seed);
     for (auto& r : runs) r.seed = seeder.next_u64();
+    runtime::ProgressReporter reporter("reps");
+    runtime::ProgressCounter progress(runs.size(), reporter.callback());
     const auto results = runtime::parallel_map(
         runs,
         [](const testbed::TestbedConfig& c) {
           return testbed::run_testbed_experiment(c);
         },
-        jobs);
+        jobs, &progress);
+    reporter.finish();
 
     const auto& clf = CongestionClassifier::pretrained();
     int votes[2] = {0, 0};
@@ -153,6 +188,8 @@ int run_tool(ccsig::testbed::TestbedConfig cfg, int reps, int jobs,
     return 0;
   }
 
+  obs::FlowTelemetryRecorder telemetry;
+  if (!telemetry_path.empty()) cfg.telemetry = &telemetry;
   testbed::TestbedExperiment experiment(cfg);
   std::unique_ptr<pcap::PcapCaptureTap> tap;
   if (!pcap_path.empty()) {
@@ -164,6 +201,12 @@ int run_tool(ccsig::testbed::TestbedConfig cfg, int reps, int jobs,
     tap->flush();
     std::printf("capture written to %s (%llu frames)\n", pcap_path.c_str(),
                 static_cast<unsigned long long>(tap->packets_captured()));
+  }
+  if (!telemetry_path.empty()) {
+    runtime::write_file_atomic(telemetry_path, telemetry.to_csv());
+    std::printf("flow telemetry written to %s (%zu samples, %llu recorded)\n",
+                telemetry_path.c_str(), telemetry.size(),
+                static_cast<unsigned long long>(telemetry.recorded()));
   }
 
   std::printf("\nthroughput: %.2f Mbps over %.1f s (plan %.0f Mbps)\n",

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file produced by --trace-out.
+
+Checks, in order:
+  1. the file parses as JSON with a top-level {"traceEvents": [...]} object;
+  2. every event carries the schema the writer promises (ph/pid/tid/name,
+     ts+dur for complete events, s:"t" for instants);
+  3. timestamps are monotonically non-decreasing in file order (the writer
+     sorts before emitting);
+  4. per thread, complete spans nest: a span starting inside an open span
+     must end at or before that span's end (balanced nesting, no partial
+     overlap).
+
+Exit codes: 0 valid, 1 validation failure, 2 usage / unreadable input.
+Prints a one-line summary on success, the first offending event otherwise.
+
+Usage: check_trace.py <trace.json> [-- command args...]
+
+With a trailing command (after --), the command is run first — expected to
+write <trace.json> — and its failure fails the check. This is how the
+trace_json_valid ctest produces and validates a trace in one step.
+"""
+
+import json
+import subprocess
+import sys
+
+REQUIRED_KEYS = {"ph", "pid", "tid", "name"}
+KNOWN_PHASES = {"X", "i", "M"}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def validate(doc):
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail("traceEvents must be an array")
+
+    last_ts = None
+    # Per-thread stack of open complete-span end times, for nesting checks.
+    open_spans = {}
+    counts = {"X": 0, "i": 0, "M": 0}
+
+    for idx, e in enumerate(events):
+        where = f"event {idx} ({e.get('name', '?')!r})"
+        if not isinstance(e, dict):
+            return fail(f"event {idx} is not an object")
+        missing = REQUIRED_KEYS - e.keys()
+        if missing:
+            return fail(f"{where}: missing keys {sorted(missing)}")
+        ph = e["ph"]
+        if ph not in KNOWN_PHASES:
+            return fail(f"{where}: unknown phase {ph!r}")
+        counts[ph] += 1
+        if ph == "M":
+            continue  # metadata events carry no timestamp contract
+
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)):
+            return fail(f"{where}: ts missing or not a number")
+        if last_ts is not None and ts < last_ts:
+            return fail(f"{where}: ts {ts} < previous ts {last_ts} "
+                        "(timestamps must be monotonic)")
+        last_ts = ts
+
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                return fail(f"{where}: complete event needs dur >= 0")
+            if "cat" not in e:
+                return fail(f"{where}: complete event missing cat")
+            stack = open_spans.setdefault(e["tid"], [])
+            # Pop spans that ended before this one starts.
+            while stack and stack[-1] < ts:
+                stack.pop()
+            if stack and ts + dur > stack[-1]:
+                return fail(
+                    f"{where}: span [{ts}, {ts + dur}] partially overlaps "
+                    f"enclosing span ending at {stack[-1]} on tid {e['tid']} "
+                    "(spans must nest)")
+            stack.append(ts + dur)
+        elif ph == "i":
+            if e.get("s") != "t":
+                return fail(f"{where}: instant event needs scope s:'t'")
+
+    print(f"check_trace: OK: {counts['X']} spans, {counts['i']} instants, "
+          f"{counts['M']} metadata events")
+    return 0
+
+
+def main(argv):
+    command = []
+    if "--" in argv:
+        split = argv.index("--")
+        command = argv[split + 1:]
+        argv = argv[:split]
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if command:
+        proc = subprocess.run(command, stdout=subprocess.DEVNULL)
+        if proc.returncode != 0:
+            print(f"check_trace: command exited {proc.returncode}: "
+                  f"{' '.join(command)}", file=sys.stderr)
+            return 2
+    try:
+        with open(argv[1], "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"check_trace: cannot read {argv[1]}: {e}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as e:
+        print(f"check_trace: FAIL: {argv[1]} is not valid JSON: {e}",
+              file=sys.stderr)
+        return 1
+    return validate(doc)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,6 +2,14 @@
 //
 // Usage: train_pretrained <sweep.csv> <output.inc> [threshold] [depth]
 //                         [--jobs N] [--reps N] [--seed N]
+//                         [--metrics-out FILE] [--trace-out FILE]
+//                         [--flow-telemetry FILE]
+//
+// Observability side files (see src/obs/): --metrics-out writes the final
+// metrics snapshot JSON, --trace-out writes Chrome trace JSON covering the
+// sweep campaign, --flow-telemetry writes the per-ACK congestion-state CSV
+// of the sweep's first enumerated run (only recorded when the sweep
+// actually executes, i.e. <sweep.csv> was missing).
 //
 // The sweep CSV comes from testbed::save_samples_csv (run the fig3 bench
 // once, or call testbed::run_sweep yourself). When <sweep.csv> does not
@@ -21,14 +29,18 @@
 #include <vector>
 
 #include "ml/decision_tree.h"
+#include "obs/flow_telemetry.h"
+#include "obs/tool_obs.h"
+#include "runtime/atomic_file.h"
 #include "runtime/parse_error.h"
+#include "runtime/progress.h"
 #include "testbed/sweep.h"
 
 namespace {
 
 int run_tool(const std::string& csv, const std::string& out_path,
              double threshold, int depth, int jobs, int reps,
-             std::uint64_t seed);
+             std::uint64_t seed, const std::string& telemetry_path);
 
 }  // namespace
 
@@ -37,6 +49,9 @@ int main(int argc, char** argv) {
   int jobs = 0;  // 0 = all hardware threads
   int reps = 5;
   std::uint64_t seed = 42;
+  std::string metrics_path;
+  std::string trace_path;
+  std::string telemetry_path;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -51,6 +66,12 @@ int main(int argc, char** argv) {
       reps = std::atoi(next("--reps"));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metrics_path = next("--metrics-out");
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_path = next("--trace-out");
+    } else if (std::strcmp(argv[i], "--flow-telemetry") == 0) {
+      telemetry_path = next("--flow-telemetry");
     } else {
       positional.push_back(argv[i]);
     }
@@ -58,7 +79,9 @@ int main(int argc, char** argv) {
   if (positional.size() < 2) {
     std::fprintf(stderr,
                  "usage: %s <sweep.csv> <output.inc> [threshold=0.8] "
-                 "[depth=4] [--jobs N] [--reps N] [--seed N]\n",
+                 "[depth=4] [--jobs N] [--reps N] [--seed N] "
+                 "[--metrics-out FILE] [--trace-out FILE] "
+                 "[--flow-telemetry FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -75,7 +98,11 @@ int main(int argc, char** argv) {
   }
 
   try {
-    return run_tool(csv, out_path, threshold, depth, jobs, reps, seed);
+    ccsig::obs::ToolObs tool_obs(metrics_path, trace_path, "train_pretrained");
+    const int rc = run_tool(csv, out_path, threshold, depth, jobs, reps, seed,
+                            telemetry_path);
+    tool_obs.finalize();
+    return rc;
   } catch (const ccsig::runtime::ParseException& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 3;
@@ -92,23 +119,36 @@ namespace {
 
 int run_tool(const std::string& csv, const std::string& out_path,
              double threshold, int depth, int jobs, int reps,
-             std::uint64_t seed) {
+             std::uint64_t seed, const std::string& telemetry_path) {
+  bool telemetry_recorded = false;
   if (!std::filesystem::exists(csv)) {
     ccsig::testbed::SweepOptions sweep;
     sweep.scale = 1.0;
     sweep.reps = reps;
     sweep.seed = seed;
     sweep.jobs = jobs;
-    sweep.progress = [](std::size_t done, std::size_t total) {
-      if (done % 25 == 0 || done == total) {
-        std::fprintf(stderr, "[sweep] %zu/%zu\n", done, total);
-      }
-    };
+    ccsig::runtime::ProgressReporter reporter("sweep");
+    sweep.progress = reporter.callback();
+    ccsig::obs::FlowTelemetryRecorder telemetry;
+    if (!telemetry_path.empty()) sweep.telemetry = &telemetry;
     std::fprintf(stderr, "%s missing; running the sweep (reps=%d)\n",
                  csv.c_str(), reps);
     const auto fresh = ccsig::testbed::run_sweep(sweep);
+    reporter.finish();
     ccsig::testbed::save_samples_csv(csv, fresh,
                                      ccsig::testbed::sweep_fingerprint(sweep));
+    if (!telemetry_path.empty()) {
+      ccsig::runtime::write_file_atomic(telemetry_path, telemetry.to_csv());
+      telemetry_recorded = true;
+      std::fprintf(stderr, "flow telemetry written to %s (%zu samples)\n",
+                   telemetry_path.c_str(), telemetry.size());
+    }
+  }
+  if (!telemetry_path.empty() && !telemetry_recorded) {
+    std::fprintf(stderr,
+                 "--flow-telemetry: sweep loaded from %s, nothing simulated; "
+                 "no telemetry written\n",
+                 csv.c_str());
   }
 
   const auto samples = ccsig::testbed::load_samples_csv(csv);
