@@ -1,0 +1,139 @@
+// Micro-benchmark of the streaming engine's per-record hot path, with the
+// same global operator new/delete counting hook as bench_micro_components.
+//
+// The engine's bounded-memory claim rests on flows going quiescent: once a
+// flow's slow-start stats are frozen and its RTT sampler has stopped,
+// every further record must touch only scalars — no map inserts, no
+// vector growth, no deferred-ACK churn. The warmup drives one flow through
+// exactly that transition (two segments, a retransmission closing slow
+// start, and an ACK past the boundary), then the probe pushes records
+// through StreamEngine::push and counts heap allocations. The
+// `allocs_per_packet` counter is asserted == 0 by `tools/bench_micro.py
+// --smoke` (wired into ctest as bench_micro_smoke).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "analysis/seq_unwrap.h"
+#include "core/analyzer.h"
+#include "sim/time.h"
+#include "stream/stream.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+std::uint64_t heap_allocs() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+/// Counts heap allocations across a scope. Deterministic, unlike timings.
+class AllocProbe {
+ public:
+  AllocProbe() : start_(heap_allocs()) {}
+  std::uint64_t count() const { return heap_allocs() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace ccsig;
+
+constexpr sim::FlowKey kKey{1, 2, 5001, 5002};
+
+analysis::WireRecord data_rec(sim::Time t, std::uint32_t seq) {
+  analysis::WireRecord w;
+  w.time = t;
+  w.key = kKey;
+  w.seq32 = seq;
+  w.payload_bytes = 1448;
+  return w;
+}
+
+analysis::WireRecord ack_rec(sim::Time t, std::uint32_t acked) {
+  analysis::WireRecord w;
+  w.time = t;
+  w.key = kKey.reversed();
+  w.seq32 = 1;
+  w.ack32 = acked;
+  w.flags.ack = true;
+  return w;
+}
+
+/// Drives the flow to the frozen + sampler-stopped state: slow start
+/// closed by a retransmission at t=3ms, stats frozen by the first
+/// ACK-direction record past the boundary, sampler stopped when that ACK
+/// drains from the deferred queue.
+void warmup(stream::StreamEngine& engine) {
+  engine.push(data_rec(0, 1));
+  engine.push(data_rec(1 * sim::kMillisecond, 1449));
+  engine.push(ack_rec(2 * sim::kMillisecond, 1449));
+  engine.push(data_rec(3 * sim::kMillisecond, 1));  // retx: closes slow start
+  engine.push(ack_rec(4 * sim::kMillisecond, 2897));
+  engine.push(data_rec(5 * sim::kMillisecond, 2897));
+}
+
+void BM_StreamIngestHotPath(benchmark::State& state) {
+  const FlowAnalyzer analyzer;
+  constexpr int kRecords = 100'000;
+  std::uint64_t allocs = 0;
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    stream::StreamConfig cfg;
+    cfg.jobs = 1;
+    auto engine = std::make_unique<stream::StreamEngine>(analyzer, cfg);
+    warmup(*engine);
+    state.ResumeTiming();
+    {
+      const AllocProbe probe;
+      sim::Time t = 10 * sim::kMillisecond;
+      std::uint32_t seq = 4345;
+      for (int i = 0; i < kRecords / 2; ++i) {
+        engine->push(data_rec(t, seq));
+        engine->push(ack_rec(t + sim::kMicrosecond, seq + 1448));
+        seq += 1448;
+        t += 100 * sim::kMicrosecond;
+      }
+      allocs += probe.count();
+    }
+    packets += kRecords;
+    state.PauseTiming();
+    auto reports = engine->finish();
+    benchmark::DoNotOptimize(reports);
+    engine.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * kRecords);
+  state.counters["allocs_per_packet"] =
+      static_cast<double>(allocs) / static_cast<double>(packets);
+}
+BENCHMARK(BM_StreamIngestHotPath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

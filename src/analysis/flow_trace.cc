@@ -34,18 +34,9 @@ std::vector<FlowTrace> split_flows(const Trace& trace) {
     std::uint64_t bwd_payload = 0;
     sim::FlowKey canonical;
   };
-  // Canonicalize both directions of a connection to one map slot.
-  auto canonical_of = [](const sim::FlowKey& k) {
-    const sim::FlowKey rev = k.reversed();
-    const bool keep = (k.src_addr != rev.src_addr)
-                          ? k.src_addr < rev.src_addr
-                          : k.src_port <= rev.src_port;
-    return keep ? k : rev;
-  };
-
   std::unordered_map<sim::FlowKey, Halves, sim::FlowKeyHash> flows;
   for (const auto& r : trace) {
-    const sim::FlowKey canon = canonical_of(r.key);
+    const sim::FlowKey canon = canonical_flow_key(r.key);
     Halves& h = flows[canon];
     h.canonical = canon;
     if (r.key == canon) {
@@ -73,9 +64,11 @@ std::vector<FlowTrace> split_flows(const Trace& trace) {
     }
     out.push_back(std::move(ft));
   }
-  // Deterministic order: by first activity.
+  // Deterministic order: by first activity, key tie-break (equal start
+  // times would otherwise surface unordered_map iteration order).
   std::sort(out.begin(), out.end(), [](const FlowTrace& a, const FlowTrace& b) {
-    return a.start_time() < b.start_time();
+    return flow_order_less(a.start_time(), a.data_key, b.start_time(),
+                           b.data_key);
   });
   return out;
 }

@@ -28,6 +28,29 @@ struct FlowTrace {
   sim::Duration duration() const { return end_time() - start_time(); }
 };
 
+/// Canonicalizes the two directional keys of a connection to one value, so
+/// both directions of a flow land in the same table slot. Shared by the
+/// batch splitter and the streaming flow table — they must agree.
+inline sim::FlowKey canonical_flow_key(const sim::FlowKey& k) {
+  const sim::FlowKey rev = k.reversed();
+  const bool keep = (k.src_addr != rev.src_addr) ? k.src_addr < rev.src_addr
+                                                 : k.src_port <= rev.src_port;
+  return keep ? k : rev;
+}
+
+/// Total order on flows: by first activity, ties broken by the data-
+/// direction key so the output never depends on hash-table iteration
+/// order. The streaming engine sorts its reports with the same comparator
+/// to stay byte-identical with the batch path.
+inline bool flow_order_less(sim::Time a_start, const sim::FlowKey& a_key,
+                            sim::Time b_start, const sim::FlowKey& b_key) {
+  if (a_start != b_start) return a_start < b_start;
+  if (a_key.src_addr != b_key.src_addr) return a_key.src_addr < b_key.src_addr;
+  if (a_key.dst_addr != b_key.dst_addr) return a_key.dst_addr < b_key.dst_addr;
+  if (a_key.src_port != b_key.src_port) return a_key.src_port < b_key.src_port;
+  return a_key.dst_port < b_key.dst_port;
+}
+
 /// Groups a raw trace into connections. A connection's canonical (data)
 /// direction is chosen as the side that sent more payload bytes. Flows with
 /// no payload at all are dropped.

@@ -7,45 +7,30 @@
 namespace ccsig::analysis {
 namespace {
 
-/// Extends wrapped 32-bit wire values into a monotonically consistent 64-bit
-/// space. Tracks the current epoch per direction; a backward jump of more
-/// than half the sequence space is a wrap.
-class SeqUnwrapper {
- public:
-  std::uint64_t unwrap(std::uint32_t v32) {
-    const std::uint64_t candidate = epoch_ + v32;
-    if (!have_last_) {
-      have_last_ = true;
-      last_ = candidate;
-      return candidate;
-    }
-    std::uint64_t best = candidate;
-    // Consider the neighbouring epochs and pick the value closest to the
-    // last one seen (handles both wraps and in-window retransmissions).
-    if (candidate + (1ull << 32) >= last_ &&
-        diff(candidate + (1ull << 32)) < diff(best)) {
-      best = candidate + (1ull << 32);
-    }
-    if (candidate >= (1ull << 32) && diff(candidate - (1ull << 32)) < diff(best)) {
-      best = candidate - (1ull << 32);
-    }
-    if (best > last_ && best - last_ < (1ull << 31)) last_ = best;
-    epoch_ = best & ~0xFFFFFFFFull;
-    return best;
-  }
-
- private:
-  std::uint64_t diff(std::uint64_t v) const {
-    return v > last_ ? v - last_ : last_ - v;
-  }
-  std::uint64_t epoch_ = 0;
-  std::uint64_t last_ = 0;
-  bool have_last_ = false;
-};
-
 sim::Address from_ipv4(std::uint32_t ip) { return ip & 0x00FFFFFFu; }
 
 }  // namespace
+
+std::optional<WireRecord> wire_record_from_frame(
+    sim::Time timestamp, std::span<const std::uint8_t> frame) {
+  const auto decoded = pcap::decode_frame(frame);
+  if (!decoded) return std::nullopt;
+  WireRecord w;
+  w.time = timestamp;
+  w.key.src_addr = from_ipv4(decoded->src_ip);
+  w.key.dst_addr = from_ipv4(decoded->dst_ip);
+  w.key.src_port = decoded->src_port;
+  w.key.dst_port = decoded->dst_port;
+  w.seq32 = decoded->seq32;
+  w.ack32 = decoded->ack32;
+  w.payload_bytes = decoded->payload_bytes;
+  w.window = decoded->window;
+  w.flags.syn = decoded->syn;
+  w.flags.ack = decoded->ack;
+  w.flags.fin = decoded->fin;
+  w.flags.rst = decoded->rst;
+  return w;
+}
 
 Trace trace_from_records(const std::vector<pcap::PcapRecord>& records) {
   Trace out;
@@ -57,24 +42,10 @@ Trace trace_from_records(const std::vector<pcap::PcapRecord>& records) {
   std::unordered_map<sim::FlowKey, DirState, sim::FlowKeyHash> dirs;
 
   for (const auto& rec : records) {
-    auto decoded = pcap::decode_frame(rec.data);
-    if (!decoded) continue;
-    TraceRecord r;
-    r.time = rec.timestamp;
-    r.key.src_addr = from_ipv4(decoded->src_ip);
-    r.key.dst_addr = from_ipv4(decoded->dst_ip);
-    r.key.src_port = decoded->src_port;
-    r.key.dst_port = decoded->dst_port;
-    DirState& st = dirs[r.key];
-    r.seq = st.seq.unwrap(decoded->seq32);
-    r.ack = decoded->ack ? st.ack.unwrap(decoded->ack32) : 0;
-    r.payload_bytes = decoded->payload_bytes;
-    r.window = static_cast<std::uint32_t>(decoded->window) << 8;  // wscale 8
-    r.flags.syn = decoded->syn;
-    r.flags.ack = decoded->ack;
-    r.flags.fin = decoded->fin;
-    r.flags.rst = decoded->rst;
-    out.push_back(r);
+    const auto w = wire_record_from_frame(rec.timestamp, rec.data);
+    if (!w) continue;
+    DirState& st = dirs[w->key];
+    out.push_back(unwrap_record(*w, st.seq, st.ack));
   }
   return out;
 }

@@ -2,13 +2,21 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "analysis/seq_unwrap.h"
 #include "analysis/trace_record.h"
 #include "pcap/pcap_file.h"
 
 namespace ccsig::analysis {
+
+/// Decodes one captured frame's headers into a WireRecord (timestamp,
+/// 4-tuple, 32-bit wire fields). Returns nullopt for frames that are not
+/// TCP/IPv4 — the same frames trace_from_records skips.
+std::optional<WireRecord> wire_record_from_frame(
+    sim::Time timestamp, std::span<const std::uint8_t> frame);
 
 /// Decodes captured frames into TraceRecords, unwrapping 32-bit wire
 /// sequence/ack numbers into 64-bit stream offsets (per flow direction).

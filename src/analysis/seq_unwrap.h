@@ -1,0 +1,82 @@
+// 32-bit wire value unwrapping shared by the batch pcap decoder and the
+// streaming engine. Both must run the *same* stateful math per direction so
+// a capture decodes to bit-identical 64-bit stream offsets either way.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/trace_record.h"
+#include "sim/packet.h"
+#include "sim/time.h"
+
+namespace ccsig::analysis {
+
+/// Extends wrapped 32-bit wire values into a monotonically consistent 64-bit
+/// space. Tracks the current epoch per direction; a backward jump of more
+/// than half the sequence space is a wrap.
+class SeqUnwrapper {
+ public:
+  std::uint64_t unwrap(std::uint32_t v32) {
+    const std::uint64_t candidate = epoch_ + v32;
+    if (!have_last_) {
+      have_last_ = true;
+      last_ = candidate;
+      return candidate;
+    }
+    std::uint64_t best = candidate;
+    // Consider the neighbouring epochs and pick the value closest to the
+    // last one seen (handles both wraps and in-window retransmissions).
+    if (candidate + (1ull << 32) >= last_ &&
+        diff(candidate + (1ull << 32)) < diff(best)) {
+      best = candidate + (1ull << 32);
+    }
+    if (candidate >= (1ull << 32) && diff(candidate - (1ull << 32)) < diff(best)) {
+      best = candidate - (1ull << 32);
+    }
+    if (best > last_ && best - last_ < (1ull << 31)) last_ = best;
+    epoch_ = best & ~0xFFFFFFFFull;
+    return best;
+  }
+
+ private:
+  std::uint64_t diff(std::uint64_t v) const {
+    return v > last_ ? v - last_ : last_ - v;
+  }
+  std::uint64_t epoch_ = 0;
+  std::uint64_t last_ = 0;
+  bool have_last_ = false;
+};
+
+/// One decoded-but-not-yet-unwrapped TCP observation: the frame fields that
+/// matter for analysis plus the capture timestamp and 4-tuple. Trivially
+/// copyable so the streaming engine can batch these across threads.
+struct WireRecord {
+  sim::Time time = 0;
+  sim::FlowKey key;
+  std::uint32_t seq32 = 0;
+  std::uint32_t ack32 = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint16_t window = 0;
+  sim::TcpFlags flags;
+};
+
+static_assert(std::is_trivially_copyable_v<WireRecord>);
+
+/// Converts a wire observation into the analysis record, advancing the
+/// per-direction unwrappers. This is the single definition of the wire →
+/// stream-offset mapping (ack unwrapped only when the ACK flag is set,
+/// window scaled by the fixed wscale of 8).
+inline TraceRecord unwrap_record(const WireRecord& w, SeqUnwrapper& seq,
+                                 SeqUnwrapper& ack) {
+  TraceRecord r;
+  r.time = w.time;
+  r.key = w.key;
+  r.seq = seq.unwrap(w.seq32);
+  r.ack = w.flags.ack ? ack.unwrap(w.ack32) : 0;
+  r.payload_bytes = w.payload_bytes;
+  r.window = static_cast<std::uint32_t>(w.window) << 8;  // wscale 8
+  r.flags = w.flags;
+  return r;
+}
+
+}  // namespace ccsig::analysis

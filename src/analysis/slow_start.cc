@@ -33,9 +33,9 @@ SlowStartInfo detect_slow_start(const FlowTrace& flow) {
   return info;
 }
 
-std::optional<double> slow_start_throughput_bps(const FlowTrace& flow,
-                                                const SlowStartInfo& ss) {
-  const sim::Time start = flow.start_time();
+std::optional<double> slow_start_throughput_from_advances(
+    sim::Time start, const SlowStartInfo& ss,
+    std::span<const AckAdvance> advances) {
   if (ss.end_time <= start || ss.acked_bytes == 0) return std::nullopt;
   // Delivery rate over the SECOND HALF of the slow-start window. The whole-
   // window mean is dragged far below link rate by the exponential ramp; by
@@ -46,7 +46,7 @@ std::optional<double> slow_start_throughput_bps(const FlowTrace& flow,
   std::uint64_t ack_mid = 0;
   std::uint64_t ack_end = 0;
   sim::Time last_advance = mid;
-  for (const auto& a : flow.acks) {
+  for (const auto& a : advances) {
     if (a.time > ss.end_time) break;
     if (a.ack > ack_end) {
       ack_end = a.ack;
@@ -62,11 +62,31 @@ std::optional<double> slow_start_throughput_bps(const FlowTrace& flow,
          sim::to_seconds(last_advance - mid);
 }
 
+std::optional<double> slow_start_throughput_bps(const FlowTrace& flow,
+                                                const SlowStartInfo& ss) {
+  // Collapse the raw ACK records into the cumulative-advance sequence; the
+  // running maximum makes every non-advance record a no-op for both the
+  // ack_end and the ack_mid scans, so the advance list is lossless here.
+  std::vector<AckAdvance> advances;
+  std::uint64_t max_ack = 0;
+  for (const auto& a : flow.acks) {
+    if (a.time > ss.end_time) break;
+    if (a.ack > max_ack) {
+      max_ack = a.ack;
+      advances.push_back(AckAdvance{a.time, a.ack});
+    }
+  }
+  return slow_start_throughput_from_advances(flow.start_time(), ss, advances);
+}
+
+std::optional<double> throughput_bps(std::uint64_t acked_bytes,
+                                     sim::Duration duration) {
+  if (duration <= 0 || acked_bytes == 0) return std::nullopt;
+  return static_cast<double>(acked_bytes) * 8.0 / sim::to_seconds(duration);
+}
+
 std::optional<double> flow_throughput_bps(const FlowTrace& flow) {
-  const sim::Duration dur = flow.duration();
-  const std::uint64_t bytes = flow.acked_bytes();
-  if (dur <= 0 || bytes == 0) return std::nullopt;
-  return static_cast<double>(bytes) * 8.0 / sim::to_seconds(dur);
+  return throughput_bps(flow.acked_bytes(), flow.duration());
 }
 
 }  // namespace ccsig::analysis

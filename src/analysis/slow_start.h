@@ -6,6 +6,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "analysis/flow_trace.h"
 #include "sim/time.h"
@@ -27,10 +28,34 @@ struct SlowStartInfo {
 /// Locates the end of the first slow-start period.
 SlowStartInfo detect_slow_start(const FlowTrace& flow);
 
+/// One strict advance of the cumulative ACK: the running maximum of the
+/// ACK field increased to `ack` at `time`. The advance sequence is the
+/// sufficient statistic for slow-start throughput, so the streaming engine
+/// keeps only these (pruned) instead of every ACK record.
+struct AckAdvance {
+  sim::Time time = 0;
+  std::uint64_t ack = 0;
+};
+
+/// Slow-start throughput from a flow's cumulative-ACK advance sequence
+/// (strictly increasing ack values in time order, truncated at the first
+/// raw ACK past `ss.end_time`). Both the batch path and the streaming
+/// engine call this with integer inputs derived identically, so the double
+/// result is bit-identical between them.
+std::optional<double> slow_start_throughput_from_advances(
+    sim::Time start, const SlowStartInfo& ss,
+    std::span<const AckAdvance> advances);
+
 /// Mean downstream throughput (bits/s) achieved during slow start, measured
 /// from cumulative ACK progress. Returns nullopt when the window is empty.
 std::optional<double> slow_start_throughput_bps(const FlowTrace& flow,
                                                 const SlowStartInfo& ss);
+
+/// Mean throughput of `acked_bytes` delivered over `duration` (bits/s);
+/// nullopt when either is zero. Scalar core of flow_throughput_bps, shared
+/// with the streaming engine.
+std::optional<double> throughput_bps(std::uint64_t acked_bytes,
+                                     sim::Duration duration);
 
 /// Whole-flow mean throughput in bits/s (acked bytes over duration).
 std::optional<double> flow_throughput_bps(const FlowTrace& flow);

@@ -7,14 +7,15 @@
 
 namespace ccsig {
 
-FlowReport FlowAnalyzer::analyze_flow(const analysis::FlowTrace& flow,
-                                      const features::ExtractOptions& opt) const {
+FlowReport FlowAnalyzer::report_from_extract(
+    const sim::FlowKey& data_key, features::ExtractResult extracted,
+    double throughput_bps, sim::Duration duration,
+    std::size_t data_packets) const {
   FlowReport report;
-  report.data_key = flow.data_key;
-  report.duration = flow.duration();
-  report.data_packets = flow.data.size();
-  report.throughput_bps = analysis::flow_throughput_bps(flow).value_or(0.0);
-  features::ExtractResult extracted = features::extract_features_checked(flow, opt);
+  report.data_key = data_key;
+  report.duration = duration;
+  report.data_packets = data_packets;
+  report.throughput_bps = throughput_bps;
   report.features = std::move(extracted.features);
   report.insufficiency = extracted.insufficiency;
   if (report.features) {
@@ -25,6 +26,14 @@ FlowReport FlowAnalyzer::analyze_flow(const analysis::FlowTrace& flow,
     }
   }
   return report;
+}
+
+FlowReport FlowAnalyzer::analyze_flow(const analysis::FlowTrace& flow,
+                                      const features::ExtractOptions& opt) const {
+  return report_from_extract(
+      flow.data_key, features::extract_features_checked(flow, opt),
+      analysis::flow_throughput_bps(flow).value_or(0.0), flow.duration(),
+      flow.data.size());
 }
 
 std::vector<FlowReport> FlowAnalyzer::analyze(

@@ -62,6 +62,16 @@ class FlowAnalyzer {
   FlowReport analyze_flow(const analysis::FlowTrace& flow,
                           const features::ExtractOptions& opt = {}) const;
 
+  /// Builds a FlowReport from an already-extracted feature result plus the
+  /// flow-level scalars. This is the single place the classifier verdict,
+  /// insufficiency bookkeeping, and capacity estimate are assembled —
+  /// analyze_flow goes through it, and the streaming engine feeds it with
+  /// incrementally computed inputs so both paths agree byte for byte.
+  FlowReport report_from_extract(const sim::FlowKey& data_key,
+                                 features::ExtractResult extracted,
+                                 double throughput_bps, sim::Duration duration,
+                                 std::size_t data_packets) const;
+
   /// Reads a tcpdump-format capture and analyzes it. Malformed input
   /// raises runtime::ParseException (file, byte offset, reason).
   std::vector<FlowReport> analyze_pcap(const std::string& path,

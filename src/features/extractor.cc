@@ -21,21 +21,18 @@ const char* to_string(Insufficiency i) {
   return "?";
 }
 
-ExtractResult extract_features_checked(const analysis::FlowTrace& flow,
-                                       const ExtractOptions& opt) {
+ExtractResult features_from_slow_start(
+    std::span<const analysis::RttSample> samples,
+    const analysis::SlowStartInfo& ss,
+    std::optional<double> slow_start_throughput,
+    std::optional<double> flow_throughput, sim::Duration flow_duration,
+    const ExtractOptions& opt) {
   ExtractResult out;
-  if (flow.data.empty() || flow.acks.empty()) {
-    out.insufficiency = Insufficiency::kNoData;
-    return out;
-  }
-
-  const analysis::SlowStartInfo ss = analysis::detect_slow_start(flow);
   if (opt.require_retransmission && !ss.ended_by_retransmission) {
     out.insufficiency = Insufficiency::kNoRetransmission;
     return out;
   }
 
-  const auto samples = analysis::extract_rtt_samples(flow, ss.end_time);
   if (samples.size() < opt.min_rtt_samples) {
     out.insufficiency = Insufficiency::kTooFewRttSamples;
     return out;
@@ -76,13 +73,27 @@ ExtractResult extract_features_checked(const analysis::FlowTrace& flow,
   const Summary s = summarize(rtts_ms);
   f.min_rtt_ms = s.min;
   f.max_rtt_ms = s.max;
-  f.slow_start_throughput_bps =
-      analysis::slow_start_throughput_bps(flow, ss).value_or(0.0);
-  f.flow_throughput_bps = analysis::flow_throughput_bps(flow).value_or(0.0);
+  f.slow_start_throughput_bps = slow_start_throughput.value_or(0.0);
+  f.flow_throughput_bps = flow_throughput.value_or(0.0);
   f.slow_start_ended_by_retransmission = ss.ended_by_retransmission;
-  f.flow_duration = flow.duration();
+  f.flow_duration = flow_duration;
   out.features = f;
   return out;
+}
+
+ExtractResult extract_features_checked(const analysis::FlowTrace& flow,
+                                       const ExtractOptions& opt) {
+  ExtractResult out;
+  if (flow.data.empty() || flow.acks.empty()) {
+    out.insufficiency = Insufficiency::kNoData;
+    return out;
+  }
+
+  const analysis::SlowStartInfo ss = analysis::detect_slow_start(flow);
+  const auto samples = analysis::extract_rtt_samples(flow, ss.end_time);
+  return features_from_slow_start(
+      samples, ss, analysis::slow_start_throughput_bps(flow, ss),
+      analysis::flow_throughput_bps(flow), flow.duration(), opt);
 }
 
 std::optional<FlowFeatures> extract_features(const analysis::FlowTrace& flow,

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "analysis/flow_trace.h"
 #include "analysis/rtt_estimator.h"
@@ -72,5 +73,20 @@ std::optional<FlowFeatures> extract_features(const analysis::FlowTrace& flow,
 /// emit a bogus congestion label for either.
 ExtractResult extract_features_checked(const analysis::FlowTrace& flow,
                                        const ExtractOptions& opt = {});
+
+/// The final, representation-independent stage of feature extraction: from
+/// a flow's slow-start RTT samples and summary scalars to the validated
+/// feature vector. extract_features_checked calls this after materializing
+/// the samples from a FlowTrace; the streaming engine calls it with
+/// incrementally accumulated samples. Because the statistics all run over
+/// the same sample values through the same code, the two paths produce
+/// bit-identical features. Callers are responsible for the kNoData check
+/// (a flow with no data or no ack packets must not reach this far).
+ExtractResult features_from_slow_start(
+    std::span<const analysis::RttSample> samples,
+    const analysis::SlowStartInfo& ss,
+    std::optional<double> slow_start_throughput,
+    std::optional<double> flow_throughput, sim::Duration flow_duration,
+    const ExtractOptions& opt = {});
 
 }  // namespace ccsig::features

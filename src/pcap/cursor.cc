@@ -1,0 +1,111 @@
+#include "pcap/cursor.h"
+
+#include <cstring>
+
+#include "pcap/pcap_file.h"
+#include "runtime/parse_error.h"
+
+namespace ccsig::pcap {
+namespace {
+
+// Mirrors the (packed, little-endian) on-disk structs in pcap_file.cc.
+struct FileHeader {
+  std::uint32_t magic;
+  std::uint16_t version_major;
+  std::uint16_t version_minor;
+  std::int32_t thiszone;
+  std::uint32_t sigfigs;
+  std::uint32_t snaplen;
+  std::uint32_t linktype;
+};
+static_assert(sizeof(FileHeader) == 24);
+
+struct RecordHeader {
+  std::uint32_t ts_sec;
+  std::uint32_t ts_usec;
+  std::uint32_t incl_len;
+  std::uint32_t orig_len;
+};
+static_assert(sizeof(RecordHeader) == 16);
+
+constexpr std::size_t kChunkBytes = 256 * 1024;
+
+}  // namespace
+
+void PcapCursor::fail(std::string reason) const {
+  runtime::throw_parse_error(path_, offset_, "byte", std::move(reason));
+}
+
+std::size_t PcapCursor::ensure(std::size_t need) {
+  if (end_ - pos_ >= need) return end_ - pos_;
+  // Compact: move the unconsumed tail to the front of the buffer.
+  if (pos_ > 0) {
+    std::memmove(buf_.data(), buf_.data() + pos_, end_ - pos_);
+    end_ -= pos_;
+    pos_ = 0;
+  }
+  // A record larger than the buffer (legal: snaplen-sized bodies) forces a
+  // one-time growth; steady state never reallocates.
+  if (need > buf_.size()) buf_.resize(need);
+  while (!eof_ && end_ - pos_ < need) {
+    in_.read(reinterpret_cast<char*>(buf_.data() + end_),
+             static_cast<std::streamsize>(buf_.size() - end_));
+    end_ += static_cast<std::size_t>(in_.gcount());
+    if (!in_) eof_ = true;
+  }
+  return end_ - pos_;
+}
+
+PcapCursor::PcapCursor(const std::string& path)
+    : path_(path), in_(path, std::ios::binary) {
+  if (!in_) fail("cannot open pcap for reading");
+  buf_.resize(kChunkBytes);
+  FileHeader hdr;
+  const std::size_t got = ensure(sizeof(hdr));
+  if (got < sizeof(hdr)) {
+    fail("truncated file header (need " + std::to_string(sizeof(hdr)) +
+         " bytes, got " + std::to_string(got) + ")");
+  }
+  std::memcpy(&hdr, buf_.data() + pos_, sizeof(hdr));
+  if (hdr.magic != kPcapMagic) {
+    fail("not a (little-endian, µs) pcap file: bad magic");
+  }
+  pos_ += sizeof(hdr);
+  snaplen_ = hdr.snaplen;
+  linktype_ = hdr.linktype;
+  offset_ = sizeof(hdr);
+}
+
+std::optional<RecordView> PcapCursor::next() {
+  RecordHeader rec;
+  const std::size_t have = ensure(sizeof(rec));
+  if (have < sizeof(rec)) {
+    if (have == 0) return std::nullopt;  // clean end of file
+    fail("truncated record header (need " + std::to_string(sizeof(rec)) +
+         " bytes, got " + std::to_string(have) + ")");
+  }
+  std::memcpy(&rec, buf_.data() + pos_, sizeof(rec));
+  // A snaplen-exceeding capture length cannot have been written by any
+  // sane writer; treat it as corruption rather than allocating blindly.
+  if (rec.incl_len > snaplen_ + 65536u) {
+    fail("corrupt record header: incl_len " + std::to_string(rec.incl_len) +
+         " exceeds snaplen " + std::to_string(snaplen_));
+  }
+  pos_ += sizeof(rec);
+  offset_ += sizeof(rec);
+  const std::size_t body = ensure(rec.incl_len);
+  if (body < rec.incl_len) {
+    fail("truncated record body (need " + std::to_string(rec.incl_len) +
+         " bytes, got " + std::to_string(body) + ")");
+  }
+  RecordView view;
+  view.timestamp = static_cast<sim::Time>(rec.ts_sec) * sim::kSecond +
+                   static_cast<sim::Time>(rec.ts_usec) * sim::kMicrosecond;
+  view.orig_len = rec.orig_len;
+  view.data = std::span<const std::uint8_t>(buf_.data() + pos_, rec.incl_len);
+  pos_ += rec.incl_len;
+  offset_ += rec.incl_len;
+  return view;
+}
+
+}  // namespace ccsig::pcap

@@ -1,0 +1,69 @@
+// Zero-copy pcap record cursor.
+//
+// PcapReader materializes every record into its own heap vector, which is
+// fine for batch analysis but defeats a single-pass streaming engine. The
+// cursor instead refills one reusable buffer with large sequential reads
+// and hands out spans into it: no per-record allocation, O(buffer) memory
+// regardless of capture size.
+//
+// Error semantics are contractually identical to PcapReader: the same
+// validation rules, the same ParseException reasons and byte offsets, so
+// `read_all_checked` and a cursor loop stop at the same place with the
+// same structured error on a damaged capture — the property the fault
+// corpus tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ccsig::pcap {
+
+/// One record viewed in place. `data` points into the cursor's buffer and
+/// is invalidated by the next call to next().
+struct RecordView {
+  sim::Time timestamp = 0;
+  std::uint32_t orig_len = 0;
+  std::span<const std::uint8_t> data;
+};
+
+class PcapCursor {
+ public:
+  /// Opens and validates the file header. Throws runtime::ParseException
+  /// with the same reasons/offsets as PcapReader.
+  explicit PcapCursor(const std::string& path);
+
+  /// Next record, or nullopt at clean end of file. The returned view is
+  /// valid until the next call.
+  std::optional<RecordView> next();
+
+  std::uint32_t snaplen() const { return snaplen_; }
+  std::uint32_t linktype() const { return linktype_; }
+
+  /// Byte offset of the next unread position (for error reporting).
+  std::uint64_t offset() const { return offset_; }
+
+ private:
+  [[noreturn]] void fail(std::string reason) const;
+
+  /// Ensures at least `need` contiguous unconsumed bytes are buffered, or
+  /// as many as the file still has. Returns the available byte count.
+  std::size_t ensure(std::size_t need);
+
+  std::string path_;
+  std::ifstream in_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;   // first unconsumed byte in buf_
+  std::size_t end_ = 0;   // one past the last valid byte in buf_
+  bool eof_ = false;      // underlying file exhausted
+  std::uint32_t snaplen_ = 0;
+  std::uint32_t linktype_ = 0;
+  std::uint64_t offset_ = 0;
+};
+
+}  // namespace ccsig::pcap

@@ -1,0 +1,213 @@
+#include "stream/flow_state.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ccsig::stream {
+
+// ---------------------------------------------------------------------------
+// Hypothesis: one direction assignment, run incrementally.
+// ---------------------------------------------------------------------------
+
+void FlowState::Hypothesis::flush_before(sim::Time t) {
+  while (fifo_head < fifo.size() && fifo[fifo_head].time < t) {
+    process_deferred(fifo[fifo_head]);
+    ++fifo_head;
+    if (stopped) {
+      // The batch walk's `break`: everything still queued is discarded and
+      // nothing is retained for later records.
+      std::vector<DeferredAck>().swap(fifo);
+      fifo_head = 0;
+      pending.clear();
+      return;
+    }
+  }
+  if (fifo_head == fifo.size()) {
+    fifo.clear();  // keeps capacity: the steady state re-queues for free
+    fifo_head = 0;
+  }
+}
+
+void FlowState::Hypothesis::process_deferred(const DeferredAck& a) {
+  // Mirrors the ACK arm of extract_rtt_samples' merged walk, one step.
+  if (!a.ack_flag || a.syn) return;
+  if (ss_closed && a.time > ss_end) {
+    stopped = true;  // caller frees pending + remaining FIFO
+    return;
+  }
+  auto it = pending.upper_bound(a.ack);
+  if (it == pending.begin()) return;
+  --it;
+  if (!it->second.tainted) {
+    samples.push_back(
+        analysis::RttSample{a.time, a.time - it->second.sent_at, it->first});
+  }
+  pending.erase(pending.begin(), std::next(it));
+}
+
+void FlowState::Hypothesis::on_data(const analysis::TraceRecord& r) {
+  if (stopped) return;
+  flush_before(r.time);
+  if (stopped) return;  // a flushed ACK hit the cutoff; batch skips the rest
+  if (r.payload_bytes == 0) return;
+  const std::uint64_t seq_end = r.seq + r.payload_bytes;
+  const bool is_retx = seq_end <= highest_sent;
+  auto [it, inserted] = pending.emplace(seq_end, Outstanding{r.time, is_retx});
+  if (!inserted) {
+    // Same range sent again: taint it and refresh the send time.
+    it->second.tainted = true;
+    it->second.sent_at = r.time;
+  } else if (is_retx) {
+    it->second.tainted = true;
+  }
+  highest_sent = std::max(highest_sent, seq_end);
+  if (is_retx && !ss_closed) {
+    ss_closed = true;
+    ss_end = r.time;
+  }
+}
+
+void FlowState::Hypothesis::prune_advances(sim::Time bound_end,
+                                           sim::Time flow_start) {
+  // `bound_end` is a lower bound on the final slow-start end time, so
+  // `bound` is a lower bound on the final window midpoint (integer division
+  // is monotone). Advances at or before the midpoint only matter through
+  // their maximum, which is the last one — everything before it can go.
+  const sim::Time bound = flow_start + (bound_end - flow_start) / 2;
+  while (advances.size() >= 2 && advances[1].time <= bound) {
+    advances.pop_front();
+  }
+}
+
+void FlowState::Hypothesis::on_ack(const analysis::TraceRecord& r,
+                                   sim::Time flow_start) {
+  // Slow-start ACK bookkeeping runs in raw arrival order with no flag
+  // filter: both batch scans (detect_slow_start's acked_bytes and the
+  // throughput advance builder) walk the acks vector directly and stop at
+  // the first record past the slow-start end.
+  if (!ss_done) {
+    if (ss_closed && r.time > ss_end) {
+      compute_ss_stats(flow_start, ss_end, /*by_retransmission=*/true);
+    } else if (r.ack > adv_max) {
+      adv_max = r.ack;
+      advances.push_back(analysis::AckAdvance{r.time, r.ack});
+      prune_advances(ss_closed ? ss_end : r.time, flow_start);
+    }
+  }
+  // RTT sampler: this ACK may still tie with not-yet-captured data records
+  // (which the batch walk would order first), so defer it; but any queued
+  // ACK from a strictly earlier timestamp can no longer tie with future
+  // data and is safe to process now.
+  if (stopped) return;
+  flush_before(r.time);
+  if (stopped) return;
+  if (!r.flags.ack || r.flags.syn) return;  // the walk ignores these anyway
+  fifo.push_back(DeferredAck{r.time, r.ack, r.flags.ack, r.flags.syn});
+}
+
+void FlowState::Hypothesis::compute_ss_stats(sim::Time flow_start,
+                                             sim::Time end,
+                                             bool by_retransmission) {
+  ss_done = true;
+  ss_acked_raw = adv_max > 1 ? adv_max - 1 : 0;
+  analysis::SlowStartInfo info;
+  info.end_time = end;
+  info.ended_by_retransmission = by_retransmission;
+  info.acked_bytes = ss_acked_raw;
+  const std::vector<analysis::AckAdvance> v(advances.begin(), advances.end());
+  ss_throughput =
+      analysis::slow_start_throughput_from_advances(flow_start, info, v);
+  std::deque<analysis::AckAdvance>().swap(advances);
+}
+
+// ---------------------------------------------------------------------------
+// FlowState
+// ---------------------------------------------------------------------------
+
+sim::Time FlowState::start_time() const {
+  sim::Time t = std::numeric_limits<sim::Time>::max();
+  if (count_[0] > 0) t = std::min(t, first_time_[0]);
+  if (count_[1] > 0) t = std::min(t, first_time_[1]);
+  return t == std::numeric_limits<sim::Time>::max() ? 0 : t;
+}
+
+sim::Time FlowState::end_time() const {
+  sim::Time t = 0;
+  if (count_[0] > 0) t = std::max(t, last_time_[0]);
+  if (count_[1] > 0) t = std::max(t, last_time_[1]);
+  return t;
+}
+
+void FlowState::ingest(const analysis::WireRecord& w) {
+  const int dir = dir_of(w.key);
+  const analysis::TraceRecord r =
+      analysis::unwrap_record(w, unwrap_[dir].seq, unwrap_[dir].ack);
+
+  if (count_[dir] == 0) first_time_[dir] = r.time;
+  ++count_[dir];
+  last_time_[dir] = r.time;
+  payload_[dir] += r.payload_bytes;
+  if (r.ack > max_ack_[dir]) max_ack_[dir] = r.ack;
+  if (r.flags.fin && !fin_seen_[dir]) {
+    fin_seen_[dir] = true;
+    fin_seq_end_[dir] = r.seq + r.payload_bytes;
+  }
+  last_seen_ = r.time;
+
+  const sim::Time start = start_time();
+  if (dir == 0) {
+    hyp_[0].on_data(r);
+    hyp_[1].on_ack(r, start);
+  } else {
+    hyp_[0].on_ack(r, start);
+    hyp_[1].on_data(r);
+  }
+}
+
+FinalizedFlow FlowState::finalize(const features::ExtractOptions& opt) {
+  FinalizedFlow out;
+  if (payload_[0] == 0 && payload_[1] == 0) return out;  // split_flows drops
+  out.has_payload = true;
+  const int data_dir = payload_majority_dir();
+  const int ack_dir = 1 - data_dir;
+  out.data_key = data_dir == 0 ? canonical_ : canonical_.reversed();
+
+  const sim::Time start = start_time();
+  const sim::Time end = end_time();
+  out.start_time = start;
+  out.duration = end - start;
+  out.data_packets = count_[data_dir];
+
+  // Whole-flow goodput, FlowTrace::acked_bytes convention (highest ACK − 1
+  // for the ISN-0 framing).
+  const std::uint64_t max_ack = max_ack_[ack_dir];
+  const std::uint64_t acked = max_ack > 1 ? max_ack - 1 : 0;
+  const std::optional<double> flow_tput =
+      analysis::throughput_bps(acked, out.duration);
+  out.throughput_bps = flow_tput.value_or(0.0);
+
+  Hypothesis& h = hyp_[data_dir];
+  // Any ACKs still deferred can no longer tie with data (there is none
+  // left); process them — the tail of the batch merge walk.
+  h.flush_before(std::numeric_limits<sim::Time>::max());
+  if (!h.ss_done) {
+    // No ACK-direction record ever passed the slow-start end, so every
+    // advance was retained; close the window exactly as detect_slow_start
+    // does when no retransmission (or no later record) exists.
+    h.compute_ss_stats(start, h.ss_closed ? h.ss_end : end, h.ss_closed);
+  }
+  analysis::SlowStartInfo ss;
+  ss.end_time = h.ss_closed ? h.ss_end : end;
+  ss.ended_by_retransmission = h.ss_closed;
+  ss.acked_bytes = h.ss_acked_raw;
+
+  if (count_[data_dir] == 0 || count_[ack_dir] == 0) {
+    out.extracted.insufficiency = features::Insufficiency::kNoData;
+  } else {
+    out.extracted = features::features_from_slow_start(
+        h.samples, ss, h.ss_throughput, flow_tput, out.duration, opt);
+  }
+  return out;
+}
+
+}  // namespace ccsig::stream

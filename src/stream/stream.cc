@@ -1,0 +1,325 @@
+#include "stream/stream.h"
+
+#include <algorithm>
+#include <chrono>
+#include <list>
+#include <unordered_map>
+
+#include "analysis/flow_trace.h"
+#include "analysis/from_pcap.h"
+#include "obs/trace.h"
+#include "pcap/cursor.h"
+#include "stream/flow_state.h"
+
+namespace ccsig::stream {
+
+struct StreamEngine::Shard {
+  // Strand: one drain task at a time consumes `inbox` in FIFO order, so
+  // records are processed exactly in push order no matter how many workers
+  // the pool has.
+  std::mutex mu;
+  std::deque<std::vector<analysis::WireRecord>> inbox;
+  bool scheduled = false;
+
+  // Flow table — touched only by the strand (or the pushing thread when
+  // running inline).
+  struct Entry {
+    explicit Entry(const sim::FlowKey& canonical) : state(canonical) {}
+    FlowState state;
+    std::list<sim::FlowKey>::iterator lru_it;
+    bool early_counted = false;
+  };
+  std::unordered_map<sim::FlowKey, Entry, sim::FlowKeyHash> flows;
+  std::list<sim::FlowKey> lru;  // front = least recently seen
+
+  struct Done {
+    sim::Time start;
+    FlowReport report;
+  };
+  std::vector<Done> done;
+
+  StreamStats tally;
+  std::size_t peak = 0;
+};
+
+StreamEngine::StreamEngine(const FlowAnalyzer& analyzer, StreamConfig cfg)
+    : analyzer_(analyzer), cfg_(cfg) {
+  nshards_ = cfg_.shards > 0 ? cfg_.shards : StreamConfig::kDefaultShards;
+  if (cfg_.max_active_flows > 0) {
+    per_shard_cap_ = std::max<std::size_t>(1, cfg_.max_active_flows / nshards_);
+  }
+  shards_.reserve(nshards_);
+  for (std::size_t i = 0; i < nshards_; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+
+  auto& reg = obs::MetricsRegistry::global();
+  records_ctr_ = reg.counter("stream.records_total");
+  opened_ctr_ = reg.counter("stream.flows_opened");
+  finalized_ctr_ = reg.counter("stream.flows_finalized");
+  evicted_fin_ctr_ = reg.counter("stream.evicted_fin");
+  evicted_idle_ctr_ = reg.counter("stream.evicted_idle");
+  evicted_lru_ctr_ = reg.counter("stream.evicted_lru");
+  evicted_forced_ctr_ = reg.counter("stream.evicted_forced");
+  early_ctr_ = reg.counter("stream.early_classified");
+  active_g_ = reg.gauge("stream.flows_active");
+  peak_g_ = reg.gauge("stream.flows_peak");
+  imbalance_g_ = reg.gauge("stream.shard_imbalance");
+
+  unsigned jobs = cfg_.jobs == 0 ? runtime::default_jobs() : cfg_.jobs;
+  if (jobs > 1) {
+    pending_.resize(nshards_);
+    for (auto& batch : pending_) batch.reserve(cfg_.batch_records);
+    pool_.emplace(jobs);
+  }
+}
+
+StreamEngine::~StreamEngine() = default;  // pool_ joins first (declared last)
+
+void StreamEngine::push(const analysis::WireRecord& w) {
+  const sim::FlowKey canonical = analysis::canonical_flow_key(w.key);
+  const std::size_t idx = sim::FlowKeyHash{}(canonical) % nshards_;
+  records_ctr_.inc();
+  if (!pool_) {
+    process_record(*shards_[idx], w);
+    return;
+  }
+  std::vector<analysis::WireRecord>& batch = pending_[idx];
+  batch.push_back(w);
+  if (batch.size() >= cfg_.batch_records) dispatch(idx);
+}
+
+void StreamEngine::dispatch(std::size_t idx) {
+  // Swap in a recycled (or fresh) buffer so the reader keeps batching
+  // without waiting on the shard.
+  std::vector<analysis::WireRecord> next;
+  {
+    std::lock_guard<std::mutex> lk(free_mu_);
+    if (!free_batches_.empty()) {
+      next = std::move(free_batches_.back());
+      free_batches_.pop_back();
+    }
+  }
+  std::vector<analysis::WireRecord> batch = std::move(pending_[idx]);
+  pending_[idx] = std::move(next);
+
+  Shard& s = *shards_[idx];
+  bool need_task = false;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.inbox.push_back(std::move(batch));
+    if (!s.scheduled) {
+      s.scheduled = true;
+      need_task = true;
+    }
+  }
+  if (need_task) {
+    pool_->submit([this, &s] { drain(s); });
+  }
+}
+
+void StreamEngine::drain(Shard& s) {
+  for (;;) {
+    std::vector<analysis::WireRecord> batch;
+    {
+      std::lock_guard<std::mutex> lk(s.mu);
+      if (s.inbox.empty()) {
+        s.scheduled = false;
+        return;
+      }
+      batch = std::move(s.inbox.front());
+      s.inbox.pop_front();
+    }
+    for (const analysis::WireRecord& w : batch) process_record(s, w);
+    batch.clear();
+    {
+      std::lock_guard<std::mutex> lk(free_mu_);
+      free_batches_.push_back(std::move(batch));
+    }
+  }
+}
+
+void StreamEngine::process_record(Shard& s, const analysis::WireRecord& w) {
+  ++s.tally.records;
+  const sim::FlowKey canonical = analysis::canonical_flow_key(w.key);
+
+  // Idle eviction first, in capture time, oldest first — a deterministic
+  // function of the record stream.
+  if (cfg_.idle_timeout > 0) {
+    while (!s.lru.empty()) {
+      const sim::FlowKey& oldest = s.lru.front();
+      const auto it = s.flows.find(oldest);
+      if (w.time - it->second.state.last_seen() <= cfg_.idle_timeout) break;
+      finalize_flow(s, oldest, Evict::kIdle);
+    }
+  }
+
+  auto it = s.flows.find(canonical);
+  if (it == s.flows.end()) {
+    if (per_shard_cap_ > 0 && s.flows.size() >= per_shard_cap_) {
+      evict_for_cap(s);
+    }
+    it = s.flows.try_emplace(canonical, canonical).first;
+    s.lru.push_back(canonical);
+    it->second.lru_it = std::prev(s.lru.end());
+    ++s.tally.flows_opened;
+    opened_ctr_.inc();
+    s.peak = std::max(s.peak, s.flows.size());
+  } else {
+    s.lru.splice(s.lru.end(), s.lru, it->second.lru_it);
+  }
+
+  Shard::Entry& entry = it->second;
+  entry.state.ingest(w);
+  if (entry.state.complete()) {
+    finalize_flow(s, canonical, Evict::kFin);
+  } else if (!entry.early_counted && entry.state.early_ready()) {
+    entry.early_counted = true;
+    ++s.tally.early_classified;
+    early_ctr_.inc();
+  }
+}
+
+void StreamEngine::evict_for_cap(Shard& s) {
+  // Prefer the least-recently-active flow whose first slow-start period
+  // has closed: its congestion signature is already frozen, so evicting it
+  // early cannot change its verdict.
+  for (const sim::FlowKey& key : s.lru) {
+    if (s.flows.find(key)->second.state.slow_start_closed()) {
+      finalize_flow(s, key, Evict::kLru);
+      return;
+    }
+  }
+  // No eligible victim: the cap is genuinely too small, drop the oldest.
+  const sim::FlowKey oldest = s.lru.front();
+  finalize_flow(s, oldest, Evict::kForced);
+}
+
+void StreamEngine::finalize_flow(Shard& s, const sim::FlowKey& canonical,
+                                 Evict reason) {
+  const auto it = s.flows.find(canonical);
+  FinalizedFlow fin = it->second.state.finalize(cfg_.extract);
+  if (fin.has_payload) {
+    s.done.push_back(Shard::Done{
+        fin.start_time,
+        analyzer_.report_from_extract(fin.data_key, std::move(fin.extracted),
+                                      fin.throughput_bps, fin.duration,
+                                      fin.data_packets)});
+  }
+  s.lru.erase(it->second.lru_it);
+  s.flows.erase(it);
+  ++s.tally.flows_finalized;
+  finalized_ctr_.inc();
+  switch (reason) {
+    case Evict::kFin:
+      ++s.tally.evicted_fin;
+      evicted_fin_ctr_.inc();
+      break;
+    case Evict::kIdle:
+      ++s.tally.evicted_idle;
+      evicted_idle_ctr_.inc();
+      break;
+    case Evict::kLru:
+      ++s.tally.evicted_lru;
+      evicted_lru_ctr_.inc();
+      break;
+    case Evict::kForced:
+      ++s.tally.evicted_forced;
+      evicted_forced_ctr_.inc();
+      break;
+    case Evict::kEndOfCapture:
+      break;
+  }
+}
+
+std::vector<FlowReport> StreamEngine::finish() {
+  obs::TraceSpan span("stream.finalize", "stream");
+  if (pool_) {
+    for (std::size_t idx = 0; idx < nshards_; ++idx) {
+      if (!pending_[idx].empty()) dispatch(idx);
+    }
+    pool_->wait();
+  }
+
+  StreamStats total;
+  std::size_t active = 0;
+  std::uint64_t max_shard_records = 0;
+  std::vector<Shard::Done> all;
+  for (const std::unique_ptr<Shard>& sp : shards_) {
+    Shard& s = *sp;
+    active += s.flows.size();
+    while (!s.lru.empty()) {
+      finalize_flow(s, s.lru.front(), Evict::kEndOfCapture);
+    }
+    for (Shard::Done& d : s.done) all.push_back(std::move(d));
+    s.done.clear();
+    total.records += s.tally.records;
+    total.flows_opened += s.tally.flows_opened;
+    total.flows_finalized += s.tally.flows_finalized;
+    total.evicted_fin += s.tally.evicted_fin;
+    total.evicted_idle += s.tally.evicted_idle;
+    total.evicted_lru += s.tally.evicted_lru;
+    total.evicted_forced += s.tally.evicted_forced;
+    total.early_classified += s.tally.early_classified;
+    total.peak_active_flows += s.peak;
+    max_shard_records = std::max(max_shard_records, s.tally.records);
+  }
+
+  std::sort(all.begin(), all.end(),
+            [](const Shard::Done& a, const Shard::Done& b) {
+              return analysis::flow_order_less(a.start, a.report.data_key,
+                                               b.start, b.report.data_key);
+            });
+  std::vector<FlowReport> reports;
+  reports.reserve(all.size());
+  for (Shard::Done& d : all) reports.push_back(std::move(d.report));
+
+  active_g_.set(static_cast<double>(active));
+  peak_g_.set(static_cast<double>(total.peak_active_flows));
+  if (total.records > 0) {
+    const double mean = static_cast<double>(total.records) /
+                        static_cast<double>(nshards_);
+    imbalance_g_.set(static_cast<double>(max_shard_records) / mean);
+  }
+
+  final_stats_ = total;
+  finished_ = true;
+  return reports;
+}
+
+PcapAnalysis analyze_pcap_stream(const std::string& path,
+                                 const FlowAnalyzer& analyzer,
+                                 const StreamConfig& cfg) {
+  PcapAnalysis out;
+  StreamEngine engine(analyzer, cfg);
+  obs::Counter bytes_ctr =
+      obs::MetricsRegistry::global().counter("stream.bytes_ingested");
+  obs::Gauge rate_g =
+      obs::MetricsRegistry::global().gauge("stream.ingest_bytes_per_sec");
+  std::uint64_t bytes = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    obs::TraceSpan span("stream.ingest", "stream");
+    pcap::PcapCursor cursor(path);
+    while (const auto rec = cursor.next()) {
+      bytes += rec->data.size();
+      const auto w =
+          analysis::wire_record_from_frame(rec->timestamp, rec->data);
+      if (!w) continue;  // non-TCP/undecodable frame, same skip as batch
+      engine.push(*w);
+    }
+  } catch (const runtime::ParseException& e) {
+    // Same contract as analyze_pcap_checked: report the error, keep the
+    // clean prefix's analysis.
+    out.error = e.error();
+  }
+  bytes_ctr.add(bytes);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (secs > 0) rate_g.set(static_cast<double>(bytes) / secs);
+  out.reports = engine.finish();
+  return out;
+}
+
+}  // namespace ccsig::stream

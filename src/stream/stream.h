@@ -1,0 +1,140 @@
+// Single-pass, bounded-memory streaming flow analysis.
+//
+// The batch path reads the whole capture into memory, splits it into
+// flows, and analyzes each one — O(capture) memory. StreamEngine instead
+// pushes records through a sharded flow table of incremental FlowStates
+// and emits each flow's FlowReport the moment the flow ends (FIN handshake
+// completed, idle timeout, LRU pressure, or end of capture) — O(active
+// flows) memory regardless of capture size.
+//
+// Determinism contract: records are routed to a shard by the hash of their
+// canonical flow key, each shard processes its records strictly in push
+// (capture) order, and the final report list is sorted with the same
+// comparator as the batch splitter. The shard count — which defines the
+// eviction partition — is a config value independent of `jobs`, so the
+// output is byte-identical at any worker count, including jobs=1 inline.
+// On time-ordered captures it is also byte-identical to
+// FlowAnalyzer::analyze_pcap_checked (see flow_state.h for the exact
+// equivalence argument and the two documented divergences).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/seq_unwrap.h"
+#include "core/analyzer.h"
+#include "features/extractor.h"
+#include "obs/metrics.h"
+#include "runtime/thread_pool.h"
+#include "sim/time.h"
+
+namespace ccsig::stream {
+
+struct StreamConfig {
+  /// Worker threads. 1 processes inline on the pushing thread; 0 means
+  /// runtime::default_jobs(). The output does not depend on this value.
+  unsigned jobs = 1;
+  /// Flow-table shards. The shard is part of the eviction semantics (the
+  /// LRU cap is divided across shards), so this is NOT tied to `jobs`;
+  /// 0 means kDefaultShards.
+  unsigned shards = 0;
+  static constexpr unsigned kDefaultShards = 8;
+  /// Upper bound on simultaneously resident flows, divided evenly across
+  /// shards (at least 1 each). 0 disables the cap.
+  std::size_t max_active_flows = 65536;
+  /// Evict flows with no activity for this long in *capture* time (so the
+  /// result is a function of the capture, not of wall-clock scheduling).
+  /// <= 0 disables idle eviction.
+  sim::Duration idle_timeout = 0;
+  /// Records per cross-thread batch when jobs > 1.
+  std::size_t batch_records = 512;
+  features::ExtractOptions extract;
+};
+
+/// Per-run tallies, valid after finish(). The same values are published to
+/// obs::MetricsRegistry::global() under stream.* names; tests prefer this
+/// struct because the global registry accumulates across runs.
+struct StreamStats {
+  std::uint64_t records = 0;
+  std::uint64_t flows_opened = 0;
+  std::uint64_t flows_finalized = 0;
+  std::uint64_t evicted_fin = 0;
+  std::uint64_t evicted_idle = 0;
+  std::uint64_t evicted_lru = 0;
+  /// LRU-cap evictions that found no slow-start-complete victim and had to
+  /// drop the oldest flow regardless. Nonzero means max_active_flows is
+  /// too small for the capture's concurrency.
+  std::uint64_t evicted_forced = 0;
+  /// Flows whose verdict inputs were frozen before the flow ended.
+  std::uint64_t early_classified = 0;
+  /// Sum over shards of each shard's peak resident flow count — the value
+  /// the LRU cap bounds.
+  std::size_t peak_active_flows = 0;
+};
+
+class StreamEngine {
+ public:
+  /// `analyzer` must outlive the engine.
+  explicit StreamEngine(const FlowAnalyzer& analyzer, StreamConfig cfg = {});
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+  ~StreamEngine();
+
+  /// Ingests one decoded record. Records must arrive in capture order.
+  void push(const analysis::WireRecord& w);
+
+  /// Flushes and finalizes every remaining flow and returns all reports in
+  /// batch order (flow_order_less). Call exactly once; push() must not be
+  /// called afterwards.
+  std::vector<FlowReport> finish();
+
+  /// Valid after finish().
+  const StreamStats& stats() const { return final_stats_; }
+
+ private:
+  struct Shard;
+  enum class Evict { kFin, kIdle, kLru, kForced, kEndOfCapture };
+
+  void dispatch(std::size_t idx);
+  void drain(Shard& s);
+  void process_record(Shard& s, const analysis::WireRecord& w);
+  void evict_for_cap(Shard& s);
+  void finalize_flow(Shard& s, const sim::FlowKey& canonical, Evict reason);
+
+  const FlowAnalyzer& analyzer_;
+  const StreamConfig cfg_;
+  std::size_t nshards_ = 1;
+  std::size_t per_shard_cap_ = 0;  // 0 = unlimited
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Reader-side per-shard batches (untouched when running inline).
+  std::vector<std::vector<analysis::WireRecord>> pending_;
+  std::mutex free_mu_;
+  std::vector<std::vector<analysis::WireRecord>> free_batches_;
+
+  obs::Counter records_ctr_, opened_ctr_, finalized_ctr_;
+  obs::Counter evicted_fin_ctr_, evicted_idle_ctr_, evicted_lru_ctr_,
+      evicted_forced_ctr_, early_ctr_;
+  obs::Gauge active_g_, peak_g_, imbalance_g_;
+
+  StreamStats final_stats_;
+  bool finished_ = false;
+
+  // Declared last: destroyed first, so in-flight drain tasks join before
+  // the shards they reference go away.
+  std::optional<runtime::ThreadPool> pool_;
+};
+
+/// Streaming equivalent of FlowAnalyzer::analyze_pcap_checked: analyzes the
+/// longest clean record prefix of `path` in one pass and reports the parse
+/// error that stopped reading, if any.
+PcapAnalysis analyze_pcap_stream(const std::string& path,
+                                 const FlowAnalyzer& analyzer,
+                                 const StreamConfig& cfg = {});
+
+}  // namespace ccsig::stream

@@ -16,6 +16,7 @@
 #include "pcap/pcap_file.h"
 #include "runtime/fault_injection.h"
 #include "runtime/parse_error.h"
+#include "stream/stream.h"
 #include "test_helpers.h"
 #include "testbed/sweep.h"
 
@@ -138,6 +139,75 @@ TEST_F(CorpusTest, MutatedPcapCorpusNeverCrashesReaders) {
   }
   // Truncations nearly always break framing; most mutants must report
   // structured errors rather than parse silently.
+  EXPECT_GE(structured_errors, 5);
+}
+
+TEST_F(CorpusTest, StreamingMatchesBatchOnHealthyMultiFlowCapture) {
+  // Seed 3 produces a multi-flow capture (asserted below so a generator
+  // change can't silently weaken the test).
+  const std::string path = file("multi.pcap");
+  const int flows = testutil::write_random_capture(/*seed=*/3, path);
+  EXPECT_GT(flows, 1);
+
+  const FlowAnalyzer analyzer;
+  const auto batch = analyzer.analyze_pcap_checked(path);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch.reports.size(), static_cast<std::size_t>(flows));
+
+  for (const unsigned jobs : {1u, 4u}) {
+    stream::StreamConfig cfg;
+    cfg.jobs = jobs;
+    const auto streamed = stream::analyze_pcap_stream(path, analyzer, cfg);
+    ASSERT_TRUE(streamed.ok());
+    ASSERT_EQ(streamed.reports.size(), batch.reports.size());
+    for (std::size_t i = 0; i < batch.reports.size(); ++i) {
+      EXPECT_EQ(FlowAnalyzer::render(streamed.reports[i]),
+                FlowAnalyzer::render(batch.reports[i]));
+    }
+  }
+}
+
+TEST_F(CorpusTest, MutatedPcapCorpusNeverCrashesStreaming) {
+  // Damaged multi-flow captures through the single-pass engine: every
+  // mutant must yield the same clean prefix and the same structured error
+  // as the batch reader — never a crash or a divergent flow partition.
+  const std::string source = file("multi_src.pcap");
+  testutil::write_random_capture(/*seed=*/3, source);
+  const auto mutants =
+      runtime::mutate_corpus(source, file("stream_mutants"), /*seed=*/91,
+                             /*count=*/14);
+  ASSERT_EQ(mutants.size(), 14u);
+
+  const FlowAnalyzer analyzer;
+  int structured_errors = 0;
+  for (const auto& mutant : mutants) {
+    const auto batch = analyzer.analyze_pcap_checked(mutant);
+    for (const unsigned jobs : {1u, 4u}) {
+      stream::StreamConfig cfg;
+      cfg.jobs = jobs;
+      const auto streamed = stream::analyze_pcap_stream(mutant, analyzer, cfg);
+
+      // Identical structured error (file, offset, reason) or none at all.
+      ASSERT_EQ(streamed.ok(), batch.ok()) << mutant;
+      if (!batch.ok()) {
+        EXPECT_EQ(streamed.error->file, batch.error->file);
+        EXPECT_EQ(streamed.error->offset, batch.error->offset);
+        EXPECT_EQ(streamed.error->reason, batch.error->reason);
+      }
+
+      // The flow partition of the clean prefix is order-independent, so it
+      // must match exactly even when a flipped byte makes timestamps go
+      // backwards. (Feature values are NOT compared here: on non-monotone
+      // timestamps the two paths may legitimately diverge — the documented
+      // divergence in flow_state.h — and both report the damage as
+      // kNonMonotone insufficiency in practice.)
+      ASSERT_EQ(streamed.reports.size(), batch.reports.size()) << mutant;
+      for (std::size_t i = 0; i < batch.reports.size(); ++i) {
+        EXPECT_EQ(streamed.reports[i].data_key, batch.reports[i].data_key);
+      }
+    }
+    structured_errors += batch.ok() ? 0 : 1;
+  }
   EXPECT_GE(structured_errors, 5);
 }
 

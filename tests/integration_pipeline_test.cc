@@ -8,18 +8,14 @@
 #include "core/analyzer.h"
 #include "pcap/capture.h"
 #include "pcap/pcap_file.h"
+#include "test_helpers.h"
 #include "testbed/experiment.h"
 
 namespace ccsig {
 namespace {
 
 testbed::TestbedConfig quick(testbed::Scenario scenario, std::uint64_t seed) {
-  testbed::TestbedConfig cfg;
-  cfg.scenario = scenario;
-  cfg.test_duration = sim::from_seconds(4);
-  cfg.warmup = sim::from_seconds(2);
-  cfg.seed = seed;
-  return cfg;
+  return testutil::quick_testbed_config(scenario, seed);
 }
 
 TEST(IntegrationPipeline, SelfInducedVerdictFromLiveTrace) {

@@ -20,6 +20,8 @@ set(tests
   ingest_corpus_test
   core_insufficient_test
   campaign_resume_test
+  stream_flow_table_test
+  stream_vs_batch_test
 )
 
 message(STATUS "[fault-san] configuring sanitized tree in ${BUILD_DIR}")
@@ -53,6 +55,10 @@ endif()
 # Undefined behaviour must fail the test, not just print.
 set(ENV{UBSAN_OPTIONS} "halt_on_error=1:print_stacktrace=1")
 set(ENV{ASAN_OPTIONS} "detect_leaks=0")
+# The stream/batch differential corpus is 8x slower under the sanitizers;
+# a 25-trace corpus keeps this run under the timeout while still covering
+# multi-flow and multi-jobs cases.
+set(ENV{CCSIG_STREAM_DIFF_COUNT} "25")
 
 list(JOIN tests "|" test_regex)
 message(STATUS "[fault-san] running sanitized tests")

@@ -1,0 +1,52 @@
+# End-to-end byte-identity check for ccsig_analyze --stream: runs the tool
+# on every committed example capture in batch mode and in streaming mode at
+# jobs 1 and 4, and requires bit-identical stdout and equal exit codes.
+# Registered as the `stream_tool_byte_diff` ctest by tests/CMakeLists.txt.
+#
+# Invoked as:
+#   cmake -DANALYZE_BIN=<ccsig_analyze> -DCAPTURE_DIR=<repo>/examples/captures
+#         -DOUT_DIR=<build>/stream_tool_diff -P run_stream_tool_diff.cmake
+
+foreach(var ANALYZE_BIN CAPTURE_DIR OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "${var} must be passed with -D${var}=...")
+  endif()
+endforeach()
+
+file(GLOB captures ${CAPTURE_DIR}/*.pcap)
+if(NOT captures)
+  message(FATAL_ERROR "no example captures found in ${CAPTURE_DIR}")
+endif()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+foreach(capture ${captures})
+  get_filename_component(name ${capture} NAME_WE)
+  set(batch_out ${OUT_DIR}/${name}.batch.txt)
+  execute_process(
+    COMMAND ${ANALYZE_BIN} ${capture}
+    OUTPUT_FILE ${batch_out}
+    RESULT_VARIABLE batch_rc)
+
+  foreach(jobs 1 4)
+    set(stream_out ${OUT_DIR}/${name}.stream.j${jobs}.txt)
+    execute_process(
+      COMMAND ${ANALYZE_BIN} ${capture} --stream --jobs ${jobs}
+      OUTPUT_FILE ${stream_out}
+      RESULT_VARIABLE stream_rc)
+    if(NOT stream_rc EQUAL batch_rc)
+      message(FATAL_ERROR
+        "${name}: --stream --jobs ${jobs} exited ${stream_rc}, "
+        "batch exited ${batch_rc}")
+    endif()
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files ${batch_out} ${stream_out}
+      RESULT_VARIABLE diff_rc)
+    if(NOT diff_rc EQUAL 0)
+      message(FATAL_ERROR
+        "${name}: --stream --jobs ${jobs} output differs from batch "
+        "(${batch_out} vs ${stream_out})")
+    endif()
+  endforeach()
+  message(STATUS "[stream-diff] ${name}: batch == stream at jobs 1 and 4")
+endforeach()

@@ -1,0 +1,129 @@
+// Differential harness: the streaming engine must be byte-equivalent to
+// the batch pipeline on a large corpus of randomized simulated captures —
+// identical FlowFeatures, verdicts, and rendered report lines, at any
+// worker count.
+//
+// The corpus size defaults to 200 seeds and can be overridden with the
+// CCSIG_STREAM_DIFF_COUNT environment variable (sanitized runs use a
+// smaller corpus; a local soak can use a larger one).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "stream/stream.h"
+#include "test_helpers.h"
+
+namespace ccsig {
+namespace {
+
+namespace fs = std::filesystem;
+
+int corpus_size() {
+  if (const char* env = std::getenv("CCSIG_STREAM_DIFF_COUNT")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 200;
+}
+
+/// Full bit-level equality of two reports. Doubles are compared with ==
+/// (never NaN here: degenerate stats are filtered into insufficiencies),
+/// so any drift in the arithmetic order of either path fails loudly.
+void expect_reports_equal(const FlowReport& batch, const FlowReport& stream,
+                          const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(batch.data_key, stream.data_key);
+  EXPECT_EQ(batch.duration, stream.duration);
+  EXPECT_EQ(batch.data_packets, stream.data_packets);
+  EXPECT_EQ(batch.throughput_bps, stream.throughput_bps);
+  EXPECT_EQ(batch.estimated_capacity_bps, stream.estimated_capacity_bps);
+  EXPECT_EQ(batch.insufficiency, stream.insufficiency);
+  EXPECT_EQ(batch.verdict(), stream.verdict());
+  ASSERT_EQ(batch.features.has_value(), stream.features.has_value());
+  if (batch.features) {
+    EXPECT_EQ(batch.features->norm_diff, stream.features->norm_diff);
+    EXPECT_EQ(batch.features->cov, stream.features->cov);
+    EXPECT_EQ(batch.features->rtt_slope, stream.features->rtt_slope);
+    EXPECT_EQ(batch.features->rtt_iqr, stream.features->rtt_iqr);
+    EXPECT_EQ(batch.features->rtt_samples, stream.features->rtt_samples);
+    EXPECT_EQ(batch.features->min_rtt_ms, stream.features->min_rtt_ms);
+    EXPECT_EQ(batch.features->max_rtt_ms, stream.features->max_rtt_ms);
+    EXPECT_EQ(batch.features->slow_start_throughput_bps,
+              stream.features->slow_start_throughput_bps);
+    EXPECT_EQ(batch.features->flow_throughput_bps,
+              stream.features->flow_throughput_bps);
+    EXPECT_EQ(batch.features->slow_start_ended_by_retransmission,
+              stream.features->slow_start_ended_by_retransmission);
+    EXPECT_EQ(batch.features->flow_duration, stream.features->flow_duration);
+  }
+  ASSERT_EQ(batch.classification.has_value(),
+            stream.classification.has_value());
+  if (batch.classification) {
+    EXPECT_EQ(batch.classification->verdict, stream.classification->verdict);
+    EXPECT_EQ(batch.classification->confidence,
+              stream.classification->confidence);
+  }
+  // The rendered line is what the tool prints; equal strings are the
+  // end-to-end byte-identity the --stream flag promises.
+  EXPECT_EQ(FlowAnalyzer::render(batch), FlowAnalyzer::render(stream));
+}
+
+void expect_analyses_equal(const PcapAnalysis& batch,
+                           const PcapAnalysis& stream,
+                           const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(batch.ok(), stream.ok());
+  ASSERT_EQ(batch.reports.size(), stream.reports.size());
+  for (std::size_t i = 0; i < batch.reports.size(); ++i) {
+    expect_reports_equal(batch.reports[i], stream.reports[i],
+                         context + " flow " + std::to_string(i));
+  }
+}
+
+TEST(StreamVsBatch, RandomizedCorpusIsByteIdenticalAtAnyJobs) {
+  const fs::path dir =
+      fs::temp_directory_path() / "ccsig_stream_diff_corpus";
+  fs::create_directories(dir);
+  const FlowAnalyzer analyzer;
+  const int seeds = corpus_size();
+
+  int multi_flow_captures = 0;
+  int classified_flows = 0;
+  for (int seed = 0; seed < seeds; ++seed) {
+    const std::string pcap =
+        (dir / ("trace_" + std::to_string(seed) + ".pcap")).string();
+    const int flows = testutil::write_random_capture(
+        static_cast<std::uint64_t>(seed), pcap);
+    if (flows > 1) ++multi_flow_captures;
+
+    const PcapAnalysis batch = analyzer.analyze_pcap_checked(pcap);
+    ASSERT_TRUE(batch.ok());
+    for (const FlowReport& r : batch.reports) {
+      classified_flows += r.classification.has_value() ? 1 : 0;
+    }
+
+    for (const unsigned jobs : {1u, 4u}) {
+      stream::StreamConfig cfg;
+      cfg.jobs = jobs;
+      const PcapAnalysis streamed =
+          stream::analyze_pcap_stream(pcap, analyzer, cfg);
+      expect_analyses_equal(
+          batch, streamed,
+          "seed " + std::to_string(seed) + " jobs " + std::to_string(jobs));
+    }
+    fs::remove(pcap);
+  }
+  fs::remove_all(dir);
+
+  // The corpus must actually exercise the interesting paths: concurrent
+  // flows in one capture, and flows that classify end to end.
+  EXPECT_GT(multi_flow_captures, seeds / 4);
+  EXPECT_GT(classified_flows, seeds / 4);
+}
+
+}  // namespace
+}  // namespace ccsig

@@ -1,13 +1,21 @@
 // Shared fixtures for integration-style tests: a minimal two-node network
-// with one shaped bottleneck link, plus helpers to run TCP transfers on it.
+// with one shaped bottleneck link, plus helpers to run TCP transfers on it,
+// a shared quick testbed configuration, and a seeded random multi-flow
+// capture generator for differential (stream vs batch) testing.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <random>
+#include <string>
+#include <vector>
 
 #include "analysis/trace_recorder.h"
+#include "pcap/capture.h"
 #include "sim/network.h"
 #include "tcp/tcp_sink.h"
 #include "tcp/tcp_source.h"
+#include "testbed/experiment.h"
 
 namespace ccsig::testutil {
 
@@ -86,6 +94,76 @@ inline TransferResult run_transfer(TwoNodePath& path, std::uint64_t bytes,
   result.source_stats = source.stats();
   result.sink_stats = sink.stats();
   return result;
+}
+
+/// The short (4 s test, 2 s warmup) testbed configuration used by the
+/// integration suites — one definition instead of a copy per test file.
+inline testbed::TestbedConfig quick_testbed_config(testbed::Scenario scenario,
+                                                   std::uint64_t seed) {
+  testbed::TestbedConfig cfg;
+  cfg.scenario = scenario;
+  cfg.test_duration = sim::from_seconds(4);
+  cfg.warmup = sim::from_seconds(2);
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Writes a deterministic pseudo-random server-side capture to `pcap_path`:
+/// 1–3 concurrent TCP transfers (staggered starts, mixed congestion
+/// controls and receiver configs) over one randomly shaped bottleneck.
+/// Everything — link rate, latency, buffer, loss, flow count, sizes — is a
+/// pure function of `seed` (std::mt19937_64 is fully specified, and values
+/// are derived by modulo rather than through implementation-defined
+/// distributions). Returns the number of flows started.
+inline int write_random_capture(std::uint64_t seed,
+                                const std::string& pcap_path) {
+  std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+  const auto pick = [&rng](std::uint64_t n) {
+    return static_cast<std::size_t>(rng() % n);
+  };
+
+  const double rates_mbps[] = {5, 10, 20, 50};
+  const double delays_ms[] = {5, 10, 20, 40};
+  const double buffers_ms[] = {15, 25, 50, 100};
+  const double losses[] = {0.0, 0.0, 0.001, 0.005};
+  const char* ccs[] = {"reno", "cubic", "bbr"};
+
+  TwoNodePath path(basic_link(rates_mbps[pick(4)] * 1e6, delays_ms[pick(4)],
+                              buffers_ms[pick(4)], losses[pick(4)]),
+                   seed + 1);
+  pcap::PcapCaptureTap tap(pcap_path);
+  path.server->add_tap(&tap);
+
+  const int flows = 1 + static_cast<int>(pick(3));
+  std::vector<std::unique_ptr<tcp::TcpSink>> sinks;
+  std::vector<std::unique_ptr<tcp::TcpSource>> sources;
+  for (int f = 0; f < flows; ++f) {
+    const sim::FlowKey key =
+        path.flow_key(static_cast<sim::Port>(5001 + 2 * f),
+                      static_cast<sim::Port>(5002 + 2 * f));
+
+    tcp::TcpSink::Config sink_cfg;
+    sink_cfg.data_key = key;
+    sink_cfg.segments_per_ack = 1 + static_cast<int>(pick(2));
+    sinks.push_back(std::make_unique<tcp::TcpSink>(path.net.sim(),
+                                                   path.client, sink_cfg));
+
+    tcp::TcpSource::Config src_cfg;
+    src_cfg.key = key;
+    src_cfg.bytes_to_send = 60'000 + 1'000 * pick(240);
+    src_cfg.congestion_control = ccs[pick(3)];
+    src_cfg.use_sack = pick(2) == 0;
+    sources.push_back(std::make_unique<tcp::TcpSource>(path.net.sim(),
+                                                       path.server, src_cfg));
+    tcp::TcpSource* src = sources.back().get();
+    const sim::Time start_at =
+        static_cast<sim::Time>(pick(500)) * sim::kMillisecond;
+    path.net.sim().schedule_at(start_at, [src] { src->start(); });
+  }
+  path.net.sim().run_until(sim::from_seconds(60));
+  path.server->remove_tap(&tap);
+  tap.flush();
+  return flows;
 }
 
 }  // namespace ccsig::testutil

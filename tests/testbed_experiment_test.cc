@@ -5,18 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include "test_helpers.h"
 #include "testbed/labeler.h"
 
 namespace ccsig::testbed {
 namespace {
 
 TestbedConfig quick_config(Scenario scenario, std::uint64_t seed) {
-  TestbedConfig cfg;
-  cfg.scenario = scenario;
-  cfg.test_duration = sim::from_seconds(4);
-  cfg.warmup = sim::from_seconds(2);
-  cfg.seed = seed;
-  return cfg;
+  return testutil::quick_testbed_config(scenario, seed);
 }
 
 TEST(TestbedExperiment, SelfInducedSaturatesAccessLink) {

@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
 """Micro-benchmark regression harness.
 
-Runs ``bench_micro_components`` (google-benchmark), folds the results into
-``BENCH_micro.json`` at the repo root, and — in ``--smoke`` mode — asserts
-the deterministic allocation counters that guard the simulator's
-allocation-free hot path. Timing numbers are machine-dependent and only
-recorded; allocation counts are exact and enforced.
+Runs the counting-allocator benchmark binaries (google-benchmark), folds
+the results into ``BENCH_micro.json`` at the repo root, and — in
+``--smoke`` mode — asserts the deterministic allocation counters that
+guard the allocation-free hot paths (simulator steady state, streaming
+ingest). Timing numbers are machine-dependent and only recorded;
+allocation counts are exact and enforced.
 
-Usage:
-  tools/bench_micro.py --bench-bin build/bench/bench_micro_components
+Usage (``--bench-bin`` may repeat; results are merged):
+  tools/bench_micro.py --bench-bin build/bench/bench_micro_components \\
+                       --bench-bin build/bench/bench_stream_ingest
   tools/bench_micro.py --bench-bin ... --smoke   # fast, counters only
 """
 
@@ -37,6 +39,9 @@ COUNTER_BOUNDS = {
     "BM_MetricsCounterRecord": {"allocs_per_record": 0.0},
     "BM_MetricsCounterInert": {"allocs_per_record": 0.0},
     "BM_MetricsHistogramRecord": {"allocs_per_record": 0.0},
+    # Streaming ingest (bench_stream_ingest): a quiescent flow's records
+    # must touch only scalars — a hard zero, no amortization allowance.
+    "BM_StreamIngestHotPath": {"allocs_per_packet": 0.0},
 }
 
 # In --smoke mode only these run (the steady-state bench simulates a 30 s
@@ -91,8 +96,10 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--bench-bin",
-        default=str(REPO_ROOT / "build" / "bench" / "bench_micro_components"),
-        help="path to the bench_micro_components binary",
+        action="append",
+        help="path to a counting-allocator benchmark binary; may be given "
+        "more than once (default: build/bench/bench_micro_components and "
+        "build/bench/bench_stream_ingest)",
     )
     parser.add_argument(
         "--smoke",
@@ -106,10 +113,18 @@ def main():
     )
     args = parser.parse_args()
 
-    if args.smoke:
-        results = run_bench(args.bench_bin, SMOKE_FILTER, min_time=0.05)
-    else:
-        results = run_bench(args.bench_bin, bench_filter=None, min_time=0.3)
+    bench_bins = args.bench_bin or [
+        str(REPO_ROOT / "build" / "bench" / "bench_micro_components"),
+        str(REPO_ROOT / "build" / "bench" / "bench_stream_ingest"),
+    ]
+    results = {}
+    for bench_bin in bench_bins:
+        if args.smoke:
+            results.update(run_bench(bench_bin, SMOKE_FILTER, min_time=0.05))
+        else:
+            results.update(
+                run_bench(bench_bin, bench_filter=None, min_time=0.3)
+            )
 
     failures = check_counters(results)
     for line in failures:

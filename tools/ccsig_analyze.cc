@@ -4,9 +4,17 @@
 //   ccsig_analyze <capture.pcap> [--model FILE] [--min-samples N] [--verbose]
 //                 [--metrics-out FILE] [--trace-out FILE]
 //                 [--flow-telemetry FILE]
+//                 [--stream] [--jobs N] [--shards N] [--max-flows N]
+//                 [--idle-timeout SECONDS]
 //
 // Prints one line per TCP flow found in the capture: throughput, the
 // slow-start congestion signature, and the classifier's verdict.
+//
+// --stream analyzes the capture in a single pass with bounded memory
+// (src/stream/): same output, byte for byte, as the default batch path on
+// time-ordered captures. --jobs sets worker threads (output-invariant),
+// --shards/--max-flows/--idle-timeout control the flow table's eviction
+// policy (these CAN change the output by evicting long-lived flows early).
 //
 // Observability side files (see src/obs/): --metrics-out writes the final
 // metrics snapshot JSON, --trace-out writes Chrome trace JSON, and
@@ -27,6 +35,7 @@
 #include "analysis/rtt_estimator.h"
 #include "core/ccsig.h"
 #include "obs/tool_obs.h"
+#include "stream/stream.h"
 #include "obs/trace.h"
 #include "runtime/atomic_file.h"
 #include "runtime/parse_error.h"
@@ -61,6 +70,8 @@ int main(int argc, char** argv) {
   std::string telemetry_path;
   ccsig::features::ExtractOptions extract;
   bool verbose = false;
+  bool use_stream = false;
+  ccsig::stream::StreamConfig stream_cfg;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
@@ -70,6 +81,18 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
+    } else if (std::strcmp(argv[i], "--stream") == 0) {
+      use_stream = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      stream_cfg.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      stream_cfg.shards = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--max-flows") == 0 && i + 1 < argc) {
+      stream_cfg.max_active_flows =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--idle-timeout") == 0 && i + 1 < argc) {
+      stream_cfg.idle_timeout =
+          ccsig::sim::from_seconds(std::atof(argv[++i]));
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
@@ -82,7 +105,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s <capture.pcap> [--model FILE] "
                    "[--min-samples N] [--verbose] [--metrics-out FILE] "
-                   "[--trace-out FILE] [--flow-telemetry FILE]\n",
+                   "[--trace-out FILE] [--flow-telemetry FILE] [--stream] "
+                   "[--jobs N] [--shards N] [--max-flows N] "
+                   "[--idle-timeout SECONDS]\n",
                    argv[0]);
       return 2;
     }
@@ -110,7 +135,12 @@ int main(int argc, char** argv) {
       std::printf("model decision logic:\n%s\n",
                   analyzer.classifier().describe().c_str());
     }
-    const auto analysis = analyzer.analyze_pcap_checked(pcap_path, extract);
+    stream_cfg.extract = extract;
+    const auto analysis =
+        use_stream
+            ? ccsig::stream::analyze_pcap_stream(pcap_path, analyzer,
+                                                 stream_cfg)
+            : analyzer.analyze_pcap_checked(pcap_path, extract);
     if (!telemetry_path.empty()) {
       // Decoded separately from the analyzer pass: the reports keep only
       // features, while telemetry wants the raw per-ACK RTT series.
