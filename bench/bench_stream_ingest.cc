@@ -10,16 +10,34 @@
 // through StreamEngine::push and counts heap allocations. The
 // `allocs_per_packet` counter is asserted == 0 by `tools/bench_micro.py
 // --smoke` (wired into ctest as bench_micro_smoke).
+// The same binary also carries the ingest *ladder*: whole-capture passes
+// over synthetic headers-only captures at 64 MB / 256 MB / 1 GB, once
+// through the PR 5 chunked-read record-at-a-time path and once through the
+// batched cursor (streamed and mmap backends). Each rung reports
+// packets_per_second, gbps (capture bytes consumed per second), and
+// allocs_per_packet over a warm engine, which `tools/bench_micro.py
+// --ladder-smoke` (ctest: bench_ingest_ladder_smoke, label `perf`) holds
+// to a hard packets/s floor and a hard zero on the mmap rung.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
+#include <map>
 #include <memory>
 #include <new>
+#include <string>
+#include <vector>
 
+#include "analysis/from_pcap.h"
 #include "analysis/seq_unwrap.h"
 #include "core/analyzer.h"
+#include "pcap/cursor.h"
+#include "pcap/headers.h"
+#include "pcap/pcap_file.h"
+#include "sim/packet.h"
 #include "sim/time.h"
+#include "stream/ingest.h"
 #include "stream/stream.h"
 
 namespace {
@@ -133,6 +151,217 @@ void BM_StreamIngestHotPath(benchmark::State& state) {
       static_cast<double>(allocs) / static_cast<double>(packets);
 }
 BENCHMARK(BM_StreamIngestHotPath);
+
+// ---------------------------------------------------------------------------
+// Ingest ladder: whole-capture passes over synthetic pcap files.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kLadderFlows = 64;
+
+sim::FlowKey ladder_key(std::size_t flow) {
+  return sim::FlowKey{static_cast<sim::Address>(1 + flow),
+                      static_cast<sim::Address>(10001 + flow),
+                      static_cast<std::uint16_t>(40000 + flow), 443};
+}
+
+void write_frame(pcap::PcapWriter& out, sim::Time t, const sim::Packet& p) {
+  const auto frame = pcap::encode_frame(p);
+  out.write(t, frame, static_cast<std::uint32_t>(frame.size()) +
+                          p.payload_bytes);
+}
+
+sim::Packet data_pkt(const sim::FlowKey& key, std::uint64_t seq) {
+  sim::Packet p;
+  p.key = key;
+  p.seq = seq;
+  p.payload_bytes = 1448;
+  p.window = 65535;
+  return p;
+}
+
+sim::Packet ack_pkt(const sim::FlowKey& key, std::uint64_t acked) {
+  sim::Packet p;
+  p.key = key.reversed();
+  p.seq = 1;
+  p.ack = acked;
+  p.window = 65535;
+  p.flags.ack = true;
+  return p;
+}
+
+struct LadderCapture {
+  std::string path;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t packets = 0;  // TCP records decoded per full pass
+};
+
+/// Builds (once per process, cached on disk across runs) a capture of at
+/// least `target_bytes`. Every flow is driven through the slow-start-close
+/// + freeze transition in its first six records, so the overwhelming bulk
+/// of the file exercises the quiescent scalar-only engine path — the
+/// steady state a long capture spends its life in.
+const LadderCapture& ladder_capture(std::size_t target_mb) {
+  static std::map<std::size_t, LadderCapture> cache;
+  auto it = cache.find(target_mb);
+  if (it != cache.end()) return it->second;
+
+  namespace fs = std::filesystem;
+  const std::uint64_t target_bytes = std::uint64_t{target_mb} << 20;
+  const char* dir_env = std::getenv("CCSIG_LADDER_DIR");
+  const fs::path dir = dir_env ? fs::path(dir_env) : fs::temp_directory_path();
+  fs::create_directories(dir);
+  const fs::path path =
+      dir /
+      ("ccsig_ingest_ladder_" + std::to_string(target_mb) + "mb_v2.pcap");
+
+  // Each record is 16 bytes of pcap header + a 54-byte headers-only frame.
+  const std::uint64_t per_record = 16 + pcap::kFrameHeaderBytes;
+  const std::uint64_t records = (target_bytes + per_record - 1) / per_record;
+
+  std::error_code ec;
+  const auto existing = fs::file_size(path, ec);
+  if (ec || existing != 24 + records * per_record) {
+    pcap::PcapWriter out(path.string(), pcap::kFrameHeaderBytes);
+    sim::Time t = 0;
+    const auto tick = [&t] { return t += sim::kMicrosecond; };
+    // Freeze every flow first (see warmup() above for the transition).
+    for (std::size_t f = 0; f < kLadderFlows; ++f) {
+      const sim::FlowKey key = ladder_key(f);
+      write_frame(out, tick(), data_pkt(key, 1));
+      write_frame(out, tick(), data_pkt(key, 1449));
+      write_frame(out, tick(), ack_pkt(key, 1449));
+      write_frame(out, tick(), data_pkt(key, 1));  // retx closes slow start
+      write_frame(out, tick(), ack_pkt(key, 2897));
+      write_frame(out, tick(), data_pkt(key, 2897));
+    }
+    // Steady state: congestion-window bursts round-robin across the
+    // flows — each turn is one RTT's worth of traffic, 8 data segments
+    // followed by 4 cumulative ACKs, the way a real sender clocked by a
+    // real receiver interleaves on the wire.
+    std::vector<std::uint64_t> seq(kLadderFlows, 4345);
+    std::size_t f = 0;
+    while (out.records_written() < records) {
+      const sim::FlowKey key = ladder_key(f);
+      for (int i = 0; i < 8 && out.records_written() < records; ++i) {
+        write_frame(out, tick(), data_pkt(key, seq[f] + i * 1448));
+      }
+      for (int i = 1; i <= 4 && out.records_written() < records; ++i) {
+        write_frame(out, tick(), ack_pkt(key, seq[f] + i * 2 * 1448));
+      }
+      seq[f] += 8 * 1448;
+      f = (f + 1) % kLadderFlows;
+    }
+    out.flush();
+  }
+
+  LadderCapture cap;
+  cap.path = path.string();
+  cap.file_bytes = fs::file_size(path);
+  cap.packets = fs::file_size(path) > 24 ? (cap.file_bytes - 24) / per_record
+                                         : 0;
+  return cache.emplace(target_mb, std::move(cap)).first->second;
+}
+
+/// One untimed batched pass that populates and freezes the flow table, so
+/// the measured passes run against a warm engine and the allocation probe
+/// sees the steady state rather than 64 one-time flow setups.
+void ladder_warm(stream::StreamEngine& engine, const LadderCapture& cap) {
+  stream::BatchedIngest ingest(cap.path, pcap::CursorMode::kAuto);
+  std::vector<stream::RoutedRecord> batch;
+  batch.reserve(512);
+  while (ingest.fill(batch, 512) > 0) {
+    engine.push_batch(batch);
+    batch.clear();
+  }
+}
+
+stream::StreamConfig ladder_config() {
+  stream::StreamConfig cfg;
+  cfg.jobs = 1;
+  return cfg;
+}
+
+/// The PR 5 ingest loop, verbatim: streamed cursor, one record at a time
+/// decoded and pushed individually. The comparison baseline for the
+/// batched rungs.
+void BM_IngestChunkedRead(benchmark::State& state) {
+  const LadderCapture& cap = ladder_capture(state.range(0));
+  const FlowAnalyzer analyzer;
+  stream::StreamEngine engine(analyzer, ladder_config());
+  ladder_warm(engine, cap);
+  std::uint64_t allocs = 0, packets = 0, bytes = 0;
+  for (auto _ : state) {
+    pcap::PcapCursor cursor(cap.path, pcap::CursorMode::kStream);
+    const AllocProbe probe;
+    std::uint64_t n = 0;
+    while (const auto rec = cursor.next()) {
+      const auto w = analysis::wire_record_from_frame(rec->timestamp,
+                                                      rec->data);
+      if (!w) continue;
+      engine.push(*w);
+      ++n;
+    }
+    allocs += probe.count();
+    packets += n;
+    bytes += cap.file_bytes;
+  }
+  auto reports = engine.finish();
+  benchmark::DoNotOptimize(reports);
+  state.counters["packets_per_second"] =
+      benchmark::Counter(static_cast<double>(packets),
+                         benchmark::Counter::kIsRate);
+  state.counters["gbps"] = benchmark::Counter(
+      static_cast<double>(bytes) * 8e-9, benchmark::Counter::kIsRate);
+  state.counters["allocs_per_packet"] =
+      static_cast<double>(allocs) / static_cast<double>(packets);
+}
+BENCHMARK(BM_IngestChunkedRead)
+    ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void ladder_batched(benchmark::State& state, pcap::CursorMode mode) {
+  const LadderCapture& cap = ladder_capture(state.range(0));
+  const FlowAnalyzer analyzer;
+  const stream::StreamConfig cfg = ladder_config();
+  stream::StreamEngine engine(analyzer, cfg);
+  ladder_warm(engine, cap);
+  std::uint64_t allocs = 0, packets = 0, bytes = 0;
+  std::vector<stream::RoutedRecord> batch;
+  batch.reserve(cfg.batch_records);
+  for (auto _ : state) {
+    stream::BatchedIngest ingest(cap.path, mode);
+    // The probe starts after the cursor and batch buffer exist: it counts
+    // the steady per-record path, which must be allocation-free.
+    const AllocProbe probe;
+    while (ingest.fill(batch, cfg.batch_records) > 0) {
+      engine.push_batch(batch);
+      batch.clear();
+    }
+    allocs += probe.count();
+    packets += ingest.records_decoded();
+    bytes += cap.file_bytes;
+  }
+  auto reports = engine.finish();
+  benchmark::DoNotOptimize(reports);
+  state.counters["packets_per_second"] =
+      benchmark::Counter(static_cast<double>(packets),
+                         benchmark::Counter::kIsRate);
+  state.counters["gbps"] = benchmark::Counter(
+      static_cast<double>(bytes) * 8e-9, benchmark::Counter::kIsRate);
+  state.counters["allocs_per_packet"] =
+      static_cast<double>(allocs) / static_cast<double>(packets);
+}
+
+void BM_IngestStreamBatched(benchmark::State& state) {
+  ladder_batched(state, pcap::CursorMode::kStream);
+}
+BENCHMARK(BM_IngestStreamBatched)
+    ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_IngestMmapBatched(benchmark::State& state) {
+  ladder_batched(state, pcap::CursorMode::kMmap);
+}
+BENCHMARK(BM_IngestMmapBatched)
+    ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -5,32 +5,6 @@
 #include "pcap/headers.h"
 
 namespace ccsig::analysis {
-namespace {
-
-sim::Address from_ipv4(std::uint32_t ip) { return ip & 0x00FFFFFFu; }
-
-}  // namespace
-
-std::optional<WireRecord> wire_record_from_frame(
-    sim::Time timestamp, std::span<const std::uint8_t> frame) {
-  const auto decoded = pcap::decode_frame(frame);
-  if (!decoded) return std::nullopt;
-  WireRecord w;
-  w.time = timestamp;
-  w.key.src_addr = from_ipv4(decoded->src_ip);
-  w.key.dst_addr = from_ipv4(decoded->dst_ip);
-  w.key.src_port = decoded->src_port;
-  w.key.dst_port = decoded->dst_port;
-  w.seq32 = decoded->seq32;
-  w.ack32 = decoded->ack32;
-  w.payload_bytes = decoded->payload_bytes;
-  w.window = decoded->window;
-  w.flags.syn = decoded->syn;
-  w.flags.ack = decoded->ack;
-  w.flags.fin = decoded->fin;
-  w.flags.rst = decoded->rst;
-  return w;
-}
 
 Trace trace_from_records(const std::vector<pcap::PcapRecord>& records) {
   Trace out;

@@ -46,22 +46,6 @@ bool dispute_active(const TransitSite& site, const AccessIsp& isp, int month) {
   return site.disputed && !isp.direct_peering && (month == 1 || month == 2);
 }
 
-namespace {
-
-/// One fully-specified NDT test: the path it runs over plus the metadata
-/// that identifies its cell. Built in a deterministic serial pre-pass
-/// (same enumeration and RNG draw order as the original serial loop), so
-/// the campaign's content never depends on execution order.
-struct PlannedNdt {
-  PathConfig pc;
-  std::string transit;
-  std::string site;
-  std::string isp;
-  int month = 0;
-  int hour = 0;
-  double load = 0;
-};
-
 NdtObservation run_planned_ndt(const PlannedNdt& p,
                                const Dispute2014Options& opt) {
   PathSim path(p.pc);
@@ -87,6 +71,8 @@ NdtObservation run_planned_ndt(const PlannedNdt& p,
   return obs;
 }
 
+namespace {
+
 constexpr char kHeader[] =
     "transit,site,isp,month,hour,plan_mbps,throughput_mbps,ss_tput_mbps,"
     "norm_diff,cov,has_features,passes_filters,truth_external";
@@ -99,8 +85,11 @@ void append_ints(std::ostream& out, const std::vector<int>& v) {
   }
 }
 
-/// The one formatter behind both the cache CSV and the shard checkpoint:
-/// byte-identical rows are what make kill/resume reproducible.
+}  // namespace
+
+const char* observations_csv_header() { return kHeader; }
+const char* observations_fingerprint_prefix() { return kFingerprintPrefix; }
+
 std::string format_observation_row(const NdtObservation& o) {
   std::ostringstream out;
   out.precision(17);
@@ -134,50 +123,69 @@ NdtObservation parse_observation_row(const std::string& line,
   return o;
 }
 
-}  // namespace
+DisputePlanCursor::DisputePlanCursor(const Dispute2014Options& opt)
+    : opt_(opt),
+      sites_(dispute_sites()),
+      isps_(dispute_isps()),
+      rng_(opt.seed) {
+  total_ = static_cast<std::uint64_t>(sites_.size()) * isps_.size() *
+           opt_.months.size() * opt_.hours.size() *
+           static_cast<std::uint64_t>(opt_.tests_per_cell);
+}
 
-std::vector<NdtObservation> generate_dispute2014(
-    const Dispute2014Options& opt) {
-  const auto sites = dispute_sites();
-  const auto isps = dispute_isps();
-  sim::Rng rng(opt.seed);
+std::optional<PlannedNdt> DisputePlanCursor::next() {
+  if (si_ >= sites_.size()) return std::nullopt;
+  const TransitSite& site = sites_[si_];
+  const AccessIsp& isp = isps_[ii_];
+  const int month = opt_.months[mi_];
+  const int hour = opt_.hours[hi_];
+  const double intensity = dispute_active(site, isp, month)
+                               ? opt_.dispute_intensity
+                               : opt_.normal_intensity;
+  const double load = intensity * diurnal_curve(hour);
 
-  std::vector<PlannedNdt> plan;
-  plan.reserve(sites.size() * isps.size() * opt.months.size() *
-               opt.hours.size() * static_cast<std::size_t>(opt.tests_per_cell));
+  // Exact draw order of the original serial pre-pass: plan, buffer,
+  // latency, loss, then the per-test seed.
+  PlannedNdt p;
+  p.pc.plan_mbps = isp.plan_mbps[rng_.weighted_index(isp.plan_weights)];
+  p.pc.access_buffer_ms = rng_.uniform(30.0, 120.0);
+  p.pc.access_latency_ms = rng_.uniform(6.0, 18.0);
+  p.pc.access_loss = rng_.uniform(0.0, 0.0003);
+  p.pc.interconnect_mbps = opt_.interconnect_mbps;
+  p.pc.interconnect_buffer_ms = opt_.interconnect_buffer_ms;
+  p.pc.background_load = load;
+  p.pc.seed = rng_.next_u64();
+  p.transit = site.transit;
+  p.site = site.site;
+  p.isp = isp.name;
+  p.month = month;
+  p.hour = hour;
+  p.load = load;
 
-  for (const TransitSite& site : sites) {
-    for (const AccessIsp& isp : isps) {
-      for (int month : opt.months) {
-        const double intensity = dispute_active(site, isp, month)
-                                     ? opt.dispute_intensity
-                                     : opt.normal_intensity;
-        for (int hour : opt.hours) {
-          for (int t = 0; t < opt.tests_per_cell; ++t) {
-            const double load = intensity * diurnal_curve(hour);
-
-            PlannedNdt p;
-            p.pc.plan_mbps =
-                isp.plan_mbps[rng.weighted_index(isp.plan_weights)];
-            p.pc.access_buffer_ms = rng.uniform(30.0, 120.0);
-            p.pc.access_latency_ms = rng.uniform(6.0, 18.0);
-            p.pc.access_loss = rng.uniform(0.0, 0.0003);
-            p.pc.interconnect_mbps = opt.interconnect_mbps;
-            p.pc.interconnect_buffer_ms = opt.interconnect_buffer_ms;
-            p.pc.background_load = load;
-            p.pc.seed = rng.next_u64();
-            p.transit = site.transit;
-            p.site = site.site;
-            p.isp = isp.name;
-            p.month = month;
-            p.hour = hour;
-            p.load = load;
-            plan.push_back(std::move(p));
-          }
+  // Advance the odometer: tests innermost, then hour, month, isp, site —
+  // the loop nest of the original pre-pass.
+  if (++t_ >= opt_.tests_per_cell) {
+    t_ = 0;
+    if (++hi_ >= opt_.hours.size()) {
+      hi_ = 0;
+      if (++mi_ >= opt_.months.size()) {
+        mi_ = 0;
+        if (++ii_ >= isps_.size()) {
+          ii_ = 0;
+          ++si_;
         }
       }
     }
   }
+  return p;
+}
+
+std::vector<NdtObservation> generate_dispute2014(
+    const Dispute2014Options& opt) {
+  DisputePlanCursor cursor(opt);
+  std::vector<PlannedNdt> plan;
+  plan.reserve(cursor.total());
+  while (auto p = cursor.next()) plan.push_back(std::move(*p));
 
   runtime::CheckpointedRunOptions ropt;
   ropt.checkpoint_path = opt.checkpoint_path;

@@ -19,6 +19,7 @@
 #include "runtime/campaign.h"
 #include "runtime/fault_injection.h"
 #include "runtime/job_result.h"
+#include "sim/random.h"
 
 namespace ccsig::mlab {
 
@@ -127,6 +128,62 @@ inline bool is_offpeak_hour(int hour) { return hour >= 1 && hour <= 8; }
 /// One-line digest of every option affecting campaign content (not
 /// `jobs`/`progress`); embedded in cache CSVs to invalidate stale caches.
 std::string dispute_fingerprint(const Dispute2014Options& opt);
+
+/// One fully-specified NDT test: the path it runs over plus the metadata
+/// that identifies its cell. Built in a deterministic pre-pass (fixed
+/// enumeration and RNG draw order), so campaign content never depends on
+/// execution order, worker count, or chunking.
+struct PlannedNdt {
+  PathConfig pc;
+  std::string transit;
+  std::string site;
+  std::string isp;
+  int month = 0;
+  int hour = 0;
+  double load = 0;
+};
+
+/// Incremental enumeration of the campaign plan in the exact order (and
+/// with the exact RNG draw sequence) of generate_dispute2014's serial
+/// pre-pass. Lets the million-row scale driver (mlab/scale.h) walk an
+/// arbitrarily large plan in O(1) memory — and, by calling next() past
+/// already-completed rows, resume mid-campaign with bit-identical draws.
+class DisputePlanCursor {
+ public:
+  explicit DisputePlanCursor(const Dispute2014Options& opt);
+  /// Total plan size (cells × tests_per_cell).
+  std::uint64_t total() const { return total_; }
+  /// Next planned test, or nullopt when the plan is exhausted.
+  std::optional<PlannedNdt> next();
+
+ private:
+  Dispute2014Options opt_;
+  std::vector<TransitSite> sites_;
+  std::vector<AccessIsp> isps_;
+  sim::Rng rng_;
+  std::uint64_t total_ = 0;
+  std::size_t si_ = 0, ii_ = 0, mi_ = 0, hi_ = 0;
+  int t_ = 0;
+};
+
+/// Runs one planned test through the full PathSim model (warmup + NDT) and
+/// fills in the observation. Deterministic given `p.pc.seed`.
+NdtObservation run_planned_ndt(const PlannedNdt& p,
+                               const Dispute2014Options& opt);
+
+/// The one precision-17 row formatter behind the cache CSV, the shard
+/// checkpoint, and the binary row store's CSV export (mlab/rowstore.h):
+/// every consumer sharing it is what makes kill/resume byte-reproducible.
+std::string format_observation_row(const NdtObservation& o);
+/// Inverse of format_observation_row; malformed input raises
+/// runtime::ParseException against (`file`, `line_no`).
+NdtObservation parse_observation_row(const std::string& line,
+                                     const std::string& file,
+                                     std::uint64_t line_no);
+/// The exact header line save_observations_csv writes.
+const char* observations_csv_header();
+/// The "# options: " prefix introducing the fingerprint line.
+const char* observations_fingerprint_prefix();
 
 /// Writes the observations atomically (temp file + rename).
 void save_observations_csv(const std::string& path,

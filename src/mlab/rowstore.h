@@ -1,0 +1,92 @@
+// Compact binary columnar storage for campaign observation rows.
+//
+// A million-row campaign cannot keep its results as an in-memory vector or
+// a monolithic CSV rewrite: the scale driver (mlab/scale.h) needs an
+// append-only on-disk format whose durable prefix survives a kill at any
+// byte. The row store is that format:
+//
+//   file   := magic "CCRS" u32:version u32:len fingerprint-bytes block*
+//   block  := u32:kBlockMagic u32:nrows u32:payload_bytes u32:crc32 payload
+//   payload:= dict(transit) dict(site) dict(isp)
+//             nrows × u8 transit_id | site_id | isp_id | month | hour | flags
+//             nrows × u64 for each double column (raw IEEE-754 bits, LE):
+//             plan_mbps, throughput_mbps, ss_tput_mbps, norm_diff, cov
+//   dict   := u8:n, then n × (u8:len bytes)
+//
+// Strings are per-block dictionary-coded (the campaign has a handful of
+// transit/site/ISP names), integers are single bytes, and doubles are
+// stored as raw bits — so a row round-trips bit-exactly and the CSV export
+// shim (export_rows_csv), which reuses the campaign's precision-17
+// formatter, is byte-identical to save_observations_csv on the same rows.
+// ~49 bytes/row vs ~130 for the CSV.
+//
+// Durability: a block is committed by its own header+CRC. Opening a store
+// for append scans the committed prefix and truncates anything after it
+// (a torn block from a kill mid-write), so `committed_rows()` is exactly
+// the durable row count and append always resumes from a clean boundary.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mlab/dispute2014.h"
+
+namespace ccsig::mlab {
+
+/// Summary of a store's committed (durable) contents.
+struct RowStoreInfo {
+  std::string fingerprint;
+  std::uint64_t rows = 0;
+  std::uint64_t blocks = 0;
+  /// File offset one past the last committed block (= truncation point
+  /// for a torn tail).
+  std::uint64_t committed_bytes = 0;
+};
+
+/// Scans `path` and returns its committed contents. A missing file or one
+/// with a damaged header raises runtime::ParseException; a torn or
+/// corrupt *tail* does not (the committed prefix is still authoritative).
+RowStoreInfo row_store_info(const std::string& path);
+
+/// Appends observation blocks to a store, creating it (with `fingerprint`)
+/// if absent. Opening an existing store whose fingerprint differs raises
+/// runtime::ParseException — the caller decides whether to delete and
+/// restart (mismatched campaign options must never silently mix).
+class RowStoreWriter {
+ public:
+  RowStoreWriter(const std::string& path, const std::string& fingerprint);
+
+  /// Durable rows at open time plus blocks appended since.
+  std::uint64_t committed_rows() const { return rows_; }
+
+  /// Serializes `rows` as one block, appends it, and flushes: after this
+  /// returns, the block is part of the committed prefix.
+  void append_block(const std::vector<NdtObservation>& rows);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t rows_ = 0;
+};
+
+/// Streams every committed row of `path` through `fn` in append order,
+/// holding one decoded block at a time — O(block), not O(rows). Returns
+/// the number of rows visited. A torn tail is ignored, matching
+/// row_store_info; a damaged header or mid-prefix corruption raises
+/// runtime::ParseException.
+std::uint64_t for_each_row(const std::string& path,
+                           const std::function<void(const NdtObservation&)>& fn,
+                           std::string* fingerprint_out = nullptr);
+
+/// CSV export shim: writes the store's rows to `csv_path` byte-identically
+/// to save_observations_csv(csv_path, rows, store-fingerprint) — same
+/// fingerprint line, same header, same precision-17 row formatter — while
+/// streaming block-by-block instead of materializing the row vector.
+void export_rows_csv(const std::string& store_path,
+                     const std::string& csv_path);
+
+}  // namespace ccsig::mlab

@@ -5,6 +5,14 @@
 #include "pcap/pcap_file.h"
 #include "runtime/parse_error.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#define CCSIG_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 namespace ccsig::pcap {
 namespace {
 
@@ -36,8 +44,55 @@ void PcapCursor::fail(std::string reason) const {
   runtime::throw_parse_error(path_, offset_, "byte", std::move(reason));
 }
 
+bool PcapCursor::try_mmap() {
+#ifdef CCSIG_HAVE_MMAP
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return false;
+  }
+  if (st.st_size == 0) {
+    // An empty regular file needs no mapping: an empty window reproduces
+    // the streamed path's "truncated file header" error exactly.
+    ::close(fd);
+    static const std::uint8_t kEmptyWindow = 0;
+    mmap_base_ = &kEmptyWindow;
+    mmap_len_ = 0;
+    end_ = 0;
+    eof_ = true;
+    return true;
+  }
+  void* base = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                      PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) return false;
+#ifdef POSIX_MADV_SEQUENTIAL
+  ::posix_madvise(base, static_cast<std::size_t>(st.st_size),
+                  POSIX_MADV_SEQUENTIAL);
+#endif
+  mmap_base_ = static_cast<const std::uint8_t*>(base);
+  mmap_len_ = static_cast<std::size_t>(st.st_size);
+  end_ = mmap_len_;  // the window is the whole file
+  eof_ = true;
+  return true;
+#else
+  return false;
+#endif
+}
+
+PcapCursor::~PcapCursor() {
+#ifdef CCSIG_HAVE_MMAP
+  if (mmap_base_ && mmap_len_ > 0) {
+    ::munmap(const_cast<std::uint8_t*>(mmap_base_), mmap_len_);
+  }
+#endif
+}
+
 std::size_t PcapCursor::ensure(std::size_t need) {
   if (end_ - pos_ >= need) return end_ - pos_;
+  if (mmap_base_) return end_ - pos_;  // the whole file is the window
   // Compact: move the unconsumed tail to the front of the buffer.
   if (pos_ > 0) {
     std::memmove(buf_.data(), buf_.data() + pos_, end_ - pos_);
@@ -56,17 +111,25 @@ std::size_t PcapCursor::ensure(std::size_t need) {
   return end_ - pos_;
 }
 
-PcapCursor::PcapCursor(const std::string& path)
-    : path_(path), in_(path, std::ios::binary) {
-  if (!in_) fail("cannot open pcap for reading");
-  buf_.resize(kChunkBytes);
+PcapCursor::PcapCursor(const std::string& path, CursorMode mode)
+    : path_(path) {
+  if (mode != CursorMode::kStream) {
+    if (!try_mmap() && mode == CursorMode::kMmap) {
+      fail("cannot mmap pcap for reading");
+    }
+  }
+  if (!mmap_base_) {
+    in_.open(path, std::ios::binary);
+    if (!in_) fail("cannot open pcap for reading");
+    buf_.resize(kChunkBytes);
+  }
   FileHeader hdr;
   const std::size_t got = ensure(sizeof(hdr));
   if (got < sizeof(hdr)) {
     fail("truncated file header (need " + std::to_string(sizeof(hdr)) +
          " bytes, got " + std::to_string(got) + ")");
   }
-  std::memcpy(&hdr, buf_.data() + pos_, sizeof(hdr));
+  std::memcpy(&hdr, window() + pos_, sizeof(hdr));
   if (hdr.magic != kPcapMagic) {
     fail("not a (little-endian, µs) pcap file: bad magic");
   }
@@ -84,7 +147,7 @@ std::optional<RecordView> PcapCursor::next() {
     fail("truncated record header (need " + std::to_string(sizeof(rec)) +
          " bytes, got " + std::to_string(have) + ")");
   }
-  std::memcpy(&rec, buf_.data() + pos_, sizeof(rec));
+  std::memcpy(&rec, window() + pos_, sizeof(rec));
   // A snaplen-exceeding capture length cannot have been written by any
   // sane writer; treat it as corruption rather than allocating blindly.
   if (rec.incl_len > snaplen_ + 65536u) {
@@ -102,7 +165,8 @@ std::optional<RecordView> PcapCursor::next() {
   view.timestamp = static_cast<sim::Time>(rec.ts_sec) * sim::kSecond +
                    static_cast<sim::Time>(rec.ts_usec) * sim::kMicrosecond;
   view.orig_len = rec.orig_len;
-  view.data = std::span<const std::uint8_t>(buf_.data() + pos_, rec.incl_len);
+  view.data =
+      std::span<const std::uint8_t>(window() + pos_, rec.incl_len);
   pos_ += rec.incl_len;
   offset_ += rec.incl_len;
   return view;

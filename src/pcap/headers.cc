@@ -17,15 +17,6 @@ void put32(std::uint8_t* at, std::uint32_t v) {
   at[3] = static_cast<std::uint8_t>(v & 0xFF);
 }
 
-std::uint16_t get16(const std::uint8_t* at) {
-  return static_cast<std::uint16_t>((at[0] << 8) | at[1]);
-}
-
-std::uint32_t get32(const std::uint8_t* at) {
-  return (std::uint32_t(at[0]) << 24) | (std::uint32_t(at[1]) << 16) |
-         (std::uint32_t(at[2]) << 8) | std::uint32_t(at[3]);
-}
-
 }  // namespace
 
 std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
@@ -90,39 +81,6 @@ std::array<std::uint8_t, kFrameHeaderBytes> encode_frame(const sim::Packet& p) {
   put16(tcp + 16, 0);  // checksum: payload is synthetic; left zero
   put16(tcp + 18, 0);  // urgent pointer
   return f;
-}
-
-std::optional<DecodedFrame> decode_frame(std::span<const std::uint8_t> data) {
-  if (data.size() < kFrameHeaderBytes) return std::nullopt;
-  const std::uint8_t* eth = data.data();
-  if (get16(eth + 12) != 0x0800) return std::nullopt;  // not IPv4
-  const std::uint8_t* ip = eth + kEthernetHeaderBytes;
-  if ((ip[0] >> 4) != 4) return std::nullopt;
-  const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0F) * 4;
-  if (ihl < kIpv4HeaderBytes || ip[9] != 6) return std::nullopt;
-  if (data.size() < kEthernetHeaderBytes + ihl + kTcpHeaderBytes) {
-    return std::nullopt;
-  }
-  const std::uint8_t* tcp = ip + ihl;
-  const std::size_t tcp_hdr = static_cast<std::size_t>(tcp[12] >> 4) * 4;
-
-  DecodedFrame d;
-  d.src_ip = get32(ip + 12);
-  d.dst_ip = get32(ip + 16);
-  d.src_port = get16(tcp + 0);
-  d.dst_port = get16(tcp + 2);
-  d.seq32 = get32(tcp + 4);
-  d.ack32 = get32(tcp + 8);
-  d.window = get16(tcp + 14);
-  d.fin = tcp[13] & 0x01;
-  d.syn = tcp[13] & 0x02;
-  d.rst = tcp[13] & 0x04;
-  d.ack = tcp[13] & 0x10;
-  const std::uint16_t total_len = get16(ip + 2);
-  const std::size_t hdrs = ihl + tcp_hdr;
-  d.payload_bytes =
-      total_len > hdrs ? static_cast<std::uint32_t>(total_len - hdrs) : 0;
-  return d;
 }
 
 }  // namespace ccsig::pcap

@@ -1,0 +1,76 @@
+// Bounded lock-free single-producer / single-consumer ring queue.
+//
+// The streaming engine's ingest fast path routes record batches from one
+// reader thread to per-shard single-writer workers. Each (reader, worker)
+// edge is strictly one producer and one consumer, so the classic two-index
+// ring suffices: the producer only writes `tail_`, the consumer only
+// writes `head_`, and each side caches the other's index to avoid
+// touching the shared cache line on every operation. No allocation after
+// construction, no mutexes, no CAS loops on the hot path.
+//
+// The capacity is rounded up to a power of two; one slot is kept empty to
+// distinguish full from empty, so the usable capacity is `capacity - 1`.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ccsig::runtime {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t min_capacity = 64) {
+    std::size_t cap = 2;
+    while (cap < min_capacity + 1) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Returns false when the ring is full.
+  bool try_push(T&& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = (tail + 1) & mask_;
+    if (next == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (next == head_cache_) return false;
+    }
+    slots_[tail] = std::move(v);
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head]);
+    head_.store((head + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness probe (exact for the consumer; a producer
+  /// observing true may be stale by one in-flight push).
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  // next slot to pop
+  alignas(64) std::size_t tail_cache_ = 0;        // consumer's view of tail_
+  alignas(64) std::atomic<std::size_t> tail_{0};  // next slot to push
+  alignas(64) std::size_t head_cache_ = 0;        // producer's view of head_
+};
+
+}  // namespace ccsig::runtime

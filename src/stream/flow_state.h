@@ -43,8 +43,10 @@
 // (16 bytes per advance; the LRU cap bounds the total).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <map>
 #include <optional>
 #include <vector>
@@ -79,7 +81,9 @@ class FlowState {
   }
 
   /// Consumes one record of this connection (either direction).
-  /// `w.key` must equal the canonical key or its reverse.
+  /// `w.key` must equal the canonical key or its reverse. Inline (defined
+  /// below): this is the engine's per-record hot path, and for a quiescent
+  /// flow it must compile down to scalar updates with no out-of-line call.
   void ingest(const analysis::WireRecord& w);
 
   /// Both directions sent a FIN and both FINs are acknowledged: no more
@@ -192,5 +196,118 @@ class FlowState {
 
   Hypothesis hyp_[2];
 };
+
+// ---------------------------------------------------------------------------
+// Hot-path definitions, inline so the streaming engine's per-record loop
+// sees through them. The cold helpers (process_deferred, compute_ss_stats,
+// prune_advances, finalize) stay out of line in flow_state.cc.
+// ---------------------------------------------------------------------------
+
+inline void FlowState::Hypothesis::flush_before(sim::Time t) {
+  while (fifo_head < fifo.size() && fifo[fifo_head].time < t) {
+    process_deferred(fifo[fifo_head]);
+    ++fifo_head;
+    if (stopped) {
+      // The batch walk's `break`: everything still queued is discarded and
+      // nothing is retained for later records.
+      std::vector<DeferredAck>().swap(fifo);
+      fifo_head = 0;
+      pending.clear();
+      return;
+    }
+  }
+  if (fifo_head == fifo.size()) {
+    fifo.clear();  // keeps capacity: the steady state re-queues for free
+    fifo_head = 0;
+  }
+}
+
+inline void FlowState::Hypothesis::on_data(const analysis::TraceRecord& r) {
+  if (stopped) return;
+  flush_before(r.time);
+  if (stopped) return;  // a flushed ACK hit the cutoff; batch skips the rest
+  if (r.payload_bytes == 0) return;
+  const std::uint64_t seq_end = r.seq + r.payload_bytes;
+  const bool is_retx = seq_end <= highest_sent;
+  auto [it, inserted] = pending.emplace(seq_end, Outstanding{r.time, is_retx});
+  if (!inserted) {
+    // Same range sent again: taint it and refresh the send time.
+    it->second.tainted = true;
+    it->second.sent_at = r.time;
+  } else if (is_retx) {
+    it->second.tainted = true;
+  }
+  highest_sent = std::max(highest_sent, seq_end);
+  if (is_retx && !ss_closed) {
+    ss_closed = true;
+    ss_end = r.time;
+  }
+}
+
+inline void FlowState::Hypothesis::on_ack(const analysis::TraceRecord& r,
+                                          sim::Time flow_start) {
+  // Slow-start ACK bookkeeping runs in raw arrival order with no flag
+  // filter: both batch scans (detect_slow_start's acked_bytes and the
+  // throughput advance builder) walk the acks vector directly and stop at
+  // the first record past the slow-start end.
+  if (!ss_done) {
+    if (ss_closed && r.time > ss_end) {
+      compute_ss_stats(flow_start, ss_end, /*by_retransmission=*/true);
+    } else if (r.ack > adv_max) {
+      adv_max = r.ack;
+      advances.push_back(analysis::AckAdvance{r.time, r.ack});
+      prune_advances(ss_closed ? ss_end : r.time, flow_start);
+    }
+  }
+  // RTT sampler: this ACK may still tie with not-yet-captured data records
+  // (which the batch walk would order first), so defer it; but any queued
+  // ACK from a strictly earlier timestamp can no longer tie with future
+  // data and is safe to process now.
+  if (stopped) return;
+  flush_before(r.time);
+  if (stopped) return;
+  if (!r.flags.ack || r.flags.syn) return;  // the walk ignores these anyway
+  fifo.push_back(DeferredAck{r.time, r.ack, r.flags.ack, r.flags.syn});
+}
+
+inline sim::Time FlowState::start_time() const {
+  sim::Time t = std::numeric_limits<sim::Time>::max();
+  if (count_[0] > 0) t = std::min(t, first_time_[0]);
+  if (count_[1] > 0) t = std::min(t, first_time_[1]);
+  return t == std::numeric_limits<sim::Time>::max() ? 0 : t;
+}
+
+inline sim::Time FlowState::end_time() const {
+  sim::Time t = 0;
+  if (count_[0] > 0) t = std::max(t, last_time_[0]);
+  if (count_[1] > 0) t = std::max(t, last_time_[1]);
+  return t;
+}
+
+inline void FlowState::ingest(const analysis::WireRecord& w) {
+  const int dir = dir_of(w.key);
+  const analysis::TraceRecord r =
+      analysis::unwrap_record(w, unwrap_[dir].seq, unwrap_[dir].ack);
+
+  if (count_[dir] == 0) first_time_[dir] = r.time;
+  ++count_[dir];
+  last_time_[dir] = r.time;
+  payload_[dir] += r.payload_bytes;
+  if (r.ack > max_ack_[dir]) max_ack_[dir] = r.ack;
+  if (r.flags.fin && !fin_seen_[dir]) {
+    fin_seen_[dir] = true;
+    fin_seq_end_[dir] = r.seq + r.payload_bytes;
+  }
+  last_seen_ = r.time;
+
+  const sim::Time start = start_time();
+  if (dir == 0) {
+    hyp_[0].on_data(r);
+    hyp_[1].on_ack(r, start);
+  } else {
+    hyp_[0].on_ack(r, start);
+    hyp_[1].on_data(r);
+  }
+}
 
 }  // namespace ccsig::stream

@@ -1,0 +1,80 @@
+// Batched zero-copy pcap ingest for the streaming engine.
+//
+// The PR 5 ingest loop pulled one record at a time through the cursor,
+// decoded it, and pushed it into the engine — three call chains and two
+// canonical-key hash computations per packet. BatchedIngest instead
+// decodes a whole chunk of records into a prefetch-friendly contiguous
+// RoutedRecord batch, computing the canonical flow key and its hash once
+// per record; the engine then routes and looks flows up with the
+// precomputed hash and never rehashes.
+//
+// Error semantics are exactly the cursor's (which are exactly
+// PcapReader's): on a damaged capture, fill() returns the records decoded
+// before the damage and records the structured ParseError — the clean
+// prefix is never lost to batching.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/flow_trace.h"
+#include "analysis/seq_unwrap.h"
+#include "pcap/cursor.h"
+#include "runtime/parse_error.h"
+#include "sim/packet.h"
+
+namespace ccsig::stream {
+
+/// One decoded record plus its routing precomputation: the canonical
+/// (direction-independent) flow key and that key's hash, computed exactly
+/// once at decode time and reused for shard routing and flow-table
+/// lookup. Trivially copyable so batches cross threads as memcpys.
+struct RoutedRecord {
+  analysis::WireRecord w;
+  sim::FlowKey canonical;
+  std::size_t hash = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<RoutedRecord>);
+
+inline RoutedRecord route_record(const analysis::WireRecord& w) {
+  RoutedRecord r;
+  r.w = w;
+  r.canonical = analysis::canonical_flow_key(w.key);
+  r.hash = sim::FlowKeyHash{}(r.canonical);
+  return r;
+}
+
+class BatchedIngest {
+ public:
+  /// Opens the capture. Throws runtime::ParseException on a damaged file
+  /// header, same as the cursor.
+  explicit BatchedIngest(const std::string& path,
+                         pcap::CursorMode mode = pcap::CursorMode::kStream);
+
+  /// Appends up to `max_records` decoded records to `out` (which is NOT
+  /// cleared), skipping non-TCP/undecodable frames exactly as the batch
+  /// path does. Returns the number appended; 0 means end of capture or a
+  /// parse error — check error(). After an error, further calls return 0.
+  std::size_t fill(std::vector<RoutedRecord>& out, std::size_t max_records);
+
+  /// The structured error that stopped ingest, if any. The records
+  /// decoded before the damage were all returned by fill().
+  const std::optional<runtime::ParseError>& error() const { return error_; }
+
+  /// Raw capture bytes consumed so far (record bodies).
+  std::uint64_t bytes_consumed() const { return bytes_; }
+  std::uint64_t records_decoded() const { return records_; }
+  pcap::CursorMode mode() const { return cursor_.mode(); }
+
+ private:
+  pcap::PcapCursor cursor_;
+  std::optional<runtime::ParseError> error_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t records_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace ccsig::stream

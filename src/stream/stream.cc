@@ -8,29 +8,73 @@
 #include "analysis/flow_trace.h"
 #include "analysis/from_pcap.h"
 #include "obs/trace.h"
-#include "pcap/cursor.h"
+#include "runtime/spsc_queue.h"
+#include "runtime/thread_pool.h"
 #include "stream/flow_state.h"
 
 namespace ccsig::stream {
+namespace {
+
+// Batch buffers in circulation per shard: one being filled by the
+// producer, the rest queued or being drained. Bounded, so a slow shard
+// backpressures the reader instead of growing a queue.
+constexpr std::size_t kBatchesPerShard = 4;
+
+/// Heterogeneous lookup key carrying the hash computed at decode time, so
+/// the per-record flow-table probe never rehashes the FlowKey.
+struct HashedKey {
+  const sim::FlowKey& key;
+  std::size_t hash;
+};
+
+struct FlowHash {
+  using is_transparent = void;
+  std::size_t operator()(const sim::FlowKey& k) const {
+    return sim::FlowKeyHash{}(k);
+  }
+  std::size_t operator()(const HashedKey& h) const { return h.hash; }
+};
+
+struct FlowEq {
+  using is_transparent = void;
+  bool operator()(const sim::FlowKey& a, const sim::FlowKey& b) const {
+    return a == b;
+  }
+  bool operator()(const sim::FlowKey& a, const HashedKey& b) const {
+    return a == b.key;
+  }
+  bool operator()(const HashedKey& a, const sim::FlowKey& b) const {
+    return a.key == b;
+  }
+};
+
+}  // namespace
 
 struct StreamEngine::Shard {
-  // Strand: one drain task at a time consumes `inbox` in FIFO order, so
-  // records are processed exactly in push order no matter how many workers
-  // the pool has.
-  std::mutex mu;
-  std::deque<std::vector<analysis::WireRecord>> inbox;
-  bool scheduled = false;
+  // Single-writer discipline: exactly one worker thread owns this shard
+  // and is the only consumer of `inbox` / producer of `recycle`; the
+  // pushing thread is the only producer of `inbox` / consumer of
+  // `recycle`. Both edges are therefore strictly SPSC and the flow table
+  // below needs no lock at all.
+  runtime::SpscQueue<std::vector<RoutedRecord>*> inbox{kBatchesPerShard};
+  runtime::SpscQueue<std::vector<RoutedRecord>*> recycle{kBatchesPerShard};
 
-  // Flow table — touched only by the strand (or the pushing thread when
-  // running inline).
   struct Entry {
     explicit Entry(const sim::FlowKey& canonical) : state(canonical) {}
     FlowState state;
     std::list<sim::FlowKey>::iterator lru_it;
     bool early_counted = false;
   };
-  std::unordered_map<sim::FlowKey, Entry, sim::FlowKeyHash> flows;
+  std::unordered_map<sim::FlowKey, Entry, FlowHash, FlowEq> flows;
   std::list<sim::FlowKey> lru;  // front = least recently seen
+
+  // Most-recently-touched entry, a pure cache over `flows`. Real traffic
+  // interleaves data and ACK records of the same flow back-to-back, so
+  // about half of all probes hit here and skip both the hash-table find
+  // and the (then no-op) LRU splice. Entry pointers are node-stable;
+  // finalize_flow clears this on any erase.
+  Entry* hot = nullptr;
+  sim::FlowKey hot_key;
 
   struct Done {
     sim::Time start;
@@ -45,6 +89,9 @@ struct StreamEngine::Shard {
 StreamEngine::StreamEngine(const FlowAnalyzer& analyzer, StreamConfig cfg)
     : analyzer_(analyzer), cfg_(cfg) {
   nshards_ = cfg_.shards > 0 ? cfg_.shards : StreamConfig::kDefaultShards;
+  // hash % nshards is a hardware divide on the per-record path; the
+  // default shard count is a power of two, where it is a mask.
+  shard_mask_ = (nshards_ & (nshards_ - 1)) == 0 ? nshards_ - 1 : 0;
   if (cfg_.max_active_flows > 0) {
     per_shard_cap_ = std::max<std::size_t>(1, cfg_.max_active_flows / nshards_);
   }
@@ -66,82 +113,102 @@ StreamEngine::StreamEngine(const FlowAnalyzer& analyzer, StreamConfig cfg)
   peak_g_ = reg.gauge("stream.flows_peak");
   imbalance_g_ = reg.gauge("stream.shard_imbalance");
 
-  unsigned jobs = cfg_.jobs == 0 ? runtime::default_jobs() : cfg_.jobs;
+  const unsigned jobs = cfg_.jobs == 0 ? runtime::default_jobs() : cfg_.jobs;
   if (jobs > 1) {
-    pending_.resize(nshards_);
-    for (auto& batch : pending_) batch.reserve(cfg_.batch_records);
-    pool_.emplace(jobs);
+    pending_.resize(nshards_, nullptr);
+    for (std::size_t i = 0; i < nshards_; ++i) {
+      Shard& s = *shards_[i];
+      for (std::size_t b = 0; b < kBatchesPerShard; ++b) {
+        batch_pool_.push_back(std::make_unique<std::vector<RoutedRecord>>());
+        batch_pool_.back()->reserve(cfg_.batch_records);
+        if (b == 0) {
+          pending_[i] = batch_pool_.back().get();
+        } else {
+          s.recycle.try_push(batch_pool_.back().get());
+        }
+      }
+    }
+    const unsigned nworkers =
+        static_cast<unsigned>(std::min<std::size_t>(jobs, nshards_));
+    workers_.reserve(nworkers);
+    for (unsigned w = 0; w < nworkers; ++w) {
+      workers_.emplace_back([this, w, nworkers] { worker_loop(w, nworkers); });
+    }
   }
 }
 
-StreamEngine::~StreamEngine() = default;  // pool_ joins first (declared last)
+StreamEngine::~StreamEngine() { stop_workers(); }
 
-void StreamEngine::push(const analysis::WireRecord& w) {
-  const sim::FlowKey canonical = analysis::canonical_flow_key(w.key);
-  const std::size_t idx = sim::FlowKeyHash{}(canonical) % nshards_;
-  records_ctr_.inc();
-  if (!pool_) {
-    process_record(*shards_[idx], w);
+void StreamEngine::stop_workers() {
+  if (workers_.empty()) return;
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+void StreamEngine::worker_loop(unsigned worker_id, unsigned nworkers) {
+  for (;;) {
+    // Order matters: read the stop flag BEFORE sweeping. Every push
+    // happens-before the stop store, so a sweep that starts after
+    // observing stop and still finds every owned inbox empty proves the
+    // inboxes are drained for good.
+    const bool stopping = stop_.load(std::memory_order_acquire);
+    bool did_work = false;
+    for (std::size_t idx = worker_id; idx < nshards_; idx += nworkers) {
+      Shard& s = *shards_[idx];
+      std::vector<RoutedRecord>* batch = nullptr;
+      while (s.inbox.try_pop(batch)) {
+        for (const RoutedRecord& r : *batch) process_record(s, r);
+        batch->clear();
+        s.recycle.try_push(std::move(batch));  // capacity ≥ pool, never full
+        did_work = true;
+      }
+    }
+    if (did_work) continue;
+    if (stopping) return;
+    std::this_thread::yield();
+  }
+}
+
+void StreamEngine::route(const RoutedRecord& r) {
+  const std::size_t idx =
+      shard_mask_ != 0 ? (r.hash & shard_mask_) : (r.hash % nshards_);
+  if (workers_.empty()) {
+    process_record(*shards_[idx], r);
     return;
   }
-  std::vector<analysis::WireRecord>& batch = pending_[idx];
-  batch.push_back(w);
-  if (batch.size() >= cfg_.batch_records) dispatch(idx);
+  std::vector<RoutedRecord>* batch = pending_[idx];
+  batch->push_back(r);
+  if (batch->size() >= cfg_.batch_records) flush_pending(idx);
 }
 
-void StreamEngine::dispatch(std::size_t idx) {
-  // Swap in a recycled (or fresh) buffer so the reader keeps batching
-  // without waiting on the shard.
-  std::vector<analysis::WireRecord> next;
-  {
-    std::lock_guard<std::mutex> lk(free_mu_);
-    if (!free_batches_.empty()) {
-      next = std::move(free_batches_.back());
-      free_batches_.pop_back();
-    }
-  }
-  std::vector<analysis::WireRecord> batch = std::move(pending_[idx]);
-  pending_[idx] = std::move(next);
-
+void StreamEngine::flush_pending(std::size_t idx) {
   Shard& s = *shards_[idx];
-  bool need_task = false;
-  {
-    std::lock_guard<std::mutex> lk(s.mu);
-    s.inbox.push_back(std::move(batch));
-    if (!s.scheduled) {
-      s.scheduled = true;
-      need_task = true;
-    }
+  std::vector<RoutedRecord>* full = pending_[idx];
+  while (!s.inbox.try_push(std::move(full))) {
+    std::this_thread::yield();  // shard backlog: backpressure the reader
   }
-  if (need_task) {
-    pool_->submit([this, &s] { drain(s); });
+  std::vector<RoutedRecord>* fresh = nullptr;
+  while (!s.recycle.try_pop(fresh)) {
+    std::this_thread::yield();
   }
+  fresh->clear();
+  pending_[idx] = fresh;
 }
 
-void StreamEngine::drain(Shard& s) {
-  for (;;) {
-    std::vector<analysis::WireRecord> batch;
-    {
-      std::lock_guard<std::mutex> lk(s.mu);
-      if (s.inbox.empty()) {
-        s.scheduled = false;
-        return;
-      }
-      batch = std::move(s.inbox.front());
-      s.inbox.pop_front();
-    }
-    for (const analysis::WireRecord& w : batch) process_record(s, w);
-    batch.clear();
-    {
-      std::lock_guard<std::mutex> lk(free_mu_);
-      free_batches_.push_back(std::move(batch));
-    }
-  }
+void StreamEngine::push(const analysis::WireRecord& w) {
+  records_ctr_.inc();
+  route(route_record(w));
 }
 
-void StreamEngine::process_record(Shard& s, const analysis::WireRecord& w) {
+void StreamEngine::push_batch(std::span<const RoutedRecord> batch) {
+  records_ctr_.add(batch.size());
+  for (const RoutedRecord& r : batch) route(r);
+}
+
+void StreamEngine::process_record(Shard& s, const RoutedRecord& r) {
   ++s.tally.records;
-  const sim::FlowKey canonical = analysis::canonical_flow_key(w.key);
+  const analysis::WireRecord& w = r.w;
 
   // Idle eviction first, in capture time, oldest first — a deterministic
   // function of the record stream.
@@ -154,27 +221,36 @@ void StreamEngine::process_record(Shard& s, const analysis::WireRecord& w) {
     }
   }
 
-  auto it = s.flows.find(canonical);
-  if (it == s.flows.end()) {
-    if (per_shard_cap_ > 0 && s.flows.size() >= per_shard_cap_) {
-      evict_for_cap(s);
-    }
-    it = s.flows.try_emplace(canonical, canonical).first;
-    s.lru.push_back(canonical);
-    it->second.lru_it = std::prev(s.lru.end());
-    ++s.tally.flows_opened;
-    opened_ctr_.inc();
-    s.peak = std::max(s.peak, s.flows.size());
+  Shard::Entry* entry;
+  if (s.hot != nullptr && s.hot_key == r.canonical) {
+    // The previous record touched this flow, so it is already at the back
+    // of the LRU: the splice would be a no-op and the find redundant.
+    entry = s.hot;
   } else {
-    s.lru.splice(s.lru.end(), s.lru, it->second.lru_it);
+    auto it = s.flows.find(HashedKey{r.canonical, r.hash});
+    if (it == s.flows.end()) {
+      if (per_shard_cap_ > 0 && s.flows.size() >= per_shard_cap_) {
+        evict_for_cap(s);
+      }
+      it = s.flows.try_emplace(r.canonical, r.canonical).first;
+      s.lru.push_back(r.canonical);
+      it->second.lru_it = std::prev(s.lru.end());
+      ++s.tally.flows_opened;
+      opened_ctr_.inc();
+      s.peak = std::max(s.peak, s.flows.size());
+    } else {
+      s.lru.splice(s.lru.end(), s.lru, it->second.lru_it);
+    }
+    entry = &it->second;
+    s.hot = entry;
+    s.hot_key = r.canonical;
   }
 
-  Shard::Entry& entry = it->second;
-  entry.state.ingest(w);
-  if (entry.state.complete()) {
-    finalize_flow(s, canonical, Evict::kFin);
-  } else if (!entry.early_counted && entry.state.early_ready()) {
-    entry.early_counted = true;
+  entry->state.ingest(w);
+  if (entry->state.complete()) {
+    finalize_flow(s, r.canonical, Evict::kFin);
+  } else if (!entry->early_counted && entry->state.early_ready()) {
+    entry->early_counted = true;
     ++s.tally.early_classified;
     early_ctr_.inc();
   }
@@ -197,6 +273,7 @@ void StreamEngine::evict_for_cap(Shard& s) {
 
 void StreamEngine::finalize_flow(Shard& s, const sim::FlowKey& canonical,
                                  Evict reason) {
+  s.hot = nullptr;  // the erase below may invalidate the cached entry
   const auto it = s.flows.find(canonical);
   FinalizedFlow fin = it->second.state.finalize(cfg_.extract);
   if (fin.has_payload) {
@@ -234,11 +311,11 @@ void StreamEngine::finalize_flow(Shard& s, const sim::FlowKey& canonical,
 
 std::vector<FlowReport> StreamEngine::finish() {
   obs::TraceSpan span("stream.finalize", "stream");
-  if (pool_) {
+  if (!workers_.empty()) {
     for (std::size_t idx = 0; idx < nshards_; ++idx) {
-      if (!pending_[idx].empty()) dispatch(idx);
+      if (!pending_[idx]->empty()) flush_pending(idx);
     }
-    pool_->wait();
+    stop_workers();
   }
 
   StreamStats total;
@@ -289,7 +366,8 @@ std::vector<FlowReport> StreamEngine::finish() {
 
 PcapAnalysis analyze_pcap_stream(const std::string& path,
                                  const FlowAnalyzer& analyzer,
-                                 const StreamConfig& cfg) {
+                                 const StreamConfig& cfg,
+                                 pcap::CursorMode mode) {
   PcapAnalysis out;
   StreamEngine engine(analyzer, cfg);
   obs::Counter bytes_ctr =
@@ -300,17 +378,18 @@ PcapAnalysis analyze_pcap_stream(const std::string& path,
   const auto t0 = std::chrono::steady_clock::now();
   try {
     obs::TraceSpan span("stream.ingest", "stream");
-    pcap::PcapCursor cursor(path);
-    while (const auto rec = cursor.next()) {
-      bytes += rec->data.size();
-      const auto w =
-          analysis::wire_record_from_frame(rec->timestamp, rec->data);
-      if (!w) continue;  // non-TCP/undecodable frame, same skip as batch
-      engine.push(*w);
+    BatchedIngest ingest(path, mode);
+    std::vector<RoutedRecord> batch;
+    batch.reserve(cfg.batch_records);
+    while (ingest.fill(batch, cfg.batch_records) > 0) {
+      engine.push_batch(batch);
+      batch.clear();
     }
+    if (ingest.error()) out.error = *ingest.error();
+    bytes = ingest.bytes_consumed();
   } catch (const runtime::ParseException& e) {
-    // Same contract as analyze_pcap_checked: report the error, keep the
-    // clean prefix's analysis.
+    // A damaged file header surfaces at open; same contract as
+    // analyze_pcap_checked — report the error, keep the (empty) prefix.
     out.error = e.error();
   }
   bytes_ctr.add(bytes);

@@ -7,30 +7,40 @@
 // completed, idle timeout, LRU pressure, or end of capture) — O(active
 // flows) memory regardless of capture size.
 //
+// Threading model (jobs > 1): each shard is owned by exactly one worker
+// thread — a single writer — and record batches travel from the pushing
+// thread to that worker over a lock-free SPSC ring (runtime/spsc_queue.h).
+// There are no mutexes, no shared flow-table state, and no cross-shard
+// contention anywhere on the hot path; batch buffers are recycled over a
+// second SPSC ring, so steady-state ingest performs zero allocations.
+//
 // Determinism contract: records are routed to a shard by the hash of their
 // canonical flow key, each shard processes its records strictly in push
-// (capture) order, and the final report list is sorted with the same
-// comparator as the batch splitter. The shard count — which defines the
-// eviction partition — is a config value independent of `jobs`, so the
-// output is byte-identical at any worker count, including jobs=1 inline.
-// On time-ordered captures it is also byte-identical to
-// FlowAnalyzer::analyze_pcap_checked (see flow_state.h for the exact
-// equivalence argument and the two documented divergences).
+// (capture) order (its ring is FIFO and it has one consumer), and the
+// final report list is sorted with the same comparator as the batch
+// splitter. The shard count — which defines the eviction partition — is a
+// config value independent of `jobs`, so the output is byte-identical at
+// any worker count, including jobs=1 inline. On time-ordered captures it
+// is also byte-identical to FlowAnalyzer::analyze_pcap_checked (see
+// flow_state.h for the exact equivalence argument and the two documented
+// divergences).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/seq_unwrap.h"
 #include "core/analyzer.h"
 #include "features/extractor.h"
 #include "obs/metrics.h"
-#include "runtime/thread_pool.h"
+#include "pcap/cursor.h"
+#include "stream/ingest.h"
 #include "sim/time.h"
 
 namespace ccsig::stream {
@@ -88,6 +98,11 @@ class StreamEngine {
   /// Ingests one decoded record. Records must arrive in capture order.
   void push(const analysis::WireRecord& w);
 
+  /// Ingests a batch of routed records (capture order within the span).
+  /// The fast path: canonical keys and hashes were computed at decode
+  /// time and are never recomputed.
+  void push_batch(std::span<const RoutedRecord> batch);
+
   /// Flushes and finalizes every remaining flow and returns all reports in
   /// batch order (flow_order_less). Call exactly once; push() must not be
   /// called afterwards.
@@ -100,22 +115,25 @@ class StreamEngine {
   struct Shard;
   enum class Evict { kFin, kIdle, kLru, kForced, kEndOfCapture };
 
-  void dispatch(std::size_t idx);
-  void drain(Shard& s);
-  void process_record(Shard& s, const analysis::WireRecord& w);
+  void route(const RoutedRecord& r);
+  void flush_pending(std::size_t idx);
+  void worker_loop(unsigned worker_id, unsigned nworkers);
+  void process_record(Shard& s, const RoutedRecord& r);
   void evict_for_cap(Shard& s);
   void finalize_flow(Shard& s, const sim::FlowKey& canonical, Evict reason);
+  void stop_workers();
 
   const FlowAnalyzer& analyzer_;
   const StreamConfig cfg_;
   std::size_t nshards_ = 1;
+  std::size_t shard_mask_ = 0;  // nshards_ - 1 when a power of two, else 0
   std::size_t per_shard_cap_ = 0;  // 0 = unlimited
 
   std::vector<std::unique_ptr<Shard>> shards_;
-  // Reader-side per-shard batches (untouched when running inline).
-  std::vector<std::vector<analysis::WireRecord>> pending_;
-  std::mutex free_mu_;
-  std::vector<std::vector<analysis::WireRecord>> free_batches_;
+  // Producer-side per-shard batch being filled (untouched when inline).
+  std::vector<std::vector<RoutedRecord>*> pending_;
+  // Owns every batch buffer circulating through the rings.
+  std::vector<std::unique_ptr<std::vector<RoutedRecord>>> batch_pool_;
 
   obs::Counter records_ctr_, opened_ctr_, finalized_ctr_;
   obs::Counter evicted_fin_ctr_, evicted_idle_ctr_, evicted_lru_ctr_,
@@ -125,16 +143,19 @@ class StreamEngine {
   StreamStats final_stats_;
   bool finished_ = false;
 
-  // Declared last: destroyed first, so in-flight drain tasks join before
-  // the shards they reference go away.
-  std::optional<runtime::ThreadPool> pool_;
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
 };
 
 /// Streaming equivalent of FlowAnalyzer::analyze_pcap_checked: analyzes the
 /// longest clean record prefix of `path` in one pass and reports the parse
-/// error that stopped reading, if any.
+/// error that stopped reading, if any. `mode` selects the capture input
+/// backend (mmap, buffered reads, or auto); the output is byte-identical
+/// across backends.
 PcapAnalysis analyze_pcap_stream(const std::string& path,
                                  const FlowAnalyzer& analyzer,
-                                 const StreamConfig& cfg = {});
+                                 const StreamConfig& cfg = {},
+                                 pcap::CursorMode mode =
+                                     pcap::CursorMode::kStream);
 
 }  // namespace ccsig::stream

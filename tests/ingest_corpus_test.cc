@@ -13,9 +13,11 @@
 #include "mlab/dispute2014.h"
 #include "mlab/tslp2017.h"
 #include "pcap/capture.h"
+#include "pcap/cursor.h"
 #include "pcap/pcap_file.h"
 #include "runtime/fault_injection.h"
 #include "runtime/parse_error.h"
+#include "stream/ingest.h"
 #include "stream/stream.h"
 #include "test_helpers.h"
 #include "testbed/sweep.h"
@@ -209,6 +211,120 @@ TEST_F(CorpusTest, MutatedPcapCorpusNeverCrashesStreaming) {
     structured_errors += batch.ok() ? 0 : 1;
   }
   EXPECT_GE(structured_errors, 5);
+}
+
+// Walks one cursor to exhaustion, appending every record to `records` (a
+// flattened copy: timestamp, orig_len, then the body bytes). Returns the
+// ParseError that stopped the walk, if any.
+std::optional<runtime::ParseError> drain_cursor(
+    const std::string& path, pcap::CursorMode mode,
+    std::vector<std::uint64_t>* records) {
+  try {
+    pcap::PcapCursor cursor(path, mode);
+    while (const auto rec = cursor.next()) {
+      records->push_back(static_cast<std::uint64_t>(rec->timestamp));
+      records->push_back(rec->orig_len);
+      for (const std::uint8_t b : rec->data) records->push_back(b);
+    }
+  } catch (const runtime::ParseException& e) {
+    return e.error();
+  }
+  return std::nullopt;
+}
+
+TEST_F(CorpusTest, MmapAndStreamedCursorsAreByteAndErrorIdentical) {
+  // The tentpole differential: on the healthy capture and on every mutant,
+  // the mmap backend must yield the exact same RecordView sequence (every
+  // byte of every body) and, on damage, the exact same structured error
+  // (file, offset, reason) as the buffered-read backend. This is what lets
+  // every other test in the suite speak for both backends at once.
+  const std::string source = write_capture();
+  std::vector<std::string> inputs{source};
+  const auto mutants = runtime::mutate_corpus(
+      source, file("cursor_mutants"), /*seed=*/123, /*count=*/14);
+  inputs.insert(inputs.end(), mutants.begin(), mutants.end());
+
+  int damaged = 0;
+  for (const std::string& input : inputs) {
+    std::vector<std::uint64_t> streamed_bytes, mmapped_bytes;
+    const auto streamed_err =
+        drain_cursor(input, pcap::CursorMode::kStream, &streamed_bytes);
+    const auto mmapped_err =
+        drain_cursor(input, pcap::CursorMode::kMmap, &mmapped_bytes);
+
+    ASSERT_EQ(streamed_err.has_value(), mmapped_err.has_value()) << input;
+    if (streamed_err) {
+      ++damaged;
+      EXPECT_EQ(streamed_err->file, mmapped_err->file) << input;
+      EXPECT_EQ(streamed_err->offset, mmapped_err->offset) << input;
+      EXPECT_EQ(streamed_err->reason, mmapped_err->reason) << input;
+    }
+    // The clean prefix read before any damage must match byte for byte.
+    EXPECT_EQ(streamed_bytes, mmapped_bytes) << input;
+
+    // kAuto resolves to one of the two backends, so it must match too.
+    std::vector<std::uint64_t> auto_bytes;
+    const auto auto_err =
+        drain_cursor(input, pcap::CursorMode::kAuto, &auto_bytes);
+    EXPECT_EQ(auto_err.has_value(), streamed_err.has_value()) << input;
+    EXPECT_EQ(auto_bytes, streamed_bytes) << input;
+  }
+  EXPECT_GE(damaged, 5);
+}
+
+TEST_F(CorpusTest, BatchedIngestMatchesRecordAtATimeDecoding) {
+  // BatchedIngest must be a pure batching of the cursor+decode loop: same
+  // decoded records in the same order, same clean prefix, same error.
+  const std::string source = file("batched_src.pcap");
+  testutil::write_random_capture(/*seed=*/3, source);
+  std::vector<std::string> inputs{source};
+  const auto mutants = runtime::mutate_corpus(
+      source, file("batched_mutants"), /*seed=*/29, /*count=*/8);
+  inputs.insert(inputs.end(), mutants.begin(), mutants.end());
+
+  for (const std::string& input : inputs) {
+    // Reference: the PR 5 one-record-at-a-time loop.
+    std::vector<stream::RoutedRecord> want;
+    std::optional<runtime::ParseError> want_err;
+    try {
+      pcap::PcapCursor cursor(input);
+      while (const auto rec = cursor.next()) {
+        const auto w =
+            analysis::wire_record_from_frame(rec->timestamp, rec->data);
+        if (w) want.push_back(stream::route_record(*w));
+      }
+    } catch (const runtime::ParseException& e) {
+      want_err = e.error();
+    }
+
+    for (const auto mode :
+         {pcap::CursorMode::kStream, pcap::CursorMode::kMmap}) {
+      std::vector<stream::RoutedRecord> got;
+      std::optional<runtime::ParseError> got_err;
+      try {
+        stream::BatchedIngest ingest(input, mode);
+        // A deliberately awkward batch size to exercise partial batches.
+        while (ingest.fill(got, /*max_records=*/37) > 0) {
+        }
+        if (ingest.error()) got_err = *ingest.error();
+      } catch (const runtime::ParseException& e) {
+        got_err = e.error();  // damaged file header surfaces at open
+      }
+
+      ASSERT_EQ(got_err.has_value(), want_err.has_value()) << input;
+      if (want_err) {
+        EXPECT_EQ(got_err->offset, want_err->offset) << input;
+        EXPECT_EQ(got_err->reason, want_err->reason) << input;
+      }
+      ASSERT_EQ(got.size(), want.size()) << input;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].hash, want[i].hash);
+        EXPECT_EQ(got[i].canonical, want[i].canonical);
+        EXPECT_EQ(got[i].w.time, want[i].w.time);
+        EXPECT_EQ(got[i].w.key, want[i].w.key);
+      }
+    }
+  }
 }
 
 TEST_F(CorpusTest, SweepCsvRejectsDamagedRowsWithLineNumbers) {

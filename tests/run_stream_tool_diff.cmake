@@ -1,6 +1,7 @@
 # End-to-end byte-identity check for ccsig_analyze --stream: runs the tool
-# on every committed example capture in batch mode and in streaming mode at
-# jobs 1 and 4, and requires bit-identical stdout and equal exit codes.
+# on every committed example capture in batch mode and in streaming mode —
+# both input backends (--stream buffered reads and --mmap zero-copy) at
+# jobs 1 and 4 — and requires bit-identical stdout and equal exit codes.
 # Registered as the `stream_tool_byte_diff` ctest by tests/CMakeLists.txt.
 #
 # Invoked as:
@@ -28,25 +29,29 @@ foreach(capture ${captures})
     OUTPUT_FILE ${batch_out}
     RESULT_VARIABLE batch_rc)
 
-  foreach(jobs 1 4)
-    set(stream_out ${OUT_DIR}/${name}.stream.j${jobs}.txt)
-    execute_process(
-      COMMAND ${ANALYZE_BIN} ${capture} --stream --jobs ${jobs}
-      OUTPUT_FILE ${stream_out}
-      RESULT_VARIABLE stream_rc)
-    if(NOT stream_rc EQUAL batch_rc)
-      message(FATAL_ERROR
-        "${name}: --stream --jobs ${jobs} exited ${stream_rc}, "
-        "batch exited ${batch_rc}")
-    endif()
-    execute_process(
-      COMMAND ${CMAKE_COMMAND} -E compare_files ${batch_out} ${stream_out}
-      RESULT_VARIABLE diff_rc)
-    if(NOT diff_rc EQUAL 0)
-      message(FATAL_ERROR
-        "${name}: --stream --jobs ${jobs} output differs from batch "
-        "(${batch_out} vs ${stream_out})")
-    endif()
+  foreach(backend --stream --mmap)
+    string(REPLACE "--" "" tag ${backend})
+    foreach(jobs 1 4)
+      set(stream_out ${OUT_DIR}/${name}.${tag}.j${jobs}.txt)
+      execute_process(
+        COMMAND ${ANALYZE_BIN} ${capture} ${backend} --jobs ${jobs}
+        OUTPUT_FILE ${stream_out}
+        RESULT_VARIABLE stream_rc)
+      if(NOT stream_rc EQUAL batch_rc)
+        message(FATAL_ERROR
+          "${name}: ${backend} --jobs ${jobs} exited ${stream_rc}, "
+          "batch exited ${batch_rc}")
+      endif()
+      execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files ${batch_out} ${stream_out}
+        RESULT_VARIABLE diff_rc)
+      if(NOT diff_rc EQUAL 0)
+        message(FATAL_ERROR
+          "${name}: ${backend} --jobs ${jobs} output differs from batch "
+          "(${batch_out} vs ${stream_out})")
+      endif()
+    endforeach()
   endforeach()
-  message(STATUS "[stream-diff] ${name}: batch == stream at jobs 1 and 4")
+  message(STATUS
+    "[stream-diff] ${name}: batch == stream == mmap at jobs 1 and 4")
 endforeach()

@@ -17,6 +17,7 @@ Usage (``--bench-bin`` may repeat; results are merged):
 import argparse
 import json
 import pathlib
+import re
 import subprocess
 import sys
 import tempfile
@@ -42,13 +43,40 @@ COUNTER_BOUNDS = {
     # Streaming ingest (bench_stream_ingest): a quiescent flow's records
     # must touch only scalars — a hard zero, no amortization allowance.
     "BM_StreamIngestHotPath": {"allocs_per_packet": 0.0},
+    # Ingest ladder, smallest rung. Checked by --ladder-smoke (its own
+    # ctest, bench_ingest_ladder_smoke), not by --smoke: the ladder lazily
+    # writes a 64 MB synthetic capture the plain smoke shouldn't pay for.
+    "BM_IngestMmapBatched/64": {"allocs_per_packet": 0.0},
 }
 
-# In --smoke mode only these run (the steady-state bench simulates a 30 s
-# 100 MB transfer; everything else is sub-second at min_time=0.05).
-SMOKE_FILTER = "|".join(
-    name.split("/")[0] for name in COUNTER_BOUNDS if "SteadyState" not in name
+# Hard throughput floors for the ingest ladder's smallest rung. The
+# numbers an idle machine produces are ~19-24 M packets/s; the floors sit
+# an order of magnitude below that so they survive a loaded CI box while
+# still catching structural regressions (a per-record allocation, an
+# accidental O(n^2), losing the fused mmap path).
+LADDER_FLOORS = {
+    "BM_IngestChunkedRead/64": {"packets_per_second": 1.0e6},
+    "BM_IngestMmapBatched/64": {"packets_per_second": 2.0e6},
+}
+
+LADDER_PREFIXES = (
+    "BM_IngestChunkedRead",
+    "BM_IngestStreamBatched",
+    "BM_IngestMmapBatched",
 )
+
+# In --smoke mode only these run (the steady-state bench simulates a 30 s
+# 100 MB transfer and the ladder benches synthesize multi-MB captures;
+# everything else is sub-second at min_time=0.05). Anchored exact names:
+# an unanchored prefix would drag every ladder rung — including the 1 GB
+# one — into the smoke run.
+SMOKE_FILTER = "|".join(
+    f"^{re.escape(name)}$"
+    for name in COUNTER_BOUNDS
+    if "SteadyState" not in name and not name.startswith(LADDER_PREFIXES)
+)
+
+LADDER_FILTER = "|".join(f"^{re.escape(name)}$" for name in LADDER_FLOORS)
 
 
 def run_bench(bench_bin, bench_filter, min_time):
@@ -67,10 +95,16 @@ def run_bench(bench_bin, bench_filter, min_time):
         data = json.load(f)
     pathlib.Path(out_path).unlink()
     results = {}
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
     for bench in data["benchmarks"]:
-        entry = {"real_time_ns": bench["real_time"]}
+        entry = {
+            "real_time_ns":
+                bench["real_time"] * scale[bench.get("time_unit", "ns")]
+        }
         for key, value in bench.items():
-            if key.startswith(("allocs", "steady", "bytes_per")):
+            if key.startswith(
+                ("allocs", "steady", "bytes_per", "packets_per", "gbps")
+            ):
                 entry[key] = value
         results[bench["name"]] = entry
     return results
@@ -92,6 +126,55 @@ def check_counters(results):
     return failures
 
 
+def check_floors(results):
+    failures = []
+    for name, floors in LADDER_FLOORS.items():
+        if name not in results:
+            failures.append(f"{name}: benchmark missing from ladder run")
+            continue
+        for counter, floor in floors.items():
+            actual = results[name].get(counter)
+            if actual is None:
+                failures.append(f"{name}: counter {counter} missing")
+            elif actual < floor:
+                failures.append(
+                    f"{name}: {counter} = {actual:.4g} below floor {floor:.4g}"
+                )
+    return failures
+
+
+def print_compare(doc):
+    """Per-benchmark delta table: BENCH_micro.json current vs baseline."""
+    base = doc.get("baseline", {})
+    cur = doc.get("current", {})
+    names = sorted(set(base) | set(cur))
+    header = f"{'benchmark':<38} {'baseline':>12} {'current':>12} " \
+             f"{'delta':>8}  bounds"
+    print(header)
+    print("-" * len(header))
+    for name in names:
+        b = base.get(name, {}).get("real_time_ns")
+        c = cur.get(name, {}).get("real_time_ns")
+        b_s = f"{b:,.0f}" if b is not None else "-"
+        c_s = f"{c:,.0f}" if c is not None else "-"
+        if b is not None and c is not None and b > 0:
+            delta = f"{(c - b) / b * 100.0:+.1f}%"
+        else:
+            delta = "-"
+        bound_s = ""
+        bounds = COUNTER_BOUNDS.get(name)
+        if bounds and name in cur:
+            bad = [
+                f"{k}={cur[name].get(k)!r}>{v}"
+                for k, v in bounds.items()
+                if cur[name].get(k) is None or cur[name][k] > v
+            ]
+            bound_s = "FAIL " + ", ".join(bad) if bad else "ok"
+        print(f"{name:<38} {b_s:>12} {c_s:>12} {delta:>8}  {bound_s}")
+    print("(times in ns; delta is current vs baseline, negative = faster; "
+          "bounds column checks COUNTER_BOUNDS against 'current')")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -107,11 +190,50 @@ def main():
         help="fast run: allocation counters only, no timing record",
     )
     parser.add_argument(
+        "--ladder-smoke",
+        action="store_true",
+        help="run the ingest ladder's smallest rung only and enforce "
+        "LADDER_FLOORS (hard packets/s floors) plus the mmap rung's "
+        "zero-allocation bound; pass --bench-bin bench_stream_ingest",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="print a per-benchmark delta table (BENCH_micro.json current "
+        "vs baseline) without running anything",
+    )
+    parser.add_argument(
         "--update",
         action="store_true",
         help="rewrite the 'current' section of BENCH_micro.json",
     )
     args = parser.parse_args()
+
+    if args.compare:
+        if not RESULT_FILE.exists():
+            print(f"no {RESULT_FILE} to compare", file=sys.stderr)
+            return 1
+        with open(RESULT_FILE) as f:
+            print_compare(json.load(f))
+        return 0
+
+    if args.ladder_smoke:
+        bench_bins = args.bench_bin or [
+            str(REPO_ROOT / "build" / "bench" / "bench_stream_ingest"),
+        ]
+        results = {}
+        for bench_bin in bench_bins:
+            results.update(run_bench(bench_bin, LADDER_FILTER, min_time=0.05))
+        failures = check_floors(results) + check_counters(results)
+        for line in failures:
+            print(f"FAIL {line}", file=sys.stderr)
+        for name in sorted(results):
+            extras = {
+                k: v for k, v in results[name].items() if k != "real_time_ns"
+            }
+            print(f"  {name}: {results[name]['real_time_ns']:.0f} ns {extras}")
+        print(f"ingest ladder smoke: {'FAIL' if failures else 'OK'}")
+        return 1 if failures else 0
 
     bench_bins = args.bench_bin or [
         str(REPO_ROOT / "build" / "bench" / "bench_micro_components"),

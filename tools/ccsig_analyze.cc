@@ -4,7 +4,7 @@
 //   ccsig_analyze <capture.pcap> [--model FILE] [--min-samples N] [--verbose]
 //                 [--metrics-out FILE] [--trace-out FILE]
 //                 [--flow-telemetry FILE]
-//                 [--stream] [--jobs N] [--shards N] [--max-flows N]
+//                 [--stream] [--mmap] [--jobs N] [--shards N] [--max-flows N]
 //                 [--idle-timeout SECONDS]
 //
 // Prints one line per TCP flow found in the capture: throughput, the
@@ -12,7 +12,10 @@
 //
 // --stream analyzes the capture in a single pass with bounded memory
 // (src/stream/): same output, byte for byte, as the default batch path on
-// time-ordered captures. --jobs sets worker threads (output-invariant),
+// time-ordered captures. --mmap reads the capture through the zero-copy
+// mmap backend (pcap::CursorMode::kMmap; implies --stream, output-
+// identical to the buffered reader). --jobs sets worker threads
+// (output-invariant),
 // --shards/--max-flows/--idle-timeout control the flow table's eviction
 // policy (these CAN change the output by evicting long-lived flows early).
 //
@@ -35,6 +38,7 @@
 #include "analysis/rtt_estimator.h"
 #include "core/ccsig.h"
 #include "obs/tool_obs.h"
+#include "pcap/cursor.h"
 #include "stream/stream.h"
 #include "obs/trace.h"
 #include "runtime/atomic_file.h"
@@ -71,6 +75,7 @@ int main(int argc, char** argv) {
   ccsig::features::ExtractOptions extract;
   bool verbose = false;
   bool use_stream = false;
+  ccsig::pcap::CursorMode cursor_mode = ccsig::pcap::CursorMode::kStream;
   ccsig::stream::StreamConfig stream_cfg;
 
   for (int i = 1; i < argc; ++i) {
@@ -83,6 +88,9 @@ int main(int argc, char** argv) {
       verbose = true;
     } else if (std::strcmp(argv[i], "--stream") == 0) {
       use_stream = true;
+    } else if (std::strcmp(argv[i], "--mmap") == 0) {
+      use_stream = true;
+      cursor_mode = ccsig::pcap::CursorMode::kMmap;
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       stream_cfg.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
@@ -106,7 +114,7 @@ int main(int argc, char** argv) {
                    "usage: %s <capture.pcap> [--model FILE] "
                    "[--min-samples N] [--verbose] [--metrics-out FILE] "
                    "[--trace-out FILE] [--flow-telemetry FILE] [--stream] "
-                   "[--jobs N] [--shards N] [--max-flows N] "
+                   "[--mmap] [--jobs N] [--shards N] [--max-flows N] "
                    "[--idle-timeout SECONDS]\n",
                    argv[0]);
       return 2;
@@ -139,7 +147,7 @@ int main(int argc, char** argv) {
     const auto analysis =
         use_stream
             ? ccsig::stream::analyze_pcap_stream(pcap_path, analyzer,
-                                                 stream_cfg)
+                                                 stream_cfg, cursor_mode)
             : analyzer.analyze_pcap_checked(pcap_path, extract);
     if (!telemetry_path.empty()) {
       // Decoded separately from the analyzer pass: the reports keep only
