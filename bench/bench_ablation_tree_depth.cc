@@ -2,41 +2,12 @@
 // accurate, settling on 4. We sweep 1–8 with 5-fold cross-validation, plus
 // a random-forest reference, to show the problem saturates at tiny depth.
 #include "bench_common.h"
+#include "ml/cv.h"
 #include "ml/metrics.h"
 #include "ml/random_forest.h"
 #include "ml/split.h"
 
 using namespace ccsig;
-
-namespace {
-
-double cv_accuracy(const ml::Dataset& data, int depth, int k = 5) {
-  sim::Rng rng(31);
-  const auto folds = ml::stratified_folds(data, k, rng);
-  double correct = 0, total = 0;
-  for (int f = 0; f < k; ++f) {
-    std::vector<std::size_t> train_idx;
-    for (int g = 0; g < k; ++g) {
-      if (g == f) continue;
-      train_idx.insert(train_idx.end(),
-                       folds[static_cast<std::size_t>(g)].begin(),
-                       folds[static_cast<std::size_t>(g)].end());
-    }
-    const ml::Dataset train = data.subset(train_idx);
-    const ml::Dataset test =
-        data.subset(folds[static_cast<std::size_t>(f)]);
-    ml::DecisionTree tree(ml::DecisionTree::Params{.max_depth = depth});
-    tree.fit(train);
-    const auto pred = tree.predict_all(test);
-    for (std::size_t i = 0; i < test.size(); ++i) {
-      correct += pred[i] == test.label(i) ? 1 : 0;
-      total += 1;
-    }
-  }
-  return total > 0 ? correct / total : 0.0;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::parse_options(argc, argv);
@@ -52,7 +23,12 @@ int main(int argc, char** argv) {
 
   std::printf("%-8s %16s\n", "depth", "5-fold accuracy");
   for (int depth = 1; depth <= 8; ++depth) {
-    std::printf("%-8d %15.1f%%\n", depth, 100.0 * cv_accuracy(data, depth));
+    // Fold fits run across opt.jobs threads; the accuracy is byte-identical
+    // at any jobs value (ml::cross_validate's determinism contract).
+    const auto cv = ml::cross_validate(
+        data, ml::DecisionTree::Params{.max_depth = depth}, /*k=*/5,
+        /*seed=*/31, opt.jobs);
+    std::printf("%-8d %15.1f%%\n", depth, 100.0 * cv.accuracy);
   }
 
   // Random-forest reference: on a 2-feature problem a heavier model should
@@ -64,7 +40,7 @@ int main(int argc, char** argv) {
       ml::RandomForest::Params{.n_trees = 25,
                                .tree = {.max_depth = 6}},
       5);
-  forest.fit(train);
+  forest.fit(train, opt.jobs);
   const ml::ConfusionMatrix cm(test.labels(), forest.predict_all(test));
   std::printf("\nrandom forest (25 trees, depth 6): %.1f%% holdout accuracy\n",
               100.0 * cm.accuracy());

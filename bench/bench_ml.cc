@@ -1,0 +1,162 @@
+// ML-layer micro-benchmarks (google-benchmark): tree fit, forest fit, and
+// batched forest inference, with the same counting-allocator pattern as
+// bench_micro_components so `tools/bench_micro.py --smoke` can enforce a
+// hard allocs_per_prediction == 0 bound on the batched inference path.
+//
+// The fit benches run on a 1M-row synthetic dataset (quantized gaussian
+// mixtures, so duplicate feature values and tie boundaries are common, as
+// in real campaign features). They pin Iterations(1): a fit is seconds,
+// not nanoseconds, and one deterministic run is the comparable number.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+#include "sim/random.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+std::uint64_t heap_allocs() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+/// Counts heap allocations across a scope. Deterministic, unlike timings.
+class AllocProbe {
+ public:
+  AllocProbe() : start_(heap_allocs()) {}
+  std::uint64_t count() const { return heap_allocs() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace
+
+// Counting replacements for the global allocation functions. Only the
+// plain forms are replaced; the aligned/nothrow forms are not used by the
+// paths this binary measures.
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace ccsig;
+
+constexpr int kFeatures = 4;
+constexpr int kClasses = 3;
+constexpr int kFitDepth = 8;
+constexpr int kForestTrees = 4;
+
+/// Gaussian-mixture rows quantized to two decimals: heavy duplicate
+/// feature values, overlapping classes, so trees grow to the depth cap.
+ml::Dataset synthetic_ml_dataset(std::size_t rows, std::uint64_t seed) {
+  ml::Dataset d;
+  sim::Rng rng(seed);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const int label = static_cast<int>(i % kClasses);
+    std::vector<double> row(kFeatures);
+    for (int f = 0; f < kFeatures; ++f) {
+      const double center = 0.4 * label + 0.1 * f;
+      row[f] = std::round(rng.normal(center, 0.5) * 100.0) / 100.0;
+    }
+    d.add(std::move(row), label);
+  }
+  return d;
+}
+
+const ml::Dataset& fit_dataset(std::size_t rows) {
+  static const ml::Dataset* cached = nullptr;
+  static std::size_t cached_rows = 0;
+  if (!cached || cached_rows != rows) {
+    delete cached;
+    cached = new ml::Dataset(synthetic_ml_dataset(rows, 20260808));
+    cached_rows = rows;
+  }
+  return *cached;
+}
+
+void BM_TreeFit(benchmark::State& state) {
+  const auto& data = fit_dataset(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ml::DecisionTree tree(ml::DecisionTree::Params{.max_depth = kFitDepth});
+    tree.fit(data);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TreeFit)->Arg(1000000)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_ForestFit(benchmark::State& state) {
+  const auto& data = fit_dataset(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ml::RandomForest forest(
+        ml::RandomForest::Params{.n_trees = kForestTrees,
+                                 .tree = {.max_depth = kFitDepth}},
+        7);
+    forest.fit(data, /*jobs=*/0);  // all hardware threads; model is
+                                   // byte-identical at any jobs value
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * kForestTrees);
+}
+BENCHMARK(BM_ForestFit)->Arg(1000000)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// Batched forest inference over a 4096-row block. The allocs_per_prediction
+// counter is deterministic and enforced == 0 by bench_micro_smoke.
+void BM_ForestInferenceBatch(benchmark::State& state) {
+  static const ml::RandomForest* forest = nullptr;
+  if (!forest) {
+    auto* f = new ml::RandomForest(
+        ml::RandomForest::Params{.n_trees = 25, .tree = {.max_depth = kFitDepth}},
+        7);
+    f->fit(synthetic_ml_dataset(20000, 20260808));
+    forest = f;
+  }
+  const ml::Dataset batch = synthetic_ml_dataset(4096, 424242);
+  std::vector<int> out(batch.size());
+  std::vector<double> probs(
+      static_cast<std::size_t>(forest->trees().front().num_classes()));
+  std::uint64_t allocs = 0;
+  std::uint64_t predictions = 0;
+  for (auto _ : state) {
+    const AllocProbe probe;
+    forest->predict_all(batch, out);
+    // One zero-alloc probability read per batch, covering the span
+    // overload the classifier hot path uses.
+    forest->trees().front().predict_proba(batch.row(0), probs);
+    allocs += probe.count();
+    predictions += batch.size();
+    benchmark::DoNotOptimize(out.data());
+    benchmark::DoNotOptimize(probs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(batch.size()));
+  state.counters["allocs_per_prediction"] =
+      static_cast<double>(allocs) / static_cast<double>(predictions);
+}
+BENCHMARK(BM_ForestInferenceBatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

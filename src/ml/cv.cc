@@ -1,0 +1,74 @@
+#include "ml/cv.h"
+
+#include <stdexcept>
+
+#include "ml/split.h"
+#include "runtime/parallel_map.h"
+#include "sim/random.h"
+
+namespace ccsig::ml {
+namespace {
+
+struct FoldResult {
+  DecisionTree tree;
+  std::size_t correct = 0;
+  std::size_t total = 0;
+};
+
+}  // namespace
+
+CrossValidation cross_validate(const Dataset& data,
+                               DecisionTree::Params params, int k,
+                               std::uint64_t seed, int jobs) {
+  if (data.empty()) {
+    throw std::invalid_argument("cannot cross-validate an empty dataset");
+  }
+  sim::Rng rng(seed);
+  const auto folds = stratified_folds(data, k, rng);
+
+  // Serial pre-pass: materialize each fold's training index list (all
+  // other folds, in fold order) so the parallel stage is pure fitting.
+  std::vector<std::vector<std::size_t>> train_sets(folds.size());
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    auto& train = train_sets[f];
+    train.reserve(data.size() - folds[f].size());
+    for (std::size_t g = 0; g < folds.size(); ++g) {
+      if (g == f) continue;
+      train.insert(train.end(), folds[g].begin(), folds[g].end());
+    }
+  }
+
+  std::vector<std::size_t> fold_ids(folds.size());
+  for (std::size_t f = 0; f < folds.size(); ++f) fold_ids[f] = f;
+  auto results = runtime::parallel_map(
+      fold_ids,
+      [&](std::size_t f) {
+        FoldResult r;
+        r.tree = DecisionTree(params);
+        r.tree.fit(data, train_sets[f]);
+        for (std::size_t i : folds[f]) {
+          r.correct += r.tree.predict(data.row(i)) == data.label(i) ? 1 : 0;
+          ++r.total;
+        }
+        return r;
+      },
+      jobs);
+
+  CrossValidation cv;
+  cv.fold_trees.reserve(results.size());
+  cv.fold_accuracy.reserve(results.size());
+  std::size_t correct = 0, total = 0;
+  for (auto& r : results) {
+    cv.fold_accuracy.push_back(
+        r.total > 0 ? static_cast<double>(r.correct) / static_cast<double>(r.total)
+                    : 0.0);
+    correct += r.correct;
+    total += r.total;
+    cv.fold_trees.push_back(std::move(r.tree));
+  }
+  cv.accuracy =
+      total > 0 ? static_cast<double>(correct) / static_cast<double>(total) : 0.0;
+  return cv;
+}
+
+}  // namespace ccsig::ml

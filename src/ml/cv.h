@@ -1,0 +1,36 @@
+// Parallel k-fold cross-validation for the tree classifiers.
+//
+// Folds are drawn serially (stratified, from one seed) before any fitting
+// starts; the per-fold fits then run concurrently via
+// runtime::parallel_map. Result: the fold trees, their accuracies, and
+// the pooled accuracy are byte-identical for any `jobs` value — the same
+// contract as the sweep and campaign drivers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+
+namespace ccsig::ml {
+
+struct CrossValidation {
+  /// fold_trees[f] is trained on every fold except f (folds are the
+  /// stratified_folds partition for the given seed).
+  std::vector<DecisionTree> fold_trees;
+  /// Held-out accuracy of fold_trees[f] on fold f.
+  std::vector<double> fold_accuracy;
+  /// Pooled accuracy: correct held-out predictions over all rows.
+  double accuracy = 0.0;
+};
+
+/// k-fold stratified CV of a decision tree with `params`; `jobs` worker
+/// threads fit folds concurrently (<= 0 means runtime::default_jobs()).
+/// Throws std::invalid_argument for k < 2 (via stratified_folds) or an
+/// empty dataset.
+CrossValidation cross_validate(const Dataset& data,
+                               DecisionTree::Params params, int k,
+                               std::uint64_t seed, int jobs = 1);
+
+}  // namespace ccsig::ml

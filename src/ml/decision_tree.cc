@@ -21,147 +21,269 @@ double gini(const std::vector<std::size_t>& counts, std::size_t total) {
 
 }  // namespace
 
-void DecisionTree::fit(const Dataset& data) {
-  if (data.empty()) throw std::invalid_argument("cannot fit on empty dataset");
-  nodes_.clear();
-  n_classes_ = data.num_classes();
-  std::vector<std::size_t> indices(data.size());
-  std::iota(indices.begin(), indices.end(), 0);
-  build(data, indices, 0);
-}
-
-int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& indices,
-                        int depth) {
-  // Class distribution at this node.
-  std::vector<std::size_t> counts(static_cast<std::size_t>(n_classes_), 0);
-  for (std::size_t i : indices) ++counts[static_cast<std::size_t>(data.label(i))];
-  const std::size_t total = indices.size();
-  const double node_gini = gini(counts, total);
-
-  Node node;
-  node.probs.resize(counts.size());
-  for (std::size_t c = 0; c < counts.size(); ++c) {
-    node.probs[c] = static_cast<double>(counts[c]) / static_cast<double>(total);
+// Presort-based CART builder. The fit-time contract is byte-identical
+// output to the historical implementation, which re-sorted the node's
+// rows for every feature at every node:
+//
+//  - The best-split scan visits features in ascending order and
+//    boundaries in ascending value order, with the same incremental
+//    class counts, the same gini arithmetic, and the same strict
+//    `weighted + 1e-12 < best` improvement test — so the winning
+//    (feature, threshold) is the same even when several splits tie.
+//  - Scan order within a run of equal feature values cannot matter:
+//    ties are never boundaries, and the class counts at a boundary are
+//    integer sums over "all rows with value <= v", a set determined by
+//    the values alone.
+//  - Node indices are assigned in the same pre-order (node, left
+//    subtree, right subtree) recursion.
+//
+// What changes is the cost: each feature's index array is sorted once
+// per fit (O(F n log n) over a cache-friendly column-major value copy),
+// and each split stable-partitions the per-feature orders (O(F n) per
+// level), so no sort ever runs below the root.
+class TreeBuilder {
+ public:
+  TreeBuilder(DecisionTree& tree, const Dataset& data,
+              std::span<const std::size_t> rows, int n_classes)
+      : tree_(tree),
+        n_(rows.size()),
+        f_count_(data.num_features()),
+        n_classes_(static_cast<std::size_t>(n_classes)) {
+    // Column-major copy of the sampled rows: values_[f * n_ + i] is
+    // feature f of local row i. Local row ids give every bootstrap
+    // duplicate its own identity, so partition masks stay per-instance.
+    values_.resize(f_count_ * n_);
+    labels_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      const auto& row = data.row(rows[i]);
+      for (std::size_t f = 0; f < f_count_; ++f) values_[f * n_ + i] = row[f];
+      labels_[i] = data.label(rows[i]);
+    }
+    // Presort: one argsort per feature, ties broken by local row id so
+    // the layout is deterministic (tie order is split-irrelevant, see
+    // above, but determinism keeps memory layouts reproducible too).
+    order_.resize(f_count_ * n_);
+    for (std::size_t f = 0; f < f_count_; ++f) {
+      const double* vals = values_.data() + f * n_;
+      std::uint32_t* ord = order_.data() + f * n_;
+      std::iota(ord, ord + n_, 0u);
+      std::sort(ord, ord + n_, [vals](std::uint32_t a, std::uint32_t b) {
+        return vals[a] != vals[b] ? vals[a] < vals[b] : a < b;
+      });
+    }
+    scratch_.resize(n_);
+    goes_left_.resize(n_);
   }
-  node.klass = static_cast<int>(
-      std::max_element(counts.begin(), counts.end()) - counts.begin());
 
-  const int my_index = static_cast<int>(nodes_.size());
-  nodes_.push_back(node);
+  void run(int depth) { build(0, n_, depth); }
 
-  const bool pure = node_gini == 0.0;
-  if (pure || depth >= params_.max_depth ||
-      total < params_.min_samples_split) {
+ private:
+  int build(std::size_t lo, std::size_t hi, int depth) {
+    const std::size_t total = hi - lo;
+    // Class distribution at this node (any feature's segment holds the
+    // node's row set; use feature 0).
+    std::vector<std::size_t> counts(n_classes_, 0);
+    for (std::size_t k = lo; k < hi; ++k) {
+      ++counts[static_cast<std::size_t>(labels_[order_[k]])];
+    }
+    const double node_gini = gini(counts, total);
+
+    const int my_index = static_cast<int>(tree_.feature_.size());
+    tree_.feature_.push_back(-1);
+    tree_.threshold_.push_back(0.0);
+    tree_.left_.push_back(-1);
+    tree_.right_.push_back(-1);
+    tree_.klass_.push_back(static_cast<int>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin()));
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+      tree_.probs_.push_back(static_cast<double>(counts[c]) /
+                             static_cast<double>(total));
+    }
+
+    const bool pure = node_gini == 0.0;
+    const auto& params = tree_.params_;
+    if (pure || depth >= params.max_depth || total < params.min_samples_split) {
+      return my_index;
+    }
+
+    // Best-split search: each feature's segment is already sorted, so the
+    // boundary scan is one linear pass.
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    double best_impurity = node_gini;
+    std::vector<std::size_t> left_counts(n_classes_);
+    std::vector<std::size_t> right_counts(n_classes_);
+
+    for (std::size_t f = 0; f < f_count_; ++f) {
+      const double* vals = values_.data() + f * n_;
+      const std::uint32_t* seg = order_.data() + f * n_ + lo;
+      std::fill(left_counts.begin(), left_counts.end(), 0);
+      right_counts = counts;
+      for (std::size_t k = 0; k + 1 < total; ++k) {
+        const int label = labels_[seg[k]];
+        ++left_counts[static_cast<std::size_t>(label)];
+        --right_counts[static_cast<std::size_t>(label)];
+        const double v = vals[seg[k]];
+        const double v_next = vals[seg[k + 1]];
+        if (v == v_next) continue;  // not a boundary
+        const std::size_t n_left = k + 1;
+        const std::size_t n_right = total - n_left;
+        if (n_left < params.min_samples_leaf ||
+            n_right < params.min_samples_leaf) {
+          continue;
+        }
+        const double weighted =
+            (static_cast<double>(n_left) * gini(left_counts, n_left) +
+             static_cast<double>(n_right) * gini(right_counts, n_right)) /
+            static_cast<double>(total);
+        if (weighted + 1e-12 < best_impurity) {
+          best_impurity = weighted;
+          best_feature = static_cast<int>(f);
+          best_threshold = (v + v_next) / 2.0;
+        }
+      }
+    }
+
+    if (best_feature < 0 ||
+        node_gini - best_impurity < params.min_impurity_decrease) {
+      return my_index;  // no useful split
+    }
+
+    // Partition every feature's segment into (left, right), preserving
+    // each segment's sort order — a stable two-pass copy via scratch.
+    const double* split_vals =
+        values_.data() + static_cast<std::size_t>(best_feature) * n_;
+    std::size_t n_left = 0;
+    {
+      const std::uint32_t* seg = order_.data() + lo;  // feature 0 segment
+      for (std::size_t k = 0; k < total; ++k) {
+        const bool left = split_vals[seg[k]] <= best_threshold;
+        goes_left_[seg[k]] = left;
+        n_left += left ? 1 : 0;
+      }
+    }
+    for (std::size_t f = 0; f < f_count_; ++f) {
+      std::uint32_t* seg = order_.data() + f * n_ + lo;
+      std::size_t l = 0, r = n_left;
+      for (std::size_t k = 0; k < total; ++k) {
+        scratch_[goes_left_[seg[k]] ? l++ : r++] = seg[k];
+      }
+      std::copy(scratch_.begin(),
+                scratch_.begin() + static_cast<std::ptrdiff_t>(total), seg);
+    }
+
+    const int left_child = build(lo, lo + n_left, depth + 1);
+    const int right_child = build(lo + n_left, hi, depth + 1);
+    const auto my = static_cast<std::size_t>(my_index);
+    tree_.feature_[my] = best_feature;
+    tree_.threshold_[my] = best_threshold;
+    tree_.left_[my] = left_child;
+    tree_.right_[my] = right_child;
     return my_index;
   }
 
-  // Exhaustive best-split search: for each feature, sort the node's rows by
-  // that feature and scan boundaries between distinct values.
-  const std::size_t n_features = data.num_features();
-  int best_feature = -1;
-  double best_threshold = 0.0;
-  double best_impurity = node_gini;
+  DecisionTree& tree_;
+  std::size_t n_;
+  std::size_t f_count_;
+  std::size_t n_classes_;
+  std::vector<double> values_;        // column-major, f_count_ x n_
+  std::vector<int> labels_;           // by local row id
+  std::vector<std::uint32_t> order_;  // per-feature sorted local row ids
+  std::vector<std::uint32_t> scratch_;
+  std::vector<std::uint8_t> goes_left_;  // by local row id
+};
 
-  std::vector<std::size_t> order(indices);
-  for (std::size_t f = 0; f < n_features; ++f) {
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return data.row(a)[f] < data.row(b)[f];
-    });
-    std::vector<std::size_t> left_counts(counts.size(), 0);
-    std::vector<std::size_t> right_counts = counts;
-    for (std::size_t k = 0; k + 1 < order.size(); ++k) {
-      const int label = data.label(order[k]);
-      ++left_counts[static_cast<std::size_t>(label)];
-      --right_counts[static_cast<std::size_t>(label)];
-      const double v = data.row(order[k])[f];
-      const double v_next = data.row(order[k + 1])[f];
-      if (v == v_next) continue;  // not a boundary
-      const std::size_t n_left = k + 1;
-      const std::size_t n_right = total - n_left;
-      if (n_left < params_.min_samples_leaf ||
-          n_right < params_.min_samples_leaf) {
-        continue;
-      }
-      const double weighted =
-          (static_cast<double>(n_left) * gini(left_counts, n_left) +
-           static_cast<double>(n_right) * gini(right_counts, n_right)) /
-          static_cast<double>(total);
-      if (weighted + 1e-12 < best_impurity) {
-        best_impurity = weighted;
-        best_feature = static_cast<int>(f);
-        best_threshold = (v + v_next) / 2.0;
-      }
-    }
-  }
-
-  if (best_feature < 0 ||
-      node_gini - best_impurity < params_.min_impurity_decrease) {
-    return my_index;  // no useful split
-  }
-
-  std::vector<std::size_t> left, right;
-  left.reserve(total);
-  right.reserve(total);
-  for (std::size_t i : indices) {
-    (data.row(i)[static_cast<std::size_t>(best_feature)] <= best_threshold
-         ? left
-         : right)
-        .push_back(i);
-  }
-  // Free the parent's index list before recursing.
-  indices.clear();
-  indices.shrink_to_fit();
-
-  const int left_child = build(data, left, depth + 1);
-  const int right_child = build(data, right, depth + 1);
-  nodes_[static_cast<std::size_t>(my_index)].leaf = false;
-  nodes_[static_cast<std::size_t>(my_index)].feature = best_feature;
-  nodes_[static_cast<std::size_t>(my_index)].threshold = best_threshold;
-  nodes_[static_cast<std::size_t>(my_index)].left = left_child;
-  nodes_[static_cast<std::size_t>(my_index)].right = right_child;
-  return my_index;
+void DecisionTree::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("cannot fit on empty dataset");
+  std::vector<std::size_t> rows(data.size());
+  std::iota(rows.begin(), rows.end(), 0);
+  // Matches the historical behavior: the class count of a full fit comes
+  // from the whole dataset (== the sampled rows here).
+  fit(data, rows);
 }
 
-const DecisionTree::Node& DecisionTree::walk(std::span<const double> row) const {
-  if (nodes_.empty()) throw std::logic_error("tree is not trained");
-  int at = 0;
-  while (!nodes_[static_cast<std::size_t>(at)].leaf) {
-    const Node& n = nodes_[static_cast<std::size_t>(at)];
-    at = row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
-                                                                 : n.right;
+void DecisionTree::fit(const Dataset& data, std::span<const std::size_t> rows) {
+  if (rows.empty()) throw std::invalid_argument("cannot fit on empty dataset");
+  feature_.clear();
+  threshold_.clear();
+  left_.clear();
+  right_.clear();
+  klass_.clear();
+  probs_.clear();
+  // Class count over the sampled rows only — identical to fitting on
+  // data.subset(rows), whose num_classes() is max sampled label + 1.
+  int n_classes = 0;
+  for (std::size_t i : rows) {
+    const int l = data.label(i);
+    n_classes = l >= n_classes ? l + 1 : n_classes;
   }
-  return nodes_[static_cast<std::size_t>(at)];
+  n_classes_ = n_classes;
+  TreeBuilder builder(*this, data, rows, n_classes_);
+  builder.run(0);
+}
+
+std::size_t DecisionTree::walk(std::span<const double> row) const {
+  if (feature_.empty()) throw std::logic_error("tree is not trained");
+  std::size_t at = 0;
+  std::int32_t f = feature_[0];
+  while (f >= 0) {
+    at = static_cast<std::size_t>(row[static_cast<std::size_t>(f)] <=
+                                          threshold_[at]
+                                      ? left_[at]
+                                      : right_[at]);
+    f = feature_[at];
+  }
+  return at;
 }
 
 int DecisionTree::predict(std::span<const double> row) const {
-  return walk(row).klass;
+  return klass_[walk(row)];
 }
 
 std::vector<double> DecisionTree::predict_proba(
     std::span<const double> row) const {
-  return walk(row).probs;
-}
-
-std::vector<int> DecisionTree::predict_all(const Dataset& data) const {
-  std::vector<int> out;
-  out.reserve(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    out.push_back(predict(data.row(i)));
-  }
+  std::vector<double> out(static_cast<std::size_t>(n_classes_));
+  predict_proba(row, out);
   return out;
 }
 
-int DecisionTree::depth_of(int node) const {
-  const Node& n = nodes_[static_cast<std::size_t>(node)];
-  if (n.leaf) return 0;
-  return 1 + std::max(depth_of(n.left), depth_of(n.right));
+void DecisionTree::predict_proba(std::span<const double> row,
+                                 std::span<double> out) const {
+  const std::size_t at = walk(row);
+  const std::size_t nc = static_cast<std::size_t>(n_classes_);
+  const double* probs = probs_.data() + at * nc;
+  for (std::size_t c = 0; c < nc; ++c) out[c] = probs[c];
 }
 
-int DecisionTree::depth() const { return nodes_.empty() ? 0 : depth_of(0); }
+DecisionTree::Leaf DecisionTree::leaf_for(std::span<const double> row) const {
+  const std::size_t at = walk(row);
+  const std::size_t nc = static_cast<std::size_t>(n_classes_);
+  return Leaf{klass_[at], std::span<const double>(probs_.data() + at * nc, nc)};
+}
+
+std::vector<int> DecisionTree::predict_all(const Dataset& data) const {
+  std::vector<int> out(data.size());
+  predict_all(data, out);
+  return out;
+}
+
+void DecisionTree::predict_all(const Dataset& data, std::span<int> out) const {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i] = predict(data.row(i));
+  }
+}
+
+int DecisionTree::depth_of(int node) const {
+  const auto i = static_cast<std::size_t>(node);
+  if (feature_[i] < 0) return 0;
+  return 1 + std::max(depth_of(left_[i]), depth_of(right_[i]));
+}
+
+int DecisionTree::depth() const { return feature_.empty() ? 0 : depth_of(0); }
 
 std::size_t DecisionTree::leaf_count() const {
   std::size_t c = 0;
-  for (const Node& n : nodes_) c += n.leaf ? 1 : 0;
+  for (std::int32_t f : feature_) c += f < 0 ? 1 : 0;
   return c;
 }
 
@@ -171,15 +293,16 @@ std::string DecisionTree::to_text() const {
   os << "ccsig-dtree v1\n";
   os << "classes " << n_classes_ << "\n";
   os << "max_depth " << params_.max_depth << "\n";
-  os << "nodes " << nodes_.size() << "\n";
-  for (const Node& n : nodes_) {
-    if (n.leaf) {
-      os << "leaf " << n.klass;
+  os << "nodes " << feature_.size() << "\n";
+  const std::size_t nc = static_cast<std::size_t>(n_classes_);
+  for (std::size_t i = 0; i < feature_.size(); ++i) {
+    if (feature_[i] < 0) {
+      os << "leaf " << klass_[i];
     } else {
-      os << "split " << n.feature << " " << n.threshold << " " << n.left << " "
-         << n.right << " " << n.klass;
+      os << "split " << feature_[i] << " " << threshold_[i] << " " << left_[i]
+         << " " << right_[i] << " " << klass_[i];
     }
-    for (double p : n.probs) os << " " << p;
+    for (std::size_t c = 0; c < nc; ++c) os << " " << probs_[i * nc + c];
     os << "\n";
   }
   return os.str();
@@ -200,50 +323,67 @@ DecisionTree DecisionTree::from_text(const std::string& text) {
   if (word != "max_depth") throw std::invalid_argument("expected 'max_depth'");
   is >> word >> n_nodes;
   if (word != "nodes") throw std::invalid_argument("expected 'nodes'");
-  tree.nodes_.reserve(n_nodes);
+  const std::size_t nc = static_cast<std::size_t>(tree.n_classes_);
+  tree.feature_.reserve(n_nodes);
+  tree.threshold_.reserve(n_nodes);
+  tree.left_.reserve(n_nodes);
+  tree.right_.reserve(n_nodes);
+  tree.klass_.reserve(n_nodes);
+  tree.probs_.reserve(n_nodes * nc);
   for (std::size_t i = 0; i < n_nodes; ++i) {
-    Node n;
+    std::int32_t feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = -1, right = -1;
+    int klass = 0;
     is >> word;
     if (word == "leaf") {
-      n.leaf = true;
-      is >> n.klass;
+      is >> klass;
     } else if (word == "split") {
-      n.leaf = false;
-      is >> n.feature >> n.threshold >> n.left >> n.right >> n.klass;
+      is >> feature >> threshold >> left >> right >> klass;
     } else {
       throw std::invalid_argument("bad node tag: " + word);
     }
-    n.probs.resize(static_cast<std::size_t>(tree.n_classes_));
-    for (double& p : n.probs) is >> p;
+    for (std::size_t c = 0; c < nc; ++c) {
+      double p = 0.0;
+      is >> p;
+      tree.probs_.push_back(p);
+    }
     if (!is) throw std::invalid_argument("truncated decision-tree text");
-    tree.nodes_.push_back(std::move(n));
+    tree.feature_.push_back(feature);
+    tree.threshold_.push_back(threshold);
+    tree.left_.push_back(left);
+    tree.right_.push_back(right);
+    tree.klass_.push_back(klass);
   }
   return tree;
 }
 
 void DecisionTree::describe_node(std::ostream& os, int node, int indent,
                                  const std::vector<std::string>& names) const {
-  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const auto i = static_cast<std::size_t>(node);
   const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
-  if (n.leaf) {
-    os << pad << "-> class " << n.klass << "\n";
+  if (feature_[i] < 0) {
+    os << pad << "-> class " << klass_[i] << "\n";
     return;
   }
-  const std::string fname =
-      static_cast<std::size_t>(n.feature) < names.size()
-          ? names[static_cast<std::size_t>(n.feature)]
-          : "f" + std::to_string(n.feature);
-  os << pad << "if " << fname << " <= " << n.threshold << ":\n";
-  describe_node(os, n.left, indent + 1, names);
+  std::string fname;
+  if (static_cast<std::size_t>(feature_[i]) < names.size()) {
+    fname = names[static_cast<std::size_t>(feature_[i])];
+  } else {
+    fname = "f";
+    fname += std::to_string(feature_[i]);
+  }
+  os << pad << "if " << fname << " <= " << threshold_[i] << ":\n";
+  describe_node(os, left_[i], indent + 1, names);
   os << pad << "else:\n";
-  describe_node(os, n.right, indent + 1, names);
+  describe_node(os, right_[i], indent + 1, names);
 }
 
 std::string DecisionTree::describe(
     const std::vector<std::string>& feature_names) const {
   std::ostringstream os;
   os.precision(4);
-  if (nodes_.empty()) return "(untrained)\n";
+  if (feature_.empty()) return "(untrained)\n";
   describe_node(os, 0, 0, feature_names);
   return os.str();
 }

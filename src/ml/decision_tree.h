@@ -1,9 +1,25 @@
 // CART decision tree (Gini impurity), the classifier the paper builds with
 // sklearn's DecisionTreeClassifier. Supports text serialization so a
 // trained model can ship with the library and survive round trips.
+//
+// Training presorts each feature's index array once per fit and then
+// stable-partitions the sorted orders down the tree (sklearn-style), so
+// every node's best-split search is a single linear pass — no per-node
+// sorts. The split decisions, thresholds, and node layout are byte-
+// identical to the historical per-node-sort implementation (ties between
+// equal feature values never form boundaries, so scan order within a tie
+// run cannot change a split); `to_text` is the equivalence oracle and
+// ml_presort_equivalence_test pins it against a reference implementation.
+//
+// The trained model is a flattened SoA layout: contiguous arrays of
+// feature index / threshold / child offsets, with every node's class
+// probabilities in one shared arena. Inference walks plain arrays — no
+// pointer-chasing, no per-node heap vectors — and the span overloads of
+// predict_proba / predict_all perform zero heap allocations.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <span>
 #include <string>
@@ -28,18 +44,41 @@ class DecisionTree {
   /// Fits the tree; replaces any previous model. Throws on empty data.
   void fit(const Dataset& data);
 
+  /// Fits on the multiset of rows given by `rows` (indices into `data`,
+  /// duplicates allowed — this is the forest's bootstrap path, which
+  /// avoids materializing a Dataset copy per tree). The class count is
+  /// derived from the sampled rows, exactly as fitting on
+  /// `data.subset(rows)` would. Throws on an empty row set.
+  void fit(const Dataset& data, std::span<const std::size_t> rows);
+
   /// Predicted class for a feature row.
   int predict(std::span<const double> row) const;
 
   /// Class-probability estimate (leaf class frequencies).
   std::vector<double> predict_proba(std::span<const double> row) const;
 
+  /// Allocation-free overload: copies the leaf's class frequencies into
+  /// `out`, which must hold at least `num_classes()` doubles.
+  void predict_proba(std::span<const double> row, std::span<double> out) const;
+
+  /// The leaf a row lands in, for single-walk classify: majority class
+  /// plus a view of the leaf's class frequencies in the shared arena.
+  struct Leaf {
+    int klass = 0;
+    std::span<const double> probs;
+  };
+  Leaf leaf_for(std::span<const double> row) const;
+
   std::vector<int> predict_all(const Dataset& data) const;
 
-  bool trained() const { return !nodes_.empty(); }
+  /// Allocation-free batched prediction; `out.size() >= data.size()`.
+  void predict_all(const Dataset& data, std::span<int> out) const;
+
+  bool trained() const { return !feature_.empty(); }
   int depth() const;
-  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t node_count() const { return feature_.size(); }
   std::size_t leaf_count() const;
+  int num_classes() const { return n_classes_; }
   const Params& params() const { return params_; }
 
   /// Human-readable serialization; `from_text` parses it back.
@@ -50,24 +89,22 @@ class DecisionTree {
   std::string describe(const std::vector<std::string>& feature_names = {}) const;
 
  private:
-  struct Node {
-    bool leaf = true;
-    int feature = -1;
-    double threshold = 0.0;
-    int left = -1;   // branch when value <= threshold
-    int right = -1;  // branch when value > threshold
-    int klass = 0;   // majority class (leaves)
-    std::vector<double> probs;  // class frequencies at this node
-  };
+  friend class TreeBuilder;
 
-  int build(const Dataset& data, std::vector<std::size_t>& indices, int depth);
-  const Node& walk(std::span<const double> row) const;
+  std::size_t walk(std::span<const double> row) const;
   void describe_node(std::ostream& os, int node, int indent,
                      const std::vector<std::string>& names) const;
   int depth_of(int node) const;
 
   Params params_;
-  std::vector<Node> nodes_;
+  // Flattened SoA node storage. Node i is a leaf iff feature_[i] < 0;
+  // its class frequencies live at probs_[i * n_classes_ ...].
+  std::vector<std::int32_t> feature_;
+  std::vector<double> threshold_;
+  std::vector<std::int32_t> left_;   // branch when value <= threshold
+  std::vector<std::int32_t> right_;  // branch when value > threshold
+  std::vector<std::int32_t> klass_;  // majority class
+  std::vector<double> probs_;        // shared arena, n_nodes * n_classes
   int n_classes_ = 0;
 };
 

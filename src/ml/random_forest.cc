@@ -1,44 +1,111 @@
 #include "ml/random_forest.h"
 
 #include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "runtime/parallel_map.h"
 
 namespace ccsig::ml {
 
-void RandomForest::fit(const Dataset& data) {
+void RandomForest::fit(const Dataset& data, int jobs) {
   trees_.clear();
   n_classes_ = data.num_classes();
   const std::size_t n = data.size();
   const std::size_t per_tree = static_cast<std::size_t>(
       params_.bootstrap_fraction * static_cast<double>(n));
-  for (int t = 0; t < params_.n_trees; ++t) {
-    std::vector<std::size_t> sample;
+  // Serial pre-pass: draw every tree's bootstrap sample in tree order,
+  // consuming the forest RNG exactly as the historical sequential fit
+  // did. The fit itself is then embarrassingly parallel.
+  std::vector<std::vector<std::size_t>> samples(
+      static_cast<std::size_t>(params_.n_trees));
+  for (auto& sample : samples) {
     sample.reserve(per_tree);
     for (std::size_t i = 0; i < per_tree; ++i) {
       sample.push_back(static_cast<std::size_t>(
           rng_.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
     }
-    DecisionTree tree(params_.tree);
-    tree.fit(data.subset(sample));
-    trees_.push_back(std::move(tree));
   }
+  trees_ = runtime::parallel_map(
+      samples,
+      [&](const std::vector<std::size_t>& sample) {
+        DecisionTree tree(params_.tree);
+        tree.fit(data, sample);
+        return tree;
+      },
+      jobs);
 }
 
 int RandomForest::predict(std::span<const double> row) const {
-  std::vector<int> votes(static_cast<std::size_t>(n_classes_), 0);
-  for (const auto& tree : trees_) {
-    ++votes[static_cast<std::size_t>(tree.predict(row))];
+  int stack_votes[kMaxStackClasses] = {};
+  std::vector<int> heap_votes;
+  int* votes = stack_votes;
+  if (n_classes_ > kMaxStackClasses) {
+    heap_votes.resize(static_cast<std::size_t>(n_classes_), 0);
+    votes = heap_votes.data();
   }
-  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
-                          votes.begin());
+  for (const auto& tree : trees_) {
+    ++votes[tree.predict(row)];
+  }
+  return static_cast<int>(std::max_element(votes, votes + n_classes_) - votes);
 }
 
 std::vector<int> RandomForest::predict_all(const Dataset& data) const {
-  std::vector<int> out;
-  out.reserve(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    out.push_back(predict(data.row(i)));
-  }
+  std::vector<int> out(data.size());
+  predict_all(data, out);
   return out;
+}
+
+void RandomForest::predict_all(const Dataset& data, std::span<int> out) const {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i] = predict(data.row(i));
+  }
+}
+
+std::string RandomForest::to_text() const {
+  std::ostringstream os;
+  os << "ccsig-forest v1\n";
+  os << "classes " << n_classes_ << "\n";
+  os << "trees " << trees_.size() << "\n";
+  for (const auto& tree : trees_) os << tree.to_text();
+  return os.str();
+}
+
+RandomForest RandomForest::from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "ccsig-forest v1") {
+    throw std::invalid_argument("bad random-forest header");
+  }
+  RandomForest forest(Params{}, 0);
+  std::string word;
+  std::size_t n_trees = 0;
+  is >> word >> forest.n_classes_;
+  if (word != "classes") throw std::invalid_argument("expected 'classes'");
+  is >> word >> n_trees;
+  if (word != "trees") throw std::invalid_argument("expected 'trees'");
+  is >> std::ws;
+  // Each tree's text starts with its own header line; split on them.
+  const std::string marker = "ccsig-dtree v1\n";
+  std::string rest(std::istreambuf_iterator<char>(is), {});
+  std::size_t at = rest.find(marker);
+  if (n_trees > 0 && at != 0) {
+    throw std::invalid_argument("expected a decision-tree block");
+  }
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    if (at == std::string::npos) {
+      throw std::invalid_argument("truncated random-forest text");
+    }
+    const std::size_t next = rest.find(marker, at + marker.size());
+    const std::size_t end = next == std::string::npos ? rest.size() : next;
+    forest.trees_.push_back(DecisionTree::from_text(rest.substr(at, end - at)));
+    at = next;
+  }
+  if (forest.trees_.size() != n_trees) {
+    throw std::invalid_argument("truncated random-forest text");
+  }
+  forest.params_.n_trees = static_cast<int>(n_trees);
+  return forest;
 }
 
 }  // namespace ccsig::ml

@@ -1,10 +1,23 @@
 // Bagged random forest — an extension beyond the paper's single tree, used
 // by the ablation benches to check whether a heavier model buys anything on
-// a two-feature problem (it shouldn't, which is itself a result).
+// a two-feature problem (it shouldn't, which is itself a result), and by
+// the multi-class CC-identification workload (ROADMAP item 4) where the
+// ensemble does matter.
+//
+// Determinism contract: every tree's bootstrap sample is drawn serially
+// from the forest's RNG before any fitting starts, then the trees are
+// fitted concurrently via runtime::parallel_map — so the serialized model
+// is byte-identical for any `jobs` value, including jobs == 1.
+//
+// Inference is allocation-free: each tree is a flattened SoA model, votes
+// accumulate in a fixed-size stack array, and the span overload of
+// predict_all never touches the heap (enforced by BM_ForestInferenceBatch's
+// allocs_per_prediction == 0 bound in bench_micro_smoke).
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "ml/dataset.h"
@@ -21,17 +34,35 @@ class RandomForest {
     double bootstrap_fraction = 1.0;  // sample size per tree (with replacement)
   };
 
+  /// Vote counts accumulate on the stack for up to this many classes;
+  /// beyond it predict() falls back to a heap buffer.
+  static constexpr int kMaxStackClasses = 32;
+
   explicit RandomForest(Params params, std::uint64_t seed)
       : params_(params), rng_(seed) {}
 
-  void fit(const Dataset& data);
+  /// Fits the forest; `jobs` worker threads fit trees concurrently
+  /// (jobs <= 0 means runtime::default_jobs(), 1 is serial). The model is
+  /// byte-identical for any `jobs` value.
+  void fit(const Dataset& data, int jobs = 1);
 
   /// Majority vote across trees.
   int predict(std::span<const double> row) const;
   std::vector<int> predict_all(const Dataset& data) const;
 
+  /// Allocation-free batched prediction; `out.size() >= data.size()`.
+  void predict_all(const Dataset& data, std::span<int> out) const;
+
   bool trained() const { return !trees_.empty(); }
   std::size_t tree_count() const { return trees_.size(); }
+  int num_classes() const { return n_classes_; }
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+
+  /// Text serialization: a forest header followed by each tree's
+  /// `DecisionTree::to_text`. Byte-stable across `jobs` values; the
+  /// parallel-determinism tests diff it directly.
+  std::string to_text() const;
+  static RandomForest from_text(const std::string& text);
 
  private:
   Params params_;

@@ -34,12 +34,39 @@ std::pair<Dataset, Dataset> stratified_sample(const Dataset& data,
   if (fraction < 0.0 || fraction > 1.0) {
     throw std::invalid_argument("fraction must be within [0, 1]");
   }
+  auto by_class = shuffled_by_class(data, rng);
+
+  // Largest-remainder apportionment: the sample size is exactly
+  // round(fraction * N). Per-class rounding (the old fraction*size + 0.5)
+  // could miss the requested total by up to one row per class — e.g. four
+  // singleton classes at fraction 0.5 sampled 4 rows instead of 2.
+  const std::size_t target = static_cast<std::size_t>(
+      fraction * static_cast<double>(data.size()) + 0.5);
+  std::vector<std::size_t> quota(by_class.size());
+  std::vector<std::pair<double, std::size_t>> remainders;  // (-rem, class)
+  std::size_t assigned = 0;
+  for (std::size_t c = 0; c < by_class.size(); ++c) {
+    const double exact = fraction * static_cast<double>(by_class[c].size());
+    quota[c] = static_cast<std::size_t>(exact);
+    assigned += quota[c];
+    remainders.emplace_back(-(exact - static_cast<double>(quota[c])), c);
+  }
+  // Ties in the fractional remainder break toward the lower class index.
+  std::sort(remainders.begin(), remainders.end());
+  for (const auto& [neg_rem, c] : remainders) {
+    if (assigned >= target) break;
+    (void)neg_rem;
+    if (quota[c] < by_class[c].size()) {
+      ++quota[c];
+      ++assigned;
+    }
+  }
+
   std::vector<std::size_t> picked, rest;
-  for (auto& cls : shuffled_by_class(data, rng)) {
-    const std::size_t n_pick = static_cast<std::size_t>(
-        fraction * static_cast<double>(cls.size()) + 0.5);
+  for (std::size_t c = 0; c < by_class.size(); ++c) {
+    const auto& cls = by_class[c];
     for (std::size_t j = 0; j < cls.size(); ++j) {
-      (j < n_pick ? picked : rest).push_back(cls[j]);
+      (j < quota[c] ? picked : rest).push_back(cls[j]);
     }
   }
   std::sort(picked.begin(), picked.end());

@@ -18,6 +18,10 @@ std::pair<Dataset, Dataset> stratified_split(const Dataset& data,
 
 /// Stratified sample of `fraction` of each class (the paper rebuilds its
 /// model from 20% of Dispute2014, §5.3). Returns (sample, remainder).
+/// The sample totals exactly round(fraction * size): per-class quotas are
+/// floor(fraction * class_size) topped up by largest remainder (ties
+/// toward the lower class index), so many small classes can no longer
+/// each round up and overshoot the requested total.
 std::pair<Dataset, Dataset> stratified_sample(const Dataset& data,
                                               double fraction, sim::Rng& rng);
 

@@ -1,0 +1,102 @@
+// Parallel training must be a pure scheduling change: the serialized model
+// bytes may not depend on --jobs. Bootstrap samples are pre-drawn serially
+// from the forest RNG and runtime::parallel_map preserves order, so
+// jobs=1 and jobs=4 must produce byte-identical forests and CV folds.
+//
+// Race coverage: configure with -DCCSIG_ENABLE_TSAN=ON and run this test —
+// the whole tree builds with -fsanitize=thread, so the parallel_map worker
+// threads and the shared read-only Dataset are checked under TSan.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/cv.h"
+#include "ml/dataset.h"
+#include "ml/random_forest.h"
+#include "sim/random.h"
+
+namespace ccsig::ml {
+namespace {
+
+Dataset mixture_dataset(std::size_t rows, std::uint64_t seed) {
+  Dataset d({"w", "x", "y", "z"});
+  sim::Rng rng(seed);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const int label = static_cast<int>(i % 3);
+    std::vector<double> row(4);
+    for (int f = 0; f < 4; ++f) {
+      row[static_cast<std::size_t>(f)] =
+          std::round(rng.normal(0.4 * label + 0.1 * f, 0.5) * 100.0) / 100.0;
+    }
+    d.add(std::move(row), label);
+  }
+  return d;
+}
+
+TEST(ParallelFit, ForestBytesIndependentOfJobs) {
+  const Dataset data = mixture_dataset(600, 41);
+  const RandomForest::Params params{.n_trees = 7,
+                                    .tree = {.max_depth = 6}};
+  RandomForest serial(params, /*seed=*/123);
+  serial.fit(data, /*jobs=*/1);
+  RandomForest parallel(params, /*seed=*/123);
+  parallel.fit(data, /*jobs=*/4);
+  EXPECT_EQ(serial.to_text(), parallel.to_text());
+  EXPECT_EQ(serial.tree_count(), 7u);
+}
+
+TEST(ParallelFit, ForestDefaultJobsMatchesSerial) {
+  const Dataset data = mixture_dataset(400, 42);
+  const RandomForest::Params params{.n_trees = 5, .tree = {.max_depth = 5}};
+  RandomForest serial(params, 9);
+  serial.fit(data, 1);
+  RandomForest defaulted(params, 9);
+  defaulted.fit(data, /*jobs=*/0);  // 0 => all hardware threads
+  EXPECT_EQ(serial.to_text(), defaulted.to_text());
+}
+
+TEST(ParallelFit, ForestRoundTripsThroughText) {
+  const Dataset data = mixture_dataset(300, 43);
+  RandomForest forest(RandomForest::Params{.n_trees = 4,
+                                           .tree = {.max_depth = 5}},
+                      77);
+  forest.fit(data, 4);
+  const std::string text = forest.to_text();
+  const RandomForest reloaded = RandomForest::from_text(text);
+  EXPECT_EQ(reloaded.to_text(), text);
+  for (std::size_t i = 0; i < data.size(); i += 17) {
+    EXPECT_EQ(reloaded.predict(data.row(i)), forest.predict(data.row(i)));
+  }
+}
+
+TEST(ParallelFit, CrossValidationIndependentOfJobs) {
+  const Dataset data = mixture_dataset(500, 44);
+  const DecisionTree::Params params{.max_depth = 6};
+  const CrossValidation serial = cross_validate(data, params, 5, 2024, 1);
+  const CrossValidation parallel = cross_validate(data, params, 5, 2024, 4);
+  ASSERT_EQ(serial.fold_trees.size(), 5u);
+  ASSERT_EQ(parallel.fold_trees.size(), 5u);
+  for (std::size_t f = 0; f < 5; ++f) {
+    EXPECT_EQ(serial.fold_trees[f].to_text(), parallel.fold_trees[f].to_text())
+        << "fold " << f;
+    EXPECT_EQ(serial.fold_accuracy[f], parallel.fold_accuracy[f]);
+  }
+  EXPECT_EQ(serial.accuracy, parallel.accuracy);
+  EXPECT_GT(serial.accuracy, 0.5);  // sanity: folds actually learned
+}
+
+TEST(ParallelFit, CrossValidationPoolsFoldAccuracy) {
+  const Dataset data = mixture_dataset(250, 45);
+  const CrossValidation cv =
+      cross_validate(data, DecisionTree::Params{.max_depth = 4}, 5, 7, 2);
+  ASSERT_EQ(cv.fold_accuracy.size(), 5u);
+  for (double a : cv.fold_accuracy) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+  EXPECT_THROW(cross_validate(Dataset{}, {}, 5, 7, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccsig::ml

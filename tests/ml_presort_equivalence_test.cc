@@ -1,0 +1,308 @@
+// Property test: the presort-based DecisionTree must be byte-identical to
+// the original per-node-sort CART implementation. `ReferenceTree` below is
+// a faithful transcription of the seed algorithm (sort the node's rows by
+// each feature at every node, scan boundaries, recurse); both trees
+// serialize through the same text format, so `to_text()` equality checks
+// every node index, class, threshold and probability bit-for-bit.
+//
+// The randomized datasets quantize features to two decimals, which makes
+// duplicate feature values — and therefore tie boundaries and equal-Gini
+// splits — common rather than exceptional. This file is also registered
+// with the ASan+UBSan fault-test tree (tests/run_sanitized_fault_tests.cmake)
+// so the partition bookkeeping is exercised under sanitizers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "sim/random.h"
+
+namespace ccsig::ml {
+namespace {
+
+/// The seed implementation, verbatim semantics: per-node re-sorts, vector
+/// node storage, identical arithmetic and tie-breaking.
+class ReferenceTree {
+ public:
+  explicit ReferenceTree(DecisionTree::Params params) : params_(params) {}
+
+  void fit(const Dataset& data) {
+    nodes_.clear();
+    n_classes_ = data.num_classes();
+    std::vector<std::size_t> indices(data.size());
+    std::iota(indices.begin(), indices.end(), 0);
+    build(data, indices, 0);
+  }
+
+  std::string to_text() const {
+    std::ostringstream os;
+    os.precision(17);
+    os << "ccsig-dtree v1\n";
+    os << "classes " << n_classes_ << "\n";
+    os << "max_depth " << params_.max_depth << "\n";
+    os << "nodes " << nodes_.size() << "\n";
+    for (const Node& n : nodes_) {
+      if (n.leaf) {
+        os << "leaf " << n.klass;
+      } else {
+        os << "split " << n.feature << " " << n.threshold << " " << n.left
+           << " " << n.right << " " << n.klass;
+      }
+      for (double p : n.probs) os << " " << p;
+      os << "\n";
+    }
+    return os.str();
+  }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    int klass = 0;
+    std::vector<double> probs;
+  };
+
+  static double gini(const std::vector<std::size_t>& counts,
+                     std::size_t total) {
+    if (total == 0) return 0.0;
+    double g = 1.0;
+    for (std::size_t c : counts) {
+      const double p = static_cast<double>(c) / static_cast<double>(total);
+      g -= p * p;
+    }
+    return g;
+  }
+
+  int build(const Dataset& data, std::vector<std::size_t>& indices,
+            int depth) {
+    std::vector<std::size_t> counts(static_cast<std::size_t>(n_classes_), 0);
+    for (std::size_t i : indices) {
+      ++counts[static_cast<std::size_t>(data.label(i))];
+    }
+    const std::size_t total = indices.size();
+    const double node_gini = gini(counts, total);
+
+    Node node;
+    node.probs.resize(counts.size());
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+      node.probs[c] =
+          static_cast<double>(counts[c]) / static_cast<double>(total);
+    }
+    node.klass = static_cast<int>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+
+    const int my_index = static_cast<int>(nodes_.size());
+    nodes_.push_back(node);
+
+    const bool pure = node_gini == 0.0;
+    if (pure || depth >= params_.max_depth ||
+        total < params_.min_samples_split) {
+      return my_index;
+    }
+
+    const std::size_t n_features = data.num_features();
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    double best_impurity = node_gini;
+
+    std::vector<std::size_t> order(indices);
+    for (std::size_t f = 0; f < n_features; ++f) {
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return data.row(a)[f] < data.row(b)[f];
+                });
+      std::vector<std::size_t> left_counts(counts.size(), 0);
+      std::vector<std::size_t> right_counts = counts;
+      for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+        const int label = data.label(order[k]);
+        ++left_counts[static_cast<std::size_t>(label)];
+        --right_counts[static_cast<std::size_t>(label)];
+        const double v = data.row(order[k])[f];
+        const double v_next = data.row(order[k + 1])[f];
+        if (v == v_next) continue;
+        const std::size_t n_left = k + 1;
+        const std::size_t n_right = total - n_left;
+        if (n_left < params_.min_samples_leaf ||
+            n_right < params_.min_samples_leaf) {
+          continue;
+        }
+        const double weighted =
+            (static_cast<double>(n_left) * gini(left_counts, n_left) +
+             static_cast<double>(n_right) * gini(right_counts, n_right)) /
+            static_cast<double>(total);
+        if (weighted + 1e-12 < best_impurity) {
+          best_impurity = weighted;
+          best_feature = static_cast<int>(f);
+          best_threshold = (v + v_next) / 2.0;
+        }
+      }
+    }
+
+    if (best_feature < 0 ||
+        node_gini - best_impurity < params_.min_impurity_decrease) {
+      return my_index;
+    }
+
+    std::vector<std::size_t> left, right;
+    left.reserve(total);
+    right.reserve(total);
+    for (std::size_t i : indices) {
+      (data.row(i)[static_cast<std::size_t>(best_feature)] <= best_threshold
+           ? left
+           : right)
+          .push_back(i);
+    }
+    indices.clear();
+    indices.shrink_to_fit();
+
+    const int left_child = build(data, left, depth + 1);
+    const int right_child = build(data, right, depth + 1);
+    nodes_[static_cast<std::size_t>(my_index)].leaf = false;
+    nodes_[static_cast<std::size_t>(my_index)].feature = best_feature;
+    nodes_[static_cast<std::size_t>(my_index)].threshold = best_threshold;
+    nodes_[static_cast<std::size_t>(my_index)].left = left_child;
+    nodes_[static_cast<std::size_t>(my_index)].right = right_child;
+    return my_index;
+  }
+
+  DecisionTree::Params params_;
+  std::vector<Node> nodes_;
+  int n_classes_ = 0;
+};
+
+/// Gaussian-mixture rows quantized to `decimals` places so equal feature
+/// values (and thus tie boundaries) occur frequently.
+Dataset quantized_dataset(std::size_t rows, int features, int classes,
+                          int decimals, std::uint64_t seed) {
+  Dataset d;
+  sim::Rng rng(seed);
+  const double scale = std::pow(10.0, decimals);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const int label = static_cast<int>(i % static_cast<std::size_t>(classes));
+    std::vector<double> row(static_cast<std::size_t>(features));
+    for (int f = 0; f < features; ++f) {
+      const double center = 0.4 * label + 0.1 * f;
+      row[static_cast<std::size_t>(f)] =
+          std::round(rng.normal(center, 0.5) * scale) / scale;
+    }
+    d.add(std::move(row), label);
+  }
+  return d;
+}
+
+TEST(PresortEquivalence, RandomizedDatasetsSerializeIdentically) {
+  struct Case {
+    std::size_t rows;
+    int features;
+    int classes;
+    int decimals;  // 0 decimals => massive duplicate runs
+    DecisionTree::Params params;
+  };
+  const Case cases[] = {
+      {1, 1, 1, 2, {.max_depth = 4}},
+      {2, 1, 2, 2, {.max_depth = 4}},
+      {40, 2, 2, 1, {.max_depth = 3}},
+      {200, 3, 2, 0, {.max_depth = 6}},
+      {350, 4, 3, 1, {.max_depth = 8}},
+      {500, 2, 3, 2, {.max_depth = 5, .min_samples_split = 8}},
+      {500, 5, 4, 1, {.max_depth = 7, .min_samples_leaf = 5}},
+      {800, 3, 2, 0, {.max_depth = 10, .min_impurity_decrease = 0.01}},
+      {1000, 4, 3, 1, {.max_depth = 12}},
+  };
+  for (const Case& c : cases) {
+    for (std::uint64_t seed : {11u, 12u, 13u}) {
+      const Dataset data =
+          quantized_dataset(c.rows, c.features, c.classes, c.decimals, seed);
+      DecisionTree fast(c.params);
+      fast.fit(data);
+      ReferenceTree slow(c.params);
+      slow.fit(data);
+      EXPECT_EQ(fast.to_text(), slow.to_text())
+          << "rows=" << c.rows << " features=" << c.features
+          << " classes=" << c.classes << " decimals=" << c.decimals
+          << " seed=" << seed;
+    }
+  }
+}
+
+TEST(PresortEquivalence, EqualGiniTieBreaksTowardLowerFeature) {
+  // Feature 1 mirrors feature 0, so every candidate split has an exact twin
+  // on the other feature with identical impurity. The strict `<` comparison
+  // means the first feature scanned (index 0) must win.
+  Dataset d({"a", "b"});
+  for (int i = 0; i < 20; ++i) {
+    const double v = static_cast<double>(i);
+    d.add({v, v}, i < 10 ? 0 : 1);
+  }
+  DecisionTree tree(DecisionTree::Params{.max_depth = 3});
+  tree.fit(d);
+  const std::string text = tree.to_text();
+  EXPECT_NE(text.find("split 0 "), std::string::npos) << text;
+  EXPECT_EQ(text.find("split 1 "), std::string::npos) << text;
+
+  ReferenceTree ref(DecisionTree::Params{.max_depth = 3});
+  ref.fit(d);
+  EXPECT_EQ(text, ref.to_text());
+}
+
+TEST(PresortEquivalence, DuplicateValuesNeverFormBoundaries) {
+  // All rows share one feature value except a single outlier: the only
+  // legal threshold is the midpoint between the duplicate run and the
+  // outlier, regardless of how rows are ordered within the run.
+  Dataset d({"x"});
+  for (int i = 0; i < 9; ++i) d.add({1.0}, i % 2);
+  d.add({5.0}, 1);
+  DecisionTree tree(DecisionTree::Params{.max_depth = 4});
+  tree.fit(d);
+  EXPECT_NE(tree.to_text().find("split 0 3"), std::string::npos)
+      << tree.to_text();  // threshold (1.0 + 5.0) / 2 = 3
+
+  ReferenceTree ref(DecisionTree::Params{.max_depth = 4});
+  ref.fit(d);
+  EXPECT_EQ(tree.to_text(), ref.to_text());
+}
+
+TEST(PresortEquivalence, ConstantFeatureProducesSingleLeaf) {
+  // No boundary exists anywhere: the root must stay a leaf in both
+  // implementations (the presort path must not invent a split from the
+  // tie-run bookkeeping).
+  Dataset d({"x"});
+  for (int i = 0; i < 12; ++i) d.add({7.5}, i % 3);
+  DecisionTree tree(DecisionTree::Params{.max_depth = 6});
+  tree.fit(d);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+
+  ReferenceTree ref(DecisionTree::Params{.max_depth = 6});
+  ref.fit(d);
+  EXPECT_EQ(tree.to_text(), ref.to_text());
+}
+
+TEST(PresortEquivalence, SubsetFitMatchesMaterializedSubset) {
+  // RandomForest fits on (data, sample_indices) without copying rows; the
+  // result must match fitting on the materialized subset, duplicates and
+  // all — with n_classes taken from the sampled rows.
+  const Dataset data = quantized_dataset(300, 3, 3, 1, 99);
+  sim::Rng rng(7);
+  std::vector<std::size_t> sample;
+  for (int i = 0; i < 200; ++i) {
+    sample.push_back(static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1)));
+  }
+  DecisionTree via_rows(DecisionTree::Params{.max_depth = 6});
+  via_rows.fit(data, sample);
+  DecisionTree via_copy(DecisionTree::Params{.max_depth = 6});
+  via_copy.fit(data.subset(sample));
+  EXPECT_EQ(via_rows.to_text(), via_copy.to_text());
+}
+
+}  // namespace
+}  // namespace ccsig::ml

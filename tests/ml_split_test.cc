@@ -72,6 +72,71 @@ TEST(StratifiedSample, TwentyPercentLikePaper) {
   EXPECT_EQ(counts[1], 20u);
 }
 
+Dataset many_small_classes(const std::vector<std::size_t>& sizes) {
+  Dataset d({"x"});
+  double v = 0.0;
+  for (std::size_t c = 0; c < sizes.size(); ++c) {
+    for (std::size_t i = 0; i < sizes[c]; ++i) {
+      d.add({v++}, static_cast<int>(c));
+    }
+  }
+  return d;
+}
+
+// Regression: per-class `fraction * size + 0.5` rounding used to overshoot
+// the requested total by up to one row per class. Four singleton classes at
+// fraction 0.5 sampled 4 rows instead of 2; the largest-remainder rule
+// apportions exactly round(fraction * N).
+TEST(StratifiedSample, SingletonClassesHitExactTotal) {
+  const Dataset d = many_small_classes({1, 1, 1, 1});
+  sim::Rng rng(7);
+  const auto [sample, rest] = stratified_sample(d, 0.5, rng);
+  EXPECT_EQ(sample.size(), 2u);
+  EXPECT_EQ(rest.size(), 2u);
+}
+
+TEST(StratifiedSample, ThirdsApportionWithoutDrift) {
+  // 21 rows at fraction 1/3: exact total is 7, one-third of each class is
+  // 2.33 — old rounding took 2 per class (6 rows); largest remainder tops
+  // up one class to reach 7.
+  const Dataset d = many_small_classes({7, 7, 7});
+  sim::Rng rng(8);
+  const auto [sample, rest] = stratified_sample(d, 1.0 / 3.0, rng);
+  EXPECT_EQ(sample.size(), 7u);
+  EXPECT_EQ(rest.size(), 14u);
+  const auto counts = sample.class_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  for (std::size_t count : counts) {
+    EXPECT_GE(count, 2u);
+    EXPECT_LE(count, 3u);
+  }
+}
+
+TEST(StratifiedSample, RemainderTieBreaksTowardLowerClass) {
+  // Classes {2, 2, 1} at fraction 0.5: exact quotas {1, 1, 0.5}, total
+  // round(2.5) = 3. Only class 2 has a fractional remainder, so it gets
+  // the top-up deterministically.
+  const Dataset d = many_small_classes({2, 2, 1});
+  sim::Rng rng(9);
+  const auto [sample, rest] = stratified_sample(d, 0.5, rng);
+  EXPECT_EQ(sample.size(), 3u);
+  const auto counts = sample.class_counts();
+  EXPECT_EQ(counts.at(0), 1u);
+  EXPECT_EQ(counts.at(1), 1u);
+  EXPECT_EQ(counts.at(2), 1u);
+}
+
+TEST(StratifiedSample, BoundaryFractions) {
+  const Dataset d = many_small_classes({5, 3});
+  sim::Rng rng0(10), rng1(11);
+  const auto [none, all] = stratified_sample(d, 0.0, rng0);
+  EXPECT_EQ(none.size(), 0u);
+  EXPECT_EQ(all.size(), d.size());
+  const auto [everything, nothing] = stratified_sample(d, 1.0, rng1);
+  EXPECT_EQ(everything.size(), d.size());
+  EXPECT_EQ(nothing.size(), 0u);
+}
+
 class FoldProperties : public ::testing::TestWithParam<int> {};
 
 TEST_P(FoldProperties, FoldsPartitionTheDataset) {

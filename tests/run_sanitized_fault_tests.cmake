@@ -20,6 +20,7 @@ set(tests
   ingest_corpus_test
   core_insufficient_test
   campaign_resume_test
+  ml_presort_equivalence_test
   mlab_rowstore_test
   stream_flow_table_test
   stream_vs_batch_test

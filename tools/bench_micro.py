@@ -47,6 +47,11 @@ COUNTER_BOUNDS = {
     # ctest, bench_ingest_ladder_smoke), not by --smoke: the ladder lazily
     # writes a 64 MB synthetic capture the plain smoke shouldn't pay for.
     "BM_IngestMmapBatched/64": {"allocs_per_packet": 0.0},
+    # Batched forest inference (bench_ml): the flattened SoA trees and the
+    # span predict overloads must never touch the heap — a hard zero. The
+    # fit benches in the same binary are minutes-long 1M-row runs and are
+    # deliberately NOT in this table, so --smoke skips them.
+    "BM_ForestInferenceBatch": {"allocs_per_prediction": 0.0},
 }
 
 # Hard throughput floors for the ingest ladder's smallest rung. The
@@ -181,8 +186,8 @@ def main():
         "--bench-bin",
         action="append",
         help="path to a counting-allocator benchmark binary; may be given "
-        "more than once (default: build/bench/bench_micro_components and "
-        "build/bench/bench_stream_ingest)",
+        "more than once (default: build/bench/bench_micro_components, "
+        "build/bench/bench_stream_ingest and build/bench/bench_ml)",
     )
     parser.add_argument(
         "--smoke",
@@ -238,6 +243,7 @@ def main():
     bench_bins = args.bench_bin or [
         str(REPO_ROOT / "build" / "bench" / "bench_micro_components"),
         str(REPO_ROOT / "build" / "bench" / "bench_stream_ingest"),
+        str(REPO_ROOT / "build" / "bench" / "bench_ml"),
     ]
     results = {}
     for bench_bin in bench_bins:

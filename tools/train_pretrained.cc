@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "ml/cv.h"
 #include "ml/decision_tree.h"
 #include "obs/flow_telemetry.h"
 #include "obs/tool_obs.h"
@@ -164,6 +165,15 @@ int run_tool(const std::string& csv, const std::string& out_path,
   std::fprintf(stderr, "tree depth %d, %zu leaves\n%s", tree.depth(),
                tree.leaf_count(),
                tree.describe({"norm_diff", "cov"}).c_str());
+
+  // 5-fold CV sanity report, fitted across --jobs threads (the fold trees
+  // are byte-identical at any jobs value; only the wall clock changes).
+  const auto cv = ccsig::ml::cross_validate(
+      data, ccsig::ml::DecisionTree::Params{.max_depth = depth}, /*k=*/5,
+      seed, jobs);
+  std::fprintf(stderr, "5-fold CV accuracy %.4f (folds:", cv.accuracy);
+  for (double a : cv.fold_accuracy) std::fprintf(stderr, " %.4f", a);
+  std::fprintf(stderr, ")\n");
 
   std::ofstream out(out_path, std::ios::trunc);
   if (!out) {
