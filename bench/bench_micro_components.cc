@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
 #include <new>
 
 #include "analysis/flow_trace.h"
@@ -19,6 +20,7 @@
 #include "features/extractor.h"
 #include "obs/metrics.h"
 #include "pcap/headers.h"
+#include "service/verdict_log.h"
 #include "sim/network.h"
 #include "tcp/tcp_sink.h"
 #include "tcp/tcp_source.h"
@@ -336,6 +338,36 @@ void BM_PcapEncodeDecode(benchmark::State& state) {
       static_cast<double>(allocs) / static_cast<double>(frames);
 }
 BENCHMARK(BM_PcapEncodeDecode);
+
+// ccsigd's verdict-log append: frame (length + CRC32 + payload) into the
+// reused buffer, one ::write. Zero steady-state allocations — a warm-up
+// append grows the frame buffer to the payload size; every probed append
+// must reuse it.
+void BM_VerdictLogAppend(benchmark::State& state) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ccsig_bench_verdicts.log")
+          .string();
+  std::filesystem::remove(path);
+  service::VerdictLog log(path);
+  const std::string line =
+      "10.0.0.1:5001 -> 10.0.0.2:5002  23.4 Mbps over 12.8 s  "
+      "=> self-induced congestion (confidence 0.94, norm_diff 0.412, "
+      "cov 0.108)";
+  log.append(line);  // warm-up: grows the reused frame buffer
+  std::uint64_t allocs = 0;
+  std::uint64_t verdicts = 0;
+  for (auto _ : state) {
+    const AllocProbe probe;
+    for (int i = 0; i < 100; ++i) log.append(line);
+    allocs += probe.count();
+    verdicts += 100;
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+  state.counters["allocs_per_verdict"] =
+      static_cast<double>(allocs) / static_cast<double>(verdicts);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_VerdictLogAppend);
 
 }  // namespace
 

@@ -111,8 +111,11 @@ std::size_t PcapCursor::ensure(std::size_t need) {
   return end_ - pos_;
 }
 
-PcapCursor::PcapCursor(const std::string& path, CursorMode mode)
-    : path_(path) {
+PcapCursor::PcapCursor(const std::string& path, CursorMode mode, bool tail)
+    : path_(path), tail_(tail) {
+  // A fixed-size mapping cannot see bytes appended after construction, so
+  // tailing always takes the buffered backend.
+  if (tail_) mode = CursorMode::kStream;
   if (mode != CursorMode::kStream) {
     if (!try_mmap() && mode == CursorMode::kMmap) {
       fail("cannot mmap pcap for reading");
@@ -123,9 +126,14 @@ PcapCursor::PcapCursor(const std::string& path, CursorMode mode)
     if (!in_) fail("cannot open pcap for reading");
     buf_.resize(kChunkBytes);
   }
+  if (!parse_file_header()) incomplete_tail_ = true;
+}
+
+bool PcapCursor::parse_file_header() {
   FileHeader hdr;
   const std::size_t got = ensure(sizeof(hdr));
   if (got < sizeof(hdr)) {
+    if (tail_) return false;  // writer has not finished the header yet
     fail("truncated file header (need " + std::to_string(sizeof(hdr)) +
          " bytes, got " + std::to_string(got) + ")");
   }
@@ -137,30 +145,64 @@ PcapCursor::PcapCursor(const std::string& path, CursorMode mode)
   snaplen_ = hdr.snaplen;
   linktype_ = hdr.linktype;
   offset_ = sizeof(hdr);
+  header_ready_ = true;
+  return true;
+}
+
+void PcapCursor::retry_reads() {
+  if (!eof_) return;
+  eof_ = false;
+  in_.clear();
 }
 
 std::optional<RecordView> PcapCursor::next() {
+  if (tail_) {
+    incomplete_tail_ = false;
+    retry_reads();
+    if (!header_ready_ && !parse_file_header()) {
+      incomplete_tail_ = true;
+      return std::nullopt;
+    }
+  }
   RecordHeader rec;
   const std::size_t have = ensure(sizeof(rec));
   if (have < sizeof(rec)) {
+    if (tail_) {
+      incomplete_tail_ = have != 0;  // mid-header vs. clean record boundary
+      return std::nullopt;
+    }
     if (have == 0) return std::nullopt;  // clean end of file
     fail("truncated record header (need " + std::to_string(sizeof(rec)) +
          " bytes, got " + std::to_string(have) + ")");
   }
   std::memcpy(&rec, window() + pos_, sizeof(rec));
   // A snaplen-exceeding capture length cannot have been written by any
-  // sane writer; treat it as corruption rather than allocating blindly.
+  // sane writer; treat it as corruption rather than allocating blindly —
+  // tail mode included, since no amount of waiting repairs a bad header.
   if (rec.incl_len > snaplen_ + 65536u) {
     fail("corrupt record header: incl_len " + std::to_string(rec.incl_len) +
          " exceeds snaplen " + std::to_string(snaplen_));
   }
+  // Peek-then-consume: nothing advances until the header AND body are both
+  // windowed, so a tail-mode retry resumes at the same record boundary.
+  const std::size_t need =
+      sizeof(rec) + static_cast<std::size_t>(rec.incl_len);
+  const std::size_t avail = ensure(need);
+  if (avail < need) {
+    if (tail_) {
+      incomplete_tail_ = true;
+      return std::nullopt;
+    }
+    // The legacy path consumed the record header before discovering the
+    // body truncation; consume it here too so the reported offset (and the
+    // "got" count) stay byte-identical for damaged non-tail captures.
+    pos_ += sizeof(rec);
+    offset_ += sizeof(rec);
+    fail("truncated record body (need " + std::to_string(rec.incl_len) +
+         " bytes, got " + std::to_string(avail - sizeof(rec)) + ")");
+  }
   pos_ += sizeof(rec);
   offset_ += sizeof(rec);
-  const std::size_t body = ensure(rec.incl_len);
-  if (body < rec.incl_len) {
-    fail("truncated record body (need " + std::to_string(rec.incl_len) +
-         " bytes, got " + std::to_string(body) + ")");
-  }
   RecordView view;
   view.timestamp = static_cast<sim::Time>(rec.ts_sec) * sim::kSecond +
                    static_cast<sim::Time>(rec.ts_usec) * sim::kMicrosecond;

@@ -51,15 +51,39 @@ class PcapCursor {
  public:
   /// Opens and validates the file header. Throws runtime::ParseException
   /// with the same reasons/offsets as PcapReader.
+  ///
+  /// `tail` opts into tail-past-EOF reading for a capture that is still
+  /// being written (ccsigd's growing-file sources): a record whose final
+  /// bytes are not on disk yet — or a file header still shorter than 24
+  /// bytes — is an *incomplete tail*, not corruption. next() then returns
+  /// nullopt without consuming anything and a later call retries the read,
+  /// resuming exactly where the partial record starts once the writer has
+  /// appended the rest. Genuine corruption (bad magic, absurd incl_len)
+  /// still throws. Tail mode always uses the buffered kStream backend
+  /// (a fixed-size mapping cannot see appended bytes).
   explicit PcapCursor(const std::string& path,
-                      CursorMode mode = CursorMode::kStream);
+                      CursorMode mode = CursorMode::kStream,
+                      bool tail = false);
   PcapCursor(const PcapCursor&) = delete;
   PcapCursor& operator=(const PcapCursor&) = delete;
   ~PcapCursor();
 
-  /// Next record, or nullopt at clean end of file. The returned view is
-  /// valid until the next call (kStream) or until destruction (kMmap).
+  /// Next record, or nullopt at clean end of file — or, in tail mode, at
+  /// an incomplete tail (see incomplete_tail() to distinguish). The
+  /// returned view is valid until the next call (kStream) or until
+  /// destruction (kMmap).
   std::optional<RecordView> next();
+
+  bool tail() const { return tail_; }
+
+  /// Tail mode only: true when the last next() stopped inside a partial
+  /// record (or the still-growing file header) rather than at a clean
+  /// record boundary. Either way the stream may grow; retry next() later.
+  bool incomplete_tail() const { return incomplete_tail_; }
+
+  /// Tail mode only: false until the 24-byte pcap file header has been
+  /// fully written and validated.
+  bool header_ready() const { return header_ready_; }
 
   std::uint32_t snaplen() const { return snaplen_; }
   std::uint32_t linktype() const { return linktype_; }
@@ -96,6 +120,15 @@ class PcapCursor {
  private:
   [[noreturn]] void fail(std::string reason) const;
 
+  /// Parses the 24-byte file header once enough bytes exist. Returns false
+  /// (tail mode only) when the header is still incomplete; throws on a bad
+  /// magic or, in non-tail mode, on truncation.
+  bool parse_file_header();
+
+  /// Tail mode: clears the eof/failbit state left by a short read so the
+  /// next ensure() call re-attempts reads on the (possibly grown) file.
+  void retry_reads();
+
   /// Ensures at least `need` contiguous unconsumed bytes are windowed, or
   /// as many as the file still has. Returns the available byte count. In
   /// kMmap mode the window is the whole file and this is a subtraction.
@@ -120,6 +153,9 @@ class PcapCursor {
   std::uint32_t snaplen_ = 0;
   std::uint32_t linktype_ = 0;
   std::uint64_t offset_ = 0;
+  bool tail_ = false;
+  bool incomplete_tail_ = false;
+  bool header_ready_ = false;
 };
 
 }  // namespace ccsig::pcap

@@ -1,0 +1,105 @@
+// Structured single-line event logging for daemon-mode tools.
+//
+// Interactive tools narrate progress with ProgressReporter's \r-redraw
+// lines; a daemon's stderr is a log file, where redraws turn into noise.
+// EventLog instead emits one complete `key=value` line per event:
+//
+//   ccsigd up=12.042 event=source_quarantined source=eth0.pcap attempts=4
+//
+// Lines are flushed per event (a crashed daemon keeps everything it ever
+// logged), values with spaces are quoted, and `up=` is seconds since the
+// logger was constructed (monotonic clock, so log deltas are meaningful
+// even if wall-clock time steps). Thread-safe; disabled loggers cost one
+// branch.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ccsig::runtime {
+
+class EventLog {
+ public:
+  using Field = std::pair<std::string_view, std::string>;
+
+  /// `stream` nullptr means stderr. `tag` leads every line (the process
+  /// name by convention).
+  explicit EventLog(std::string tag, std::FILE* stream = nullptr,
+                    bool enabled = true)
+      : tag_(std::move(tag)),
+        stream_(stream ? stream : stderr),
+        enabled_(enabled),
+        start_(std::chrono::steady_clock::now()) {}
+
+  bool enabled() const { return enabled_; }
+
+  /// Pure formatter (exposed for tests): one line, no trailing newline.
+  static std::string format_line(std::string_view tag, double up_s,
+                                 std::string_view event,
+                                 std::initializer_list<Field> fields) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f", up_s);
+    std::string out;
+    out.reserve(64);
+    out.append(tag).append(" up=").append(buf).append(" event=").append(event);
+    for (const Field& f : fields) {
+      out.push_back(' ');
+      out.append(f.first);
+      out.push_back('=');
+      append_value(out, f.second);
+    }
+    return out;
+  }
+
+  void log(std::string_view event, std::initializer_list<Field> fields = {}) {
+    if (!enabled_) return;
+    const double up = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+    const std::string line = format_line(tag_, up, event, fields);
+    std::lock_guard<std::mutex> lk(mu_);
+    std::fprintf(stream_, "%s\n", line.c_str());
+    std::fflush(stream_);
+  }
+
+ private:
+  /// Quotes values containing whitespace or quotes; newlines inside a
+  /// value would break the one-event-per-line contract and are replaced.
+  static void append_value(std::string& out, std::string_view v) {
+    bool quote = v.empty();
+    for (const char c : v) {
+      if (c == ' ' || c == '\t' || c == '"' || c == '\n' || c == '\r') {
+        quote = true;
+        break;
+      }
+    }
+    if (!quote) {
+      out.append(v);
+      return;
+    }
+    out.push_back('"');
+    for (const char c : v) {
+      if (c == '\n' || c == '\r') {
+        out.push_back(' ');
+      } else if (c == '"') {
+        out.append("\\\"");
+      } else {
+        out.push_back(c);
+      }
+    }
+    out.push_back('"');
+  }
+
+  std::string tag_;
+  std::FILE* stream_;
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mu_;
+};
+
+}  // namespace ccsig::runtime

@@ -56,6 +56,14 @@ class ProgressCounter {
 ///
 /// Thread-safe; `callback()` plugs directly into a ProgressCounter or any
 /// `(done, total)` campaign progress hook.
+/// How progress reaches the terminal. Daemons and scripted runs pick an
+/// explicit mode instead of letting isatty decide:
+///   kAuto  — \r-redraw on a terminal, complete lines when redirected.
+///   kPlain — complete lines always (even on a tty); log-file friendly.
+///   kOff   — fully silent: a daemon's stderr carries structured events
+///            (runtime/event_log.h), not progress chatter.
+enum class ProgressMode { kAuto, kPlain, kOff };
+
 struct ProgressReporterOptions {
   std::string label = "progress";
   /// Minimum seconds between redraws (the `done == total` update always
@@ -63,6 +71,7 @@ struct ProgressReporterOptions {
   double min_interval_s = 0.25;
   /// Output stream; nullptr means stderr.
   std::FILE* stream = nullptr;
+  ProgressMode mode = ProgressMode::kAuto;
 };
 
 class ProgressReporter {
@@ -72,11 +81,14 @@ class ProgressReporter {
   explicit ProgressReporter(Options opt = Options())
       : opt_(std::move(opt)), start_(std::chrono::steady_clock::now()) {
     if (!opt_.stream) opt_.stream = stderr;
-    tty_ = isatty(fileno(opt_.stream)) != 0;
+    tty_ = opt_.mode == ProgressMode::kAuto
+               ? isatty(fileno(opt_.stream)) != 0
+               : false;
   }
 
   explicit ProgressReporter(std::string label)
-      : ProgressReporter(Options{std::move(label), 0.25, nullptr}) {}
+      : ProgressReporter(Options{std::move(label), 0.25, nullptr,
+                                 ProgressMode::kAuto}) {}
 
   ~ProgressReporter() { finish(); }
   ProgressReporter(const ProgressReporter&) = delete;
@@ -110,8 +122,10 @@ class ProgressReporter {
     return out;
   }
 
-  /// Records progress and (throttled) redraws. Thread-safe.
+  /// Records progress and (throttled) redraws. Thread-safe. A kOff
+  /// reporter is fully silent — daemon mode reports events, not progress.
   void update(std::size_t done, std::size_t total) {
+    if (opt_.mode == ProgressMode::kOff) return;
     std::lock_guard<std::mutex> lk(mu_);
     const auto now = std::chrono::steady_clock::now();
     const bool final = total > 0 && done >= total;

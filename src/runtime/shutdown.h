@@ -1,0 +1,64 @@
+// Signal-safe shutdown/reload latch for long-running tools.
+//
+// POSIX signal handlers may only touch `volatile sig_atomic_t` (and a
+// short list of async-signal-safe functions); everything else — mutexes,
+// condition variables, allocation, even lazily-initialized statics (their
+// init guards can deadlock inside a handler) — is off the table. The latch
+// therefore keeps constant-initialized sig_atomic_t flags that the
+// handlers set and the service loop polls:
+//
+//   SIGTERM / SIGINT  -> drain_requested():  stop intake, finalize resident
+//                        flows, flush + fsync outputs, exit 0.
+//   SIGHUP            -> take_reload():      hot-reload the model (the flag
+//                        is consumed, so each SIGHUP triggers one reload).
+//
+// SIGKILL cannot be caught by design — crash safety against it is the
+// verdict log's torn-tail recovery (service/verdict_log.h), not a handler.
+#pragma once
+
+#include <csignal>
+
+namespace ccsig::runtime {
+
+namespace detail {
+// Inline variables: constant-initialized before main, no guard code, so
+// the handlers below are async-signal-safe.
+inline volatile std::sig_atomic_t g_drain_flag = 0;
+inline volatile std::sig_atomic_t g_reload_flag = 0;
+}  // namespace detail
+
+class ShutdownLatch {
+ public:
+  /// Installs the handlers. Idempotent; call once from main() before the
+  /// service loop starts.
+  static void install() {
+    std::signal(SIGTERM, &ShutdownLatch::on_drain);
+    std::signal(SIGINT, &ShutdownLatch::on_drain);
+    std::signal(SIGHUP, &ShutdownLatch::on_reload);
+  }
+
+  static bool drain_requested() { return detail::g_drain_flag != 0; }
+
+  /// True once per delivered SIGHUP (consumes the flag). The
+  /// read-then-clear is not atomic against a concurrent signal, which is
+  /// harmless: a SIGHUP landing between the two operations coalesces with
+  /// the one being consumed — the caller is about to reload anyway.
+  static bool take_reload() {
+    if (detail::g_reload_flag == 0) return false;
+    detail::g_reload_flag = 0;
+    return true;
+  }
+
+  /// Test hooks (normal code never calls these).
+  static void request_drain() { detail::g_drain_flag = 1; }
+  static void reset() {
+    detail::g_drain_flag = 0;
+    detail::g_reload_flag = 0;
+  }
+
+ private:
+  static void on_drain(int) { detail::g_drain_flag = 1; }
+  static void on_reload(int) { detail::g_reload_flag = 1; }
+};
+
+}  // namespace ccsig::runtime

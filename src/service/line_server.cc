@@ -1,0 +1,87 @@
+#include "service/line_server.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace ccsig::service {
+
+LineServer::LineServer(const std::string& socket_path) : path_(socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("line server: socket path too long: " + path_);
+  }
+  std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("line server: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  ::unlink(path_.c_str());  // a stale socket file from a crashed daemon
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("line server: cannot listen on " + path_ +
+                             ": " + err);
+  }
+}
+
+LineServer::~LineServer() {
+  for (const int fd : clients_) ::close(fd);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+void LineServer::accept_pending() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) return;  // EAGAIN (none pending) or transient error: later
+    clients_.push_back(fd);
+  }
+}
+
+void LineServer::broadcast(std::string_view line) {
+  if (clients_.empty()) return;
+  send_buf_.assign(line);
+  send_buf_.push_back('\n');
+  for (std::size_t i = 0; i < clients_.size();) {
+    const ssize_t n = ::send(clients_[i], send_buf_.data(), send_buf_.size(),
+                             MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n == static_cast<ssize_t>(send_buf_.size())) {
+      ++i;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Slow subscriber: this line is lost for them, counted, daemon
+      // unblocked. (A partial send also drops the remainder — line
+      // protocol over a full buffer is best-effort by design.)
+      ++dropped_;
+      ++i;
+      continue;
+    }
+    if (n >= 0) {  // partial write into a nearly-full buffer
+      ++dropped_;
+      ++i;
+      continue;
+    }
+    // EPIPE/ECONNRESET/anything else: the subscriber is gone.
+    ::close(clients_[i]);
+    clients_[i] = clients_.back();
+    clients_.pop_back();
+  }
+}
+
+}  // namespace ccsig::service

@@ -1,0 +1,48 @@
+// Unix-domain line-protocol broadcaster.
+//
+// ccsigd's live feed: subscribers connect to a SOCK_STREAM AF_UNIX socket
+// and receive one '\n'-terminated line per verdict plus periodic metrics
+// lines. The daemon never blocks on a subscriber — sends are nonblocking,
+// and a subscriber whose buffer is full simply loses lines (each loss
+// counted, per subscriber and in total). The verdict LOG is the durable,
+// complete record; the socket is the lossy realtime view. Disconnects are
+// detected on send and reaped silently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccsig::service {
+
+class LineServer {
+ public:
+  /// Binds and listens on `socket_path` (an existing socket file is
+  /// unlinked first). Throws std::runtime_error on failure.
+  explicit LineServer(const std::string& socket_path);
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+  ~LineServer();
+
+  /// Accepts any pending connections (nonblocking; call once per service
+  /// iteration).
+  void accept_pending();
+
+  /// Sends `line` + '\n' to every subscriber. Slow subscribers drop the
+  /// line; dead ones are closed and removed.
+  void broadcast(std::string_view line);
+
+  std::size_t subscribers() const { return clients_.size(); }
+  std::uint64_t lines_dropped() const { return dropped_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int listen_fd_ = -1;
+  std::vector<int> clients_;
+  std::uint64_t dropped_ = 0;
+  std::string send_buf_;  // reused: line + '\n'
+};
+
+}  // namespace ccsig::service

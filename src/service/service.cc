@@ -1,0 +1,377 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "runtime/shutdown.h"
+
+namespace ccsig::service {
+
+ClassificationService::ClassificationService(ServiceConfig cfg)
+    : cfg_(std::move(cfg)) {
+  auto& reg = obs::MetricsRegistry::global();
+  records_ctr_ = reg.counter("service.records_ingested");
+  verdicts_ctr_ = reg.counter("service.verdicts_emitted");
+  dropped_ctr_ = reg.counter("service.shed_dropped_records");
+  evicts_ctr_ = reg.counter("service.shed_forced_evicts");
+  pauses_ctr_ = reg.counter("service.shed_source_pauses");
+  quarantined_ctr_ = reg.counter("service.sources_quarantined");
+  reloads_ctr_ = reg.counter("service.model_reloads");
+  reload_rejected_ctr_ = reg.counter("service.model_reloads_rejected");
+  pressure_g_ = reg.gauge("service.pressure");
+  subscribers_g_ = reg.gauge("service.subscribers");
+}
+
+bool ClassificationService::stopping() const {
+  return runtime::ShutdownLatch::drain_requested() ||
+         stop_.load(std::memory_order_acquire);
+}
+
+double ClassificationService::pressure(
+    const stream::StreamEngine& engine) const {
+  return cfg_.pressure_probe ? cfg_.pressure_probe() : engine.pressure();
+}
+
+int ClassificationService::setup() {
+  try {
+    if (cfg_.verdict_log_path.empty()) {
+      throw std::runtime_error("verdict log path is required");
+    }
+    classifier_ = cfg_.model_path.empty()
+                      ? CongestionClassifier::pretrained()
+                      : CongestionClassifier::load(cfg_.model_path);
+    if (!classifier_.trained()) {
+      throw std::runtime_error("model is untrained: " + cfg_.model_path);
+    }
+    // Always recover first: over a log a SIGKILLed daemon tore, this
+    // truncates the partial tail frame and tells us how many verdicts the
+    // previous incarnation already made durable — the replay skips exactly
+    // that many emissions. Over a fresh or clean log it is a no-op.
+    resume_skip_ = VerdictLog::recover(cfg_.verdict_log_path);
+    log_ = std::make_unique<VerdictLog>(cfg_.verdict_log_path);
+    if (!cfg_.replay_session_path.empty()) {
+      replay_ = std::make_unique<SessionReader>(cfg_.replay_session_path);
+    }
+    if (!cfg_.record_session_path.empty()) {
+      recorder_ = std::make_unique<SessionWriter>(cfg_.record_session_path);
+    }
+    if (!cfg_.socket_path.empty()) {
+      server_ = std::make_unique<LineServer>(cfg_.socket_path);
+    }
+  } catch (const std::exception& e) {
+    if (cfg_.events) cfg_.events->log("startup_failed", {{"error", e.what()}});
+    return kExitInput;
+  }
+  if (!replay_) {
+    std::uint64_t key = 0;
+    for (const auto& sc : cfg_.sources) {
+      sources_.push_back(std::make_unique<CaptureSource>(
+          sc, cfg_.source_retry, cfg_.faults, key++, cfg_.events));
+      last_states_.push_back(sources_.back()->state());
+    }
+  }
+  return kExitOk;
+}
+
+int ClassificationService::run() {
+  const int rc = setup();
+  if (rc != kExitOk) return rc;
+
+  stream::StreamConfig scfg = cfg_.stream;
+  scfg.ordered_drain = true;
+  // The engine's own analyzer only matters for the features it computes;
+  // the service re-classifies every emission with the current (possibly
+  // hot-reloaded) model on the control thread, so a reload never races the
+  // workers.
+  FlowAnalyzer analyzer{classifier_};
+  stream::StreamEngine engine(analyzer, scfg);
+
+  start_ = std::chrono::steady_clock::now();
+  last_metrics_ = start_;
+  if (cfg_.events) {
+    cfg_.events->log("started",
+                     {{"mode", replay_ ? "replay" : "live"},
+                      {"sources", std::to_string(sources_.size())},
+                      {"jobs", std::to_string(scfg.jobs)},
+                      {"resume_skip", std::to_string(resume_skip_)}});
+  }
+  try {
+    if (replay_) {
+      run_replay(engine);
+    } else {
+      run_live(engine);
+    }
+    drain(engine);
+  } catch (const std::exception& e) {
+    if (cfg_.events) {
+      cfg_.events->log("internal_error", {{"error", e.what()}});
+    }
+    return kExitInternal;
+  }
+  return kExitOk;
+}
+
+void ClassificationService::run_live(stream::StreamEngine& engine) {
+  std::vector<stream::RoutedRecord> batch;
+  std::vector<stream::ReadyReport> ready;
+  batch.reserve(cfg_.poll_records);
+
+  for (;;) {
+    if (stopping()) break;
+    if (runtime::ShutdownLatch::take_reload() ||
+        reload_.exchange(false, std::memory_order_acq_rel)) {
+      do_reload();
+    }
+    if (server_) server_->accept_pending();
+
+    bool any = false;
+    for (auto& src : sources_) {
+      // Re-evaluate the ladder before every source: pushes from the
+      // previous source may have raised the pressure past the next rung.
+      const double p = pressure(engine);
+      const ShedAction act = shed_action(cfg_.shed, p);
+      if (act != last_action_) {
+        if (cfg_.events) {
+          char pbuf[32];
+          std::snprintf(pbuf, sizeof(pbuf), "%.3f", p);
+          cfg_.events->log(
+              "shed", {{"action", to_string(act)}, {"pressure", pbuf}});
+        }
+        last_action_ = act;
+      }
+      if (act == ShedAction::kPauseSources) {
+        ++stats_.shed_source_pauses;
+        pauses_ctr_.inc();
+        break;  // stop reading entirely this iteration
+      }
+      if (act == ShedAction::kForceEvict) {
+        const std::size_t sh = engine.push_force_evict(evict_rr_++);
+        if (recorder_) recorder_->evict(static_cast<std::uint16_t>(sh));
+        ++stats_.shed_forced_evicts;
+        evicts_ctr_.inc();
+      }
+      batch.clear();
+      const std::size_t got = src->poll(batch, cfg_.poll_records);
+      if (got == 0) continue;
+      any = true;
+      if (act == ShedAction::kDropNewest || act == ShedAction::kForceEvict) {
+        // Shed BEFORE recording: dropped records are not part of the
+        // session, exactly as if they were never captured, so a replay
+        // reproduces the live log.
+        stats_.shed_dropped_records += got;
+        dropped_ctr_.add(got);
+        continue;
+      }
+      if (recorder_) {
+        for (const auto& r : batch) recorder_->record(r.w);
+      }
+      engine.push_batch(batch);
+      stats_.records_ingested += got;
+      records_ctr_.add(got);
+    }
+    note_source_transitions();
+
+    ready.clear();
+    engine.drain_ready(ready);
+    emit(ready);
+    maybe_metrics_line(engine);
+
+    if (cfg_.oneshot && !any) {
+      bool all_terminal = true;
+      for (const auto& src : sources_) {
+        if (!src->terminal()) {
+          all_terminal = false;
+          break;
+        }
+      }
+      if (all_terminal) break;
+    }
+    if (!any && ready.empty() && cfg_.idle_sleep_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(cfg_.idle_sleep_ms));
+    }
+  }
+}
+
+void ClassificationService::run_replay(stream::StreamEngine& engine) {
+  std::vector<stream::RoutedRecord> batch;
+  std::vector<stream::ReadyReport> ready;
+  batch.reserve(cfg_.poll_records);
+
+  auto flush_batch = [&] {
+    if (batch.empty()) return;
+    engine.push_batch(batch);
+    stats_.records_ingested += batch.size();
+    records_ctr_.add(batch.size());
+    batch.clear();
+  };
+
+  bool done = false;
+  while (!done) {
+    if (stopping()) break;
+    if (server_) server_->accept_pending();
+
+    batch.clear();
+    while (batch.size() < cfg_.poll_records) {
+      const std::optional<SessionEntry> e = replay_->next();
+      if (!e) {
+        done = true;
+        break;
+      }
+      if (e->kind ==
+          static_cast<std::uint8_t>(stream::RoutedKind::kEvictOldest)) {
+        // The evict command sat between records in the live push order;
+        // flush what precedes it so the replayed position is identical.
+        flush_batch();
+        engine.push_force_evict(e->shard);
+        ++stats_.shed_forced_evicts;
+        evicts_ctr_.inc();
+      } else {
+        batch.push_back(stream::route_record(e->w));
+      }
+    }
+    flush_batch();
+
+    ready.clear();
+    engine.drain_ready(ready);
+    emit(ready);
+    maybe_metrics_line(engine);
+
+    if (cfg_.replay_pace_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(cfg_.replay_pace_us));
+    }
+  }
+}
+
+void ClassificationService::emit(
+    const std::vector<stream::ReadyReport>& ready) {
+  for (const auto& rr : ready) {
+    FlowReport r = rr.report;
+    if (r.features) r.classification = classifier_.classify(*r.features);
+    const std::string line = FlowAnalyzer::render(r);
+    if (resume_skip_ > 0) {
+      // The previous incarnation already made this verdict durable.
+      --resume_skip_;
+      ++stats_.verdicts_skipped_resume;
+      continue;
+    }
+    log_->append(line);
+    ++stats_.verdicts_emitted;
+    verdicts_ctr_.inc();
+    if (server_) server_->broadcast(line);
+  }
+}
+
+void ClassificationService::drain(stream::StreamEngine& engine) {
+  std::vector<stream::ReadyReport> ready;
+  engine.finish_ordered(ready);
+  emit(ready);
+  if (recorder_) recorder_->flush();
+  log_->sync();
+  if (cfg_.events) {
+    cfg_.events->log(
+        "drained",
+        {{"records", std::to_string(stats_.records_ingested)},
+         {"verdicts", std::to_string(stats_.verdicts_emitted)},
+         {"resumed", std::to_string(stats_.verdicts_skipped_resume)}});
+  }
+}
+
+void ClassificationService::do_reload() {
+  if (cfg_.model_path.empty()) {
+    ++stats_.model_reloads_rejected;
+    reload_rejected_ctr_.inc();
+    if (cfg_.events) {
+      cfg_.events->log("model_reload_rejected",
+                       {{"reason", "no model path configured"}});
+    }
+    return;
+  }
+  try {
+    CongestionClassifier next = CongestionClassifier::load(cfg_.model_path);
+    if (!next.trained()) {
+      throw std::runtime_error("model file deserialized to an untrained tree");
+    }
+    classifier_ = std::move(next);  // atomic w.r.t. emission: same thread
+    ++stats_.model_reloads;
+    reloads_ctr_.inc();
+    if (cfg_.events) {
+      cfg_.events->log("model_reloaded", {{"path", cfg_.model_path}});
+    }
+  } catch (const std::exception& e) {
+    // Keep serving the old model — a bad file on disk must never take the
+    // classification path down.
+    ++stats_.model_reloads_rejected;
+    reload_rejected_ctr_.inc();
+    if (cfg_.events) {
+      cfg_.events->log("model_reload_rejected",
+                       {{"path", cfg_.model_path}, {"reason", e.what()}});
+    }
+  }
+}
+
+void ClassificationService::note_source_transitions() {
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    const SourceState s = sources_[i]->state();
+    if (s == last_states_[i]) continue;
+    if (s == SourceState::kQuarantined) {
+      ++stats_.sources_quarantined;
+      quarantined_ctr_.inc();
+    }
+    last_states_[i] = s;
+  }
+}
+
+void ClassificationService::maybe_metrics_line(
+    const stream::StreamEngine& engine) {
+  if (cfg_.metrics_interval_ms <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (now - last_metrics_ <
+      std::chrono::milliseconds(cfg_.metrics_interval_ms)) {
+    return;
+  }
+  last_metrics_ = now;
+
+  const double p = pressure(engine);
+  pressure_g_.set(p);
+  subscribers_g_.set(
+      static_cast<double>(server_ ? server_->subscribers() : 0));
+  char pbuf[32];
+  std::snprintf(pbuf, sizeof(pbuf), "%.3f", p);
+
+  std::string line = "metrics";
+  const auto field = [&line](std::string_view k, std::uint64_t v) {
+    line.append(" ").append(k).append("=").append(std::to_string(v));
+  };
+  field("service.records_ingested", stats_.records_ingested);
+  field("service.verdicts_emitted", stats_.verdicts_emitted);
+  field("service.shed_dropped_records", stats_.shed_dropped_records);
+  field("service.shed_forced_evicts", stats_.shed_forced_evicts);
+  field("service.shed_source_pauses", stats_.shed_source_pauses);
+  field("service.sources_quarantined", stats_.sources_quarantined);
+  field("service.model_reloads", stats_.model_reloads);
+  field("service.model_reloads_rejected", stats_.model_reloads_rejected);
+  line.append(" service.pressure=").append(pbuf);
+  field("service.subscribers", server_ ? server_->subscribers() : 0);
+  // The engine's live stream.* counters (empty under CCSIG_OBS_OFF; the
+  // service.* fields above come from plain tallies and always appear).
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  for (const auto& c : snap.counters) {
+    if (c.name.rfind("stream.", 0) == 0) field(c.name, c.value);
+  }
+
+  ++stats_.metrics_lines;
+  if (server_) server_->broadcast(line);
+  if (cfg_.events) {
+    cfg_.events->log("metrics",
+                     {{"records", std::to_string(stats_.records_ingested)},
+                      {"verdicts", std::to_string(stats_.verdicts_emitted)},
+                      {"pressure", pbuf}});
+  }
+}
+
+}  // namespace ccsig::service

@@ -1,0 +1,81 @@
+#include "service/session.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ccsig::service {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'C', 'S', 'I', 'G', 'S', 'E', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t entry_size;
+};
+static_assert(sizeof(Header) == 16);
+
+}  // namespace
+
+SessionWriter::SessionWriter(const std::string& path) : path_(path) {
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("session: cannot create " + path);
+  }
+  Header h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.version = kVersion;
+  h.entry_size = sizeof(SessionEntry);
+  out_.write(reinterpret_cast<const char*>(&h), sizeof(h));
+}
+
+void SessionWriter::put(const SessionEntry& e) {
+  out_.write(reinterpret_cast<const char*>(&e), sizeof(e));
+  if (!out_) {
+    throw std::runtime_error("session: write failed for " + path_);
+  }
+  ++entries_;
+}
+
+void SessionWriter::record(const analysis::WireRecord& w) {
+  SessionEntry e;
+  e.kind = static_cast<std::uint8_t>(stream::RoutedKind::kRecord);
+  e.w = w;
+  put(e);
+}
+
+void SessionWriter::evict(std::uint16_t shard) {
+  SessionEntry e;
+  e.kind = static_cast<std::uint8_t>(stream::RoutedKind::kEvictOldest);
+  e.shard = shard;
+  put(e);
+}
+
+void SessionWriter::flush() { out_.flush(); }
+
+SessionReader::SessionReader(const std::string& path) {
+  in_.open(path, std::ios::binary);
+  if (!in_) {
+    throw std::runtime_error("session: cannot open " + path);
+  }
+  Header h{};
+  in_.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (in_.gcount() != sizeof(h) ||
+      std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("session: " + path + " is not a session file");
+  }
+  if (h.version != kVersion || h.entry_size != sizeof(SessionEntry)) {
+    throw std::runtime_error("session: " + path +
+                             " has an incompatible version or entry size");
+  }
+}
+
+std::optional<SessionEntry> SessionReader::next() {
+  SessionEntry e;
+  in_.read(reinterpret_cast<char*>(&e), sizeof(e));
+  if (in_.gcount() != sizeof(e)) return std::nullopt;  // end or torn tail
+  return e;
+}
+
+}  // namespace ccsig::service

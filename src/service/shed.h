@@ -1,0 +1,59 @@
+// The load-shedding ladder: what to sacrifice, in what order, when ingest
+// outruns analysis.
+//
+// The engine-side overload signal is StreamEngine::pressure() — the fill
+// fraction of the fullest shard inbox. The ladder maps it to an escalating
+// action; each rung gives up strictly less than the next:
+//
+//   kDropNewest   — discard records as they arrive. New data is the
+//                   cheapest loss: resident flows keep their (mostly
+//                   frozen) slow-start signatures and still emit verdicts.
+//   kForceEvict   — additionally inject force-evict commands so shards
+//                   finalize LRU flows now, converting table residency
+//                   into emitted verdicts and freeing capacity.
+//   kPauseSources — stop reading entirely; kernel/file buffering absorbs
+//                   the burst. The last rung because it risks source-side
+//                   loss the daemon cannot count.
+//
+// Pure policy, no state: the service counts every shed decision in
+// service.* metrics, and sheds BEFORE session recording, so a recorded
+// session replays to the same verdict log — shed records were simply
+// never part of the session.
+#pragma once
+
+namespace ccsig::service {
+
+struct ShedConfig {
+  /// pressure >= this: drop newly-read records instead of pushing them.
+  double drop_threshold = 0.75;
+  /// pressure >= this: also force LRU flow finalization in the engine.
+  double evict_threshold = 0.90;
+  /// pressure >= this: also stop polling sources this iteration.
+  double pause_threshold = 1.0;
+};
+
+enum class ShedAction {
+  kNone = 0,
+  kDropNewest = 1,
+  kForceEvict = 2,
+  kPauseSources = 3,
+};
+
+inline const char* to_string(ShedAction a) {
+  switch (a) {
+    case ShedAction::kNone: return "none";
+    case ShedAction::kDropNewest: return "drop_newest";
+    case ShedAction::kForceEvict: return "force_evict";
+    case ShedAction::kPauseSources: return "pause_sources";
+  }
+  return "?";
+}
+
+inline ShedAction shed_action(const ShedConfig& cfg, double pressure) {
+  if (pressure >= cfg.pause_threshold) return ShedAction::kPauseSources;
+  if (pressure >= cfg.evict_threshold) return ShedAction::kForceEvict;
+  if (pressure >= cfg.drop_threshold) return ShedAction::kDropNewest;
+  return ShedAction::kNone;
+}
+
+}  // namespace ccsig::service

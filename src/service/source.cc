@@ -1,0 +1,204 @@
+#include "service/source.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "runtime/parse_error.h"
+
+namespace ccsig::service {
+
+const char* to_string(SourceState s) {
+  switch (s) {
+    case SourceState::kOpening: return "opening";
+    case SourceState::kActive: return "active";
+    case SourceState::kWaiting: return "waiting";
+    case SourceState::kBackoff: return "backoff";
+    case SourceState::kQuarantined: return "quarantined";
+    case SourceState::kFinished: return "finished";
+  }
+  return "?";
+}
+
+CaptureSource::CaptureSource(SourceConfig cfg, runtime::RetryPolicy retry,
+                             const runtime::FaultPlan* faults,
+                             std::uint64_t fault_key,
+                             runtime::EventLog* events)
+    : cfg_(std::move(cfg)),
+      retry_(std::move(retry)),
+      faults_(faults),
+      fault_key_(fault_key),
+      events_(events) {
+  if (cfg_.fifo && cfg_.spool_path.empty()) {
+    cfg_.spool_path = cfg_.path + ".spool";
+  }
+}
+
+CaptureSource::~CaptureSource() {
+  if (fifo_fd_ >= 0) ::close(fifo_fd_);
+  if (spool_fd_ >= 0) ::close(spool_fd_);
+}
+
+void CaptureSource::open_ingest() {
+  const std::string& capture = cfg_.fifo ? cfg_.spool_path : cfg_.path;
+  struct stat st;
+  if (::stat(capture.c_str(), &st) != 0) {
+    // Not there (yet): a daemon source may be created after startup or
+    // vanish briefly during rotation. Retryable, not capture damage.
+    throw runtime::TransientError("source not present: " + capture);
+  }
+  const bool tail = !cfg_.oneshot;
+  ingest_ = std::make_unique<stream::BatchedIngest>(
+      capture, pcap::CursorMode::kStream, tail);
+  open_ino_ = static_cast<std::uint64_t>(st.st_ino);
+  if (events_) {
+    events_->log("source_open", {{"source", cfg_.path},
+                                 {"mode", cfg_.fifo ? "fifo"
+                                          : tail    ? "tail"
+                                                    : "oneshot"}});
+  }
+}
+
+void CaptureSource::pump_fifo() {
+  if (spool_fd_ < 0) {
+    spool_fd_ = ::open(cfg_.spool_path.c_str(),
+                       O_WRONLY | O_CREAT | O_TRUNC | O_APPEND, 0644);
+    if (spool_fd_ < 0) {
+      throw std::runtime_error("fifo spool: cannot create " +
+                               cfg_.spool_path + ": " + std::strerror(errno));
+    }
+  }
+  if (fifo_fd_ < 0) {
+    // O_NONBLOCK makes the open succeed with no writer attached yet.
+    fifo_fd_ = ::open(cfg_.path.c_str(), O_RDONLY | O_NONBLOCK);
+    if (fifo_fd_ < 0) {
+      if (errno == ENOENT) {
+        throw runtime::TransientError("fifo not present: " + cfg_.path);
+      }
+      throw std::runtime_error("fifo: cannot open " + cfg_.path + ": " +
+                               std::strerror(errno));
+    }
+  }
+  if (pipe_buf_.empty()) pipe_buf_.resize(64 * 1024);
+  for (;;) {
+    const ssize_t n = ::read(fifo_fd_, pipe_buf_.data(), pipe_buf_.size());
+    if (n > 0) {
+      const std::uint8_t* p = pipe_buf_.data();
+      std::size_t left = static_cast<std::size_t>(n);
+      while (left > 0) {
+        const ssize_t wrote = ::write(spool_fd_, p, left);
+        if (wrote < 0) {
+          if (errno == EINTR) continue;
+          throw std::runtime_error("fifo spool: write failed: " +
+                                   std::string(std::strerror(errno)));
+        }
+        p += wrote;
+        left -= static_cast<std::size_t>(wrote);
+      }
+      continue;
+    }
+    if (n == 0) break;  // every writer closed; a future writer may reopen
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // pipe drained
+    if (errno == EINTR) continue;
+    throw runtime::TransientError("fifo read failed: " +
+                                  std::string(std::strerror(errno)));
+  }
+}
+
+void CaptureSource::check_rotation() {
+  struct stat st;
+  if (::stat(cfg_.path.c_str(), &st) != 0) {
+    // The tailed file vanished mid-run; treat as transient and let the
+    // retry path reopen whatever replaces it.
+    ingest_.reset();
+    throw runtime::TransientError("tailed source vanished: " + cfg_.path);
+  }
+  const bool rotated =
+      static_cast<std::uint64_t>(st.st_ino) != open_ino_ ||
+      static_cast<std::uint64_t>(st.st_size) < ingest_->cursor().offset();
+  if (rotated) {
+    if (events_) events_->log("source_rotated", {{"source", cfg_.path}});
+    ingest_.reset();
+    open_ingest();
+  }
+}
+
+void CaptureSource::quarantine(const std::string& reason) {
+  state_ = SourceState::kQuarantined;
+  ingest_.reset();
+  if (events_) {
+    events_->log("source_quarantined",
+                 {{"source", cfg_.path},
+                  {"attempts", std::to_string(attempt_)},
+                  {"reason", reason}});
+  }
+}
+
+void CaptureSource::enter_backoff(const std::string& reason) {
+  const auto pause = retry_.backoff_for(attempt_);
+  ++attempt_;
+  backoff_until_ = std::chrono::steady_clock::now() + pause;
+  state_ = SourceState::kBackoff;
+  if (events_) {
+    events_->log("source_backoff",
+                 {{"source", cfg_.path},
+                  {"attempt", std::to_string(attempt_)},
+                  {"backoff_ms", std::to_string(pause.count())},
+                  {"reason", reason}});
+  }
+}
+
+std::size_t CaptureSource::poll(std::vector<stream::RoutedRecord>& out,
+                                std::size_t max_records) {
+  if (terminal()) return 0;
+  if (state_ == SourceState::kBackoff &&
+      std::chrono::steady_clock::now() < backoff_until_) {
+    return 0;
+  }
+  try {
+    // Deterministic fault injection point: stalls model slow reads,
+    // TransientError models recoverable I/O hiccups, runtime_error models
+    // unrecoverable source damage.
+    if (faults_ && faults_->armed()) faults_->maybe_fault(fault_key_, attempt_);
+    if (cfg_.fifo) pump_fifo();
+    if (ingest_ && !cfg_.fifo && !cfg_.oneshot) check_rotation();
+    if (!ingest_) open_ingest();
+    const std::size_t got = ingest_->fill(out, max_records);
+    if (ingest_->error()) {
+      // Capture damage: fill() delivered the clean prefix and no amount of
+      // retrying re-reads the same bad bytes into good ones.
+      quarantine(ingest_->error()->reason);
+      delivered_ += got;
+      return got;
+    }
+    attempt_ = 1;  // a clean poll refills the whole retry budget
+    if (got == 0) {
+      if (ingest_->exhausted()) {
+        state_ = SourceState::kFinished;
+        if (events_) {
+          events_->log("source_eof",
+                       {{"source", cfg_.path},
+                        {"records", std::to_string(delivered_)}});
+        }
+      } else {
+        state_ = SourceState::kWaiting;  // tail caught up with the writer
+      }
+    } else {
+      state_ = SourceState::kActive;
+      delivered_ += got;
+    }
+    return got;
+  } catch (const std::exception& e) {
+    if (retry_.classify_transient(e) && attempt_ < retry_.max_attempts) {
+      enter_backoff(e.what());
+    } else {
+      quarantine(e.what());
+    }
+    return 0;
+  }
+}
+
+}  // namespace ccsig::service

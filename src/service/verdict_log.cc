@@ -1,0 +1,160 @@
+#include "service/verdict_log.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace ccsig::service {
+namespace {
+
+std::array<std::uint32_t, 256> build_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(char* dst, std::uint32_t v) {
+  // Little-endian on every platform the project targets; memcpy keeps it
+  // alignment-safe.
+  std::memcpy(dst, &v, sizeof(v));
+}
+
+std::uint32_t get_u32(const char* src) {
+  std::uint32_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+// A frame longer than this is treated as corruption, not a record — it
+// bounds what recover()/read_all() will ever try to buffer from a damaged
+// file. Verdict lines are ~100 bytes; 1 MiB is orders of magnitude of
+// headroom.
+constexpr std::uint32_t kMaxPayload = 1u << 20;
+constexpr std::size_t kFrameHeader = 8;  // len + crc
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = build_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+VerdictLog::VerdictLog(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("verdict log: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+}
+
+VerdictLog::~VerdictLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void VerdictLog::append(std::string_view payload) {
+  if (payload.size() > kMaxPayload) {
+    throw std::runtime_error("verdict log: payload exceeds frame limit");
+  }
+  frame_.clear();
+  frame_.resize(kFrameHeader + payload.size());
+  put_u32(frame_.data(), static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame_.data() + 4, crc32(payload.data(), payload.size()));
+  std::memcpy(frame_.data() + kFrameHeader, payload.data(), payload.size());
+  // One write per frame: O_APPEND makes it a single atomic-offset append,
+  // so frames from this process are contiguous even if something else has
+  // the file open.
+  const char* p = frame_.data();
+  std::size_t left = frame_.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("verdict log: write failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  ++appended_;
+}
+
+void VerdictLog::sync() {
+  if (fd_ >= 0 && ::fsync(fd_) != 0) {
+    throw std::runtime_error("verdict log: fsync failed: " +
+                             std::string(std::strerror(errno)));
+  }
+}
+
+namespace {
+
+/// Shared frame walk: returns the byte offset after the last intact frame,
+/// counts intact frames into `count`, and appends payloads to `out` when
+/// non-null.
+std::uint64_t scan_frames(std::ifstream& in, std::uint64_t& count,
+                          std::vector<std::string>* out) {
+  std::uint64_t good_end = 0;
+  count = 0;
+  char header[kFrameHeader];
+  std::string payload;
+  for (;;) {
+    in.read(header, kFrameHeader);
+    if (in.gcount() != static_cast<std::streamsize>(kFrameHeader)) break;
+    const std::uint32_t len = get_u32(header);
+    if (len > kMaxPayload) break;  // nonsense length: damage, stop here
+    payload.resize(len);
+    in.read(payload.data(), len);
+    if (in.gcount() != static_cast<std::streamsize>(len)) break;  // torn
+    if (crc32(payload.data(), len) != get_u32(header + 4)) break;
+    good_end += kFrameHeader + len;
+    ++count;
+    if (out) out->push_back(payload);
+  }
+  return good_end;
+}
+
+}  // namespace
+
+std::uint64_t VerdictLog::recover(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;  // no log yet: nothing intact, nothing to truncate
+  std::uint64_t count = 0;
+  const std::uint64_t good_end = scan_frames(in, count, nullptr);
+  in.close();
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0 &&
+      static_cast<std::uint64_t>(st.st_size) != good_end) {
+    if (::truncate(path.c_str(), static_cast<off_t>(good_end)) != 0) {
+      throw std::runtime_error("verdict log: cannot truncate torn tail of " +
+                               path + ": " + std::strerror(errno));
+    }
+  }
+  return count;
+}
+
+std::vector<std::string> VerdictLog::read_all(const std::string& path) {
+  std::vector<std::string> out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return out;
+  std::uint64_t count = 0;
+  scan_frames(in, count, &out);
+  return out;
+}
+
+}  // namespace ccsig::service

@@ -1,0 +1,70 @@
+// Crash-safe append-only verdict log with length+CRC framing.
+//
+// ccsigd's output contract has two halves. Graceful drain (SIGTERM) ends
+// with flush() + sync(), so a cleanly stopped daemon's log is complete.
+// SIGKILL can land mid-write, leaving a *torn tail* — a partial frame at
+// the end of the file. The framing makes that recoverable instead of
+// corrupting: every record is
+//
+//   u32 payload_len | u32 crc32(payload) | payload bytes
+//
+// (little-endian, CRC-32/ISO-HDLC). recover() walks the frames from the
+// start, truncates the file at the first frame that is short, oversized,
+// or fails its CRC, and returns how many intact records remain — the
+// restart skips that many emissions when replaying the session and the
+// rebuilt log is byte-identical to an uninterrupted run.
+//
+// Appends go through one reused buffer and one ::write each — zero
+// steady-state allocations (bench_micro_components pins this) — and land
+// in the kernel immediately; sync() adds the fsync barrier drain requires.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccsig::service {
+
+/// CRC-32 (reflected, polynomial 0xEDB88320), the framing checksum.
+std::uint32_t crc32(const void* data, std::size_t n);
+
+class VerdictLog {
+ public:
+  /// Opens `path` for appending, creating it if missing. Does NOT examine
+  /// existing content — call recover() first when restarting over a log a
+  /// crashed daemon may have torn. Throws std::runtime_error on failure.
+  explicit VerdictLog(const std::string& path);
+  VerdictLog(const VerdictLog&) = delete;
+  VerdictLog& operator=(const VerdictLog&) = delete;
+  ~VerdictLog();
+
+  /// Appends one framed record (the payload is typically one rendered
+  /// verdict line, without a trailing newline). Zero allocations once the
+  /// internal frame buffer has grown to the largest payload seen.
+  void append(std::string_view payload);
+
+  /// fsync barrier: every appended frame is durable on return.
+  void sync();
+
+  std::uint64_t appended() const { return appended_; }
+  const std::string& path() const { return path_; }
+
+  /// Scans `path`, truncates it after the last intact frame (torn or
+  /// corrupt tails are cut off), and returns the intact record count. A
+  /// missing file counts as 0 intact records and is left uncreated.
+  /// Throws std::runtime_error only on I/O failure, never on damage.
+  static std::uint64_t recover(const std::string& path);
+
+  /// Reads every intact framed payload (stops at the first damaged frame
+  /// without modifying the file). Test and subscriber helper.
+  static std::vector<std::string> read_all(const std::string& path);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::vector<char> frame_;  // reused per-append scratch
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace ccsig::service

@@ -20,8 +20,9 @@ static_assert(sizeof(RecordHeader) == 16);
 
 }  // namespace
 
-BatchedIngest::BatchedIngest(const std::string& path, pcap::CursorMode mode)
-    : cursor_(path, mode) {}
+BatchedIngest::BatchedIngest(const std::string& path, pcap::CursorMode mode,
+                             bool tail)
+    : cursor_(path, mode, tail) {}
 
 std::size_t BatchedIngest::fill(std::vector<RoutedRecord>& out,
                                 std::size_t max_records) {
@@ -88,7 +89,9 @@ std::size_t BatchedIngest::fill(std::vector<RoutedRecord>& out,
     while (appended < max_records) {
       const auto rec = cursor_.next();
       if (!rec) {
-        done_ = true;
+        // A tailed capture that runs dry has merely caught up with the
+        // writer; only a non-tail cursor's nullopt is a real end.
+        if (!cursor_.tail()) done_ = true;
         break;
       }
       bytes_ += rec->data.size();

@@ -27,6 +27,14 @@
 
 namespace ccsig::stream {
 
+/// What a RoutedRecord carries through a shard inbox. Almost always a data
+/// record; kEvictOldest is an in-band control command the service layer
+/// injects under memory pressure — it tells the owning shard worker to
+/// force-finalize its least-recently-touched flow at a deterministic
+/// position in that shard's record stream (so a replayed session sheds the
+/// exact same flows at the exact same points).
+enum class RoutedKind : std::uint8_t { kRecord = 0, kEvictOldest = 1 };
+
 /// One decoded record plus its routing precomputation: the canonical
 /// (direction-independent) flow key and that key's hash, computed exactly
 /// once at decode time and reused for shard routing and flow-table
@@ -35,6 +43,8 @@ struct RoutedRecord {
   analysis::WireRecord w;
   sim::FlowKey canonical;
   std::size_t hash = 0;
+  std::uint64_t seq = 0;  // global arrival index, stamped by the engine
+  RoutedKind kind = RoutedKind::kRecord;
 };
 
 static_assert(std::is_trivially_copyable_v<RoutedRecord>);
@@ -50,9 +60,12 @@ inline RoutedRecord route_record(const analysis::WireRecord& w) {
 class BatchedIngest {
  public:
   /// Opens the capture. Throws runtime::ParseException on a damaged file
-  /// header, same as the cursor.
+  /// header, same as the cursor — except in `tail` mode, where a header
+  /// still being written is a retryable state, not an error (the cursor
+  /// defers parsing it; see PcapCursor's tail contract).
   explicit BatchedIngest(const std::string& path,
-                         pcap::CursorMode mode = pcap::CursorMode::kStream);
+                         pcap::CursorMode mode = pcap::CursorMode::kStream,
+                         bool tail = false);
 
   /// Appends up to `max_records` decoded records to `out` (which is NOT
   /// cleared), skipping non-TCP/undecodable frames exactly as the batch
@@ -68,6 +81,13 @@ class BatchedIngest {
   std::uint64_t bytes_consumed() const { return bytes_; }
   std::uint64_t records_decoded() const { return records_; }
   pcap::CursorMode mode() const { return cursor_.mode(); }
+
+  /// True once the capture has genuinely ended (clean EOF in non-tail
+  /// mode, or a parse error in either mode). A tail-mode fill() that
+  /// returns 0 with exhausted() false just caught up with the writer —
+  /// call fill() again later.
+  bool exhausted() const { return done_; }
+  const pcap::PcapCursor& cursor() const { return cursor_; }
 
  private:
   pcap::PcapCursor cursor_;

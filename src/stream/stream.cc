@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 
 #include "analysis/flow_trace.h"
@@ -14,11 +15,6 @@
 
 namespace ccsig::stream {
 namespace {
-
-// Batch buffers in circulation per shard: one being filled by the
-// producer, the rest queued or being drained. Bounded, so a slow shard
-// backpressures the reader instead of growing a queue.
-constexpr std::size_t kBatchesPerShard = 4;
 
 /// Heterogeneous lookup key carrying the hash computed at decode time, so
 /// the per-record flow-table probe never rehashes the FlowKey.
@@ -51,13 +47,15 @@ struct FlowEq {
 }  // namespace
 
 struct StreamEngine::Shard {
+  explicit Shard(std::size_t batches) : inbox(batches), recycle(batches) {}
+
   // Single-writer discipline: exactly one worker thread owns this shard
   // and is the only consumer of `inbox` / producer of `recycle`; the
   // pushing thread is the only producer of `inbox` / consumer of
   // `recycle`. Both edges are therefore strictly SPSC and the flow table
   // below needs no lock at all.
-  runtime::SpscQueue<std::vector<RoutedRecord>*> inbox{kBatchesPerShard};
-  runtime::SpscQueue<std::vector<RoutedRecord>*> recycle{kBatchesPerShard};
+  runtime::SpscQueue<std::vector<RoutedRecord>*> inbox;
+  runtime::SpscQueue<std::vector<RoutedRecord>*> recycle;
 
   struct Entry {
     explicit Entry(const sim::FlowKey& canonical) : state(canonical) {}
@@ -84,6 +82,25 @@ struct StreamEngine::Shard {
 
   StreamStats tally;
   std::size_t peak = 0;
+
+  // -- Ordered-drain state (cfg.ordered_drain only) ------------------------
+  // Emission position of the record currently being processed; worker-owned
+  // scratch, set by process_record before any finalize it triggers.
+  std::uint64_t cur_seq = 0;
+  std::uint32_t cur_emit = 0;
+  // seq of the last record this shard's worker finished (release-published
+  // after the batch's emissions are queued, so a reader that observes the
+  // watermark also observes every emission at or below it).
+  std::atomic<std::uint64_t> processed{0};
+  // Batches flushed to `inbox` and not yet fully processed. Incremented by
+  // the control thread before the push, decremented by the worker after
+  // the batch's emissions are visible; 0 therefore means "caught up with
+  // everything flushed".
+  std::atomic<std::size_t> inflight{0};
+  // Finalized-but-undrained emissions. Finalization is orders of magnitude
+  // rarer than record processing, so a mutex here stays off the hot path.
+  std::mutex ready_mu;
+  std::vector<ReadyReport> ready;
 };
 
 StreamEngine::StreamEngine(const FlowAnalyzer& analyzer, StreamConfig cfg)
@@ -95,9 +112,10 @@ StreamEngine::StreamEngine(const FlowAnalyzer& analyzer, StreamConfig cfg)
   if (cfg_.max_active_flows > 0) {
     per_shard_cap_ = std::max<std::size_t>(1, cfg_.max_active_flows / nshards_);
   }
+  batches_per_shard_ = std::max<std::size_t>(2, cfg_.batches_per_shard);
   shards_.reserve(nshards_);
   for (std::size_t i = 0; i < nshards_; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    shards_.push_back(std::make_unique<Shard>(batches_per_shard_));
   }
 
   auto& reg = obs::MetricsRegistry::global();
@@ -116,9 +134,10 @@ StreamEngine::StreamEngine(const FlowAnalyzer& analyzer, StreamConfig cfg)
   const unsigned jobs = cfg_.jobs == 0 ? runtime::default_jobs() : cfg_.jobs;
   if (jobs > 1) {
     pending_.resize(nshards_, nullptr);
+    pending_first_seq_.resize(nshards_, 0);
     for (std::size_t i = 0; i < nshards_; ++i) {
       Shard& s = *shards_[i];
-      for (std::size_t b = 0; b < kBatchesPerShard; ++b) {
+      for (std::size_t b = 0; b < batches_per_shard_; ++b) {
         batch_pool_.push_back(std::make_unique<std::vector<RoutedRecord>>());
         batch_pool_.back()->reserve(cfg_.batch_records);
         if (b == 0) {
@@ -159,8 +178,14 @@ void StreamEngine::worker_loop(unsigned worker_id, unsigned nworkers) {
       std::vector<RoutedRecord>* batch = nullptr;
       while (s.inbox.try_pop(batch)) {
         for (const RoutedRecord& r : *batch) process_record(s, r);
+        if (cfg_.ordered_drain && !batch->empty()) {
+          // Release AFTER the batch's finalizations hit the ready queue:
+          // a drain that acquires this watermark sees those emissions.
+          s.processed.store(batch->back().seq, std::memory_order_release);
+        }
         batch->clear();
         s.recycle.try_push(std::move(batch));  // capacity ≥ pool, never full
+        s.inflight.fetch_sub(1, std::memory_order_release);
         did_work = true;
       }
     }
@@ -170,14 +195,20 @@ void StreamEngine::worker_loop(unsigned worker_id, unsigned nworkers) {
   }
 }
 
-void StreamEngine::route(const RoutedRecord& r) {
+void StreamEngine::route(RoutedRecord r) {
+  if (cfg_.ordered_drain) r.seq = seq_next_++;
   const std::size_t idx =
       shard_mask_ != 0 ? (r.hash & shard_mask_) : (r.hash % nshards_);
   if (workers_.empty()) {
     process_record(*shards_[idx], r);
     return;
   }
+  enqueue_to_shard(idx, r);
+}
+
+void StreamEngine::enqueue_to_shard(std::size_t idx, const RoutedRecord& r) {
   std::vector<RoutedRecord>* batch = pending_[idx];
+  if (batch->empty()) pending_first_seq_[idx] = r.seq;
   batch->push_back(r);
   if (batch->size() >= cfg_.batch_records) flush_pending(idx);
 }
@@ -185,6 +216,9 @@ void StreamEngine::route(const RoutedRecord& r) {
 void StreamEngine::flush_pending(std::size_t idx) {
   Shard& s = *shards_[idx];
   std::vector<RoutedRecord>* full = pending_[idx];
+  // Count the batch in flight before it becomes poppable, so the worker's
+  // decrement can never be observed before our increment.
+  s.inflight.fetch_add(1, std::memory_order_relaxed);
   while (!s.inbox.try_push(std::move(full))) {
     std::this_thread::yield();  // shard backlog: backpressure the reader
   }
@@ -194,6 +228,28 @@ void StreamEngine::flush_pending(std::size_t idx) {
   }
   fresh->clear();
   pending_[idx] = fresh;
+}
+
+std::size_t StreamEngine::push_force_evict(std::size_t shard) {
+  const std::size_t idx = shard % nshards_;
+  RoutedRecord cmd;
+  cmd.kind = RoutedKind::kEvictOldest;
+  cmd.seq = seq_next_++;
+  if (workers_.empty()) {
+    process_record(*shards_[idx], cmd);
+  } else {
+    enqueue_to_shard(idx, cmd);
+  }
+  return idx;
+}
+
+double StreamEngine::pressure() const {
+  if (workers_.empty()) return 0.0;
+  std::size_t worst = 0;
+  for (const std::unique_ptr<Shard>& sp : shards_) {
+    worst = std::max(worst, sp->inflight.load(std::memory_order_relaxed));
+  }
+  return static_cast<double>(worst) / static_cast<double>(batches_per_shard_);
 }
 
 void StreamEngine::push(const analysis::WireRecord& w) {
@@ -207,6 +263,16 @@ void StreamEngine::push_batch(std::span<const RoutedRecord> batch) {
 }
 
 void StreamEngine::process_record(Shard& s, const RoutedRecord& r) {
+  s.cur_seq = r.seq;
+  s.cur_emit = 0;
+  if (r.kind == RoutedKind::kEvictOldest) {
+    // In-band shed command: force-finalize one resident flow at this exact
+    // position in the shard's record stream (deterministic under replay).
+    // An empty shard makes it a no-op — the seq is still consumed, which
+    // is what keeps live and replayed emission positions aligned.
+    if (!s.flows.empty()) evict_for_cap(s);
+    return;
+  }
   ++s.tally.records;
   const analysis::WireRecord& w = r.w;
 
@@ -277,11 +343,17 @@ void StreamEngine::finalize_flow(Shard& s, const sim::FlowKey& canonical,
   const auto it = s.flows.find(canonical);
   FinalizedFlow fin = it->second.state.finalize(cfg_.extract);
   if (fin.has_payload) {
-    s.done.push_back(Shard::Done{
-        fin.start_time,
+    FlowReport report =
         analyzer_.report_from_extract(fin.data_key, std::move(fin.extracted),
                                       fin.throughput_bps, fin.duration,
-                                      fin.data_packets)});
+                                      fin.data_packets);
+    if (cfg_.ordered_drain && !eoc_phase_) {
+      std::lock_guard<std::mutex> lk(s.ready_mu);
+      s.ready.push_back(ReadyReport{s.cur_seq, s.cur_emit++, fin.start_time,
+                                    std::move(report)});
+    } else {
+      s.done.push_back(Shard::Done{fin.start_time, std::move(report)});
+    }
   }
   s.lru.erase(it->second.lru_it);
   s.flows.erase(it);
@@ -362,6 +434,117 @@ std::vector<FlowReport> StreamEngine::finish() {
   final_stats_ = total;
   finished_ = true;
   return reports;
+}
+
+std::uint64_t StreamEngine::safe_threshold() const {
+  // Exclusive bound: emissions with seq < threshold are all queued, because
+  // every record that could still produce one carries a larger seq. Per
+  // shard, the bound is (a) the processed watermark while batches are in
+  // flight, else (b) the first unflushed pending seq, else (c) everything
+  // assigned — an idle shard's future emissions can only come from records
+  // not yet pushed, all of which get seqs >= seq_next_.
+  std::uint64_t threshold = seq_next_;
+  if (workers_.empty()) return threshold;  // inline: pushes are synchronous
+  for (std::size_t i = 0; i < nshards_; ++i) {
+    const Shard& s = *shards_[i];
+    std::uint64_t bound;
+    if (s.inflight.load(std::memory_order_acquire) > 0) {
+      bound = s.processed.load(std::memory_order_acquire) + 1;
+    } else if (!pending_[i]->empty()) {
+      bound = pending_first_seq_[i];
+    } else {
+      bound = seq_next_;
+    }
+    threshold = std::min(threshold, bound);
+  }
+  return threshold;
+}
+
+void StreamEngine::extract_ready(std::uint64_t threshold,
+                                 std::vector<ReadyReport>& out) {
+  const auto base = static_cast<std::vector<ReadyReport>::difference_type>(
+      out.size());
+  for (const std::unique_ptr<Shard>& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> lk(s.ready_mu);
+    // Partition need not be stable: the extracted slice is sorted below
+    // and the survivors get sorted on a later drain.
+    const auto keep = std::partition(
+        s.ready.begin(), s.ready.end(),
+        [threshold](const ReadyReport& r) { return r.seq >= threshold; });
+    for (auto it = keep; it != s.ready.end(); ++it) {
+      out.push_back(std::move(*it));
+    }
+    s.ready.erase(keep, s.ready.end());
+  }
+  std::sort(out.begin() + base, out.end(),
+            [](const ReadyReport& a, const ReadyReport& b) {
+              return a.seq != b.seq ? a.seq < b.seq : a.emit_idx < b.emit_idx;
+            });
+}
+
+void StreamEngine::drain_ready(std::vector<ReadyReport>& out) {
+  extract_ready(safe_threshold(), out);
+}
+
+void StreamEngine::finish_ordered(std::vector<ReadyReport>& out) {
+  obs::TraceSpan span("stream.finalize", "stream");
+  if (!workers_.empty()) {
+    for (std::size_t idx = 0; idx < nshards_; ++idx) {
+      if (!pending_[idx]->empty()) flush_pending(idx);
+    }
+    stop_workers();
+  }
+  // Workers are gone and nothing is pending, so everything queued is final.
+  extract_ready(seq_next_, out);
+
+  // End-of-capture: finalize still-resident flows through the batch-shaped
+  // done list, order them with the batch comparator, and append them after
+  // every record-triggered emission under the first never-assigned seq.
+  eoc_phase_ = true;
+  StreamStats total;
+  std::size_t active = 0;
+  std::uint64_t max_shard_records = 0;
+  std::vector<Shard::Done> eoc;
+  for (const std::unique_ptr<Shard>& sp : shards_) {
+    Shard& s = *sp;
+    active += s.flows.size();
+    while (!s.lru.empty()) {
+      finalize_flow(s, s.lru.front(), Evict::kEndOfCapture);
+    }
+    for (Shard::Done& d : s.done) eoc.push_back(std::move(d));
+    s.done.clear();
+    total.records += s.tally.records;
+    total.flows_opened += s.tally.flows_opened;
+    total.flows_finalized += s.tally.flows_finalized;
+    total.evicted_fin += s.tally.evicted_fin;
+    total.evicted_idle += s.tally.evicted_idle;
+    total.evicted_lru += s.tally.evicted_lru;
+    total.evicted_forced += s.tally.evicted_forced;
+    total.early_classified += s.tally.early_classified;
+    total.peak_active_flows += s.peak;
+    max_shard_records = std::max(max_shard_records, s.tally.records);
+  }
+  std::sort(eoc.begin(), eoc.end(),
+            [](const Shard::Done& a, const Shard::Done& b) {
+              return analysis::flow_order_less(a.start, a.report.data_key,
+                                               b.start, b.report.data_key);
+            });
+  std::uint32_t emit = 0;
+  for (Shard::Done& d : eoc) {
+    out.push_back(ReadyReport{seq_next_, emit++, d.start,
+                              std::move(d.report)});
+  }
+
+  active_g_.set(static_cast<double>(active));
+  peak_g_.set(static_cast<double>(total.peak_active_flows));
+  if (total.records > 0) {
+    const double mean = static_cast<double>(total.records) /
+                        static_cast<double>(nshards_);
+    imbalance_g_.set(static_cast<double>(max_shard_records) / mean);
+  }
+  final_stats_ = total;
+  finished_ = true;
 }
 
 PcapAnalysis analyze_pcap_stream(const std::string& path,

@@ -63,6 +63,20 @@ struct StreamConfig {
   sim::Duration idle_timeout = 0;
   /// Records per cross-thread batch when jobs > 1.
   std::size_t batch_records = 512;
+  /// Batch buffers in circulation per shard when jobs > 1: one being
+  /// filled by the producer, the rest queued or draining. Bounded, so a
+  /// slow shard backpressures the pusher instead of growing a queue; the
+  /// fill fraction of the fullest shard is what pressure() reports.
+  /// Values below 2 are clamped to 2.
+  std::size_t batches_per_shard = 4;
+  /// Ordered incremental emission for the service layer. Every pushed
+  /// record is stamped with a global arrival sequence number, finalized
+  /// flows are queued per shard instead of held until finish(), and
+  /// drain_ready() hands them out in an order that is a pure function of
+  /// the pushed record sequence — byte-identical at any `jobs`. The
+  /// batch-shaped finish() must not be used on an ordered engine (use
+  /// finish_ordered()).
+  bool ordered_drain = false;
   features::ExtractOptions extract;
 };
 
@@ -87,6 +101,21 @@ struct StreamStats {
   std::size_t peak_active_flows = 0;
 };
 
+/// One flow verdict emitted by an ordered-drain engine, tagged with its
+/// deterministic position in the emission order: `seq` is the global
+/// arrival index of the record (or force-evict command) that triggered the
+/// finalization, `emit_idx` breaks ties among the finalizations one record
+/// triggers inside its shard (a record only ever finalizes flows in its
+/// own shard, so (seq, emit_idx) is a total order). End-of-capture
+/// finalizations share the first never-assigned seq and are emit_idx'd in
+/// flow_order_less order.
+struct ReadyReport {
+  std::uint64_t seq = 0;
+  std::uint32_t emit_idx = 0;
+  sim::Time start = 0;
+  FlowReport report;
+};
+
 class StreamEngine {
  public:
   /// `analyzer` must outlive the engine.
@@ -108,30 +137,77 @@ class StreamEngine {
   /// called afterwards.
   std::vector<FlowReport> finish();
 
-  /// Valid after finish().
+  /// Valid after finish() / finish_ordered().
   const StreamStats& stats() const { return final_stats_; }
+
+  // -- Ordered-drain interface (cfg.ordered_drain, single control thread) --
+  // The service layer pushes records, periodically drains whatever has
+  // become safely emittable, and finish_ordered()s at drain time. All of
+  // these must be called from the one thread that also pushes.
+
+  /// Injects an in-band force-evict command: the chosen shard's worker
+  /// force-finalizes one resident flow (evict_for_cap policy) at this
+  /// exact position in its record stream, so a replayed session sheds the
+  /// same flow at the same point. `shard` past the shard count is taken
+  /// modulo (callers round-robin without knowing the count). Returns the
+  /// shard actually targeted, which the service records in the session.
+  std::size_t push_force_evict(std::size_t shard);
+
+  /// Appends every finalized flow whose emission position is already
+  /// determined — no record still in flight can precede it — in (seq,
+  /// emit_idx) order. Across calls the concatenated output is a pure
+  /// function of the pushed record sequence, independent of `jobs` and of
+  /// when drains happen.
+  void drain_ready(std::vector<ReadyReport>& out);
+
+  /// Ordered-drain finish: flushes workers, drains every queued emission,
+  /// then finalizes still-resident flows in flow_order_less order (the
+  /// end-of-capture tail of the emission order). Call exactly once.
+  void finish_ordered(std::vector<ReadyReport>& out);
+
+  /// Fill fraction [0, 1] of the fullest shard inbox — the engine-side
+  /// overload signal the service's shed ladder keys on. Always 0 when
+  /// inline (jobs == 1): pushes process synchronously and cannot lag.
+  double pressure() const;
+
+  std::size_t shard_count() const { return nshards_; }
 
  private:
   struct Shard;
   enum class Evict { kFin, kIdle, kLru, kForced, kEndOfCapture };
 
-  void route(const RoutedRecord& r);
+  void route(RoutedRecord r);
+  void enqueue_to_shard(std::size_t idx, const RoutedRecord& r);
   void flush_pending(std::size_t idx);
   void worker_loop(unsigned worker_id, unsigned nworkers);
   void process_record(Shard& s, const RoutedRecord& r);
   void evict_for_cap(Shard& s);
   void finalize_flow(Shard& s, const sim::FlowKey& canonical, Evict reason);
   void stop_workers();
+  /// Exclusive seq bound below which every emission is already queued.
+  std::uint64_t safe_threshold() const;
+  /// Moves queued emissions with seq < `threshold` to `out`, sorted.
+  void extract_ready(std::uint64_t threshold, std::vector<ReadyReport>& out);
 
   const FlowAnalyzer& analyzer_;
   const StreamConfig cfg_;
   std::size_t nshards_ = 1;
   std::size_t shard_mask_ = 0;  // nshards_ - 1 when a power of two, else 0
   std::size_t per_shard_cap_ = 0;  // 0 = unlimited
+  std::size_t batches_per_shard_ = 4;
+  // Next global arrival index (ordered_drain). Starts at 1 so the
+  // watermark value 0 unambiguously means "nothing processed yet".
+  std::uint64_t seq_next_ = 1;
+  // End-of-capture phase: workers are stopped and finalize_flow routes to
+  // the batch-shaped done list even on an ordered engine.
+  bool eoc_phase_ = false;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   // Producer-side per-shard batch being filled (untouched when inline).
   std::vector<std::vector<RoutedRecord>*> pending_;
+  // seq of pending_[i]'s first record (meaningful while it is non-empty);
+  // owned by the control thread like pending_ itself.
+  std::vector<std::uint64_t> pending_first_seq_;
   // Owns every batch buffer circulating through the rings.
   std::vector<std::unique_ptr<std::vector<RoutedRecord>>> batch_pool_;
 

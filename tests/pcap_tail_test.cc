@@ -1,0 +1,219 @@
+// PcapCursor tail mode: a capture still being written is an incomplete
+// tail the cursor resumes from, not a ParseException — the contract
+// ccsigd's growing-file sources are built on. The non-tail error paths
+// must stay byte-identical to the legacy cursor (ingest_corpus_test pins
+// the differential; here we pin the messages directly).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pcap/cursor.h"
+#include "runtime/parse_error.h"
+#include "stream/ingest.h"
+#include "test_helpers.h"
+
+namespace ccsig::pcap {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path, const std::uint8_t* data,
+                 std::size_t n, bool append) {
+  std::ofstream out(path, std::ios::binary |
+                              (append ? std::ios::app : std::ios::trunc));
+  out.write(reinterpret_cast<const char*>(data), static_cast<std::streamsize>(n));
+}
+
+class PcapTailTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto dir = fs::temp_directory_path();
+    const std::string stamp =
+        std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+        "_" + std::to_string(counter_++);
+    full_ = (dir / ("ccsig_tail_full_" + stamp + ".pcap")).string();
+    grow_ = (dir / ("ccsig_tail_grow_" + stamp + ".pcap")).string();
+    testutil::write_random_capture(7, full_);
+    bytes_ = read_bytes(full_);
+    ASSERT_GT(bytes_.size(), 64u);
+  }
+  void TearDown() override {
+    fs::remove(full_);
+    fs::remove(grow_);
+  }
+
+  std::size_t count_records(const std::string& path) {
+    PcapCursor c(path);
+    std::size_t n = 0;
+    while (c.next()) ++n;
+    return n;
+  }
+
+  static int counter_;
+  std::string full_;
+  std::string grow_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+int PcapTailTest::counter_ = 0;
+
+TEST_F(PcapTailTest, ResumesAcrossFileGrowth) {
+  const std::size_t total = count_records(full_);
+  ASSERT_GT(total, 0u);
+
+  // Start with a fragment that ends inside a record, then grow the file in
+  // uneven chunks between reads. Every record must come out exactly once.
+  std::size_t written = 64;
+  write_bytes(grow_, bytes_.data(), written, /*append=*/false);
+
+  PcapCursor cursor(grow_, CursorMode::kStream, /*tail=*/true);
+  EXPECT_EQ(cursor.mode(), CursorMode::kStream);
+  std::size_t seen = 0;
+  const std::size_t chunks[] = {1, 17, 101, 1000, 4096, 50000};
+  std::size_t chunk_i = 0;
+  while (seen < total) {
+    if (const auto rec = cursor.next()) {
+      ++seen;
+      continue;
+    }
+    // Caught up with the "writer": nothing may be consumed, the stream
+    // must resume after the file grows.
+    if (written >= bytes_.size()) {
+      FAIL() << "cursor stopped at " << seen << "/" << total
+             << " records with the whole capture on disk";
+    }
+    const std::size_t n =
+        std::min(chunks[chunk_i++ % 6], bytes_.size() - written);
+    write_bytes(grow_, bytes_.data() + written, n, /*append=*/true);
+    written += n;
+  }
+  EXPECT_EQ(seen, total);
+  // Fully written and fully read: further polls report a caught-up tail,
+  // not an incomplete one.
+  EXPECT_FALSE(cursor.next().has_value());
+  EXPECT_FALSE(cursor.incomplete_tail());
+}
+
+TEST_F(PcapTailTest, FileHeaderStillBeingWritten) {
+  // 10 bytes of the 24-byte header: not yet a parseable capture.
+  write_bytes(grow_, bytes_.data(), 10, /*append=*/false);
+  PcapCursor cursor(grow_, CursorMode::kStream, /*tail=*/true);
+  EXPECT_FALSE(cursor.header_ready());
+  EXPECT_FALSE(cursor.next().has_value());
+  EXPECT_TRUE(cursor.incomplete_tail());
+
+  write_bytes(grow_, bytes_.data() + 10, bytes_.size() - 10, /*append=*/true);
+  EXPECT_TRUE(cursor.next().has_value());
+  EXPECT_TRUE(cursor.header_ready());
+}
+
+TEST_F(PcapTailTest, PartialRecordIsIncompleteTailNotError) {
+  // Header + one truncated record header (8 of 16 bytes).
+  write_bytes(grow_, bytes_.data(), 24 + 8, /*append=*/false);
+  PcapCursor cursor(grow_, CursorMode::kStream, /*tail=*/true);
+  EXPECT_FALSE(cursor.next().has_value());
+  EXPECT_TRUE(cursor.incomplete_tail());
+  // Nothing was consumed: completing the record delivers it.
+  write_bytes(grow_, bytes_.data() + 24 + 8, bytes_.size() - 24 - 8,
+              /*append=*/true);
+  EXPECT_TRUE(cursor.next().has_value());
+  EXPECT_FALSE(cursor.incomplete_tail());
+}
+
+TEST_F(PcapTailTest, BadMagicThrowsEvenInTailMode) {
+  std::vector<std::uint8_t> bad = bytes_;
+  bad[0] ^= 0xFF;
+  write_bytes(grow_, bad.data(), bad.size(), /*append=*/false);
+  EXPECT_THROW(PcapCursor(grow_, CursorMode::kStream, /*tail=*/true),
+               runtime::ParseException);
+}
+
+TEST_F(PcapTailTest, AbsurdRecordLengthThrowsEvenInTailMode) {
+  std::vector<std::uint8_t> bad(bytes_.begin(), bytes_.begin() + 24);
+  // Record header with incl_len far past any snaplen.
+  const std::uint8_t rec[16] = {0, 0, 0, 0, 0, 0, 0, 0,
+                                0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0};
+  bad.insert(bad.end(), rec, rec + 16);
+  write_bytes(grow_, bad.data(), bad.size(), /*append=*/false);
+  PcapCursor cursor(grow_, CursorMode::kStream, /*tail=*/true);
+  EXPECT_THROW(cursor.next(), runtime::ParseException);
+}
+
+TEST_F(PcapTailTest, NonTailErrorsAreUnchanged) {
+  // Truncated record body: the legacy cursor message and offset must
+  // survive the tail-mode restructuring byte for byte.
+  write_bytes(grow_, bytes_.data(), bytes_.size() - 3, /*append=*/false);
+  PcapCursor cursor(grow_);
+  try {
+    while (cursor.next()) {
+    }
+    FAIL() << "expected ParseException";
+  } catch (const runtime::ParseException& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated record body"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // Truncated record header.
+  write_bytes(grow_, bytes_.data(), 24 + 7, /*append=*/false);
+  PcapCursor cursor2(grow_);
+  try {
+    while (cursor2.next()) {
+    }
+    FAIL() << "expected ParseException";
+  } catch (const runtime::ParseException& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated record header"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(PcapTailTest, BatchedIngestTailReportsCaughtUpNotExhausted) {
+  write_bytes(grow_, bytes_.data(), 200, /*append=*/false);
+  stream::BatchedIngest ingest(grow_, CursorMode::kStream, /*tail=*/true);
+  std::vector<stream::RoutedRecord> out;
+
+  std::size_t got = 0;
+  for (;;) {
+    const std::size_t n = ingest.fill(out, 1024);
+    got += n;
+    if (n == 0) break;
+  }
+  EXPECT_FALSE(ingest.exhausted());  // caught up, not done
+  ASSERT_FALSE(ingest.error().has_value());
+
+  write_bytes(grow_, bytes_.data() + 200, bytes_.size() - 200,
+              /*append=*/true);
+  for (;;) {
+    const std::size_t n = ingest.fill(out, 1024);
+    got += n;
+    if (n == 0) break;
+  }
+  EXPECT_FALSE(ingest.exhausted());  // a tail never "ends"
+  EXPECT_EQ(out.size(), got);
+
+  // The tail delivered exactly the records a plain one-shot read sees.
+  stream::BatchedIngest oneshot(full_, CursorMode::kStream);
+  std::vector<stream::RoutedRecord> all;
+  while (oneshot.fill(all, 4096) > 0) {
+  }
+  EXPECT_TRUE(oneshot.exhausted());
+  ASSERT_EQ(out.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(out[i].hash, all[i].hash) << "record " << i;
+    EXPECT_EQ(out[i].w.time, all[i].w.time) << "record " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ccsig::pcap

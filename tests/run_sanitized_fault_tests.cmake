@@ -24,6 +24,8 @@ set(tests
   mlab_rowstore_test
   stream_flow_table_test
   stream_vs_batch_test
+  pcap_tail_test
+  service_fault_test
 )
 
 message(STATUS "[fault-san] configuring sanitized tree in ${BUILD_DIR}")

@@ -35,6 +35,9 @@ COUNTER_BOUNDS = {
     "BM_TcpBulkTransfer": {"allocs_per_seg": 0.50},
     "BM_TcpSteadyStateAllocs": {"steady_allocs": 0.0},
     "BM_PcapEncodeDecode": {"allocs_per_frame": 0.0},
+    # ccsigd's verdict-log append (frame + CRC + one write) reuses one
+    # buffer after the warm-up append — a hard zero.
+    "BM_VerdictLogAppend": {"allocs_per_verdict": 0.0},
     # Metrics recording must be allocation-free once the calling thread's
     # shard exists (the benches record once before probing).
     "BM_MetricsCounterRecord": {"allocs_per_record": 0.0},

@@ -32,6 +32,7 @@
 #include "obs/tool_obs.h"
 #include "runtime/atomic_file.h"
 #include "runtime/parse_error.h"
+#include "runtime/progress.h"
 
 int main(int argc, char** argv) {
   ccsig::mlab::ScaleOptions opt;
@@ -83,14 +84,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --store is required\n");
     return 2;
   }
-  if (!quiet) {
-    opt.progress = [](std::uint64_t done, std::uint64_t total) {
-      std::fprintf(stderr, "\r[campaign] %llu / %llu rows",
-                   static_cast<unsigned long long>(done),
-                   static_cast<unsigned long long>(total));
-      if (done == total) std::fputc('\n', stderr);
-    };
-  }
+  ccsig::runtime::ProgressReporterOptions ropt;
+  ropt.label = "campaign";
+  if (quiet) ropt.mode = ccsig::runtime::ProgressMode::kOff;
+  ccsig::runtime::ProgressReporter reporter(ropt);
+  opt.progress = [&reporter](std::uint64_t done, std::uint64_t total) {
+    reporter.update(static_cast<std::size_t>(done),
+                    static_cast<std::size_t>(total));
+  };
 
   try {
     ccsig::obs::ToolObs tool_obs(metrics_path, trace_path, "ccsig_campaign");

@@ -9,13 +9,15 @@
 //                 [--buffer MS] [--duration S] [--cc reno|cubic|bbr]
 //                 [--seed N] [--reps N] [--jobs N] [--pcap FILE]
 //                 [--metrics-out FILE] [--trace-out FILE]
-//                 [--flow-telemetry FILE]
+//                 [--flow-telemetry FILE] [--quiet]
 //
 // Observability side files (stdout/verdicts are unaffected):
 //   --metrics-out     final counters/gauges/histograms snapshot (JSON)
 //   --trace-out       Chrome trace-event JSON (chrome://tracing, Perfetto)
 //   --flow-telemetry  per-ACK cwnd/ssthresh/pipe/srtt CSV of the test flow
 //                     (single run only, like --pcap)
+//   --quiet           no stderr progress (daemon/script mode; verdicts on
+//                     stdout are unaffected)
 //
 // Exit codes: 0 success, 1 signature unavailable, 2 usage error, 3 input
 // or I/O error, 4 internal error.
@@ -40,7 +42,8 @@
 namespace {
 
 int run_tool(ccsig::testbed::TestbedConfig cfg, int reps, int jobs,
-             const std::string& pcap_path, const std::string& telemetry_path);
+             const std::string& pcap_path, const std::string& telemetry_path,
+             bool quiet);
 
 }  // namespace
 
@@ -56,6 +59,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
   std::string telemetry_path;
+  bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -93,13 +97,15 @@ int main(int argc, char** argv) {
       trace_path = next("--trace-out");
     } else if (std::strcmp(argv[i], "--flow-telemetry") == 0) {
       telemetry_path = next("--flow-telemetry");
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--external] [--rate MBPS] [--latency MS] "
                    "[--loss P] [--buffer MS] [--duration S] [--cc NAME] "
                    "[--seed N] [--reps N] [--jobs N] [--pcap FILE] "
                    "[--metrics-out FILE] [--trace-out FILE] "
-                   "[--flow-telemetry FILE]\n",
+                   "[--flow-telemetry FILE] [--quiet]\n",
                    argv[0]);
       return 2;
     }
@@ -117,7 +123,7 @@ int main(int argc, char** argv) {
   try {
     obs::ToolObs tool_obs(metrics_path, trace_path, "ccsig_testbed");
     const int rc = run_tool(std::move(cfg), reps, jobs, pcap_path,
-                            telemetry_path);
+                            telemetry_path, quiet);
     tool_obs.finalize();
     return rc;
   } catch (const runtime::ParseException& e) {
@@ -135,7 +141,8 @@ int main(int argc, char** argv) {
 namespace {
 
 int run_tool(ccsig::testbed::TestbedConfig cfg, int reps, int jobs,
-             const std::string& pcap_path, const std::string& telemetry_path) {
+             const std::string& pcap_path, const std::string& telemetry_path,
+             bool quiet) {
   using namespace ccsig;
   std::printf("testbed: %s scenario, access %.0f Mbps / %.0f ms latency / "
               "%.4f loss / %.0f ms buffer, sender %s, seed %llu\n",
@@ -152,7 +159,10 @@ int run_tool(ccsig::testbed::TestbedConfig cfg, int reps, int jobs,
                                              cfg);
     sim::Rng seeder(cfg.seed);
     for (auto& r : runs) r.seed = seeder.next_u64();
-    runtime::ProgressReporter reporter("reps");
+    runtime::ProgressReporterOptions ropt;
+    ropt.label = "reps";
+    if (quiet) ropt.mode = runtime::ProgressMode::kOff;
+    runtime::ProgressReporter reporter(ropt);
     runtime::ProgressCounter progress(runs.size(), reporter.callback());
     const auto results = runtime::parallel_map(
         runs,

@@ -1,0 +1,128 @@
+// ccsigd — crash-safe, backpressured classification daemon.
+//
+// Usage:
+//   ccsigd --log FILE [--source FILE]... [--fifo PIPE]...
+//          [--oneshot-source FILE]...
+//          [--model FILE] [--socket PATH]
+//          [--record FILE | --replay FILE [--replay-pace-us N]]
+//          [--jobs N] [--shards N] [--max-flows N] [--idle-timeout SECONDS]
+//          [--poll-records N] [--metrics-interval-ms N] [--oneshot]
+//          [--quiet]
+//
+// Tails every --source pcap file past EOF (surviving rotation), spools
+// every --fifo named pipe, classifies each finished flow with the loaded
+// model, and appends one framed verdict line per flow to --log — an
+// append-only, CRC-framed file that survives SIGKILL with at most a torn
+// tail (truncated and resumed on restart). --socket serves the verdicts
+// and periodic metrics lines to live subscribers over a Unix-domain
+// stream socket (lossy; the log is the durable record). --record writes
+// the exact pushed-record session for later --replay, which regenerates a
+// byte-identical verdict log at any --jobs.
+//
+// Signals:
+//   SIGTERM / SIGINT   graceful drain: stop intake, finalize resident
+//                      flows, flush + fsync the verdict log, exit 0.
+//   SIGHUP             hot-reload --model; an unparseable file is rejected
+//                      and the old model keeps serving.
+//   SIGKILL            (uncatchable) at most one torn verdict frame;
+//                      restart + --replay resumes byte-identically.
+//
+// Exit codes: 0 clean drain, 2 usage error, 3 unreadable log/model/
+// session, 4 internal error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "runtime/event_log.h"
+#include "runtime/shutdown.h"
+#include "service/service.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --log FILE [--source FILE]... [--fifo PIPE]...\n"
+      "          [--oneshot-source FILE]... [--model FILE] [--socket PATH]\n"
+      "          [--record FILE | --replay FILE [--replay-pace-us N]]\n"
+      "          [--jobs N] [--shards N] [--max-flows N]\n"
+      "          [--idle-timeout SECONDS] [--poll-records N]\n"
+      "          [--metrics-interval-ms N] [--oneshot] [--quiet]\n",
+      argv0);
+  return ccsig::service::ClassificationService::kExitUsage;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ccsig::service::ServiceConfig cfg;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
+      cfg.verdict_log_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--source") == 0 && i + 1 < argc) {
+      ccsig::service::SourceConfig sc;
+      sc.path = argv[++i];
+      cfg.sources.push_back(sc);
+    } else if (std::strcmp(argv[i], "--fifo") == 0 && i + 1 < argc) {
+      ccsig::service::SourceConfig sc;
+      sc.path = argv[++i];
+      sc.fifo = true;
+      cfg.sources.push_back(sc);
+    } else if (std::strcmp(argv[i], "--oneshot-source") == 0 && i + 1 < argc) {
+      ccsig::service::SourceConfig sc;
+      sc.path = argv[++i];
+      sc.oneshot = true;
+      cfg.sources.push_back(sc);
+    } else if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+      cfg.model_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      cfg.socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--record") == 0 && i + 1 < argc) {
+      cfg.record_session_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+      cfg.replay_session_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--replay-pace-us") == 0 && i + 1 < argc) {
+      cfg.replay_pace_us = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      cfg.stream.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      cfg.stream.shards = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--max-flows") == 0 && i + 1 < argc) {
+      cfg.stream.max_active_flows =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--idle-timeout") == 0 && i + 1 < argc) {
+      cfg.stream.idle_timeout = ccsig::sim::from_seconds(std::atof(argv[++i]));
+    } else if (std::strcmp(argv[i], "--poll-records") == 0 && i + 1 < argc) {
+      cfg.poll_records = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--metrics-interval-ms") == 0 &&
+               i + 1 < argc) {
+      cfg.metrics_interval_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--oneshot") == 0) {
+      cfg.oneshot = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (cfg.verdict_log_path.empty()) {
+    std::fprintf(stderr, "error: --log is required\n");
+    return usage(argv[0]);
+  }
+  if (!cfg.replay_session_path.empty() && !cfg.record_session_path.empty()) {
+    std::fprintf(stderr, "error: --record and --replay are exclusive\n");
+    return usage(argv[0]);
+  }
+  if (cfg.replay_session_path.empty() && cfg.sources.empty()) {
+    std::fprintf(stderr, "error: no --source/--fifo given (and no --replay)\n");
+    return usage(argv[0]);
+  }
+
+  ccsig::runtime::ShutdownLatch::install();
+  ccsig::runtime::EventLog events("ccsigd", stderr, !quiet);
+  cfg.events = &events;
+  ccsig::service::ClassificationService service(std::move(cfg));
+  return service.run();
+}
