@@ -20,6 +20,7 @@
 #include "features/extractor.h"
 #include "obs/metrics.h"
 #include "pcap/headers.h"
+#include "service/latency.h"
 #include "service/verdict_log.h"
 #include "sim/network.h"
 #include "tcp/tcp_sink.h"
@@ -368,6 +369,38 @@ void BM_VerdictLogAppend(benchmark::State& state) {
   std::filesystem::remove(path);
 }
 BENCHMARK(BM_VerdictLogAppend);
+
+// ccsigd's per-verdict latency instrumentation: the ingest stamp/anchor
+// plus on_verdict recording into both fixed-bucket SLO histograms (two
+// relaxed RMWs). Runs on the emission hot path, so it must be
+// allocation-free once the thread's metrics shard exists — a warm-up
+// record creates the shard; `allocs_per_verdict` is asserted == 0 by the
+// ctest smoke test.
+void BM_VerdictLatencyPath(benchmark::State& state) {
+  service::LatencyTracker tracker;
+  tracker.init();
+  tracker.on_ingest(1'000'000, 0);
+  tracker.on_verdict(2'000'000, 1'000'000, 0);  // warm-up: thread shard
+  std::uint64_t allocs = 0;
+  std::uint64_t verdicts = 0;
+  std::int64_t now = 2'000'000;
+  for (auto _ : state) {
+    const AllocProbe probe;
+    for (int i = 0; i < 1000; ++i) {
+      now += 50'000;  // ~50us between verdicts, latencies spread buckets
+      tracker.on_ingest(now - 40'000, now - 90'000);
+      tracker.on_verdict(now, now - 40'000, now - 90'000);
+    }
+    allocs += probe.count();
+    verdicts += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.counters["allocs_per_verdict"] =
+      static_cast<double>(allocs) / static_cast<double>(verdicts);
+  state.counters["latency_recorded"] =
+      static_cast<double>(tracker.recorded());
+}
+BENCHMARK(BM_VerdictLatencyPath);
 
 }  // namespace
 

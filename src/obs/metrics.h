@@ -152,9 +152,23 @@ struct MetricsSnapshot {
   /// Stable JSON rendering (instruments sorted by name): counters and
   /// gauges as name->value maps, histograms with bounds, buckets, count,
   /// sum, mean and the p50/p90/p99 the quantile math derives.
+  ///
+  /// `count` is emitted straight from the uint64 arithmetic and `sum` is
+  /// emitted as an integer whenever its value is exactly integral, so a
+  /// long-running daemon's totals never lose precision to double
+  /// formatting past 2^53.
   std::string to_json() const {
     std::ostringstream out;
     out.precision(17);
+    const auto exact = [&out](double v) -> std::ostringstream& {
+      if (std::isfinite(v) && v == std::floor(v) &&
+          std::fabs(v) < 9.2e18) {
+        out << static_cast<std::int64_t>(v);
+      } else {
+        out << v;
+      }
+      return out;
+    };
     out << "{\"counters\":{";
     for (std::size_t i = 0; i < counters.size(); ++i) {
       if (i) out << ',';
@@ -180,10 +194,10 @@ struct MetricsSnapshot {
         if (k) out << ',';
         out << h.buckets[k];
       }
-      out << "],\"count\":" << h.count() << ",\"sum\":" << h.sum
-          << ",\"mean\":" << h.mean() << ",\"p50\":" << h.quantile(0.5)
-          << ",\"p90\":" << h.quantile(0.9) << ",\"p99\":" << h.quantile(0.99)
-          << '}';
+      out << "],\"count\":" << h.count() << ",\"sum\":";
+      exact(h.sum) << ",\"mean\":" << h.mean()
+          << ",\"p50\":" << h.quantile(0.5) << ",\"p90\":" << h.quantile(0.9)
+          << ",\"p99\":" << h.quantile(0.99) << '}';
     }
     out << "}}";
     return out.str();

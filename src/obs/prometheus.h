@@ -1,0 +1,98 @@
+// ccsig::obs — Prometheus text exposition (format version 0.0.4) of a
+// MetricsSnapshot.
+//
+// Mapping:
+//   counter  "stream.records_total"  -> ccsig_stream_records_total (counter)
+//   gauge    "service.pressure"      -> ccsig_service_pressure (gauge)
+//   histogram "service.latency_ms"   -> ccsig_service_latency_ms_bucket{le=...}
+//                                       (+Inf last), _sum, _count (histogram)
+//
+// Names are sanitized to the Prometheus charset [a-zA-Z0-9_:] ('.', '-'
+// and anything else become '_') and prefixed "ccsig_". Histogram buckets
+// are emitted *cumulatively* — each le bucket includes everything below
+// it, ending at le="+Inf" == _count — exactly what the exposition format
+// requires and what tools/check_metrics.py validates. _count and integral
+// _sum values are printed as integers so long-daemon counts never pass
+// through a double.
+//
+// Like window.h this header works identically under CCSIG_OBS_OFF: an
+// OBS_OFF snapshot is empty and the exposition is the empty string, which
+// is itself a valid (contentless) scrape body.
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ccsig::obs {
+
+/// Sanitizes an instrument name into the Prometheus metric-name charset
+/// and prefixes the repo namespace.
+inline std::string prometheus_name(const std::string& name) {
+  std::string out = "ccsig_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+namespace detail {
+/// Prints a double the exposition way: integers without a fraction (and
+/// without a detour through double formatting when exact), everything
+/// else with enough digits to round-trip.
+inline void prometheus_value(std::ostringstream& out, double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.2e18) {
+    out << static_cast<std::int64_t>(v);
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+}  // namespace detail
+
+/// Renders `snap` as Prometheus text exposition v0.0.4. Every metric gets
+/// a `# TYPE` line before its first sample; samples follow the snapshot's
+/// name-sorted order, so output is stable across scrapes.
+inline std::string prometheus_text(const MetricsSnapshot& snap) {
+  std::ostringstream out;
+  for (const auto& c : snap.counters) {
+    const std::string n = prometheus_name(c.name);
+    out << "# TYPE " << n << " counter\n" << n << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string n = prometheus_name(g.name);
+    out << "# TYPE " << n << " gauge\n" << n << ' ';
+    detail::prometheus_value(out, g.value);
+    out << '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string n = prometheus_name(h.name);
+    out << "# TYPE " << n << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      cum += h.buckets[b];
+      out << n << "_bucket{le=\"";
+      if (b < h.bounds.size()) {
+        detail::prometheus_value(out, h.bounds[b]);
+      } else {
+        out << "+Inf";
+      }
+      out << "\"} " << cum << '\n';
+    }
+    out << n << "_sum ";
+    detail::prometheus_value(out, h.sum);
+    out << '\n' << n << "_count " << h.count() << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ccsig::obs

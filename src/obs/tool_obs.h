@@ -1,8 +1,9 @@
 // ccsig::obs — shared command-line wiring for the observability side
 // files every tool exposes:
 //
-//   --metrics-out FILE   final MetricsRegistry snapshot as JSON
-//   --trace-out FILE     Chrome trace-event JSON (chrome://tracing, Perfetto)
+//   --metrics-out FILE    final MetricsRegistry snapshot as JSON
+//   --metrics-prom FILE   the same snapshot as Prometheus text exposition
+//   --trace-out FILE      Chrome trace-event JSON (chrome://tracing, Perfetto)
 //
 // ToolObs is constructed once in main() after flag parsing. When a trace
 // path was given it installs a process-global TraceWriter so every
@@ -17,6 +18,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "runtime/atomic_file.h"
 
@@ -25,8 +27,9 @@ namespace ccsig::obs {
 class ToolObs {
  public:
   ToolObs(std::string metrics_out, std::string trace_out,
-          std::string process_name)
+          std::string process_name, std::string metrics_prom = {})
       : metrics_out_(std::move(metrics_out)),
+        metrics_prom_(std::move(metrics_prom)),
         trace_out_(std::move(trace_out)),
         process_name_(std::move(process_name)) {
     if (!trace_out_.empty()) {
@@ -57,14 +60,20 @@ class ToolObs {
       runtime::write_file_atomic(trace_out_,
                                  writer_->to_json(process_name_) + "\n");
     }
-    if (!metrics_out_.empty()) {
-      runtime::write_file_atomic(
-          metrics_out_, MetricsRegistry::global().snapshot().to_json() + "\n");
+    if (!metrics_out_.empty() || !metrics_prom_.empty()) {
+      const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+      if (!metrics_out_.empty()) {
+        runtime::write_file_atomic(metrics_out_, snap.to_json() + "\n");
+      }
+      if (!metrics_prom_.empty()) {
+        runtime::write_file_atomic(metrics_prom_, prometheus_text(snap));
+      }
     }
   }
 
  private:
   std::string metrics_out_;
+  std::string metrics_prom_;
   std::string trace_out_;
   std::string process_name_;
   std::unique_ptr<TraceWriter> writer_;

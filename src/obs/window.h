@@ -1,0 +1,332 @@
+// ccsig::obs — windowed metric aggregation for live introspection.
+//
+// MetricsRegistry snapshots are cumulative since process start, which is
+// the right shape for a whole-run dump but useless for "how fast are
+// verdicts flowing *right now*". WindowAggregator turns periodic
+// snapshots into per-window views: the caller ticks it on a fixed cadence
+// with (now, snapshot) pairs, each tick stores the *delta* against the
+// previous snapshot in a ring slot, and queries sum the ring — so rates
+// and histogram quantiles cover only the last `slots` ticks, not the
+// process lifetime.
+//
+// Clock injection: the aggregator never reads a clock. `now_ns` is passed
+// into tick() by the caller (the service uses its injected clock; tests
+// use a fake one), so the window math is a pure function of the tick
+// sequence and byte-deterministic under a fake clock.
+//
+// Allocation contract: the ring and the per-slot delta arrays are sized
+// by the *instrument layout* (the set of counter/histogram names in the
+// snapshot). The first tick — and any later tick whose snapshot carries a
+// different instrument set — performs a (re)setup that allocates; every
+// tick over a stable layout is allocation-free, as is rate()/delta()
+// lookup. Query helpers that build a detached HistogramSnapshot or JSON
+// allocate, but they run on the admin path, never the hot path.
+//
+// Counter-reset tolerance: a delta that would be negative (the source
+// counter restarted, e.g. after a registry reset) is treated as "counted
+// from zero": the delta is the new cumulative value. Rates dip instead of
+// exploding backwards.
+//
+// The header is deliberately independent of the CCSIG_OBS_OFF switch:
+// MetricsSnapshot exists in both modes, so the aggregator compiles — and
+// behaves identically — in an OBS_OFF tree (where every snapshot is
+// simply empty and every query reports zero).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ccsig::obs {
+
+struct WindowConfig {
+  /// Ring depth: the window covers the last `slots` tick intervals. The
+  /// wall-clock width of the window is slots x tick cadence, which the
+  /// *caller* controls (the aggregator only sees the timestamps).
+  std::size_t slots = 12;
+};
+
+class WindowAggregator {
+ public:
+  explicit WindowAggregator(WindowConfig cfg = {})
+      : nslots_(cfg.slots == 0 ? 1 : cfg.slots) {
+    // Size the ring for the initial (empty) layout up front: a snapshot
+    // with no instruments — the OBS_OFF shape — matches that layout, so
+    // rebuild_layout() would never run and ticking must still be safe.
+    ring_.assign(nslots_, Slot{});
+  }
+
+  /// Feeds one snapshot taken at `now_ns` (any monotone clock; the unit
+  /// is nanoseconds). The first tick establishes the baseline and covers
+  /// nothing; tick i > 0 stores the delta over (t_{i-1}, t_i]. Ticks with
+  /// now_ns <= the previous tick are ignored (a clock that did not
+  /// advance cannot define a rate).
+  void tick(std::int64_t now_ns, const MetricsSnapshot& snap) {
+    if (have_prev_ && now_ns <= prev_ns_) return;
+    if (!layout_matches(snap)) rebuild_layout(snap);
+    if (!have_prev_) {
+      capture_prev(snap, now_ns);
+      have_prev_ = true;
+      return;
+    }
+    Slot& slot = ring_[head_];
+    slot.t0 = prev_ns_;
+    slot.t1 = now_ns;
+    slot.used = true;
+    for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+      const std::uint64_t cur = snap.counters[i].value;
+      slot.counter_delta[i] = delta_u64(prev_counters_[i], cur);
+      prev_counters_[i] = cur;
+    }
+    for (std::size_t b = 0; b < prev_hist_buckets_.size(); ++b) {
+      const std::uint64_t cur = hist_bucket_value(snap, b);
+      slot.hist_bucket_delta[b] = delta_u64(prev_hist_buckets_[b], cur);
+      prev_hist_buckets_[b] = cur;
+    }
+    for (std::size_t h = 0; h < hist_names_.size(); ++h) {
+      const double cur = snap.histograms[h].sum;
+      slot.hist_sum_delta[h] = cur >= prev_hist_sums_[h]
+                                   ? cur - prev_hist_sums_[h]
+                                   : cur;  // reset: counted from zero
+      prev_hist_sums_[h] = cur;
+    }
+    head_ = (head_ + 1) % nslots_;
+    prev_ns_ = now_ns;
+    latest_gauges_ = snap.gauges;  // last-write-wins, not windowed
+  }
+
+  /// Seconds the ring currently covers: newest tick minus the oldest
+  /// retained slot's start. 0 until two ticks have happened.
+  double covered_seconds() const {
+    std::int64_t t0 = 0, t1 = 0;
+    if (!span(t0, t1)) return 0.0;
+    return static_cast<double>(t1 - t0) / 1e9;
+  }
+
+  /// Total delta of `counter` over the window (0 for unknown names).
+  std::uint64_t delta(std::string_view counter) const {
+    const std::size_t i = index_of(counter_names_, counter);
+    if (i == npos) return 0;
+    std::uint64_t total = 0;
+    for (const Slot& s : ring_) {
+      if (s.used) total += s.counter_delta[i];
+    }
+    return total;
+  }
+
+  /// Per-second rate of `counter` over the covered span (0 when the
+  /// window covers nothing yet).
+  double rate(std::string_view counter) const {
+    const double secs = covered_seconds();
+    if (secs <= 0) return 0.0;
+    return static_cast<double>(delta(counter)) / secs;
+  }
+
+  /// Detached windowed view of `histogram`: bucket counts and sum are the
+  /// deltas accumulated over the ring, so quantile()/mean() answer "over
+  /// the last window", not "since boot". Empty-name snapshot for unknown
+  /// names. Allocates (query path).
+  HistogramSnapshot windowed(std::string_view histogram) const {
+    HistogramSnapshot out;
+    const std::size_t h = index_of(hist_names_, histogram);
+    if (h == npos) return out;
+    out.name = hist_names_[h];
+    out.bounds = hist_bounds_[h];
+    out.buckets.assign(out.bounds.size() + 1, 0);
+    for (const Slot& s : ring_) {
+      if (!s.used) continue;
+      for (std::size_t b = 0; b < out.buckets.size(); ++b) {
+        out.buckets[b] += s.hist_bucket_delta[hist_offset_[h] + b];
+      }
+      out.sum += s.hist_sum_delta[h];
+    }
+    return out;
+  }
+
+  const std::vector<std::string>& counter_names() const {
+    return counter_names_;
+  }
+  const std::vector<std::string>& histogram_names() const {
+    return hist_names_;
+  }
+  const std::vector<MetricsSnapshot::GaugeValue>& latest_gauges() const {
+    return latest_gauges_;
+  }
+  std::size_t slots() const { return nslots_; }
+  std::uint64_t ticks() const { return ticks_; }
+
+  /// The varz body: one JSON object with the covered span, per-counter
+  /// windowed rates and deltas, windowed histogram summaries, and the
+  /// latest gauge values. Stable key order (instruments arrive sorted
+  /// from MetricsSnapshot).
+  std::string to_json() const {
+    std::ostringstream out;
+    out.precision(17);
+    out << "{\"covered_s\":" << covered_seconds()
+        << ",\"window_slots\":" << nslots_ << ",\"rates\":{";
+    for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+      if (i) out << ',';
+      out << '"' << json_escape(counter_names_[i]) << "\":" << fmt_rate(
+          rate(counter_names_[i]));
+    }
+    out << "},\"deltas\":{";
+    for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+      if (i) out << ',';
+      out << '"' << json_escape(counter_names_[i]) << "\":"
+          << delta(counter_names_[i]);
+    }
+    out << "},\"histograms\":{";
+    for (std::size_t h = 0; h < hist_names_.size(); ++h) {
+      const HistogramSnapshot w = windowed(hist_names_[h]);
+      if (h) out << ',';
+      out << '"' << json_escape(hist_names_[h]) << "\":{\"count\":"
+          << w.count() << ",\"sum\":" << w.sum << ",\"mean\":" << w.mean()
+          << ",\"p50\":" << w.quantile(0.5) << ",\"p90\":" << w.quantile(0.9)
+          << ",\"p99\":" << w.quantile(0.99) << '}';
+    }
+    out << "},\"gauges\":{";
+    for (std::size_t g = 0; g < latest_gauges_.size(); ++g) {
+      if (g) out << ',';
+      out << '"' << json_escape(latest_gauges_[g].name) << "\":"
+          << latest_gauges_[g].value;
+    }
+    out << "}}";
+    return out.str();
+  }
+
+ private:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  struct Slot {
+    std::int64_t t0 = 0;
+    std::int64_t t1 = 0;
+    bool used = false;
+    std::vector<std::uint64_t> counter_delta;
+    std::vector<std::uint64_t> hist_bucket_delta;  // concatenated per hist
+    std::vector<double> hist_sum_delta;
+  };
+
+  static std::uint64_t delta_u64(std::uint64_t prev, std::uint64_t cur) {
+    return cur >= prev ? cur - prev : cur;  // reset: counted from zero
+  }
+
+  static double fmt_rate(double r) { return r; }
+
+  static std::size_t index_of(const std::vector<std::string>& names,
+                              std::string_view name) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return i;
+    }
+    return npos;
+  }
+
+  /// [oldest retained t0, newest t1]; false until something is covered.
+  bool span(std::int64_t& t0, std::int64_t& t1) const {
+    bool any = false;
+    for (const Slot& s : ring_) {
+      if (!s.used) continue;
+      if (!any || s.t0 < t0) t0 = s.t0;
+      if (!any || s.t1 > t1) t1 = s.t1;
+      any = true;
+    }
+    return any;
+  }
+
+  std::uint64_t hist_bucket_value(const MetricsSnapshot& snap,
+                                  std::size_t flat) const {
+    // Invert the flattened index. Linear over histograms — there are few.
+    for (std::size_t h = 0; h < hist_names_.size(); ++h) {
+      const std::size_t n = hist_bounds_[h].size() + 1;
+      if (flat < hist_offset_[h] + n) {
+        return snap.histograms[h].buckets[flat - hist_offset_[h]];
+      }
+    }
+    return 0;
+  }
+
+  bool layout_matches(const MetricsSnapshot& snap) const {
+    if (snap.counters.size() != counter_names_.size() ||
+        snap.histograms.size() != hist_names_.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+      if (snap.counters[i].name != counter_names_[i]) return false;
+    }
+    for (std::size_t h = 0; h < hist_names_.size(); ++h) {
+      if (snap.histograms[h].name != hist_names_[h] ||
+          snap.histograms[h].bounds != hist_bounds_[h]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// (Re)derives the instrument layout and resizes every slot. The ring's
+  /// accumulated deltas are discarded — a changed instrument set makes
+  /// old deltas incomparable — and the next tick re-baselines.
+  void rebuild_layout(const MetricsSnapshot& snap) {
+    counter_names_.clear();
+    for (const auto& c : snap.counters) counter_names_.push_back(c.name);
+    hist_names_.clear();
+    hist_bounds_.clear();
+    hist_offset_.clear();
+    std::size_t flat = 0;
+    for (const auto& h : snap.histograms) {
+      hist_names_.push_back(h.name);
+      hist_bounds_.push_back(h.bounds);
+      hist_offset_.push_back(flat);
+      flat += h.bounds.size() + 1;
+    }
+    ring_.assign(nslots_, Slot{});
+    for (Slot& s : ring_) {
+      s.counter_delta.assign(counter_names_.size(), 0);
+      s.hist_bucket_delta.assign(flat, 0);
+      s.hist_sum_delta.assign(hist_names_.size(), 0.0);
+    }
+    head_ = 0;
+    prev_counters_.assign(counter_names_.size(), 0);
+    prev_hist_buckets_.assign(flat, 0);
+    prev_hist_sums_.assign(hist_names_.size(), 0.0);
+    have_prev_ = false;
+  }
+
+  void capture_prev(const MetricsSnapshot& snap, std::int64_t now_ns) {
+    for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+      prev_counters_[i] = snap.counters[i].value;
+    }
+    for (std::size_t h = 0; h < hist_names_.size(); ++h) {
+      const auto& buckets = snap.histograms[h].buckets;
+      for (std::size_t b = 0; b < buckets.size(); ++b) {
+        prev_hist_buckets_[hist_offset_[h] + b] = buckets[b];
+      }
+      prev_hist_sums_[h] = snap.histograms[h].sum;
+    }
+    latest_gauges_ = snap.gauges;
+    prev_ns_ = now_ns;
+    ++ticks_;
+  }
+
+  std::size_t nslots_;
+  std::vector<Slot> ring_;
+  std::size_t head_ = 0;
+  bool have_prev_ = false;
+  std::int64_t prev_ns_ = 0;
+  std::uint64_t ticks_ = 0;
+
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> hist_names_;
+  std::vector<std::vector<double>> hist_bounds_;
+  std::vector<std::size_t> hist_offset_;
+
+  std::vector<std::uint64_t> prev_counters_;
+  std::vector<std::uint64_t> prev_hist_buckets_;
+  std::vector<double> prev_hist_sums_;
+  std::vector<MetricsSnapshot::GaugeValue> latest_gauges_;
+};
+
+}  // namespace ccsig::obs

@@ -1,0 +1,101 @@
+// End-to-end verdict-latency tracking for ccsigd.
+//
+// Two latencies per emitted verdict, both measured at emission time on
+// the control thread against the service's injected clock:
+//
+//   ingest->verdict   now - the service ingest stamp of the record that
+//                     triggered the finalization (time spent crossing the
+//                     engine: shard inbox, flow-table processing, the
+//                     ready queue, and the drain).
+//   capture->verdict  now - the trigger record's *capture* timestamp,
+//                     mapped onto the service clock through an epoch
+//                     offset established at the first stamped ingest
+//                     (capture clocks are arbitrary epochs; the offset
+//                     anchors them). Adds the capture-to-ingest lag —
+//                     kernel/file buffering, tail polling — on top.
+//
+// Both land in fixed-bucket obs histograms (service.latency.* in
+// milliseconds), so recording is one relaxed RMW: zero allocations on
+// the emission path, a property bench_micro_components pins with
+// BM_VerdictLatencyPath. Emissions without a trigger stamp (end-of-
+// capture and force-evict finalizations, pre-PR session replays) are
+// counted separately instead of polluting the distributions.
+//
+// Under CCSIG_OBS_OFF the histograms are no-ops and the tracker keeps
+// only its plain untracked/recorded tallies (used by tests).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/time.h"
+
+namespace ccsig::service {
+
+/// Bucket upper bounds (milliseconds) shared by both latency histograms:
+/// sub-millisecond engine transits up to multi-second tail-poll lags.
+inline const std::vector<double>& latency_bounds_ms() {
+  static const std::vector<double> bounds{
+      0.1,  0.25, 0.5,  1.0,   2.5,   5.0,    10.0,   25.0,
+      50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+  return bounds;
+}
+
+class LatencyTracker {
+ public:
+  /// Registers the histograms in the global registry. Call once before
+  /// the first record; recording never allocates afterwards.
+  void init() {
+    auto& reg = obs::MetricsRegistry::global();
+    ingest_h_ = reg.histogram("service.latency.ingest_to_verdict_ms",
+                              latency_bounds_ms());
+    capture_h_ = reg.histogram("service.latency.capture_to_verdict_ms",
+                               latency_bounds_ms());
+  }
+
+  /// Anchors the capture clock: the first stamped record defines
+  /// capture-epoch + offset == service clock. Idempotent after the first
+  /// call; O(1), no allocation.
+  void on_ingest(std::int64_t now_ns, sim::Time capture_time) {
+    if (!have_epoch_) {
+      epoch_offset_ns_ = now_ns - capture_time;
+      have_epoch_ = true;
+    }
+  }
+
+  /// Records both latencies for one emitted verdict. `ingest_ns` == 0
+  /// means the emission had no stamped trigger (end-of-capture tail,
+  /// force-evict): tallied as untracked, nothing recorded.
+  void on_verdict(std::int64_t now_ns, std::int64_t ingest_ns,
+                  sim::Time trigger_time) {
+    if (ingest_ns <= 0) {
+      ++untracked_;
+      return;
+    }
+    ++recorded_;
+    ingest_h_.record(clamp_ms(now_ns - ingest_ns));
+    if (have_epoch_) {
+      capture_h_.record(
+          clamp_ms(now_ns - (epoch_offset_ns_ + trigger_time)));
+    }
+  }
+
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t untracked() const { return untracked_; }
+  bool anchored() const { return have_epoch_; }
+
+ private:
+  static double clamp_ms(std::int64_t ns) {
+    return static_cast<double>(std::max<std::int64_t>(0, ns)) / 1e6;
+  }
+
+  obs::Histogram ingest_h_, capture_h_;
+  std::int64_t epoch_offset_ns_ = 0;
+  bool have_epoch_ = false;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t untracked_ = 0;
+};
+
+}  // namespace ccsig::service

@@ -6,12 +6,14 @@
 #include <thread>
 #include <utility>
 
+#include "obs/prometheus.h"
 #include "runtime/shutdown.h"
 
 namespace ccsig::service {
 
 ClassificationService::ClassificationService(ServiceConfig cfg)
-    : cfg_(std::move(cfg)) {
+    : cfg_(std::move(cfg)),
+      window_(obs::WindowConfig{cfg_.window_slots}) {
   auto& reg = obs::MetricsRegistry::global();
   records_ctr_ = reg.counter("service.records_ingested");
   verdicts_ctr_ = reg.counter("service.verdicts_emitted");
@@ -21,8 +23,21 @@ ClassificationService::ClassificationService(ServiceConfig cfg)
   quarantined_ctr_ = reg.counter("service.sources_quarantined");
   reloads_ctr_ = reg.counter("service.model_reloads");
   reload_rejected_ctr_ = reg.counter("service.model_reloads_rejected");
+  admin_queries_ctr_ = reg.counter("service.admin_queries");
+  sub_dropped_ctr_ = reg.counter("service.subscriber_lines_dropped");
+  sub_disc_ctr_ = reg.counter("service.subscriber_disconnects");
   pressure_g_ = reg.gauge("service.pressure");
   subscribers_g_ = reg.gauge("service.subscribers");
+  resident_g_ = reg.gauge("service.flows_resident");
+  uptime_g_ = reg.gauge("service.uptime_s");
+  latency_.init();
+}
+
+std::int64_t ClassificationService::clock_ns() const {
+  if (cfg_.clock) return cfg_.clock();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 bool ClassificationService::stopping() const {
@@ -51,6 +66,7 @@ int ClassificationService::setup() {
     // previous incarnation already made durable — the replay skips exactly
     // that many emissions. Over a fresh or clean log it is a no-op.
     resume_skip_ = VerdictLog::recover(cfg_.verdict_log_path);
+    recovered_ = resume_skip_;
     log_ = std::make_unique<VerdictLog>(cfg_.verdict_log_path);
     if (!cfg_.replay_session_path.empty()) {
       replay_ = std::make_unique<SessionReader>(cfg_.replay_session_path);
@@ -60,6 +76,11 @@ int ClassificationService::setup() {
     }
     if (!cfg_.socket_path.empty()) {
       server_ = std::make_unique<LineServer>(cfg_.socket_path);
+    }
+    if (!cfg_.admin_socket_path.empty()) {
+      admin_ = std::make_unique<LineServer>(
+          cfg_.admin_socket_path,
+          [this](std::string_view q) { return admin_response(q); });
     }
   } catch (const std::exception& e) {
     if (cfg_.events) cfg_.events->log("startup_failed", {{"error", e.what()}});
@@ -91,6 +112,9 @@ int ClassificationService::run() {
 
   start_ = std::chrono::steady_clock::now();
   last_metrics_ = start_;
+  engine_ = &engine;
+  start_ns_ = clock_ns();
+  last_window_ns_ = 0;
   if (cfg_.events) {
     cfg_.events->log("started",
                      {{"mode", replay_ ? "replay" : "live"},
@@ -106,11 +130,13 @@ int ClassificationService::run() {
     }
     drain(engine);
   } catch (const std::exception& e) {
+    engine_ = nullptr;
     if (cfg_.events) {
       cfg_.events->log("internal_error", {{"error", e.what()}});
     }
     return kExitInternal;
   }
+  engine_ = nullptr;
   return kExitOk;
 }
 
@@ -126,6 +152,10 @@ void ClassificationService::run_live(stream::StreamEngine& engine) {
       do_reload();
     }
     if (server_) server_->accept_pending();
+    if (admin_) {
+      admin_->accept_pending();
+      admin_->serve_pending();
+    }
 
     bool any = false;
     for (auto& src : sources_) {
@@ -168,6 +198,14 @@ void ClassificationService::run_live(stream::StreamEngine& engine) {
       if (recorder_) {
         for (const auto& r : batch) recorder_->record(r.w);
       }
+      // Stamp the batch with the service clock on its way into the
+      // engine: the stamp rides each RoutedRecord through the shard and
+      // comes back on the emission it triggers, where emit() turns it
+      // into the ingest->verdict latency histogram. The first stamp also
+      // anchors the capture clock's epoch.
+      const std::int64_t ingest_now = clock_ns();
+      latency_.on_ingest(ingest_now, batch.front().w.time);
+      for (auto& r : batch) r.ingest_ns = ingest_now;
       engine.push_batch(batch);
       stats_.records_ingested += got;
       records_ctr_.add(got);
@@ -178,6 +216,7 @@ void ClassificationService::run_live(stream::StreamEngine& engine) {
     engine.drain_ready(ready);
     emit(ready);
     maybe_metrics_line(engine);
+    maybe_window_tick(engine);
 
     if (cfg_.oneshot && !any) {
       bool all_terminal = true;
@@ -203,6 +242,9 @@ void ClassificationService::run_replay(stream::StreamEngine& engine) {
 
   auto flush_batch = [&] {
     if (batch.empty()) return;
+    const std::int64_t ingest_now = clock_ns();
+    latency_.on_ingest(ingest_now, batch.front().w.time);
+    for (auto& r : batch) r.ingest_ns = ingest_now;
     engine.push_batch(batch);
     stats_.records_ingested += batch.size();
     records_ctr_.add(batch.size());
@@ -213,6 +255,10 @@ void ClassificationService::run_replay(stream::StreamEngine& engine) {
   while (!done) {
     if (stopping()) break;
     if (server_) server_->accept_pending();
+    if (admin_) {
+      admin_->accept_pending();
+      admin_->serve_pending();
+    }
 
     batch.clear();
     while (batch.size() < cfg_.poll_records) {
@@ -239,6 +285,7 @@ void ClassificationService::run_replay(stream::StreamEngine& engine) {
     engine.drain_ready(ready);
     emit(ready);
     maybe_metrics_line(engine);
+    maybe_window_tick(engine);
 
     if (cfg_.replay_pace_us > 0) {
       std::this_thread::sleep_for(
@@ -249,6 +296,8 @@ void ClassificationService::run_replay(stream::StreamEngine& engine) {
 
 void ClassificationService::emit(
     const std::vector<stream::ReadyReport>& ready) {
+  if (ready.empty()) return;
+  const std::int64_t now_ns = clock_ns();
   for (const auto& rr : ready) {
     FlowReport r = rr.report;
     if (r.features) r.classification = classifier_.classify(*r.features);
@@ -259,6 +308,9 @@ void ClassificationService::emit(
       ++stats_.verdicts_skipped_resume;
       continue;
     }
+    // Latency is recorded only for verdicts this incarnation actually
+    // emits — resume skips replay past work and would poison the SLO.
+    latency_.on_verdict(now_ns, rr.trigger_ingest_ns, rr.trigger_time);
     log_->append(line);
     ++stats_.verdicts_emitted;
     verdicts_ctr_.inc();
@@ -272,6 +324,13 @@ void ClassificationService::drain(stream::StreamEngine& engine) {
   emit(ready);
   if (recorder_) recorder_->flush();
   log_->sync();
+  sync_subscriber_counters();
+  // One last serve so a query raced against shutdown still gets its
+  // answer before the sockets close.
+  if (admin_) {
+    admin_->accept_pending();
+    admin_->serve_pending();
+  }
   if (cfg_.events) {
     cfg_.events->log(
         "drained",
@@ -340,6 +399,7 @@ void ClassificationService::maybe_metrics_line(
   pressure_g_.set(p);
   subscribers_g_.set(
       static_cast<double>(server_ ? server_->subscribers() : 0));
+  sync_subscriber_counters();
   char pbuf[32];
   std::snprintf(pbuf, sizeof(pbuf), "%.3f", p);
 
@@ -357,6 +417,8 @@ void ClassificationService::maybe_metrics_line(
   field("service.model_reloads_rejected", stats_.model_reloads_rejected);
   line.append(" service.pressure=").append(pbuf);
   field("service.subscribers", server_ ? server_->subscribers() : 0);
+  field("service.subscriber_lines_dropped", stats_.subscriber_lines_dropped);
+  field("service.subscriber_disconnects", stats_.subscriber_disconnects);
   // The engine's live stream.* counters (empty under CCSIG_OBS_OFF; the
   // service.* fields above come from plain tallies and always appear).
   const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
@@ -372,6 +434,136 @@ void ClassificationService::maybe_metrics_line(
                       {"verdicts", std::to_string(stats_.verdicts_emitted)},
                       {"pressure", pbuf}});
   }
+}
+
+void ClassificationService::sync_subscriber_counters() {
+  if (!server_) return;
+  const std::uint64_t dropped = server_->lines_dropped();
+  const std::uint64_t disc = server_->disconnects();
+  if (dropped > stats_.subscriber_lines_dropped) {
+    sub_dropped_ctr_.add(dropped - stats_.subscriber_lines_dropped);
+    stats_.subscriber_lines_dropped = dropped;
+  }
+  if (disc > stats_.subscriber_disconnects) {
+    sub_disc_ctr_.add(disc - stats_.subscriber_disconnects);
+    stats_.subscriber_disconnects = disc;
+  }
+}
+
+void ClassificationService::maybe_window_tick(
+    const stream::StreamEngine& engine) {
+  if (!admin_ || cfg_.window_tick_ms <= 0) return;
+  const std::int64_t now = clock_ns();
+  if (last_window_ns_ != 0 &&
+      now - last_window_ns_ <
+          static_cast<std::int64_t>(cfg_.window_tick_ms) * 1000000) {
+    return;
+  }
+  last_window_ns_ = now;
+  // Refresh the gauges the snapshot will carry into the window (varz
+  // reports the latest gauge values alongside the windowed rates).
+  sync_subscriber_counters();
+  pressure_g_.set(pressure(engine));
+  subscribers_g_.set(
+      static_cast<double>(server_ ? server_->subscribers() : 0));
+  resident_g_.set(static_cast<double>(engine.resident_flows()));
+  uptime_g_.set(static_cast<double>(now - start_ns_) / 1e9);
+  window_.tick(now, obs::MetricsRegistry::global().snapshot());
+  ++stats_.window_ticks;
+}
+
+std::string ClassificationService::admin_response(std::string_view query) {
+  ++stats_.admin_queries;
+  admin_queries_ctr_.inc();
+  if (query == "healthz") return health_line();
+  if (query == "statusz") return statusz_text();
+  if (query == "varz") return window_.to_json();
+  if (query == "metricsz") {
+    return obs::prometheus_text(obs::MetricsRegistry::global().snapshot());
+  }
+  return std::string("ERR unknown query: ").append(query);
+}
+
+std::string ClassificationService::health_line() const {
+  // Most-acute state wins: active shedding, then degraded sources.
+  if (last_action_ != ShedAction::kNone) {
+    return std::string("shedding reason=shed_rung rung=") +
+           to_string(last_action_);
+  }
+  std::size_t quarantined = 0, backoff = 0;
+  for (const auto& src : sources_) {
+    if (src->state() == SourceState::kQuarantined) {
+      ++quarantined;
+    } else if (src->state() == SourceState::kBackoff) {
+      ++backoff;
+    }
+  }
+  if (quarantined > 0) {
+    return "degraded reason=sources_quarantined count=" +
+           std::to_string(quarantined);
+  }
+  if (backoff > 0) {
+    return "degraded reason=sources_backoff count=" +
+           std::to_string(backoff);
+  }
+  return "ok";
+}
+
+std::string ClassificationService::statusz_text() const {
+  std::string out;
+  const auto line = [&out](const std::string& s) {
+    out += s;
+    out += '\n';
+  };
+  const auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+  char fbuf[32];
+  const std::int64_t now = clock_ns();
+  std::snprintf(fbuf, sizeof(fbuf), "%.3f",
+                static_cast<double>(now - start_ns_) / 1e9);
+  line(std::string("service mode=") + (replay_ ? "replay" : "live") +
+       " uptime_s=" + fbuf);
+  line("health " + health_line());
+  std::snprintf(fbuf, sizeof(fbuf), "%.3f",
+                engine_ ? pressure(*engine_) : 0.0);
+  line(std::string("shed rung=") + to_string(last_action_) + " pressure=" +
+       fbuf + " dropped_records=" + u64(stats_.shed_dropped_records) +
+       " forced_evicts=" + u64(stats_.shed_forced_evicts) +
+       " source_pauses=" + u64(stats_.shed_source_pauses));
+  line("engine shards=" +
+       u64(engine_ ? engine_->shard_count() : 0) + " flows_resident=" +
+       u64(engine_ ? engine_->resident_flows() : 0) +
+       " records_ingested=" + u64(stats_.records_ingested));
+  line("log path=" + cfg_.verdict_log_path + " position=" +
+       u64(recovered_ + (log_ ? log_->appended() : 0)) + " recovered=" +
+       u64(recovered_) + " resume_skip_remaining=" + u64(resume_skip_));
+  line("verdicts emitted=" + u64(stats_.verdicts_emitted) +
+       " skipped_resume=" + u64(stats_.verdicts_skipped_resume) +
+       " latency_recorded=" + u64(latency_.recorded()) +
+       " latency_untracked=" + u64(latency_.untracked()));
+  line("window ticks=" + u64(stats_.window_ticks) + " slots=" +
+       u64(window_.slots()));
+  line("admin queries=" + u64(stats_.admin_queries));
+  line("sources count=" + u64(sources_.size()));
+  for (const auto& src : sources_) {
+    line("source name=" + src->name() + " state=" +
+         to_string(src->state()) + " attempts=" +
+         std::to_string(src->attempts()) + " delivered=" +
+         u64(src->records_delivered()));
+  }
+  line("subscribers count=" + u64(server_ ? server_->subscribers() : 0) +
+       " lines_dropped=" +
+       u64(server_ ? server_->lines_dropped()
+                   : stats_.subscriber_lines_dropped) +
+       " disconnects=" +
+       u64(server_ ? server_->disconnects()
+                   : stats_.subscriber_disconnects));
+  if (server_) {
+    for (const auto& sub : server_->subscriber_stats()) {
+      line("subscriber id=" + u64(sub.id) + " lines_dropped=" +
+           u64(sub.lines_dropped));
+    }
+  }
+  return out;
 }
 
 }  // namespace ccsig::service

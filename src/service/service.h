@@ -29,14 +29,17 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/analyzer.h"
 #include "core/classifier.h"
 #include "obs/metrics.h"
+#include "obs/window.h"
 #include "runtime/event_log.h"
 #include "runtime/fault_injection.h"
 #include "runtime/job_result.h"
+#include "service/latency.h"
 #include "service/line_server.h"
 #include "service/session.h"
 #include "service/shed.h"
@@ -66,6 +69,20 @@ struct ServiceConfig {
   std::string model_path;
   /// Optional Unix-domain socket for live verdict/metrics subscribers.
   std::string socket_path;
+  /// Optional second Unix-domain socket answering one-line admin queries:
+  /// healthz, statusz, varz, metricsz (see DESIGN.md §14). Empty disables.
+  std::string admin_socket_path;
+  /// Windowed-metrics tick cadence for the varz aggregator; <= 0 disables
+  /// ticking (varz then reports an empty window). Only ticked when the
+  /// admin socket is configured.
+  int window_tick_ms = 1000;
+  /// Ring depth: varz covers the last window_slots * window_tick_ms.
+  std::size_t window_slots = 12;
+  /// Service clock: nanoseconds on any monotone epoch. Drives uptime,
+  /// ingest stamps, the latency histograms, and window ticks — never
+  /// verdict content or order. Empty uses steady_clock; tests inject a
+  /// fake for deterministic windows.
+  std::function<std::int64_t()> clock;
   /// Record every pushed record / evict command for later replay.
   std::string record_session_path;
   /// Replay a recorded session instead of polling sources.
@@ -106,6 +123,12 @@ struct ServiceStats {
   std::uint64_t model_reloads = 0;
   std::uint64_t model_reloads_rejected = 0;
   std::uint64_t metrics_lines = 0;
+  std::uint64_t admin_queries = 0;
+  std::uint64_t window_ticks = 0;
+  /// Verdict/metrics lines lost to slow subscribers, and subscribers
+  /// reaped dead — totals across the broadcast socket's lifetime.
+  std::uint64_t subscriber_lines_dropped = 0;
+  std::uint64_t subscriber_disconnects = 0;
 };
 
 class ClassificationService {
@@ -139,16 +162,30 @@ class ClassificationService {
   void note_source_transitions();
   void maybe_metrics_line(const stream::StreamEngine& engine);
   bool stopping() const;
+  std::int64_t clock_ns() const;
+  /// Folds LineServer drop/disconnect totals into stats_ and the
+  /// service.* counters (delta-based, safe to call any time).
+  void sync_subscriber_counters();
+  /// Ticks the varz window on the configured cadence (admin mode only).
+  void maybe_window_tick(const stream::StreamEngine& engine);
+  // Admin query answering (control thread; engine_ valid while serving).
+  std::string admin_response(std::string_view query);
+  std::string health_line() const;
+  std::string statusz_text() const;
 
   ServiceConfig cfg_;
   CongestionClassifier classifier_;
   ServiceStats stats_;
   std::uint64_t resume_skip_ = 0;
+  /// Verdicts the recovered log already held at startup; the durable log
+  /// position is recovered_ + log_->appended().
+  std::uint64_t recovered_ = 0;
 
   std::unique_ptr<VerdictLog> log_;
   std::unique_ptr<SessionWriter> recorder_;
   std::unique_ptr<SessionReader> replay_;
   std::unique_ptr<LineServer> server_;
+  std::unique_ptr<LineServer> admin_;
   std::vector<std::unique_ptr<CaptureSource>> sources_;
   std::vector<SourceState> last_states_;
   std::size_t evict_rr_ = 0;  // round-robin shard for force-evicts
@@ -156,12 +193,23 @@ class ClassificationService {
   std::chrono::steady_clock::time_point start_{};
   std::chrono::steady_clock::time_point last_metrics_{};
 
+  // Introspection plane. engine_ aliases run()'s stack engine for the
+  // admin handlers; it is only dereferenced from the control thread while
+  // the run loops (which own both the engine and the admin socket) are
+  // serving.
+  LatencyTracker latency_;
+  obs::WindowAggregator window_;
+  stream::StreamEngine* engine_ = nullptr;
+  std::int64_t start_ns_ = 0;
+  std::int64_t last_window_ns_ = 0;
+
   std::atomic<bool> stop_{false};
   std::atomic<bool> reload_{false};
 
   obs::Counter records_ctr_, verdicts_ctr_, dropped_ctr_, evicts_ctr_,
       pauses_ctr_, quarantined_ctr_, reloads_ctr_, reload_rejected_ctr_;
-  obs::Gauge pressure_g_, subscribers_g_;
+  obs::Counter admin_queries_ctr_, sub_dropped_ctr_, sub_disc_ctr_;
+  obs::Gauge pressure_g_, subscribers_g_, resident_g_, uptime_g_;
 };
 
 }  // namespace ccsig::service

@@ -44,6 +44,12 @@ struct RoutedRecord {
   sim::FlowKey canonical;
   std::size_t hash = 0;
   std::uint64_t seq = 0;  // global arrival index, stamped by the engine
+  /// Wall-clock nanoseconds when the record entered the service (stamped
+  /// by the ingest loop; 0 = untracked). Pure observability freight: the
+  /// engine copies it into the emission that the record triggers so the
+  /// service can histogram ingest->verdict latency, and it never
+  /// influences routing, analysis, or emission order.
+  std::int64_t ingest_ns = 0;
   RoutedKind kind = RoutedKind::kRecord;
 };
 

@@ -83,11 +83,20 @@ struct StreamEngine::Shard {
   StreamStats tally;
   std::size_t peak = 0;
 
+  // Live flow-table occupancy, published by the owning worker (single
+  // writer) after every open/finalize so the control thread's statusz can
+  // read it without touching `flows`.
+  std::atomic<std::size_t> resident{0};
+
   // -- Ordered-drain state (cfg.ordered_drain only) ------------------------
   // Emission position of the record currently being processed; worker-owned
   // scratch, set by process_record before any finalize it triggers.
   std::uint64_t cur_seq = 0;
   std::uint32_t cur_emit = 0;
+  // Latency freight of the record currently being processed (see
+  // ReadyReport): its service ingest stamp and capture timestamp.
+  std::int64_t cur_ingest_ns = 0;
+  sim::Time cur_time = 0;
   // seq of the last record this shard's worker finished (release-published
   // after the batch's emissions are queued, so a reader that observes the
   // watermark also observes every emission at or below it).
@@ -243,6 +252,14 @@ std::size_t StreamEngine::push_force_evict(std::size_t shard) {
   return idx;
 }
 
+std::size_t StreamEngine::resident_flows() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Shard>& sp : shards_) {
+    total += sp->resident.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 double StreamEngine::pressure() const {
   if (workers_.empty()) return 0.0;
   std::size_t worst = 0;
@@ -265,6 +282,8 @@ void StreamEngine::push_batch(std::span<const RoutedRecord> batch) {
 void StreamEngine::process_record(Shard& s, const RoutedRecord& r) {
   s.cur_seq = r.seq;
   s.cur_emit = 0;
+  s.cur_ingest_ns = r.kind == RoutedKind::kRecord ? r.ingest_ns : 0;
+  s.cur_time = r.w.time;
   if (r.kind == RoutedKind::kEvictOldest) {
     // In-band shed command: force-finalize one resident flow at this exact
     // position in the shard's record stream (deterministic under replay).
@@ -304,6 +323,7 @@ void StreamEngine::process_record(Shard& s, const RoutedRecord& r) {
       ++s.tally.flows_opened;
       opened_ctr_.inc();
       s.peak = std::max(s.peak, s.flows.size());
+      s.resident.store(s.flows.size(), std::memory_order_relaxed);
     } else {
       s.lru.splice(s.lru.end(), s.lru, it->second.lru_it);
     }
@@ -350,6 +370,7 @@ void StreamEngine::finalize_flow(Shard& s, const sim::FlowKey& canonical,
     if (cfg_.ordered_drain && !eoc_phase_) {
       std::lock_guard<std::mutex> lk(s.ready_mu);
       s.ready.push_back(ReadyReport{s.cur_seq, s.cur_emit++, fin.start_time,
+                                    s.cur_ingest_ns, s.cur_time,
                                     std::move(report)});
     } else {
       s.done.push_back(Shard::Done{fin.start_time, std::move(report)});
@@ -357,6 +378,7 @@ void StreamEngine::finalize_flow(Shard& s, const sim::FlowKey& canonical,
   }
   s.lru.erase(it->second.lru_it);
   s.flows.erase(it);
+  s.resident.store(s.flows.size(), std::memory_order_relaxed);
   ++s.tally.flows_finalized;
   finalized_ctr_.inc();
   switch (reason) {
@@ -532,8 +554,8 @@ void StreamEngine::finish_ordered(std::vector<ReadyReport>& out) {
             });
   std::uint32_t emit = 0;
   for (Shard::Done& d : eoc) {
-    out.push_back(ReadyReport{seq_next_, emit++, d.start,
-                              std::move(d.report)});
+    out.push_back(ReadyReport{seq_next_, emit++, d.start, /*ingest_ns=*/0,
+                              /*trigger_time=*/0, std::move(d.report)});
   }
 
   active_g_.set(static_cast<double>(active));

@@ -113,6 +113,13 @@ struct ReadyReport {
   std::uint64_t seq = 0;
   std::uint32_t emit_idx = 0;
   sim::Time start = 0;
+  /// Latency freight from the record that triggered this finalization:
+  /// its service ingest stamp (0 = untracked, e.g. an end-of-capture or
+  /// force-evict finalization) and its capture timestamp. The service
+  /// layer turns these into ingest->verdict / capture->verdict latency
+  /// histograms at emission; they never affect verdict bytes or order.
+  std::int64_t trigger_ingest_ns = 0;
+  sim::Time trigger_time = 0;
   FlowReport report;
 };
 
@@ -169,6 +176,12 @@ class StreamEngine {
   /// overload signal the service's shed ladder keys on. Always 0 when
   /// inline (jobs == 1): pushes process synchronously and cannot lag.
   double pressure() const;
+
+  /// Currently-resident flow count summed over shards (live flow-table
+  /// occupancy for statusz). Each shard's worker publishes its table size
+  /// with one relaxed store per open/finalize, so this read is cheap,
+  /// lock-free, and at worst one flow stale per shard.
+  std::size_t resident_flows() const;
 
   std::size_t shard_count() const { return nshards_; }
 

@@ -13,7 +13,9 @@
 
 #include "obs/flow_telemetry.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 
 namespace ccsig::obs {
 namespace {
@@ -67,6 +69,25 @@ TEST(ObsOff, FlowTelemetryApiCompilesAndRecordsNothing) {
             "time_s,event,cwnd_bytes,ssthresh_bytes,pipe_bytes,srtt_s,"
             "retransmits\n");
   rec.clear();
+}
+
+TEST(ObsOff, WindowAggregatorTicksOnEmptySnapshots) {
+  // The introspection plane stays wired under CCSIG_OBS_OFF: the window
+  // consumes the (always empty) registry snapshots without crashing and
+  // reports zero rates, so varz keeps its shape while saying nothing.
+  WindowAggregator w({4});
+  w.tick(0, MetricsRegistry::global().snapshot());
+  w.tick(1'000'000'000, MetricsRegistry::global().snapshot());
+  EXPECT_DOUBLE_EQ(w.covered_seconds(), 1.0);
+  EXPECT_EQ(w.delta("service.records"), 0u);
+  EXPECT_DOUBLE_EQ(w.rate("service.records"), 0.0);
+  EXPECT_NE(w.to_json().find("\"rates\":{}"), std::string::npos);
+}
+
+TEST(ObsOff, PrometheusExpositionOfEmptySnapshotIsEmpty) {
+  // metricsz degrades to a valid, empty exposition (zero instrument
+  // families), never to malformed output.
+  EXPECT_EQ(prometheus_text(MetricsRegistry::global().snapshot()), "");
 }
 
 TEST(ObsOff, SnapshotMathStillWorksOnHandBuiltData) {

@@ -1,0 +1,176 @@
+// WindowAggregator under a fake clock: deterministic windowed rates,
+// ring wrap, partial windows, counter-reset tolerance, layout rebuild.
+// Snapshots are hand-built plain data, so the math under test is a pure
+// function of the tick sequence — no real clock, no real registry.
+#include "obs/window.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccsig::obs {
+namespace {
+
+constexpr std::int64_t kSec = 1'000'000'000;
+
+MetricsSnapshot snap_counters(std::uint64_t records,
+                              std::uint64_t verdicts) {
+  MetricsSnapshot s;
+  s.counters.push_back({"service.records", records});
+  s.counters.push_back({"service.verdicts", verdicts});
+  return s;
+}
+
+MetricsSnapshot snap_hist(std::vector<std::uint64_t> buckets, double sum) {
+  MetricsSnapshot s;
+  HistogramSnapshot h;
+  h.name = "latency_ms";
+  h.bounds = {1.0, 10.0};
+  h.buckets = std::move(buckets);
+  h.sum = sum;
+  s.histograms.push_back(std::move(h));
+  return s;
+}
+
+TEST(WindowAggregator, FirstTickIsBaselineAndCoversNothing) {
+  WindowAggregator w({4});
+  w.tick(10 * kSec, snap_counters(100, 5));
+  EXPECT_DOUBLE_EQ(w.covered_seconds(), 0.0);
+  EXPECT_EQ(w.delta("service.records"), 0u);
+  EXPECT_DOUBLE_EQ(w.rate("service.records"), 0.0);
+}
+
+TEST(WindowAggregator, RatesAreDeltasOverCoveredSpan) {
+  WindowAggregator w({4});
+  w.tick(0, snap_counters(0, 0));
+  w.tick(1 * kSec, snap_counters(1000, 10));
+  w.tick(2 * kSec, snap_counters(3000, 30));
+  EXPECT_DOUBLE_EQ(w.covered_seconds(), 2.0);
+  EXPECT_EQ(w.delta("service.records"), 3000u);
+  EXPECT_DOUBLE_EQ(w.rate("service.records"), 1500.0);
+  EXPECT_DOUBLE_EQ(w.rate("service.verdicts"), 15.0);
+  EXPECT_EQ(w.delta("no.such.counter"), 0u);
+}
+
+TEST(WindowAggregator, RingWrapDropsTheOldestSlots) {
+  WindowAggregator w({2});  // window = last 2 tick intervals
+  w.tick(0, snap_counters(0, 0));
+  w.tick(1 * kSec, snap_counters(100, 0));   // interval A: +100
+  w.tick(2 * kSec, snap_counters(300, 0));   // interval B: +200
+  w.tick(3 * kSec, snap_counters(600, 0));   // interval C: +300, A evicted
+  EXPECT_DOUBLE_EQ(w.covered_seconds(), 2.0);
+  EXPECT_EQ(w.delta("service.records"), 500u);  // B + C only
+  EXPECT_DOUBLE_EQ(w.rate("service.records"), 250.0);
+}
+
+TEST(WindowAggregator, PartialWindowUsesOnlyElapsedSpan) {
+  WindowAggregator w({8});  // deeper ring than ticks taken
+  w.tick(0, snap_counters(0, 0));
+  w.tick(5 * kSec, snap_counters(50, 0));
+  // Only one interval covered: the rate divides by 5s, not 8 slots.
+  EXPECT_DOUBLE_EQ(w.covered_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(w.rate("service.records"), 10.0);
+}
+
+TEST(WindowAggregator, NonAdvancingClockIsIgnored) {
+  WindowAggregator w({4});
+  w.tick(1 * kSec, snap_counters(0, 0));
+  w.tick(2 * kSec, snap_counters(100, 0));
+  w.tick(2 * kSec, snap_counters(999, 0));  // same timestamp: dropped
+  w.tick(1 * kSec, snap_counters(999, 0));  // backwards: dropped
+  EXPECT_EQ(w.delta("service.records"), 100u);
+  EXPECT_DOUBLE_EQ(w.covered_seconds(), 1.0);
+}
+
+TEST(WindowAggregator, CounterResetCountsFromZero) {
+  WindowAggregator w({4});
+  w.tick(0, snap_counters(1000, 0));
+  w.tick(1 * kSec, snap_counters(1500, 0));  // +500
+  // The source restarted: cumulative fell to 80. The delta is 80 (counted
+  // from zero), not a huge unsigned wraparound.
+  w.tick(2 * kSec, snap_counters(80, 0));
+  EXPECT_EQ(w.delta("service.records"), 580u);
+}
+
+TEST(WindowAggregator, WindowedHistogramQuantilesCoverOnlyTheRing) {
+  WindowAggregator w({2});
+  w.tick(0, snap_hist({0, 0, 0}, 0.0));
+  // Interval A: 10 fast samples (le 1ms).
+  w.tick(1 * kSec, snap_hist({10, 0, 0}, 5.0));
+  // Interval B: 10 slow samples (le 10ms).
+  w.tick(2 * kSec, snap_hist({10, 10, 0}, 55.0));
+  HistogramSnapshot both = w.windowed("latency_ms");
+  EXPECT_EQ(both.count(), 20u);
+  EXPECT_DOUBLE_EQ(both.sum, 55.0);
+  EXPECT_DOUBLE_EQ(both.quantile(0.99), 10.0);
+  // Interval C evicts A: only the slow interval and C remain.
+  w.tick(3 * kSec, snap_hist({10, 10, 0}, 55.0));
+  HistogramSnapshot tail = w.windowed("latency_ms");
+  EXPECT_EQ(tail.count(), 10u);
+  EXPECT_DOUBLE_EQ(tail.sum, 50.0);
+  // All 10 samples sit in the (1, 10] bucket; the median interpolates to
+  // its midpoint under the snapshot's in-bucket interpolation contract.
+  EXPECT_DOUBLE_EQ(tail.quantile(0.5), 5.5);
+  EXPECT_TRUE(w.windowed("no.such.hist").buckets.empty());
+}
+
+TEST(WindowAggregator, LayoutChangeRebaselinesInsteadOfMixing) {
+  WindowAggregator w({4});
+  w.tick(0, snap_counters(0, 0));
+  w.tick(1 * kSec, snap_counters(100, 1));
+  ASSERT_EQ(w.delta("service.records"), 100u);
+  // A new instrument appears: old deltas are incomparable and dropped;
+  // the next tick is a fresh baseline.
+  MetricsSnapshot changed = snap_counters(200, 2);
+  changed.counters.push_back({"service.new", 7});
+  w.tick(2 * kSec, changed);
+  EXPECT_EQ(w.delta("service.records"), 0u);
+  EXPECT_DOUBLE_EQ(w.covered_seconds(), 0.0);
+  MetricsSnapshot next = snap_counters(260, 3);
+  next.counters.push_back({"service.new", 9});
+  w.tick(3 * kSec, next);
+  EXPECT_EQ(w.delta("service.records"), 60u);
+  EXPECT_EQ(w.delta("service.new"), 2u);
+}
+
+TEST(WindowAggregator, GaugesAreLatestNotWindowed) {
+  WindowAggregator w({4});
+  MetricsSnapshot a;
+  a.gauges.push_back({"service.pressure", 0.25});
+  w.tick(0, a);
+  MetricsSnapshot b;
+  b.gauges.push_back({"service.pressure", 0.75});
+  w.tick(1 * kSec, b);
+  ASSERT_EQ(w.latest_gauges().size(), 1u);
+  EXPECT_DOUBLE_EQ(w.latest_gauges()[0].value, 0.75);
+}
+
+TEST(WindowAggregator, ToJsonIsWellFormedAndWindowed) {
+  WindowAggregator w({4});
+  w.tick(0, snap_counters(0, 0));
+  w.tick(2 * kSec, snap_counters(500, 4));
+  const std::string j = w.to_json();
+  EXPECT_NE(j.find("\"covered_s\":2"), std::string::npos);
+  EXPECT_NE(j.find("\"window_slots\":4"), std::string::npos);
+  EXPECT_NE(j.find("\"service.records\":250"), std::string::npos);  // rate
+  EXPECT_NE(j.find("\"deltas\":{\"service.records\":500"),
+            std::string::npos);
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+}
+
+TEST(WindowAggregator, EmptySnapshotsStayZero) {
+  // The OBS_OFF shape: every snapshot is empty. Ticking must neither
+  // crash nor report coverage of instruments that do not exist.
+  WindowAggregator w({4});
+  w.tick(0, MetricsSnapshot{});
+  w.tick(1 * kSec, MetricsSnapshot{});
+  EXPECT_DOUBLE_EQ(w.covered_seconds(), 1.0);
+  EXPECT_EQ(w.delta("anything"), 0u);
+  EXPECT_NE(w.to_json().find("\"rates\":{}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccsig::obs

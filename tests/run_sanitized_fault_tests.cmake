@@ -26,6 +26,8 @@ set(tests
   stream_vs_batch_test
   pcap_tail_test
   service_fault_test
+  service_admin_test
+  obs_window_test
 )
 
 message(STATUS "[fault-san] configuring sanitized tree in ${BUILD_DIR}")

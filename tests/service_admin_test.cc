@@ -1,0 +1,343 @@
+// Admin endpoint protocol: one-line queries over a Unix socket answered
+// with body lines and a lone "." terminator, persistent connections,
+// concurrent clients, and the live ccsigd query set (healthz / statusz /
+// varz / metricsz) served while the daemon ingests.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "runtime/shutdown.h"
+#include "service/line_server.h"
+#include "service/service.h"
+#include "test_helpers.h"
+
+namespace ccsig::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+int connect_unix(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Reads from `fd` until `carry` holds one complete response (body lines
+// followed by the lone "." terminator line), pumping `pump` (accept +
+// serve on the server side) between nonblocking reads so the
+// single-threaded unit tests do not deadlock. Consumes exactly one
+// response from `carry` — pipelined responses arriving in the same recv
+// stay buffered for the next call. Returns the body lines (terminator
+// excluded); an empty vector on timeout/disconnect/empty body.
+std::vector<std::string> read_response(
+    int fd, std::string& carry,
+    const std::function<void()>& pump = nullptr) {
+  // End of the first response within `carry`: one past its "." line.
+  const auto response_end = [&carry]() -> std::size_t {
+    if (carry.rfind(".\n", 0) == 0) return 2;
+    const std::size_t p = carry.find("\n.\n");
+    return p == std::string::npos ? std::string::npos : p + 3;
+  };
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (response_end() == std::string::npos &&
+         std::chrono::steady_clock::now() < deadline) {
+    if (pump) pump();
+    char buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      carry.append(buf, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      return {};  // server closed the connection
+    } else if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      return {};
+    }
+    if (!pump) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::size_t end = response_end();
+  if (end == std::string::npos) return {};  // timed out
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < end) {
+    const std::size_t nl = carry.find('\n', pos);
+    std::string line = carry.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line == ".") break;
+    lines.push_back(std::move(line));
+  }
+  carry.erase(0, end);
+  return lines;
+}
+
+void send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+std::string temp_sock(const std::string& tag) {
+  return (fs::temp_directory_path() /
+          ("ccsig_admin_" + tag + "_" + std::to_string(::getpid()) + ".sock"))
+      .string();
+}
+
+TEST(AdminProtocol, AnswersQueriesWithDotTerminatorOnOneConnection) {
+  const std::string sock = temp_sock("basic");
+  LineServer server(sock, [](std::string_view q) -> std::string {
+    if (q == "ping") return "pong";
+    if (q == "multi") return "line one\nline two\n";
+    if (q == "empty") return "";
+    return "ERR unknown query: " + std::string(q);
+  });
+  const auto pump = [&server] {
+    server.accept_pending();
+    server.serve_pending();
+  };
+
+  int fd = connect_unix(sock);
+  ASSERT_GE(fd, 0);
+  std::string carry;
+
+  send_all(fd, "ping\n");
+  EXPECT_EQ(read_response(fd, carry, pump), std::vector<std::string>{"pong"});
+
+  // The connection persists: the next query reuses it (ccsig_top polls
+  // over one connection).
+  send_all(fd, "multi\n");
+  EXPECT_EQ(read_response(fd, carry, pump),
+            (std::vector<std::string>{"line one", "line two"}));
+
+  // An empty body is still a complete response: just the terminator.
+  send_all(fd, "empty\n");
+  EXPECT_TRUE(read_response(fd, carry, pump).empty());
+
+  send_all(fd, "bogus\n");
+  const auto err = read_response(fd, carry, pump);
+  ASSERT_EQ(err.size(), 1u);
+  EXPECT_EQ(err[0], "ERR unknown query: bogus");
+
+  EXPECT_EQ(server.queries_answered(), 4u);
+  ::close(fd);
+  fs::remove(sock);
+}
+
+TEST(AdminProtocol, ReassemblesSplitQueriesAndStripsCarriageReturns) {
+  const std::string sock = temp_sock("split");
+  LineServer server(sock, [](std::string_view q) {
+    return "got:" + std::string(q);
+  });
+  const auto pump = [&server] {
+    server.accept_pending();
+    server.serve_pending();
+  };
+
+  int fd = connect_unix(sock);
+  ASSERT_GE(fd, 0);
+  std::string carry;
+
+  // A query trickling in byte-wise must not be answered early.
+  send_all(fd, "hea");
+  pump();
+  pump();
+  send_all(fd, "lthz\r\n");
+  EXPECT_EQ(read_response(fd, carry, pump),
+            std::vector<std::string>{"got:healthz"});
+
+  // Two queries in one packet are answered in order.
+  send_all(fd, "a\nb\n");
+  EXPECT_EQ(read_response(fd, carry, pump), std::vector<std::string>{"got:a"});
+  EXPECT_EQ(read_response(fd, carry, pump), std::vector<std::string>{"got:b"});
+  EXPECT_EQ(server.queries_answered(), 3u);
+  ::close(fd);
+  fs::remove(sock);
+}
+
+TEST(AdminProtocol, ServesConcurrentClientsIndependently) {
+  const std::string sock = temp_sock("multi");
+  LineServer server(sock, [](std::string_view q) {
+    return "echo:" + std::string(q);
+  });
+  const auto pump = [&server] {
+    server.accept_pending();
+    server.serve_pending();
+  };
+
+  constexpr int kClients = 5;
+  std::vector<std::string> carries(kClients);
+  std::vector<int> fds;
+  for (int i = 0; i < kClients; ++i) {
+    const int fd = connect_unix(sock);
+    ASSERT_GE(fd, 0);
+    fds.push_back(fd);
+  }
+  // All clients submit before any is answered; each gets its own reply.
+  for (int i = 0; i < kClients; ++i) {
+    send_all(fds[static_cast<std::size_t>(i)],
+             "q" + std::to_string(i) + "\n");
+  }
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(read_response(fds[static_cast<std::size_t>(i)], carries[static_cast<std::size_t>(i)], pump),
+              std::vector<std::string>{"echo:q" + std::to_string(i)});
+  }
+  EXPECT_EQ(server.queries_answered(),
+            static_cast<std::size_t>(kClients));
+
+  // A client that vanishes mid-session is reaped without disturbing the
+  // rest.
+  ::close(fds[0]);
+  send_all(fds[1], "still-here\n");
+  EXPECT_EQ(read_response(fds[1], carries[1], pump),
+            std::vector<std::string>{"echo:still-here"});
+  for (int i = 1; i < kClients; ++i) ::close(fds[static_cast<std::size_t>(i)]);
+  fs::remove(sock);
+}
+
+TEST(AdminProtocol, OverlongQueryLineDisconnectsTheClient) {
+  const std::string sock = temp_sock("long");
+  LineServer server(sock,
+                    [](std::string_view) { return std::string("ok"); });
+  const auto pump = [&server] {
+    server.accept_pending();
+    server.serve_pending();
+  };
+
+  int fd = connect_unix(sock);
+  ASSERT_GE(fd, 0);
+  // 8 KB with no newline blows the bounded 4 KB query buffer; the server
+  // must drop the client rather than grow without limit. (Small enough to
+  // fit the kernel socket buffer — the blocking send cannot deadlock on
+  // the not-yet-pumped server.)
+  const std::string flood(8 * 1024, 'x');
+  send_all(fd, flood);
+  // Pump until the server has accepted, read past the bound, and reaped.
+  for (int i = 0; i < 100 && server.disconnects() == 0; ++i) pump();
+  EXPECT_EQ(server.subscribers(), 0u);
+  EXPECT_GE(server.disconnects(), 1u);
+  ::close(fd);
+  fs::remove(sock);
+}
+
+TEST(AdminProtocol, LiveServiceAnswersTheFullQuerySet) {
+  runtime::ShutdownLatch::reset();
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("ccsig_admin_svc_" + std::to_string(::getpid())))
+          .string();
+  fs::create_directories(dir);
+  const std::string capture = dir + "/capture.pcap";
+  testutil::write_random_capture(7, capture);
+
+  ServiceConfig cfg;
+  SourceConfig sc;
+  sc.path = capture;  // tail mode keeps the daemon serving
+  cfg.sources.push_back(sc);
+  cfg.verdict_log_path = dir + "/admin.log";
+  cfg.socket_path = dir + "/sub.sock";
+  cfg.admin_socket_path = dir + "/admin.sock";
+  cfg.window_tick_ms = 10;
+  ClassificationService svc(std::move(cfg));
+  std::thread t([&svc] { svc.run(); });
+
+  int fd = -1;
+  for (int i = 0; i < 500 && fd < 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    fd = connect_unix(dir + "/admin.sock");
+  }
+  ASSERT_GE(fd, 0);
+  std::string carry;
+
+  // healthz: one line, "ok" while nothing is shedding or quarantined.
+  send_all(fd, "healthz\n");
+  auto health = read_response(fd, carry);
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_EQ(health[0], "ok");
+
+  // statusz: human-oriented key=value lines covering every subsystem.
+  send_all(fd, "statusz\n");
+  const auto statusz = read_response(fd, carry);
+  ASSERT_FALSE(statusz.empty());
+  const auto has_prefix = [&statusz](std::string_view prefix) {
+    for (const auto& l : statusz) {
+      if (l.rfind(prefix, 0) == 0) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_prefix("service mode=live"));
+  EXPECT_TRUE(has_prefix("health "));
+  EXPECT_TRUE(has_prefix("shed rung="));
+  EXPECT_TRUE(has_prefix("engine shards="));
+  EXPECT_TRUE(has_prefix("log path="));
+  EXPECT_TRUE(has_prefix("verdicts emitted="));
+  EXPECT_TRUE(has_prefix("window ticks="));
+  EXPECT_TRUE(has_prefix("sources count=1"));
+  EXPECT_TRUE(has_prefix("subscribers count="));
+
+  // varz: one JSON object of windowed rates (ccsig_top's poll target).
+  send_all(fd, "varz\n");
+  const auto varz = read_response(fd, carry);
+  ASSERT_FALSE(varz.empty());
+  EXPECT_EQ(varz.front().front(), '{');
+  std::string varz_all;
+  for (const auto& l : varz) varz_all += l;
+  EXPECT_NE(varz_all.find("\"covered_s\""), std::string::npos);
+  EXPECT_NE(varz_all.find("\"rates\""), std::string::npos);
+
+  // metricsz: Prometheus text exposition. In a CCSIG_OBS_OFF tree the
+  // registry snapshot is empty, so the exposition is valid-but-empty and
+  // the admin plane degrades to healthz/statusz/varz structure only.
+  send_all(fd, "metricsz\n");
+  const auto metrics = read_response(fd, carry);
+#ifdef CCSIG_OBS_OFF
+  EXPECT_TRUE(metrics.empty());
+#else
+  ASSERT_FALSE(metrics.empty());
+  bool saw_type = false, saw_ccsig = false;
+  for (const auto& l : metrics) {
+    if (l.rfind("# TYPE ", 0) == 0) saw_type = true;
+    if (l.rfind("ccsig_", 0) == 0) saw_ccsig = true;
+  }
+  EXPECT_TRUE(saw_type);
+  EXPECT_TRUE(saw_ccsig);
+#endif
+
+  // Unknown queries get an ERR line, and the connection survives them.
+  send_all(fd, "definitely-not-a-query\n");
+  const auto err = read_response(fd, carry);
+  ASSERT_EQ(err.size(), 1u);
+  EXPECT_EQ(err[0].rfind("ERR unknown query:", 0), 0u);
+  send_all(fd, "healthz\n");
+  health = read_response(fd, carry);
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_EQ(health[0], "ok");
+
+  ::close(fd);
+  svc.request_stop();
+  t.join();
+  EXPECT_GE(svc.stats().admin_queries, 6u);
+  EXPECT_GT(svc.stats().window_ticks, 0u);
+  runtime::ShutdownLatch::reset();
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ccsig::service

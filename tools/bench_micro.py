@@ -38,6 +38,10 @@ COUNTER_BOUNDS = {
     # ccsigd's verdict-log append (frame + CRC + one write) reuses one
     # buffer after the warm-up append — a hard zero.
     "BM_VerdictLogAppend": {"allocs_per_verdict": 0.0},
+    # ccsigd's per-verdict latency instrumentation (ingest stamp + two
+    # histogram records): pure relaxed RMWs once the thread's metrics
+    # shard exists — a hard zero.
+    "BM_VerdictLatencyPath": {"allocs_per_verdict": 0.0},
     # Metrics recording must be allocation-free once the calling thread's
     # shard exists (the benches record once before probing).
     "BM_MetricsCounterRecord": {"allocs_per_record": 0.0},

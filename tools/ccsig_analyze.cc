@@ -2,8 +2,8 @@
 //
 // Usage:
 //   ccsig_analyze <capture.pcap> [--model FILE] [--min-samples N] [--verbose]
-//                 [--metrics-out FILE] [--trace-out FILE]
-//                 [--flow-telemetry FILE]
+//                 [--metrics-out FILE] [--metrics-prom FILE]
+//                 [--trace-out FILE] [--flow-telemetry FILE]
 //                 [--stream] [--mmap] [--jobs N] [--shards N] [--max-flows N]
 //                 [--idle-timeout SECONDS]
 //
@@ -20,7 +20,8 @@
 // policy (these CAN change the output by evicting long-lived flows early).
 //
 // Observability side files (see src/obs/): --metrics-out writes the final
-// metrics snapshot JSON, --trace-out writes Chrome trace JSON, and
+// metrics snapshot JSON, --metrics-prom the same snapshot in Prometheus
+// text exposition format, --trace-out writes Chrome trace JSON, and
 // --flow-telemetry writes one CSV row per RTT sample of every flow in the
 // capture (flow index, ports, ACK arrival time, RTT, acked offset).
 //
@@ -70,6 +71,7 @@ int main(int argc, char** argv) {
   std::string pcap_path;
   std::string model_path;
   std::string metrics_path;
+  std::string metrics_prom_path;
   std::string trace_path;
   std::string telemetry_path;
   ccsig::features::ExtractOptions extract;
@@ -103,6 +105,8 @@ int main(int argc, char** argv) {
           ccsig::sim::from_seconds(std::atof(argv[++i]));
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-prom") == 0 && i + 1 < argc) {
+      metrics_prom_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--flow-telemetry") == 0 && i + 1 < argc) {
@@ -113,6 +117,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s <capture.pcap> [--model FILE] "
                    "[--min-samples N] [--verbose] [--metrics-out FILE] "
+                   "[--metrics-prom FILE] "
                    "[--trace-out FILE] [--flow-telemetry FILE] [--stream] "
                    "[--mmap] [--jobs N] [--shards N] [--max-flows N] "
                    "[--idle-timeout SECONDS]\n",
@@ -126,7 +131,8 @@ int main(int argc, char** argv) {
   }
 
   try {
-    ccsig::obs::ToolObs tool_obs(metrics_path, trace_path, "ccsig_analyze");
+    ccsig::obs::ToolObs tool_obs(metrics_path, trace_path, "ccsig_analyze",
+                                 metrics_prom_path);
     ccsig::CongestionClassifier model;
     if (!model_path.empty()) {
       try {

@@ -13,6 +13,7 @@
 //
 // Observability side files (stdout/verdicts are unaffected):
 //   --metrics-out     final counters/gauges/histograms snapshot (JSON)
+//   --metrics-prom    the same snapshot in Prometheus text exposition
 //   --trace-out       Chrome trace-event JSON (chrome://tracing, Perfetto)
 //   --flow-telemetry  per-ACK cwnd/ssthresh/pipe/srtt CSV of the test flow
 //                     (single run only, like --pcap)
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
   int jobs = 0;  // 0 = all hardware threads
   std::string pcap_path;
   std::string metrics_path;
+  std::string metrics_prom_path;
   std::string trace_path;
   std::string telemetry_path;
   bool quiet = false;
@@ -93,6 +95,8 @@ int main(int argc, char** argv) {
       pcap_path = next("--pcap");
     } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
       metrics_path = next("--metrics-out");
+    } else if (std::strcmp(argv[i], "--metrics-prom") == 0) {
+      metrics_prom_path = next("--metrics-prom");
     } else if (std::strcmp(argv[i], "--trace-out") == 0) {
       trace_path = next("--trace-out");
     } else if (std::strcmp(argv[i], "--flow-telemetry") == 0) {
@@ -104,7 +108,8 @@ int main(int argc, char** argv) {
                    "usage: %s [--external] [--rate MBPS] [--latency MS] "
                    "[--loss P] [--buffer MS] [--duration S] [--cc NAME] "
                    "[--seed N] [--reps N] [--jobs N] [--pcap FILE] "
-                   "[--metrics-out FILE] [--trace-out FILE] "
+                   "[--metrics-out FILE] [--metrics-prom FILE] "
+                   "[--trace-out FILE] "
                    "[--flow-telemetry FILE] [--quiet]\n",
                    argv[0]);
       return 2;
@@ -121,7 +126,8 @@ int main(int argc, char** argv) {
   }
 
   try {
-    obs::ToolObs tool_obs(metrics_path, trace_path, "ccsig_testbed");
+    obs::ToolObs tool_obs(metrics_path, trace_path, "ccsig_testbed",
+                          metrics_prom_path);
     const int rc = run_tool(std::move(cfg), reps, jobs, pcap_path,
                             telemetry_path, quiet);
     tool_obs.finalize();

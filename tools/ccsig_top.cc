@@ -1,0 +1,289 @@
+// ccsig_top — live dashboard over ccsigd's admin socket.
+//
+// Usage:
+//   ccsig_top --socket PATH [--interval-ms N] [--once] [--json]
+//
+// Speaks the admin line protocol (send one query line, read body lines
+// until the lone "." terminator) over one persistent connection:
+//
+//   default      full-screen refreshing view: health, shed state, engine
+//                occupancy, per-source state, subscriber losses, and the
+//                windowed rates / verdict-latency quantiles from varz,
+//                redrawn every --interval-ms (default 1000).
+//   --once       one snapshot to stdout (no screen clearing), then exit.
+//   --json       with --once: a single machine-readable JSON object
+//                {"health":..., "statusz":[...], "varz":{...}} for
+//                scripting; varz is embedded verbatim as ccsigd emitted
+//                it.
+//
+// Exit codes: 0 ok, 2 usage error, 3 cannot connect/query.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include <chrono>
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitConnect = 3;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--interval-ms N] [--once] [--json]\n",
+               argv0);
+  return kExitUsage;
+}
+
+/// Blocking connection to the admin socket speaking the one-line-query /
+/// "."-terminated-response protocol.
+class AdminClient {
+ public:
+  bool connect_to(const std::string& path) {
+    close_fd();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) return false;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      close_fd();
+      return false;
+    }
+    buf_.clear();
+    return true;
+  }
+
+  ~AdminClient() { close_fd(); }
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends `q` and collects body lines until the "." terminator.
+  /// False on any socket failure (the connection is dropped; reconnect).
+  bool query(const std::string& q, std::vector<std::string>& body) {
+    body.clear();
+    if (fd_ < 0) return false;
+    const std::string line = q + "\n";
+    if (!send_all(line)) {
+      close_fd();
+      return false;
+    }
+    for (;;) {
+      std::size_t nl;
+      while ((nl = buf_.find('\n')) != std::string::npos) {
+        std::string one = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        if (one == ".") return true;
+        body.push_back(std::move(one));
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        close_fd();
+        return false;
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  bool send_all(std::string_view data) {
+    while (!data.empty()) {
+      const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      data.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+  }
+
+  void close_fd() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Pulls `"key":<number>` out of a varz JSON body with plain string
+/// scanning — enough for the handful of dashboard fields; everything
+/// else is displayed from statusz, which is already line-oriented.
+bool find_number(const std::string& json, const std::string& key,
+                 double& out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return false;
+  out = std::strtod(json.c_str() + at + needle.size(), nullptr);
+  return true;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void render_rates(const std::string& varz) {
+  double v = 0;
+  std::printf("-- window --\n");
+  if (find_number(varz, "covered_s", v)) {
+    std::printf("covered_s=%.1f", v);
+  }
+  struct {
+    const char* key;
+    const char* label;
+  } rates[] = {
+      {"service.records_ingested", "records/s"},
+      {"service.verdicts_emitted", "verdicts/s"},
+      {"service.shed_dropped_records", "sheds/s"},
+  };
+  // "rates" precedes "deltas" in the varz body; scanning from the start
+  // finds the rate entry first, which is the one we want.
+  for (const auto& r : rates) {
+    if (find_number(varz, r.key, v)) std::printf("  %s=%.1f", r.label, v);
+  }
+  std::printf("\n");
+  // The latency histogram object: {"count":..,"p50":..,"p90":..,"p99":..}
+  const std::size_t at = varz.find("\"service.latency.ingest_to_verdict_ms\"");
+  if (at != std::string::npos) {
+    const std::string h = varz.substr(at, 512);
+    double p50 = 0, p90 = 0, p99 = 0, count = 0;
+    find_number(h, "count", count);
+    find_number(h, "p50", p50);
+    find_number(h, "p90", p90);
+    find_number(h, "p99", p99);
+    std::printf(
+        "ingest->verdict ms  count=%.0f p50=%.3f p90=%.3f p99=%.3f\n",
+        count, p50, p90, p99);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  int interval_ms = 1000;
+  bool once = false;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc) {
+      interval_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "error: --socket is required\n");
+    return usage(argv[0]);
+  }
+  if (json && !once) {
+    std::fprintf(stderr, "error: --json requires --once\n");
+    return usage(argv[0]);
+  }
+  if (interval_ms <= 0) interval_ms = 1000;
+
+  AdminClient client;
+  if (!client.connect_to(socket_path)) {
+    std::fprintf(stderr, "error: cannot connect to %s: %s\n",
+                 socket_path.c_str(), std::strerror(errno));
+    return kExitConnect;
+  }
+
+  std::vector<std::string> health, statusz, varz_body;
+  for (;;) {
+    if (!client.connected() && !client.connect_to(socket_path)) {
+      if (once) {
+        std::fprintf(stderr, "error: lost connection to %s\n",
+                     socket_path.c_str());
+        return kExitConnect;
+      }
+      std::printf("\x1b[H\x1b[2Jccsig_top %s  [disconnected, retrying]\n",
+                  socket_path.c_str());
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      continue;
+    }
+    if (!client.query("healthz", health) ||
+        !client.query("statusz", statusz) ||
+        !client.query("varz", varz_body)) {
+      if (once) {
+        std::fprintf(stderr, "error: query failed against %s\n",
+                     socket_path.c_str());
+        return kExitConnect;
+      }
+      continue;  // reconnect on the next iteration
+    }
+    const std::string varz = join_lines(varz_body);
+
+    if (json) {
+      std::string out = "{\"health\":\"";
+      out += json_escape(health.empty() ? "" : health.front());
+      out += "\",\"statusz\":[";
+      for (std::size_t i = 0; i < statusz.size(); ++i) {
+        if (i) out += ',';
+        out += '"';
+        out += json_escape(statusz[i]);
+        out += '"';
+      }
+      out += "],\"varz\":";
+      std::string v = varz;
+      while (!v.empty() && (v.back() == '\n' || v.back() == ' ')) {
+        v.pop_back();
+      }
+      out += v.empty() ? "{}" : v;
+      out += "}";
+      std::printf("%s\n", out.c_str());
+      return kExitOk;
+    }
+
+    if (!once) std::printf("\x1b[H\x1b[2J");
+    std::printf("ccsig_top %s  health: %s\n", socket_path.c_str(),
+                health.empty() ? "?" : health.front().c_str());
+    std::printf("%s", join_lines(statusz).c_str());
+    render_rates(varz);
+    std::fflush(stdout);
+
+    if (once) return kExitOk;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}

@@ -3,7 +3,8 @@
 // Usage:
 //   ccsigd --log FILE [--source FILE]... [--fifo PIPE]...
 //          [--oneshot-source FILE]...
-//          [--model FILE] [--socket PATH]
+//          [--model FILE] [--socket PATH] [--admin-socket PATH]
+//          [--window-tick-ms N] [--window-slots N]
 //          [--record FILE | --replay FILE [--replay-pace-us N]]
 //          [--jobs N] [--shards N] [--max-flows N] [--idle-timeout SECONDS]
 //          [--poll-records N] [--metrics-interval-ms N] [--oneshot]
@@ -17,7 +18,12 @@
 // and periodic metrics lines to live subscribers over a Unix-domain
 // stream socket (lossy; the log is the durable record). --record writes
 // the exact pushed-record session for later --replay, which regenerates a
-// byte-identical verdict log at any --jobs.
+// byte-identical verdict log at any --jobs. --admin-socket serves the
+// live introspection plane on a second Unix socket: one-line queries
+// healthz / statusz / varz / metricsz, answered with body lines and a
+// lone "." terminator (poll it with ccsig_top). varz rates and quantiles
+// cover a sliding window of --window-slots ticks taken every
+// --window-tick-ms.
 //
 // Signals:
 //   SIGTERM / SIGINT   graceful drain: stop intake, finalize resident
@@ -44,6 +50,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --log FILE [--source FILE]... [--fifo PIPE]...\n"
       "          [--oneshot-source FILE]... [--model FILE] [--socket PATH]\n"
+      "          [--admin-socket PATH] [--window-tick-ms N]\n"
+      "          [--window-slots N]\n"
       "          [--record FILE | --replay FILE [--replay-pace-us N]]\n"
       "          [--jobs N] [--shards N] [--max-flows N]\n"
       "          [--idle-timeout SECONDS] [--poll-records N]\n"
@@ -79,6 +87,12 @@ int main(int argc, char** argv) {
       cfg.model_path = argv[++i];
     } else if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
       cfg.socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--admin-socket") == 0 && i + 1 < argc) {
+      cfg.admin_socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--window-tick-ms") == 0 && i + 1 < argc) {
+      cfg.window_tick_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--window-slots") == 0 && i + 1 < argc) {
+      cfg.window_slots = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--record") == 0 && i + 1 < argc) {
       cfg.record_session_path = argv[++i];
     } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {

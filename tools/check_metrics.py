@@ -1,0 +1,293 @@
+#!/usr/bin/env python3
+"""Validates observability exports: the --metrics-out JSON snapshot and
+the --metrics-prom Prometheus text exposition, and cross-checks them.
+
+JSON checks:
+  1. the file parses as a JSON object with counters / gauges / histograms
+     objects;
+  2. counter values are non-negative integers, gauge values are numbers;
+  3. every histogram carries bounds (strictly increasing), buckets (one
+     more bucket than bounds, non-negative integers), count == sum of
+     buckets emitted as an integer, and sum emitted as an integer when it
+     is integral (the exact-integer contract of MetricsSnapshot::to_json);
+  4. instrument names are unique and sorted (snapshot order is stable).
+
+Prometheus checks (format version 0.0.4):
+  5. every sample line is `name[{le="..."}] value` with names in the
+     [a-zA-Z0-9_:] charset, prefixed ccsig_;
+  6. every metric is preceded by exactly one `# TYPE name kind` line with
+     kind in {counter, gauge, histogram};
+  7. histogram buckets are cumulative (non-decreasing le order), end at
+     le="+Inf", and the +Inf bucket equals name_count;
+  8. when both files are given, every JSON counter / gauge / histogram
+     appears in the exposition with matching values (counters exact,
+     gauges/sums to 1e-9 relative tolerance).
+
+Exit codes: 0 valid, 1 validation failure, 2 usage / unreadable input.
+
+Usage: check_metrics.py <metrics.json> [<metrics.prom>] [-- command...]
+
+With a trailing command (after --), the command runs first — expected to
+write the files — and its failure fails the check. This is how the
+metrics_json_valid / metrics_prom_valid ctests produce and validate the
+exports in one step.
+"""
+
+import json
+import math
+import re
+import subprocess
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{le="(?P<le>[^"]*)"\})?'
+    r' (?P<value>\S+)$')
+TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r" (?P<kind>counter|gauge|histogram)$")
+
+
+def fail(msg):
+    print(f"check_metrics: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def prom_name(name):
+    return "ccsig_" + "".join(
+        c if c.isalnum() or c in "_:" else "_" for c in name)
+
+
+def close(a, b):
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+def validate_json(doc):
+    """Returns (rc, flattened {prom_name: value} maps for cross-check)."""
+    if not isinstance(doc, dict):
+        return fail("top level must be a JSON object"), None
+    for key in ("counters", "gauges", "histograms"):
+        if key not in doc or not isinstance(doc[key], dict):
+            return fail(f"missing or non-object {key!r} section"), None
+
+    for section in ("counters", "gauges", "histograms"):
+        names = list(doc[section].keys())
+        if names != sorted(names):
+            return fail(f"{section} keys are not sorted"), None
+
+    counters, gauges, hists = {}, {}, {}
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            return fail(
+                f"counter {name!r}: value {value!r} is not a non-negative "
+                "integer"), None
+        counters[prom_name(name)] = value
+    for name, value in doc["gauges"].items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return fail(f"gauge {name!r}: value {value!r} is not a "
+                        "number"), None
+        gauges[prom_name(name)] = float(value)
+
+    for name, h in doc["histograms"].items():
+        where = f"histogram {name!r}"
+        if not isinstance(h, dict):
+            return fail(f"{where}: not an object"), None
+        for key in ("bounds", "buckets", "count", "sum"):
+            if key not in h:
+                return fail(f"{where}: missing {key!r}"), None
+        bounds, buckets = h["bounds"], h["buckets"]
+        if not all(isinstance(b, (int, float)) for b in bounds):
+            return fail(f"{where}: non-numeric bound"), None
+        if any(b1 >= b2 for b1, b2 in zip(bounds, bounds[1:])):
+            return fail(f"{where}: bounds are not strictly increasing"), None
+        if len(buckets) != len(bounds) + 1:
+            return fail(f"{where}: {len(buckets)} buckets for "
+                        f"{len(bounds)} bounds (want bounds+1)"), None
+        if not all(isinstance(b, int) and b >= 0 for b in buckets):
+            return fail(f"{where}: bucket counts must be non-negative "
+                        "integers"), None
+        if not isinstance(h["count"], int):
+            return fail(f"{where}: count must be emitted as an "
+                        "integer"), None
+        if h["count"] != sum(buckets):
+            return fail(f"{where}: count {h['count']} != bucket sum "
+                        f"{sum(buckets)}"), None
+        s = h["sum"]
+        if not isinstance(s, (int, float)) or isinstance(s, bool):
+            return fail(f"{where}: sum must be a number"), None
+        if isinstance(s, float) and s.is_integer():
+            return fail(f"{where}: integral sum {s} must be emitted as an "
+                        "integer (exact-integer contract)"), None
+        hists[prom_name(name)] = h
+    return 0, (counters, gauges, hists)
+
+
+def validate_prom(text):
+    """Returns (rc, {name: (kind, payload)}) where payload is the value or,
+    for histograms, (buckets_by_le, sum, count)."""
+    typed = {}     # name -> kind
+    samples = {}   # base name -> list of (le_or_None, float value)
+    seen_after_type = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if line.startswith("# TYPE") and not m:
+                return fail(f"line {lineno}: malformed TYPE line: "
+                            f"{line!r}"), None
+            if m:
+                name = m.group("name")
+                if name in typed:
+                    return fail(f"line {lineno}: duplicate TYPE for "
+                                f"{name}"), None
+                typed[name] = m.group("kind")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            return fail(f"line {lineno}: malformed sample: {line!r}"), None
+        name = m.group("name")
+        if not name.startswith("ccsig_"):
+            return fail(f"line {lineno}: {name} lacks the ccsig_ "
+                        "prefix"), None
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in typed \
+                    and typed[name[:-len(suffix)]] == "histogram":
+                base = name[:-len(suffix)]
+        if base not in typed:
+            return fail(f"line {lineno}: sample {name} has no preceding "
+                        "TYPE line"), None
+        le = m.group("le")
+        raw = m.group("value")
+        try:
+            value = float(raw)
+        except ValueError:
+            return fail(f"line {lineno}: non-numeric value {raw!r}"), None
+        samples.setdefault(base, []).append((name, le, value))
+        seen_after_type.add(base)
+
+    out = {}
+    for name, kind in typed.items():
+        rows = samples.get(name, [])
+        if not rows:
+            return fail(f"TYPE {name} has no samples"), None
+        if kind in ("counter", "gauge"):
+            if len(rows) != 1 or rows[0][1] is not None:
+                return fail(f"{name}: {kind} must have exactly one plain "
+                            "sample"), None
+            out[name] = (kind, rows[0][2])
+            continue
+        # histogram: _bucket rows (cumulative, +Inf last), _sum, _count.
+        buckets = [(le, v) for n, le, v in rows if n == name + "_bucket"]
+        sums = [v for n, le, v in rows if n == name + "_sum"]
+        counts = [v for n, le, v in rows if n == name + "_count"]
+        if not buckets or len(sums) != 1 or len(counts) != 1:
+            return fail(f"{name}: histogram needs _bucket rows and exactly "
+                        "one _sum and _count"), None
+        if buckets[-1][0] != "+Inf":
+            return fail(f"{name}: last bucket must be le=\"+Inf\""), None
+        values = [v for _, v in buckets]
+        if any(a > b for a, b in zip(values, values[1:])):
+            return fail(f"{name}: bucket counts must be cumulative "
+                        "(non-decreasing)"), None
+        les = [float(le) for le, _ in buckets[:-1]]
+        if any(a >= b for a, b in zip(les, les[1:])):
+            return fail(f"{name}: le bounds must be increasing"), None
+        if values[-1] != counts[0]:
+            return fail(f"{name}: +Inf bucket {values[-1]} != _count "
+                        f"{counts[0]}"), None
+        out[name] = (kind, (buckets, sums[0], counts[0]))
+    return 0, out
+
+
+def cross_check(json_maps, prom):
+    counters, gauges, hists = json_maps
+    for name, value in counters.items():
+        if name not in prom:
+            return fail(f"counter {name} missing from exposition")
+        kind, pv = prom[name]
+        if kind != "counter" or pv != value:
+            return fail(f"counter {name}: JSON {value} vs exposition "
+                        f"{kind} {pv}")
+    for name, value in gauges.items():
+        if name not in prom:
+            return fail(f"gauge {name} missing from exposition")
+        kind, pv = prom[name]
+        if kind != "gauge" or not close(pv, value):
+            return fail(f"gauge {name}: JSON {value} vs exposition "
+                        f"{kind} {pv}")
+    for name, h in hists.items():
+        if name not in prom:
+            return fail(f"histogram {name} missing from exposition")
+        kind, (buckets, psum, pcount) = prom[name]
+        if kind != "histogram":
+            return fail(f"histogram {name}: exposed as {kind}")
+        if pcount != h["count"] or not close(psum, h["sum"]):
+            return fail(f"histogram {name}: count/sum mismatch "
+                        f"({pcount}/{psum} vs {h['count']}/{h['sum']})")
+        cum = 0
+        for (le, pv), jb in zip(buckets, h["buckets"]):
+            cum += jb
+            if pv != cum:
+                return fail(f"histogram {name} le={le}: cumulative "
+                            f"{pv} != JSON prefix sum {cum}")
+    return 0
+
+
+def main(argv):
+    command = []
+    if "--" in argv:
+        split = argv.index("--")
+        command = argv[split + 1:]
+        argv = argv[:split]
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if command:
+        proc = subprocess.run(command, stdout=subprocess.DEVNULL)
+        if proc.returncode != 0:
+            print(f"check_metrics: command exited {proc.returncode}: "
+                  f"{' '.join(command)}", file=sys.stderr)
+            return 2
+
+    try:
+        with open(argv[1], "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"check_metrics: cannot read {argv[1]}: {e}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as e:
+        print(f"check_metrics: FAIL: {argv[1]} is not valid JSON: {e}",
+              file=sys.stderr)
+        return 1
+    rc, json_maps = validate_json(doc)
+    if rc:
+        return rc
+    counters, gauges, hists = json_maps
+
+    prom_summary = ""
+    if len(argv) == 3:
+        try:
+            with open(argv[2], "r", encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"check_metrics: cannot read {argv[2]}: {e}",
+                  file=sys.stderr)
+            return 2
+        rc, prom = validate_prom(text)
+        if rc:
+            return rc
+        rc = cross_check(json_maps, prom)
+        if rc:
+            return rc
+        prom_summary = f", {len(prom)} exposition metrics cross-checked"
+
+    print(f"check_metrics: OK: {len(counters)} counters, {len(gauges)} "
+          f"gauges, {len(hists)} histograms{prom_summary}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
