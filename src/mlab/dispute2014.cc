@@ -154,6 +154,7 @@ std::optional<PlannedNdt> DisputePlanCursor::next() {
   p.pc.interconnect_mbps = opt_.interconnect_mbps;
   p.pc.interconnect_buffer_ms = opt_.interconnect_buffer_ms;
   p.pc.background_load = load;
+  p.pc.ndt_cc = opt_.ndt_cc;
   p.pc.seed = rng_.next_u64();
   p.transit = site.transit;
   p.site = site.site;
@@ -247,6 +248,9 @@ std::string dispute_fingerprint(const Dispute2014Options& opt) {
       << " normal_intensity=" << opt.normal_intensity
       << " ndt=" << sim::to_seconds(opt.ndt_duration)
       << " warmup=" << sim::to_seconds(opt.warmup) << " seed=" << opt.seed;
+  // Appended only when non-default: every cache fingerprinted before the
+  // CC knob existed was generated with cubic and must keep verifying.
+  if (opt.ndt_cc != "cubic") out << " cc=" << opt.ndt_cc;
   return out.str();
 }
 

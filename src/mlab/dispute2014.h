@@ -82,6 +82,11 @@ struct Dispute2014Options {
   double normal_intensity = 0.75;
   sim::Duration ndt_duration = sim::from_seconds(10.0);
   sim::Duration warmup = sim::from_seconds(2.0);
+  /// Congestion control of the measured NDT flows (registry name or alias;
+  /// see tcp/congestion_control.h). Part of the cache fingerprint, appended
+  /// only when it differs from the historical default so existing caches
+  /// stay valid.
+  std::string ndt_cc = "cubic";
   std::uint64_t seed = 2014;
   /// Worker threads: 0 = every hardware thread, 1 = serial. Output is
   /// identical for any value (per-observation path configs and seeds are

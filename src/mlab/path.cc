@@ -254,7 +254,7 @@ NdtResult PathSim::run_ndt(sim::Duration duration) {
   tcp::TcpSource::Config sc;
   sc.key = key;
   sc.bytes_to_send = 0;
-  sc.congestion_control = "cubic";  // M-Lab servers of the era ran Linux
+  sc.congestion_control = cfg_.ndt_cc;  // default "cubic": Linux M-Lab era
   tcp::TcpSource source(sim, server_, sc);
 
   const sim::Time start = sim.now();

@@ -107,6 +107,11 @@ struct PathConfig {
   double chunk_fetch_multiple = 3.0;
   double adaptive_floor_fraction = 0.3;  // lowest quality tier (kAdaptive)
 
+  /// Congestion control of the measured NDT flow itself. "cubic" matches
+  /// the Linux M-Lab servers of the era; the campaign CC ablation swaps in
+  /// other registered variants (ccsig_testbed --cc lists them).
+  std::string ndt_cc = "cubic";
+
   std::uint64_t seed = 1;
 };
 

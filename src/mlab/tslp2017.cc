@@ -127,6 +127,7 @@ std::vector<TslpObservation> generate_tslp2017(const Tslp2017Options& opt) {
         p.pc.interconnect_mbps = opt.interconnect_mbps;
         p.pc.interconnect_buffer_ms = opt.interconnect_buffer_ms;
         p.pc.background_load = load;
+        p.pc.ndt_cc = opt.ndt_cc;
         p.pc.seed = rng.next_u64();
         p.day = day;
         p.hour = hour;
@@ -191,6 +192,8 @@ std::string tslp_fingerprint(const Tslp2017Options& opt) {
       << " normal_peak_load=" << opt.normal_peak_load
       << " ndt=" << sim::to_seconds(opt.ndt_duration)
       << " warmup=" << sim::to_seconds(opt.warmup) << " seed=" << opt.seed;
+  // Appended only when non-default so pre-knob caches keep verifying.
+  if (opt.ndt_cc != "cubic") out << " cc=" << opt.ndt_cc;
   return out.str();
 }
 

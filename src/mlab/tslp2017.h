@@ -48,6 +48,10 @@ struct Tslp2017Options {
   double normal_peak_load = 0.8;
   sim::Duration ndt_duration = sim::from_seconds(10.0);
   sim::Duration warmup = sim::from_seconds(2.0);
+  /// Congestion control of the measured NDT flows (registry name or alias;
+  /// see tcp/congestion_control.h). Appended to the fingerprint only when
+  /// non-default so historical caches stay valid.
+  std::string ndt_cc = "cubic";
   std::uint64_t seed = 2017;
   /// Worker threads: 0 = every hardware thread, 1 = serial. Output is
   /// identical for any value (per-slot seeds are drawn in a deterministic

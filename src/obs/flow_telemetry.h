@@ -66,6 +66,11 @@ struct FlowTelemetryConfig {
   /// Minimum spacing between kSample records; 0 keeps every ACK sample.
   /// Event records ignore the gap.
   sim::Duration min_sample_gap = 0;
+  /// Optional label naming the congestion control the recorded flow ran
+  /// (set by sweeps/tools that know it). When non-empty, to_csv() emits a
+  /// leading `# cc: <label>` comment and to_json() a "cc" field; empty —
+  /// the default — renders exactly the historical byte-stable output.
+  std::string cc_label;
 };
 
 #ifndef CCSIG_OBS_OFF
@@ -138,6 +143,7 @@ class FlowTelemetryRecorder {
   std::string to_csv() const {
     std::ostringstream out;
     out.precision(17);
+    if (!cfg_.cc_label.empty()) out << "# cc: " << cfg_.cc_label << '\n';
     out << "time_s,event,cwnd_bytes,ssthresh_bytes,pipe_bytes,srtt_s,"
            "retransmits\n";
     for (const FlowSample& s : samples()) {
@@ -152,7 +158,11 @@ class FlowTelemetryRecorder {
   std::string to_json() const {
     std::ostringstream out;
     out.precision(17);
-    out << "{\"recorded\":" << recorded_ << ",\"thinned\":" << thinned_
+    out << '{';
+    if (!cfg_.cc_label.empty()) {
+      out << "\"cc\":\"" << json_escape(cfg_.cc_label) << "\",";
+    }
+    out << "\"recorded\":" << recorded_ << ",\"thinned\":" << thinned_
         << ",\"overwritten\":" << overwritten_ << ",\"samples\":[";
     bool first = true;
     for (const FlowSample& s : samples()) {

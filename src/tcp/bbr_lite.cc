@@ -11,7 +11,9 @@ constexpr sim::Duration kMinRttWindow = 10 * sim::kSecond;
 }  // namespace
 
 BbrLiteCongestionControl::BbrLiteCongestionControl(std::uint32_t mss)
-    : mss_(mss) {}
+    : mss_(mss) {
+  bw_ring_.resize(kBwRingCapacity);
+}
 
 void BbrLiteCongestionControl::update_bandwidth(std::uint64_t acked_bytes,
                                                 sim::Duration rtt,
@@ -41,12 +43,23 @@ void BbrLiteCongestionControl::update_bandwidth(std::uint64_t acked_bytes,
   accum_start_ = now;
   accum_bytes_ = 0;
 
-  bw_samples_.emplace_back(now, sample_bps);
-  while (!bw_samples_.empty() && bw_samples_.front().first + kBwWindow < now) {
-    bw_samples_.pop_front();
+  // Drop samples older than the window, then append (evicting the oldest
+  // if the ring somehow fills — unreachable at the 2 ms sample floor).
+  while (bw_size_ > 0 && bw_ring_[bw_head_].at + kBwWindow < now) {
+    bw_head_ = (bw_head_ + 1) % kBwRingCapacity;
+    --bw_size_;
   }
+  if (bw_size_ == kBwRingCapacity) {
+    bw_head_ = (bw_head_ + 1) % kBwRingCapacity;
+    --bw_size_;
+  }
+  bw_ring_[(bw_head_ + bw_size_) % kBwRingCapacity] = BwSample{now, sample_bps};
+  ++bw_size_;
   max_bw_bps_ = 0;
-  for (const auto& [t, bw] : bw_samples_) max_bw_bps_ = std::max(max_bw_bps_, bw);
+  for (std::size_t i = 0; i < bw_size_; ++i) {
+    max_bw_bps_ =
+        std::max(max_bw_bps_, bw_ring_[(bw_head_ + i) % kBwRingCapacity].bps);
+  }
 }
 
 double BbrLiteCongestionControl::bdp_bytes() const {
@@ -95,13 +108,14 @@ void BbrLiteCongestionControl::on_loss(LossKind kind,
     max_bw_bps_ = 0;
     full_bw_bps_ = 0;
     full_bw_rounds_ = 0;
-    bw_samples_.clear();
+    bw_head_ = 0;
+    bw_size_ = 0;
     accum_start_ = -1;
     phase_ = Phase::kStartup;
   }
 }
 
-void BbrLiteCongestionControl::on_recovery_exit(sim::Time /*now*/) {}
+void BbrLiteCongestionControl::exit_recovery(sim::Time /*now*/) {}
 
 std::uint64_t BbrLiteCongestionControl::cwnd_bytes() const {
   const double gain = phase_ == Phase::kStartup ? kStartupGain : 2.0;

@@ -10,7 +10,7 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "tcp/congestion_control.h"
 
@@ -24,7 +24,7 @@ class BbrLiteCongestionControl : public CongestionControl {
               sim::Time now) override;
   void on_loss(LossKind kind, std::uint64_t flight_bytes,
                sim::Time now) override;
-  void on_recovery_exit(sim::Time now) override;
+  void exit_recovery(sim::Time now) override;
 
   std::uint64_t cwnd_bytes() const override;
   std::uint64_t ssthresh_bytes() const override { return 0; }
@@ -37,12 +37,23 @@ class BbrLiteCongestionControl : public CongestionControl {
  private:
   enum class Phase { kStartup, kDrain, kProbeBw };
 
+  struct BwSample {
+    sim::Time at = 0;
+    double bps = 0;
+  };
+
   void update_bandwidth(std::uint64_t acked_bytes, sim::Duration rtt,
                         sim::Time now);
   double bdp_bytes() const;
 
   static constexpr double kStartupGain = 2.885;  // 2/ln(2)
   static constexpr double kDrainGain = 0.348;    // 1/kStartupGain
+
+  // Bandwidth-sample ring capacity. Samples are spaced at least 2 ms apart
+  // and evicted after the 10 s window, so at most 5001 can coexist; the
+  // fixed preallocated ring keeps on_ack allocation-free (the hook
+  // contract) where a deque would allocate blocks mid-flow.
+  static constexpr std::size_t kBwRingCapacity = 6144;
 
   std::uint32_t mss_;
   Phase phase_ = Phase::kStartup;
@@ -57,7 +68,10 @@ class BbrLiteCongestionControl : public CongestionControl {
   sim::Time cycle_stamp_ = 0;
   int cycle_index_ = 0;
 
-  std::deque<std::pair<sim::Time, double>> bw_samples_;
+  // Fixed ring of windowed bandwidth samples, oldest at bw_head_.
+  std::vector<BwSample> bw_ring_;
+  std::size_t bw_head_ = 0;
+  std::size_t bw_size_ = 0;
   // Delivery-rate measurement interval accumulator.
   sim::Time accum_start_ = -1;
   std::uint64_t accum_bytes_ = 0;

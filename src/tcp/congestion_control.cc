@@ -4,10 +4,32 @@
 
 namespace ccsig::tcp {
 
+const std::vector<CongestionControlInfo>& congestion_control_registry() {
+  static const std::vector<CongestionControlInfo> registry = {
+      {"reno", "NewReno AIMD (RFC 5681/6582)", &make_reno},
+      {"cubic", "CUBIC (RFC 8312), no HyStart", &make_cubic},
+      {"cubic_hystart", "CUBIC with HyStart delay-based slow-start exit",
+       &make_cubic_hystart},
+      {"bbr_lite", "simplified BBR v1: model-based rate pacing",
+       &make_bbr_lite},
+      {"vegas", "Vegas: delay-based cwnd from baseRTT vs observed RTT",
+       &make_vegas},
+      {"westwood", "Westwood+: bandwidth-estimate ssthresh on loss",
+       &make_westwood},
+  };
+  return registry;
+}
+
 CongestionControlFactory congestion_control_by_name(const std::string& name) {
-  if (name == "reno" || name == "newreno") return &make_reno;
-  if (name == "cubic") return &make_cubic;
-  if (name == "bbr" || name == "bbr_lite") return &make_bbr_lite;
+  // Aliases kept from the pre-registry resolver (experiment configs and
+  // committed fingerprints use them), plus the conventional spelling of
+  // Westwood+.
+  if (name == "newreno") return &make_reno;
+  if (name == "bbr") return &make_bbr_lite;
+  if (name == "westwood+") return &make_westwood;
+  for (const CongestionControlInfo& info : congestion_control_registry()) {
+    if (name == info.name) return info.factory;
+  }
   throw std::invalid_argument("unknown congestion control: " + name);
 }
 

@@ -2,12 +2,27 @@
 //
 // The sender owns the loss-recovery state machine (dupack counting, fast
 // recovery, RTO) and reports events here; implementations only decide how
-// the congestion window evolves.
+// the congestion window evolves. The hook set follows the shape of
+// OpenBSD's tcp_cc.h function table (init / ack_received /
+// cong_experienced / enter-exit_fastrecovery / after_idle): the transport
+// calls every hook at well-defined points and a module overrides only the
+// ones it cares about.
+//
+// Modules register in congestion_control.cc; congestion_control_registry()
+// enumerates them so tests and tools never hard-code the variant list.
+//
+// Hook contract (enforced by tcp_cc_conformance_test):
+//  - cwnd_bytes() never drops below 1 MSS;
+//  - hooks never allocate (modules preallocate in their constructor);
+//  - on_loss lowers (or keeps) ssthresh, never raises it above the
+//    pre-loss congestion window;
+//  - enter_recovery/exit_recovery arrive strictly paired.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/time.h"
 #include "tcp/tcp_types.h"
@@ -18,6 +33,10 @@ class CongestionControl {
  public:
   virtual ~CongestionControl() = default;
 
+  /// Connection established (handshake completed). Modules that key state
+  /// off connection start time hook here; the default is stateless.
+  virtual void init(sim::Time /*now*/) {}
+
   /// A cumulative ACK advanced the window.
   /// `acked_bytes` is the newly acknowledged byte count; `rtt` is the RTT
   /// sample for this ACK (or -1 when none, e.g. for a retransmitted
@@ -25,12 +44,25 @@ class CongestionControl {
   virtual void on_ack(std::uint64_t acked_bytes, sim::Duration rtt,
                       sim::Time now) = 0;
 
-  /// A loss event was detected. `flight_bytes` is the amount outstanding.
+  /// A loss event was detected (OpenBSD: cong_experienced). `flight_bytes`
+  /// is the amount outstanding.
   virtual void on_loss(LossKind kind, std::uint64_t flight_bytes,
                        sim::Time now) = 0;
 
-  /// Fast recovery finished (full ACK arrived).
-  virtual void on_recovery_exit(sim::Time now) = 0;
+  /// The sender entered fast recovery (always directly after an on_loss
+  /// with kFastRetransmit). Most modules did their window math in on_loss;
+  /// the hook exists for ones that track recovery episodes.
+  virtual void enter_recovery(sim::Time /*now*/) {}
+
+  /// Fast recovery finished (full ACK arrived). Paired 1:1 with
+  /// enter_recovery.
+  virtual void exit_recovery(sim::Time now) = 0;
+
+  /// The connection sat idle (no data in flight, nothing to send) for
+  /// `idle` and is about to transmit again. RFC 2861-style modules decay
+  /// the window here; the default keeps it (the transport only calls this
+  /// hook when Config::cwnd_restart_after_idle is on).
+  virtual void after_idle(sim::Duration /*idle*/, sim::Time /*now*/) {}
 
   /// Current congestion window in bytes.
   virtual std::uint64_t cwnd_bytes() const = 0;
@@ -53,9 +85,26 @@ using CongestionControlFactory =
 
 std::unique_ptr<CongestionControl> make_reno(std::uint32_t mss);
 std::unique_ptr<CongestionControl> make_cubic(std::uint32_t mss);
+std::unique_ptr<CongestionControl> make_cubic_hystart(std::uint32_t mss);
 std::unique_ptr<CongestionControl> make_bbr_lite(std::uint32_t mss);
+std::unique_ptr<CongestionControl> make_vegas(std::uint32_t mss);
+std::unique_ptr<CongestionControl> make_westwood(std::uint32_t mss);
 
-/// Resolves a factory by name ("reno", "cubic", "bbr"); throws on unknown.
+/// One registry entry: the canonical name experiments use, a one-line
+/// description for tool help text, and the factory.
+struct CongestionControlInfo {
+  const char* name;
+  const char* summary;
+  CongestionControlFactory factory;
+};
+
+/// Every registered module, in a stable order. Tests iterate this to cover
+/// new variants automatically; tools print it for --cc help.
+const std::vector<CongestionControlInfo>& congestion_control_registry();
+
+/// Resolves a factory by registry name or accepted alias ("newreno" for
+/// reno, "bbr"/"bbr_lite" for BBR, "westwood+" for westwood); throws
+/// std::invalid_argument on unknown names.
 CongestionControlFactory congestion_control_by_name(const std::string& name);
 
 }  // namespace ccsig::tcp

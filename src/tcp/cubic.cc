@@ -5,13 +5,45 @@
 
 namespace ccsig::tcp {
 
-CubicCongestionControl::CubicCongestionControl(std::uint32_t mss)
+CubicCongestionControl::CubicCongestionControl(std::uint32_t mss, bool hystart)
     : mss_(mss),
+      hystart_(hystart),
       cwnd_(static_cast<std::uint64_t>(mss) * kInitialWindowSegments) {}
 
 double CubicCongestionControl::cubic_window(double t_seconds) const {
   const double dt = t_seconds - k_seconds_;
   return kC * dt * dt * dt + w_max_segments_;
+}
+
+void CubicCongestionControl::hystart_on_ack(std::uint64_t acked_bytes,
+                                            sim::Duration rtt) {
+  if (round_length_ == 0) round_length_ = cwnd_;  // first round
+  if (rtt > 0 && curr_round_samples_ < kHystartMinSamples) {
+    if (curr_round_samples_ == 0 || rtt < curr_round_min_rtt_) {
+      curr_round_min_rtt_ = rtt;
+    }
+    ++curr_round_samples_;
+    if (curr_round_samples_ >= kHystartMinSamples &&
+        last_round_min_rtt_ > 0) {
+      const sim::Duration eta =
+          std::clamp<sim::Duration>(last_round_min_rtt_ / 8,
+                                    4 * sim::kMillisecond,
+                                    16 * sim::kMillisecond);
+      if (curr_round_min_rtt_ >= last_round_min_rtt_ + eta) {
+        // Delay increase: the bottleneck queue is building. End slow start
+        // here instead of overshooting until loss.
+        ssthresh_ = cwnd_;
+      }
+    }
+  }
+  round_acked_ += acked_bytes;
+  if (round_acked_ >= round_length_) {
+    // Round boundary: one cwnd of data acknowledged.
+    round_acked_ -= round_length_;
+    round_length_ = cwnd_;
+    if (curr_round_samples_ > 0) last_round_min_rtt_ = curr_round_min_rtt_;
+    curr_round_samples_ = 0;
+  }
 }
 
 void CubicCongestionControl::on_ack(std::uint64_t acked_bytes,
@@ -21,6 +53,7 @@ void CubicCongestionControl::on_ack(std::uint64_t acked_bytes,
     est_rtt_s_ = est_rtt_s_ <= 0 ? r : 0.9 * est_rtt_s_ + 0.1 * r;
   }
   if (in_slow_start()) {
+    if (hystart_) hystart_on_ack(acked_bytes, rtt);
     cwnd_ += std::min<std::uint64_t>(acked_bytes, mss_);
     return;
   }
@@ -69,12 +102,29 @@ void CubicCongestionControl::on_loss(LossKind kind, std::uint64_t flight_bytes,
   }
 }
 
-void CubicCongestionControl::on_recovery_exit(sim::Time /*now*/) {
+void CubicCongestionControl::exit_recovery(sim::Time /*now*/) {
   cwnd_ = ssthresh_;
 }
 
+void CubicCongestionControl::after_idle(sim::Duration /*idle*/,
+                                        sim::Time /*now*/) {
+  // Restart from the initial window and begin a fresh cubic epoch; w_max
+  // keeps the memory of the pre-idle operating point.
+  cwnd_ = std::min<std::uint64_t>(
+      cwnd_, static_cast<std::uint64_t>(mss_) * kInitialWindowSegments);
+  epoch_start_ = -1;
+  round_acked_ = 0;
+  round_length_ = 0;
+  curr_round_samples_ = 0;
+  last_round_min_rtt_ = 0;
+}
+
 std::unique_ptr<CongestionControl> make_cubic(std::uint32_t mss) {
-  return std::make_unique<CubicCongestionControl>(mss);
+  return std::make_unique<CubicCongestionControl>(mss, /*hystart=*/false);
+}
+
+std::unique_ptr<CongestionControl> make_cubic_hystart(std::uint32_t mss) {
+  return std::make_unique<CubicCongestionControl>(mss, /*hystart=*/true);
 }
 
 }  // namespace ccsig::tcp

@@ -1,4 +1,7 @@
-// CUBIC congestion control (RFC 8312 semantics, simplified: no HyStart).
+// CUBIC congestion control (RFC 8312 semantics), with an optional HyStart
+// (Ha & Rhee) delay-based slow-start exit: plain "cubic" keeps the
+// simplified no-HyStart behavior, "cubic_hystart" arms the RTT-round
+// detector so deep buffers end slow start before the first loss.
 #pragma once
 
 #include <cstdint>
@@ -10,26 +13,37 @@ namespace ccsig::tcp {
 
 class CubicCongestionControl : public CongestionControl {
  public:
-  explicit CubicCongestionControl(std::uint32_t mss);
+  explicit CubicCongestionControl(std::uint32_t mss, bool hystart = false);
 
   void on_ack(std::uint64_t acked_bytes, sim::Duration rtt,
               sim::Time now) override;
   void on_loss(LossKind kind, std::uint64_t flight_bytes,
                sim::Time now) override;
-  void on_recovery_exit(sim::Time now) override;
+  void exit_recovery(sim::Time now) override;
+  void after_idle(sim::Duration idle, sim::Time now) override;
 
   std::uint64_t cwnd_bytes() const override { return cwnd_; }
   std::uint64_t ssthresh_bytes() const override { return ssthresh_; }
   bool in_slow_start() const override { return cwnd_ < ssthresh_; }
-  std::string name() const override { return "cubic"; }
+  std::string name() const override {
+    return hystart_ ? "cubic_hystart" : "cubic";
+  }
 
  private:
   double cubic_window(double t_seconds) const;
+  void hystart_on_ack(std::uint64_t acked_bytes, sim::Duration rtt);
 
   static constexpr double kC = 0.4;     // RFC 8312 scaling constant
   static constexpr double kBeta = 0.7;  // multiplicative decrease factor
 
+  // HyStart delay-increase detection: compare each RTT round's min RTT
+  // (first kHystartMinSamples ACK samples) against the previous round's;
+  // a rise of eta = clamp(last_min/8, 4ms, 16ms) means the queue has
+  // started filling and slow start should end now.
+  static constexpr int kHystartMinSamples = 8;
+
   std::uint32_t mss_;
+  bool hystart_;
   std::uint64_t cwnd_;
   std::uint64_t ssthresh_ = std::numeric_limits<std::uint64_t>::max();
 
@@ -38,6 +52,13 @@ class CubicCongestionControl : public CongestionControl {
   double k_seconds_ = 0;        // time to regain w_max
   double est_rtt_s_ = 0.1;      // smoothed RTT for the TCP-friendly region
   double tcp_friendly_segments_ = 0;
+
+  // HyStart round state (touched only when hystart_ is on).
+  std::uint64_t round_acked_ = 0;      // bytes acked in the current round
+  std::uint64_t round_length_ = 0;     // cwnd at round start = round size
+  sim::Duration last_round_min_rtt_ = 0;
+  sim::Duration curr_round_min_rtt_ = 0;
+  int curr_round_samples_ = 0;
 };
 
 }  // namespace ccsig::tcp

@@ -36,8 +36,18 @@ void RenoCongestionControl::on_loss(LossKind kind, std::uint64_t flight_bytes,
   }
 }
 
-void RenoCongestionControl::on_recovery_exit(sim::Time /*now*/) {
+void RenoCongestionControl::exit_recovery(sim::Time /*now*/) {
   cwnd_ = ssthresh_;
+  ca_acked_ = 0;
+}
+
+void RenoCongestionControl::after_idle(sim::Duration /*idle*/,
+                                       sim::Time /*now*/) {
+  // RFC 2861-flavoured restart: an idle sender's cwnd no longer reflects
+  // path state; resume from the initial window (ssthresh keeps the memory
+  // of the last loss, so growth back is slow-start then linear).
+  cwnd_ = std::min<std::uint64_t>(
+      cwnd_, static_cast<std::uint64_t>(mss_) * kInitialWindowSegments);
   ca_acked_ = 0;
 }
 

@@ -17,7 +17,8 @@ class RenoCongestionControl : public CongestionControl {
               sim::Time now) override;
   void on_loss(LossKind kind, std::uint64_t flight_bytes,
                sim::Time now) override;
-  void on_recovery_exit(sim::Time now) override;
+  void exit_recovery(sim::Time now) override;
+  void after_idle(sim::Duration idle, sim::Time now) override;
 
   std::uint64_t cwnd_bytes() const override { return cwnd_; }
   std::uint64_t ssthresh_bytes() const override { return ssthresh_; }

@@ -134,7 +134,8 @@ void TcpSource::telemetry_record(obs::FlowEvent event) {
   s.ssthresh_bytes = cc_->ssthresh_bytes();
   // Outstanding-data estimate: RFC 6675 pipe when the SACK scoreboard is
   // maintained, plain flight otherwise.
-  s.pipe_bytes = cfg_.use_sack ? pipe_bytes() : flight_bytes();
+  s.pipe_bytes = cfg_.use_sack ? scoreboard_.pipe_bytes(flight_bytes())
+                               : flight_bytes();
   s.srtt = rto_.srtt();
   s.retransmits = stats_.retransmits;
   cfg_.telemetry->record(s);
@@ -142,6 +143,17 @@ void TcpSource::telemetry_record(obs::FlowEvent event) {
 
 void TcpSource::try_send() {
   if (state_ != State::kEstablished) return;
+  // RFC 2861-style restart (opt-in): a window grown before an idle gap no
+  // longer reflects path state; let the CC module decay it before the
+  // connection bursts again.
+  if (cfg_.cwnd_restart_after_idle && last_emit_at_ >= 0 &&
+      flight_bytes() == 0) {
+    const sim::Duration idle = sim_.now() - last_emit_at_;
+    if (idle >= rto_.rto()) {
+      cc_->after_idle(idle, sim_.now());
+      last_emit_at_ = sim_.now();  // one restart per idle episode
+    }
+  }
   double pace_bps = cfg_.enable_pacing ? cc_->pacing_rate_bps() : 0.0;
   if (cfg_.fixed_pacing_bps > 0 &&
       (pace_bps == 0.0 || cfg_.fixed_pacing_bps < pace_bps)) {
@@ -222,28 +234,21 @@ void TcpSource::emit_segment(std::uint64_t seq, std::uint32_t len,
   p.id = next_packet_id_++;
   local_->send(p);
   ++stats_.segments_sent;
+  last_emit_at_ = sim_.now();
   if (retransmission) {
     ++stats_.retransmits;
-    auto it = in_flight_.find(seq);
-    if (it != in_flight_.end()) {
-      it->second.retransmitted = true;
-      it->second.sent_at = sim_.now();
-    }
+    scoreboard_.mark_retransmitted(seq, sim_.now());
   } else {
-    segment_pool_.insert(in_flight_, seq, Segment{len, sim_.now(), false});
+    scoreboard_.insert(seq, len, sim_.now());
   }
   if (!rto_armed_) arm_rto();
 }
 
 void TcpSource::retransmit_head() {
-  auto it = in_flight_.find(snd_una_);
-  if (it == in_flight_.end()) {
-    // The head segment boundary can shift after a partial ACK of a resized
-    // segment; retransmit whatever the earliest outstanding segment is.
-    it = in_flight_.begin();
-    if (it == in_flight_.end()) return;
-  }
-  emit_segment(it->first, it->second.len, /*retransmission=*/true);
+  std::uint64_t seq = 0;
+  std::uint32_t len = 0;
+  if (!scoreboard_.head_for_retransmit(snd_una_, &seq, &len)) return;
+  emit_segment(seq, len, /*retransmission=*/true);
 }
 
 void TcpSource::arm_rto() {
@@ -274,18 +279,7 @@ void TcpSource::on_rto_fired(std::uint64_t generation) {
   in_recovery_ = false;
   recovery_inflation_ = 0;
   dup_acks_ = 0;
-  // Allow every presumed-lost segment to be retransmitted again; SACK marks
-  // stay (the receiver still holds that data). Clearing the marks
-  // invalidates the recovery cursor's skipped prefix and the loss sum;
-  // rebuild both (an RTO is rare enough for the full walk).
-  lost_unrtx_bytes_ = 0;
-  for (auto& [seq, seg] : in_flight_) {
-    seg.lost_rtx = false;
-    if (!seg.sacked && seq + seg.len <= highest_sacked_) {
-      lost_unrtx_bytes_ += seg.len;
-    }
-  }
-  rtx_cursor_ = 0;
+  scoreboard_.on_rto();
   retransmit_head();
   arm_rto();
 }
@@ -305,6 +299,7 @@ void TcpSource::on_packet(const sim::Packet& p) {
     snd_nxt_ = 1;
     disarm_rto();
     rto_.on_measurement(sim_.now() - syn_sent_at_);
+    cc_->init(sim_.now());
     limit_since_ = sim_.now();
     // Complete the handshake; the ACK carries no payload.
     sim::Packet ack;
@@ -323,7 +318,7 @@ void TcpSource::on_packet(const sim::Packet& p) {
 void TcpSource::on_ack_packet(const sim::Packet& p) {
   if (p.window > 0) peer_rwnd_ = p.window;
   if (p.ack > snd_nxt_) return;  // nonsense ACK
-  if (cfg_.use_sack) apply_sack(p);
+  if (cfg_.use_sack) scoreboard_.apply_sack(p);
   if (p.ack > snd_una_) {
     handle_new_ack(p.ack);
   } else if (p.ack == snd_una_ && flight_bytes() > 0 &&
@@ -332,82 +327,10 @@ void TcpSource::on_ack_packet(const sim::Packet& p) {
   }
 }
 
-void TcpSource::apply_sack(const sim::Packet& p) {
-  for (const auto& [start, end] : p.sack_blocks) {
-    // Mark every in-flight segment fully inside the block. A span cache
-    // entry overlapping the block's start proves everything below its
-    // resume position is already marked, so the scan starts there.
-    std::uint64_t scan_from = start;
-    SackSpan* hit = nullptr;
-    for (auto& span : sack_spans_) {
-      if (span.end != 0 && span.start <= start && start <= span.end) {
-        hit = &span;
-        break;
-      }
-    }
-    if (hit != nullptr) {
-      if (end <= hit->end) continue;  // block fully processed before
-      scan_from = std::max(scan_from, hit->end);
-    }
-    auto it = in_flight_.lower_bound(scan_from);
-    std::uint64_t block_high = 0;  // highest end newly marked in this block
-    while (it != in_flight_.end() && it->first + it->second.len <= end) {
-      if (!it->second.sacked) {
-        Segment& seg = it->second;
-        const std::uint64_t seg_end = it->first + seg.len;
-        seg.sacked = true;
-        sacked_bytes_ += seg.len;
-        // If the old boundary already counted it presumed-lost, move it
-        // from the loss sum to the sacked sum.
-        if (seg_end <= highest_sacked_ && !seg.lost_rtx) {
-          lost_unrtx_bytes_ -= seg.len;
-        }
-        block_high = seg_end;  // ends ascend within the block
-      }
-      ++it;
-    }
-    if (block_high > highest_sacked_) raise_highest_sacked(block_high);
-    // Resume position: the first segment not fully covered (it may be a
-    // straddler that a later, longer block covers entirely), or the block
-    // end when everything below it was covered.
-    const std::uint64_t processed_to =
-        it == in_flight_.end() ? end : std::min<std::uint64_t>(end, it->first);
-    if (hit != nullptr) {
-      hit->end = std::max(hit->end, processed_to);
-    } else {
-      sack_spans_[sack_span_victim_] = SackSpan{start, processed_to};
-      sack_span_victim_ = (sack_span_victim_ + 1) % kSackSpanCacheSize;
-    }
-  }
-}
-
-void TcpSource::raise_highest_sacked(std::uint64_t new_end) {
-  // Segment boundaries never move except the scoreboard head (partial
-  // ACK), so the old boundary always aligns with a segment start and the
-  // range scan visits each segment once over the connection's lifetime.
-  for (auto it = in_flight_.lower_bound(highest_sacked_);
-       it != in_flight_.end() && it->first + it->second.len <= new_end;
-       ++it) {
-    if (!it->second.sacked && !it->second.lost_rtx) {
-      lost_unrtx_bytes_ += it->second.len;
-    }
-  }
-  highest_sacked_ = new_end;
-}
-
-std::uint64_t TcpSource::pipe_bytes() const {
-  // RFC 6675 pipe: bytes believed in the network. SACKed bytes arrived;
-  // unSACKed bytes below the highest SACK are presumed lost (unless their
-  // retransmission is in flight). Both sums are maintained incrementally,
-  // so this is O(1) where a scoreboard scan per recovery ACK used to make
-  // loss episodes quadratic.
-  assert(sacked_bytes_ + lost_unrtx_bytes_ <= flight_bytes());
-  return flight_bytes() - sacked_bytes_ - lost_unrtx_bytes_;
-}
-
 void TcpSource::enter_recovery() {
   ++stats_.fast_retransmits;
   cc_->on_loss(LossKind::kFastRetransmit, flight_bytes(), sim_.now());
+  cc_->enter_recovery(sim_.now());
   telemetry_record(obs::FlowEvent::kFastRetransmit);
   in_recovery_ = true;
   recover_seq_ = snd_nxt_;
@@ -425,39 +348,24 @@ void TcpSource::recovery_send() {
   // Fill the window with (1) retransmissions of presumed-lost segments,
   // then (2) new data, keeping pipe below cwnd (RFC 6675 NextSeg()).
   const std::uint64_t wnd = effective_window();
-  std::uint64_t pipe = pipe_bytes();
+  std::uint64_t pipe = scoreboard_.pipe_bytes(flight_bytes());
   while (pipe + cfg_.mss / 2 < wnd) {
-    // Find the first presumed-lost, not-yet-retransmitted segment. The
-    // cursor skips the permanently ineligible prefix (sacked or already
-    // retransmitted) so repeated calls don't re-walk the scoreboard.
-    bool retransmitted_one = false;
-    for (auto it = in_flight_.lower_bound(rtx_cursor_);
-         it != in_flight_.end(); ++it) {
-      const std::uint64_t seq = it->first;
-      Segment& seg = it->second;
-      if (seq + seg.len > highest_sacked_) break;
-      if (seg.sacked || seg.lost_rtx) {
-        rtx_cursor_ = seq + seg.len;
-        continue;
-      }
-      seg.lost_rtx = true;
-      lost_unrtx_bytes_ -= seg.len;  // its retransmission re-enters the pipe
-      rtx_cursor_ = seq + seg.len;
-      emit_segment(seq, seg.len, /*retransmission=*/true);
-      pipe += seg.len;
-      retransmitted_one = true;
-      break;
+    std::uint64_t seq = 0;
+    std::uint32_t len = 0;
+    if (scoreboard_.next_lost_retransmit(&seq, &len)) {
+      emit_segment(seq, len, /*retransmission=*/true);
+      pipe += len;
+      continue;
     }
-    if (retransmitted_one) continue;
     // No holes left to repair: extend with new data if allowed.
     const std::uint64_t remaining = app_bytes_remaining();
     if (remaining == 0 || snd_nxt_ - snd_una_ >= peer_rwnd_) break;
-    const std::uint32_t len = static_cast<std::uint32_t>(
+    const std::uint32_t new_len = static_cast<std::uint32_t>(
         std::min<std::uint64_t>({remaining, cfg_.mss}));
-    emit_segment(snd_nxt_, len, /*retransmission=*/false);
-    snd_nxt_ += len;
-    stats_.bytes_sent += len;
-    pipe += len;
+    emit_segment(snd_nxt_, new_len, /*retransmission=*/false);
+    snd_nxt_ += new_len;
+    stats_.bytes_sent += new_len;
+    pipe += new_len;
   }
 }
 
@@ -465,35 +373,7 @@ void TcpSource::handle_new_ack(std::uint64_t ack) {
   const std::uint64_t newly = ack - snd_una_;
   stats_.bytes_acked += newly;
 
-  // RTT sample: highest fully-covered, never-retransmitted segment (Karn).
-  sim::Duration rtt_sample = -1;
-  for (auto it = in_flight_.begin();
-       it != in_flight_.end() && it->first + it->second.len <= ack;) {
-    const Segment& seg = it->second;
-    if (!seg.retransmitted) rtt_sample = sim_.now() - seg.sent_at;
-    if (seg.sacked) {
-      sacked_bytes_ -= seg.len;
-    } else if (it->first + seg.len <= highest_sacked_ && !seg.lost_rtx) {
-      lost_unrtx_bytes_ -= seg.len;
-    }
-    it = segment_pool_.erase(in_flight_, it);
-  }
-  // A partial ACK inside a segment: split bookkeeping (rare; only after MSS
-  // changes). Treat remainder as a fresh segment boundary, reusing the
-  // extracted node.
-  if (!in_flight_.empty() && in_flight_.begin()->first < ack) {
-    auto node = in_flight_.extract(in_flight_.begin());
-    const std::uint32_t trim = static_cast<std::uint32_t>(ack - node.key());
-    // The head is never SACKed here (cumulative ACKs cannot land inside a
-    // received run), so only the loss sum can be holding its bytes.
-    if (node.key() + node.mapped().len <= highest_sacked_ &&
-        !node.mapped().lost_rtx) {
-      lost_unrtx_bytes_ -= trim;
-    }
-    node.mapped().len -= trim;
-    node.key() = ack;
-    in_flight_.insert(std::move(node));
-  }
+  const sim::Duration rtt_sample = scoreboard_.ack_advance(ack, sim_.now());
   snd_una_ = ack;
 
   if (rtt_sample >= 0) {
@@ -508,7 +388,7 @@ void TcpSource::handle_new_ack(std::uint64_t ack) {
       in_recovery_ = false;
       recovery_inflation_ = 0;
       dup_acks_ = 0;
-      cc_->on_recovery_exit(sim_.now());
+      cc_->exit_recovery(sim_.now());
       telemetry_record(obs::FlowEvent::kRecoveryExit);
     } else if (cfg_.use_sack) {
       // Partial ACK during SACK recovery: keep repairing the scoreboard.
@@ -568,9 +448,9 @@ void TcpSource::handle_dup_ack() {
   // outstanding (early retransmit, RFC 5827), or — with SACK — more than
   // two segments' worth of SACKed data above the cumulative ACK (RFC 6675).
   const int threshold = std::min(
-      3, std::max(1, static_cast<int>(in_flight_.size()) - 1));
+      3, std::max(1, static_cast<int>(scoreboard_.size()) - 1));
   const bool sack_trigger =
-      cfg_.use_sack && highest_sacked_ > snd_una_ + 2ull * cfg_.mss;
+      cfg_.use_sack && scoreboard_.highest_sacked() > snd_una_ + 2ull * cfg_.mss;
   if (dup_acks_ >= threshold || sack_trigger) {
     enter_recovery();
   }

@@ -1,15 +1,17 @@
 // The TCP data sender (server side of a download).
 //
-// Implements connection setup (SYN / SYN-ACK / ACK), cumulative-ACK loss
-// recovery with duplicate-ACK fast retransmit and NewReno partial-ACK
-// handling, RFC 6298 retransmission timeouts, optional pacing (for the
-// BBR-like controller), and Web100-style accounting of what limited the
-// sender (congestion window, receiver window, application).
+// A CC-agnostic transport core: connection setup (SYN / SYN-ACK / ACK),
+// the ACK clock, duplicate-ACK fast retransmit with NewReno partial-ACK
+// handling, RFC 6298 retransmission timeouts, optional pacing, and
+// Web100-style accounting of what limited the sender. Sequence-range
+// bookkeeping (which bytes are outstanding / SACKed / presumed lost)
+// lives in SackScoreboard; every congestion decision lives behind the
+// CongestionControl hook interface (congestion_control.h), so adding a
+// sender variant never touches this file.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 
@@ -18,8 +20,8 @@
 #include "sim/packet.h"
 #include "sim/simulator.h"
 #include "tcp/congestion_control.h"
-#include "tcp/node_pool.h"
 #include "tcp/rto.h"
+#include "tcp/scoreboard.h"
 #include "tcp/tcp_types.h"
 
 namespace ccsig::tcp {
@@ -56,6 +58,12 @@ class TcpSource {
     /// the sender falls back to NewReno partial-ACK recovery — much slower
     /// through burst losses, kept for the recovery ablation.
     bool use_sack = true;
+    /// RFC 2861-style congestion-window restart: when the connection has
+    /// been idle (nothing in flight) for at least one RTO, the CC module's
+    /// after_idle hook runs before the next transmission. Off by default —
+    /// bulk testbed flows never go idle, and existing experiment output is
+    /// byte-stable without the extra hook.
+    bool cwnd_restart_after_idle = false;
     /// Optional passive telemetry sink: receives cwnd/ssthresh/srtt/pipe on
     /// every new ACK plus retransmit/timeout/recovery events. Purely
     /// observational — attaching one never changes sender behavior. Must
@@ -119,25 +127,11 @@ class TcpSource {
  private:
   enum class State { kClosed, kSynSent, kEstablished, kStopped };
 
-  struct Segment {
-    std::uint32_t len = 0;
-    sim::Time sent_at = 0;
-    bool retransmitted = false;
-    bool sacked = false;    // covered by a SACK block
-    bool lost_rtx = false;  // presumed lost and already retransmitted
-  };
-  using SegmentMap = std::map<std::uint64_t, Segment>;
-
   void on_packet(const sim::Packet& p);
   void on_ack_packet(const sim::Packet& p);
   void handle_new_ack(std::uint64_t ack);
   void handle_dup_ack();
-  void apply_sack(const sim::Packet& p);
-  // Extends highest_sacked_ to `new_end`, folding segments that the new
-  // boundary makes presumed-lost into the running loss counter.
-  void raise_highest_sacked(std::uint64_t new_end);
   void enter_recovery();
-  std::uint64_t pipe_bytes() const;
   void recovery_send();
   void send_syn();
   void try_send();
@@ -167,47 +161,19 @@ class TcpSource {
   std::uint64_t snd_una_ = 0;
   std::uint64_t snd_nxt_ = 0;
   std::uint64_t peer_rwnd_ = 1 << 30;
-  SegmentMap in_flight_;
-  MapNodePool<SegmentMap> segment_pool_;  // recycles scoreboard nodes
+  SackScoreboard scoreboard_;
 
   int dup_acks_ = 0;
   bool in_recovery_ = false;
   std::uint64_t recover_seq_ = 0;
   std::uint64_t recovery_inflation_ = 0;  // NewReno (non-SACK) mode only
-  std::uint64_t highest_sacked_ = 0;      // seq_end of highest SACKed byte
-
-  // SACK-recovery accelerators. Both are pure strength reductions: the
-  // decisions (and therefore every emitted packet) are identical to the
-  // naive full scans, which made loss recovery quadratic in the flight
-  // size and dominated the simulator's profile.
-  //
-  // Scoreboard position below which no recovery retransmission candidate
-  // remains: every earlier segment is SACKed or already retransmitted, and
-  // both marks are sticky until an RTO (which resets the cursor).
-  std::uint64_t rtx_cursor_ = 0;
-  // Running sums over the scoreboard, kept exact at every transition so
-  // the RFC 6675 pipe is O(1) instead of a full scan per recovery ACK:
-  // pipe = flight - sacked - presumed-lost, where presumed-lost counts
-  // unSACKed segments below highest_sacked_ whose retransmission is not
-  // in flight.
-  std::uint64_t sacked_bytes_ = 0;
-  std::uint64_t lost_unrtx_bytes_ = 0;
-  // Recently processed SACK spans. Receivers repeat the same blocks on
-  // every duplicate ACK and extend one run at a time, so block scans
-  // resume where the previous scan stopped instead of re-walking the
-  // (already marked) run from its start. `end` is the resume position:
-  // every segment fully inside [start, end) is marked sacked.
-  struct SackSpan {
-    std::uint64_t start = 0;
-    std::uint64_t end = 0;  // 0 = empty entry
-  };
-  static constexpr int kSackSpanCacheSize = 4;
-  SackSpan sack_spans_[kSackSpanCacheSize];
-  int sack_span_victim_ = 0;  // round-robin replacement
 
   std::uint64_t rto_generation_ = 0;
   bool rto_armed_ = false;
   sim::Time syn_sent_at_ = 0;
+  // Last data transmission, for the idle-restart check (RFC 2861); only
+  // consulted when Config::cwnd_restart_after_idle is on.
+  sim::Time last_emit_at_ = -1;
 
   // Pacing gate.
   sim::Time next_pace_time_ = 0;

@@ -1,0 +1,99 @@
+#include "tcp/vegas.h"
+
+#include <algorithm>
+
+namespace ccsig::tcp {
+
+VegasCongestionControl::VegasCongestionControl(std::uint32_t mss)
+    : mss_(mss),
+      cwnd_(static_cast<std::uint64_t>(mss) * kInitialWindowSegments) {}
+
+void VegasCongestionControl::end_round() {
+  if (round_samples_ > 0 && base_rtt_ > 0 && round_min_rtt_ > 0) {
+    // Backlog estimate in segments: diff = cwnd * (rtt - baseRTT) / rtt,
+    // i.e. (expected - actual) * baseRTT from the paper, expressed in
+    // bytes and divided by MSS.
+    const double rtt_s = sim::to_seconds(round_min_rtt_);
+    const double base_s = sim::to_seconds(base_rtt_);
+    const double diff_seg = static_cast<double>(cwnd_) / mss_ *
+                            (rtt_s - base_s) / rtt_s;
+    const std::uint64_t floor = 2ull * mss_;
+    if (in_slow_start()) {
+      if (diff_seg > kGamma) {
+        // The queue is building before any loss: stop exponential growth
+        // and settle at the current operating point.
+        ssthresh_ = cwnd_;
+      }
+    } else if (diff_seg < kAlpha) {
+      cwnd_ += mss_;  // too little backlog: the path has spare capacity
+    } else if (diff_seg > kBeta) {
+      cwnd_ = std::max(cwnd_ - mss_, floor);  // draining our own queue
+      // Keep ssthresh at or below the shrunk window so a delay-based
+      // decrease never re-opens slow start (Linux tcp_vegas clamps the
+      // same way); otherwise the next round would double the window the
+      // backlog estimate just asked us to shrink.
+      ssthresh_ = std::min(ssthresh_, cwnd_);
+    }
+  }
+  round_length_ = cwnd_;
+  round_samples_ = 0;
+  round_min_rtt_ = 0;
+}
+
+void VegasCongestionControl::on_ack(std::uint64_t acked_bytes,
+                                    sim::Duration rtt, sim::Time /*now*/) {
+  if (rtt > 0) {
+    if (base_rtt_ == 0 || rtt < base_rtt_) base_rtt_ = rtt;
+    if (round_samples_ == 0 || rtt < round_min_rtt_) round_min_rtt_ = rtt;
+    ++round_samples_;
+  }
+  if (in_slow_start()) {
+    cwnd_ += std::min<std::uint64_t>(acked_bytes, mss_);
+  }
+  if (round_length_ == 0) round_length_ = cwnd_;
+  round_acked_ += acked_bytes;
+  if (round_acked_ >= round_length_) {
+    round_acked_ -= round_length_;
+    end_round();
+  }
+}
+
+void VegasCongestionControl::on_loss(LossKind kind, std::uint64_t flight_bytes,
+                                     sim::Time /*now*/) {
+  // Vegas falls back to Reno semantics on actual loss.
+  const std::uint64_t floor = 2ull * mss_;
+  ssthresh_ = std::max(flight_bytes / 2, floor);
+  if (kind == LossKind::kTimeout) {
+    cwnd_ = mss_;
+    round_acked_ = 0;
+    round_length_ = 0;
+    round_samples_ = 0;
+    round_min_rtt_ = 0;
+  } else {
+    cwnd_ = ssthresh_;
+  }
+}
+
+void VegasCongestionControl::exit_recovery(sim::Time /*now*/) {
+  cwnd_ = ssthresh_;
+  round_length_ = cwnd_;
+  round_acked_ = 0;
+}
+
+void VegasCongestionControl::after_idle(sim::Duration /*idle*/,
+                                        sim::Time /*now*/) {
+  // Restart from the initial window; baseRTT survives (a path property,
+  // not a congestion estimate).
+  cwnd_ = std::min<std::uint64_t>(
+      cwnd_, static_cast<std::uint64_t>(mss_) * kInitialWindowSegments);
+  round_acked_ = 0;
+  round_length_ = 0;
+  round_samples_ = 0;
+  round_min_rtt_ = 0;
+}
+
+std::unique_ptr<CongestionControl> make_vegas(std::uint32_t mss) {
+  return std::make_unique<VegasCongestionControl>(mss);
+}
+
+}  // namespace ccsig::tcp

@@ -1,0 +1,65 @@
+// TCP Vegas (Brakmo & Peterson 1995): delay-based congestion avoidance.
+//
+// Vegas estimates how many segments the flow itself has queued at the
+// bottleneck from the gap between the expected rate (cwnd / baseRTT) and
+// the actual rate (cwnd / observed RTT). It adjusts the window once per
+// RTT round to keep that backlog between alpha and beta segments, and
+// leaves slow start as soon as the backlog exceeds gamma — so a Vegas
+// sender backs off on rising RTT *without* ever seeing a loss, the exact
+// confound the paper's §6 discusses for delay-based senders.
+//
+// Simplifications vs the original: slow-start growth is Reno-style
+// (one MSS per ACK with ABC) rather than every-other-RTT doubling, and
+// loss response is Reno's (Vegas inherits Reno behavior on loss anyway).
+// Rounds are delimited by acknowledged byte count (one cwnd of data),
+// which is exact under the simulator's deterministic ACK clock.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "tcp/congestion_control.h"
+#include "tcp/tcp_types.h"
+
+namespace ccsig::tcp {
+
+class VegasCongestionControl : public CongestionControl {
+ public:
+  explicit VegasCongestionControl(std::uint32_t mss);
+
+  void on_ack(std::uint64_t acked_bytes, sim::Duration rtt,
+              sim::Time now) override;
+  void on_loss(LossKind kind, std::uint64_t flight_bytes,
+               sim::Time now) override;
+  void exit_recovery(sim::Time now) override;
+  void after_idle(sim::Duration idle, sim::Time now) override;
+
+  std::uint64_t cwnd_bytes() const override { return cwnd_; }
+  std::uint64_t ssthresh_bytes() const override { return ssthresh_; }
+  bool in_slow_start() const override { return cwnd_ < ssthresh_; }
+  std::string name() const override { return "vegas"; }
+
+  /// Lowest RTT ever observed (the Vegas baseRTT); 0 until the first
+  /// sample. Exposed for the behavioral tests.
+  sim::Duration base_rtt() const { return base_rtt_; }
+
+ private:
+  void end_round();
+
+  // Backlog thresholds in segments (classic Vegas defaults).
+  static constexpr double kAlpha = 2.0;  // grow below this
+  static constexpr double kBeta = 4.0;   // shrink above this
+  static constexpr double kGamma = 1.0;  // leave slow start above this
+
+  std::uint32_t mss_;
+  std::uint64_t cwnd_;
+  std::uint64_t ssthresh_ = std::numeric_limits<std::uint64_t>::max();
+
+  sim::Duration base_rtt_ = 0;        // lifetime min RTT; 0 = unset
+  sim::Duration round_min_rtt_ = 0;   // min RTT inside the current round
+  int round_samples_ = 0;
+  std::uint64_t round_acked_ = 0;     // bytes acked in the current round
+  std::uint64_t round_length_ = 0;    // cwnd at round start = round size
+};
+
+}  // namespace ccsig::tcp

@@ -1,0 +1,91 @@
+#include "tcp/westwood.h"
+
+#include <algorithm>
+
+namespace ccsig::tcp {
+
+WestwoodCongestionControl::WestwoodCongestionControl(std::uint32_t mss)
+    : mss_(mss),
+      cwnd_(static_cast<std::uint64_t>(mss) * kInitialWindowSegments) {}
+
+void WestwoodCongestionControl::sample_bandwidth(std::uint64_t acked_bytes,
+                                                 sim::Time now) {
+  if (accum_start_ < 0) {
+    accum_start_ = now;
+    accum_bytes_ = 0;
+  }
+  accum_bytes_ += acked_bytes;
+  const sim::Duration interval = now - accum_start_;
+  // One sample per RTT (the Westwood+ fix over per-ACK Westwood sampling,
+  // which overestimates through ACK compression), with a floor for the
+  // pre-measurement phase.
+  const sim::Duration min_interval =
+      std::max<sim::Duration>(10 * sim::kMillisecond, rtt_min_);
+  if (interval < min_interval) return;
+  const double sample_bps =
+      static_cast<double>(accum_bytes_) * 8.0 / sim::to_seconds(interval);
+  accum_start_ = now;
+  accum_bytes_ = 0;
+  bwe_bps_ = bwe_bps_ <= 0
+                 ? sample_bps
+                 : (1.0 - kFilterGain) * bwe_bps_ + kFilterGain * sample_bps;
+}
+
+void WestwoodCongestionControl::on_ack(std::uint64_t acked_bytes,
+                                       sim::Duration rtt, sim::Time now) {
+  if (rtt > 0 && (rtt_min_ == 0 || rtt < rtt_min_)) rtt_min_ = rtt;
+  sample_bandwidth(acked_bytes, now);
+  // Window dynamics are Reno's; only the loss response differs.
+  if (in_slow_start()) {
+    cwnd_ += std::min<std::uint64_t>(acked_bytes, mss_);
+    return;
+  }
+  ca_acked_ += acked_bytes;
+  if (ca_acked_ >= cwnd_) {
+    ca_acked_ -= cwnd_;
+    cwnd_ += mss_;
+  }
+}
+
+void WestwoodCongestionControl::on_loss(LossKind kind,
+                                        std::uint64_t flight_bytes,
+                                        sim::Time /*now*/) {
+  const std::uint64_t floor = 2ull * mss_;
+  if (bwe_bps_ > 0 && rtt_min_ > 0) {
+    // The Westwood+ idea: ssthresh = estimated BDP, not cwnd/2. A random
+    // (non-congestive) drop leaves the estimate — and thus the window —
+    // intact; a congestion drop arrives with a collapsed estimate.
+    const double bdp_bytes = bwe_bps_ / 8.0 * sim::to_seconds(rtt_min_);
+    ssthresh_ = std::max(static_cast<std::uint64_t>(bdp_bytes), floor);
+  } else {
+    ssthresh_ = std::max(flight_bytes / 2, floor);  // no estimate yet
+  }
+  if (kind == LossKind::kTimeout) {
+    cwnd_ = mss_;
+    ca_acked_ = 0;
+  } else if (cwnd_ > ssthresh_) {
+    cwnd_ = ssthresh_;
+  }
+}
+
+void WestwoodCongestionControl::exit_recovery(sim::Time /*now*/) {
+  if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;
+  ca_acked_ = 0;
+}
+
+void WestwoodCongestionControl::after_idle(sim::Duration /*idle*/,
+                                           sim::Time /*now*/) {
+  // Restart from the initial window; the bandwidth filter keeps its state
+  // but the sample accumulator restarts (the idle gap is not a sample).
+  cwnd_ = std::min<std::uint64_t>(
+      cwnd_, static_cast<std::uint64_t>(mss_) * kInitialWindowSegments);
+  ca_acked_ = 0;
+  accum_start_ = -1;
+  accum_bytes_ = 0;
+}
+
+std::unique_ptr<CongestionControl> make_westwood(std::uint32_t mss) {
+  return std::make_unique<WestwoodCongestionControl>(mss);
+}
+
+}  // namespace ccsig::tcp

@@ -1,0 +1,63 @@
+// TCP Westwood+ (Mascolo et al. 2001): Reno dynamics with a bandwidth-
+// estimate loss response.
+//
+// The sender continuously estimates the delivery rate from ACK arrivals
+// (samples aggregated over one RTT, low-pass filtered), and on loss sets
+// ssthresh to the estimated bandwidth-delay product — "faster recovery" —
+// instead of blindly halving. Over lossy links whose drops are not
+// congestive, that keeps the window near the path's actual capacity where
+// Reno collapses; on a genuinely congested path the estimate itself has
+// collapsed, so the outcome matches Reno's. The shape follows ns-3's
+// TcpWestwoodPlus model (bandwidth filter + ssthresh-from-BDP), restated
+// for this simulator's byte-based hooks.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "tcp/congestion_control.h"
+#include "tcp/tcp_types.h"
+
+namespace ccsig::tcp {
+
+class WestwoodCongestionControl : public CongestionControl {
+ public:
+  explicit WestwoodCongestionControl(std::uint32_t mss);
+
+  void on_ack(std::uint64_t acked_bytes, sim::Duration rtt,
+              sim::Time now) override;
+  void on_loss(LossKind kind, std::uint64_t flight_bytes,
+               sim::Time now) override;
+  void exit_recovery(sim::Time now) override;
+  void after_idle(sim::Duration idle, sim::Time now) override;
+
+  std::uint64_t cwnd_bytes() const override { return cwnd_; }
+  std::uint64_t ssthresh_bytes() const override { return ssthresh_; }
+  bool in_slow_start() const override { return cwnd_ < ssthresh_; }
+  std::string name() const override { return "westwood"; }
+
+  /// Filtered bandwidth estimate in bits/s (0 until the first sample).
+  /// Exposed for the behavioral tests.
+  double bandwidth_estimate_bps() const { return bwe_bps_; }
+  sim::Duration min_rtt() const { return rtt_min_; }
+
+ private:
+  void sample_bandwidth(std::uint64_t acked_bytes, sim::Time now);
+
+  // Low-pass filter: bwe = (1-kFilterGain)*bwe + kFilterGain*sample
+  // (Westwood+'s 7/8 + 1/8 discrete filter).
+  static constexpr double kFilterGain = 0.125;
+
+  std::uint32_t mss_;
+  std::uint64_t cwnd_;
+  std::uint64_t ssthresh_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t ca_acked_ = 0;  // byte accumulator for congestion avoidance
+
+  double bwe_bps_ = 0;          // filtered bandwidth estimate
+  sim::Duration rtt_min_ = 0;   // lifetime min RTT; 0 = unset
+  // Sample aggregation: one bandwidth sample per ~RTT of ACKed data.
+  sim::Time accum_start_ = -1;
+  std::uint64_t accum_bytes_ = 0;
+};
+
+}  // namespace ccsig::tcp

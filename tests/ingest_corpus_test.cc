@@ -169,6 +169,43 @@ TEST_F(CorpusTest, StreamingMatchesBatchOnHealthyMultiFlowCapture) {
   }
 }
 
+TEST_F(CorpusTest, NewCcVariantCapturesIngestIdenticallyInBatchAndStream) {
+  // One capture per PR-10 congestion-control variant. The transport is
+  // CC-agnostic, but each variant shapes different packet timing (Vegas
+  // never fills the buffer, Westwood+ rides through the random drops,
+  // HyStart exits slow start early) — so each one goes through the full
+  // reader + analyzer in batch mode and through the single-pass streaming
+  // engine at two worker counts, and every rendered report must match.
+  for (const char* cc : {"vegas", "westwood", "cubic_hystart"}) {
+    const std::string path = file(std::string(cc) + ".pcap");
+    // A pinch of random loss guarantees retransmission events in the
+    // capture even for the variants that avoid buffer overflow.
+    testutil::TwoNodePath net(testutil::basic_link(10e6, 10, 25, 0.002));
+    pcap::PcapCaptureTap tap(path);
+    net.server->add_tap(&tap);
+    const auto result = testutil::run_transfer(net, 300'000, cc);
+    net.server->remove_tap(&tap);
+    tap.flush();
+    ASSERT_TRUE(result.completed) << cc;
+
+    const FlowAnalyzer analyzer;
+    const auto batch = analyzer.analyze_pcap_checked(path);
+    ASSERT_TRUE(batch.ok()) << cc;
+    ASSERT_EQ(batch.reports.size(), 1u) << cc;
+
+    for (const unsigned jobs : {1u, 4u}) {
+      stream::StreamConfig cfg;
+      cfg.jobs = jobs;
+      const auto streamed = stream::analyze_pcap_stream(path, analyzer, cfg);
+      ASSERT_TRUE(streamed.ok()) << cc;
+      ASSERT_EQ(streamed.reports.size(), 1u) << cc;
+      EXPECT_EQ(FlowAnalyzer::render(streamed.reports[0]),
+                FlowAnalyzer::render(batch.reports[0]))
+          << cc << " jobs=" << jobs;
+    }
+  }
+}
+
 TEST_F(CorpusTest, MutatedPcapCorpusNeverCrashesStreaming) {
   // Damaged multi-flow captures through the single-pass engine: every
   // mutant must yield the same clean prefix and the same structured error

@@ -17,6 +17,9 @@ endforeach()
 set(tests
   runtime_fault_injection_test
   runtime_supervised_test
+  tcp_cc_conformance_test
+  tcp_vegas_test
+  tcp_westwood_test
   ingest_corpus_test
   core_insufficient_test
   campaign_resume_test

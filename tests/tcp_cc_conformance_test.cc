@@ -1,0 +1,220 @@
+// Shared property suite for congestion-control modules.
+//
+// Every module in congestion_control_registry() — current and future — is
+// run through the same hook-contract checks, so a new variant gets full
+// conformance coverage just by registering itself. The properties mirror
+// the contract documented in congestion_control.h:
+//   - cwnd_bytes() never drops below 1 MSS after any hook;
+//   - on_loss never pushes ssthresh above where the window was;
+//   - enter_recovery / exit_recovery arrive strictly paired, and exit
+//     never inflates the window past its pre-recovery value;
+//   - after_idle never grows the window;
+//   - no hook allocates (modules preallocate in their constructor),
+//     verified with the same global operator-new counter the micro
+//     benchmarks use for BM_TcpSteadyStateAllocs.
+#include "tcp/congestion_control.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "sim/time.h"
+#include "tcp/tcp_types.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+std::uint64_t heap_allocs() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+/// Counts heap allocations across a scope (same pattern as
+/// bench_micro_components.cc — deterministic, unlike timings).
+class AllocProbe {
+ public:
+  AllocProbe() : start_(heap_allocs()) {}
+  std::uint64_t count() const { return heap_allocs() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace
+
+// Counting replacements for the global allocation functions. Only the
+// plain forms are replaced; the hooks under test never use the aligned or
+// nothrow forms.
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace ccsig::tcp {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+constexpr std::uint32_t kMss = 1448;
+
+class CcConformanceTest
+    : public ::testing::TestWithParam<CongestionControlInfo> {
+ protected:
+  std::unique_ptr<CongestionControl> make() const {
+    auto cc = GetParam().factory(kMss);
+    cc->init(0);
+    return cc;
+  }
+};
+
+/// Drives one module through a realistic connection: slow start, a fast
+/// retransmit with a paired recovery episode, congestion avoidance, an
+/// RTO, regrowth, and an idle restart. `check` runs after every hook.
+template <typename Check>
+void drive(CongestionControl& cc, Check&& check) {
+  sim::Time now = 0;
+  auto ack = [&](std::uint64_t bytes, sim::Duration rtt) {
+    now += 2 * kMillisecond;
+    cc.on_ack(bytes, rtt, now);
+    check(cc);
+  };
+  // Slow start at a 10 ms RTT that drifts up as the queue builds (gives
+  // delay-based modules a real signal).
+  for (int i = 0; i < 200; ++i) {
+    ack(kMss, (10 + i / 20) * kMillisecond);
+  }
+  // Fast retransmit + paired recovery episode, with recovery ACKs.
+  cc.on_loss(LossKind::kFastRetransmit, cc.cwnd_bytes(), now);
+  check(cc);
+  cc.enter_recovery(now);
+  check(cc);
+  for (int i = 0; i < 8; ++i) ack(kMss, 12 * kMillisecond);
+  cc.exit_recovery(now);
+  check(cc);
+  // Congestion avoidance.
+  for (int i = 0; i < 100; ++i) ack(kMss, 11 * kMillisecond);
+  // Retransmission timeout, then regrowth.
+  now += kSecond;
+  cc.on_loss(LossKind::kTimeout, cc.cwnd_bytes(), now);
+  check(cc);
+  for (int i = 0; i < 100; ++i) ack(kMss, 10 * kMillisecond);
+  // Idle restart.
+  now += 10 * kSecond;
+  cc.after_idle(10 * kSecond, now);
+  check(cc);
+  for (int i = 0; i < 20; ++i) ack(kMss, 10 * kMillisecond);
+}
+
+TEST_P(CcConformanceTest, CwndNeverBelowOneMss) {
+  auto cc = make();
+  drive(*cc, [](const CongestionControl& c) {
+    EXPECT_GE(c.cwnd_bytes(), kMss);
+    // Modules that maintain a slow-start threshold must keep it at the
+    // RFC 5681 floor of 2 MSS. A constant 0 is the "no ssthresh" sentinel
+    // (BBR-style modules have no loss threshold) and is exempt.
+    if (c.ssthresh_bytes() != 0) {
+      EXPECT_GE(c.ssthresh_bytes(), 2ull * kMss);
+    }
+  });
+}
+
+TEST_P(CcConformanceTest, LossNeverRaisesSsthreshAboveWindow) {
+  auto cc = make();
+  sim::Time now = 0;
+  // Repeated loss events at several operating points: ssthresh after each
+  // must not exceed the larger of the pre-loss window and pre-loss
+  // ssthresh (a loss signal can only hold or shrink the safe region).
+  for (int episode = 0; episode < 4; ++episode) {
+    for (int i = 0; i < 50; ++i) {
+      now += 2 * kMillisecond;
+      cc->on_ack(kMss, 10 * kMillisecond, now);
+    }
+    const std::uint64_t pre_cwnd = cc->cwnd_bytes();
+    const std::uint64_t pre_ssthresh = cc->ssthresh_bytes();
+    const LossKind kind =
+        episode % 2 == 0 ? LossKind::kFastRetransmit : LossKind::kTimeout;
+    cc->on_loss(kind, pre_cwnd, now);
+    EXPECT_LE(cc->ssthresh_bytes(), std::max(pre_cwnd, pre_ssthresh))
+        << "episode " << episode;
+    if (kind == LossKind::kFastRetransmit) {
+      cc->enter_recovery(now);
+      cc->exit_recovery(now);
+    }
+  }
+}
+
+TEST_P(CcConformanceTest, RecoveryExitNeverInflatesWindow) {
+  auto cc = make();
+  sim::Time now = 0;
+  for (int i = 0; i < 120; ++i) {
+    now += 2 * kMillisecond;
+    cc->on_ack(kMss, 10 * kMillisecond, now);
+  }
+  // Strictly paired entry/exit, no ACKs in between: exit must land at or
+  // below the pre-episode window.
+  for (int episode = 0; episode < 3; ++episode) {
+    const std::uint64_t pre = cc->cwnd_bytes();
+    cc->on_loss(LossKind::kFastRetransmit, pre, now);
+    cc->enter_recovery(now);
+    cc->exit_recovery(now);
+    EXPECT_LE(cc->cwnd_bytes(), pre) << "episode " << episode;
+    EXPECT_GE(cc->cwnd_bytes(), kMss);
+    now += 50 * kMillisecond;
+  }
+}
+
+TEST_P(CcConformanceTest, AfterIdleNeverGrowsWindow) {
+  auto cc = make();
+  sim::Time now = 0;
+  for (int i = 0; i < 200; ++i) {
+    now += 2 * kMillisecond;
+    cc->on_ack(kMss, 10 * kMillisecond, now);
+  }
+  const std::uint64_t pre = cc->cwnd_bytes();
+  now += 30 * kSecond;
+  cc->after_idle(30 * kSecond, now);
+  EXPECT_LE(cc->cwnd_bytes(), pre);
+  EXPECT_GE(cc->cwnd_bytes(), kMss);
+  // The module must keep working after the restart.
+  for (int i = 0; i < 50; ++i) {
+    now += 2 * kMillisecond;
+    cc->on_ack(kMss, 10 * kMillisecond, now);
+    EXPECT_GE(cc->cwnd_bytes(), kMss);
+  }
+}
+
+TEST_P(CcConformanceTest, HooksDoNotAllocate) {
+  // Construction may allocate (modules preallocate buffers there); the
+  // hooks themselves must not — the TCP steady-state path calls them per
+  // ACK and BM_TcpSteadyStateAllocs pins that path at zero allocations.
+  auto cc = make();
+  AllocProbe probe;
+  drive(*cc, [](const CongestionControl&) {});
+  EXPECT_EQ(probe.count(), 0u) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredModules, CcConformanceTest,
+    ::testing::ValuesIn(congestion_control_registry()),
+    [](const ::testing::TestParamInfo<CongestionControlInfo>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace ccsig::tcp

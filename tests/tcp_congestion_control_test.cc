@@ -18,10 +18,28 @@ TEST(Factory, ResolvesKnownNames) {
   EXPECT_EQ(congestion_control_by_name("cubic")(kMss)->name(), "cubic");
   EXPECT_EQ(congestion_control_by_name("bbr")(kMss)->name(), "bbr");
   EXPECT_EQ(congestion_control_by_name("bbr_lite")(kMss)->name(), "bbr");
+  EXPECT_EQ(congestion_control_by_name("vegas")(kMss)->name(), "vegas");
+  EXPECT_EQ(congestion_control_by_name("westwood")(kMss)->name(), "westwood");
+  EXPECT_EQ(congestion_control_by_name("westwood+")(kMss)->name(),
+            "westwood");
+  EXPECT_EQ(congestion_control_by_name("cubic_hystart")(kMss)->name(),
+            "cubic_hystart");
 }
 
 TEST(Factory, UnknownNameThrows) {
-  EXPECT_THROW(congestion_control_by_name("vegas"), std::invalid_argument);
+  EXPECT_THROW(congestion_control_by_name("ledbat"), std::invalid_argument);
+}
+
+TEST(Factory, RegistryNamesAllResolveToThemselves) {
+  // Every registry entry's canonical name must round-trip through the
+  // by-name lookup to the same factory; tests and tools rely on this to
+  // enumerate variants without a hand-maintained list.
+  for (const CongestionControlInfo& info : congestion_control_registry()) {
+    EXPECT_EQ(congestion_control_by_name(info.name), info.factory)
+        << info.name;
+    EXPECT_NE(info.factory(kMss), nullptr) << info.name;
+  }
+  EXPECT_EQ(congestion_control_registry().size(), 6u);
 }
 
 TEST(Reno, InitialWindowIsTenSegments) {

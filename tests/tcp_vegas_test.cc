@@ -1,0 +1,206 @@
+// Behavioral tests for the delay-based slow-start/backoff variants: TCP
+// Vegas and CUBIC's HyStart toggle. The paper's §6 point is that
+// delay-reacting senders confound the self-induced-congestion signature —
+// they back off on rising RTT *without* a loss — so these tests pin
+// exactly that: window reduction and slow-start exit driven purely by RTT
+// inflation, plus end-to-end runs on deep-buffered links where a
+// loss-based sender must overshoot and a delay-based one must not.
+#include "tcp/vegas.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tcp/congestion_control.h"
+#include "test_helpers.h"
+#include "testbed/sweep.h"
+
+namespace ccsig::tcp {
+namespace {
+
+using sim::kMillisecond;
+
+constexpr std::uint32_t kMss = 1448;
+
+/// Feeds `rounds` Vegas rounds of single-MSS ACKs at a fixed RTT. Round
+/// boundaries are byte-counted (one cwnd of data), matching the module.
+void feed_rounds(VegasCongestionControl& cc, int rounds, sim::Duration rtt) {
+  for (int r = 0; r < rounds; ++r) {
+    const std::uint64_t round_len = cc.cwnd_bytes();
+    for (std::uint64_t acked = 0; acked < round_len; acked += kMss) {
+      cc.on_ack(kMss, rtt, 0);
+    }
+  }
+}
+
+TEST(Vegas, LearnsBaseRttFromMinimum) {
+  VegasCongestionControl cc(kMss);
+  cc.on_ack(kMss, 30 * kMillisecond, 0);
+  EXPECT_EQ(cc.base_rtt(), 30 * kMillisecond);
+  cc.on_ack(kMss, 10 * kMillisecond, 0);
+  EXPECT_EQ(cc.base_rtt(), 10 * kMillisecond);
+  cc.on_ack(kMss, 50 * kMillisecond, 0);  // inflation never raises the base
+  EXPECT_EQ(cc.base_rtt(), 10 * kMillisecond);
+}
+
+TEST(Vegas, ExitsSlowStartOnQueueBuildupWithoutLoss) {
+  VegasCongestionControl cc(kMss);
+  ASSERT_TRUE(cc.in_slow_start());
+  // One clean round pins baseRTT, then rounds at double the base: the
+  // backlog estimate exceeds gamma and slow start must end — no on_loss.
+  feed_rounds(cc, 1, 10 * kMillisecond);
+  feed_rounds(cc, 2, 20 * kMillisecond);
+  EXPECT_FALSE(cc.in_slow_start());
+  EXPECT_GE(cc.cwnd_bytes(), kMss);
+}
+
+TEST(Vegas, BacksOffOnRisingRttWithoutLoss) {
+  VegasCongestionControl cc(kMss);
+  feed_rounds(cc, 1, 10 * kMillisecond);
+  feed_rounds(cc, 2, 20 * kMillisecond);  // leave slow start
+  ASSERT_FALSE(cc.in_slow_start());
+  const std::uint64_t before = cc.cwnd_bytes();
+  // Heavy inflation: backlog estimate far above beta, so every round
+  // shaves one MSS. The window shrinks although on_loss never ran.
+  feed_rounds(cc, 4, 60 * kMillisecond);
+  EXPECT_LT(cc.cwnd_bytes(), before);
+  EXPECT_GE(cc.cwnd_bytes(), 2ull * kMss);
+}
+
+TEST(Vegas, GrowsWhenPathHasSpareCapacity) {
+  VegasCongestionControl cc(kMss);
+  feed_rounds(cc, 1, 10 * kMillisecond);
+  feed_rounds(cc, 2, 20 * kMillisecond);  // leave slow start
+  const std::uint64_t before = cc.cwnd_bytes();
+  // RTT back at the base: backlog estimate ~0 < alpha -> one MSS per round.
+  feed_rounds(cc, 3, 10 * kMillisecond);
+  EXPECT_GT(cc.cwnd_bytes(), before);
+}
+
+TEST(Vegas, DeepBufferTransferCompletesWithoutRetransmits) {
+  // 8 Mbps / 20 ms prop / 300 ms buffer, zero random loss: a loss-based
+  // sender only stops growing when it overflows the buffer; Vegas reads
+  // the RTT inflation and settles early. Same link, same transfer.
+  const std::uint64_t bytes = 2'000'000;
+  testutil::TwoNodePath vegas_path(testutil::basic_link(8e6, 20, 300), 7);
+  const auto vegas = testutil::run_transfer(vegas_path, bytes, "vegas");
+  testutil::TwoNodePath reno_path(testutil::basic_link(8e6, 20, 300), 7);
+  const auto reno = testutil::run_transfer(reno_path, bytes, "reno");
+
+  ASSERT_TRUE(vegas.completed);
+  ASSERT_TRUE(reno.completed);
+  EXPECT_EQ(vegas.source_stats.retransmits, 0u);
+  EXPECT_GT(reno.source_stats.retransmits, 0u);
+  // Vegas keeps the standing queue at a few segments, so its RTT stays
+  // near the propagation floor; Reno's sits on a full buffer.
+  EXPECT_LT(vegas.source_stats.smoothed_rtt, reno.source_stats.smoothed_rtt);
+}
+
+TEST(Vegas, TransferIsDeterministic) {
+  const auto once = [] {
+    testutil::TwoNodePath path(testutil::basic_link(10e6, 15, 100), 3);
+    const auto r = testutil::run_transfer(path, 500'000, "vegas");
+    std::ostringstream out;
+    out.precision(17);
+    out << r.completed << ' ' << r.completed_at << ' '
+        << r.source_stats.bytes_acked << ' ' << r.source_stats.segments_sent
+        << ' ' << r.source_stats.retransmits << ' '
+        << r.source_stats.cwnd_bytes << ' ' << r.source_stats.smoothed_rtt;
+    return out.str();
+  };
+  EXPECT_EQ(once(), once());
+}
+
+// ---------------------------------------------------------------------------
+// HyStart (the CUBIC toggle): end slow start on per-round delay increase.
+
+TEST(Hystart, ExitsSlowStartOnDelayIncreaseWithoutLoss) {
+  auto plain = make_cubic(kMss);
+  auto hystart = make_cubic_hystart(kMss);
+  EXPECT_EQ(hystart->name(), "cubic_hystart");
+
+  // Identical ACK feeds: rounds of 12 samples whose RTT climbs 6 ms per
+  // round (above HyStart's 4 ms eta floor). Plain CUBIC must keep slow-
+  // starting; the HyStart variant must cap ssthresh at the current window.
+  const auto feed = [](CongestionControl& cc) {
+    sim::Time now = 0;
+    for (int round = 0; round < 6; ++round) {
+      const sim::Duration rtt = (10 + 6 * round) * kMillisecond;
+      const std::uint64_t round_len = cc.cwnd_bytes();
+      for (std::uint64_t acked = 0; acked < round_len; acked += kMss) {
+        now += kMillisecond;
+        cc.on_ack(kMss, rtt, now);
+      }
+    }
+  };
+  feed(*plain);
+  feed(*hystart);
+
+  EXPECT_TRUE(plain->in_slow_start());
+  EXPECT_FALSE(hystart->in_slow_start());
+  // The exit came from the delay signal, not a loss: the window kept its
+  // slow-start value instead of taking a multiplicative cut.
+  EXPECT_GE(hystart->cwnd_bytes(), hystart->ssthresh_bytes());
+}
+
+TEST(Hystart, DeepBufferTransferAvoidsSlowStartOvershoot) {
+  // 20 Mbps / 20 ms / 150 ms buffer: plain CUBIC slow-starts into buffer
+  // overflow; HyStart reads the queue from rising round RTTs and exits
+  // slow start before the first drop.
+  const std::uint64_t bytes = 2'500'000;
+  testutil::TwoNodePath hy_path(testutil::basic_link(20e6, 20, 150), 11);
+  const auto hy = testutil::run_transfer(hy_path, bytes, "cubic_hystart");
+  testutil::TwoNodePath cubic_path(testutil::basic_link(20e6, 20, 150), 11);
+  const auto cubic = testutil::run_transfer(cubic_path, bytes, "cubic");
+
+  ASSERT_TRUE(hy.completed);
+  ASSERT_TRUE(cubic.completed);
+  EXPECT_EQ(hy.source_stats.retransmits, 0u);
+  EXPECT_GT(cubic.source_stats.fast_retransmits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep determinism: the parallel sweep must produce byte-identical rows
+// for the new variant at any worker count.
+
+TEST(Vegas, SweepRowsIdenticalAtAnyJobs) {
+  testbed::SweepOptions opt;
+  opt.access_rates_mbps = {10};
+  opt.access_latencies_ms = {20};
+  // High random loss: feature extraction needs a retransmission to bound
+  // the slow-start phase, and Vegas — unlike Reno — exits slow start on
+  // delay without overshooting the buffer, so only random drops provide it.
+  opt.access_losses = {0.02};
+  opt.access_buffers_ms = {20, 50};
+  opt.reps = 1;
+  // Full-scale links: the 0.1-scale grid shrinks the access link to 1 Mbps,
+  // where slow start ends within a handful of RTT samples and feature
+  // extraction refuses every flow (for any sender — the refactor
+  // equivalence golden for that grid is legitimately empty).
+  opt.scale = 1.0;
+  opt.test_duration = sim::from_seconds(2);
+  opt.warmup = sim::from_seconds(1);
+  opt.congestion_control = "vegas";
+  opt.seed = 9;
+
+  opt.jobs = 1;
+  const auto serial = testbed::run_sweep(opt);
+  opt.jobs = 4;
+  const auto parallel = testbed::run_sweep(opt);
+
+  const auto render = [](const std::vector<testbed::SweepSample>& rows) {
+    std::ostringstream out;
+    out.precision(17);
+    for (const auto& s : rows) {
+      out << s.norm_diff << ',' << s.cov << ',' << s.rtt_slope << ','
+          << s.rtt_iqr << ',' << s.slow_start_tput_bps << ','
+          << s.flow_tput_bps << ',' << s.scenario << '\n';
+    }
+    return out.str();
+  };
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(render(serial), render(parallel));
+}
+
+}  // namespace
+}  // namespace ccsig::tcp

@@ -6,10 +6,15 @@
 //
 // Usage:
 //   ccsig_testbed [--external] [--rate MBPS] [--latency MS] [--loss P]
-//                 [--buffer MS] [--duration S] [--cc reno|cubic|bbr]
+//                 [--buffer MS] [--duration S] [--cc NAME]
 //                 [--seed N] [--reps N] [--jobs N] [--pcap FILE]
 //                 [--metrics-out FILE] [--trace-out FILE]
 //                 [--flow-telemetry FILE] [--quiet]
+//
+// --cc accepts any registered congestion-control module (the registry in
+// tcp/congestion_control.cc: reno, cubic, cubic_hystart, bbr_lite, vegas,
+// westwood — plus aliases like newreno/bbr/westwood+). An unknown name
+// exits 2 and prints the registry with one-line summaries.
 //
 // Observability side files (stdout/verdicts are unaffected):
 //   --metrics-out     final counters/gauges/histograms snapshot (JSON)
@@ -31,6 +36,7 @@
 
 #include "core/ccsig.h"
 #include "obs/flow_telemetry.h"
+#include "tcp/congestion_control.h"
 #include "obs/tool_obs.h"
 #include "pcap/capture.h"
 #include "runtime/atomic_file.h"
@@ -114,6 +120,18 @@ int main(int argc, char** argv) {
                    argv[0]);
       return 2;
     }
+  }
+  // Resolve --cc up front so a typo is a usage error with the full menu,
+  // not an internal error mid-experiment.
+  try {
+    tcp::congestion_control_by_name(cfg.congestion_control);
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr, "unknown --cc '%s'; registered modules:\n",
+                 cfg.congestion_control.c_str());
+    for (const auto& info : tcp::congestion_control_registry()) {
+      std::fprintf(stderr, "  %-14s %s\n", info.name, info.summary);
+    }
+    return 2;
   }
   if (reps > 1 && !pcap_path.empty()) {
     std::fprintf(stderr, "--pcap requires a single run (omit --reps)\n");
@@ -204,7 +222,9 @@ int run_tool(ccsig::testbed::TestbedConfig cfg, int reps, int jobs,
     return 0;
   }
 
-  obs::FlowTelemetryRecorder telemetry;
+  obs::FlowTelemetryConfig tele_cfg;
+  tele_cfg.cc_label = cfg.congestion_control;  // `# cc:` comment in the CSV
+  obs::FlowTelemetryRecorder telemetry(tele_cfg);
   if (!telemetry_path.empty()) cfg.telemetry = &telemetry;
   testbed::TestbedExperiment experiment(cfg);
   std::unique_ptr<pcap::PcapCaptureTap> tap;
